@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation and prints it in a plain-text form (the numbers the paper
+plots), then times the underlying computation with pytest-benchmark.
+Output is emitted through ``emit`` so it stays visible under pytest's
+capture.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def emit(capsys, title: str, body: str) -> None:
+    """Print a titled block, bypassing pytest's output capture."""
+    with capsys.disabled():
+        print()
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        print(body)
+
+
+#: Accelerator counts swept by the scalability figures.
+SCALE_SWEEP = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: The evaluation's headline scale.
+TARGET_SCALE = 256

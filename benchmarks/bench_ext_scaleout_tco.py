@@ -1,0 +1,81 @@
+"""Extension: the §III-A scale-up vs scale-out arguments, quantified.
+
+Two claims from the paper's motivation:
+
+1. "a scale-out system with 96 DGX-2 shows only 39.7× improvement over
+   one DGX-2 in MLPerf results" — reproduced by the hierarchical-ring
+   strong-scaling model (NIC-bound inter-node synchronization);
+2. "scale-up can amortize host resources while scale-out requires
+   dedicated resources for each node" — reproduced by the TCO model's
+   bills of materials.
+"""
+
+from benchmarks._harness import emit
+from repro.analysis.tables import format_table
+from repro.analysis.tco import host_amortization_ratio, scaleout_bom, trainbox_bom
+from repro.core.scaleout import simulate_scaleout
+from repro.workloads.registry import get_workload
+
+RESNET = get_workload("Resnet-50")
+NODE_COUNTS = (1, 2, 4, 8, 16, 32, 48, 96)
+
+
+def build_figure():
+    scaling_rows = []
+    for n in NODE_COUNTS:
+        result = simulate_scaleout(RESNET, n)
+        scaling_rows.append(
+            [
+                n,
+                result.n_accelerators,
+                result.per_acc_batch,
+                f"{result.sync_time * 1e3:.1f} ms",
+                f"{result.speedup_over_one_node:.1f}x",
+                f"{100 * result.efficiency:.0f}%",
+            ]
+        )
+
+    tco_rows = []
+    for n_acc in (64, 256):
+        up = trainbox_bom(n_acc)
+        out = scaleout_bom(n_acc)
+        tco_rows.append(
+            [
+                n_acc,
+                f"${up.total:,.0f}",
+                f"${out.total:,.0f}",
+                f"${up.host_overhead_per_accelerator:,.0f}",
+                f"${out.host_overhead_per_accelerator:,.0f}",
+                f"{host_amortization_ratio(n_acc):.0f}x",
+            ]
+        )
+    return scaling_rows, tco_rows
+
+
+def test_ext_scaleout_and_tco(benchmark, capsys):
+    scaling_rows, tco_rows = benchmark(build_figure)
+    scaling = format_table(
+        ["DGX-2 nodes", "accels", "batch/acc", "sync", "speedup", "efficiency"],
+        scaling_rows,
+    )
+    tco = format_table(
+        [
+            "accels",
+            "scale-up capex",
+            "scale-out capex",
+            "host $/acc (up)",
+            "host $/acc (out)",
+            "host overhead gap",
+        ],
+        tco_rows,
+    )
+    emit(
+        capsys,
+        "Extension — scale-out scaling and TCO (§III-A)",
+        f"(a) strong scaling over 100 GbE, ResNet-50\n{scaling}\n\n"
+        "paper: 96 DGX-2 give only 39.7x over one DGX-2\n\n"
+        f"(b) bills of materials\n{tco}",
+    )
+    at_96 = next(r for r in scaling_rows if r[0] == 96)
+    assert 30 < float(at_96[4].rstrip("x")) < 50
+    assert float(tco_rows[-1][5].rstrip("x")) > 20

@@ -1,0 +1,44 @@
+"""Figure 2a: performance trends of NN ASICs vs interconnects, 2012-2019.
+
+Paper shape: ASIC efficiency improves by more than four orders of
+magnitude while the interconnect improves by roughly one — the widening
+gap that shifts the bottleneck to data preparation.
+"""
+
+from benchmarks._harness import emit
+from repro.analysis.tables import format_table
+from repro.analysis.trends import asic_trend, interconnect_trend, trend_growth
+
+
+def build_figure():
+    rows = []
+    inter = {year: (value, part) for year, value, part in interconnect_trend()}
+    for year, value, part in asic_trend():
+        ivalue, ipart = inter.get(year, (None, ""))
+        rows.append(
+            [
+                year,
+                f"{value:.1f}",
+                part,
+                f"{ivalue:.1f}" if ivalue else "-",
+                ipart,
+            ]
+        )
+    return rows
+
+
+def test_fig02a_trends(benchmark, capsys):
+    rows = benchmark(build_figure)
+    table = format_table(
+        ["year", "ASIC (norm.)", "part", "ICN (norm.)", "link"], rows
+    )
+    asic_x = trend_growth(asic_trend())
+    icn_x = trend_growth(interconnect_trend())
+    emit(
+        capsys,
+        "Figure 2a — hardware performance trends (normalized to 2012)",
+        f"{table}\n\nASIC growth: {asic_x:,.0f}x   interconnect growth: "
+        f"{icn_x:.1f}x  (paper: >10,000x vs ~10x)",
+    )
+    assert asic_x > 10_000
+    assert icn_x < 100

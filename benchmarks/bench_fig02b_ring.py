@@ -1,0 +1,31 @@
+"""Figure 2b: 4-KB-chunked ring synchronization latency vs accelerators.
+
+Paper shape: latency normalized to the 2-accelerator case saturates at
+the double — more accelerators do not mean higher synchronization cost.
+"""
+
+from benchmarks._harness import emit
+from repro.analysis.tables import format_series
+from repro.sync.model import RingSyncModel
+from repro import units
+
+COUNTS = (2, 4, 8, 16, 32, 64, 128, 256)
+MODEL_BYTES = 100 * units.MB
+
+
+def build_figure():
+    model = RingSyncModel()
+    return [model.normalized_latency(n, MODEL_BYTES) for n in COUNTS]
+
+
+def test_fig02b_ring_saturation(benchmark, capsys):
+    series = benchmark(build_figure)
+    emit(
+        capsys,
+        "Figure 2b — ring sync latency normalized to 2 accelerators",
+        format_series("normalized latency", COUNTS, series)
+        + "\n\npaper: saturates at ~2.0x",
+    )
+    assert series[0] == 1.0
+    assert all(b >= a - 1e-12 for a, b in zip(series, series[1:]))
+    assert 1.8 < series[-1] < 2.5

@@ -1,0 +1,74 @@
+"""Figure 3: latency decomposition of ResNet-50 across platform eras.
+
+Current (8 Titan-XP-class GPUs, PCIe, central sync) → +HW accelerator
+(256 TPU-class) → +ICN (NVLink-class fabric) → +Sync optimization
+(ring).  Paper shape: data preparation goes from a hidden sliver to
+54.9× the rest.
+"""
+
+import dataclasses
+
+from benchmarks._harness import emit
+from repro.analysis.tables import format_table
+from repro.core.analytical import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig, SyncStrategy
+from repro.core.dataflow import build_demand
+from repro.core.resources import latency_decomposition
+from repro.core.server import build_server
+from repro.workloads.registry import get_workload
+
+RESNET = get_workload("Resnet-50")
+BASE = ArchitectureConfig.baseline()
+CENTRAL = dataclasses.replace(BASE, sync=SyncStrategy.CENTRAL)
+
+#: (label, accelerator, n, arch, fabric bandwidth override)
+PLATFORMS = [
+    ("Current (8x legacy GPU)", "legacy-gpu", 8, CENTRAL, 16e9),
+    ("+HW accelerator (256x TPU)", "tpu", 256, CENTRAL, 16e9),
+    ("+ICN (NVLink-class)", "tpu", 256, CENTRAL, None),
+    ("+Synch. optimization (ring)", "tpu", 256, BASE, None),
+]
+
+
+def build_figure():
+    rows = []
+    for label, accel, n, arch, fabric in PLATFORMS:
+        server = build_server(arch, n)
+        demand = build_demand(server, RESNET)
+        result = simulate(
+            TrainingScenario(
+                RESNET, arch, n, accelerator=accel, fabric_bandwidth=fabric
+            ),
+            server=server,
+        )
+        decomp = latency_decomposition(
+            server, demand, result.compute_time, result.sync_time,
+            result.batch_size,
+        )
+        shares = decomp.shares()
+        rows.append(
+            [
+                label,
+                f"{100 * decomp.prep_fraction:.1f}%",
+                f"{100 * shares['model_computation']:.1f}%",
+                f"{100 * shares['model_synchronization']:.1f}%",
+                f"{decomp.preparation / max(decomp.others, 1e-12):.1f}x",
+            ]
+        )
+    return rows
+
+
+def test_fig03_bottleneck_shift(benchmark, capsys):
+    rows = benchmark(build_figure)
+    table = format_table(
+        ["platform", "data prep", "compute", "sync", "prep/others"], rows
+    )
+    emit(
+        capsys,
+        "Figure 3 — ResNet-50 latency decomposition across platforms",
+        table + "\n\npaper: prep/others reaches 54.9x on the final platform",
+    )
+    prep_shares = [float(r[1].rstrip("%")) for r in rows]
+    assert prep_shares == sorted(prep_shares)
+    assert prep_shares[0] < 50
+    assert float(rows[-1][4].rstrip("x")) > 10

@@ -1,0 +1,43 @@
+"""Figure 5: data augmentation improves model accuracy.
+
+Paper shape (ImageNet/ResNet-50): training with augmentation ends 29.1
+accuracy points above training without.  Our end-to-end miniature (numpy
+MLP on the synthetic image dataset, gradients exchanged through the ring
+all-reduce) shows the same ordering with a clear final gap.
+"""
+
+from benchmarks._harness import emit
+from repro.analysis.tables import format_series
+from repro.training.trainer import TrainConfig, augmentation_experiment
+
+
+def build_figure():
+    return augmentation_experiment(
+        config=TrainConfig(epochs=25, lr=0.03, batch_size=32, seed=0)
+    )
+
+
+def test_fig05_augmentation_accuracy(benchmark, capsys):
+    curves = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    epochs = list(range(1, len(curves["with_augmentation"]) + 1))
+    body = "\n".join(
+        [
+            format_series("with augmentation   ", epochs, curves["with_augmentation"]),
+            format_series("without augmentation", epochs, curves["without_augmentation"]),
+        ]
+    )
+    final_gap = (
+        curves["with_augmentation"][-1] - curves["without_augmentation"][-1]
+    )
+    emit(
+        capsys,
+        "Figure 5 — top-5 accuracy, with vs without data augmentation",
+        body
+        + f"\n\nfinal gap: {100 * final_gap:.1f} points "
+        "(paper: 29.1 points on ImageNet/ResNet-50)",
+    )
+    import numpy as np
+
+    tail_aug = np.mean(curves["with_augmentation"][-3:])
+    tail_noaug = np.mean(curves["without_augmentation"][-3:])
+    assert tail_aug > tail_noaug

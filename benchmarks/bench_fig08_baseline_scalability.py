@@ -1,0 +1,40 @@
+"""Figure 8: throughput scalability of the baseline server.
+
+Paper shape: normalized throughput saturates very early — no model
+benefits beyond ~18 accelerators (Inception-v4 at 18.3, TF-SR at 4.4).
+"""
+
+from benchmarks._harness import SCALE_SWEEP, emit
+from repro.analysis.tables import format_series
+from repro.core.analytical import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig
+from repro.workloads.registry import TABLE_I
+
+ARCH = ArchitectureConfig.baseline()
+
+
+def build_figure():
+    curves = {}
+    for name, workload in TABLE_I.items():
+        one = simulate(TrainingScenario(workload, ARCH, 1)).throughput
+        curves[name] = [
+            simulate(TrainingScenario(workload, ARCH, n)).throughput / one
+            for n in SCALE_SWEEP
+        ]
+    return curves
+
+
+def test_fig08_baseline_scalability(benchmark, capsys):
+    curves = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    body = "\n".join(
+        format_series(f"{name:15s}", SCALE_SWEEP, series)
+        for name, series in curves.items()
+    )
+    emit(
+        capsys,
+        "Figure 8 — baseline normalized throughput vs #accelerators",
+        body + "\n\npaper: every model saturates by ~18 accelerators",
+    )
+    for name, series in curves.items():
+        assert series[-1] < 19.0, name            # saturation ceiling
+        assert series[-1] <= series[-2] * 1.02    # flat tail

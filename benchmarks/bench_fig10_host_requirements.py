@@ -1,0 +1,75 @@
+"""Figure 10: host resources the baseline would need, normalized to DGX-2.
+
+Paper shape at 256 accelerators: up to 100.7× the CPU cores (avg ~50×),
+up to 17.9× the memory bandwidth, up to 18.0× the PCIe bandwidth at the
+root complex.
+"""
+
+from benchmarks._harness import SCALE_SWEEP, emit
+from repro.analysis.tables import format_series, format_table
+from repro.core.config import ArchitectureConfig
+from repro.core.dataflow import build_demand
+from repro.core.resources import host_requirements
+from repro.core.server import build_server
+from repro.workloads.registry import TABLE_I
+
+ARCH = ArchitectureConfig.baseline()
+
+
+def build_figure():
+    curves = {}
+    server = build_server(ARCH, 256)
+    for name, workload in TABLE_I.items():
+        demand = build_demand(server, workload)
+        per_scale = []
+        for n in SCALE_SWEEP:
+            req = host_requirements(demand, n * workload.sample_rate)
+            per_scale.append(
+                (
+                    req.normalized_cores,
+                    req.normalized_memory_bandwidth,
+                    req.normalized_pcie_bandwidth,
+                )
+            )
+        curves[name] = per_scale
+    return curves
+
+
+def test_fig10_host_requirements(benchmark, capsys):
+    curves = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    blocks = []
+    for idx, label in ((0, "(a) CPU cores"), (1, "(b) memory BW"), (2, "(c) PCIe BW at RC")):
+        lines = [
+            format_series(f"{name:15s}", SCALE_SWEEP, [p[idx] for p in series])
+            for name, series in curves.items()
+        ]
+        blocks.append(label + "\n" + "\n".join(lines))
+    at_256 = {name: series[-1] for name, series in curves.items()}
+    maxima = [max(v[i] for v in at_256.values()) for i in range(3)]
+    avg_cores = sum(v[0] for v in at_256.values()) / len(at_256)
+    emit(
+        capsys,
+        "Figure 10 — required host resources normalized to DGX-2",
+        "\n\n".join(blocks)
+        + f"\n\nmax at 256 accels: cores {maxima[0]:.1f}x (paper 100.7x, avg 50x; "
+        f"ours avg {avg_cores:.1f}x), memory {maxima[1]:.1f}x (paper 17.9x), "
+        f"PCIe {maxima[2]:.1f}x (paper 18.0x)",
+    )
+    assert 80 < maxima[0] < 120
+    assert 10 < maxima[1] < 30
+    assert 10 < maxima[2] < 30
+
+
+def test_fig10_requirements_grow_linearly(benchmark, capsys):
+    """Required resources are linear in scale (the figure's straight
+    lines on its linear axes)."""
+    server = build_server(ARCH, 256)
+    workload = TABLE_I["Resnet-50"]
+    demand = build_demand(server, workload)
+
+    def one():
+        return host_requirements(demand, 256 * workload.sample_rate)
+
+    req = benchmark(one)
+    half = host_requirements(demand, 128 * workload.sample_rate)
+    assert req.normalized_cores == 2 * half.normalized_cores

@@ -1,0 +1,56 @@
+"""Figure 11: decomposition of baseline host-resource consumption.
+
+Paper shape (image): CPU dominated by formatting + augmentation; memory
+bandwidth split ≈59% formatting/augmentation, ≈37% data load; PCIe
+dominated by the data copies (SSD read + data load).  Audio shifts more
+weight into formatting (STFT).
+"""
+
+from benchmarks._harness import TARGET_SCALE, emit
+from repro.analysis.tables import format_table
+from repro.core.config import ArchitectureConfig
+from repro.core.dataflow import CATEGORIES, build_demand
+from repro.core.resources import resource_breakdown, shares
+from repro.core.server import build_server
+from repro.workloads.registry import get_workload
+
+ARCH = ArchitectureConfig.baseline()
+
+
+def build_figure():
+    server = build_server(ARCH, TARGET_SCALE)
+    out = {}
+    for label, workload_name in (("image", "Resnet-50"), ("audio", "Transformer-SR")):
+        demand = build_demand(server, get_workload(workload_name))
+        tables = resource_breakdown(demand)
+        out[label] = {
+            resource: shares(table) for resource, table in tables.items()
+        }
+    return out
+
+
+def test_fig11_resource_decomposition(benchmark, capsys):
+    data = benchmark(build_figure)
+    blocks = []
+    for label, tables in data.items():
+        rows = []
+        for resource, table in tables.items():
+            rows.append(
+                [resource] + [f"{100 * table.get(c, 0.0):.1f}%" for c in CATEGORIES]
+            )
+        blocks.append(
+            f"({label})\n"
+            + format_table(["resource"] + list(CATEGORIES), rows)
+        )
+    emit(
+        capsys,
+        "Figure 11 — baseline host resource consumption by stage",
+        "\n\n".join(blocks),
+    )
+    image = data["image"]
+    assert image["cpu"]["formatting"] + image["cpu"]["augmentation"] > 0.9
+    assert abs(image["memory"]["data_load"] - 0.367) < 0.07
+    audio = data["audio"]
+    assert audio["memory"]["formatting"] + audio["memory"]["augmentation"] > 0.6
+    # PCIe at the RC carries only the two copies in the baseline.
+    assert image["pcie"]["ssd_read"] + image["pcie"]["data_load"] > 0.99

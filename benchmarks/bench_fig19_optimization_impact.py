@@ -1,0 +1,57 @@
+"""Figure 19: impact of TrainBox's stacked optimizations at 256
+accelerators.
+
+Paper shape: Acc ≈3.32× (images), P2P alone flat (RC-bound), Gen4 helps
+but less than clustering, full TrainBox 44.4× on average with TF-AA the
+largest winner at 84.3×.
+"""
+
+from benchmarks._harness import TARGET_SCALE, emit
+from repro.analysis.tables import format_table
+from repro.core.analytical import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig
+from repro.workloads.registry import TABLE_I
+
+LADDER = ArchitectureConfig.figure19_ladder()
+
+
+def build_figure():
+    table = {}
+    for name, workload in TABLE_I.items():
+        base = simulate(TrainingScenario(workload, LADDER[0], TARGET_SCALE))
+        row = {}
+        for arch in LADDER:
+            result = simulate(TrainingScenario(workload, arch, TARGET_SCALE))
+            row[arch.name] = result.throughput / base.throughput
+        table[name] = row
+    return table
+
+
+def test_fig19_optimization_impact(benchmark, capsys):
+    table = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    headers = ["model"] + [a.name for a in LADDER]
+    rows = [
+        [name] + [f"{row[a.name]:.1f}x" for a in LADDER]
+        for name, row in table.items()
+    ]
+    speedups = [row["trainbox"] for row in table.values()]
+    mean = sum(speedups) / len(speedups)
+    rows.append(
+        ["average"]
+        + [
+            f"{sum(r[a.name] for r in table.values()) / len(table):.1f}x"
+            for a in LADDER
+        ]
+    )
+    emit(
+        capsys,
+        "Figure 19 — normalized throughput at 256 accelerators",
+        format_table(headers, rows)
+        + f"\n\nTrainBox mean speedup: {mean:.1f}x (paper: 44.4x; "
+        "largest TF-AA, paper: 84.3x)",
+    )
+    assert 30 < mean < 60
+    assert max(table, key=lambda m: table[m]["trainbox"]) == "Transformer-AA"
+    for row in table.values():
+        assert abs(row["baseline+acc+p2p"] - row["baseline+acc"]) < 1e-6
+        assert row["trainbox"] > row["baseline+acc+p2p+gen4"]

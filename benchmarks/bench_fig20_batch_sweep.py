@@ -1,0 +1,59 @@
+"""Figure 20: TrainBox vs baseline across batch sizes (ResNet-50, 256
+accelerators).
+
+Paper shape: TrainBox wins at every batch size and its speed-up grows
+with the batch (better accelerator efficiency and relatively cheaper
+synchronization at large batches).
+"""
+
+from benchmarks._harness import TARGET_SCALE, emit
+from repro.analysis.tables import format_series
+from repro.core.analytical import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig
+from repro.workloads.registry import get_workload
+
+RESNET = get_workload("Resnet-50")
+BATCHES = (8, 32, 128, 512, 2048, 8192)
+
+
+def build_figure():
+    base_arch = ArchitectureConfig.baseline()
+    tb_arch = ArchitectureConfig.trainbox()
+    one = simulate(
+        TrainingScenario(RESNET, base_arch, 1, batch_size=BATCHES[0])
+    ).throughput
+    baseline = []
+    trainbox = []
+    for batch in BATCHES:
+        baseline.append(
+            simulate(
+                TrainingScenario(RESNET, base_arch, TARGET_SCALE, batch_size=batch)
+            ).throughput
+            / one
+        )
+        trainbox.append(
+            simulate(
+                TrainingScenario(RESNET, tb_arch, TARGET_SCALE, batch_size=batch)
+            ).throughput
+            / one
+        )
+    return baseline, trainbox
+
+
+def test_fig20_batch_sweep(benchmark, capsys):
+    baseline, trainbox = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    speedups = [t / b for t, b in zip(trainbox, baseline)]
+    emit(
+        capsys,
+        "Figure 20 — normalized throughput vs batch size (ResNet-50, 256 acc)",
+        "\n".join(
+            [
+                format_series("baseline ", BATCHES, baseline),
+                format_series("trainbox ", BATCHES, trainbox),
+                format_series("speedup  ", BATCHES, speedups),
+            ]
+        )
+        + "\n\npaper: TrainBox wins at every batch, more at larger batches",
+    )
+    assert all(s > 1.0 for s in speedups)
+    assert speedups[-1] > speedups[0]

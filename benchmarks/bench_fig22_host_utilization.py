@@ -1,0 +1,72 @@
+"""Figure 22: host-side resource utilization across the architecture
+ladder, normalized to the baseline.
+
+Paper shape: Acc clears the CPU's compute share but raises PCIe to ~2×;
+P2P empties host memory; clustering (TrainBox) drops all three to near
+zero.
+"""
+
+from benchmarks._harness import TARGET_SCALE, emit
+from repro.analysis.tables import format_table
+from repro.core.config import ArchitectureConfig
+from repro.core.dataflow import CATEGORIES, build_demand
+from repro.core.resources import resource_breakdown
+from repro.core.server import build_server
+from repro.workloads.registry import get_workload
+
+LADDER = [
+    ArchitectureConfig.baseline(),
+    ArchitectureConfig.baseline_acc(),
+    ArchitectureConfig.baseline_acc_p2p(),
+    ArchitectureConfig.trainbox(),
+]
+
+
+def build_figure():
+    out = {}
+    for label, workload_name in (("image", "Resnet-50"), ("audio", "Transformer-SR")):
+        workload = get_workload(workload_name)
+        per_arch = {}
+        for arch in LADDER:
+            server = build_server(arch, TARGET_SCALE)
+            demand = build_demand(server, workload)
+            per_arch[arch.name] = resource_breakdown(demand)
+        base = per_arch["baseline"]
+        normalized = {}
+        for arch_name, tables in per_arch.items():
+            normalized[arch_name] = {
+                resource: sum(tables[resource].values())
+                / max(sum(base[resource].values()), 1e-12)
+                for resource in ("cpu", "memory", "pcie")
+            }
+        out[label] = normalized
+    return out
+
+
+def test_fig22_host_utilization(benchmark, capsys):
+    data = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    blocks = []
+    for label, normalized in data.items():
+        rows = [
+            [arch_name]
+            + [f"{values[r]:.2f}" for r in ("cpu", "memory", "pcie")]
+            for arch_name, values in normalized.items()
+        ]
+        blocks.append(
+            f"({label})\n"
+            + format_table(["architecture", "CPU", "memory BW", "PCIe BW"], rows)
+        )
+    emit(
+        capsys,
+        "Figure 22 — host resource utilization normalized to the baseline",
+        "\n\n".join(blocks),
+    )
+    for label, normalized in data.items():
+        acc = normalized["baseline+acc"]
+        p2p = normalized["baseline+acc+p2p"]
+        tb = normalized["trainbox"]
+        assert acc["cpu"] < 0.1                    # compute offloaded
+        assert 1.5 < acc["pcie"] <= 2.01           # datapath doubled
+        assert p2p["memory"] < 0.01                # host DRAM freed
+        assert abs(p2p["pcie"] - acc["pcie"]) < 0.02
+        assert tb["cpu"] < 0.05 and tb["memory"] < 0.01 and tb["pcie"] < 0.01

@@ -1,0 +1,118 @@
+"""Microbenchmarks of the functional data-preparation kernels.
+
+These time the package's *actual* numpy implementations with
+pytest-benchmark — the empirical grounding behind the claim that decode
+dominates image preparation and the STFT dominates audio preparation
+(§III-C), independent of the calibrated cycle constants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.jpeg import decode as jpeg_decode, encode as jpeg_encode
+from repro.dataprep.ops_audio import MelFilterBank, Normalize, Spectrogram
+from repro.dataprep.ops_image import CastToFloat, GaussianNoise, Mirror, RandomCrop
+from repro.dataprep.png import decode as png_decode, encode as png_encode
+
+
+@pytest.fixture(scope="module")
+def image():
+    rng = np.random.default_rng(0)
+    h, w = 64, 64
+    x = np.linspace(0, 255, w)[None, :] * np.ones((h, 1))
+    img = np.stack([x, x[::-1], np.full((h, w), 120.0)], axis=-1)
+    return np.clip(img + rng.normal(0, 6, img.shape), 0, 255).astype(np.uint8)
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(1)
+
+
+def test_kernel_jpeg_encode(benchmark, image):
+    payload = benchmark(jpeg_encode, image, 80)
+    assert len(payload) < image.nbytes
+
+
+def test_kernel_jpeg_decode(benchmark, image):
+    payload = jpeg_encode(image, quality=80)
+    out = benchmark(jpeg_decode, payload)
+    assert out.shape == image.shape
+
+
+def test_kernel_png_decode(benchmark, image):
+    payload = png_encode(image)
+    out = benchmark(png_decode, payload)
+    assert np.array_equal(out, image)
+
+
+def test_kernel_crop(benchmark, image, rng):
+    crop = RandomCrop(48, 48)
+    out = benchmark(crop.apply, image, rng)
+    assert out.shape == (48, 48, 3)
+
+
+def test_kernel_mirror(benchmark, image, rng):
+    mirror = Mirror(probability=1.0)
+    out = benchmark(mirror.apply, image, rng)
+    assert out.shape == image.shape
+
+
+def test_kernel_noise(benchmark, image, rng):
+    noise = GaussianNoise(4.0)
+    out = benchmark(noise.apply, image, rng)
+    assert out.dtype == np.uint8
+
+
+def test_kernel_cast(benchmark, image, rng):
+    cast = CastToFloat()
+    out = benchmark(cast.apply, image, rng)
+    assert out.dtype == np.float32
+
+
+def test_kernel_spectrogram(benchmark, rng):
+    signal = (rng.normal(0, 0.1, 16_000) * 32767).astype(np.int16)
+    spec_op = Spectrogram()
+    out = benchmark(spec_op.apply, signal, rng)
+    assert out.shape[1] == 257
+
+
+def test_kernel_mel(benchmark, rng):
+    power = rng.random((100, 257)).astype(np.float32)
+    mel = MelFilterBank(n_mels=128)
+    out = benchmark(mel.apply, power, rng)
+    assert out.shape == (100, 128)
+
+
+def test_kernel_norm(benchmark, rng):
+    feats = rng.normal(size=(100, 128)).astype(np.float32)
+    norm = Normalize()
+    out = benchmark(norm.apply, feats, rng)
+    assert out.shape == feats.shape
+
+
+def test_decode_dominates_image_prep(benchmark, image, rng):
+    """The empirical version of Figure 11a's CPU story: decoding costs
+    more wall time than all the elementwise ops combined."""
+    import time
+
+    payload = jpeg_encode(image, quality=80)
+
+    def clock(fn, *args, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn(*args)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    t_decode = benchmark.pedantic(
+        lambda: clock(jpeg_decode, payload), rounds=1, iterations=1
+    )
+    t_elementwise = (
+        clock(RandomCrop(48, 48).apply, image, rng)
+        + clock(Mirror(1.0).apply, image, rng)
+        + clock(GaussianNoise(4.0).apply, image, rng)
+        + clock(CastToFloat().apply, image, rng)
+    )
+    assert t_decode > t_elementwise

@@ -1,0 +1,50 @@
+"""Table I: workload summary.
+
+Regenerates the registry view of the seven evaluated models and checks
+the accelerator model reproduces each measured rate at its reference
+batch.
+"""
+
+from benchmarks._harness import emit
+from repro.analysis.tables import format_table
+from repro.workloads.registry import TABLE_I
+from repro import units
+
+
+def build_table():
+    rows = []
+    for workload in TABLE_I.values():
+        spec = workload.accelerator_spec()
+        rows.append(
+            [
+                workload.nn_type.value,
+                workload.name,
+                workload.task,
+                workload.batch_size,
+                f"{workload.model_bytes / units.MB:.1f}",
+                f"{workload.sample_rate:,}",
+                f"{spec.throughput(workload.batch_size):,.0f}",
+            ]
+        )
+    return rows
+
+
+def test_tab1_workload_summary(benchmark, capsys):
+    rows = benchmark(build_table)
+    table = format_table(
+        [
+            "NN type",
+            "name",
+            "task",
+            "batch",
+            "model (MB)",
+            "paper sample/s",
+            "model sample/s",
+        ],
+        rows,
+    )
+    emit(capsys, "Table I — workload summary", table)
+    for row in rows:
+        paper = float(row[5].replace(",", ""))
+        model = float(row[6].replace(",", ""))
+        assert abs(paper - model) / paper < 0.01

@@ -1,0 +1,56 @@
+"""Tables II and III: FPGA resource utilization of the data preparation
+accelerator (image and audio configurations on an XCVU9P).
+"""
+
+from benchmarks._harness import emit
+from repro.analysis.tables import format_table
+from repro.devices.fpga import audio_resource_model, image_resource_model
+
+
+def build_tables():
+    out = {}
+    for label, model in (
+        ("Table II (image)", image_resource_model()),
+        ("Table III (audio)", audio_resource_model()),
+    ):
+        rows = []
+        per_engine = model.engine_utilization()
+        for engine in model.engines:
+            util = per_engine[engine.name]
+            rows.append(
+                [
+                    engine.name,
+                    f"{engine.luts / 1000:.1f}K ({100 * util['luts']:.1f}%)",
+                    f"{engine.ffs / 1000:.1f}K ({100 * util['ffs']:.1f}%)",
+                    f"{engine.brams:.0f} ({100 * util['brams']:.1f}%)",
+                    f"{engine.dsps:.0f} ({100 * util['dsps']:.1f}%)",
+                ]
+            )
+        total = model.utilization()
+        rows.append(
+            ["Total"]
+            + [f"{100 * total[k]:.1f}%" for k in ("luts", "ffs", "brams", "dsps")]
+        )
+        out[label] = rows
+    return out
+
+
+def test_tab2_tab3_fpga_resources(benchmark, capsys):
+    tables = benchmark(build_tables)
+    blocks = [
+        label + "\n" + format_table(["engine", "LUTs", "FF", "BRAM", "DSP"], rows)
+        for label, rows in tables.items()
+    ]
+    emit(
+        capsys,
+        "Tables II/III — FPGA resource utilization (XCVU9P)",
+        "\n\n".join(blocks)
+        + "\n\npaper totals: image 78.7/38.1/51.5/30.5%; audio 80.2/46.3/77.1/12.2%",
+    )
+    image_total = image_resource_model().utilization()
+    audio_total = audio_resource_model().utilization()
+    assert abs(image_total["luts"] - 0.787) < 0.01
+    assert abs(audio_total["luts"] - 0.802) < 0.01
+    # Both designs fit the part.
+    image_resource_model().check_fits()
+    audio_resource_model().check_fits()

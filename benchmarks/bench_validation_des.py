@@ -1,0 +1,57 @@
+"""Methodology validation (§VI-A): the analytical model vs the DES.
+
+The paper argues its simulator is accurate because training is
+throughput-oriented and pipelined, so latency variation barely affects
+throughput.  This benchmark quantifies both halves on our engines: the
+batch-level DES agrees with the closed-form solver within 2% across the
+whole Figure 19 ladder, and stays within a few percent even under 30%
+lognormal service-time jitter.
+"""
+
+from benchmarks._harness import emit
+from repro.analysis.tables import format_table
+from repro.core.analytical import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig
+from repro.core.des import simulate_des
+from repro.workloads.registry import get_workload
+
+RESNET = get_workload("Resnet-50")
+LADDER = ArchitectureConfig.figure19_ladder()
+
+
+def build_figure():
+    rows = []
+    for arch in LADDER:
+        for n in (8, 64, 256):
+            scenario = TrainingScenario(RESNET, arch, n)
+            analytical = simulate(scenario)
+            det = simulate_des(scenario, iterations=60)
+            jit = simulate_des(scenario, iterations=60, jitter=0.3, seed=11)
+            rows.append(
+                [
+                    arch.name,
+                    n,
+                    f"{analytical.throughput:,.0f}",
+                    f"{100 * det.relative_error(analytical.throughput):.2f}%",
+                    f"{100 * jit.relative_error(analytical.throughput):.2f}%",
+                ]
+            )
+    return rows
+
+
+def test_validation_des_agreement(benchmark, capsys):
+    rows = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    table = format_table(
+        ["architecture", "accels", "analytical", "DES error", "DES+30% jitter"],
+        rows,
+    )
+    emit(
+        capsys,
+        "Methodology validation — analytical vs discrete-event simulation",
+        table
+        + "\n\npaper §VI-A: latency variation has small throughput impact "
+        "thanks to pipelining / next-batch prefetching",
+    )
+    for row in rows:
+        assert float(row[3].rstrip("%")) < 2.0
+        assert float(row[4].rstrip("%")) < 8.0

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Find the cheapest TrainBox recipe for a workload mix.
+
+The inverse of the paper's fixed recipe: given the models a team plans
+to train and the accelerator count, grid-search box geometry (FPGAs and
+SSDs per box, PCIe generation) and prep-pool size for the cheapest
+design that keeps every workload accelerator-bound.
+
+Run:  python examples/autotune_deployment.py
+"""
+
+from repro.core.autotune import autotune
+from repro.workloads import get_workload
+
+
+def show(label, workload_names, n_accelerators=256):
+    workloads = [get_workload(name) for name in workload_names]
+    result = autotune(workloads, n_accelerators)
+    print(f"--- {label} ({n_accelerators} accelerators) ---")
+    print(f"  chosen: {result.best.describe()}")
+    print(f"  worst-workload attainment: "
+          f"{100 * result.best.achieved_fraction:.1f}% of target "
+          f"(bottleneck: {result.best.bottleneck})")
+    print(f"  capex: ${result.best.capex:,.0f}")
+    frontier = sorted(
+        (c for c in result.candidates if c.achieved_fraction >= 0.95),
+        key=lambda c: c.capex,
+    )[:4]
+    if frontier:
+        print("  cheapest feasible designs:")
+        for c in frontier:
+            print(f"    ${c.capex:,.0f}  {c.describe():44s} "
+                  f"{100 * c.achieved_fraction:.0f}%")
+    print()
+
+
+def main() -> None:
+    show("image-only fleet", ["Resnet-50", "Inception-v4", "VGG-19"])
+    show("speech fleet", ["Transformer-SR", "Transformer-AA"])
+    show("mixed fleet incl. video", ["Resnet-50", "Transformer-SR", "CNN-Video"])
+    show("captioning (egress-heavy)", ["RNN-S"])
+
+
+if __name__ == "__main__":
+    main()

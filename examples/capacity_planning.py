@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Capacity planning: size a TrainBox deployment for a training job.
+
+The scenario the paper's §V-A automates: a team wants to train a given
+model at a target accelerator count.  This script plays the train
+initializer's role end to end — it estimates per-batch time from the
+accelerator model, derives the required data-preparation throughput via
+the ring synchronization model, decides how many prep-pool FPGAs the job
+needs, and prints the data distribution across each train box's SSDs.
+
+Run:  python examples/capacity_planning.py [workload] [n_accelerators]
+e.g.  python examples/capacity_planning.py Transformer-SR 256
+"""
+
+import sys
+
+from repro.core import TrainInitializer, TrainingScenario, build_server, simulate
+from repro.core.config import ArchitectureConfig
+from repro.datasets import LIBRISPEECH_LIKE, IMAGENET_LIKE
+from repro.workloads import InputType, get_workload
+
+
+def main(workload_name: str = "Transformer-SR", n_accelerators: int = 256) -> None:
+    workload = get_workload(workload_name)
+    dataset = (
+        IMAGENET_LIKE if workload.input_type is InputType.IMAGE else LIBRISPEECH_LIKE
+    )
+
+    server = build_server(ArchitectureConfig.trainbox(), n_accelerators)
+    initializer = TrainInitializer(server)
+    plan = initializer.plan(workload, num_items=dataset.num_items)
+
+    print(f"job: {workload.name} on {n_accelerators} accelerators "
+          f"({len([b for b in server.boxes if b.acc_ids])} train boxes)")
+    print(f"dataset: {dataset.name}, {dataset.num_items:,} items")
+    print()
+    print(f"measured per-batch compute time : {plan.per_batch_time * 1e3:8.2f} ms")
+    print(f"ring synchronization time       : {plan.sync_time * 1e3:8.2f} ms")
+    print(f"required prep throughput        : {plan.required_prep_rate:12,.0f} samples/s")
+    print(f"in-box FPGA capacity            : {plan.in_box_prep_rate:12,.0f} samples/s "
+          f"({len(server.prep_ids)} FPGAs x {plan.per_fpga_rate:,.0f})")
+    print()
+    if plan.pool_fpgas_requested:
+        print(f"prep-pool request: {plan.pool_fpgas_requested} FPGAs "
+              f"(+{100 * plan.extra_resource_fraction:.0f}% over in-box resources)")
+        print(f"granted: {plan.pool_fpgas_granted}; "
+              f"meets target: {plan.meets_target}")
+    else:
+        print("prep-pool request: none — in-box FPGAs suffice")
+    print()
+
+    # Data distribution: first two boxes as a sample.
+    shown = 0
+    for box_id, shards in plan.shards.items():
+        if shown == 2:
+            remaining = len(plan.shards) - shown
+            print(f"... and {remaining} more boxes with the same layout")
+            break
+        print(f"{box_id}:")
+        for shard in shards:
+            print(f"  {shard.ssd_id}: items [{shard.item_indices.start:,}, "
+                  f"{shard.item_indices.stop:,})  ({len(shard):,} items)")
+        shown += 1
+
+    # Confirm with the simulator.
+    result = simulate(
+        TrainingScenario(workload, ArchitectureConfig.trainbox(), n_accelerators),
+    )
+    target = n_accelerators * workload.sample_rate
+    print()
+    print(f"simulated throughput: {result.throughput:,.0f} samples/s "
+          f"({100 * result.throughput / target:.1f}% of the accelerator target, "
+          f"bottleneck: {result.bottleneck})")
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "Transformer-SR"
+    count = int(sys.argv[2]) if len(sys.argv) > 2 else 256
+    main(name, count)

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Design-space exploration around the TrainBox box geometry.
+
+The paper fixes one train-box recipe (8 accelerators + 2 FPGAs + 2 SSDs
+behind PEX8796-class switches).  This script asks what happens when the
+knobs move: FPGAs per box, SSDs per box, PCIe generation, Ethernet
+speed, and prep-pool size — the sensitivity analysis a deployer would
+run before buying hardware.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import dataclasses
+
+from repro.core import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig, HardwareConfig
+from repro.pcie.link import PcieGen
+from repro.workloads import TABLE_I, get_workload
+
+N = 256
+
+
+def run(workload, arch, hw, pool_size=None):
+    return simulate(
+        TrainingScenario(workload, arch, N, hw=hw, pool_size=pool_size)
+    )
+
+
+def sweep(title, workload, variants):
+    print(f"\n--- {title} ({workload.name}, {N} accelerators) ---")
+    target = N * workload.sample_rate
+    for label, arch, hw, pool in variants:
+        result = run(workload, arch, hw, pool)
+        print(f"  {label:28s} {result.throughput:12,.0f} samples/s "
+              f"({100 * result.throughput / target:5.1f}% of target, "
+              f"bottleneck: {result.bottleneck})")
+
+
+def main() -> None:
+    trainbox = ArchitectureConfig.trainbox()
+    base_hw = HardwareConfig()
+
+    # 1. FPGAs per train box (audio is prep-compute-hungry).
+    tf_sr = get_workload("Transformer-SR")
+    sweep(
+        "FPGAs per train box",
+        tf_sr,
+        [
+            (
+                f"{k} FPGA(s)/box",
+                ArchitectureConfig.trainbox(prep_pool=False),
+                dataclasses.replace(base_hw, fpgas_per_train_box=k),
+                None,
+            )
+            for k in (1, 2)
+        ]
+        + [
+            (
+                "2 FPGAs/box + prep-pool",
+                trainbox,
+                base_hw,
+                None,
+            )
+        ],
+    )
+
+    # 2. SSDs per train box (image models read compressed JPEG fast).
+    resnet = get_workload("Resnet-50")
+    sweep(
+        "SSDs per train box",
+        resnet,
+        [
+            (
+                f"{k} SSD(s)/box",
+                trainbox,
+                dataclasses.replace(base_hw, ssds_per_train_box=k),
+                None,
+            )
+            for k in (1, 2, 4)
+        ],
+    )
+
+    # 3. PCIe generation inside the train box (the FPGA egress link is
+    # the residual limit for the highest-rate image models).
+    rnn_s = get_workload("RNN-S")
+    gen4 = dataclasses.replace(trainbox, pcie_gen=PcieGen.GEN4, name="trainbox-gen4")
+    sweep(
+        "PCIe generation in the box",
+        rnn_s,
+        [
+            ("Gen3 boxes", trainbox, base_hw, None),
+            ("Gen4 boxes", gen4, base_hw, None),
+        ],
+    )
+
+    # 4. Prep-pool size for the hungriest workload.
+    tf_aa = get_workload("Transformer-AA")
+    sweep(
+        "prep-pool size",
+        tf_aa,
+        [
+            (f"pool = {size} FPGAs", trainbox, base_hw, size)
+            for size in (0, 32, 64, 96, 128)
+        ],
+    )
+
+    # 5. Summary: which knob binds each workload at the paper's recipe.
+    print(f"\n--- binding bottleneck per workload (paper recipe) ---")
+    for name, workload in TABLE_I.items():
+        result = run(workload, trainbox, base_hw)
+        target = N * workload.sample_rate
+        print(f"  {name:15s} {100 * result.throughput / target:5.1f}% of target, "
+              f"bottleneck: {result.bottleneck}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Degraded operation: what device failures cost a TrainBox deployment.
+
+Injects SSD, FPGA and accelerator failures into a 64-accelerator
+TrainBox and reports how throughput and the binding bottleneck move —
+the analysis an operator runs when deciding between hot-sparing and
+draining a box.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.core import (
+    FaultSet,
+    TrainingScenario,
+    build_server,
+    drain_box,
+    inject_faults,
+    simulate,
+)
+from repro.core.config import ArchitectureConfig
+from repro.workloads import get_workload
+
+
+def report(label, server, workload):
+    result = simulate(
+        TrainingScenario(workload, server.arch, server.n_accelerators, hw=server.hw),
+        server=server,
+    )
+    print(f"  {label:34s} {result.throughput:12,.0f} samples/s  "
+          f"({server.n_accelerators} accs, bottleneck: {result.bottleneck})")
+    return result
+
+
+def main() -> None:
+    workload = get_workload("Transformer-SR")
+    server = build_server(ArchitectureConfig.trainbox(), 64)
+    box = server.boxes[0]
+
+    print(f"workload: {workload.name}, 8 train boxes of 8 accelerators\n")
+    healthy = report("healthy", server, workload)
+
+    scenarios = [
+        ("one SSD failed (box runs on one)", FaultSet.of(box.ssd_ids[0])),
+        ("one FPGA failed (box at half prep)", FaultSet.of(box.prep_ids[0])),
+        ("one accelerator failed", FaultSet.of(box.acc_ids[0])),
+        (
+            "an SSD + an FPGA in different boxes",
+            FaultSet.of(server.boxes[0].ssd_ids[0], server.boxes[1].prep_ids[0]),
+        ),
+    ]
+    for label, faults in scenarios:
+        degraded = inject_faults(server, faults)
+        result = report(label, degraded, workload)
+        loss = 100 * (1 - result.throughput / healthy.throughput)
+        print(f"  {'':34s} -> {loss:.1f}% throughput loss")
+
+    drained = drain_box(server, box.box_id)
+    result = report("whole box drained", drained, workload)
+    loss = 100 * (1 - result.throughput / healthy.throughput)
+    print(f"  {'':34s} -> {loss:.1f}% throughput loss "
+          f"(proportional to the 1/8 of accelerators removed)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate the paper's headline experiment.
+
+Runs ResNet-50 on the naive baseline server and on TrainBox at 256
+neural network accelerators, prints throughput, the binding bottleneck
+of each design, and the speed-up — the Figure 19 story in a dozen lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("Resnet-50")
+    n_accelerators = 256
+
+    baseline = simulate(
+        TrainingScenario(workload, ArchitectureConfig.baseline(), n_accelerators)
+    )
+    trainbox = simulate(
+        TrainingScenario(workload, ArchitectureConfig.trainbox(), n_accelerators)
+    )
+
+    print(f"workload: {workload.name}  ({n_accelerators} accelerators, "
+          f"batch {workload.batch_size}/device)")
+    print()
+    for label, result in (("baseline", baseline), ("trainbox", trainbox)):
+        print(
+            f"{label:9s} throughput: {result.throughput:12,.0f} samples/s   "
+            f"bottleneck: {result.bottleneck}"
+        )
+        print(
+            f"{'':9s} prep capacity {result.prep_rate:12,.0f} | "
+            f"accelerator demand {result.consume_rate:12,.0f}"
+        )
+    print()
+    print(f"TrainBox speed-up: {trainbox.speedup_over(baseline):.1f}x "
+          f"(paper reports 44.4x on average across workloads)")
+
+    # Where does the baseline's prep budget go?
+    from repro.core.dataflow import build_demand
+    from repro.core.resources import resource_breakdown, shares
+    from repro.core.server import build_server
+
+    server = build_server(ArchitectureConfig.baseline(), n_accelerators)
+    demand = build_demand(server, workload)
+    cpu_shares = shares(resource_breakdown(demand)["cpu"])
+    print()
+    print("baseline host-CPU cycles per sample, by stage:")
+    for category, share in sorted(cpu_shares.items(), key=lambda kv: -kv[1]):
+        if share > 0:
+            print(f"  {category:14s} {100 * share:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""TrainBox (MICRO 2020) reproduction.
+
+A production-quality Python library reproducing *TrainBox: An
+Extreme-Scale Neural Network Training Server Architecture by
+Systematically Balancing Operations* (Park, Jeong & Kim, MICRO 2020):
+the full system simulator, every substrate it depends on (PCIe fabric,
+device models, a functional data-preparation stack with a real JPEG
+codec and audio front-end, ring synchronization, the Ethernet prep-pool),
+and the experiment harness regenerating every table and figure of the
+paper's evaluation.
+
+Quick start::
+
+    from repro.core import TrainingScenario, simulate
+    from repro.core.config import ArchitectureConfig
+    from repro.workloads import get_workload
+
+    workload = get_workload("Resnet-50")
+    baseline = simulate(TrainingScenario(
+        workload, ArchitectureConfig.baseline(), n_accelerators=256))
+    trainbox = simulate(TrainingScenario(
+        workload, ArchitectureConfig.trainbox(), n_accelerators=256))
+    print(trainbox.speedup_over(baseline))
+"""
+
+__version__ = "1.0.0"
+
+from repro import units
+from repro.errors import (
+    CapacityError,
+    CodecError,
+    ConfigError,
+    DataprepError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TopologyError,
+)
+
+__all__ = [
+    "CapacityError",
+    "CodecError",
+    "ConfigError",
+    "DataprepError",
+    "ReproError",
+    "RoutingError",
+    "SimulationError",
+    "TopologyError",
+    "__version__",
+    "units",
+]

@@ -1,0 +1,118 @@
+"""System power and energy efficiency (the Figure 2a framing).
+
+The paper's hardware trend is *throughput per watt*; the efficiency
+argument for TrainBox is that it scales preparation with ~75 W FPGAs
+instead of the thousands of CPU cores the baseline would need (Figure
+10a: up to 4 833 cores ≈ 100+ server sockets just for preparation).
+This module prices both: nameplate power per deployment, the samples/s/W
+of a provisioned-to-target system, and the annual energy bill that
+extends the TCO model into opex.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.core.server import ServerModel
+
+HOURS_PER_YEAR = 8_766.0
+
+
+@dataclass(frozen=True)
+class PowerRatings:
+    """Nameplate draws in watts (datacenter-class parts)."""
+
+    nn_accelerator: float = 350.0
+    prep_fpga: float = 75.0
+    cpu_socket: float = 205.0
+    dram_per_tb: float = 60.0
+    nvme_ssd: float = 12.0
+    pcie_switch: float = 25.0
+    ethernet_port: float = 7.0
+
+    def __post_init__(self) -> None:
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) < 0:
+                raise ConfigError(f"rating {name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class PowerBudget:
+    """Itemized draw of one deployment, in watts."""
+
+    label: str
+    items: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.items.values())
+
+    def efficiency(self, throughput: float) -> float:
+        """Samples per second per watt."""
+        if throughput <= 0:
+            raise ConfigError("throughput must be positive")
+        return throughput / self.total
+
+    def annual_energy_cost(
+        self, dollars_per_kwh: float = 0.12, pue: float = 1.4
+    ) -> float:
+        """Yearly energy opex including facility overhead (PUE)."""
+        if dollars_per_kwh <= 0 or pue < 1.0:
+            raise ConfigError("need positive $/kWh and PUE >= 1")
+        return self.total / 1000.0 * HOURS_PER_YEAR * dollars_per_kwh * pue
+
+
+def server_power(
+    server: ServerModel,
+    ratings: PowerRatings = PowerRatings(),
+    cpu_sockets: int = 2,
+    host_dram_tb: float = 1.5,
+) -> PowerBudget:
+    """Nameplate power of a built server (what is physically installed)."""
+    n_switches = sum(
+        1 for node in server.topology.nodes() if node.kind.value == "switch"
+    )
+    ethernet_ports = len(server.prep_ids) + len(server.pool_fpga_ids)
+    items = {
+        "nn_accelerators": len(server.acc_ids) * ratings.nn_accelerator,
+        "prep_fpgas": (len(server.prep_ids) + len(server.pool_fpga_ids))
+        * ratings.prep_fpga,
+        "host_cpu": cpu_sockets * ratings.cpu_socket,
+        "host_dram": host_dram_tb * ratings.dram_per_tb,
+        "ssds": len(server.ssd_ids) * ratings.nvme_ssd,
+        "pcie_switches": n_switches * ratings.pcie_switch,
+        "ethernet": ethernet_ports * ratings.ethernet_port,
+    }
+    return PowerBudget(server.arch.name, items)
+
+
+def provisioned_cpu_power(
+    required_cores: float,
+    ratings: PowerRatings = PowerRatings(),
+    cores_per_socket: int = 24,
+) -> float:
+    """Watts of the CPU fleet a throughput target would force on the
+    baseline (the Figure 10a cores turned into sockets)."""
+    if required_cores < 0:
+        raise ConfigError("required_cores must be >= 0")
+    sockets = math.ceil(required_cores / cores_per_socket)
+    return sockets * ratings.cpu_socket
+
+
+def prep_power_comparison(
+    required_cores: float,
+    n_fpgas: int,
+    ratings: PowerRatings = PowerRatings(),
+) -> float:
+    """How many times more power CPU-based preparation burns than the
+    FPGA array delivering the same throughput."""
+    if n_fpgas <= 0:
+        raise ConfigError("n_fpgas must be positive")
+    cpu_watts = provisioned_cpu_power(required_cores, ratings)
+    fpga_watts = n_fpgas * ratings.prep_fpga
+    if fpga_watts == 0:
+        raise ConfigError("FPGA power rating is zero")
+    return cpu_watts / fpga_watts

@@ -1,0 +1,136 @@
+"""Total-cost-of-ownership comparison: scale-up vs scale-out (§III-A).
+
+The paper's first argument for scale-up: "we can reduce total cost of
+ownership for host resources; scale-up can amortize host resources while
+scale-out requires dedicated resources for each node (e.g., one node
+with 256 accelerators vs. 256 nodes with one accelerator per node)."
+
+This module builds bills of materials for both organizations from a
+component price table and compares capex and $/throughput.  Prices are
+deliberately coarse (list-price class, in relative dollars); the claim
+the tests pin is the *ratio*: per-accelerator host overhead shrinks
+roughly with the node count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ComponentPrices:
+    """Relative unit prices (USD-class, order-of-magnitude)."""
+
+    nn_accelerator: float = 8_000.0
+    prep_fpga: float = 5_000.0
+    host_cpu_and_board: float = 18_000.0   # 2-socket node: CPUs + board + PSU
+    host_dram_per_tb: float = 4_000.0
+    nvme_ssd: float = 1_200.0
+    pcie_switch: float = 700.0
+    ethernet_nic: float = 900.0
+    tor_switch_port: float 	= 400.0
+    nic_per_node: float = 900.0
+
+    def __post_init__(self) -> None:
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) < 0:
+                raise ConfigError(f"price {name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class BillOfMaterials:
+    """Itemized capex of one deployment."""
+
+    label: str
+    items: Dict[str, float]  # item -> total dollars
+    n_accelerators: int
+
+    @property
+    def total(self) -> float:
+        return sum(self.items.values())
+
+    @property
+    def host_overhead(self) -> float:
+        """Dollars spent on host-side resources (CPU, DRAM, NICs) —
+        the part scale-up amortizes."""
+        return sum(
+            cost
+            for item, cost in self.items.items()
+            if item.startswith(("host_", "nic"))
+        )
+
+    @property
+    def host_overhead_per_accelerator(self) -> float:
+        return self.host_overhead / self.n_accelerators
+
+    def dollars_per_throughput(self, throughput: float) -> float:
+        if throughput <= 0:
+            raise ConfigError("throughput must be positive")
+        return self.total / throughput
+
+
+def trainbox_bom(
+    n_accelerators: int,
+    prices: ComponentPrices = ComponentPrices(),
+    accs_per_box: int = 8,
+    fpgas_per_box: int = 2,
+    ssds_per_box: int = 2,
+    switches_per_box: int = 4,
+    pool_fpgas: int = 0,
+    host_dram_tb: float = 1.5,
+) -> BillOfMaterials:
+    """One TrainBox scale-up node: a single host plus clustered boxes."""
+    if n_accelerators <= 0:
+        raise ConfigError("n_accelerators must be positive")
+    boxes = math.ceil(n_accelerators / accs_per_box)
+    fpgas = boxes * fpgas_per_box + pool_fpgas
+    items = {
+        "nn_accelerators": n_accelerators * prices.nn_accelerator,
+        "prep_fpgas": fpgas * prices.prep_fpga,
+        "host_cpu": prices.host_cpu_and_board,
+        "host_dram": host_dram_tb * prices.host_dram_per_tb,
+        "ssds": boxes * ssds_per_box * prices.nvme_ssd,
+        "pcie_switches": boxes * switches_per_box * prices.pcie_switch,
+        "nics": fpgas * prices.ethernet_nic,
+        "tor_ports": fpgas * prices.tor_switch_port,
+    }
+    return BillOfMaterials("trainbox", items, n_accelerators)
+
+
+def scaleout_bom(
+    n_accelerators: int,
+    prices: ComponentPrices = ComponentPrices(),
+    accs_per_node: int = 1,
+    ssds_per_node: int = 2,
+    host_dram_tb: float = 0.5,
+) -> BillOfMaterials:
+    """A scale-out cluster: every node ships its own host resources."""
+    if n_accelerators <= 0 or accs_per_node <= 0:
+        raise ConfigError("counts must be positive")
+    nodes = math.ceil(n_accelerators / accs_per_node)
+    items = {
+        "nn_accelerators": n_accelerators * prices.nn_accelerator,
+        "host_cpu": nodes * prices.host_cpu_and_board,
+        "host_dram": nodes * host_dram_tb * prices.host_dram_per_tb,
+        "ssds": nodes * ssds_per_node * prices.nvme_ssd,
+        "pcie_switches": nodes * prices.pcie_switch,
+        "nic_per_node": nodes * prices.nic_per_node,
+        "tor_ports": nodes * prices.tor_switch_port,
+    }
+    return BillOfMaterials(f"scale-out({accs_per_node}/node)", items, n_accelerators)
+
+
+def host_amortization_ratio(
+    n_accelerators: int,
+    prices: ComponentPrices = ComponentPrices(),
+    accs_per_node: int = 1,
+) -> float:
+    """How many times more host dollars per accelerator the scale-out
+    organization pays — the §III-A TCO argument, quantified."""
+    up = trainbox_bom(n_accelerators, prices)
+    out = scaleout_bom(n_accelerators, prices, accs_per_node=accs_per_node)
+    return out.host_overhead_per_accelerator / up.host_overhead_per_accelerator

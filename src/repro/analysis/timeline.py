@@ -1,0 +1,90 @@
+"""Text Gantt rendering of DES traces.
+
+Turns the :class:`~repro.core.des.TraceEvent` stream of a pipeline run
+into a monospace timeline — one lane per station plus the iteration
+barrier — so the overlap of next-batch preparation with compute+sync is
+visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import SimulationError
+
+
+def render_timeline(
+    trace: Sequence,
+    width: int = 100,
+    t_start: float = 0.0,
+    t_end: float = None,
+) -> str:
+    """Render a trace into a fixed-width lane chart.
+
+    Busy cells print ``#``; within one lane overlapping events merge.
+    ``t_start``/``t_end`` select the rendered window (defaults to the
+    whole trace).
+    """
+    events = list(trace)
+    if not events:
+        raise SimulationError("empty trace")
+    if width < 10:
+        raise SimulationError("width must be >= 10")
+    if t_end is None:
+        t_end = max(e.end for e in events)
+    if t_end <= t_start:
+        raise SimulationError("t_end must exceed t_start")
+    span = t_end - t_start
+
+    # Accumulate fractional busy coverage per cell so sparse lanes read
+    # as sparse (a cell prints '#' only when it is mostly busy).
+    lanes: Dict[str, List[float]] = {}
+    order: List[str] = []
+    cell_span = span / width
+    for event in events:
+        key = f"{event.kind}:{event.name}"
+        if key not in lanes:
+            lanes[key] = [0.0] * width
+            order.append(key)
+        start = max(event.start, t_start)
+        end = min(event.end, t_end)
+        if end <= start:
+            continue
+        first = int((start - t_start) / cell_span)
+        last = min(width - 1, int((end - t_start - 1e-12) / cell_span))
+        for cell in range(first, last + 1):
+            cell_lo = t_start + cell * cell_span
+            cell_hi = cell_lo + cell_span
+            overlap = min(end, cell_hi) - max(start, cell_lo)
+            lanes[key][cell] += max(0.0, overlap) / cell_span
+
+    label_width = max(len(k) for k in order)
+    lines = [
+        f"{'time':>{label_width}} |{_ruler(width, t_start, t_end)}|"
+    ]
+    for key in order:
+        cells = "".join(
+            "#" if coverage >= 0.5 else ("+" if coverage >= 0.05 else ".")
+            for coverage in lanes[key]
+        )
+        lines.append(f"{key:>{label_width}} |{cells}|")
+    return "\n".join(lines)
+
+
+def _ruler(width: int, t_start: float, t_end: float) -> str:
+    left = f"{t_start:.3g}s"
+    right = f"{t_end:.3g}s"
+    middle = "-" * max(0, width - len(left) - len(right))
+    return (left + middle + right)[:width].ljust(width, "-")
+
+
+def busy_fraction(trace: Iterable, lane_name: str) -> float:
+    """Fraction of the trace's span the named lane is busy."""
+    events = [e for e in trace]
+    if not events:
+        raise SimulationError("empty trace")
+    span = max(e.end for e in events) - min(e.start for e in events)
+    if span <= 0:
+        raise SimulationError("degenerate trace span")
+    busy = sum(e.duration for e in events if e.name == lane_name)
+    return busy / span

@@ -1,0 +1,61 @@
+"""Figure 2a: performance (throughput/power) trends of neural network
+hardware, 2012–2019.
+
+The figure plots two normalized curves on a log axis: neural network
+ASICs improving by more than four orders of magnitude over the decade,
+and accelerator interconnects improving far more slowly.  The points
+below are normalized efficiency estimates anchored on the accelerators
+the paper cites ([2], [5], [6], [11], [21], [27], [29], [33], [47]) and
+the PCIe/NVLink generations; what the reproduction relies on is the
+*relationship* — compute efficiency running away from the general-purpose
+interconnect — which is the root cause of the bottleneck shift.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigError
+
+#: (year, normalized throughput/power, representative part).
+_ASIC_TREND: List[Tuple[int, float, str]] = [
+    (2012, 1.0, "GPU-class baseline (pre-accelerator)"),
+    (2013, 2.5, "quality-programmable vector processors"),
+    (2014, 12.0, "DianNao"),
+    (2015, 60.0, "PuDianNao"),
+    (2016, 350.0, "Eyeriss / PRIME (ReRAM)"),
+    (2017, 2_000.0, "Envision / TPU"),
+    (2018, 9_000.0, "Conv-RAM (in-SRAM compute)"),
+    (2019, 25_000.0, "FPSA (reconfigurable ReRAM)"),
+]
+
+#: (year, normalized bandwidth/power, representative link).
+_INTERCONNECT_TREND: List[Tuple[int, float, str]] = [
+    (2012, 1.0, "PCIe Gen3 x16"),
+    (2014, 1.6, "PCIe Gen3 multi-root"),
+    (2016, 5.0, "NVLink 1.0"),
+    (2017, 7.5, "NVLink 2.0"),
+    (2018, 9.4, "NVSwitch fabric (DGX-2)"),
+    (2019, 12.0, "NVSwitch, wider stacks"),
+]
+
+
+def asic_trend() -> List[Tuple[int, float, str]]:
+    """The ASIC efficiency curve (year, normalized, part)."""
+    return list(_ASIC_TREND)
+
+
+def interconnect_trend() -> List[Tuple[int, float, str]]:
+    """The interconnect efficiency curve (year, normalized, link)."""
+    return list(_INTERCONNECT_TREND)
+
+
+def trend_growth(trend: List[Tuple[int, float, str]]) -> float:
+    """Total growth factor from the first to the last point."""
+    if len(trend) < 2:
+        raise ConfigError("a trend needs at least two points")
+    first = trend[0][1]
+    last = trend[-1][1]
+    if first <= 0:
+        raise ConfigError("trend values must be positive")
+    return last / first

@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``simulate`` — one scenario: workload × architecture × scale.
+* ``sweep``    — throughput vs accelerator count for one workload.
+* ``ladder``   — the Figure 19 optimization ladder for one workload.
+* ``plan``     — the §V-A train-initializer plan (prep-pool sizing,
+  data distribution).
+* ``workloads`` — print Table I.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import format_table
+from repro.core.analytical import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig, PrepDevice
+from repro.core.initializer import TrainInitializer
+from repro.core.server import build_server
+from repro.workloads.registry import TABLE_I, get_workload
+from repro import units
+
+_ARCHS = {
+    "baseline": ArchitectureConfig.baseline,
+    "acc": ArchitectureConfig.baseline_acc,
+    "acc-gpu": lambda: ArchitectureConfig.baseline_acc(PrepDevice.GPU),
+    "p2p": ArchitectureConfig.baseline_acc_p2p,
+    "gen4": ArchitectureConfig.baseline_acc_p2p_gen4,
+    "trainbox": ArchitectureConfig.trainbox,
+    "trainbox-no-pool": lambda: ArchitectureConfig.trainbox(prep_pool=False),
+}
+
+
+def _arch(name: str) -> ArchitectureConfig:
+    try:
+        return _ARCHS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown architecture {name!r}; choose from {sorted(_ARCHS)}"
+        )
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    result = simulate(
+        TrainingScenario(
+            workload, _arch(args.arch), args.accelerators, batch_size=args.batch
+        )
+    )
+    print(f"workload      : {workload.name}")
+    print(f"architecture  : {result.arch_name}")
+    print(f"accelerators  : {result.n_accelerators}")
+    print(f"batch/device  : {result.batch_size}")
+    print(f"throughput    : {result.throughput:,.0f} samples/s")
+    print(f"prep capacity : {result.prep_rate:,.0f} samples/s")
+    print(f"accel demand  : {result.consume_rate:,.0f} samples/s")
+    print(f"bottleneck    : {result.bottleneck}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    arch = _arch(args.arch)
+    rows = []
+    one = simulate(TrainingScenario(workload, arch, 1)).throughput
+    for n in (1, 2, 4, 8, 16, 32, 64, 128, 256):
+        if n > args.accelerators:
+            break
+        result = simulate(TrainingScenario(workload, arch, n))
+        rows.append(
+            [n, f"{result.throughput:,.0f}", f"{result.throughput / one:.1f}x",
+             result.bottleneck]
+        )
+    print(format_table(["accels", "samples/s", "vs 1", "bottleneck"], rows))
+    return 0
+
+
+def _cmd_ladder(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    base = simulate(
+        TrainingScenario(workload, ArchitectureConfig.baseline(), args.accelerators)
+    )
+    rows = []
+    for arch in ArchitectureConfig.figure19_ladder():
+        result = simulate(TrainingScenario(workload, arch, args.accelerators))
+        rows.append(
+            [
+                arch.name,
+                f"{result.throughput:,.0f}",
+                f"{result.speedup_over(base):.1f}x",
+                result.bottleneck,
+            ]
+        )
+    print(format_table(["architecture", "samples/s", "speedup", "bottleneck"], rows))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    server = build_server(ArchitectureConfig.trainbox(), args.accelerators)
+    plan = TrainInitializer(server).plan(workload, num_items=args.items)
+    print(f"required prep throughput : {plan.required_prep_rate:,.0f} samples/s")
+    print(f"in-box FPGA capacity     : {plan.in_box_prep_rate:,.0f} samples/s")
+    print(f"prep-pool FPGAs          : {plan.pool_fpgas_granted} "
+          f"(+{100 * plan.extra_resource_fraction:.0f}%)")
+    print(f"meets target             : {plan.meets_target}")
+    print(f"boxes with data          : {len(plan.shards)}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.session import TrainingSession
+
+    session = TrainingSession(
+        args.workload, args.accelerators, args.arch, batch_size=args.batch
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(session.to_dict(), indent=2))
+    else:
+        print(session.report())
+    return 0
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    rows = [
+        [
+            w.nn_type.value,
+            w.name,
+            w.task,
+            w.batch_size,
+            f"{w.model_bytes / units.MB:.1f}",
+            f"{w.sample_rate:,}",
+        ]
+        for w in TABLE_I.values()
+    ]
+    print(
+        format_table(
+            ["type", "name", "task", "batch", "model MB", "sample/s"], rows
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TrainBox reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("workload", help="Table I workload name (e.g. Resnet-50)")
+        p.add_argument(
+            "-n", "--accelerators", type=int, default=256,
+            help="NN accelerator count (default 256)",
+        )
+
+    p = sub.add_parser("simulate", help="simulate one scenario")
+    common(p)
+    p.add_argument("-a", "--arch", default="trainbox", help=f"one of {sorted(_ARCHS)}")
+    p.add_argument("-b", "--batch", type=int, default=None, help="per-device batch")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("sweep", help="throughput vs accelerator count")
+    common(p)
+    p.add_argument("-a", "--arch", default="baseline")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("ladder", help="the Figure 19 optimization ladder")
+    common(p)
+    p.set_defaults(func=_cmd_ladder)
+
+    p = sub.add_parser("plan", help="train-initializer plan (prep-pool sizing)")
+    common(p)
+    p.add_argument("--items", type=int, default=1_000_000, help="dataset items")
+    p.set_defaults(func=_cmd_plan)
+
+    p = sub.add_parser("report", help="full session report (use --json for machines)")
+    common(p)
+    p.add_argument(
+        "-a", "--arch", default="trainbox",
+        help="baseline | trainbox | trainbox-no-pool",
+    )
+    p.add_argument("-b", "--batch", type=int, default=None)
+    p.add_argument("--json", action="store_true", help="emit JSON")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("workloads", help="print Table I")
+    p.set_defaults(func=_cmd_workloads)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""The analytical steady-state throughput solver.
+
+The training pipeline overlaps data preparation of the next batch with
+computation + synchronization of the current one (next-batch prefetch,
+§II-B), so in steady state:
+
+    system throughput = min(prep capacity, consume capacity)
+
+Consume capacity is ``n · B / (t_compute(B) + t_sync(n, M))``.  Prep
+capacity is the min over every resource on the preparation datapath, each
+priced by :mod:`repro.core.dataflow`:
+
+* host CPU cycles, host memory bytes (finite host budgets);
+* the PCIe fabric: the per-sample flow set routed over the real topology,
+  whose busiest directed link sets the pace;
+* SSD media bandwidth, prep-device compute, the Ethernet prep network,
+  and per-accelerator ingest DMA.
+
+This is the paper's own methodology (§VI-A): "as training is throughput
+oriented, the impact of latency variations on the overall throughput is
+small thanks to pipelining/next-batch prefetching".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigError, SimulationError
+from repro.core.config import (
+    ArchitectureConfig,
+    HardwareConfig,
+    SyncStrategy,
+)
+from repro.core.dataflow import DataflowDemand, build_demand
+from repro.core.results import SimulationResult
+from repro.core.server import ServerModel, build_server
+from repro.pcie.traffic import bottleneck_link, completion_time
+from repro.sync.model import (
+    CentralSyncModel,
+    RingSyncModel,
+    SyncModel,
+    TreeSyncModel,
+)
+from repro.workloads.registry import Workload
+
+
+@dataclass(frozen=True)
+class TrainingScenario:
+    """One simulation request.
+
+    ``batch_size`` defaults to the workload's Table I batch;
+    ``accelerator`` selects "tpu" (Table I rates) or "legacy-gpu" (the
+    Figure 3 "Current platform" Titan-XP-class device);
+    ``fabric_bandwidth`` overrides the accelerator-interconnect speed
+    (Figure 3's +ICN step).
+    """
+
+    workload: Workload
+    arch: ArchitectureConfig
+    n_accelerators: int
+    batch_size: Optional[int] = None
+    hw: Optional[HardwareConfig] = None
+    accelerator: str = "tpu"
+    fabric_bandwidth: Optional[float] = None
+    pool_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_accelerators <= 0:
+            raise ConfigError("n_accelerators must be positive")
+        if self.batch_size is not None and self.batch_size <= 0:
+            raise ConfigError("batch_size must be positive")
+        if self.accelerator not in ("tpu", "legacy-gpu"):
+            raise ConfigError(f"unknown accelerator {self.accelerator!r}")
+
+
+def make_sync_model(
+    strategy: SyncStrategy, bandwidth: float
+) -> SyncModel:
+    """Instantiate the synchronization model for a strategy."""
+    if strategy is SyncStrategy.RING:
+        return RingSyncModel(bandwidth=bandwidth)
+    if strategy is SyncStrategy.TREE:
+        return TreeSyncModel(bandwidth=bandwidth)
+    return CentralSyncModel(bandwidth=bandwidth)
+
+
+def prep_capacity(
+    server: ServerModel, demand: DataflowDemand
+) -> Tuple[float, Dict[str, float]]:
+    """Preparation-side throughput and the per-resource rate table."""
+    hw = server.hw
+    rates: Dict[str, float] = {}
+
+    cycles = demand.total_cpu_cycles
+    rates["host_cpu"] = (
+        server.cpu.cycle_budget / cycles if cycles > 0 else math.inf
+    )
+    mem = demand.total_mem_bytes
+    rates["host_memory"] = (
+        server.dram.bandwidth / mem if mem > 0 else math.inf
+    )
+
+    per_sample_pcie = completion_time(server.topology, demand.pcie_flows)
+    rates["pcie"] = 1.0 / per_sample_pcie if per_sample_pcie > 0 else math.inf
+
+    # SSD media: price each drive against the volume the flow set
+    # actually sources from it, so unbalanced layouts (e.g. a degraded
+    # box running on one surviving SSD) are charged correctly.
+    ssd_set = set(server.ssd_ids)
+    per_ssd: Dict[str, float] = {}
+    for flow in demand.pcie_flows:
+        if flow.src in ssd_set and flow.volume > 0:
+            per_ssd[flow.src] = per_ssd.get(flow.src, 0.0) + flow.volume
+    if per_ssd:
+        rates["ssd"] = min(
+            server.ssd_of(sid).read_bandwidth / volume
+            for sid, volume in per_ssd.items()
+        )
+    elif demand.ssd_read_bytes > 0:
+        rates["ssd"] = server.aggregate_ssd_bandwidth() / demand.ssd_read_bytes
+    else:
+        rates["ssd"] = math.inf
+
+    rates["prep_compute"] = demand.prep_device_rate
+
+    if demand.ethernet_flows and server.prep_network is not None:
+        eth_time = server.prep_network.completion_time(demand.ethernet_flows)
+        rates["prep_network"] = 1.0 / eth_time if eth_time > 0 else math.inf
+    else:
+        rates["prep_network"] = math.inf
+
+    # Per-accelerator ingest DMA: each device absorbs its share.
+    per_acc_bytes = demand.bytes_to_accelerator / demand.n_accelerators
+    rates["accelerator_ingest"] = (
+        demand.n_accelerators * hw.accelerator_ingest_bandwidth
+        / demand.bytes_to_accelerator
+        if demand.bytes_to_accelerator > 0
+        else math.inf
+    )
+    del per_acc_bytes
+
+    rate = min(rates.values())
+    if rate <= 0:
+        raise SimulationError(f"non-positive prep rate: {rates}")
+    return rate, rates
+
+
+def pcie_bottleneck_link(server: ServerModel, demand: DataflowDemand) -> str:
+    """Human-readable id of the busiest directed PCIe link for a demand
+    (what a ``bottleneck == "pcie"`` result actually means)."""
+    worst = bottleneck_link(server.topology, demand.pcie_flows)
+    return str(worst[0]) if worst else ""
+
+
+def simulate(
+    scenario: TrainingScenario, server: Optional[ServerModel] = None
+) -> SimulationResult:
+    """Run the analytical model for one scenario.
+
+    Pass a prebuilt ``server`` to amortize topology construction across a
+    sweep (it must match the scenario's architecture and scale).
+    """
+    workload = scenario.workload
+    hw = scenario.hw or HardwareConfig()
+    if server is None:
+        server = build_server(
+            scenario.arch,
+            scenario.n_accelerators,
+            hw=hw,
+            pool_size=scenario.pool_size,
+        )
+    elif server.n_accelerators != scenario.n_accelerators:
+        raise ConfigError(
+            f"server has {server.n_accelerators} accelerators, scenario "
+            f"wants {scenario.n_accelerators}"
+        )
+
+    demand = build_demand(server, workload)
+    prep_rate, resource_rates = prep_capacity(server, demand)
+
+    batch = scenario.batch_size or workload.batch_size
+    if scenario.accelerator == "tpu":
+        spec = workload.accelerator_spec()
+    else:
+        spec = workload.legacy_accelerator_spec()
+    compute_time = spec.compute_time(batch)
+
+    fabric = scenario.fabric_bandwidth or hw.accelerator_fabric_bandwidth
+    sync_model = make_sync_model(scenario.arch.sync, fabric)
+    sync_time = sync_model.time(scenario.n_accelerators, workload.model_bytes)
+
+    consume_rate = (
+        scenario.n_accelerators * batch / (compute_time + sync_time)
+    )
+    throughput = min(prep_rate, consume_rate)
+    if prep_rate < consume_rate:
+        bottleneck = min(resource_rates, key=resource_rates.get)
+        if bottleneck == "pcie":
+            link = pcie_bottleneck_link(server, demand)
+            if link:
+                bottleneck = f"pcie ({link})"
+    else:
+        bottleneck = "accelerator"
+
+    return SimulationResult(
+        workload_name=workload.name,
+        arch_name=scenario.arch.name,
+        n_accelerators=scenario.n_accelerators,
+        batch_size=batch,
+        throughput=throughput,
+        prep_rate=prep_rate,
+        consume_rate=consume_rate,
+        bottleneck=bottleneck,
+        compute_time=compute_time,
+        sync_time=sync_time,
+        resource_rates=resource_rates,
+    )

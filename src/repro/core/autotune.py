@@ -1,0 +1,144 @@
+"""Configuration search: the cheapest TrainBox recipe that meets target.
+
+The paper fixes one train-box recipe (8 accelerators, 2 FPGAs, 2 SSDs,
+Gen3) and sizes the prep-pool per job (§V-A).  A deployer's question is
+the inverse: given a workload mix and an accelerator count, which box
+recipe and pool size reach the accelerator-bound target at the lowest
+capex?  This module grid-searches the small design space with the
+analytical engine and prices candidates with the TCO model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.analysis.tco import ComponentPrices, trainbox_bom
+from repro.core.analytical import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig, HardwareConfig
+from repro.pcie.link import PcieGen
+from repro.workloads.registry import Workload
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One evaluated design point."""
+
+    fpgas_per_box: int
+    ssds_per_box: int
+    pcie_gen: PcieGen
+    pool_fpgas: int
+    achieved_fraction: float  # of the accelerator-bound target
+    capex: float
+    bottleneck: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.fpgas_per_box} FPGA/box, {self.ssds_per_box} SSD/box, "
+            f"{self.pcie_gen.name}, pool={self.pool_fpgas}"
+        )
+
+
+@dataclass(frozen=True)
+class AutotuneResult:
+    """The chosen design plus the full frontier for inspection."""
+
+    best: Candidate
+    candidates: Tuple[Candidate, ...]
+
+    def feasible(self) -> List[Candidate]:
+        return [c for c in self.candidates if c.achieved_fraction >= self.target]
+
+    target: float = 0.95
+
+
+def autotune(
+    workloads: Sequence[Workload],
+    n_accelerators: int,
+    target_fraction: float = 0.95,
+    fpga_options: Iterable[int] = (1, 2, 4),
+    ssd_options: Iterable[int] = (1, 2, 4),
+    gen_options: Iterable[PcieGen] = (PcieGen.GEN3, PcieGen.GEN4),
+    pool_options: Iterable[int] = (0, 16, 32, 64, 96),
+    prices: ComponentPrices = ComponentPrices(),
+    base_hw: Optional[HardwareConfig] = None,
+) -> AutotuneResult:
+    """Find the cheapest recipe meeting ``target_fraction`` of the
+    accelerator-bound target for *every* given workload.
+
+    Returns the full candidate list (worst-workload fraction per point)
+    so callers can inspect the cost/performance frontier.
+    """
+    if not workloads:
+        raise ConfigError("need at least one workload")
+    if not 0 < target_fraction <= 1:
+        raise ConfigError("target_fraction must be in (0, 1]")
+    if n_accelerators <= 0:
+        raise ConfigError("n_accelerators must be positive")
+    base_hw = base_hw or HardwareConfig()
+
+    candidates: List[Candidate] = []
+    for fpgas in fpga_options:
+        for ssds in ssd_options:
+            for gen in gen_options:
+                hw = dataclasses.replace(
+                    base_hw, fpgas_per_train_box=fpgas, ssds_per_train_box=ssds
+                )
+                arch = dataclasses.replace(
+                    ArchitectureConfig.trainbox(),
+                    pcie_gen=gen,
+                    name=f"trainbox[{fpgas}f/{ssds}s/{gen.name}]",
+                )
+                for pool in pool_options:
+                    worst = 1.0
+                    worst_bottleneck = "accelerator"
+                    for workload in workloads:
+                        result = simulate(
+                            TrainingScenario(
+                                workload, arch, n_accelerators,
+                                hw=hw, pool_size=pool,
+                            )
+                        )
+                        fraction = result.throughput / (
+                            n_accelerators * workload.sample_rate
+                        )
+                        if fraction < worst:
+                            worst = fraction
+                            worst_bottleneck = result.bottleneck
+                    import math
+
+                    boxes = math.ceil(n_accelerators / base_hw.accs_per_box)
+                    bom = trainbox_bom(
+                        n_accelerators,
+                        prices=prices,
+                        fpgas_per_box=fpgas,
+                        ssds_per_box=ssds,
+                        pool_fpgas=pool,
+                    )
+                    # Gen4 switches/links carry a cost premium.
+                    capex = bom.total
+                    if gen is PcieGen.GEN4:
+                        capex += boxes * 4 * prices.pcie_switch  # premium parts
+                    candidates.append(
+                        Candidate(
+                            fpgas_per_box=fpgas,
+                            ssds_per_box=ssds,
+                            pcie_gen=gen,
+                            pool_fpgas=pool,
+                            achieved_fraction=worst,
+                            capex=capex,
+                            bottleneck=worst_bottleneck,
+                        )
+                    )
+
+    feasible = [c for c in candidates if c.achieved_fraction >= target_fraction]
+    if feasible:
+        best = min(feasible, key=lambda c: (c.capex, -c.achieved_fraction))
+    else:
+        # Nothing meets target: return the best-performing point.
+        best = max(candidates, key=lambda c: (c.achieved_fraction, -c.capex))
+    return AutotuneResult(
+        best=best, candidates=tuple(candidates), target=target_fraction
+    )

@@ -1,0 +1,207 @@
+"""Hardware constants and architecture configurations.
+
+The hardware defaults describe the paper's profiling host (a DGX-2-class
+machine: two-socket Xeon with 48 physical cores, 239 GB/s of memory
+bandwidth) and the box geometry of §V-D: eight NN accelerators per box
+behind PEX8796-class switches, two NVMe SSDs and two FPGAs per train box,
+boxes daisy-chained from the root complex.
+
+Architecture configurations name the evaluated designs: the Figure 19
+ladder (Baseline → +Acc → +P2P → +Gen4 → TrainBox) and the Figure 21
+variants (GPU-based acceleration, TrainBox without the prep-pool).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro import units
+from repro.pcie.link import PcieGen
+
+#: DGX-2 reference host resources the paper normalizes against (§III-C).
+DGX2_CORES = 48
+DGX2_MEMORY_BANDWIDTH = 239 * units.GB
+#: Aggregate PCIe bandwidth at a DGX-2-class root complex used as the
+#: Figure 10c normalization reference.
+DGX2_PCIE_BANDWIDTH = 112 * units.GB
+
+
+class PrepDevice(enum.Enum):
+    """Where data-preparation compute runs."""
+
+    CPU = "cpu"
+    FPGA = "fpga"
+    GPU = "gpu"
+
+
+class SyncStrategy(enum.Enum):
+    """Model-synchronization strategy (Figure 3's optimization ladder)."""
+
+    CENTRAL = "central"
+    TREE = "tree"
+    RING = "ring"
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Physical constants of the simulated machine."""
+
+    # Host.
+    cpu_cores: int = DGX2_CORES
+    cpu_frequency: float = 2.5 * units.GHZ
+    memory_bandwidth: float = DGX2_MEMORY_BANDWIDTH
+
+    # Root complex ports per device group (chains hang off these).
+    acc_root_ports: int = 8
+    prep_root_ports: int = 4
+    ssd_root_ports: int = 2
+
+    # Box geometry (§V-D).
+    accs_per_box: int = 8
+    fpgas_per_train_box: int = 2
+    ssds_per_train_box: int = 2
+    prep_devices_per_box: int = 8
+    ssds_per_ssd_box: int = 8
+    max_boxes_per_chain: int = 4
+
+    # Prep-accelerator provisioning for the non-clustered configs: the
+    # paper's GPU experiment uses a 1:4 prep:NN-accelerator ratio (§VI-D)
+    # and TrainBox itself ships 2 FPGAs per 8 accelerators.
+    prep_per_acc_ratio: float = 0.25
+
+    # Devices.
+    ssd_read_bandwidth: float = 3.2 * units.GB
+    accelerator_ingest_bandwidth: float = 16 * units.GB
+
+    # Interconnects.
+    pcie_lanes: int = 16
+    accelerator_fabric_bandwidth: float = 150 * units.GB
+    ethernet_bandwidth: float = 12.5 * units.GB  # 100 GbE (§IV-D)
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "cpu_cores",
+            "acc_root_ports",
+            "prep_root_ports",
+            "ssd_root_ports",
+            "accs_per_box",
+            "fpgas_per_train_box",
+            "ssds_per_train_box",
+            "prep_devices_per_box",
+            "ssds_per_ssd_box",
+            "max_boxes_per_chain",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ConfigError(f"{attr} must be positive")
+        if not 0 < self.prep_per_acc_ratio <= 1:
+            raise ConfigError("prep_per_acc_ratio must be in (0, 1]")
+
+
+class Architecture(enum.Enum):
+    """Named architecture configurations from the evaluation."""
+
+    BASELINE = "baseline"
+    BASELINE_ACC = "baseline+acc"
+    BASELINE_ACC_P2P = "baseline+acc+p2p"
+    BASELINE_ACC_P2P_GEN4 = "baseline+acc+p2p+gen4"
+    TRAINBOX_NO_POOL = "trainbox-no-pool"
+    TRAINBOX = "trainbox"
+
+
+@dataclass(frozen=True)
+class ArchitectureConfig:
+    """Feature switches that define one evaluated architecture.
+
+    ``clustering`` implies the train-box layout; without it, devices are
+    grouped in type-homogeneous boxes chained from the root complex.
+    """
+
+    name: str
+    prep_device: PrepDevice = PrepDevice.CPU
+    p2p: bool = False
+    clustering: bool = False
+    prep_pool: bool = False
+    pcie_gen: PcieGen = PcieGen.GEN3
+    sync: SyncStrategy = SyncStrategy.RING
+
+    def __post_init__(self) -> None:
+        if self.clustering and self.prep_device is PrepDevice.CPU:
+            raise ConfigError("clustering requires hardware prep acceleration")
+        if self.clustering and not self.p2p:
+            raise ConfigError("the train-box datapath is peer-to-peer by design")
+        if self.prep_pool and not self.clustering:
+            raise ConfigError("the prep-pool attaches to train boxes")
+        if self.p2p and self.prep_device is PrepDevice.CPU:
+            raise ConfigError("P2P needs a device-side P2P handler (FPGA)")
+        if self.p2p and self.prep_device is PrepDevice.GPU:
+            raise ConfigError(
+                "GPUs only support P2P with selected device pairs (§V-B); "
+                "the generic SSD→prep→accelerator path needs an FPGA"
+            )
+
+    @staticmethod
+    def baseline() -> "ArchitectureConfig":
+        """CPU data preparation, staged through host memory."""
+        return ArchitectureConfig(name=Architecture.BASELINE.value)
+
+    @staticmethod
+    def baseline_acc(
+        device: PrepDevice = PrepDevice.FPGA,
+    ) -> "ArchitectureConfig":
+        """Step 1 (§IV-B): offload prep compute to PCIe accelerators."""
+        if device is PrepDevice.CPU:
+            raise ConfigError("baseline_acc needs a hardware prep device")
+        suffix = "" if device is PrepDevice.FPGA else f"({device.value})"
+        return ArchitectureConfig(
+            name=Architecture.BASELINE_ACC.value + suffix, prep_device=device
+        )
+
+    @staticmethod
+    def baseline_acc_p2p() -> "ArchitectureConfig":
+        """Step 2 (§IV-C): direct SSD→FPGA→accelerator transfers."""
+        return ArchitectureConfig(
+            name=Architecture.BASELINE_ACC_P2P.value,
+            prep_device=PrepDevice.FPGA,
+            p2p=True,
+        )
+
+    @staticmethod
+    def baseline_acc_p2p_gen4() -> "ArchitectureConfig":
+        """The Figure 19 what-if: double every PCIe link instead of
+        restructuring the datapath."""
+        return ArchitectureConfig(
+            name=Architecture.BASELINE_ACC_P2P_GEN4.value,
+            prep_device=PrepDevice.FPGA,
+            p2p=True,
+            pcie_gen=PcieGen.GEN4,
+        )
+
+    @staticmethod
+    def trainbox(prep_pool: bool = True) -> "ArchitectureConfig":
+        """Step 3 (§IV-D): communication-aware clustering, optionally with
+        the Ethernet prep-pool."""
+        name = (
+            Architecture.TRAINBOX.value
+            if prep_pool
+            else Architecture.TRAINBOX_NO_POOL.value
+        )
+        return ArchitectureConfig(
+            name=name,
+            prep_device=PrepDevice.FPGA,
+            p2p=True,
+            clustering=True,
+            prep_pool=prep_pool,
+        )
+
+    @staticmethod
+    def figure19_ladder() -> list:
+        """The five configurations of Figure 19, in order."""
+        return [
+            ArchitectureConfig.baseline(),
+            ArchitectureConfig.baseline_acc(),
+            ArchitectureConfig.baseline_acc_p2p(),
+            ArchitectureConfig.baseline_acc_p2p_gen4(),
+            ArchitectureConfig.trainbox(),
+        ]

@@ -1,0 +1,295 @@
+"""Per-architecture datapaths → per-sample resource demands.
+
+For each architecture the module answers: when one training sample moves
+from storage to an accelerator, how many host-CPU cycles, host-memory
+bytes, PCIe link-bytes (as routed flows on the real topology), SSD media
+bytes, prep-device cycles and Ethernet bytes does it cost — and which
+*category* does each contribution belong to (the categories of
+Figures 11 and 22: SSD read, data formatting, data augmentation, data
+load, data copy, others)?
+
+The paper's three optimizations are visible directly in the flow sets:
+
+* Baseline stages everything through host DRAM, so the RC carries the
+  compressed input up and the prepared batch down, and the CPU pays for
+  the whole pipeline.
+* +Acc reroutes compute to prep boxes but *doubles* RC traffic
+  (SSD→host→prep→host→accelerator, §IV-D).
+* +P2P removes the DRAM staging (memory drops to ~0) but the prep boxes
+  are still siblings of the accelerator boxes, so every byte still
+  crosses the RC — which is why P2P alone does not help throughput
+  (§VI-C).
+* Clustering co-locates the datapath under one box switch: the flows'
+  lowest common ancestors drop below the RC and the chain links empty
+  out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+from repro.core.config import ArchitectureConfig, PrepDevice
+from repro.core.server import ServerModel
+from repro.dataprep.cost import (
+    DeviceProfile,
+    PipelineCost,
+    profile_by_name,
+)
+from repro.network.ethernet import EthernetFlow
+from repro.network.preppool import pool_fpgas_needed
+from repro.pcie.traffic import Flow
+from repro.workloads.registry import Workload
+
+# Categories used in the paper's resource-decomposition figures.
+CATEGORIES = (
+    "ssd_read",
+    "formatting",
+    "augmentation",
+    "data_load",
+    "data_copy",
+    "others",
+)
+
+#: Op kinds that count as formatting vs augmentation (Figure 17's two
+#: engines: Decoder/Crop/Spectrogram/Mel format; the rest augment).
+FORMATTING_KINDS = ("decode", "crop", "spectrogram", "mel")
+AUGMENTATION_KINDS = ("mirror", "noise", "cast", "masking", "norm")
+
+#: Host cycles per staged copy per sample (DMA descriptor setup, buffer
+#: management).
+COPY_MGMT_CYCLES = 3_000.0
+
+#: Framework/scheduler cycles per sample in the baseline software stack.
+OTHERS_CYCLES_BASELINE = 20_000.0
+
+#: The same after TrainBox removes most user/kernel switching (§V-A).
+OTHERS_CYCLES_OFFLOADED = 4_000.0
+
+
+@dataclass
+class DataflowDemand:
+    """Everything one sample costs, split by resource and category."""
+
+    workload: Workload
+    arch: ArchitectureConfig
+    n_accelerators: int
+
+    cpu_cycles: Dict[str, float]
+    mem_bytes: Dict[str, float]
+    pcie_flows: List[Flow]
+    ethernet_flows: List[EthernetFlow]
+
+    ssd_read_bytes: float
+    bytes_to_accelerator: float
+    pipeline_cost: PipelineCost
+
+    prep_profile: DeviceProfile
+    n_prep_devices: int
+    n_pool_devices: int
+
+    #: The server's PCIe topology, kept for flow routing/accounting.
+    topology: object = field(default=None, repr=False)
+
+    @property
+    def total_cpu_cycles(self) -> float:
+        return sum(self.cpu_cycles.values())
+
+    @property
+    def total_mem_bytes(self) -> float:
+        return sum(self.mem_bytes.values())
+
+    @property
+    def prep_device_rate(self) -> float:
+        """Aggregate samples/s the prep devices (incl. pool) can compute."""
+        if self.prep_profile.name == "cpu-core":
+            return math.inf  # priced through cpu_cycles instead
+        per_device = self.prep_profile.sample_rate(self.pipeline_cost)
+        return (self.n_prep_devices + self.n_pool_devices) * per_device
+
+    def rc_bytes_per_sample(self, by_category: bool = False):
+        """Per-sample traffic on the links adjacent to the root complex,
+        both directions summed — the Figure 10c quantity.
+
+        Counting *directed RC-port loads* (rather than flows that merely
+        mention the RC) is what exposes the paper's P2P finding: a P2P
+        flow SSD→prep loads one RC port up and another down, exactly like
+        the two staged copies it replaces, so P2P alone leaves RC
+        pressure unchanged (§VI-C).  With ``by_category`` returns a
+        ``{category: bytes}`` dict instead of the total.
+        """
+        from repro.pcie.routing import route
+
+        totals: Dict[str, float] = {}
+        root_id = self.topology.root.node_id
+        for flow in self.pcie_flows:
+            if flow.src == flow.dst:
+                continue
+            label = flow.label or "others"
+            for hop in route(self.topology, flow.src, flow.dst):
+                if hop.link.parent_id == root_id:
+                    totals[label] = totals.get(label, 0.0) + flow.volume
+        if by_category:
+            return totals
+        return sum(totals.values())
+
+
+def _split_pipeline(cost: PipelineCost) -> Tuple[PipelineCost, PipelineCost]:
+    return cost.split(FORMATTING_KINDS), cost.split(AUGMENTATION_KINDS)
+
+
+def build_demand(
+    server: ServerModel, workload: Workload
+) -> DataflowDemand:
+    """Per-sample demand of running ``workload`` on ``server``."""
+    arch = server.arch
+    n = server.n_accelerators
+    sample_spec = workload.dataset_sample_spec()
+    pipeline = workload.prep_pipeline()
+    cost = pipeline.cost(sample_spec)
+    fmt, aug = _split_pipeline(cost)
+    compressed = sample_spec.nbytes
+    prepared = cost.bytes_out
+
+    cpu: Dict[str, float] = {c: 0.0 for c in CATEGORIES}
+    mem: Dict[str, float] = {c: 0.0 for c in CATEGORIES}
+    flows: List[Flow] = []
+    eth_flows: List[EthernetFlow] = []
+    acc_ids = server.acc_ids
+    ssd_ids = server.ssd_ids
+    prep_ids = server.prep_ids
+
+    # NVMe driver cost: any SSD object works, they are homogeneous.
+    driver_cycles = server.ssd_of(ssd_ids[0]).host_driver_cycles(compressed)
+
+    profile = profile_by_name(
+        "cpu-core"
+        if arch.prep_device is PrepDevice.CPU
+        else arch.prep_device.value
+    )
+    n_pool = 0
+
+    if arch.prep_device is PrepDevice.CPU:
+        # ---- Baseline: everything through the host -------------------
+        cpu["ssd_read"] = driver_cycles
+        cpu["formatting"] = fmt.cpu_cycles
+        cpu["augmentation"] = aug.cpu_cycles
+        cpu["data_load"] = COPY_MGMT_CYCLES
+        cpu["others"] = OTHERS_CYCLES_BASELINE
+
+        mem["ssd_read"] = compressed           # DMA write into DRAM
+        mem["formatting"] = fmt.mem_traffic
+        mem["augmentation"] = aug.mem_traffic
+        mem["data_load"] = prepared            # accelerator DMA read
+
+        for sid in ssd_ids:
+            flows.append(Flow(sid, server.host_id, compressed / len(ssd_ids), label="ssd_read"))
+        for aid in acc_ids:
+            flows.append(Flow(server.host_id, aid, prepared / n, label="data_load"))
+
+    elif not arch.clustering:
+        # ---- B+Acc / B+Acc+P2P / +Gen4 -------------------------------
+        if not prep_ids:
+            raise ConfigError("prep acceleration requires prep devices")
+        cpu["others"] = (
+            OTHERS_CYCLES_OFFLOADED if arch.p2p else OTHERS_CYCLES_BASELINE
+        )
+        if not arch.p2p:
+            # Host still drives NVMe and stages both copies.
+            cpu["ssd_read"] = driver_cycles
+            cpu["data_copy"] = 2 * COPY_MGMT_CYCLES
+            cpu["data_load"] = COPY_MGMT_CYCLES
+
+            mem["ssd_read"] = compressed
+            mem["data_copy"] = compressed + prepared  # DRAM→prep, prep→DRAM
+            mem["data_load"] = prepared
+
+            for sid in ssd_ids:
+                flows.append(Flow(sid, server.host_id, compressed / len(ssd_ids), label="ssd_read"))
+            for pid in prep_ids:
+                flows.append(Flow(server.host_id, pid, compressed / len(prep_ids), label="data_copy"))
+                flows.append(Flow(pid, server.host_id, prepared / len(prep_ids), label="data_copy"))
+            for aid in acc_ids:
+                flows.append(Flow(server.host_id, aid, prepared / n, label="data_load"))
+        else:
+            # P2P: SSD→prep and prep→accelerator directly; the host only
+            # orchestrates.  The flows still climb to the RC because the
+            # boxes are type-grouped siblings.
+            share = compressed / (len(prep_ids) * len(ssd_ids))
+            for pid in prep_ids:
+                for sid in ssd_ids:
+                    flows.append(Flow(sid, pid, share, label="ssd_read"))
+            for i, aid in enumerate(acc_ids):
+                pid = prep_ids[i % len(prep_ids)]
+                flows.append(Flow(pid, aid, prepared / n, label="data_load"))
+
+    else:
+        # ---- TrainBox: clustered boxes, optional prep-pool -----------
+        per_fpga_rate = profile.sample_rate(cost)
+        required_rate = n * workload.sample_rate
+        in_box_rate = len(prep_ids) * per_fpga_rate
+        if arch.prep_pool:
+            wanted = pool_fpgas_needed(required_rate, in_box_rate, per_fpga_rate)
+            n_pool = min(wanted, len(server.pool_fpga_ids))
+        cpu["others"] = OTHERS_CYCLES_OFFLOADED
+
+        # Fraction of samples each box must offload to the pool.
+        pool_rate = n_pool * per_fpga_rate
+        offload_fraction = (
+            pool_rate / required_rate if required_rate > 0 else 0.0
+        )
+        offload_fraction = min(offload_fraction, 1.0)
+
+        for box_index, box in enumerate(server.boxes):
+            if not box.acc_ids:
+                continue
+            box_share = len(box.acc_ids) / n
+            n_box_ssd = len(box.ssd_ids)
+            n_box_fpga = len(box.prep_ids)
+            if not n_box_ssd or not n_box_fpga:
+                raise ConfigError(f"train box {box.box_id} missing SSDs or FPGAs")
+            for fid in box.prep_ids:
+                for sid in box.ssd_ids:
+                    flows.append(
+                        Flow(
+                            sid,
+                            fid,
+                            compressed * box_share / (n_box_ssd * n_box_fpga),
+                            label="ssd_read",
+                        )
+                    )
+            for i, aid in enumerate(box.acc_ids):
+                fid = box.prep_ids[i % n_box_fpga]
+                flows.append(Flow(fid, aid, prepared / n, label="data_load"))
+            if offload_fraction > 0 and n_pool:
+                for j, fid in enumerate(box.prep_ids):
+                    out_vol = compressed * box_share * offload_fraction / n_box_fpga
+                    in_vol = prepared * box_share * offload_fraction / n_box_fpga
+                    # Deterministic round-robin spread of box FPGAs over
+                    # pool FPGAs (str hash() is process-randomized and
+                    # would make Ethernet loads vary across runs).
+                    pool_id = server.pool_fpga_ids[
+                        (box_index * n_box_fpga + j) % n_pool
+                    ]
+                    eth_flows.append(EthernetFlow(fid, pool_id, out_vol))
+                    eth_flows.append(EthernetFlow(pool_id, fid, in_vol))
+
+    demand = DataflowDemand(
+        workload=workload,
+        arch=arch,
+        n_accelerators=n,
+        cpu_cycles=cpu,
+        mem_bytes=mem,
+        pcie_flows=flows,
+        ethernet_flows=eth_flows,
+        ssd_read_bytes=compressed,
+        bytes_to_accelerator=prepared,
+        pipeline_cost=cost,
+        prep_profile=profile,
+        n_prep_devices=len(prep_ids),
+        n_pool_devices=n_pool,
+        topology=server.topology,
+    )
+    return demand

@@ -1,0 +1,103 @@
+"""Fault injection: degraded operation of a TrainBox server.
+
+Production racks lose devices.  The clustered design degrades
+gracefully: an SSD failure halves a box's read bandwidth (after
+resharding its data onto the surviving drive), an FPGA failure halves a
+box's preparation compute (the prep-pool can absorb it), and an
+accelerator failure shrinks the job.  This module injects such faults
+into a built server and lets the ordinary engines price the result —
+the tests assert throughput degrades by bounded, explainable amounts and
+never silently collapses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigError
+from repro.core.server import BoxInfo, ServerModel
+
+
+@dataclass(frozen=True)
+class FaultSet:
+    """Devices to fail, by endpoint id."""
+
+    device_ids: frozenset
+
+    @staticmethod
+    def of(*device_ids: str) -> "FaultSet":
+        return FaultSet(frozenset(device_ids))
+
+    def __len__(self) -> int:
+        return len(self.device_ids)
+
+
+def inject_faults(server: ServerModel, faults: FaultSet) -> ServerModel:
+    """A degraded copy of ``server`` with the failed devices removed from
+    every box registry (the PCIe topology object is shared — dead
+    endpoints simply no longer source or sink traffic).
+
+    Raises :class:`ConfigError` if a fault would leave a box unable to
+    function at all (no SSD or no FPGA while it still has accelerators),
+    mirroring the operational rule that such a box is drained instead.
+    """
+    known = (
+        set(server.acc_ids) | set(server.prep_ids) | set(server.ssd_ids)
+    )
+    unknown = faults.device_ids - known
+    if unknown:
+        raise ConfigError(f"unknown devices in fault set: {sorted(unknown)}")
+
+    degraded_boxes: List[BoxInfo] = []
+    for box in server.boxes:
+        acc = [a for a in box.acc_ids if a not in faults.device_ids]
+        prep = [p for p in box.prep_ids if p not in faults.device_ids]
+        ssd = [s for s in box.ssd_ids if s not in faults.device_ids]
+        if acc and box.ssd_ids and not ssd:
+            raise ConfigError(
+                f"box {box.box_id} lost every SSD; drain it instead"
+            )
+        if acc and box.prep_ids and not prep:
+            raise ConfigError(
+                f"box {box.box_id} lost every FPGA; drain it instead"
+            )
+        degraded_boxes.append(
+            BoxInfo(
+                box_id=box.box_id,
+                switch_id=box.switch_id,
+                acc_ids=acc,
+                prep_ids=prep,
+                ssd_ids=ssd,
+            )
+        )
+    return ServerModel(
+        arch=server.arch,
+        hw=server.hw,
+        topology=server.topology,
+        boxes=degraded_boxes,
+        cpu=server.cpu,
+        dram=server.dram,
+        prep_network=server.prep_network,
+        pool_fpga_ids=list(server.pool_fpga_ids),
+    )
+
+
+def drain_box(server: ServerModel, box_id: str) -> ServerModel:
+    """Remove a whole box from service (its devices stop participating);
+    the standard response to an unrecoverable box fault."""
+    if box_id not in {b.box_id for b in server.boxes}:
+        raise ConfigError(f"unknown box: {box_id}")
+    remaining = [b for b in server.boxes if b.box_id != box_id]
+    if not any(b.acc_ids for b in remaining):
+        raise ConfigError("draining the last accelerator box")
+    return ServerModel(
+        arch=server.arch,
+        hw=server.hw,
+        topology=server.topology,
+        boxes=remaining,
+        cpu=server.cpu,
+        dram=server.dram,
+        prep_network=server.prep_network,
+        pool_fpga_ids=list(server.pool_fpga_ids),
+    )

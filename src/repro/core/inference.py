@@ -1,0 +1,95 @@
+"""Inference serving on the same architectures (§II-A).
+
+The paper focuses on training "although our insight is generally
+applicable to the inference as well."  This module checks that claim:
+inference removes synchronization and the backward pass (forward-only
+compute is ≈3× faster per sample), which *raises* per-accelerator sample
+demand and makes the data-preparation wall hit even earlier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.core.analytical import prep_capacity
+from repro.core.config import ArchitectureConfig, HardwareConfig
+from repro.core.dataflow import build_demand
+from repro.core.results import SimulationResult
+from repro.core.server import ServerModel, build_server
+from repro.workloads.registry import Workload
+
+#: forward+backward ≈ 3× forward: dropping the backward pass gives the
+#: accelerator roughly this throughput multiplier for inference.
+FORWARD_ONLY_SPEEDUP = 3.0
+
+
+@dataclass(frozen=True)
+class InferenceScenario:
+    """A batched-inference serving job."""
+
+    workload: Workload
+    arch: ArchitectureConfig
+    n_accelerators: int
+    batch_size: Optional[int] = None
+    hw: Optional[HardwareConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.n_accelerators <= 0:
+            raise ConfigError("n_accelerators must be positive")
+        if self.batch_size is not None and self.batch_size <= 0:
+            raise ConfigError("batch_size must be positive")
+
+
+def simulate_inference(
+    scenario: InferenceScenario, server: Optional[ServerModel] = None
+) -> SimulationResult:
+    """Steady-state inference throughput: no synchronization, forward-only
+    compute, identical preparation datapath."""
+    workload = scenario.workload
+    hw = scenario.hw or HardwareConfig()
+    if server is None:
+        server = build_server(scenario.arch, scenario.n_accelerators, hw=hw)
+    elif server.n_accelerators != scenario.n_accelerators:
+        raise ConfigError("server scale does not match the scenario")
+
+    demand = build_demand(server, workload)
+    prep_rate, resource_rates = prep_capacity(server, demand)
+
+    # Inference typically serves smaller batches; default to 1/16 of the
+    # training batch (still large enough to amortize the device).
+    batch = scenario.batch_size or max(1, workload.batch_size // 16)
+    spec = workload.accelerator_spec()
+    forward_spec = replace(
+        spec,
+        name=spec.name + "/inference",
+        sample_rate=spec.sample_rate * FORWARD_ONLY_SPEEDUP,
+    )
+    compute_time = forward_spec.compute_time(batch)
+    consume_rate = scenario.n_accelerators * batch / compute_time
+
+    throughput = min(prep_rate, consume_rate)
+    if prep_rate < consume_rate:
+        bottleneck = min(resource_rates, key=resource_rates.get)
+        if bottleneck == "pcie":
+            from repro.core.analytical import pcie_bottleneck_link
+
+            link = pcie_bottleneck_link(server, demand)
+            if link:
+                bottleneck = f"pcie ({link})"
+    else:
+        bottleneck = "accelerator"
+    return SimulationResult(
+        workload_name=workload.name,
+        arch_name=scenario.arch.name + "/inference",
+        n_accelerators=scenario.n_accelerators,
+        batch_size=batch,
+        throughput=throughput,
+        prep_rate=prep_rate,
+        consume_rate=consume_rate,
+        bottleneck=bottleneck,
+        compute_time=compute_time,
+        sync_time=0.0,
+        resource_rates=resource_rates,
+    )

@@ -1,0 +1,152 @@
+"""The train initializer (§V-A).
+
+Before training starts, the initializer:
+
+1. measures per-batch execution time by feeding dummy batches to an
+   accelerator (here: the calibrated accelerator spec),
+2. computes the required data-preparation throughput from that time and
+   the synchronization model,
+3. sizes a prep-pool request — shortfall divided by per-FPGA throughput —
+   and allocates it from the global pool,
+4. distributes the training data across the SSDs of each train box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.core.server import ServerModel
+from repro.datasets.storage import DataShard, shard_dataset
+from repro.dataprep.cost import profile_by_name
+from repro.network.preppool import PoolAllocation, PrepPool, pool_fpgas_needed
+from repro.sync.model import RingSyncModel
+from repro.workloads.registry import Workload
+
+
+@dataclass(frozen=True)
+class TrainPlan:
+    """The initializer's output for one training job."""
+
+    job_id: str
+    workload_name: str
+    n_accelerators: int
+    batch_size: int
+
+    per_batch_time: float
+    sync_time: float
+    required_prep_rate: float
+    in_box_prep_rate: float
+    per_fpga_rate: float
+
+    pool_fpgas_requested: int
+    pool_grant: Optional[PoolAllocation]
+    shards: Dict[str, List[DataShard]] = field(default_factory=dict)
+
+    @property
+    def pool_fpgas_granted(self) -> int:
+        return self.pool_grant.count if self.pool_grant else 0
+
+    @property
+    def prep_rate_with_pool(self) -> float:
+        return self.in_box_prep_rate + self.pool_fpgas_granted * self.per_fpga_rate
+
+    @property
+    def meets_target(self) -> bool:
+        """Will preparation compute keep up with the accelerators?"""
+        return self.prep_rate_with_pool >= self.required_prep_rate * (1 - 1e-9)
+
+    @property
+    def extra_resource_fraction(self) -> float:
+        """Pool resources as a fraction of in-box resources — the paper
+        reports Transformer-SR needing 54% more FPGA resources (§VI-D)."""
+        if self.in_box_prep_rate <= 0:
+            raise ConfigError("no in-box prep resources")
+        return self.pool_fpgas_granted * self.per_fpga_rate / self.in_box_prep_rate
+
+
+class TrainInitializer:
+    """Plans jobs on a TrainBox server and manages its prep-pool."""
+
+    def __init__(self, server: ServerModel) -> None:
+        if not server.arch.clustering:
+            raise ConfigError("the train initializer targets TrainBox servers")
+        self.server = server
+        self.pool = PrepPool(list(server.pool_fpga_ids))
+
+    def plan(
+        self,
+        workload: Workload,
+        num_items: int,
+        job_id: str = "job0",
+        batch_size: Optional[int] = None,
+    ) -> TrainPlan:
+        """Initialize one training job (§V-A steps 1–4)."""
+        server = self.server
+        n = server.n_accelerators
+        batch = batch_size or workload.batch_size
+
+        # Step 1-2: dummy-batch timing + sync model → required throughput.
+        spec = workload.accelerator_spec()
+        per_batch = spec.compute_time(batch)
+        sync = RingSyncModel(
+            bandwidth=server.hw.accelerator_fabric_bandwidth
+        ).time(n, workload.model_bytes)
+        required = n * batch / (per_batch + sync)
+
+        # Step 3: pool sizing.
+        cost = workload.prep_pipeline().cost(workload.dataset_sample_spec())
+        per_fpga = profile_by_name("fpga").sample_rate(cost)
+        in_box = len(server.prep_ids) * per_fpga
+        requested = pool_fpgas_needed(required, in_box, per_fpga)
+        grant: Optional[PoolAllocation] = None
+        if requested and server.arch.prep_pool:
+            grant = self.pool.allocate(job_id, min(requested, self.pool.available))
+
+        # Step 4: distribute data to each box's SSDs, sized by the box's
+        # accelerator share so sequential reads stay local and balanced.
+        shards: Dict[str, List[DataShard]] = {}
+        start = 0
+        boxes = [b for b in server.boxes if b.acc_ids]
+        remaining = num_items
+        for i, box in enumerate(boxes):
+            if i == len(boxes) - 1:
+                count = remaining
+            else:
+                count = round(num_items * len(box.acc_ids) / n)
+            count = min(count, remaining)
+            if count > 0:
+                box_shards = shard_dataset(count, box.ssd_ids)
+                # Re-base the shard ranges onto global item indices.
+                rebased = [
+                    DataShard(
+                        s.ssd_id,
+                        range(start + s.item_indices.start, start + s.item_indices.stop),
+                    )
+                    for s in box_shards
+                ]
+                shards[box.box_id] = rebased
+                start += count
+                remaining -= count
+        if remaining != 0:
+            raise ConfigError(f"sharding left {remaining} items unassigned")
+
+        return TrainPlan(
+            job_id=job_id,
+            workload_name=workload.name,
+            n_accelerators=n,
+            batch_size=batch,
+            per_batch_time=per_batch,
+            sync_time=sync,
+            required_prep_rate=required,
+            in_box_prep_rate=in_box,
+            per_fpga_rate=per_fpga,
+            pool_fpgas_requested=requested,
+            pool_grant=grant,
+            shards=shards,
+        )
+
+    def release(self, job_id: str) -> None:
+        """Return a finished job's pool FPGAs."""
+        self.pool.release(job_id)

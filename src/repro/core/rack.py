@@ -1,0 +1,193 @@
+"""Rack-scale TrainBox and multi-job scheduling (§V-D, footnote 2).
+
+A TrainBox rack is a TrainBox-CPU plus a set of train boxes on a
+top-of-rack Ethernet switch.  The paper sketches three prep-pool
+realizations; this module implements two of them together:
+
+* an **external pool** (disaggregated FPGA boxes under the rack), and
+* **borrowing from underutilized train boxes**: "if a single TrainBox
+  rack serves multiple jobs or some train boxes are unused, we can
+  leverage FPGAs in underutilized train boxes as a prep-pool."
+
+Jobs are placed at box granularity (a box's accelerators belong to one
+job — the clustered datapath makes boxes independent, which is also why
+a job's performance equals that of a standalone TrainBox of its size).
+The paper's footnote-2 observation that multi-job training has *lower*
+synchronization overhead per job falls out naturally: each job's ring
+only spans its own accelerators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import CapacityError, ConfigError
+from repro.core.analytical import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig, HardwareConfig
+from repro.core.results import SimulationResult
+from repro.dataprep.cost import profile_by_name
+from repro.network.preppool import pool_fpgas_needed
+from repro.workloads.registry import Workload
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One training job submitted to the rack."""
+
+    job_id: str
+    workload: Workload
+    n_accelerators: int
+    batch_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_accelerators <= 0:
+            raise ConfigError("n_accelerators must be positive")
+
+
+@dataclass(frozen=True)
+class JobPlacement:
+    """Where a job landed and how it performs."""
+
+    job_id: str
+    box_ids: tuple
+    pool_fpgas_borrowed: int
+    borrowed_from_idle_boxes: int
+    borrowed_from_external: int
+    result: SimulationResult
+
+    @property
+    def n_boxes(self) -> int:
+        return len(self.box_ids)
+
+
+class TrainBoxRack:
+    """A rack of train boxes serving multiple concurrent jobs."""
+
+    def __init__(
+        self,
+        n_boxes: int = 32,
+        hw: Optional[HardwareConfig] = None,
+        external_pool_fpgas: int = 0,
+    ) -> None:
+        if n_boxes <= 0:
+            raise ConfigError("a rack needs at least one box")
+        if external_pool_fpgas < 0:
+            raise ConfigError("external_pool_fpgas must be >= 0")
+        self.hw = hw or HardwareConfig()
+        self.n_boxes = n_boxes
+        self.external_pool_total = external_pool_fpgas
+        self._external_free = external_pool_fpgas
+        # Boxes are interchangeable; track them by synthetic id.
+        self._free_boxes: List[str] = [f"rackbox{i}" for i in range(n_boxes)]
+        self._placements: Dict[str, JobPlacement] = {}
+        # FPGAs lent out of idle boxes, per lending job bookkeeping.
+        self._idle_fpgas_lent = 0
+
+    # -- capacity queries -------------------------------------------------
+
+    @property
+    def accs_per_box(self) -> int:
+        return self.hw.accs_per_box
+
+    @property
+    def fpgas_per_box(self) -> int:
+        return self.hw.fpgas_per_train_box
+
+    @property
+    def free_boxes(self) -> int:
+        return len(self._free_boxes)
+
+    @property
+    def idle_fpgas_available(self) -> int:
+        """FPGAs in currently idle boxes, minus those already lent."""
+        return self.free_boxes * self.fpgas_per_box - self._idle_fpgas_lent
+
+    @property
+    def external_fpgas_available(self) -> int:
+        return self._external_free
+
+    def utilization(self) -> float:
+        """Fraction of the rack's boxes running jobs."""
+        return (self.n_boxes - self.free_boxes) / self.n_boxes
+
+    def placements(self) -> List[JobPlacement]:
+        return list(self._placements.values())
+
+    # -- scheduling ---------------------------------------------------------
+
+    def submit(self, request: JobRequest) -> JobPlacement:
+        """Place a job on free boxes, borrowing prep throughput from the
+        external pool first, then from idle boxes' FPGAs."""
+        if request.job_id in self._placements:
+            raise ConfigError(f"job {request.job_id} already placed")
+        boxes_needed = math.ceil(request.n_accelerators / self.accs_per_box)
+        if boxes_needed > self.free_boxes:
+            raise CapacityError(
+                f"job {request.job_id} needs {boxes_needed} boxes, "
+                f"{self.free_boxes} free"
+            )
+        # FPGAs lent to running jobs pin their (idle) boxes: placing this
+        # job must leave enough idle FPGA capacity to honor the loans.
+        remaining_idle = (self.free_boxes - boxes_needed) * self.fpgas_per_box
+        if remaining_idle < self._idle_fpgas_lent:
+            raise CapacityError(
+                f"job {request.job_id} would displace "
+                f"{self._idle_fpgas_lent - remaining_idle} FPGAs lent to "
+                "running jobs"
+            )
+        granted_boxes = tuple(self._free_boxes[:boxes_needed])
+
+        # Size the prep shortfall exactly like the train initializer.
+        workload = request.workload
+        cost = workload.prep_pipeline().cost(workload.dataset_sample_spec())
+        per_fpga = profile_by_name("fpga").sample_rate(cost)
+        in_box = boxes_needed * self.fpgas_per_box * per_fpga
+        required = request.n_accelerators * workload.sample_rate
+        wanted = pool_fpgas_needed(required, in_box, per_fpga)
+
+        # Idle-box inventory must be evaluated *after* this job claims
+        # its boxes, so remove them before counting lenders.
+        del self._free_boxes[:boxes_needed]
+        from_external = min(wanted, self._external_free)
+        from_idle = min(wanted - from_external, self.idle_fpgas_available)
+        borrowed = from_external + from_idle
+        self._external_free -= from_external
+        self._idle_fpgas_lent += from_idle
+
+        # The clustered datapath makes boxes self-contained, so a job on
+        # k boxes performs exactly like a standalone k-box TrainBox with
+        # `borrowed` pool FPGAs; simulate that equivalent server.
+        result = simulate(
+            TrainingScenario(
+                workload,
+                ArchitectureConfig.trainbox(),
+                request.n_accelerators,
+                batch_size=request.batch_size,
+                hw=self.hw,
+                pool_size=borrowed,
+            )
+        )
+        placement = JobPlacement(
+            job_id=request.job_id,
+            box_ids=granted_boxes,
+            pool_fpgas_borrowed=borrowed,
+            borrowed_from_idle_boxes=from_idle,
+            borrowed_from_external=from_external,
+            result=result,
+        )
+        self._placements[request.job_id] = placement
+        return placement
+
+    def finish(self, job_id: str) -> None:
+        """Release a finished job's boxes and borrowed FPGAs."""
+        try:
+            placement = self._placements.pop(job_id)
+        except KeyError:
+            raise ConfigError(f"job {job_id} is not running") from None
+        self._free_boxes.extend(placement.box_ids)
+        self._external_free += placement.borrowed_from_external
+        self._idle_fpgas_lent -= placement.borrowed_from_idle_boxes
+        if self._idle_fpgas_lent < 0:
+            raise ConfigError("idle-FPGA ledger went negative (bug)")

@@ -1,0 +1,155 @@
+"""Host-resource accounting: the quantities behind Figures 9–11 and 22.
+
+Three views:
+
+* :func:`host_requirements` — what a target throughput *demands* of the
+  host (Figure 10: required cores / memory BW / PCIe BW at the RC,
+  normalized to a DGX-2);
+* :func:`resource_breakdown` — per-category decomposition of each host
+  resource (Figures 11 and 22);
+* :func:`latency_decomposition` — the serialized per-stage latency stack
+  for one global batch (Figures 3 and 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import SimulationError
+from repro.core.config import (
+    DGX2_CORES,
+    DGX2_MEMORY_BANDWIDTH,
+    DGX2_PCIE_BANDWIDTH,
+    HardwareConfig,
+    PrepDevice,
+)
+from repro.core.dataflow import CATEGORIES, DataflowDemand
+from repro.core.results import HostRequirements, LatencyDecomposition
+from repro.core.server import ServerModel
+from repro.pcie.traffic import completion_time
+
+
+def host_requirements(
+    demand: DataflowDemand,
+    target_rate: float,
+    cpu_frequency: float = 2.5e9,
+) -> HostRequirements:
+    """Host resources needed to sustain ``target_rate`` samples/s.
+
+    ``target_rate`` is typically ``n_accelerators × workload.sample_rate``
+    — what the accelerators *could* consume if preparation kept up, which
+    is exactly the "required" framing of Figure 10.
+    """
+    if target_rate <= 0:
+        raise SimulationError("target_rate must be positive")
+    cores = demand.total_cpu_cycles * target_rate / cpu_frequency
+    mem_bw = demand.total_mem_bytes * target_rate
+    pcie_bw = demand.rc_bytes_per_sample() * target_rate
+    return HostRequirements(
+        target_rate=target_rate,
+        required_cores=cores,
+        required_memory_bandwidth=mem_bw,
+        required_pcie_bandwidth=pcie_bw,
+        normalized_cores=cores / DGX2_CORES,
+        normalized_memory_bandwidth=mem_bw / DGX2_MEMORY_BANDWIDTH,
+        normalized_pcie_bandwidth=pcie_bw / DGX2_PCIE_BANDWIDTH,
+    )
+
+
+def cores_per_accelerator(
+    demand: DataflowDemand,
+    per_accelerator_rate: float,
+    cpu_frequency: float = 2.5e9,
+) -> float:
+    """CPU cores one accelerator's data preparation keeps busy.
+
+    §III-C contrasts DGX-2's 3:1 core:GPU provisioning with the 18.9:1
+    ratio that high-performance accelerators force — which is this
+    quantity for the worst Table I workload (RNN-S).
+    """
+    if per_accelerator_rate <= 0:
+        raise SimulationError("per_accelerator_rate must be positive")
+    return demand.total_cpu_cycles * per_accelerator_rate / cpu_frequency
+
+
+def resource_breakdown(demand: DataflowDemand) -> Dict[str, Dict[str, float]]:
+    """Per-sample host-resource cost split by category.
+
+    Returns ``{"cpu": {...}, "memory": {...}, "pcie": {...}}`` where each
+    inner dict maps the Figure 11/22 categories to absolute per-sample
+    cost (cycles, bytes, RC bytes).  Divide two architectures' tables to
+    get the Figure 22 normalized view; normalize one table to its own sum
+    for the Figure 11 shares.
+    """
+    pcie = {c: 0.0 for c in CATEGORIES}
+    pcie.update(demand.rc_bytes_per_sample(by_category=True))
+    return {
+        "cpu": dict(demand.cpu_cycles),
+        "memory": dict(demand.mem_bytes),
+        "pcie": pcie,
+    }
+
+
+def shares(table: Dict[str, float]) -> Dict[str, float]:
+    """Normalize a category table to fractions of its sum (Figure 11)."""
+    total = sum(table.values())
+    if total <= 0:
+        raise SimulationError("cannot normalize an empty table")
+    return {k: v / total for k, v in table.items()}
+
+
+def latency_decomposition(
+    server: ServerModel,
+    demand: DataflowDemand,
+    compute_time: float,
+    sync_time: float,
+    batch_size: int,
+) -> LatencyDecomposition:
+    """Serialized stage times for one global batch (Figures 3 and 9).
+
+    The preparation stages are shown as if they ran back to back
+    (transfer, then formatting, then augmentation) — the decomposition
+    view the paper plots; the overlap law is applied by the throughput
+    solver, not here.
+    """
+    n_samples = server.n_accelerators * batch_size
+
+    fmt_cost = demand.pipeline_cost.split(
+        ("decode", "crop", "spectrogram", "mel")
+    )
+    aug_cost = demand.pipeline_cost.split(
+        ("mirror", "noise", "cast", "masking", "norm")
+    )
+
+    if demand.arch.prep_device is PrepDevice.CPU:
+        budget = server.cpu.cycle_budget
+        t_fmt = fmt_cost.cpu_cycles * n_samples / budget
+        t_aug = aug_cost.cpu_cycles * n_samples / budget
+    else:
+        profile = demand.prep_profile
+        devices = demand.n_prep_devices + demand.n_pool_devices
+        per_device = profile.reference_frequency
+        t_fmt = (
+            profile.effective_cycles(fmt_cost) * n_samples / (devices * per_device)
+        )
+        t_aug = (
+            profile.effective_cycles(aug_cost) * n_samples / (devices * per_device)
+        )
+
+    # Transfer: the slowest movement resource, serialized for the batch.
+    per_sample_times = [
+        completion_time(server.topology, demand.pcie_flows),
+        demand.ssd_read_bytes / server.aggregate_ssd_bandwidth(),
+    ]
+    mem = demand.total_mem_bytes
+    if mem > 0:
+        per_sample_times.append(mem / server.dram.bandwidth)
+    t_transfer = max(per_sample_times) * n_samples
+
+    return LatencyDecomposition(
+        data_transfer=t_transfer,
+        data_formatting=t_fmt,
+        data_augmentation=t_aug,
+        model_computation=compute_time,
+        model_synchronization=sync_time,
+    )

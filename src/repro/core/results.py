@@ -1,0 +1,112 @@
+"""Result containers for the simulation engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one analytical simulation run.
+
+    Rates are samples/second; times are seconds.  ``resource_rates`` maps
+    every prep-side resource to the throughput it alone would allow, so
+    ``prep_rate == min(resource_rates.values())`` and ``bottleneck`` names
+    the argmin (or ``"accelerator"`` when the consume side is slower).
+    """
+
+    workload_name: str
+    arch_name: str
+    n_accelerators: int
+    batch_size: int
+
+    throughput: float
+    prep_rate: float
+    consume_rate: float
+    bottleneck: str
+
+    compute_time: float
+    sync_time: float
+    resource_rates: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def prep_bound(self) -> bool:
+        """True when data preparation limits the system (the paper's
+        central observation at scale)."""
+        return self.prep_rate < self.consume_rate
+
+    @property
+    def iteration_time(self) -> float:
+        """Steady-state time per iteration (global batch)."""
+        if self.throughput <= 0:
+            raise SimulationError("throughput is zero; no steady state")
+        return self.n_accelerators * self.batch_size / self.throughput
+
+    def speedup_over(self, other: "SimulationResult") -> float:
+        if other.throughput <= 0:
+            raise SimulationError("reference throughput is zero")
+        return self.throughput / other.throughput
+
+
+@dataclass(frozen=True)
+class HostRequirements:
+    """Host resources a target throughput would demand (Figure 10)."""
+
+    target_rate: float
+    required_cores: float
+    required_memory_bandwidth: float
+    required_pcie_bandwidth: float
+
+    normalized_cores: float
+    normalized_memory_bandwidth: float
+    normalized_pcie_bandwidth: float
+
+
+@dataclass(frozen=True)
+class LatencyDecomposition:
+    """Per-global-batch stage times (Figures 3 and 9).
+
+    The decomposition is the serialized-stage view the paper plots:
+    transfer + formatting + augmentation for preparation, then model
+    computation and synchronization.
+    """
+
+    data_transfer: float
+    data_formatting: float
+    data_augmentation: float
+    model_computation: float
+    model_synchronization: float
+
+    @property
+    def preparation(self) -> float:
+        return self.data_transfer + self.data_formatting + self.data_augmentation
+
+    @property
+    def others(self) -> float:
+        return self.model_computation + self.model_synchronization
+
+    @property
+    def total(self) -> float:
+        return self.preparation + self.others
+
+    @property
+    def prep_fraction(self) -> float:
+        if self.total == 0:
+            raise SimulationError("empty decomposition")
+        return self.preparation / self.total
+
+    def shares(self) -> Dict[str, float]:
+        """Each stage as a fraction of the total (the 100% stack)."""
+        total = self.total
+        if total == 0:
+            raise SimulationError("empty decomposition")
+        return {
+            "data_transfer": self.data_transfer / total,
+            "data_formatting": self.data_formatting / total,
+            "data_augmentation": self.data_augmentation / total,
+            "model_computation": self.model_computation / total,
+            "model_synchronization": self.model_synchronization / total,
+        }

@@ -1,0 +1,146 @@
+"""Scale-out (multi-node) training, the §III-A comparison point.
+
+The paper motivates scale-up with an MLPerf observation: "a scale-out
+system with 96 DGX-2 shows only 39.7× improvement over one DGX-2".  The
+mechanism is strong scaling over a slow inter-node fabric: the global
+batch is fixed, so per-node work shrinks ~N× while the inter-node ring
+all-reduce — over 100 Gb/s NICs instead of NVLink — does not, and
+synchronization swallows the speedup.
+
+This module models a cluster of scale-up nodes joined by a hierarchical
+ring: a fast intra-node reduce (NVLink class), an inter-node ring over
+the NICs, then an intra-node broadcast.  Data preparation is per-node
+(each node ships its own host; that is the TCO cost §III-A charges
+scale-out with).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro import units
+from repro.sync.model import RingSyncModel
+from repro.workloads.registry import Workload
+
+
+@dataclass(frozen=True)
+class ScaleOutConfig:
+    """A cluster of identical scale-up nodes."""
+
+    accs_per_node: int = 16                  # DGX-2
+    nic_bandwidth: float = 12.5 * units.GB   # one 100 Gb/s NIC (§III-A)
+    intra_node_bandwidth: float = 150 * units.GB
+    nic_latency: float = 5e-6                    # RDMA-class per step
+
+    def __post_init__(self) -> None:
+        if self.accs_per_node <= 0:
+            raise ConfigError("accs_per_node must be positive")
+        if self.nic_bandwidth <= 0 or self.intra_node_bandwidth <= 0:
+            raise ConfigError("bandwidths must be positive")
+
+
+@dataclass(frozen=True)
+class ScaleOutResult:
+    """Strong-scaling outcome for one node count."""
+
+    n_nodes: int
+    n_accelerators: int
+    per_acc_batch: int
+    compute_time: float
+    sync_time: float
+    throughput: float
+    speedup_over_one_node: float
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup divided by the node count (1.0 = perfect scaling)."""
+        return self.speedup_over_one_node / self.n_nodes
+
+
+def hierarchical_sync_time(
+    config: ScaleOutConfig, n_nodes: int, model_bytes: float
+) -> float:
+    """Intra-node ring reduce + inter-node ring + intra-node broadcast.
+
+    The intra-node phases move the gradient across the fast fabric; the
+    inter-node ring moves ``2·M·(N-1)/N`` bytes per node over the NICs —
+    the dominant term for any real N.
+    """
+    if n_nodes < 1:
+        raise ConfigError("n_nodes must be positive")
+    intra = RingSyncModel(bandwidth=config.intra_node_bandwidth)
+    inter = RingSyncModel(
+        bandwidth=config.nic_bandwidth, step_latency=config.nic_latency
+    )
+    intra_time = intra.time(config.accs_per_node, model_bytes)
+    inter_time = inter.time(n_nodes, model_bytes) if n_nodes > 1 else 0.0
+    # Reduce-to-node-leader + broadcast ≈ one full intra ring's volume.
+    return intra_time + inter_time
+
+
+def simulate_scaleout(
+    workload: Workload,
+    n_nodes: int,
+    config: Optional[ScaleOutConfig] = None,
+    global_batch: Optional[int] = None,
+    max_batch_growth: float = 4.0,
+) -> ScaleOutResult:
+    """The MLPerf time-to-train regime: the global batch may grow with
+    the cluster only up to an accuracy-preserving cap
+    (``max_batch_growth`` × one node's batch — the large-batch recipes
+    of §II-B stop helping eventually), after which adding nodes shrinks
+    per-accelerator batches while the NIC-bound sync cost persists."""
+    if n_nodes < 1:
+        raise ConfigError("n_nodes must be positive")
+    if max_batch_growth < 1:
+        raise ConfigError("max_batch_growth must be >= 1")
+    config = config or ScaleOutConfig()
+    n_accs = n_nodes * config.accs_per_node
+    if global_batch is None:
+        one_node_batch = workload.batch_size * config.accs_per_node
+        global_batch = int(
+            min(one_node_batch * n_nodes, one_node_batch * max_batch_growth)
+        )
+    per_acc = max(1, global_batch // n_accs)
+
+    spec = workload.accelerator_spec()
+    compute = spec.compute_time(per_acc)
+    sync = hierarchical_sync_time(config, n_nodes, workload.model_bytes)
+    throughput = n_accs * per_acc / (compute + sync)
+
+    one_spec_batch = max(1, global_batch // config.accs_per_node)
+    one_compute = spec.compute_time(one_spec_batch)
+    one_sync = hierarchical_sync_time(config, 1, workload.model_bytes)
+    one_node = config.accs_per_node * one_spec_batch / (one_compute + one_sync)
+
+    return ScaleOutResult(
+        n_nodes=n_nodes,
+        n_accelerators=n_accs,
+        per_acc_batch=per_acc,
+        compute_time=compute,
+        sync_time=sync,
+        throughput=throughput,
+        speedup_over_one_node=throughput / one_node,
+    )
+
+
+def scaleup_equivalent_speedup(
+    workload: Workload, n_accelerators: int, accs_per_node: int = 16
+) -> float:
+    """The scale-up counterpart: one node grows to ``n_accelerators`` on
+    the NVLink-class fabric with weak scaling (per-device batch held at
+    the Table I value), normalized to one ``accs_per_node`` node."""
+    if n_accelerators <= 0:
+        raise ConfigError("n_accelerators must be positive")
+    spec = workload.accelerator_spec()
+    ring = RingSyncModel()
+    batch = workload.batch_size
+
+    def node_rate(n: int) -> float:
+        compute = spec.compute_time(batch)
+        sync = ring.time(n, workload.model_bytes)
+        return n * batch / (compute + sync)
+
+    return node_rate(n_accelerators) / node_rate(accs_per_node)

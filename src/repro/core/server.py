@@ -1,0 +1,324 @@
+"""Server topology builders for every evaluated architecture.
+
+Two families (§III-A and §IV-D):
+
+* the **baseline family** groups devices by type — accelerator boxes, SSD
+  boxes and (once acceleration is enabled) preparation boxes — and chains
+  each group's boxes from dedicated root-complex ports;
+* **TrainBox** clusters by datapath: each train box holds eight NN
+  accelerators, two FPGAs and two SSDs behind one box switch, so the
+  SSD→FPGA→accelerator path never climbs above the box.
+
+Box internals follow §V-D: a PEX8796-class switch has six links (one up,
+five down), so four accelerators and an FPGA share a leaf switch, two
+leaf switches plus the SSD switch hang from the box's top switch, and the
+top switch exposes the box's uplink/downlink pair for chaining.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigError
+from repro.core.config import ArchitectureConfig, HardwareConfig, PrepDevice
+from repro.devices.accelerator import AcceleratorSpec, NNAccelerator
+from repro.devices.cpu import HostCpu
+from repro.devices.dram import HostDram
+from repro.devices.fpga import FpgaDevice
+from repro.devices.gpu_prep import GpuPrepDevice
+from repro.devices.ssd import NvmeSsd
+from repro.network.ethernet import EthernetLink, EthernetSwitch, StarNetwork
+from repro.pcie.address import enumerate_topology
+from repro.pcie.link import PcieGen
+from repro.pcie.topology import Endpoint, PcieTopology, RootComplex, Switch
+
+#: Placeholder spec attached to accelerator endpoints; the engines use
+#: the workload's own calibrated spec, never this one.
+_GENERIC_ACC_SPEC = AcceleratorSpec(
+    name="generic", sample_rate=5000, reference_batch=2048
+)
+
+
+@dataclass
+class BoxInfo:
+    """Devices grouped in one physical box."""
+
+    box_id: str
+    switch_id: str
+    acc_ids: List[str] = field(default_factory=list)
+    prep_ids: List[str] = field(default_factory=list)
+    ssd_ids: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ServerModel:
+    """A fully built server: topology + device registries + host."""
+
+    arch: ArchitectureConfig
+    hw: HardwareConfig
+    topology: PcieTopology
+    boxes: List[BoxInfo]
+    cpu: HostCpu
+    dram: HostDram
+    prep_network: Optional[StarNetwork] = None
+    pool_fpga_ids: List[str] = field(default_factory=list)
+
+    host_id: str = "rc"
+
+    @property
+    def acc_ids(self) -> List[str]:
+        return [a for box in self.boxes for a in box.acc_ids]
+
+    @property
+    def prep_ids(self) -> List[str]:
+        return [p for box in self.boxes for p in box.prep_ids]
+
+    @property
+    def ssd_ids(self) -> List[str]:
+        return [s for box in self.boxes for s in box.ssd_ids]
+
+    @property
+    def n_accelerators(self) -> int:
+        return len(self.acc_ids)
+
+    def aggregate_ssd_bandwidth(self) -> float:
+        return len(self.ssd_ids) * self.hw.ssd_read_bandwidth
+
+    def ssd_of(self, device_id: str) -> NvmeSsd:
+        device = self.topology.node(device_id).device
+        if not isinstance(device, NvmeSsd):
+            raise ConfigError(f"{device_id} is not an SSD")
+        return device
+
+
+def _build_type_box(
+    topology: PcieTopology,
+    box_id: str,
+    parent: str,
+    endpoint_ids: List[str],
+    devices: List[object],
+    gen: PcieGen,
+    lanes: int,
+) -> BoxInfo:
+    """A box of homogeneous devices: top switch + leaf switches of ≤4."""
+    top = topology.attach(Switch(f"{box_id}", max_links=6), parent, gen=gen, lanes=lanes)
+    info = BoxInfo(box_id=box_id, switch_id=top.node_id)
+    for leaf_idx in range(0, len(endpoint_ids), 4):
+        leaf = topology.attach(
+            Switch(f"{box_id}.s{leaf_idx // 4}", max_links=6),
+            top.node_id,
+            gen=gen,
+            lanes=lanes,
+        )
+        for eid, dev in zip(
+            endpoint_ids[leaf_idx : leaf_idx + 4], devices[leaf_idx : leaf_idx + 4]
+        ):
+            topology.attach(Endpoint(eid, device=dev), leaf.node_id, gen=gen, lanes=lanes)
+    return info
+
+
+def build_server(
+    arch: ArchitectureConfig,
+    n_accelerators: int,
+    hw: Optional[HardwareConfig] = None,
+    pool_size: Optional[int] = None,
+) -> ServerModel:
+    """Build the server for ``arch`` with ``n_accelerators`` NN devices.
+
+    ``pool_size`` bounds the prep-pool (TrainBox only); it defaults to the
+    in-box FPGA population, which is ample for every Table I workload.
+    """
+    if n_accelerators <= 0:
+        raise ConfigError("need at least one accelerator")
+    hw = hw or HardwareConfig()
+    gen = arch.pcie_gen
+    lanes = hw.pcie_lanes
+
+    total_ports = hw.acc_root_ports + hw.prep_root_ports + hw.ssd_root_ports
+    topology = PcieTopology(RootComplex("rc", max_links=total_ports + 2))
+    boxes: List[BoxInfo] = []
+
+    if arch.clustering:
+        boxes = _build_train_boxes(topology, arch, hw, n_accelerators, gen, lanes)
+    else:
+        boxes = _build_type_grouped(topology, arch, hw, n_accelerators, gen, lanes)
+
+    topology.validate()
+    enumerate_topology(topology)
+
+    prep_network: Optional[StarNetwork] = None
+    pool_ids: List[str] = []
+    if arch.clustering:
+        prep_network = StarNetwork(EthernetSwitch("tor", ports=4096))
+        for box in boxes:
+            for fpga_id in box.prep_ids:
+                prep_network.attach(
+                    EthernetLink(fpga_id, bandwidth=hw.ethernet_bandwidth)
+                )
+        if arch.prep_pool:
+            # The pool is a rack-external, shared resource (§V-D offers
+            # disaggregated FPGA racks); default to twice the in-box
+            # population, enough for every Table I workload.
+            in_box = sum(len(b.prep_ids) for b in boxes)
+            count = pool_size if pool_size is not None else 2 * in_box
+            for i in range(count):
+                pid = f"pool_fpga{i}"
+                pool_ids.append(pid)
+                prep_network.attach(
+                    EthernetLink(pid, bandwidth=hw.ethernet_bandwidth)
+                )
+
+    return ServerModel(
+        arch=arch,
+        hw=hw,
+        topology=topology,
+        boxes=boxes,
+        cpu=HostCpu(cores=hw.cpu_cores, frequency=hw.cpu_frequency),
+        dram=HostDram(bandwidth=hw.memory_bandwidth),
+        prep_network=prep_network,
+        pool_fpga_ids=pool_ids,
+    )
+
+
+def _build_type_grouped(
+    topology: PcieTopology,
+    arch: ArchitectureConfig,
+    hw: HardwareConfig,
+    n_accelerators: int,
+    gen: PcieGen,
+    lanes: int,
+) -> List[BoxInfo]:
+    """Baseline family: accelerator boxes, SSD boxes, prep boxes."""
+    boxes: List[BoxInfo] = []
+
+    # Accelerator boxes.
+    n_acc_boxes = math.ceil(n_accelerators / hw.accs_per_box)
+    parents = _acc_chain_parents(n_acc_boxes, hw.acc_root_ports, "abox")
+    made = 0
+    for k in range(n_acc_boxes):
+        count = min(hw.accs_per_box, n_accelerators - made)
+        ids = [f"acc{made + i}" for i in range(count)]
+        devs = [NNAccelerator(i, spec=_GENERIC_ACC_SPEC) for i in ids]
+        box = _build_type_box(topology, f"abox{k}", parents[k], ids, devs, gen, lanes)
+        box.acc_ids = ids
+        boxes.append(box)
+        made += count
+
+    # SSD boxes: one per SSD root port.
+    for k in range(hw.ssd_root_ports):
+        ids = [f"ssd{k * hw.ssds_per_ssd_box + i}" for i in range(hw.ssds_per_ssd_box)]
+        devs = [NvmeSsd(i, read_bandwidth=hw.ssd_read_bandwidth) for i in ids]
+        box = _build_type_box(topology, f"sbox{k}", "rc", ids, devs, gen, lanes)
+        box.ssd_ids = ids
+        boxes.append(box)
+
+    # Preparation boxes (step 1 of the paper's ladder).
+    if arch.prep_device is not PrepDevice.CPU:
+        n_prep = max(1, math.ceil(n_accelerators * hw.prep_per_acc_ratio))
+        n_prep_boxes = math.ceil(n_prep / hw.prep_devices_per_box)
+        parents = _acc_chain_parents(n_prep_boxes, hw.prep_root_ports, "pbox")
+        made = 0
+        for k in range(n_prep_boxes):
+            count = min(hw.prep_devices_per_box, n_prep - made)
+            ids = [f"prep{made + i}" for i in range(count)]
+            if arch.prep_device is PrepDevice.FPGA:
+                devs = [
+                    FpgaDevice(i, ethernet_bandwidth=hw.ethernet_bandwidth)
+                    for i in ids
+                ]
+            else:
+                devs = [GpuPrepDevice(i) for i in ids]
+            box = _build_type_box(
+                topology, f"pbox{k}", parents[k], ids, devs, gen, lanes
+            )
+            box.prep_ids = ids
+            boxes.append(box)
+            made += count
+    return boxes
+
+
+def _acc_chain_parents(n_boxes: int, ports: int, prefix: str) -> List[str]:
+    """Daisy-chain parent ids: box k on chain k%ports behind its
+    predecessor's top switch."""
+    per_chain: List[List[int]] = [[] for _ in range(ports)]
+    for k in range(n_boxes):
+        per_chain[k % ports].append(k)
+    parent_of = {}
+    for chain in per_chain:
+        prev = "rc"
+        for k in chain:
+            parent_of[k] = prev
+            prev = f"{prefix}{k}"
+    return [parent_of[k] for k in range(n_boxes)]
+
+
+def _build_train_boxes(
+    topology: PcieTopology,
+    arch: ArchitectureConfig,
+    hw: HardwareConfig,
+    n_accelerators: int,
+    gen: PcieGen,
+    lanes: int,
+) -> List[BoxInfo]:
+    """TrainBox layout: clustered boxes over every root port."""
+    n_boxes = math.ceil(n_accelerators / hw.accs_per_box)
+    ports = hw.acc_root_ports + hw.prep_root_ports + hw.ssd_root_ports
+    parents = _acc_chain_parents(n_boxes, ports, "tbox")
+    boxes: List[BoxInfo] = []
+    made = 0
+    for k in range(n_boxes):
+        count = min(hw.accs_per_box, n_accelerators - made)
+        top = topology.attach(Switch(f"tbox{k}", max_links=6), parents[k], gen=gen, lanes=lanes)
+        box = BoxInfo(box_id=f"tbox{k}", switch_id=top.node_id)
+        # Two leaf switches: 4 accelerators + 1 FPGA each (§V-D).
+        accs_left = count
+        for leaf_idx in range(2):
+            leaf = topology.attach(
+                Switch(f"tbox{k}.s{leaf_idx}", max_links=6),
+                top.node_id,
+                gen=gen,
+                lanes=lanes,
+            )
+            take = min(4, accs_left)
+            for i in range(take):
+                aid = f"acc{made + i}"
+                topology.attach(
+                    Endpoint(aid, device=NNAccelerator(aid, spec=_GENERIC_ACC_SPEC)),
+                    leaf.node_id,
+                    gen=gen,
+                    lanes=lanes,
+                )
+                box.acc_ids.append(aid)
+            made += take
+            accs_left -= take
+            if leaf_idx < hw.fpgas_per_train_box:
+                fid = f"tbox{k}_fpga{leaf_idx}"
+                topology.attach(
+                    Endpoint(
+                        fid,
+                        device=FpgaDevice(
+                            fid, ethernet_bandwidth=hw.ethernet_bandwidth
+                        ),
+                    ),
+                    leaf.node_id,
+                    gen=gen,
+                    lanes=lanes,
+                )
+                box.prep_ids.append(fid)
+        # SSD switch.
+        ssd_switch = topology.attach(
+            Switch(f"tbox{k}.ssd", max_links=6), top.node_id, gen=gen, lanes=lanes
+        )
+        for i in range(hw.ssds_per_train_box):
+            sid = f"tbox{k}_ssd{i}"
+            topology.attach(
+                Endpoint(sid, device=NvmeSsd(sid, read_bandwidth=hw.ssd_read_bandwidth)),
+                ssd_switch.node_id,
+                gen=gen,
+                lanes=lanes,
+            )
+            box.ssd_ids.append(sid)
+        boxes.append(box)
+    return boxes

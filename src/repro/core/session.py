@@ -1,0 +1,164 @@
+"""High-level façade: plan, estimate, validate and report in one place.
+
+`TrainingSession` is the entry point a downstream user actually wants:
+name a workload, a scale and an architecture, then ask for the §V-A
+initialization plan, the analytical estimate, a DES cross-check, and a
+human-readable report — without touching the underlying engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import ConfigError
+from repro.analysis.tables import format_table
+from repro.core.analytical import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig, HardwareConfig
+from repro.core.dataflow import build_demand
+from repro.core.des import DesResult, simulate_des
+from repro.core.initializer import TrainInitializer, TrainPlan
+from repro.core.resources import host_requirements, resource_breakdown, shares
+from repro.core.results import SimulationResult
+from repro.core.server import build_server
+from repro.workloads.registry import Workload, get_workload
+
+_NAMED_ARCHS = {
+    "baseline": ArchitectureConfig.baseline,
+    "trainbox": ArchitectureConfig.trainbox,
+    "trainbox-no-pool": lambda: ArchitectureConfig.trainbox(prep_pool=False),
+}
+
+
+class TrainingSession:
+    """One (workload, architecture, scale) configuration under study."""
+
+    def __init__(
+        self,
+        workload: Union[str, Workload],
+        n_accelerators: int = 256,
+        arch: Union[str, ArchitectureConfig] = "trainbox",
+        batch_size: Optional[int] = None,
+        hw: Optional[HardwareConfig] = None,
+    ) -> None:
+        self.workload = (
+            get_workload(workload) if isinstance(workload, str) else workload
+        )
+        if isinstance(arch, str):
+            try:
+                arch = _NAMED_ARCHS[arch]()
+            except KeyError:
+                raise ConfigError(
+                    f"unknown architecture {arch!r}; known: {sorted(_NAMED_ARCHS)}"
+                ) from None
+        self.arch = arch
+        self.n_accelerators = n_accelerators
+        self.batch_size = batch_size
+        self.hw = hw or HardwareConfig()
+        self.server = build_server(arch, n_accelerators, hw=self.hw)
+        self._result: Optional[SimulationResult] = None
+        self._plan: Optional[TrainPlan] = None
+
+    # -- the four verbs ---------------------------------------------------
+
+    def plan(self, num_items: int = 1_000_000) -> TrainPlan:
+        """The §V-A initialization plan (TrainBox architectures only)."""
+        if self._plan is None:
+            self._plan = TrainInitializer(self.server).plan(
+                self.workload, num_items=num_items, batch_size=self.batch_size
+            )
+        return self._plan
+
+    def estimate(self) -> SimulationResult:
+        """Analytical steady-state throughput."""
+        if self._result is None:
+            self._result = simulate(
+                TrainingScenario(
+                    self.workload,
+                    self.arch,
+                    self.n_accelerators,
+                    batch_size=self.batch_size,
+                    hw=self.hw,
+                ),
+                server=self.server,
+            )
+        return self._result
+
+    def validate(
+        self, iterations: int = 60, jitter: float = 0.0, seed: int = 0
+    ) -> DesResult:
+        """Cross-check the estimate with the discrete-event simulator."""
+        return simulate_des(
+            TrainingScenario(
+                self.workload,
+                self.arch,
+                self.n_accelerators,
+                batch_size=self.batch_size,
+                hw=self.hw,
+            ),
+            iterations=iterations,
+            jitter=jitter,
+            seed=seed,
+        )
+
+    def report(self) -> str:
+        """A human-readable summary of the configuration under study."""
+        result = self.estimate()
+        demand = build_demand(self.server, self.workload)
+        target = self.n_accelerators * self.workload.sample_rate
+        req = host_requirements(demand, target)
+        lines = [
+            f"workload        : {self.workload.name} ({self.workload.task})",
+            f"architecture    : {self.arch.name}",
+            f"accelerators    : {self.n_accelerators}",
+            f"batch/device    : {result.batch_size}",
+            f"throughput      : {result.throughput:,.0f} samples/s "
+            f"({100 * result.throughput / target:.1f}% of accelerator target)",
+            f"bottleneck      : {result.bottleneck}",
+            f"prep capacity   : {result.prep_rate:,.0f} samples/s",
+            f"consume demand  : {result.consume_rate:,.0f} samples/s",
+            "",
+            "host requirements at target (normalized to DGX-2):",
+            f"  CPU cores     : {req.normalized_cores:8.1f}x",
+            f"  memory BW     : {req.normalized_memory_bandwidth:8.1f}x",
+            f"  PCIe BW at RC : {req.normalized_pcie_bandwidth:8.1f}x",
+            "",
+            "per-resource prep rates (samples/s):",
+        ]
+        rows = sorted(result.resource_rates.items(), key=lambda kv: kv[1])
+        lines.append(
+            format_table(
+                ["resource", "rate"],
+                [
+                    [name, "unbounded" if rate == float("inf") else f"{rate:,.0f}"]
+                    for name, rate in rows
+                ],
+            )
+        )
+        return "\n".join(lines)
+
+    # -- machine-readable export -------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of the estimate and breakdowns."""
+        result = self.estimate()
+        demand = build_demand(self.server, self.workload)
+        breakdowns = resource_breakdown(demand)
+        return {
+            "workload": self.workload.name,
+            "architecture": self.arch.name,
+            "n_accelerators": self.n_accelerators,
+            "batch_size": result.batch_size,
+            "throughput": result.throughput,
+            "prep_rate": result.prep_rate,
+            "consume_rate": result.consume_rate,
+            "bottleneck": result.bottleneck,
+            "resource_rates": {
+                k: (None if v == float("inf") else v)
+                for k, v in result.resource_rates.items()
+            },
+            "breakdown_shares": {
+                resource: shares(table) if sum(table.values()) > 0 else {}
+                for resource, table in breakdowns.items()
+            },
+        }

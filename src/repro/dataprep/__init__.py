@@ -1,0 +1,91 @@
+"""Functional data-preparation substrate and its cost model.
+
+This package implements — for real, on numpy arrays — every operation the
+paper offloads to its FPGA data preparation accelerators:
+
+* the **image pipeline** of Table II: JPEG decode (our own baseline codec
+  in :mod:`repro.dataprep.jpeg`), random crop, mirror, Gaussian noise and
+  type cast (:mod:`repro.dataprep.ops_image`);
+* the **audio pipeline** of Table III: STFT spectrogram, Mel filter bank,
+  SpecAugment-style masking and normalization
+  (:mod:`repro.dataprep.ops_audio`, :mod:`repro.dataprep.audio`).
+
+Operations compose into a :class:`~repro.dataprep.pipeline.PrepPipeline`
+which both *executes* (for correctness tests and the accuracy experiment
+of Figure 5) and *prices itself* through the cost model in
+:mod:`repro.dataprep.cost` (for the system simulator).  Keeping execution
+and pricing on the same object is what grounds the simulator: the cycle
+constants are calibrated once, per operation kind, and every architecture
+configuration consumes them through device profiles.
+"""
+
+from repro.dataprep.cost import (
+    CPU_PROFILE,
+    FPGA_PROFILE,
+    GPU_PROFILE,
+    DeviceProfile,
+    OpCost,
+    PipelineCost,
+    profile_by_name,
+)
+from repro.dataprep.pipeline import PrepPipeline, SampleSpec
+from repro.dataprep.ops_image import (
+    CastToFloat,
+    DecodeJpeg,
+    DecodePng,
+    GaussianNoise,
+    Mirror,
+    RandomCrop,
+    image_pipeline,
+)
+from repro.dataprep.ops_audio import (
+    MelFilterBank,
+    Mfcc,
+    Normalize,
+    SpecMasking,
+    Spectrogram,
+    TimeWarp,
+    audio_pipeline,
+)
+from repro.dataprep.ops_batch import BatchOp, Ricap, apply_batch_op
+from repro.dataprep.ops_video import (
+    ClipCast,
+    ClipCrop,
+    DecodeVideo,
+    TemporalSubsample,
+    video_pipeline,
+)
+
+__all__ = [
+    "BatchOp",
+    "CPU_PROFILE",
+    "CastToFloat",
+    "ClipCast",
+    "ClipCrop",
+    "DecodeJpeg",
+    "DecodePng",
+    "DecodeVideo",
+    "DeviceProfile",
+    "FPGA_PROFILE",
+    "GPU_PROFILE",
+    "GaussianNoise",
+    "MelFilterBank",
+    "Mfcc",
+    "Mirror",
+    "Normalize",
+    "OpCost",
+    "PipelineCost",
+    "PrepPipeline",
+    "RandomCrop",
+    "Ricap",
+    "SampleSpec",
+    "SpecMasking",
+    "Spectrogram",
+    "TemporalSubsample",
+    "TimeWarp",
+    "apply_batch_op",
+    "audio_pipeline",
+    "image_pipeline",
+    "profile_by_name",
+    "video_pipeline",
+]

@@ -1,0 +1,23 @@
+"""Audio feature-extraction substrate: STFT and Mel filter banks.
+
+These are the compute kernels behind the paper's audio data preparation
+(§II-A: "we convert a stream of sound into a 'Mel spectrogram', which is
+the STFT-based feature set of frames in the stream").
+"""
+
+from repro.dataprep.audio.stft import frame_signal, hann_window, power_spectrogram
+from repro.dataprep.audio.mel import hz_to_mel, mel_filter_bank, mel_spectrogram, mel_to_hz
+
+# NOTE: the submodules are repro.dataprep.audio.stft / .mel; the stft()
+# function itself is not re-exported here because its name would shadow
+# the submodule on the package object.
+
+__all__ = [
+    "frame_signal",
+    "hann_window",
+    "hz_to_mel",
+    "mel_filter_bank",
+    "mel_spectrogram",
+    "mel_to_hz",
+    "power_spectrogram",
+]

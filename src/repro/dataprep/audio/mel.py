@@ -1,0 +1,78 @@
+"""Mel filter banks and Mel spectrograms (Slaney-style triangular filters)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataprepError
+from repro.dataprep.audio.stft import (
+    HOP_LENGTH,
+    N_FFT,
+    SAMPLE_RATE,
+    WIN_LENGTH,
+    power_spectrogram,
+)
+
+N_MELS = 128
+
+
+def hz_to_mel(hz):
+    """HTK mel scale."""
+    return 2595.0 * np.log10(1.0 + np.asarray(hz, dtype=np.float64) / 700.0)
+
+
+def mel_to_hz(mel):
+    """Inverse of :func:`hz_to_mel`."""
+    return 700.0 * (10.0 ** (np.asarray(mel, dtype=np.float64) / 2595.0) - 1.0)
+
+
+def mel_filter_bank(
+    n_mels: int = N_MELS,
+    n_fft: int = N_FFT,
+    sample_rate: int = SAMPLE_RATE,
+    fmin: float = 0.0,
+    fmax: float = None,
+) -> np.ndarray:
+    """Triangular mel filter bank, shape (n_mels × (n_fft/2 + 1)).
+
+    Each row is a triangle in frequency; rows overlap so every FFT bin in
+    [fmin, fmax] contributes to at least one mel bin (a property the tests
+    check).
+    """
+    if n_mels <= 0:
+        raise DataprepError(f"n_mels must be positive: {n_mels}")
+    if fmax is None:
+        fmax = sample_rate / 2.0
+    if not 0 <= fmin < fmax <= sample_rate / 2.0:
+        raise DataprepError(f"invalid band [{fmin}, {fmax}] for sr={sample_rate}")
+    n_bins = n_fft // 2 + 1
+    fft_freqs = np.linspace(0.0, sample_rate / 2.0, n_bins)
+    mel_points = np.linspace(hz_to_mel(fmin), hz_to_mel(fmax), n_mels + 2)
+    hz_points = mel_to_hz(mel_points)
+
+    bank = np.zeros((n_mels, n_bins))
+    for m in range(n_mels):
+        left, center, right = hz_points[m], hz_points[m + 1], hz_points[m + 2]
+        up = (fft_freqs - left) / max(center - left, 1e-12)
+        down = (right - fft_freqs) / max(right - center, 1e-12)
+        bank[m] = np.maximum(0.0, np.minimum(up, down))
+    return bank
+
+
+def mel_spectrogram(
+    signal: np.ndarray,
+    n_mels: int = N_MELS,
+    n_fft: int = N_FFT,
+    win_length: int = WIN_LENGTH,
+    hop_length: int = HOP_LENGTH,
+    sample_rate: int = SAMPLE_RATE,
+    log: bool = True,
+    eps: float = 1e-10,
+) -> np.ndarray:
+    """Mel (log-)spectrogram of a 1-D signal: (n_frames × n_mels) float32."""
+    power = power_spectrogram(signal, n_fft, win_length, hop_length)
+    bank = mel_filter_bank(n_mels, n_fft, sample_rate)
+    mel = power @ bank.T
+    if log:
+        mel = np.log(mel + eps)
+    return mel.astype(np.float32)

@@ -1,0 +1,84 @@
+"""Short-time Fourier transform.
+
+Default geometry follows common speech front-ends (and the paper's
+Librispeech setting): 16 kHz audio, 25 ms windows (400 samples), 10 ms hop
+(160 samples), 512-point FFT → 257 frequency bins per frame.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataprepError
+
+SAMPLE_RATE = 16_000
+WIN_LENGTH = 400
+HOP_LENGTH = 160
+N_FFT = 512
+
+
+def hann_window(length: int) -> np.ndarray:
+    """Periodic Hann window."""
+    if length <= 0:
+        raise DataprepError(f"window length must be positive: {length}")
+    n = np.arange(length)
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * n / length)
+
+
+def frame_signal(
+    signal: np.ndarray, win_length: int = WIN_LENGTH, hop_length: int = HOP_LENGTH
+) -> np.ndarray:
+    """Slice a 1-D signal into overlapping frames (n_frames × win_length).
+
+    The tail that does not fill a full window is zero-padded, so every
+    sample contributes to at least one frame.
+    """
+    if signal.ndim != 1:
+        raise DataprepError(f"expected 1-D signal, got shape {signal.shape}")
+    if hop_length <= 0 or win_length <= 0:
+        raise DataprepError("win_length and hop_length must be positive")
+    n = signal.shape[0]
+    if n == 0:
+        raise DataprepError("cannot frame an empty signal")
+    n_frames = max(1, 1 + (n - 1) // hop_length) if n < win_length else (
+        1 + (n - win_length + hop_length - 1) // hop_length
+    )
+    padded_len = (n_frames - 1) * hop_length + win_length
+    padded = np.zeros(padded_len, dtype=np.float64)
+    padded[:n] = signal
+    idx = np.arange(win_length)[None, :] + hop_length * np.arange(n_frames)[:, None]
+    return padded[idx]
+
+
+def num_frames(n_samples: int, hop_length: int = HOP_LENGTH, win_length: int = WIN_LENGTH) -> int:
+    """Frame count :func:`frame_signal` produces for an n-sample signal."""
+    if n_samples <= 0:
+        raise DataprepError("signal length must be positive")
+    if n_samples < win_length:
+        return max(1, 1 + (n_samples - 1) // hop_length)
+    return 1 + (n_samples - win_length + hop_length - 1) // hop_length
+
+
+def stft(
+    signal: np.ndarray,
+    n_fft: int = N_FFT,
+    win_length: int = WIN_LENGTH,
+    hop_length: int = HOP_LENGTH,
+) -> np.ndarray:
+    """Complex STFT: (n_frames × (n_fft/2 + 1))."""
+    if n_fft < win_length:
+        raise DataprepError(f"n_fft ({n_fft}) must be >= win_length ({win_length})")
+    frames = frame_signal(signal, win_length, hop_length)
+    windowed = frames * hann_window(win_length)[None, :]
+    return np.fft.rfft(windowed, n=n_fft, axis=1)
+
+
+def power_spectrogram(
+    signal: np.ndarray,
+    n_fft: int = N_FFT,
+    win_length: int = WIN_LENGTH,
+    hop_length: int = HOP_LENGTH,
+) -> np.ndarray:
+    """|STFT|² power, (n_frames × (n_fft/2 + 1)), float64."""
+    spectrum = stft(signal, n_fft, win_length, hop_length)
+    return (spectrum.real**2 + spectrum.imag**2)

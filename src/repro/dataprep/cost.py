@@ -1,0 +1,255 @@
+"""The data-preparation cost model.
+
+Every operation prices itself as an :class:`OpCost`: host-CPU cycles,
+bytes in/out, and memory traffic.  The constants below are calibrated so
+that the end-to-end pipelines reproduce the paper's measured host-resource
+profile (§III-C):
+
+* the **image pipeline** on 256×256 JPEG inputs costs ≈3.9 M CPU
+  cycles/sample, which makes a 48-core 2.5 GHz host saturate at ≈30.5 K
+  samples/s — i.e. Inception-v4 (1 669 samples/s per accelerator) stops
+  scaling at ≈18.3 accelerators and RNN-S (12 022 samples/s) needs
+  ≈100.7× a DGX-2's cores at the 256-accelerator target, both numbers the
+  paper reports;
+* the **audio pipeline** on 6.96 s Librispeech-like streams costs ≈13.6 M
+  cycles/sample, which puts Transformer-SR's saturation at ≈4.4
+  accelerators (§VI-D).
+
+Device profiles express how much faster an FPGA or GPU engine runs each
+*kind* of operation than one host core.  FPGA numbers reflect deeply
+pipelined streaming engines (the paper reports a dedicated decoder at
+59.6% of an XCVU9P's LUTs); the GPU profile encodes the paper's §V-B
+argument: no good parallel Huffman decode, so near-CPU decode speed, but
+high throughput on regular elementwise work.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.errors import DataprepError
+from repro import units
+
+# ---------------------------------------------------------------------------
+# Op kinds. Every concrete op declares one; device profiles key off them.
+# ---------------------------------------------------------------------------
+
+OP_KINDS = (
+    "load",          # moving bytes without transforming them
+    "decode",        # JPEG entropy decode + IDCT (irregular, serial)
+    "crop",
+    "mirror",
+    "noise",
+    "cast",
+    "spectrogram",   # STFT: framing + windowing + many small FFTs
+    "mel",           # mel filter-bank projection
+    "masking",       # SpecAugment-style time/frequency masking
+    "norm",          # per-feature normalization
+)
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Cost of applying one operation to one sample.
+
+    Attributes:
+        name: instance label ("decode_jpeg", "random_crop", ...).
+        kind: one of :data:`OP_KINDS`; selects the device speedup.
+        cpu_cycles: cycles one host core spends on the op for one sample.
+        bytes_in / bytes_out: payload sizes around the op.
+        mem_traffic: bytes of memory-system traffic when the op runs on
+            the host CPU (reads + writes, after cache absorption).
+    """
+
+    name: str
+    kind: str
+    cpu_cycles: float
+    bytes_in: float
+    bytes_out: float
+    mem_traffic: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise DataprepError(f"unknown op kind: {self.kind}")
+        for attr in ("cpu_cycles", "bytes_in", "bytes_out", "mem_traffic"):
+            if getattr(self, attr) < 0:
+                raise DataprepError(f"{self.name}.{attr} must be >= 0")
+
+
+#: Fraction of raw read+write traffic that reaches DRAM when an op runs on
+#: the CPU (the rest is absorbed by caches).  Calibrated so the image
+#: pipeline's formatting+augmentation share of memory bandwidth lands at
+#: the paper's ≈59% (Figure 11a).
+CACHE_ABSORPTION = 0.5
+
+
+def cpu_mem_traffic(bytes_in: float, bytes_out: float) -> float:
+    """Memory traffic for a CPU-executed op: read input + write output,
+    discounted by cache absorption."""
+    return (bytes_in + bytes_out) * CACHE_ABSORPTION
+
+
+@dataclass(frozen=True)
+class PipelineCost:
+    """Aggregate cost of a pipeline applied to one sample."""
+
+    ops: Tuple[OpCost, ...]
+
+    @property
+    def cpu_cycles(self) -> float:
+        return sum(op.cpu_cycles for op in self.ops)
+
+    @property
+    def bytes_in(self) -> float:
+        return self.ops[0].bytes_in if self.ops else 0.0
+
+    @property
+    def bytes_out(self) -> float:
+        return self.ops[-1].bytes_out if self.ops else 0.0
+
+    @property
+    def mem_traffic(self) -> float:
+        return sum(op.mem_traffic for op in self.ops)
+
+    def by_stage(self) -> Dict[str, OpCost]:
+        return {op.name: op for op in self.ops}
+
+    def split(self, kinds: Iterable[str]) -> "PipelineCost":
+        """Sub-pipeline containing only ops of the given kinds."""
+        wanted = set(kinds)
+        return PipelineCost(tuple(op for op in self.ops if op.kind in wanted))
+
+
+# ---------------------------------------------------------------------------
+# Device profiles.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Per-op-kind throughput of a preparation device, expressed as a
+    speedup over a single host core at ``reference_frequency``."""
+
+    name: str
+    speedups: Mapping[str, float]
+    reference_frequency: float = 2.5 * units.GHZ
+
+    def speedup(self, kind: str) -> float:
+        if kind not in OP_KINDS:
+            raise DataprepError(f"unknown op kind: {kind}")
+        try:
+            return self.speedups[kind]
+        except KeyError:
+            raise DataprepError(
+                f"profile {self.name} has no speedup for kind {kind!r}"
+            ) from None
+
+    def effective_cycles(self, cost: PipelineCost) -> float:
+        """Reference-core cycles this device needs for one sample."""
+        return sum(op.cpu_cycles / self.speedup(op.kind) for op in cost.ops)
+
+    def sample_rate(self, cost: PipelineCost) -> float:
+        """Samples/second one device of this profile sustains."""
+        cycles = self.effective_cycles(cost)
+        if cycles <= 0:
+            return math.inf
+        return self.reference_frequency / cycles
+
+
+#: One host core: the identity profile.
+CPU_PROFILE = DeviceProfile(
+    name="cpu-core",
+    speedups={kind: 1.0 for kind in OP_KINDS},
+)
+
+#: FPGA streaming engines.  Decode is fully pipelined in hardware (Table
+#: II dedicates most of the part to it); elementwise ops stream at line
+#: rate; FFT-heavy audio ops gain less but still far outrun a core
+#: (the paper cites FPGAs beating GPUs on many small FFTs, §V-B).
+FPGA_PROFILE = DeviceProfile(
+    name="fpga",
+    speedups={
+        "load": 100.0,
+        "decode": 80.0,
+        "crop": 100.0,
+        "mirror": 100.0,
+        "noise": 100.0,
+        "cast": 100.0,
+        "spectrogram": 30.0,
+        "mel": 25.0,
+        "masking": 20.0,
+        "norm": 40.0,
+    },
+)
+
+#: A GPU used for preparation: excellent at regular elementwise work,
+#: nearly serial on Huffman-bound decode, and launch/memory-bound on the
+#: many small FFTs of the STFT (§V-B cites FPGAs beating GPUs there).
+GPU_PROFILE = DeviceProfile(
+    name="gpu",
+    speedups={
+        "load": 100.0,
+        "decode": 5.0,
+        "crop": 60.0,
+        "mirror": 60.0,
+        "noise": 60.0,
+        "cast": 60.0,
+        "spectrogram": 6.0,
+        "mel": 30.0,
+        "masking": 30.0,
+        "norm": 30.0,
+    },
+)
+
+_PROFILES = {p.name: p for p in (CPU_PROFILE, FPGA_PROFILE, GPU_PROFILE)}
+
+
+def profile_by_name(name: str) -> DeviceProfile:
+    """Look up a registered device profile ("cpu-core", "fpga", "gpu")."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise DataprepError(
+            f"unknown device profile {name!r}; known: {sorted(_PROFILES)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Calibrated per-unit cycle constants used by the concrete ops.
+# ---------------------------------------------------------------------------
+
+#: JPEG decode cycles per output pixel (entropy decode + dequant + IDCT +
+#: color conversion).  38 cycles/px × 65 536 px ≈ 2.5 M cycles for a
+#: 256×256 input.
+DECODE_CYCLES_PER_PIXEL = 38.0
+
+#: PNG decode cycles per output pixel (inflate + unfilter; no transform
+#: stage, so cheaper than JPEG per pixel — but PNG payloads are larger).
+PNG_DECODE_CYCLES_PER_PIXEL = 22.0
+
+#: Crop is an address-strided copy.
+CROP_CYCLES_PER_PIXEL = 0.6
+
+#: Mirror is a reversed copy.
+MIRROR_CYCLES_PER_PIXEL = 1.0
+
+#: Gaussian noise needs an RNG draw + add + clip per subpixel.
+NOISE_CYCLES_PER_PIXEL = 16.0
+
+#: uint8→float32 widening with normalization.
+CAST_CYCLES_PER_PIXEL = 11.0
+
+#: STFT cycles per (frame × n_fft × log2(n_fft)) butterfly unit.
+STFT_CYCLES_PER_BUTTERFLY = 2.8
+
+#: Mel projection cycles per (frame × mel bin) with a sparse filter bank
+#: (~8 FFT bins contribute per mel bin → ~8 MACs each).
+MEL_CYCLES_PER_BIN = 34.0
+
+#: Masking touches every (frame × mel) cell once.
+MASK_CYCLES_PER_BIN = 9.0
+
+#: Normalization: two passes (stats + apply) over every cell.
+NORM_CYCLES_PER_BIN = 9.0

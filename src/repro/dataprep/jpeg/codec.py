@@ -1,0 +1,240 @@
+"""The JPEG encoder/decoder pair over a small binary container.
+
+Pipeline (per ITU-T T.81 baseline):
+
+encode: RGB → YCbCr → (4:2:0 chroma subsample) → level shift → 8×8 DCT →
+quantize → zig-zag + RLE → canonical Huffman → bitstream.
+
+decode is the exact reverse.  Tables are optimized per image and shipped
+in the header (see :mod:`repro.dataprep.jpeg.huffman`).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import CodecError
+from repro.dataprep.jpeg import color, dct, quant
+from repro.dataprep.jpeg.huffman import (
+    BitReader,
+    BitWriter,
+    HuffmanTable,
+    TableSpec,
+    block_symbols,
+    decode_block,
+)
+
+_MAGIC = b"RJPG"
+_VERSION = 1
+
+
+def _component_planes(
+    rgb: np.ndarray, subsample: bool
+) -> Tuple[List[np.ndarray], Tuple[int, int]]:
+    """YCbCr planes ready for blocking; returns planes and padded luma shape."""
+    h, w = rgb.shape[:2]
+    # 4:2:0 needs even dims before halving; pad once here.
+    pad_h = (-h) % (16 if subsample else 8)
+    pad_w = (-w) % (16 if subsample else 8)
+    if pad_h or pad_w:
+        rgb = np.pad(rgb, ((0, pad_h), (0, pad_w), (0, 0)), mode="edge")
+    ycc = color.rgb_to_ycbcr(rgb)
+    y = ycc[..., 0]
+    cb = ycc[..., 1]
+    cr = ycc[..., 2]
+    if subsample:
+        cb = color.subsample_420(cb)
+        cr = color.subsample_420(cr)
+    return [y, cb, cr], y.shape
+
+
+def _encode_plane(
+    plane: np.ndarray, table: np.ndarray
+) -> Tuple[np.ndarray, List, List]:
+    """Quantized blocks plus DC/AC symbol event streams for one plane."""
+    blocks = dct.blockify(plane - 128.0)
+    coeffs = dct.dct2(blocks)
+    quantized = quant.quantize(coeffs, table)
+    dc_events: List = []
+    ac_events: List = []
+    prev_dc = 0
+    for block in quantized:
+        dc_ev, ac_ev, prev_dc = block_symbols(block, prev_dc)
+        dc_events.append(dc_ev)
+        ac_events.append(ac_ev)
+    return quantized, dc_events, ac_events
+
+
+def _collect_frequencies(event_lists: List[List]) -> Dict[int, int]:
+    freqs: Dict[int, int] = {}
+    for events in event_lists:
+        for symbol, _amp, _size in events:
+            freqs[symbol] = freqs.get(symbol, 0) + 1
+    return freqs
+
+
+def _write_table(spec: TableSpec, out: bytearray) -> None:
+    out.extend(struct.pack("<16H", *spec.counts))
+    out.extend(struct.pack("<H", len(spec.symbols)))
+    out.extend(struct.pack(f"<{len(spec.symbols)}H", *spec.symbols))
+
+
+def _read_table(buf: bytes, offset: int) -> Tuple[TableSpec, int]:
+    counts = struct.unpack_from("<16H", buf, offset)
+    offset += 32
+    (nsym,) = struct.unpack_from("<H", buf, offset)
+    offset += 2
+    symbols = struct.unpack_from(f"<{nsym}H", buf, offset)
+    offset += 2 * nsym
+    return TableSpec(tuple(counts), tuple(symbols)), offset
+
+
+@dataclass
+class JpegCodec:
+    """Configurable codec instance."""
+
+    quality: int = 75
+    subsample: bool = True
+
+    def encode(self, rgb: np.ndarray) -> bytes:
+        """Compress an H×W×3 uint8 RGB image."""
+        if rgb.ndim != 3 or rgb.shape[2] != 3:
+            raise CodecError(f"expected HxWx3 RGB, got {rgb.shape}")
+        if rgb.dtype != np.uint8:
+            raise CodecError(f"expected uint8 input, got {rgb.dtype}")
+        h, w = rgb.shape[:2]
+        if h < 1 or w < 1:
+            raise CodecError("image must be non-empty")
+        luma_q = quant.scaled_table(quant.LUMA_BASE, self.quality)
+        chroma_q = quant.scaled_table(quant.CHROMA_BASE, self.quality)
+        planes, _ = _component_planes(rgb, self.subsample)
+
+        encoded = []
+        for i, plane in enumerate(planes):
+            table = luma_q if i == 0 else chroma_q
+            encoded.append(_encode_plane(dct.pad_to_blocks(plane), table))
+
+        dc_luma = HuffmanTable.from_frequencies(_collect_frequencies(encoded[0][1]))
+        ac_luma = HuffmanTable.from_frequencies(_collect_frequencies(encoded[0][2]))
+        dc_chroma = HuffmanTable.from_frequencies(
+            _collect_frequencies(encoded[1][1] + encoded[2][1])
+        )
+        ac_chroma = HuffmanTable.from_frequencies(
+            _collect_frequencies(encoded[1][2] + encoded[2][2])
+        )
+
+        streams: List[bytes] = []
+        for i, (_q, dc_events, ac_events) in enumerate(encoded):
+            dc_table = dc_luma if i == 0 else dc_chroma
+            ac_table = ac_luma if i == 0 else ac_chroma
+            writer = BitWriter()
+            for dc_ev, ac_ev in zip(dc_events, ac_events):
+                for symbol, amp, size in dc_ev:
+                    dc_table.write_symbol(writer, symbol)
+                    writer.write(amp, size)
+                for symbol, amp, size in ac_ev:
+                    ac_table.write_symbol(writer, symbol)
+                    writer.write(amp, size)
+            streams.append(writer.getvalue())
+
+        out = bytearray()
+        out.extend(_MAGIC)
+        out.extend(
+            struct.pack(
+                "<BBBHH", _VERSION, self.quality, int(self.subsample), h, w
+            )
+        )
+        for table in (dc_luma, ac_luma, dc_chroma, ac_chroma):
+            _write_table(table.spec, out)
+        out.extend(struct.pack("<3I", *(len(s) for s in streams)))
+        for stream in streams:
+            out.extend(stream)
+        return bytes(out)
+
+    @staticmethod
+    def decode(data: bytes) -> np.ndarray:
+        """Decompress back to H×W×3 uint8 RGB."""
+        if data[:4] != _MAGIC:
+            raise CodecError("not an RJPG stream")
+        try:
+            return JpegCodec._decode_checked(data)
+        except CodecError:
+            raise
+        except (struct.error, IndexError, ValueError, KeyError) as exc:
+            raise CodecError(f"malformed RJPG stream: {exc}") from exc
+
+    @staticmethod
+    def _decode_checked(data: bytes) -> np.ndarray:
+        version, quality, subsample_flag, h, w = struct.unpack_from(
+            "<BBBHH", data, 4
+        )
+        if version != _VERSION:
+            raise CodecError(f"unsupported RJPG version {version}")
+        subsample = bool(subsample_flag)
+        offset = 4 + struct.calcsize("<BBBHH")
+        specs: List[TableSpec] = []
+        for _ in range(4):
+            spec, offset = _read_table(data, offset)
+            specs.append(spec)
+        dc_luma, ac_luma, dc_chroma, ac_chroma = (HuffmanTable(s) for s in specs)
+        lengths = struct.unpack_from("<3I", data, offset)
+        offset += 12
+        streams = []
+        for length in lengths:
+            streams.append(data[offset : offset + length])
+            offset += length
+
+        # Reconstruct padded plane geometry the encoder used.
+        align = 16 if subsample else 8
+        ph = h + ((-h) % align)
+        pw = w + ((-w) % align)
+        luma_shape = (ph, pw)
+        chroma_shape = (ph // 2, pw // 2) if subsample else (ph, pw)
+        chroma_padded = (
+            chroma_shape[0] + ((-chroma_shape[0]) % 8),
+            chroma_shape[1] + ((-chroma_shape[1]) % 8),
+        )
+        luma_q = quant.scaled_table(quant.LUMA_BASE, quality)
+        chroma_q = quant.scaled_table(quant.CHROMA_BASE, quality)
+
+        planes: List[np.ndarray] = []
+        shapes = [luma_shape, chroma_padded, chroma_padded]
+        tables = [
+            (dc_luma, ac_luma, luma_q),
+            (dc_chroma, ac_chroma, chroma_q),
+            (dc_chroma, ac_chroma, chroma_q),
+        ]
+        for stream, shape, (dc_t, ac_t, qtable) in zip(streams, shapes, tables):
+            nblocks = (shape[0] // 8) * (shape[1] // 8)
+            reader = BitReader(stream)
+            blocks = np.empty((nblocks, 8, 8), dtype=np.int32)
+            prev_dc = 0
+            for b in range(nblocks):
+                blocks[b], prev_dc = decode_block(reader, dc_t, ac_t, prev_dc)
+            coeffs = quant.dequantize(blocks, qtable)
+            plane = dct.unblockify(dct.idct2(coeffs), shape) + 128.0
+            planes.append(plane)
+
+        y = planes[0]
+        cb = planes[1][: chroma_shape[0], : chroma_shape[1]]
+        cr = planes[2][: chroma_shape[0], : chroma_shape[1]]
+        if subsample:
+            cb = color.upsample_420(cb)
+            cr = color.upsample_420(cr)
+        ycc = np.stack([y, cb, cr], axis=-1)
+        rgb = color.ycbcr_to_rgb(ycc)
+        return rgb[:h, :w]
+
+
+def encode(rgb: np.ndarray, quality: int = 75, subsample: bool = True) -> bytes:
+    """Module-level convenience wrapper around :class:`JpegCodec`."""
+    return JpegCodec(quality=quality, subsample=subsample).encode(rgb)
+
+
+def decode(data: bytes) -> np.ndarray:
+    """Module-level convenience wrapper around :class:`JpegCodec`."""
+    return JpegCodec.decode(data)

@@ -1,0 +1,51 @@
+"""RGB ↔ YCbCr conversion and chroma subsampling (JPEG / BT.601 style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodecError
+
+# BT.601 full-range coefficients, as used by JFIF.
+_RGB_TO_YCBCR = np.array(
+    [
+        [0.299, 0.587, 0.114],
+        [-0.168736, -0.331264, 0.5],
+        [0.5, -0.418688, -0.081312],
+    ]
+)
+_YCBCR_TO_RGB = np.linalg.inv(_RGB_TO_YCBCR)
+
+
+def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
+    """Convert H×W×3 uint8 RGB to float64 YCbCr (Y in 0..255, Cb/Cr centered
+    on 128)."""
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise CodecError(f"expected HxWx3 RGB, got shape {rgb.shape}")
+    pixels = rgb.astype(np.float64)
+    ycc = pixels @ _RGB_TO_YCBCR.T
+    ycc[..., 1:] += 128.0
+    return ycc
+
+
+def ycbcr_to_rgb(ycc: np.ndarray) -> np.ndarray:
+    """Convert float YCbCr back to uint8 RGB with clipping."""
+    if ycc.ndim != 3 or ycc.shape[2] != 3:
+        raise CodecError(f"expected HxWx3 YCbCr, got shape {ycc.shape}")
+    shifted = ycc.astype(np.float64).copy()
+    shifted[..., 1:] -= 128.0
+    rgb = shifted @ _YCBCR_TO_RGB.T
+    return np.clip(np.round(rgb), 0, 255).astype(np.uint8)
+
+
+def subsample_420(channel: np.ndarray) -> np.ndarray:
+    """2×2 average-pool a chroma plane (4:2:0).  Requires even dims."""
+    h, w = channel.shape
+    if h % 2 or w % 2:
+        raise CodecError(f"4:2:0 subsampling needs even dimensions, got {h}x{w}")
+    return channel.reshape(h // 2, 2, w // 2, 2).mean(axis=(1, 3))
+
+
+def upsample_420(channel: np.ndarray) -> np.ndarray:
+    """Nearest-neighbour 2× upsample of a chroma plane."""
+    return np.repeat(np.repeat(channel, 2, axis=0), 2, axis=1)

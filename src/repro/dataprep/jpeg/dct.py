@@ -1,0 +1,70 @@
+"""8×8 block type-II DCT, the transform at the heart of JPEG.
+
+Implemented as a matrix product with the orthonormal DCT-II basis, applied
+to all blocks of a plane at once.  The inverse is the transpose product,
+so ``idct2(dct2(x)) == x`` up to float error — a property the tests pin
+down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodecError
+
+BLOCK = 8
+
+
+def _dct_matrix(n: int = BLOCK) -> np.ndarray:
+    k = np.arange(n)
+    basis = np.cos(np.pi * (2 * k[None, :] + 1) * k[:, None] / (2 * n))
+    scale = np.full((n, 1), np.sqrt(2.0 / n))
+    scale[0, 0] = np.sqrt(1.0 / n)
+    return scale * basis
+
+
+_DCT = _dct_matrix()
+_IDCT = _DCT.T
+
+
+def blockify(plane: np.ndarray) -> np.ndarray:
+    """Split an H×W plane into an (H/8 · W/8, 8, 8) stack of blocks."""
+    h, w = plane.shape
+    if h % BLOCK or w % BLOCK:
+        raise CodecError(f"plane dims must be multiples of {BLOCK}, got {h}x{w}")
+    blocks = plane.reshape(h // BLOCK, BLOCK, w // BLOCK, BLOCK)
+    return blocks.transpose(0, 2, 1, 3).reshape(-1, BLOCK, BLOCK)
+
+
+def unblockify(blocks: np.ndarray, shape: tuple) -> np.ndarray:
+    """Inverse of :func:`blockify` for a plane of the given shape."""
+    h, w = shape
+    if h % BLOCK or w % BLOCK:
+        raise CodecError(f"plane dims must be multiples of {BLOCK}, got {h}x{w}")
+    expected = (h // BLOCK) * (w // BLOCK)
+    if blocks.shape != (expected, BLOCK, BLOCK):
+        raise CodecError(
+            f"expected {expected} blocks of {BLOCK}x{BLOCK}, got {blocks.shape}"
+        )
+    grid = blocks.reshape(h // BLOCK, w // BLOCK, BLOCK, BLOCK)
+    return grid.transpose(0, 2, 1, 3).reshape(h, w)
+
+
+def dct2(blocks: np.ndarray) -> np.ndarray:
+    """Forward 2-D DCT of a (..., 8, 8) block stack."""
+    return _DCT @ blocks @ _DCT.T
+
+
+def idct2(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse 2-D DCT of a (..., 8, 8) coefficient stack."""
+    return _IDCT @ coeffs @ _IDCT.T
+
+
+def pad_to_blocks(plane: np.ndarray) -> np.ndarray:
+    """Edge-pad a plane so both dims are multiples of the block size."""
+    h, w = plane.shape
+    ph = (-h) % BLOCK
+    pw = (-w) % BLOCK
+    if not ph and not pw:
+        return plane
+    return np.pad(plane, ((0, ph), (0, pw)), mode="edge")

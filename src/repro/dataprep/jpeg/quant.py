@@ -1,0 +1,63 @@
+"""Quantization tables (ITU-T T.81 Annex K) and quality scaling.
+
+Quality scaling follows the libjpeg convention: quality 50 uses the
+standard tables verbatim, 1 is the coarsest, 100 disables quantization
+(all ones).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodecError
+
+# Annex K, Table K.1 (luminance) and K.2 (chrominance).
+LUMA_BASE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.int32,
+)
+
+CHROMA_BASE = np.array(
+    [
+        [17, 18, 24, 47, 99, 99, 99, 99],
+        [18, 21, 26, 66, 99, 99, 99, 99],
+        [24, 26, 56, 99, 99, 99, 99, 99],
+        [47, 66, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+    ],
+    dtype=np.int32,
+)
+
+
+def scaled_table(base: np.ndarray, quality: int) -> np.ndarray:
+    """Scale a base table for the requested quality (libjpeg formula)."""
+    if not 1 <= quality <= 100:
+        raise CodecError(f"quality must be in 1..100, got {quality}")
+    if quality < 50:
+        scale = 5000 // quality
+    else:
+        scale = 200 - 2 * quality
+    table = (base * scale + 50) // 100
+    return np.clip(table, 1, 255).astype(np.int32)
+
+
+def quantize(coeffs: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Quantize DCT coefficients to integers."""
+    return np.round(coeffs / table).astype(np.int32)
+
+
+def dequantize(quantized: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Reconstruct (approximate) DCT coefficients."""
+    return quantized.astype(np.float64) * table

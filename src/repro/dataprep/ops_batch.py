@@ -1,0 +1,152 @@
+"""Batch-level augmentations (the §VII-B emerging-techniques family).
+
+The paper cites Takahashi et al.'s RICAP — "an efficient cropping
+algorithm that randomly crops four images and merges them to create a
+new training image" — as the kind of emerging augmentation TrainBox's
+acceleration keeps affordable.  Unlike the per-sample ops, these combine
+*multiple* samples, so they expose a batch interface and a per-output
+cost.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DataprepError
+from repro.dataprep import cost as costmod
+from repro.dataprep.cost import OpCost, cpu_mem_traffic
+from repro.dataprep.pipeline import SampleSpec
+
+
+class BatchOp(abc.ABC):
+    """An augmentation that consumes several samples per output."""
+
+    name: str = "batch_op"
+    kind: str = "crop"
+    #: samples consumed per produced output.
+    arity: int = 1
+
+    @abc.abstractmethod
+    def apply(
+        self, batch: Sequence[np.ndarray], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Produce one output from ``arity`` source samples."""
+
+    @abc.abstractmethod
+    def cost(self, spec: SampleSpec) -> OpCost:
+        """Cost of producing one output from sources described by ``spec``."""
+
+
+@dataclass
+class Ricap(BatchOp):
+    """Random Image Cropping And Patching (Takahashi et al., cited as
+    [43]): one output image is a 2×2 patchwork of crops from four source
+    images; the boundary point is drawn at random.
+
+    The mixed label is the area-weighted combination of the four source
+    labels; :meth:`mix_weights` returns those weights for the caller's
+    loss."""
+
+    out_height: int = 224
+    out_width: int = 224
+    min_fraction: float = 0.2
+    name: str = "ricap"
+    kind: str = "crop"
+    arity: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_fraction <= 0.5:
+            raise DataprepError("min_fraction must be in (0, 0.5]")
+        self._last_weights: Tuple[float, ...] = ()
+
+    def _boundary(self, rng: np.random.Generator) -> Tuple[int, int]:
+        lo_h = int(self.out_height * self.min_fraction)
+        lo_w = int(self.out_width * self.min_fraction)
+        by = int(rng.integers(lo_h, self.out_height - lo_h + 1))
+        bx = int(rng.integers(lo_w, self.out_width - lo_w + 1))
+        return by, bx
+
+    def apply(
+        self, batch: Sequence[np.ndarray], rng: np.random.Generator
+    ) -> np.ndarray:
+        if len(batch) != self.arity:
+            raise DataprepError(f"ricap needs exactly {self.arity} images")
+        for image in batch:
+            if image.ndim != 3:
+                raise DataprepError("ricap expects HxWxC images")
+            if (
+                image.shape[0] < self.out_height
+                or image.shape[1] < self.out_width
+            ):
+                raise DataprepError(
+                    f"source {image.shape} smaller than "
+                    f"{self.out_height}x{self.out_width}"
+                )
+        by, bx = self._boundary(rng)
+        regions = [
+            (0, 0, by, bx),
+            (0, bx, by, self.out_width - bx),
+            (by, 0, self.out_height - by, bx),
+            (by, bx, self.out_height - by, self.out_width - bx),
+        ]
+        channels = batch[0].shape[2]
+        out = np.empty(
+            (self.out_height, self.out_width, channels), dtype=batch[0].dtype
+        )
+        weights = []
+        for image, (top, left, height, width) in zip(batch, regions):
+            weights.append(
+                height * width / (self.out_height * self.out_width)
+            )
+            if height == 0 or width == 0:
+                continue
+            max_top = image.shape[0] - height
+            max_left = image.shape[1] - width
+            src_top = int(rng.integers(0, max_top + 1))
+            src_left = int(rng.integers(0, max_left + 1))
+            out[top : top + height, left : left + width] = image[
+                src_top : src_top + height, src_left : src_left + width
+            ]
+        self._last_weights = tuple(weights)
+        return out
+
+    def mix_weights(self) -> Tuple[float, ...]:
+        """Area weights of the four source labels for the last output."""
+        if not self._last_weights:
+            raise DataprepError("call apply() before mix_weights()")
+        return self._last_weights
+
+    def cost(self, spec: SampleSpec) -> OpCost:
+        spec.expect("image_u8", self.name)
+        pixels = self.out_height * self.out_width
+        out_bytes = float(pixels * 3)
+        return OpCost(
+            name=self.name,
+            kind=self.kind,
+            # Four strided region copies assembling one output.
+            cpu_cycles=costmod.CROP_CYCLES_PER_PIXEL * pixels * 2,
+            bytes_in=4 * spec.nbytes,
+            bytes_out=out_bytes,
+            mem_traffic=cpu_mem_traffic(4 * spec.nbytes, out_bytes),
+        )
+
+
+def apply_batch_op(
+    op: BatchOp,
+    samples: Sequence[np.ndarray],
+    rng: np.random.Generator,
+) -> List[np.ndarray]:
+    """Produce ``len(samples)`` outputs, each combining ``op.arity``
+    randomly drawn sources (with replacement, like the RICAP recipe)."""
+    if not samples:
+        raise DataprepError("empty batch")
+    outputs = []
+    n = len(samples)
+    for _ in range(n):
+        chosen = [samples[int(rng.integers(0, n))] for _ in range(op.arity)]
+        outputs.append(op.apply(chosen, rng))
+    return outputs

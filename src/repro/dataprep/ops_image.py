@@ -1,0 +1,242 @@
+"""Image data-preparation operations (the Table II engine set).
+
+Pipeline order follows Figure 17: the *formatting engine* (JPEG decode,
+crop) feeds the *augmentation engine* (mirror, Gaussian noise, cast).
+Each op executes on real numpy payloads and prices itself with the
+calibrated constants from :mod:`repro.dataprep.cost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+import numpy as np
+
+from repro.errors import DataprepError
+from repro.dataprep import cost as costmod
+from repro.dataprep.cost import OpCost, cpu_mem_traffic
+from repro.dataprep.jpeg import codec as jpeg_codec
+from repro.dataprep.pipeline import PrepOp, SampleSpec
+
+
+class DecodePng(PrepOp):
+    """PNG → uint8 RGB, for datasets stored losslessly (§VII-A lists PNG
+    among the decoder engines TrainBox can host)."""
+
+    name = "decode_png"
+    kind = "decode"
+
+    def apply(self, data: Any, rng: np.random.Generator) -> np.ndarray:
+        from repro.dataprep.png import codec as png_codec
+
+        if not isinstance(data, (bytes, bytearray)):
+            raise DataprepError("decode_png expects compressed bytes")
+        return png_codec.decode(bytes(data))
+
+    def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
+        spec.expect("png", self.name)
+        height, width = spec.shape[:2]
+        pixels = height * width
+        out_bytes = float(pixels * 3)
+        op = OpCost(
+            name=self.name,
+            kind=self.kind,
+            cpu_cycles=costmod.PNG_DECODE_CYCLES_PER_PIXEL * pixels,
+            bytes_in=spec.nbytes,
+            bytes_out=out_bytes,
+            mem_traffic=cpu_mem_traffic(spec.nbytes, out_bytes),
+        )
+        return op, SampleSpec("image_u8", (height, width, 3), out_bytes)
+
+
+class DecodeJpeg(PrepOp):
+    """JPEG → uint8 RGB (the dominant formatting cost, §III-C)."""
+
+    name = "decode_jpeg"
+    kind = "decode"
+
+    def apply(self, data: Any, rng: np.random.Generator) -> np.ndarray:
+        if not isinstance(data, (bytes, bytearray)):
+            raise DataprepError("decode_jpeg expects compressed bytes")
+        return jpeg_codec.decode(bytes(data))
+
+    def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
+        spec.expect("jpeg", self.name)
+        height, width = spec.shape[:2]
+        pixels = height * width
+        out_bytes = float(pixels * 3)
+        op = OpCost(
+            name=self.name,
+            kind=self.kind,
+            cpu_cycles=costmod.DECODE_CYCLES_PER_PIXEL * pixels,
+            bytes_in=spec.nbytes,
+            bytes_out=out_bytes,
+            mem_traffic=cpu_mem_traffic(spec.nbytes, out_bytes),
+        )
+        return op, SampleSpec("image_u8", (height, width, 3), out_bytes)
+
+
+@dataclass
+class RandomCrop(PrepOp):
+    """Random crop to the model's input size, the augmentation the paper
+    uses to motivate on-line preparation (§III-D: a 256×256 image yields
+    32×32 distinct 224×224 crops)."""
+
+    out_height: int = 224
+    out_width: int = 224
+    name: str = "random_crop"
+    kind: str = "crop"
+
+    def apply(self, data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if data.ndim != 3:
+            raise DataprepError("random_crop expects an HxWxC image")
+        h, w = data.shape[:2]
+        if h < self.out_height or w < self.out_width:
+            raise DataprepError(
+                f"cannot crop {h}x{w} to {self.out_height}x{self.out_width}"
+            )
+        top = int(rng.integers(0, h - self.out_height + 1))
+        left = int(rng.integers(0, w - self.out_width + 1))
+        return data[top : top + self.out_height, left : left + self.out_width]
+
+    def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
+        spec.expect("image_u8", self.name)
+        if spec.shape[0] < self.out_height or spec.shape[1] < self.out_width:
+            raise DataprepError(
+                f"cannot crop {spec.shape} to {self.out_height}x{self.out_width}"
+            )
+        pixels = self.out_height * self.out_width
+        out_bytes = float(pixels * 3)
+        op = OpCost(
+            name=self.name,
+            kind=self.kind,
+            cpu_cycles=costmod.CROP_CYCLES_PER_PIXEL * pixels,
+            bytes_in=spec.nbytes,
+            bytes_out=out_bytes,
+            mem_traffic=cpu_mem_traffic(spec.nbytes, out_bytes),
+        )
+        return op, SampleSpec("image_u8", (self.out_height, self.out_width, 3), out_bytes)
+
+
+@dataclass
+class Mirror(PrepOp):
+    """Random horizontal flip."""
+
+    probability: float = 0.5
+    name: str = "mirror"
+    kind: str = "mirror"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise DataprepError(f"probability must be in [0,1]: {self.probability}")
+
+    def apply(self, data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if data.ndim != 3:
+            raise DataprepError("mirror expects an HxWxC image")
+        if rng.random() < self.probability:
+            return data[:, ::-1]
+        return data
+
+    def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
+        spec.expect("image_u8", self.name)
+        pixels = spec.shape[0] * spec.shape[1]
+        op = OpCost(
+            name=self.name,
+            kind=self.kind,
+            cpu_cycles=costmod.MIRROR_CYCLES_PER_PIXEL * pixels,
+            bytes_in=spec.nbytes,
+            bytes_out=spec.nbytes,
+            mem_traffic=cpu_mem_traffic(spec.nbytes, spec.nbytes),
+        )
+        return op, spec
+
+
+@dataclass
+class GaussianNoise(PrepOp):
+    """Additive Gaussian noise on uint8 pixels, clipped to range."""
+
+    sigma: float = 4.0
+    name: str = "gaussian_noise"
+    kind: str = "noise"
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise DataprepError(f"sigma must be >= 0: {self.sigma}")
+
+    def apply(self, data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if data.dtype != np.uint8:
+            raise DataprepError("gaussian_noise expects uint8 pixels")
+        noisy = data.astype(np.float32) + rng.normal(0.0, self.sigma, data.shape)
+        return np.clip(np.round(noisy), 0, 255).astype(np.uint8)
+
+    def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
+        spec.expect("image_u8", self.name)
+        pixels = spec.shape[0] * spec.shape[1]
+        op = OpCost(
+            name=self.name,
+            kind=self.kind,
+            cpu_cycles=costmod.NOISE_CYCLES_PER_PIXEL * pixels,
+            bytes_in=spec.nbytes,
+            bytes_out=spec.nbytes,
+            mem_traffic=cpu_mem_traffic(spec.nbytes, spec.nbytes),
+        )
+        return op, spec
+
+
+@dataclass
+class CastToFloat(PrepOp):
+    """uint8 → float32 with 1/255 normalization (the char→float widening
+    the paper blames for the amplified data-load traffic, §III-C)."""
+
+    scale: float = 1.0 / 255.0
+    name: str = "cast"
+    kind: str = "cast"
+
+    def apply(self, data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if data.dtype != np.uint8:
+            raise DataprepError("cast expects uint8 pixels")
+        return data.astype(np.float32) * self.scale
+
+    def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
+        spec.expect("image_u8", self.name)
+        pixels = spec.shape[0] * spec.shape[1]
+        out_bytes = spec.nbytes * 4.0
+        op = OpCost(
+            name=self.name,
+            kind=self.kind,
+            cpu_cycles=costmod.CAST_CYCLES_PER_PIXEL * pixels,
+            bytes_in=spec.nbytes,
+            bytes_out=out_bytes,
+            mem_traffic=cpu_mem_traffic(spec.nbytes, out_bytes),
+        )
+        return op, SampleSpec("image_f32", spec.shape, out_bytes)
+
+
+def image_pipeline(
+    out_height: int = 224,
+    out_width: int = 224,
+    noise_sigma: float = 4.0,
+    mirror_probability: float = 0.5,
+    source_format: str = "jpeg",
+) -> "PrepPipeline":
+    """The full Table II image pipeline: decode → crop → mirror → noise →
+    cast.  ``source_format`` selects the decoder ("jpeg" or "png")."""
+    from repro.dataprep.pipeline import PrepPipeline
+
+    if source_format == "jpeg":
+        decoder = DecodeJpeg()
+    elif source_format == "png":
+        decoder = DecodePng()
+    else:
+        raise DataprepError(f"unknown source format {source_format!r}")
+    return PrepPipeline(
+        [
+            decoder,
+            RandomCrop(out_height, out_width),
+            Mirror(mirror_probability),
+            GaussianNoise(noise_sigma),
+            CastToFloat(),
+        ],
+        name=f"image-prep[{source_format}]" if source_format != "jpeg" else "image-prep",
+    )

@@ -1,0 +1,116 @@
+"""Composable data-preparation pipelines.
+
+A :class:`PrepPipeline` is an ordered list of operations, each of which
+can both **execute** on a real payload (``run``) and **price itself**
+(``cost``) for a :class:`SampleSpec` describing the payload's geometry.
+The simulator uses the costs; the tests and the Figure 5 accuracy
+experiment use execution — on the same objects, so the two can never
+drift apart.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DataprepError
+from repro.dataprep.cost import OpCost, PipelineCost
+
+
+@dataclass(frozen=True)
+class SampleSpec:
+    """Geometry of a sample at some point in a pipeline.
+
+    ``kind`` tracks the representation so that specs thread through ops:
+    ``jpeg`` → ``image_u8`` → ``image_f32`` for the image pipeline,
+    ``audio_pcm`` → ``spectrogram`` → ``mel`` for audio.
+    ``shape`` is the logical array shape and ``nbytes`` the payload size
+    (for ``jpeg`` the *compressed* size, which depends on content, so the
+    dataset supplies it).
+    """
+
+    kind: str
+    shape: Tuple[int, ...]
+    nbytes: float
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise DataprepError(f"nbytes must be >= 0: {self.nbytes}")
+        if any(dim <= 0 for dim in self.shape):
+            raise DataprepError(f"shape dims must be positive: {self.shape}")
+
+    def expect(self, kind: str, op_name: str) -> None:
+        if self.kind != kind:
+            raise DataprepError(
+                f"{op_name} expects a {kind!r} input, got {self.kind!r}"
+            )
+
+
+class PrepOp(abc.ABC):
+    """One data-preparation operation."""
+
+    #: instance label, unique within a pipeline.
+    name: str = "op"
+    #: one of :data:`repro.dataprep.cost.OP_KINDS`.
+    kind: str = "load"
+
+    @abc.abstractmethod
+    def apply(self, data: Any, rng: np.random.Generator) -> Any:
+        """Transform a real payload."""
+
+    @abc.abstractmethod
+    def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
+        """Price the op for a payload described by ``spec`` and return the
+        spec of the op's output."""
+
+
+class PrepPipeline:
+    """An ordered sequence of :class:`PrepOp`."""
+
+    def __init__(self, ops: Sequence[PrepOp], name: str = "pipeline") -> None:
+        self.ops: List[PrepOp] = list(ops)
+        self.name = name
+        if not self.ops:
+            raise DataprepError("a pipeline needs at least one op")
+        labels = [op.name for op in self.ops]
+        if len(labels) != len(set(labels)):
+            raise DataprepError(f"duplicate op names in pipeline: {labels}")
+
+    def run(self, data: Any, rng: Optional[np.random.Generator] = None) -> Any:
+        """Execute the pipeline on one real sample."""
+        if rng is None:
+            rng = np.random.default_rng()
+        for op in self.ops:
+            data = op.apply(data, rng)
+        return data
+
+    def run_batch(
+        self, batch: Iterable[Any], rng: Optional[np.random.Generator] = None
+    ) -> List[Any]:
+        """Execute the pipeline on an iterable of samples."""
+        if rng is None:
+            rng = np.random.default_rng()
+        return [self.run(sample, rng) for sample in batch]
+
+    def cost(self, spec: SampleSpec) -> PipelineCost:
+        """Per-sample cost of the whole pipeline for input ``spec``."""
+        costs: List[OpCost] = []
+        for op in self.ops:
+            op_cost, spec = op.cost(spec)
+            costs.append(op_cost)
+        return PipelineCost(tuple(costs))
+
+    def output_spec(self, spec: SampleSpec) -> SampleSpec:
+        """Spec of the pipeline's output for input ``spec``."""
+        for op in self.ops:
+            _, spec = op.cost(spec)
+        return spec
+
+    def describe(self) -> str:
+        return f"{self.name}: " + " -> ".join(op.name for op in self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)

@@ -1,0 +1,84 @@
+"""The PNG-like container: filter, compress, frame."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CodecError
+from repro.dataprep.png import deflate
+from repro.dataprep.png.filters import filter_image, unfilter_image
+
+_MAGIC = b"RPNG"
+_VERSION = 1
+
+
+@dataclass
+class PngCodec:
+    """Lossless codec instance.
+
+    ``max_chain`` tunes the LZ77 matcher (longer chains = better ratio,
+    slower encode) — the same knob zlib levels turn.
+    """
+
+    max_chain: int = 32
+
+    def encode(self, image: np.ndarray) -> bytes:
+        if image.ndim != 3 or image.shape[2] not in (1, 3, 4):
+            raise CodecError(f"expected HxWx{{1,3,4}} image, got {image.shape}")
+        if image.dtype != np.uint8:
+            raise CodecError(f"expected uint8, got {image.dtype}")
+        h, w, c = image.shape
+        methods, residuals = filter_image(image)
+        # Interleave the filter byte before each scanline, PNG-style.
+        raw = bytearray()
+        for y in range(h):
+            raw.append(methods[y])
+            raw.extend(residuals[y].tobytes())
+        compressed = deflate.compress(bytes(raw), max_chain=self.max_chain)
+        out = bytearray(_MAGIC)
+        out.extend(struct.pack("<BHHB", _VERSION, h, w, c))
+        out.extend(compressed)
+        return bytes(out)
+
+    @staticmethod
+    def decode(data: bytes) -> np.ndarray:
+        if data[:4] != _MAGIC:
+            raise CodecError("not an RPNG stream")
+        try:
+            return PngCodec._decode_checked(data)
+        except CodecError:
+            raise
+        except (struct.error, IndexError, ValueError, KeyError) as exc:
+            raise CodecError(f"malformed RPNG stream: {exc}") from exc
+
+    @staticmethod
+    def _decode_checked(data: bytes) -> np.ndarray:
+        version, h, w, c = struct.unpack_from("<BHHB", data, 4)
+        if version != _VERSION:
+            raise CodecError(f"unsupported RPNG version {version}")
+        raw = deflate.decompress(data[4 + struct.calcsize("<BHHB"):])
+        stride = w * c
+        if len(raw) != h * (stride + 1):
+            raise CodecError("decompressed payload has the wrong size")
+        methods = []
+        residuals = np.zeros((h, stride), dtype=np.uint8)
+        for y in range(h):
+            start = y * (stride + 1)
+            methods.append(raw[start])
+            residuals[y] = np.frombuffer(
+                raw[start + 1 : start + 1 + stride], dtype=np.uint8
+            )
+        return unfilter_image(methods, residuals, (h, w, c))
+
+
+def encode(image: np.ndarray, max_chain: int = 32) -> bytes:
+    """Module-level convenience wrapper around :class:`PngCodec`."""
+    return PngCodec(max_chain=max_chain).encode(image)
+
+
+def decode(data: bytes) -> np.ndarray:
+    """Module-level convenience wrapper around :class:`PngCodec`."""
+    return PngCodec.decode(data)

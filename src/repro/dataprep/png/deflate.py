@@ -1,0 +1,180 @@
+"""Deflate-style entropy coding of the LZ77 token stream.
+
+Uses the real deflate alphabets — literal/length symbols 0..285 with the
+standard extra-bit tables, distance symbols 0..29 — and canonical
+Huffman codes built from the actual stream statistics ("dynamic Huffman"
+mode), shipped as (BITS, HUFFVAL) specs in the header.  The Huffman
+machinery is shared with the JPEG codec.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.errors import CodecError
+from repro.dataprep.jpeg.huffman import (
+    BitReader,
+    BitWriter,
+    HuffmanTable,
+    TableSpec,
+)
+from repro.dataprep.png.lz77 import Match, Token, expand, tokenize
+
+END_OF_BLOCK = 256
+
+# RFC 1951 §3.2.5: length codes 257..285.
+_LENGTH_BASE = (
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51,
+    59, 67, 83, 99, 115, 131, 163, 195, 227, 258,
+)
+_LENGTH_EXTRA = (
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4,
+    4, 5, 5, 5, 5, 0,
+)
+
+# Distance codes 0..29.
+_DIST_BASE = (
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385,
+    513, 769, 1025, 1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+)
+_DIST_EXTRA = (
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10,
+    10, 11, 11, 12, 12, 13, 13,
+)
+
+
+def _code_for(value: int, bases: Tuple[int, ...], extras: Tuple[int, ...]) -> Tuple[int, int, int]:
+    """(code index, extra-bit count, extra-bit value) for a length or
+    distance."""
+    for idx in range(len(bases) - 1, -1, -1):
+        if value >= bases[idx]:
+            return idx, extras[idx], value - bases[idx]
+    raise CodecError(f"value {value} below alphabet base")
+
+
+def length_symbol(length: int) -> Tuple[int, int, int]:
+    idx, nbits, extra = _code_for(length, _LENGTH_BASE, _LENGTH_EXTRA)
+    return 257 + idx, nbits, extra
+
+
+def distance_symbol(distance: int) -> Tuple[int, int, int]:
+    idx, nbits, extra = _code_for(distance, _DIST_BASE, _DIST_EXTRA)
+    return idx, nbits, extra
+
+
+def _write_table(spec: TableSpec, out: bytearray) -> None:
+    out.extend(struct.pack("<16H", *spec.counts))
+    out.extend(struct.pack("<H", len(spec.symbols)))
+    out.extend(struct.pack(f"<{len(spec.symbols)}H", *spec.symbols))
+
+
+def _read_table(buf: bytes, offset: int) -> Tuple[TableSpec, int]:
+    counts = struct.unpack_from("<16H", buf, offset)
+    offset += 32
+    (nsym,) = struct.unpack_from("<H", buf, offset)
+    offset += 2
+    symbols = struct.unpack_from(f"<{nsym}H", buf, offset)
+    offset += 2 * nsym
+    return TableSpec(tuple(counts), tuple(symbols)), offset
+
+
+def compress(data: bytes, max_chain: int = 32) -> bytes:
+    """LZ77 + dynamic canonical Huffman, one block."""
+    tokens = tokenize(data, max_chain=max_chain)
+
+    litlen_freq = {END_OF_BLOCK: 1}
+    dist_freq = {}
+    events: List[Tuple] = []
+    for token in tokens:
+        if isinstance(token, Match):
+            lsym, lbits, lextra = length_symbol(token.length)
+            dsym, dbits, dextra = distance_symbol(token.distance)
+            litlen_freq[lsym] = litlen_freq.get(lsym, 0) + 1
+            dist_freq[dsym] = dist_freq.get(dsym, 0) + 1
+            events.append(("m", lsym, lbits, lextra, dsym, dbits, dextra))
+        else:
+            litlen_freq[token] = litlen_freq.get(token, 0) + 1
+            events.append(("l", token))
+
+    litlen = HuffmanTable.from_frequencies(litlen_freq)
+    # The distance table may be empty when no matches exist.
+    dist = HuffmanTable.from_frequencies(dist_freq) if dist_freq else None
+
+    writer = BitWriter()
+    for event in events:
+        if event[0] == "l":
+            litlen.write_symbol(writer, event[1])
+        else:
+            _, lsym, lbits, lextra, dsym, dbits, dextra = event
+            litlen.write_symbol(writer, lsym)
+            writer.write(lextra, lbits)
+            assert dist is not None
+            dist.write_symbol(writer, dsym)
+            writer.write(dextra, dbits)
+    litlen.write_symbol(writer, END_OF_BLOCK)
+    payload = writer.getvalue()
+
+    out = bytearray()
+    out.extend(struct.pack("<I", len(data)))
+    _write_table(litlen.spec, out)
+    out.append(1 if dist is not None else 0)
+    if dist is not None:
+        _write_table(dist.spec, out)
+    out.extend(payload)
+    return bytes(out)
+
+
+def decompress(data: bytes) -> bytes:
+    """Invert :func:`compress`; malformed streams raise CodecError."""
+    try:
+        return _decompress_checked(data)
+    except CodecError:
+        raise
+    except (struct.error, IndexError, ValueError, KeyError) as exc:
+        raise CodecError(f"malformed deflate stream: {exc}") from exc
+
+
+def _decompress_checked(data: bytes) -> bytes:
+    (expected_len,) = struct.unpack_from("<I", data, 0)
+    offset = 4
+    litlen_spec, offset = _read_table(data, offset)
+    litlen = HuffmanTable(litlen_spec)
+    has_dist = data[offset]
+    offset += 1
+    dist = None
+    if has_dist:
+        dist_spec, offset = _read_table(data, offset)
+        dist = HuffmanTable(dist_spec)
+    reader = BitReader(data[offset:])
+
+    tokens: List[Token] = []
+    produced = 0
+    while True:
+        symbol = litlen.read_symbol(reader)
+        if symbol == END_OF_BLOCK:
+            break
+        if symbol < 256:
+            tokens.append(symbol)
+            produced += 1
+            continue
+        idx = symbol - 257
+        if not 0 <= idx < len(_LENGTH_BASE):
+            raise CodecError(f"invalid length symbol {symbol}")
+        length = _LENGTH_BASE[idx] + reader.read(_LENGTH_EXTRA[idx])
+        if dist is None:
+            raise CodecError("match emitted but no distance table present")
+        dsym = dist.read_symbol(reader)
+        if not 0 <= dsym < len(_DIST_BASE):
+            raise CodecError(f"invalid distance symbol {dsym}")
+        distance = _DIST_BASE[dsym] + reader.read(_DIST_EXTRA[dsym])
+        tokens.append(Match(length, distance))
+        produced += length
+        if produced > expected_len:
+            raise CodecError("decompressed beyond the declared length")
+    out = expand(tokens)
+    if len(out) != expected_len:
+        raise CodecError(
+            f"declared {expected_len} bytes, reconstructed {len(out)}"
+        )
+    return out

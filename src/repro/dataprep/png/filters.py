@@ -1,0 +1,164 @@
+"""PNG scanline prediction filters (RFC 2083 §6).
+
+Each scanline is transformed into residuals against a predictor; the
+encoder picks the filter minimizing the sum of absolute residuals (the
+standard heuristic), and the decoder reverses it exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import CodecError
+
+FILTER_NONE = 0
+FILTER_SUB = 1
+FILTER_UP = 2
+FILTER_AVERAGE = 3
+FILTER_PAETH = 4
+
+FILTER_NAMES = {
+    FILTER_NONE: "none",
+    FILTER_SUB: "sub",
+    FILTER_UP: "up",
+    FILTER_AVERAGE: "average",
+    FILTER_PAETH: "paeth",
+}
+
+
+def _paeth_predictor(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """The Paeth predictor, vectorized over a scanline (a=left, b=up,
+    c=up-left), all int16."""
+    p = a + b - c
+    pa = np.abs(p - a)
+    pb = np.abs(p - b)
+    pc = np.abs(p - c)
+    pred = np.where((pa <= pb) & (pa <= pc), a, np.where(pb <= pc, b, c))
+    return pred
+
+
+def _shift_left(line: np.ndarray, bpp: int) -> np.ndarray:
+    """The 'pixel to the left' array (zeros for the first pixel)."""
+    out = np.zeros_like(line)
+    out[bpp:] = line[:-bpp]
+    return out
+
+
+def filter_scanline(
+    line: np.ndarray, prev: np.ndarray, bpp: int, method: int
+) -> np.ndarray:
+    """Residuals of one scanline under ``method`` (uint8 arithmetic mod
+    256, as PNG specifies)."""
+    line16 = line.astype(np.int16)
+    prev16 = prev.astype(np.int16)
+    left = _shift_left(line16, bpp)
+    upleft = _shift_left(prev16, bpp)
+    if method == FILTER_NONE:
+        pred = np.zeros_like(line16)
+    elif method == FILTER_SUB:
+        pred = left
+    elif method == FILTER_UP:
+        pred = prev16
+    elif method == FILTER_AVERAGE:
+        pred = (left + prev16) // 2
+    elif method == FILTER_PAETH:
+        pred = _paeth_predictor(left, prev16, upleft)
+    else:
+        raise CodecError(f"unknown filter method {method}")
+    return ((line16 - pred) % 256).astype(np.uint8)
+
+
+def unfilter_scanline(
+    residual: np.ndarray, prev: np.ndarray, bpp: int, method: int
+) -> np.ndarray:
+    """Invert :func:`filter_scanline` (sequential in x for left-dependent
+    predictors, as the reconstruction is recursive)."""
+    if method == FILTER_NONE:
+        return residual.copy()
+    if method == FILTER_UP:
+        return ((residual.astype(np.int16) + prev.astype(np.int16)) % 256).astype(
+            np.uint8
+        )
+    out = np.zeros_like(residual)
+    res16 = residual.astype(np.int16)
+    prev16 = prev.astype(np.int16)
+    n = residual.shape[0]
+    for i in range(n):
+        left = int(out[i - bpp]) if i >= bpp else 0
+        up = int(prev16[i])
+        upleft = int(prev16[i - bpp]) if i >= bpp else 0
+        if method == FILTER_SUB:
+            pred = left
+        elif method == FILTER_AVERAGE:
+            pred = (left + up) // 2
+        elif method == FILTER_PAETH:
+            p = left + up - upleft
+            pa, pb, pc = abs(p - left), abs(p - up), abs(p - upleft)
+            if pa <= pb and pa <= pc:
+                pred = left
+            elif pb <= pc:
+                pred = up
+            else:
+                pred = upleft
+        else:
+            raise CodecError(f"unknown filter method {method}")
+        out[i] = (int(res16[i]) + pred) % 256
+    return out
+
+
+def choose_filter(line: np.ndarray, prev: np.ndarray, bpp: int) -> Tuple[int, np.ndarray]:
+    """Pick the filter with the minimum sum of absolute residuals
+    (residuals treated as signed, the libpng heuristic)."""
+    best_method = FILTER_NONE
+    best_score = None
+    best_residual = None
+    for method in FILTER_NAMES:
+        residual = filter_scanline(line, prev, bpp, method)
+        signed = residual.astype(np.int16)
+        signed = np.where(signed > 127, 256 - signed, signed)
+        score = int(np.abs(signed).sum())
+        if best_score is None or score < best_score:
+            best_method, best_score, best_residual = method, score, residual
+    assert best_residual is not None
+    return best_method, best_residual
+
+
+def filter_image(image: np.ndarray) -> Tuple[List[int], np.ndarray]:
+    """Filter every scanline of an H×W×C uint8 image; returns the chosen
+    per-line methods and the residual plane (H × W·C)."""
+    if image.ndim != 3:
+        raise CodecError(f"expected HxWxC image, got {image.shape}")
+    if image.dtype != np.uint8:
+        raise CodecError(f"expected uint8, got {image.dtype}")
+    h, w, c = image.shape
+    flat = image.reshape(h, w * c)
+    methods: List[int] = []
+    residuals = np.zeros_like(flat)
+    prev = np.zeros(w * c, dtype=np.uint8)
+    for y in range(h):
+        method, residual = choose_filter(flat[y], prev, c)
+        methods.append(method)
+        residuals[y] = residual
+        prev = flat[y]
+    return methods, residuals
+
+
+def unfilter_image(
+    methods: List[int], residuals: np.ndarray, shape: Tuple[int, int, int]
+) -> np.ndarray:
+    """Invert :func:`filter_image`."""
+    h, w, c = shape
+    if residuals.shape != (h, w * c):
+        raise CodecError(
+            f"residual plane {residuals.shape} does not match image {shape}"
+        )
+    if len(methods) != h:
+        raise CodecError("one filter method per scanline required")
+    out = np.zeros((h, w * c), dtype=np.uint8)
+    prev = np.zeros(w * c, dtype=np.uint8)
+    for y in range(h):
+        out[y] = unfilter_scanline(residuals[y], prev, c, methods[y])
+        prev = out[y]
+    return out.reshape(h, w, c)

@@ -1,0 +1,138 @@
+"""LZ77 back-reference matching (the dictionary half of deflate).
+
+A hash-chain matcher over a sliding window produces a token stream of
+literals and (length, distance) matches; :func:`expand` reverses it.
+The geometry follows deflate: window 32 KiB, match lengths 3..258.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Union
+
+from repro.errors import CodecError
+
+WINDOW_SIZE = 32 * 1024
+MIN_MATCH = 3
+MAX_MATCH = 258
+_HASH_SHIFT = 16
+
+
+@dataclass(frozen=True)
+class Match:
+    """A back-reference: copy ``length`` bytes from ``distance`` back."""
+
+    length: int
+    distance: int
+
+    def __post_init__(self) -> None:
+        if not MIN_MATCH <= self.length <= MAX_MATCH:
+            raise CodecError(f"match length {self.length} out of range")
+        if not 1 <= self.distance <= WINDOW_SIZE:
+            raise CodecError(f"match distance {self.distance} out of range")
+
+
+Token = Union[int, Match]  # int = literal byte value
+
+
+def _hash3(data: bytes, pos: int) -> int:
+    return (data[pos] << 10) ^ (data[pos + 1] << 5) ^ data[pos + 2]
+
+
+def tokenize(
+    data: bytes, max_chain: int = 32, lazy: bool = True
+) -> List[Token]:
+    """Greedy-with-lazy-evaluation LZ77 parse of ``data``.
+
+    ``max_chain`` bounds how many previous positions with the same hash
+    are probed per position (the usual speed/ratio knob); ``lazy``
+    enables deflate's one-step lazy matching.
+    """
+    n = len(data)
+    tokens: List[Token] = []
+    heads: Dict[int, List[int]] = {}
+
+    def find_match(pos: int) -> Match:
+        if pos + MIN_MATCH > n:
+            return None  # type: ignore[return-value]
+        chain = heads.get(_hash3(data, pos), ())
+        best_len = 0
+        best_dist = 0
+        probes = 0
+        for candidate in reversed(chain):
+            if probes >= max_chain:
+                break
+            probes += 1
+            distance = pos - candidate
+            if distance > WINDOW_SIZE:
+                break
+            limit = min(MAX_MATCH, n - pos)
+            length = 0
+            while (
+                length < limit
+                and data[candidate + length] == data[pos + length]
+            ):
+                length += 1
+            if length > best_len:
+                best_len, best_dist = length, distance
+                if length >= limit:
+                    break
+        if best_len >= MIN_MATCH:
+            return Match(min(best_len, MAX_MATCH), best_dist)
+        return None  # type: ignore[return-value]
+
+    def insert(pos: int) -> None:
+        if pos + MIN_MATCH <= n:
+            heads.setdefault(_hash3(data, pos), []).append(pos)
+
+    pos = 0
+    while pos < n:
+        match = find_match(pos)
+        if match is not None and lazy and pos + 1 < n:
+            insert(pos)
+            nxt = find_match(pos + 1)
+            if nxt is not None and nxt.length > match.length + 1:
+                tokens.append(data[pos])
+                pos += 1
+                match = nxt
+        if match is None:
+            tokens.append(data[pos])
+            insert(pos)
+            pos += 1
+        else:
+            tokens.append(match)
+            for i in range(match.length):
+                insert(pos + i)
+            pos += match.length
+    return tokens
+
+
+def expand(tokens: Iterable[Token]) -> bytes:
+    """Invert :func:`tokenize`."""
+    out = bytearray()
+    for token in tokens:
+        if isinstance(token, Match):
+            if token.distance > len(out):
+                raise CodecError(
+                    f"match distance {token.distance} beyond output "
+                    f"({len(out)} bytes)"
+                )
+            start = len(out) - token.distance
+            # Byte-by-byte to support overlapping copies (RLE-style
+            # matches where distance < length).
+            for i in range(token.length):
+                out.append(out[start + i])
+        else:
+            if not 0 <= token <= 255:
+                raise CodecError(f"invalid literal {token}")
+            out.append(token)
+    return bytes(out)
+
+
+def compression_tokens_ratio(tokens: List[Token], original_len: int) -> float:
+    """Fraction of input bytes covered by matches (a matcher quality
+    metric used by the tests)."""
+    if original_len == 0:
+        raise CodecError("empty input")
+    matched = sum(t.length for t in tokens if isinstance(t, Match))
+    return matched / original_len

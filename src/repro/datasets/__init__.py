@@ -1,0 +1,33 @@
+"""Synthetic dataset generators.
+
+The paper trains on ImageNet (stored as 256×256 JPEG) and Librispeech
+(sound streams of 6.96 s on average, §III-B1).  Neither is shippable
+here, so these generators produce synthetic equivalents with the same
+*format and size distributions* — which is all data preparation cost
+depends on (the decode/augment work is a function of geometry, not of
+picture content).  The substitution is recorded in DESIGN.md.
+"""
+
+from repro.datasets.imagenet import SyntheticImageDataset, IMAGENET_LIKE
+from repro.datasets.librispeech import SyntheticSpeechDataset, LIBRISPEECH_LIKE
+from repro.datasets.sampling import (
+    ShuffleBuffer,
+    WeightedSampler,
+    epoch_permutation,
+)
+from repro.datasets.storage import DataShard, shard_dataset
+from repro.datasets.video import KINETICS_LIKE, SyntheticVideoDataset
+
+__all__ = [
+    "DataShard",
+    "IMAGENET_LIKE",
+    "KINETICS_LIKE",
+    "LIBRISPEECH_LIKE",
+    "ShuffleBuffer",
+    "SyntheticImageDataset",
+    "SyntheticSpeechDataset",
+    "SyntheticVideoDataset",
+    "WeightedSampler",
+    "epoch_permutation",
+    "shard_dataset",
+]

@@ -1,0 +1,187 @@
+"""Shuffling and weighted sampling — the footnote-3 operations.
+
+The paper's prototype excludes preparation operations "which have
+dependency among items" (shuffling, weighted sampling) and notes
+TrainBox can support them "in either data replication among SSDs or
+communication through the prep-pool network" (§V-C footnote).  This
+module supplies both halves:
+
+* the **operations themselves** — a bounded streaming shuffle buffer, a
+  deterministic epoch shuffler, and an O(1) weighted sampler (Walker's
+  alias method);
+* the **cost models** for running them across train boxes: full
+  replication (storage multiplier) versus exchanging non-local samples
+  over the preparation network (Ethernet traffic per sample), plus a
+  helper that recommends a strategy given the hardware budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro import units
+
+
+class ShuffleBuffer:
+    """Bounded streaming shuffle (the tf.data idiom).
+
+    Items enter a buffer of size ``capacity``; each pop returns a
+    uniformly random buffered item.  With ``capacity >= len(stream)``
+    this is a full Fisher-Yates shuffle; smaller buffers trade
+    randomness for memory, which is exactly the knob a per-box shuffler
+    would expose.
+    """
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ConfigError("capacity must be positive")
+        self.capacity = capacity
+        self._rng = np.random.default_rng(seed)
+        self._buffer: List = []
+
+    def shuffle(self, stream: Iterable) -> Iterator:
+        """Yield the stream's items in (windowed) shuffled order."""
+        for item in stream:
+            if len(self._buffer) < self.capacity:
+                self._buffer.append(item)
+                continue
+            slot = int(self._rng.integers(0, self.capacity))
+            yield self._buffer[slot]
+            self._buffer[slot] = item
+        while self._buffer:
+            slot = int(self._rng.integers(0, len(self._buffer)))
+            self._buffer[slot], self._buffer[-1] = (
+                self._buffer[-1],
+                self._buffer[slot],
+            )
+            yield self._buffer.pop()
+
+
+def epoch_permutation(num_items: int, epoch: int, seed: int = 0) -> np.ndarray:
+    """The deterministic global permutation for one epoch: every worker
+    can regenerate it locally, so no coordination traffic is needed."""
+    if num_items <= 0:
+        raise ConfigError("num_items must be positive")
+    rng = np.random.default_rng((seed, epoch))
+    return rng.permutation(num_items)
+
+
+class WeightedSampler:
+    """Walker's alias method: O(n) build, O(1) per draw."""
+
+    def __init__(self, weights: Sequence[float], seed: int = 0) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ConfigError("weights must be a non-empty 1-D sequence")
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ConfigError("weights must be non-negative with positive sum")
+        self.n = weights.size
+        self.probabilities = weights / weights.sum()
+        self._rng = np.random.default_rng(seed)
+
+        scaled = self.probabilities * self.n
+        self._prob = np.zeros(self.n)
+        self._alias = np.zeros(self.n, dtype=np.int64)
+        small = [i for i in range(self.n) if scaled[i] < 1.0]
+        large = [i for i in range(self.n) if scaled[i] >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            self._prob[s] = scaled[s]
+            self._alias[s] = l
+            scaled[l] = scaled[l] + scaled[s] - 1.0
+            (small if scaled[l] < 1.0 else large).append(l)
+        for leftover in small + large:
+            self._prob[leftover] = 1.0
+            self._alias[leftover] = leftover
+
+    def sample(self, count: int = 1) -> np.ndarray:
+        """Draw ``count`` indices with replacement."""
+        if count <= 0:
+            raise ConfigError("count must be positive")
+        cols = self._rng.integers(0, self.n, size=count)
+        accept = self._rng.random(count) < self._prob[cols]
+        return np.where(accept, cols, self._alias[cols])
+
+
+# ---------------------------------------------------------------------------
+# Cross-box cost models (the footnote's two strategies).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShuffleStrategyCost:
+    """Cost of supporting global shuffling across ``n_boxes`` boxes."""
+
+    strategy: str
+    extra_storage_bytes: float
+    ethernet_bytes_per_sample: float
+
+
+def replication_cost(n_boxes: int, dataset_bytes: float) -> ShuffleStrategyCost:
+    """Strategy (a): every box stores the whole dataset, so any global
+    permutation is served locally.  Storage inflates by (n_boxes - 1)×;
+    no network traffic."""
+    if n_boxes <= 0:
+        raise ConfigError("n_boxes must be positive")
+    if dataset_bytes < 0:
+        raise ConfigError("dataset_bytes must be >= 0")
+    return ShuffleStrategyCost(
+        strategy="replication",
+        extra_storage_bytes=(n_boxes - 1) * dataset_bytes,
+        ethernet_bytes_per_sample=0.0,
+    )
+
+
+def exchange_cost(n_boxes: int, bytes_per_item: float) -> ShuffleStrategyCost:
+    """Strategy (b): data stays sharded; under a uniform global
+    permutation a sample is non-local with probability (1 - 1/n_boxes)
+    and must cross the preparation network once."""
+    if n_boxes <= 0:
+        raise ConfigError("n_boxes must be positive")
+    if bytes_per_item < 0:
+        raise ConfigError("bytes_per_item must be >= 0")
+    miss = 1.0 - 1.0 / n_boxes
+    return ShuffleStrategyCost(
+        strategy="exchange",
+        extra_storage_bytes=0.0,
+        ethernet_bytes_per_sample=miss * bytes_per_item,
+    )
+
+
+def recommend_strategy(
+    n_boxes: int,
+    dataset_bytes: float,
+    bytes_per_item: float,
+    sample_rate: float,
+    spare_storage_bytes: float,
+    ethernet_bandwidth: float = 12.5 * units.GB,
+    fpgas_per_box: int = 2,
+) -> ShuffleStrategyCost:
+    """Pick a shuffling strategy that fits the hardware budget.
+
+    Prefers replication when the spare SSD capacity holds it (zero
+    run-time cost); otherwise checks that the exchange traffic fits each
+    box FPGA's Ethernet headroom and returns the exchange plan.
+    """
+    replication = replication_cost(n_boxes, dataset_bytes)
+    if replication.extra_storage_bytes <= spare_storage_bytes:
+        return replication
+    exchange = exchange_cost(n_boxes, bytes_per_item)
+    per_box_rate = sample_rate / n_boxes
+    per_fpga_traffic = (
+        exchange.ethernet_bytes_per_sample * per_box_rate / fpgas_per_box
+    )
+    if per_fpga_traffic > ethernet_bandwidth:
+        raise ConfigError(
+            f"global shuffling infeasible: exchange needs "
+            f"{per_fpga_traffic / units.GB:.1f} GB/s per FPGA link "
+            f"({ethernet_bandwidth / units.GB:.1f} available) and "
+            f"replication needs {replication.extra_storage_bytes / units.TB:.1f} TB "
+            f"({spare_storage_bytes / units.TB:.1f} spare)"
+        )
+    return exchange

@@ -1,0 +1,82 @@
+"""Data distribution across the SSDs of train boxes.
+
+TrainBox's clustering (§IV-D, §V-A) requires that the data a box's
+accelerators consume live on the box's own SSDs — the train initializer
+"distributes the data to SSDs in each train box" before training starts.
+This module implements that partitioning and its invariants: every item
+is assigned exactly once, shards are balanced, and capacity is respected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import CapacityError, ConfigError
+
+
+@dataclass
+class DataShard:
+    """The slice of a dataset stored on one SSD."""
+
+    ssd_id: str
+    item_indices: range
+
+    def __len__(self) -> int:
+        return len(self.item_indices)
+
+    def bytes_stored(self, bytes_per_item: float) -> float:
+        return len(self) * bytes_per_item
+
+
+def shard_dataset(
+    num_items: int,
+    ssd_ids: Sequence[str],
+    bytes_per_item: float = 0.0,
+    ssd_capacity: float = float("inf"),
+) -> List[DataShard]:
+    """Split ``num_items`` contiguously and near-evenly across SSDs.
+
+    Contiguous shards preserve sequential read locality on each drive.
+    Shard sizes differ by at most one item.  Raises
+    :class:`CapacityError` if a shard would not fit on its drive.
+    """
+    if num_items <= 0:
+        raise ConfigError("num_items must be positive")
+    if not ssd_ids:
+        raise ConfigError("need at least one SSD")
+    if len(set(ssd_ids)) != len(ssd_ids):
+        raise ConfigError(f"duplicate SSD ids: {list(ssd_ids)}")
+    n = len(ssd_ids)
+    base = num_items // n
+    extra = num_items % n
+    shards: List[DataShard] = []
+    start = 0
+    for i, ssd_id in enumerate(ssd_ids):
+        count = base + (1 if i < extra else 0)
+        shard = DataShard(ssd_id, range(start, start + count))
+        if bytes_per_item and shard.bytes_stored(bytes_per_item) > ssd_capacity:
+            raise CapacityError(
+                f"shard for {ssd_id} needs "
+                f"{shard.bytes_stored(bytes_per_item):.3e} B > capacity "
+                f"{ssd_capacity:.3e} B"
+            )
+        shards.append(shard)
+        start += count
+    assert start == num_items
+    return shards
+
+
+def validate_sharding(shards: Sequence[DataShard], num_items: int) -> None:
+    """Check full, disjoint coverage of ``range(num_items)``."""
+    seen: Dict[int, str] = {}
+    for shard in shards:
+        for idx in shard.item_indices:
+            if idx in seen:
+                raise ConfigError(
+                    f"item {idx} stored on both {seen[idx]} and {shard.ssd_id}"
+                )
+            seen[idx] = shard.ssd_id
+    if len(seen) != num_items:
+        missing = set(range(num_items)) - set(seen)
+        raise ConfigError(f"{len(missing)} items unassigned (e.g. {sorted(missing)[:5]})")

@@ -1,0 +1,50 @@
+"""Device models.
+
+Every device the paper's server contains is modeled here:
+
+* :mod:`repro.devices.accelerator` — TPU-v3-class neural network
+  accelerators (compute throughput, batch-efficiency curve, PCIe ingest);
+* :mod:`repro.devices.ssd` — NVMe SSDs (media read rate, host driver cost);
+* :mod:`repro.devices.cpu` — the host CPU (finite cycles/second budget);
+* :mod:`repro.devices.dram` — host DRAM (finite bytes/second budget);
+* :mod:`repro.devices.fpga` — FPGA data-preparation accelerators including
+  the Table II / Table III resource model (LUT/FF/BRAM/DSP per engine);
+* :mod:`repro.devices.gpu_prep` — the GPU data-preparation alternative the
+  paper compares against in Figure 21 (poor at irregular decode).
+
+Device models are deliberately *passive*: they expose capacities and
+per-operation costs; the engines in :mod:`repro.core` decide how demand is
+placed on them.
+"""
+
+from repro.devices.base import Device, DeviceKind
+from repro.devices.accelerator import AcceleratorSpec, NNAccelerator
+from repro.devices.cpu import HostCpu
+from repro.devices.dram import HostDram
+from repro.devices.fpga import (
+    EngineResources,
+    FpgaDevice,
+    FpgaResourceModel,
+    XCVU9P_CAPACITY,
+    audio_resource_model,
+    image_resource_model,
+)
+from repro.devices.gpu_prep import GpuPrepDevice
+from repro.devices.ssd import NvmeSsd
+
+__all__ = [
+    "AcceleratorSpec",
+    "Device",
+    "DeviceKind",
+    "EngineResources",
+    "FpgaDevice",
+    "FpgaResourceModel",
+    "GpuPrepDevice",
+    "HostCpu",
+    "HostDram",
+    "NNAccelerator",
+    "NvmeSsd",
+    "XCVU9P_CAPACITY",
+    "audio_resource_model",
+    "image_resource_model",
+]

@@ -1,0 +1,91 @@
+"""Neural network accelerator model (TPU-v3-8 class).
+
+The paper treats the NN accelerator as a measured black box: it profiled
+TPU v3-8 throughput per workload on Google Cloud (Table I) and used those
+numbers inside its system simulator (§VI-A).  We do the same, with one
+addition needed for the batch-size sweep of Figure 20: a saturating
+batch-efficiency curve so that small batches under-utilize the device
+("better efficiency of neural network accelerators, i.e. higher resource
+utilization with a larger batch").
+
+The curve is ``eff(B) = B / (B + B_half)``; the spec's ``sample_rate`` is
+interpreted as the measured throughput at ``reference_batch``, and the
+peak rate is back-solved so that the model reproduces Table I exactly at
+the reference point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.base import Device, DeviceKind
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """Performance characteristics of one NN accelerator.
+
+    Attributes:
+        name: accelerator family ("tpu-v3-8", "titan-xp", ...).
+        sample_rate: measured samples/second at ``reference_batch``.
+        reference_batch: the per-accelerator batch at which ``sample_rate``
+            was measured (Table I uses the largest batch that fits).
+        batch_half: half-saturation batch size of the efficiency curve;
+            smaller values mean the device reaches peak efficiency with
+            smaller batches.
+        ingest_bandwidth: bytes/s the device can absorb over its PCIe
+            link while computing (DMA engine limit).
+    """
+
+    name: str
+    sample_rate: float
+    reference_batch: int
+    batch_half: int = 256
+    ingest_bandwidth: float = 16e9
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0:
+            raise ConfigError(f"sample_rate must be positive: {self.sample_rate}")
+        if self.reference_batch <= 0:
+            raise ConfigError(
+                f"reference_batch must be positive: {self.reference_batch}"
+            )
+        if self.batch_half <= 0:
+            raise ConfigError(f"batch_half must be positive: {self.batch_half}")
+
+    # -- batch-efficiency model -----------------------------------------
+
+    def efficiency(self, batch: int) -> float:
+        """Fraction of peak throughput achieved at per-device batch ``batch``."""
+        if batch <= 0:
+            raise ConfigError(f"batch must be positive: {batch}")
+        return batch / (batch + self.batch_half)
+
+    @property
+    def peak_rate(self) -> float:
+        """Asymptotic samples/s at infinite batch."""
+        return self.sample_rate / self.efficiency(self.reference_batch)
+
+    def throughput(self, batch: int) -> float:
+        """Samples/s at per-device batch ``batch``."""
+        return self.peak_rate * self.efficiency(batch)
+
+    def compute_time(self, batch: int) -> float:
+        """Seconds to run forward+backward on one batch."""
+        return batch / self.throughput(batch)
+
+
+@dataclass
+class NNAccelerator(Device):
+    """A neural network accelerator instance attached to the PCIe tree."""
+
+    spec: AcceleratorSpec = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.spec is None:
+            raise ConfigError("NNAccelerator requires a spec")
+        self.kind = DeviceKind.NN_ACCELERATOR
+
+    def compute_time(self, batch: int) -> float:
+        return self.spec.compute_time(batch)

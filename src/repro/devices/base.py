@@ -1,0 +1,37 @@
+"""Common device abstractions."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+
+class DeviceKind(enum.Enum):
+    """What a PCIe endpoint is, used when building box layouts."""
+
+    NN_ACCELERATOR = "nn_accelerator"
+    PREP_ACCELERATOR = "prep_accelerator"
+    SSD = "ssd"
+    NIC = "nic"
+
+
+@dataclass
+class Device:
+    """Base class for all endpoint device models.
+
+    ``device_id`` is unique per instance and doubles as the id of the PCIe
+    endpoint node the device is attached to, so device ↔ topology lookups
+    are trivial.
+    """
+
+    device_id: str
+    kind: DeviceKind = field(init=False)
+
+    _counter: ClassVar[itertools.count] = itertools.count()
+
+    @classmethod
+    def fresh_id(cls, prefix: str) -> str:
+        """Generate a unique device id with a readable prefix."""
+        return f"{prefix}{next(cls._counter)}"

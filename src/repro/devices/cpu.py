@@ -1,0 +1,63 @@
+"""Host CPU model.
+
+The paper's profiling host is a two-socket Xeon machine with 48 physical
+cores (§III-B1), the same budget as NVIDIA's DGX-2.  The model is a plain
+cycle budget: ``cores × frequency`` cycles per second usable for data
+preparation, with a parallel efficiency knob for the lock/batching losses
+the paper's baseline already optimizes ("batching, software pipelining and
+data partitioning for less lock contention").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro import units
+
+
+@dataclass
+class HostCpu:
+    """A pool of host CPU cores.
+
+    Not a PCIe endpoint: the CPU sits behind the root complex together
+    with DRAM, so it is modeled as a host-side resource rather than a
+    tree node.
+    """
+
+    cores: int = 48
+    frequency: float = 2.5 * units.GHZ
+    parallel_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigError(f"cores must be positive: {self.cores}")
+        if self.frequency <= 0:
+            raise ConfigError(f"frequency must be positive: {self.frequency}")
+        if not 0.0 < self.parallel_efficiency <= 1.0:
+            raise ConfigError(
+                f"parallel_efficiency must be in (0, 1]: {self.parallel_efficiency}"
+            )
+
+    @property
+    def cycle_budget(self) -> float:
+        """Usable cycles per second across all cores."""
+        return self.cores * self.frequency * self.parallel_efficiency
+
+    def time_for(self, cycles: float) -> float:
+        """Seconds to execute ``cycles`` perfectly spread over all cores."""
+        if cycles < 0:
+            raise ConfigError("cycles must be >= 0")
+        return cycles / self.cycle_budget
+
+    def throughput_for(self, cycles_per_item: float) -> float:
+        """Items/s this CPU sustains when each item costs ``cycles_per_item``."""
+        if cycles_per_item <= 0:
+            raise ConfigError("cycles_per_item must be positive")
+        return self.cycle_budget / cycles_per_item
+
+    def cores_required(self, cycles_per_second: float) -> float:
+        """Fractional core count needed to sustain a cycle demand."""
+        if cycles_per_second < 0:
+            raise ConfigError("cycle demand must be >= 0")
+        return cycles_per_second / (self.frequency * self.parallel_efficiency)

@@ -1,0 +1,45 @@
+"""Host DRAM model.
+
+Host memory matters to the paper in one way only: its finite bandwidth.
+Every staged copy in the baseline datapath (SSD→DRAM, CPU passes over the
+data, DRAM→accelerator DMA) consumes bytes/second of it, and Figure 10b
+shows demand up to 17.9× what a DGX-2 provides (239 GB/s).  Capacity is
+tracked too so buffer sizing can be sanity-checked, but bandwidth is the
+modeled bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro import units
+
+#: DGX-2 host memory bandwidth the paper normalizes against (§III-C).
+DGX2_MEMORY_BANDWIDTH = 239 * units.GB
+
+
+@dataclass
+class HostDram:
+    """Host memory: a bandwidth (and capacity) budget behind the RC."""
+
+    bandwidth: float = DGX2_MEMORY_BANDWIDTH
+    capacity: float = 1.5 * units.TB
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigError(f"bandwidth must be positive: {self.bandwidth}")
+        if self.capacity <= 0:
+            raise ConfigError(f"capacity must be positive: {self.capacity}")
+
+    def time_for(self, traffic_bytes: float) -> float:
+        """Seconds to move ``traffic_bytes`` through the memory system."""
+        if traffic_bytes < 0:
+            raise ConfigError("traffic must be >= 0")
+        return traffic_bytes / self.bandwidth
+
+    def throughput_for(self, bytes_per_item: float) -> float:
+        """Items/s sustained when each item moves ``bytes_per_item``."""
+        if bytes_per_item <= 0:
+            raise ConfigError("bytes_per_item must be positive")
+        return self.bandwidth / bytes_per_item

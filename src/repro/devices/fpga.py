@@ -1,0 +1,178 @@
+"""FPGA data-preparation accelerator and its resource model.
+
+The paper prototypes the data preparation accelerator on a Xilinx XCVU9P
+(§VI-A) and reports per-engine LUT/FF/BRAM/DSP utilization in Table II
+(image pipeline) and Table III (audio pipeline).  This module reproduces
+those tables as data, validates that a configured set of engines fits the
+part, and models the device's system-level behaviour:
+
+* **compute**: the FPGA's throughput for a preparation pipeline is derived
+  from the same per-op cycle costs the CPU model uses, scaled by per-op
+  FPGA speedups (see :mod:`repro.dataprep.cost`), so CPU and FPGA rates
+  come from one consistent cost model;
+* **I/O**: one PCIe x16 endpoint (accounted by the topology) plus an
+  Ethernet port toward the prep-pool (§IV-D: 100 Gb/s);
+* **buffering**: on-board DRAM replaces host DRAM for staging, which is
+  what makes the P2P datapath host-memory-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.devices.base import Device, DeviceKind
+from repro.errors import CapacityError, ConfigError
+from repro import units
+
+
+@dataclass(frozen=True)
+class EngineResources:
+    """FPGA resources consumed by one engine (one row of Table II/III)."""
+
+    name: str
+    luts: float
+    ffs: float
+    brams: float
+    dsps: float
+
+    def __add__(self, other: "EngineResources") -> "EngineResources":
+        return EngineResources(
+            name=f"{self.name}+{other.name}",
+            luts=self.luts + other.luts,
+            ffs=self.ffs + other.ffs,
+            brams=self.brams + other.brams,
+            dsps=self.dsps + other.dsps,
+        )
+
+
+#: XCVU9P device capacity (Xilinx DS923): the denominators that reproduce
+#: the percentages printed in Tables II and III.
+XCVU9P_CAPACITY = EngineResources(
+    name="xcvu9p", luts=1_182_000, ffs=2_364_000, brams=2_160, dsps=6_840
+)
+
+
+# Rows of Table II (image pipeline), counts as published.
+_IMAGE_ENGINES = [
+    EngineResources("jpeg_decoder", 704_000, 665_000, 0, 1_040),
+    EngineResources("crop", 500, 300, 0, 27),
+    EngineResources("mirror", 6_500, 4_700, 0, 381),
+    EngineResources("gaussian_noise", 24_500, 33_000, 80, 400),
+    EngineResources("cast", 5_700, 3_000, 0, 240),
+    EngineResources("ethernet_protocol", 166_000, 169_000, 1_024, 0),
+    EngineResources("p2p_handler", 22_700, 24_700, 153, 0),
+]
+
+# Rows of Table III (audio pipeline).
+_AUDIO_ENGINES = [
+    EngineResources("spectrogram", 622_000, 755_000, 228, 0),
+    EngineResources("masking", 21_000, 17_000, 53, 260),
+    EngineResources("norm", 14_000, 11_000, 0, 0),
+    EngineResources("mel_filter_bank", 103_000, 119_000, 208, 572),
+    EngineResources("ethernet_protocol", 166_000, 169_000, 1_024, 0),
+    EngineResources("p2p_handler", 22_700, 24_700, 153, 0),
+]
+
+
+class FpgaResourceModel:
+    """A set of engines placed on one FPGA, checked against capacity."""
+
+    def __init__(
+        self,
+        engines: Iterable[EngineResources],
+        capacity: EngineResources = XCVU9P_CAPACITY,
+        label: str = "fpga",
+    ) -> None:
+        self.engines: List[EngineResources] = list(engines)
+        self.capacity = capacity
+        self.label = label
+        names = [e.name for e in self.engines]
+        if len(names) != len(set(names)):
+            raise ConfigError(f"duplicate engine names: {names}")
+        self.check_fits()
+
+    def total(self) -> EngineResources:
+        total = EngineResources("total", 0, 0, 0, 0)
+        for engine in self.engines:
+            total = total + engine
+        return EngineResources("total", total.luts, total.ffs, total.brams, total.dsps)
+
+    def utilization(self) -> Dict[str, float]:
+        """Fraction of each resource class used (0..1)."""
+        total = self.total()
+        return {
+            "luts": total.luts / self.capacity.luts,
+            "ffs": total.ffs / self.capacity.ffs,
+            "brams": total.brams / self.capacity.brams,
+            "dsps": total.dsps / self.capacity.dsps,
+        }
+
+    def engine_utilization(self) -> Dict[str, Dict[str, float]]:
+        """Per-engine utilization fractions (the table body)."""
+        return {
+            engine.name: {
+                "luts": engine.luts / self.capacity.luts,
+                "ffs": engine.ffs / self.capacity.ffs,
+                "brams": engine.brams / self.capacity.brams,
+                "dsps": engine.dsps / self.capacity.dsps,
+            }
+            for engine in self.engines
+        }
+
+    def check_fits(self) -> None:
+        """Raise :class:`CapacityError` if the design exceeds the part."""
+        total = self.total()
+        for attr in ("luts", "ffs", "brams", "dsps"):
+            used = getattr(total, attr)
+            avail = getattr(self.capacity, attr)
+            if used > avail:
+                raise CapacityError(
+                    f"{self.label}: {attr} over capacity ({used} > {avail})"
+                )
+
+    def with_engine(self, engine: EngineResources) -> "FpgaResourceModel":
+        """A new model with one more engine (partial reconfiguration adds
+        a computation engine while interfacing logic stays, §V-C)."""
+        return FpgaResourceModel(
+            self.engines + [engine], capacity=self.capacity, label=self.label
+        )
+
+
+def image_resource_model() -> FpgaResourceModel:
+    """The Table II configuration (image data preparation)."""
+    return FpgaResourceModel(_IMAGE_ENGINES, label="image-prep-fpga")
+
+
+def audio_resource_model() -> FpgaResourceModel:
+    """The Table III configuration (audio data preparation)."""
+    return FpgaResourceModel(_AUDIO_ENGINES, label="audio-prep-fpga")
+
+
+@dataclass
+class FpgaDevice(Device):
+    """One FPGA data-preparation accelerator as a system component.
+
+    ``profile_name`` selects the per-op speedup table in
+    :mod:`repro.dataprep.cost` used to derive the device's preparation
+    throughput from pipeline cycle costs.
+    """
+
+    profile_name: str = "fpga"
+    ethernet_bandwidth: float = 12.5 * units.GB  # 100 Gb/s (§IV-D)
+    ethernet_ports: int = 1
+    onboard_dram: float = 64 * units.GB
+    onboard_dram_bandwidth: float = 77 * units.GB  # 4x DDR4-2400 DIMMs
+    resources: FpgaResourceModel = field(default_factory=image_resource_model)
+
+    def __post_init__(self) -> None:
+        if self.ethernet_ports < 0:
+            raise ConfigError("ethernet_ports must be >= 0")
+        if self.ethernet_bandwidth <= 0:
+            raise ConfigError("ethernet_bandwidth must be positive")
+        self.kind = DeviceKind.PREP_ACCELERATOR
+
+    @property
+    def pool_link_bandwidth(self) -> float:
+        """Aggregate Ethernet bandwidth toward the prep-pool (bytes/s)."""
+        return self.ethernet_bandwidth * self.ethernet_ports

@@ -1,0 +1,29 @@
+"""GPU as a data-preparation accelerator (the Figure 21 comparator).
+
+The paper argues GPUs are a poor fit for data formatting because the
+Huffman phase of JPEG decoding has no good parallel algorithm (§V-B,
+citing [40]) — which is why even NVIDIA DALI leaves decode on the CPU.
+The GPU prep device therefore uses a speedup profile in
+:mod:`repro.dataprep.cost` with near-CPU decode performance but high
+throughput on the regular, data-parallel ops (crop, mirror, noise, cast,
+filter banks).  GPUs also cannot initiate P2P against arbitrary devices
+("such functionality is limited to selected device pairs"), so server
+builders never place them on a host-memory-free datapath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.base import Device, DeviceKind
+
+
+@dataclass
+class GpuPrepDevice(Device):
+    """A GPU used for data preparation offload."""
+
+    profile_name: str = "gpu"
+    supports_generic_p2p: bool = False
+
+    def __post_init__(self) -> None:
+        self.kind = DeviceKind.PREP_ACCELERATOR

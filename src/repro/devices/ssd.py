@@ -1,0 +1,60 @@
+"""NVMe SSD model.
+
+An SSD contributes three things to the system model:
+
+* a **media read rate** limiting how many compressed bytes/s it serves;
+* **host driver cycles** per I/O command in the baseline (user/kernel
+  switching, NVMe doorbells and completions — §V-A notes TrainBox removes
+  this by letting the FPGA's P2P handler issue NVMe commands directly);
+* its **PCIe link**, accounted by the topology like any other endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.base import Device, DeviceKind
+from repro.errors import ConfigError
+from repro import units
+
+#: Sequential read rate of a datacenter NVMe drive (bytes/s).
+DEFAULT_READ_BANDWIDTH = 3.2 * units.GB
+
+#: Host CPU cycles per NVMe command in the baseline software stack
+#: (submission + interrupt + completion handling).
+DEFAULT_DRIVER_CYCLES_PER_CMD = 12_000.0
+
+#: Bytes moved per NVMe command (a typical large sequential read).
+DEFAULT_IO_SIZE = 128 * units.KIB
+
+
+@dataclass
+class NvmeSsd(Device):
+    """A single NVMe SSD."""
+
+    read_bandwidth: float = DEFAULT_READ_BANDWIDTH
+    capacity: float = 4 * units.TB
+    driver_cycles_per_cmd: float = DEFAULT_DRIVER_CYCLES_PER_CMD
+    io_size: float = DEFAULT_IO_SIZE
+
+    def __post_init__(self) -> None:
+        if self.read_bandwidth <= 0:
+            raise ConfigError("read_bandwidth must be positive")
+        if self.io_size <= 0:
+            raise ConfigError("io_size must be positive")
+        self.kind = DeviceKind.SSD
+
+    def read_time(self, nbytes: float) -> float:
+        """Seconds of media time to read ``nbytes``."""
+        if nbytes < 0:
+            raise ConfigError("cannot read a negative byte count")
+        return nbytes / self.read_bandwidth
+
+    def host_driver_cycles(self, nbytes: float) -> float:
+        """Host CPU cycles the *baseline* software stack spends to read
+        ``nbytes`` through the kernel NVMe driver.  Zero under P2P, where
+        the prep accelerator issues commands itself."""
+        if nbytes < 0:
+            raise ConfigError("cannot read a negative byte count")
+        commands = max(1.0, nbytes / self.io_size)
+        return commands * self.driver_cycles_per_cmd

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the TrainBox reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class TopologyError(ReproError):
+    """The PCIe (or Ethernet) topology is malformed or an operation on it
+    is invalid (e.g. routing between devices in different trees)."""
+
+
+class RoutingError(TopologyError):
+    """No route exists between the requested endpoints."""
+
+
+class ConfigError(ReproError):
+    """A server/architecture configuration is inconsistent."""
+
+class CapacityError(ReproError):
+    """A resource request exceeds what a device or pool can provide."""
+
+
+class CodecError(ReproError):
+    """Encoding or decoding of a data payload failed."""
+
+
+class DataprepError(ReproError):
+    """A data-preparation pipeline was built or executed incorrectly."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state."""

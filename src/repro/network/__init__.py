@@ -1,0 +1,19 @@
+"""The dedicated data-preparation network (§IV-D).
+
+TrainBox connects every in-box FPGA to a pool of extra preparation
+accelerators over Ethernet (100 Gb/s per link, top-of-rack switch) so a
+train box deployed for one workload mix can borrow preparation throughput
+when a heavier workload (audio) runs.  The network is dedicated —
+separate from PCIe — "not to incur contentions on the PCIe".
+"""
+
+from repro.network.ethernet import EthernetLink, EthernetSwitch, StarNetwork
+from repro.network.preppool import PoolAllocation, PrepPool
+
+__all__ = [
+    "EthernetLink",
+    "EthernetSwitch",
+    "PoolAllocation",
+    "PrepPool",
+    "StarNetwork",
+]

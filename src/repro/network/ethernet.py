@@ -1,0 +1,91 @@
+"""A star-topology Ethernet network: hosts, links, a switch.
+
+Modeled the same way as PCIe links: full-duplex capacity per direction.
+A transfer between two hosts traverses the sender's uplink (up) and the
+receiver's uplink (down); the switch fabric itself is non-blocking
+(top-of-rack parts are line-rate across ports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.errors import TopologyError
+from repro import units
+
+#: 100 GbE, the class of NIC on current FPGA cards (§IV-D).
+DEFAULT_ETHERNET_BANDWIDTH = 12.5 * units.GB
+
+
+@dataclass(frozen=True)
+class EthernetLink:
+    """One host's full-duplex uplink to the switch."""
+
+    host_id: str
+    bandwidth: float = DEFAULT_ETHERNET_BANDWIDTH
+
+
+@dataclass(frozen=True)
+class EthernetFlow:
+    """A unidirectional transfer with a per-iteration byte volume."""
+
+    src: str
+    dst: str
+    volume: float
+
+
+class EthernetSwitch:
+    """A non-blocking switch with a bounded port count."""
+
+    def __init__(self, switch_id: str = "tor", ports: int = 64) -> None:
+        if ports <= 0:
+            raise TopologyError("switch needs at least one port")
+        self.switch_id = switch_id
+        self.ports = ports
+
+
+class StarNetwork:
+    """Hosts attached to one switch; flow time accounting like PCIe."""
+
+    def __init__(self, switch: EthernetSwitch = None) -> None:
+        self.switch = switch or EthernetSwitch()
+        self._links: Dict[str, EthernetLink] = {}
+
+    def attach(self, link: EthernetLink) -> None:
+        if link.host_id in self._links:
+            raise TopologyError(f"duplicate host: {link.host_id}")
+        if len(self._links) >= self.switch.ports:
+            raise TopologyError(
+                f"switch {self.switch.switch_id} has no free port "
+                f"({self.switch.ports} used)"
+            )
+        self._links[link.host_id] = link
+
+    def link_of(self, host_id: str) -> EthernetLink:
+        try:
+            return self._links[host_id]
+        except KeyError:
+            raise TopologyError(f"unknown host: {host_id}") from None
+
+    def hosts(self) -> List[str]:
+        return list(self._links)
+
+    def completion_time(self, flows: Iterable[EthernetFlow]) -> float:
+        """Pipelined steady-state time to move every flow's volume once:
+        the busiest directed uplink decides."""
+        up: Dict[str, float] = {}
+        down: Dict[str, float] = {}
+        for flow in flows:
+            self.link_of(flow.src)
+            self.link_of(flow.dst)
+            if flow.src == flow.dst:
+                continue
+            up[flow.src] = up.get(flow.src, 0.0) + flow.volume
+            down[flow.dst] = down.get(flow.dst, 0.0) + flow.volume
+        worst = 0.0
+        for host, volume in up.items():
+            worst = max(worst, volume / self._links[host].bandwidth)
+        for host, volume in down.items():
+            worst = max(worst, volume / self._links[host].bandwidth)
+        return worst

@@ -1,0 +1,89 @@
+"""The prep-pool: shared extra data-preparation accelerators.
+
+The pool is a set of FPGAs reachable over the preparation network.  The
+train initializer requests accelerators for a job (through a global
+resource manager in the paper — Mesos is cited; here the pool itself
+arbitrates), and each train box's FPGA group shares its grant (§V-A).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import CapacityError, ConfigError
+
+
+@dataclass(frozen=True)
+class PoolAllocation:
+    """A grant of pool FPGAs to one training job."""
+
+    job_id: str
+    fpga_ids: tuple
+
+    @property
+    def count(self) -> int:
+        return len(self.fpga_ids)
+
+
+class PrepPool:
+    """Allocates whole pool FPGAs to jobs; release returns them."""
+
+    def __init__(self, fpga_ids: List[str]) -> None:
+        if len(set(fpga_ids)) != len(fpga_ids):
+            raise ConfigError(f"duplicate pool FPGA ids: {fpga_ids}")
+        self._free: List[str] = list(fpga_ids)
+        self._grants: Dict[str, PoolAllocation] = {}
+
+    @property
+    def total(self) -> int:
+        return len(self._free) + sum(g.count for g in self._grants.values())
+
+    @property
+    def available(self) -> int:
+        return len(self._free)
+
+    def allocate(self, job_id: str, count: int) -> PoolAllocation:
+        """Grant ``count`` FPGAs to ``job_id`` (at most one grant per job)."""
+        if count < 0:
+            raise ConfigError(f"count must be >= 0, got {count}")
+        if job_id in self._grants:
+            raise ConfigError(f"job {job_id} already holds a grant")
+        if count > len(self._free):
+            raise CapacityError(
+                f"job {job_id} requested {count} pool FPGAs, "
+                f"only {len(self._free)} available"
+            )
+        granted = tuple(self._free[:count])
+        del self._free[:count]
+        grant = PoolAllocation(job_id, granted)
+        self._grants[job_id] = grant
+        return grant
+
+    def release(self, job_id: str) -> None:
+        """Return a job's FPGAs to the pool."""
+        try:
+            grant = self._grants.pop(job_id)
+        except KeyError:
+            raise ConfigError(f"job {job_id} holds no grant") from None
+        self._free.extend(grant.fpga_ids)
+
+    def grant_of(self, job_id: str) -> Optional[PoolAllocation]:
+        return self._grants.get(job_id)
+
+
+def pool_fpgas_needed(
+    required_rate: float, in_box_rate: float, per_fpga_rate: float
+) -> int:
+    """How many pool FPGAs a job needs: the shortfall between required
+    preparation throughput and what the boxes' own FPGAs deliver, divided
+    by per-FPGA throughput (§V-A's sizing rule)."""
+    if per_fpga_rate <= 0:
+        raise ConfigError("per_fpga_rate must be positive")
+    if required_rate < 0 or in_box_rate < 0:
+        raise ConfigError("rates must be >= 0")
+    shortfall = required_rate - in_box_rate
+    if shortfall <= 0:
+        return 0
+    return math.ceil(shortfall / per_fpga_rate)

@@ -1,0 +1,56 @@
+"""PCIe interconnect substrate.
+
+This package models the general-purpose interconnect of a neural network
+server the way the paper uses it (§II-C, §IV-D):
+
+* a **tree topology** rooted at the root complex (RC), with PCIe switches
+  as internal nodes and devices at the leaves (:mod:`repro.pcie.topology`);
+* **links** of a given generation and width that bound per-direction
+  bandwidth (:mod:`repro.pcie.link`);
+* **enumeration** that assigns each node an address range covering its
+  subtree, exactly like real PCIe bus enumeration
+  (:mod:`repro.pcie.address`);
+* **routing**, both as shortest tree paths and as hop-by-hop address-based
+  forwarding, which is what makes peer-to-peer (P2P) transfers bypass the
+  root complex when endpoints share a switch (:mod:`repro.pcie.routing`);
+* a **flow-based contention solver** that computes steady-state transfer
+  rates and completion times given a set of concurrent flows
+  (:mod:`repro.pcie.traffic`).
+"""
+
+from repro.pcie.link import Link, LinkDirection, PcieGen, link_bandwidth
+from repro.pcie.topology import (
+    Endpoint,
+    Node,
+    NodeKind,
+    PcieTopology,
+    RootComplex,
+    Switch,
+)
+from repro.pcie.address import enumerate_topology
+from repro.pcie.flowsim import FlowSimulator, Transfer, TransferRecord
+from repro.pcie.routing import forward_path, route
+from repro.pcie.traffic import Flow, TrafficSolver, completion_time, link_loads
+
+__all__ = [
+    "Endpoint",
+    "Flow",
+    "FlowSimulator",
+    "Link",
+    "LinkDirection",
+    "Node",
+    "NodeKind",
+    "PcieGen",
+    "PcieTopology",
+    "RootComplex",
+    "Switch",
+    "TrafficSolver",
+    "Transfer",
+    "TransferRecord",
+    "completion_time",
+    "enumerate_topology",
+    "forward_path",
+    "link_bandwidth",
+    "link_loads",
+    "route",
+]

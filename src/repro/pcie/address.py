@@ -1,0 +1,96 @@
+"""PCIe enumeration: assign address ranges to nodes.
+
+At boot, the host enumerates the PCIe tree depth-first and programs every
+switch port with the address window of the subtree behind it (§IV-C of the
+paper: "the system assigns a unique PCIe address range to each PCIe device
+and port of PCIe switches").  Later, switches *forward* packets toward the
+port whose window contains the destination address rather than broadcasting
+them — this is precisely the property that makes peer-to-peer transfers
+stay below the lowest common ancestor switch.
+
+We reproduce that scheme: each endpoint receives a fixed-size BAR window
+and each internal node's window is the union of its children's windows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import TopologyError
+from repro.pcie.topology import NodeKind, PcieTopology
+
+#: Default BAR window granted to each endpoint, in bytes of address space.
+#: The absolute size is irrelevant to routing; only disjointness and
+#: containment matter.
+DEFAULT_WINDOW = 1 << 28  # 256 MiB
+
+
+def enumerate_topology(
+    topology: PcieTopology, window: int = DEFAULT_WINDOW, base: int = 1 << 32
+) -> Dict[str, range]:
+    """Assign address ranges to every node; returns ``{node_id: range}``.
+
+    The assignment is a DFS: an endpoint gets the next free ``window``
+    bytes; an internal node gets ``[min(child bases), max(child limits))``.
+    Internal nodes with no endpoints below them get an empty-but-valid
+    one-byte window so that ``enumerated`` holds for them too.
+    """
+    if window <= 0:
+        raise TopologyError(f"window must be positive, got {window}")
+    topology.validate()
+    assert topology.root is not None
+    cursor = base
+    assignments: Dict[str, range] = {}
+
+    def visit(node_id: str) -> range:
+        nonlocal cursor
+        node = topology.node(node_id)
+        children = topology.children_of(node_id)
+        if node.kind is NodeKind.ENDPOINT or not children:
+            lo, hi = cursor, cursor + window
+            cursor = hi
+        else:
+            child_ranges = [visit(c) for c in children]
+            lo = min(r.start for r in child_ranges)
+            hi = max(r.stop for r in child_ranges)
+        node.addr_base, node.addr_limit = lo, hi
+        assignments[node_id] = range(lo, hi)
+        return range(lo, hi)
+
+    visit(topology.root.node_id)
+    _check_disjoint_siblings(topology)
+    return assignments
+
+
+def _check_disjoint_siblings(topology: PcieTopology) -> None:
+    """Invariant: sibling subtrees own disjoint address windows."""
+    for node in topology.nodes():
+        children = topology.children_of(node.node_id)
+        windows = sorted(
+            (topology.node(c).addr_base, topology.node(c).addr_limit, c)
+            for c in children
+        )
+        for (lo1, hi1, c1), (lo2, hi2, c2) in zip(windows, windows[1:]):
+            if hi1 > lo2:
+                raise TopologyError(
+                    f"sibling windows overlap: {c1} [{lo1},{hi1}) vs {c2} [{lo2},{hi2})"
+                )
+
+
+def resolve_address(topology: PcieTopology, address: int) -> str:
+    """Find the endpoint owning ``address`` (the device a packet lands on)."""
+    assert topology.root is not None
+    node = topology.root
+    if not node.contains_address(address):
+        raise TopologyError(f"address {address:#x} is outside the tree")
+    while node.kind is not NodeKind.ENDPOINT:
+        for child_id in topology.children_of(node.node_id):
+            child = topology.node(child_id)
+            if child.contains_address(address):
+                node = child
+                break
+        else:
+            raise TopologyError(
+                f"address {address:#x} maps to no endpoint under {node.node_id}"
+            )
+    return node.node_id

@@ -1,0 +1,131 @@
+"""Packet routing over the PCIe tree.
+
+Two routing implementations are provided:
+
+* :func:`route` computes the tree path via the lowest common ancestor —
+  the ground truth for what a correctly programmed switch fabric does;
+* :func:`forward_path` simulates hop-by-hop *address-based forwarding*:
+  at each node the packet is sent toward the port whose enumerated window
+  contains the destination address, exactly as a real switch does.
+
+Tests assert the two agree on every topology, which checks that
+enumeration produced windows consistent with the tree shape.
+
+Routes are returned as sequences of :class:`~repro.pcie.link.DirectedLink`
+so the traffic solver can account each direction of each link separately.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import RoutingError
+from repro.pcie.link import DirectedLink, LinkDirection
+from repro.pcie.topology import NodeKind, PcieTopology
+
+
+def route(topology: PcieTopology, src: str, dst: str) -> List[DirectedLink]:
+    """The directed links a transfer ``src``→``dst`` traverses.
+
+    The path climbs from ``src`` to the lowest common ancestor (UP hops),
+    then descends to ``dst`` (DOWN hops).  A same-node route is empty.
+    """
+    if src == dst:
+        return []
+    topology.node(src)
+    topology.node(dst)
+    lca = topology.lowest_common_ancestor(src, dst)
+
+    hops: List[DirectedLink] = []
+    cur = src
+    while cur != lca:
+        link = topology.uplink_of(cur)
+        hops.append(link.directed(LinkDirection.UP))
+        parent = topology.parent_of(cur)
+        assert parent is not None
+        cur = parent
+
+    down: List[DirectedLink] = []
+    cur = dst
+    while cur != lca:
+        link = topology.uplink_of(cur)
+        down.append(link.directed(LinkDirection.DOWN))
+        parent = topology.parent_of(cur)
+        assert parent is not None
+        cur = parent
+    hops.extend(reversed(down))
+    return hops
+
+
+def forward_path(topology: PcieTopology, src: str, dst: str) -> List[str]:
+    """Hop-by-hop node ids visited by address-based switch forwarding.
+
+    Requires the topology to have been enumerated
+    (:func:`repro.pcie.address.enumerate_topology`).  Mirrors real switch
+    behaviour: if the destination window is below one of my downstream
+    ports, forward down that port; otherwise forward out the uplink.
+    """
+    dst_node = topology.node(dst)
+    if not dst_node.enumerated:
+        raise RoutingError(
+            "topology must be enumerated before address-based forwarding"
+        )
+    target = dst_node.addr_base
+    visited = [src]
+    cur = src
+    max_hops = len(topology) + 1
+    for _ in range(max_hops):
+        if cur == dst:
+            return visited
+        node = topology.node(cur)
+        next_hop = None
+        if node.kind is not NodeKind.ENDPOINT:
+            for child_id in topology.children_of(cur):
+                if topology.node(child_id).contains_address(target):
+                    next_hop = child_id
+                    break
+        if next_hop is None:
+            next_hop = topology.parent_of(cur)
+            if next_hop is None:
+                raise RoutingError(
+                    f"packet for {dst} stranded at root {cur}: "
+                    f"no port owns address {target:#x}"
+                )
+        visited.append(next_hop)
+        cur = next_hop
+    raise RoutingError(f"forwarding loop routing {src}->{dst}")
+
+
+def crosses_root_complex(topology: PcieTopology, src: str, dst: str) -> bool:
+    """True when a ``src``→``dst`` transfer traverses the root complex.
+
+    This is the quantity TrainBox's clustering optimization (§IV-D)
+    minimizes: transfers whose LCA is the RC create the single-point
+    hotspot the paper measures in Figure 10c.
+    """
+    assert topology.root is not None
+    if src == dst:
+        return False
+    return topology.lowest_common_ancestor(src, dst) == topology.root.node_id
+
+
+def route_nodes(topology: PcieTopology, src: str, dst: str) -> List[str]:
+    """Node ids visited along :func:`route` (including both endpoints)."""
+    if src == dst:
+        return [src]
+    lca = topology.lowest_common_ancestor(src, dst)
+    up = []
+    cur = src
+    while cur != lca:
+        up.append(cur)
+        parent = topology.parent_of(cur)
+        assert parent is not None
+        cur = parent
+    down = []
+    cur = dst
+    while cur != lca:
+        down.append(cur)
+        parent = topology.parent_of(cur)
+        assert parent is not None
+        cur = parent
+    return up + [lca] + list(reversed(down))

@@ -1,0 +1,168 @@
+"""Flow-based traffic accounting and contention on the PCIe tree.
+
+Training is throughput-oriented and deeply pipelined (next-batch prefetch,
+double buffering), so the paper models interconnect cost in steady state:
+what matters is how many bytes per iteration cross each directed link and
+which link saturates first (§III-C, Figure 10c).  Two views are provided:
+
+* **volume mode** — each flow carries a byte volume per iteration;
+  :func:`completion_time` returns the pipelined time for one iteration of
+  all flows, i.e. ``max over directed links of (bytes on link / link bw)``.
+* **rate mode** — :class:`TrafficSolver` computes a max-min fair rate
+  allocation for concurrent flows with optional per-flow demand caps
+  (progressive water-filling), used by the discrete-event engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import RoutingError
+from repro.pcie.link import DirectedLink
+from repro.pcie.routing import route
+from repro.pcie.topology import PcieTopology
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A unidirectional transfer between two endpoints.
+
+    Attributes:
+        src / dst: endpoint node ids.
+        volume: bytes moved per iteration (volume mode); ignored by the
+            rate solver.
+        demand: optional cap in bytes/s on how fast the flow can go even
+            with free links (e.g. an SSD's media rate); ``None`` = elastic.
+        label: free-form tag used for reporting ("ssd_read", "prep_out"...).
+    """
+
+    src: str
+    dst: str
+    volume: float = 0.0
+    demand: Optional[float] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.volume < 0:
+            raise ValueError(f"flow volume must be >= 0, got {self.volume}")
+        if self.demand is not None and self.demand <= 0:
+            raise ValueError(f"flow demand must be positive, got {self.demand}")
+
+
+def link_loads(
+    topology: PcieTopology, flows: Iterable[Flow]
+) -> Dict[DirectedLink, float]:
+    """Total byte volume crossing each directed link for ``flows``."""
+    loads: Dict[DirectedLink, float] = {}
+    for flow in flows:
+        if flow.volume == 0:
+            continue
+        for hop in route(topology, flow.src, flow.dst):
+            loads[hop] = loads.get(hop, 0.0) + flow.volume
+    return loads
+
+
+def completion_time(topology: PcieTopology, flows: Iterable[Flow]) -> float:
+    """Pipelined steady-state time to move every flow's volume once.
+
+    With deep pipelining, each directed link independently streams the
+    bytes routed over it, so the iteration takes as long as the busiest
+    link: ``max(load / bandwidth)``.  Returns 0.0 for no traffic.
+    """
+    loads = link_loads(topology, flows)
+    if not loads:
+        return 0.0
+    return max(load / hop.bandwidth for hop, load in loads.items())
+
+
+def bottleneck_link(
+    topology: PcieTopology, flows: Iterable[Flow]
+) -> Optional[Tuple[DirectedLink, float]]:
+    """The directed link with the highest transfer time, and that time."""
+    loads = link_loads(topology, flows)
+    if not loads:
+        return None
+    hop, load = max(loads.items(), key=lambda kv: kv[1] / kv[0].bandwidth)
+    return hop, load / hop.bandwidth
+
+
+class TrafficSolver:
+    """Max-min fair bandwidth allocation for concurrent flows.
+
+    Implements progressive filling: all unfrozen flows grow at the same
+    rate; whenever a link saturates (or a flow hits its demand cap), the
+    affected flows freeze at their current rate and the process repeats on
+    the residual capacity.  The result is the classic max-min fair
+    allocation, which is a reasonable model for PCIe round-robin
+    arbitration across ports.
+    """
+
+    def __init__(self, topology: PcieTopology) -> None:
+        self._topology = topology
+
+    def allocate(self, flows: Sequence[Flow]) -> List[float]:
+        """Rates (bytes/s) per flow, positionally matching ``flows``."""
+        routes = [route(self._topology, f.src, f.dst) for f in flows]
+        for flow, hops in zip(flows, routes):
+            if not hops and flow.src != flow.dst:
+                raise RoutingError(f"no route for flow {flow.src}->{flow.dst}")
+
+        rates = [0.0] * len(flows)
+        frozen = [False] * len(flows)
+        # Flows routed entirely inside one node (src == dst) are only
+        # bounded by their demand.
+        for i, hops in enumerate(routes):
+            if not hops:
+                rates[i] = flows[i].demand if flows[i].demand is not None else math.inf
+                frozen[i] = True
+
+        capacity: Dict[DirectedLink, float] = {}
+        members: Dict[DirectedLink, List[int]] = {}
+        for i, hops in enumerate(routes):
+            for hop in hops:
+                capacity.setdefault(hop, hop.bandwidth)
+                members.setdefault(hop, []).append(i)
+
+        while not all(frozen):
+            # The common increment is limited by the tightest link
+            # (residual capacity / active flows on it) and by the smallest
+            # remaining per-flow demand headroom.
+            increment = math.inf
+            for hop, cap in capacity.items():
+                active = [i for i in members[hop] if not frozen[i]]
+                if active:
+                    increment = min(increment, cap / len(active))
+            for i, flow in enumerate(flows):
+                if not frozen[i] and flow.demand is not None:
+                    increment = min(increment, flow.demand - rates[i])
+            if not math.isfinite(increment):
+                # No unfrozen flow touches any link and none has a demand
+                # cap: they are unbounded.
+                for i in range(len(flows)):
+                    if not frozen[i]:
+                        rates[i] = math.inf
+                        frozen[i] = True
+                break
+
+            for i in range(len(flows)):
+                if not frozen[i]:
+                    rates[i] += increment
+            for hop in capacity:
+                active = [i for i in members[hop] if not frozen[i]]
+                capacity[hop] -= increment * len(active)
+
+            # Freeze flows capped by demand first, then flows crossing a
+            # saturated link.
+            for i, flow in enumerate(flows):
+                if frozen[i]:
+                    continue
+                if flow.demand is not None and rates[i] >= flow.demand - 1e-9:
+                    rates[i] = flow.demand
+                    frozen[i] = True
+            for hop, cap in capacity.items():
+                if cap <= 1e-6:
+                    for i in members[hop]:
+                        frozen[i] = True
+        return rates

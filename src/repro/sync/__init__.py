@@ -1,0 +1,33 @@
+"""Model-synchronization substrate.
+
+Two layers:
+
+* **latency models** (:mod:`repro.sync.model`) — closed-form per-iteration
+  synchronization time for ring, tree, and central (parameter-server)
+  strategies over the accelerator interconnect.  The ring model reproduces
+  Figure 2b: latency normalized to the 2-accelerator case saturates at 2×.
+* a **functional ring all-reduce** (:mod:`repro.sync.ring`) — an actual
+  chunked reduce-scatter + all-gather over numpy arrays, used to verify
+  the communication-volume accounting behind the latency model and to
+  drive the training substrate.
+"""
+
+from repro.sync.model import (
+    CentralSyncModel,
+    RingSyncModel,
+    SyncModel,
+    TreeSyncModel,
+)
+from repro.sync.ring import RingAllReduce, ring_allreduce
+from repro.sync.tree import TreeStats, tree_allreduce
+
+__all__ = [
+    "CentralSyncModel",
+    "RingAllReduce",
+    "RingSyncModel",
+    "SyncModel",
+    "TreeStats",
+    "TreeSyncModel",
+    "ring_allreduce",
+    "tree_allreduce",
+]

@@ -1,0 +1,111 @@
+"""Closed-form synchronization latency models.
+
+All models follow the α–β convention: a step costs ``latency + bytes/bw``.
+The accelerator interconnect bandwidth defaults to NVLink class — the
+paper quotes DGX-2's fabric at 9.4× the general-purpose interconnect
+(§II-C), i.e. ≈150 GB/s effective per direction per device.
+
+Ring model (the paper's Figure 2b): a chunked ring all-reduce of an
+``M``-byte gradient over ``n`` devices moves ``2·M·(n-1)/n`` bytes per
+device and takes ``2·(n-1)`` chunk steps.  Normalizing to the latency at
+``n = 2`` gives ``(n-1)/n · 2`` for the bandwidth term — saturating at
+exactly 2× as ``n`` grows, which is the figure's curve.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro import units
+
+#: Effective per-device accelerator-fabric bandwidth (NVLink class).
+ACCELERATOR_LINK_BANDWIDTH = 150 * units.GB
+
+#: Per-step fabric latency (switch traversal + protocol).  Small relative
+#: to bandwidth terms so that the ring's normalized latency saturates
+#: near 2×, as Figure 2b shows for NVLink-class fabrics.
+DEFAULT_STEP_LATENCY = 2e-7
+
+#: Chunk size of the paper's chunked ring (Figure 2b caption: 4 KB).
+DEFAULT_CHUNK_BYTES = 4 * units.KIB
+
+
+class SyncModel(abc.ABC):
+    """Per-iteration synchronization time for a gradient of ``model_bytes``
+    across ``n`` accelerators."""
+
+    @abc.abstractmethod
+    def time(self, n: int, model_bytes: float) -> float:
+        """Seconds to synchronize once.  ``n = 1`` costs nothing."""
+
+    def normalized_latency(self, n: int, model_bytes: float) -> float:
+        """Latency normalized to the 2-accelerator case (Figure 2b y-axis)."""
+        base = self.time(2, model_bytes)
+        if base == 0:
+            raise ConfigError("2-accelerator latency is zero; cannot normalize")
+        return self.time(n, model_bytes) / base
+
+    @staticmethod
+    def _check(n: int, model_bytes: float) -> None:
+        if n < 1:
+            raise ConfigError(f"need at least one accelerator, got {n}")
+        if model_bytes < 0:
+            raise ConfigError(f"model_bytes must be >= 0, got {model_bytes}")
+
+
+@dataclass
+class RingSyncModel(SyncModel):
+    """Chunked ring all-reduce: reduce-scatter then all-gather."""
+
+    bandwidth: float = ACCELERATOR_LINK_BANDWIDTH
+    step_latency: float = DEFAULT_STEP_LATENCY
+    chunk_bytes: float = DEFAULT_CHUNK_BYTES
+
+    def time(self, n: int, model_bytes: float) -> float:
+        self._check(n, model_bytes)
+        if n == 1 or model_bytes == 0:
+            return 0.0
+        # Each device sends M/n bytes per step, 2(n-1) steps.  Chunking
+        # (4 KB in Figure 2b) exists to pipeline transfers across steps,
+        # so the critical path pays the step latency once per step and
+        # the bandwidth term is the classic 2·M·(n-1)/(n·B).
+        bytes_per_step = model_bytes / n
+        steps = 2 * (n - 1)
+        bandwidth_term = steps * bytes_per_step / self.bandwidth
+        latency_term = steps * self.step_latency
+        return bandwidth_term + latency_term
+
+
+@dataclass
+class TreeSyncModel(SyncModel):
+    """Binary-tree reduce + broadcast: 2·ceil(log2 n) full-gradient hops."""
+
+    bandwidth: float = ACCELERATOR_LINK_BANDWIDTH
+    step_latency: float = DEFAULT_STEP_LATENCY
+
+    def time(self, n: int, model_bytes: float) -> float:
+        self._check(n, model_bytes)
+        if n == 1 or model_bytes == 0:
+            return 0.0
+        depth = math.ceil(math.log2(n))
+        return 2 * depth * (model_bytes / self.bandwidth + self.step_latency)
+
+
+@dataclass
+class CentralSyncModel(SyncModel):
+    """Parameter-server style: every device sends its gradient to one
+    point and receives the aggregate — the non-scalable strategy the
+    ring replaced (latency grows linearly with n)."""
+
+    bandwidth: float = ACCELERATOR_LINK_BANDWIDTH
+    step_latency: float = DEFAULT_STEP_LATENCY
+
+    def time(self, n: int, model_bytes: float) -> float:
+        self._check(n, model_bytes)
+        if n == 1 or model_bytes == 0:
+            return 0.0
+        # The central node's link serializes (n-1) ingests and (n-1) sends.
+        return 2 * (n - 1) * (model_bytes / self.bandwidth + self.step_latency)

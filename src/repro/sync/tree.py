@@ -1,0 +1,80 @@
+"""Functional binary-tree all-reduce (reduce + broadcast).
+
+The tree strategy NCCL also implements (§II-B mentions tree-based
+aggregation): gradients flow up a binary tree, summing at each internal
+node, then the total is broadcast back down.  Latency scales with the
+tree depth (2·ceil(log2 n) full-gradient hops — see
+:class:`repro.sync.model.TreeSyncModel`), worse than the ring's
+saturating 2× at scale, which the tests confirm against the volume
+accounting here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class TreeStats:
+    """Communication accounting of one tree all-reduce execution."""
+
+    depth: int = 0
+    bytes_sent_per_rank: List[float] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> float:
+        return float(sum(self.bytes_sent_per_rank))
+
+
+def _parent(rank: int) -> int:
+    return (rank - 1) // 2
+
+
+def _children(rank: int, n: int) -> List[int]:
+    kids = [2 * rank + 1, 2 * rank + 2]
+    return [k for k in kids if k < n]
+
+
+def tree_allreduce(buffers: List[np.ndarray]) -> TreeStats:
+    """All-reduce (sum) ``buffers`` over an implicit binary tree rooted
+    at rank 0; the list's entries are replaced with the reduced arrays.
+    Returns comm stats."""
+    if not isinstance(buffers, list):
+        raise ConfigError("tree_allreduce needs a mutable list of buffers")
+    n = len(buffers)
+    if n < 1:
+        raise ConfigError("need at least one rank")
+    shapes = {b.shape for b in buffers}
+    if len(shapes) != 1:
+        raise ConfigError(f"buffer shapes differ: {shapes}")
+    stats = TreeStats(bytes_sent_per_rank=[0.0] * n)
+    if n == 1:
+        return stats
+
+    nbytes = buffers[0].nbytes
+    depth = 0
+    # Reduce: deepest level first so parents see summed subtrees.
+    order = sorted(range(1, n), key=_parent, reverse=True)
+    for rank in order:
+        parent = _parent(rank)
+        buffers[parent] = buffers[parent] + buffers[rank]
+        stats.bytes_sent_per_rank[rank] += nbytes
+
+    # Broadcast: copy the root's total down, level by level.
+    frontier = [0]
+    while frontier:
+        depth += 1
+        next_frontier: List[int] = []
+        for rank in frontier:
+            for child in _children(rank, n):
+                buffers[child] = buffers[rank].copy()
+                stats.bytes_sent_per_rank[rank] += nbytes
+                next_frontier.append(child)
+        frontier = next_frontier
+    stats.depth = depth - 1  # the last expansion adds no level
+    return stats

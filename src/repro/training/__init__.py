@@ -1,0 +1,27 @@
+"""Mini training substrate.
+
+A numpy MLP, a data-parallel SGD trainer whose gradient exchange runs on
+the package's own ring all-reduce, and the augmentation-accuracy
+experiment behind Figure 5 ("training with data augmentation shows 29.1%
+point higher accuracy than training without it").
+"""
+
+from repro.training.cnn import ConvNet
+from repro.training.large_batch import BatchScalingResult, batch_scaling_experiment
+from repro.training.nn import MLP, softmax_cross_entropy
+from repro.training.trainer import (
+    DataParallelTrainer,
+    TrainConfig,
+    augmentation_experiment,
+)
+
+__all__ = [
+    "BatchScalingResult",
+    "ConvNet",
+    "DataParallelTrainer",
+    "MLP",
+    "TrainConfig",
+    "augmentation_experiment",
+    "batch_scaling_experiment",
+    "softmax_cross_entropy",
+]

@@ -1,0 +1,129 @@
+"""Large-batch training with linear learning-rate scaling (§II-B).
+
+TrainBox's premise relies on the third enabler the paper lists: "recent
+efforts prove that using a proper learning rate can remove [the]
+instability" of large batches, letting each accelerator run the largest
+batch that fits (Table I) and shrinking the *relative* synchronization
+cost.  This experiment reproduces the effect at our scale: growing the
+batch k× while scaling the learning rate k× tracks the small-batch
+accuracy, while growing the batch with an unscaled rate undertrains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.datasets.imagenet import SyntheticImageDataset
+from repro.dataprep.ops_image import CastToFloat
+from repro.dataprep.pipeline import PrepPipeline
+from repro.training.nn import MLP
+from repro.training.trainer import CenterCrop
+
+
+@dataclass(frozen=True)
+class BatchScalingResult:
+    """Final test accuracy of each arm."""
+
+    small_batch: float
+    large_batch_scaled_lr: float
+    large_batch_unscaled_lr: float
+
+    def scaling_recovers_accuracy(self, tolerance: float = 0.08) -> bool:
+        """The paper's enabling claim at our scale."""
+        return self.large_batch_scaled_lr >= self.small_batch - tolerance
+
+    def unscaled_underperforms(self, margin: float = 0.02) -> bool:
+        return (
+            self.large_batch_unscaled_lr
+            <= self.large_batch_scaled_lr - margin
+        )
+
+
+def _prepare(items, pipeline, rng):
+    xs = [pipeline.run(img, rng).reshape(-1) for img, _ in items]
+    ys = [label for _, label in items]
+    return np.stack(xs), np.array(ys)
+
+
+def _train_arm(
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    batch: int,
+    lr: float,
+    epochs: int,
+    hidden: int,
+    seed: int,
+    warmup_epochs: int = 1,
+) -> float:
+    """SGD with the gradual-warmup schedule of the paper's citation
+    (Goyal et al.): the learning rate ramps linearly over the first
+    epoch(s), which is what makes large scaled rates stable."""
+    model = MLP([x_train.shape[1], hidden, int(y_train.max()) + 1], seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    n = x_train.shape[0]
+    steps_per_epoch = max(1, (n + batch - 1) // batch)
+    warmup_steps = warmup_epochs * steps_per_epoch
+    step = 0
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        for start in range(0, n, batch):
+            idx = order[start : start + batch]
+            _, grads = model.loss_and_grads(x_train[idx], y_train[idx])
+            ramp = min(1.0, (step + 1) / warmup_steps)
+            model.apply_grads(grads, lr * ramp)
+            step += 1
+    return model.accuracy(x_test, y_test)
+
+
+def batch_scaling_experiment(
+    num_train: int = 512,
+    num_test: int = 256,
+    image_size: int = 16,
+    num_classes: int = 8,
+    hidden: int = 48,
+    small_batch: int = 8,
+    scale: int = 8,
+    base_lr: float = 0.006,
+    epochs: int = 20,
+    seed: int = 0,
+) -> BatchScalingResult:
+    """Run the three arms on a fixed preparation (no augmentation, so
+    the only variable is the batch/LR schedule)."""
+    if scale <= 1:
+        raise ConfigError("scale must be > 1")
+    dataset = SyntheticImageDataset(
+        num_items=num_train + num_test,
+        height=image_size,
+        width=image_size,
+        num_classes=num_classes,
+        seed=seed,
+    )
+    pipeline = PrepPipeline(
+        [CenterCrop(image_size, image_size), CastToFloat()], name="fixed"
+    )
+    rng = np.random.default_rng(seed)
+    x_train, y_train = _prepare(
+        [dataset.raw_item(i) for i in range(num_train)], pipeline, rng
+    )
+    x_test, y_test = _prepare(
+        [dataset.raw_item(num_train + i) for i in range(num_test)], pipeline, rng
+    )
+
+    common = dict(
+        x_train=x_train, y_train=y_train, x_test=x_test, y_test=y_test,
+        epochs=epochs, hidden=hidden, seed=seed,
+    )
+    return BatchScalingResult(
+        small_batch=_train_arm(batch=small_batch, lr=base_lr, **common),
+        large_batch_scaled_lr=_train_arm(
+            batch=small_batch * scale, lr=base_lr * scale, **common
+        ),
+        large_batch_unscaled_lr=_train_arm(
+            batch=small_batch * scale, lr=base_lr, **common
+        ),
+    )

@@ -1,0 +1,152 @@
+"""A small fully-connected network with manual backprop.
+
+Deliberately minimal: enough model capacity to overfit a small synthetic
+image dataset (which is what makes the augmentation experiment of
+Figure 5 reproducible), with flat-parameter accessors so the gradient
+vector can travel through :mod:`repro.sync.ring` exactly like the paper's
+model-synchronization step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and d(loss)/d(logits)."""
+    if logits.ndim != 2:
+        raise ConfigError(f"logits must be (batch, classes), got {logits.shape}")
+    if labels.shape[0] != logits.shape[0]:
+        raise ConfigError("labels/logits batch mismatch")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = logits.shape[0]
+    loss = -np.log(probs[np.arange(n), labels] + 1e-12).mean()
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return float(loss), grad / n
+
+
+class MLP:
+    """Fully-connected ReLU network with a linear output layer."""
+
+    def __init__(self, layer_sizes: Sequence[int], seed: int = 0) -> None:
+        if len(layer_sizes) < 2:
+            raise ConfigError("need at least input and output sizes")
+        if any(s <= 0 for s in layer_sizes):
+            raise ConfigError(f"layer sizes must be positive: {layer_sizes}")
+        rng = np.random.default_rng(seed)
+        self.layer_sizes = list(layer_sizes)
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes, layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, scale, (fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+
+    # -- forward / backward ---------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Logits for a (batch, features) input."""
+        h = x
+        for w, b in zip(self.weights[:-1], self.biases[:-1]):
+            h = np.maximum(h @ w + b, 0.0)
+        return h @ self.weights[-1] + self.biases[-1]
+
+    def loss_and_grads(
+        self, x: np.ndarray, labels: np.ndarray
+    ) -> Tuple[float, List[np.ndarray]]:
+        """Loss plus gradients in [w0, b0, w1, b1, ...] order."""
+        activations = [x]
+        h = x
+        for w, b in zip(self.weights[:-1], self.biases[:-1]):
+            h = np.maximum(h @ w + b, 0.0)
+            activations.append(h)
+        logits = h @ self.weights[-1] + self.biases[-1]
+        loss, dlogits = softmax_cross_entropy(logits, labels)
+
+        grads: List[np.ndarray] = []
+        delta = dlogits
+        for layer in range(len(self.weights) - 1, -1, -1):
+            a = activations[layer]
+            grads.append(delta.sum(axis=0))       # bias
+            grads.append(a.T @ delta)             # weight
+            if layer > 0:
+                delta = (delta @ self.weights[layer].T) * (a > 0)
+        grads.reverse()
+        return loss, grads
+
+    def apply_grads(self, grads: Sequence[np.ndarray], lr: float) -> None:
+        """One SGD step with the given gradients."""
+        if len(grads) != 2 * len(self.weights):
+            raise ConfigError("gradient list has the wrong length")
+        for i in range(len(self.weights)):
+            self.weights[i] -= lr * grads[2 * i]
+            self.biases[i] -= lr * grads[2 * i + 1]
+
+    # -- evaluation -------------------------------------------------------
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x).argmax(axis=1)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray) -> float:
+        return float((self.predict(x) == labels).mean())
+
+    def top_k_accuracy(self, x: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+        """Top-k accuracy (Figure 5 plots top-5)."""
+        logits = self.forward(x)
+        k = min(k, logits.shape[1])
+        top = np.argsort(-logits, axis=1)[:, :k]
+        return float((top == labels[:, None]).any(axis=1).mean())
+
+    # -- flat parameter / gradient views ----------------------------------
+
+    def flat_params(self) -> np.ndarray:
+        parts = []
+        for w, b in zip(self.weights, self.biases):
+            parts.append(w.reshape(-1))
+            parts.append(b.reshape(-1))
+        return np.concatenate(parts)
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        expected = sum(w.size + b.size for w, b in zip(self.weights, self.biases))
+        if flat.shape != (expected,):
+            raise ConfigError(f"expected {expected} params, got {flat.shape}")
+        offset = 0
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            self.weights[i] = flat[offset : offset + w.size].reshape(w.shape).copy()
+            offset += w.size
+            self.biases[i] = flat[offset : offset + b.size].reshape(b.shape).copy()
+            offset += b.size
+
+    @staticmethod
+    def flatten_grads(grads: Sequence[np.ndarray]) -> np.ndarray:
+        return np.concatenate([g.reshape(-1) for g in grads])
+
+    def unflatten_grads(self, flat: np.ndarray) -> List[np.ndarray]:
+        out: List[np.ndarray] = []
+        offset = 0
+        for w, b in zip(self.weights, self.biases):
+            out.append(flat[offset : offset + w.size].reshape(w.shape))
+            offset += w.size
+            out.append(flat[offset : offset + b.size].reshape(b.shape))
+            offset += b.size
+        return out
+
+    def clone(self) -> "MLP":
+        """A structurally identical copy with the same parameters."""
+        twin = MLP(self.layer_sizes, seed=0)
+        twin.set_flat_params(self.flat_params())
+        return twin
+
+    @property
+    def model_bytes(self) -> int:
+        """Size of the parameter vector in bytes (the sync payload)."""
+        return int(self.flat_params().nbytes)

@@ -1,0 +1,234 @@
+"""Data-parallel SGD and the Figure 5 augmentation experiment.
+
+The trainer replicates an MLP across ``n`` simulated ranks; each step,
+every rank computes gradients on its own micro-batch, the flat gradient
+vectors are summed with the package's ring all-reduce — the same
+algorithm the synchronization latency model prices — averaged, and
+applied identically everywhere (a test asserts the replicas never
+diverge).
+
+The augmentation experiment reproduces Figure 5's claim end to end: two
+identical training runs on a small synthetic image dataset, one feeding
+fixed center crops (no augmentation), one feeding the package's actual
+preparation pipeline (random crop, mirror, Gaussian noise) — with the
+augmented run reaching clearly higher held-out accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.datasets.imagenet import SyntheticImageDataset
+from repro.dataprep.ops_image import CastToFloat, GaussianNoise, Mirror, RandomCrop
+from repro.dataprep.pipeline import PrepPipeline
+from repro.sync.ring import ring_allreduce
+from repro.training.nn import MLP
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyperparameters of one run."""
+
+    epochs: int = 20
+    lr: float = 0.05
+    batch_size: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ConfigError("epochs and batch_size must be positive")
+        if self.lr <= 0:
+            raise ConfigError("learning rate must be positive")
+
+
+class DataParallelTrainer:
+    """Synchronous data-parallel SGD over simulated ranks.
+
+    Works with any model satisfying the flat-parameter protocol
+    (``clone``, ``flat_params``/``set_flat_params``, ``loss_and_grads``,
+    ``apply_grads``, ``unflatten_grads``) — both :class:`MLP` and
+    :class:`repro.training.cnn.ConvNet` do.
+    """
+
+    def __init__(self, model, n_ranks: int = 1) -> None:
+        if n_ranks < 1:
+            raise ConfigError("need at least one rank")
+        self.n_ranks = n_ranks
+        self.replicas = [model.clone() for _ in range(n_ranks)]
+
+    @property
+    def model(self):
+        """Rank 0's replica (all replicas are identical)."""
+        return self.replicas[0]
+
+    def step(self, batches: List[Tuple[np.ndarray, np.ndarray]], lr: float) -> float:
+        """One synchronous step: per-rank gradients, ring all-reduce,
+        averaged update.  Returns the mean loss across ranks."""
+        if len(batches) != self.n_ranks:
+            raise ConfigError(f"expected {self.n_ranks} micro-batches")
+        losses = []
+        flats = []
+        for replica, (x, y) in zip(self.replicas, batches):
+            loss, grads = replica.loss_and_grads(x, y)
+            losses.append(loss)
+            flats.append(MLP.flatten_grads(grads))
+        ring_allreduce(flats)  # in-place sum on every rank
+        for replica, flat in zip(self.replicas, flats):
+            replica.apply_grads(replica.unflatten_grads(flat / self.n_ranks), lr)
+        return float(np.mean(losses))
+
+    def replicas_in_sync(self, tolerance: float = 1e-9) -> bool:
+        """True when every replica holds the same parameters."""
+        reference = self.replicas[0].flat_params()
+        return all(
+            np.allclose(r.flat_params(), reference, atol=tolerance)
+            for r in self.replicas[1:]
+        )
+
+
+def _prepare_batch(
+    images: List[np.ndarray],
+    pipeline: PrepPipeline,
+    rng: np.random.Generator,
+    flatten: bool = True,
+) -> np.ndarray:
+    """Run the preparation pipeline; flatten for MLPs, keep (and center)
+    the spatial layout for convolutional models."""
+    prepared = [pipeline.run(img, rng) for img in images]
+    if flatten:
+        return np.stack([p.reshape(-1) for p in prepared])
+    return np.stack(prepared) - 0.5
+
+
+def augmentation_pipeline(
+    crop: int, augment: bool, noise_sigma: float = 16.0
+) -> PrepPipeline:
+    """The on-line preparation used during training.
+
+    With ``augment``: random crop + mirror + Gaussian noise + cast — the
+    image augmentation engine of Table II.  Without: a deterministic
+    center crop (probability-0 mirror, σ=0 noise) + cast, i.e. formatting
+    only.
+    """
+    if augment:
+        ops = [
+            RandomCrop(crop, crop),
+            Mirror(0.5),
+            GaussianNoise(noise_sigma),
+            CastToFloat(),
+        ]
+    else:
+        ops = [CenterCrop(crop, crop), CastToFloat()]
+    return PrepPipeline(ops, name="train-aug" if augment else "train-noaug")
+
+
+@dataclass
+class CenterCrop(RandomCrop):
+    """Deterministic crop from the image center (the no-augmentation
+    formatting path)."""
+
+    name: str = "center_crop"
+
+    def apply(self, data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        h, w = data.shape[:2]
+        if h < self.out_height or w < self.out_width:
+            raise ConfigError(
+                f"cannot crop {h}x{w} to {self.out_height}x{self.out_width}"
+            )
+        top = (h - self.out_height) // 2
+        left = (w - self.out_width) // 2
+        return data[top : top + self.out_height, left : left + self.out_width]
+
+
+def augmentation_experiment(
+    num_train: int = 128,
+    num_test: int = 400,
+    image_size: int = 32,
+    crop: int = 20,
+    num_classes: int = 16,
+    hidden: int = 96,
+    n_ranks: int = 4,
+    config: Optional[TrainConfig] = None,
+    top_k: int = 5,
+    noise_sigma: float = 16.0,
+    model: str = "mlp",
+) -> Dict[str, List[float]]:
+    """Reproduce Figure 5: per-epoch top-k test accuracy with and without
+    data augmentation on a deliberately small training set.
+
+    ``model`` selects "mlp" (flattened inputs) or "cnn" (the conv net,
+    the paper's model class — its built-in translation equivariance makes
+    it less dependent on crop augmentation, an instructive contrast).
+    Returns ``{"with_augmentation": [...], "without_augmentation": [...]}``
+    with one accuracy per epoch.
+    """
+    if model not in ("mlp", "cnn"):
+        raise ConfigError(f"model must be 'mlp' or 'cnn', got {model!r}")
+    config = config or TrainConfig()
+    flatten = model == "mlp"
+    dataset = SyntheticImageDataset(
+        num_items=num_train + num_test,
+        height=image_size,
+        width=image_size,
+        num_classes=num_classes,
+        seed=config.seed,
+    )
+    train_items = [dataset.raw_item(i) for i in range(num_train)]
+    test_items = [dataset.raw_item(num_train + i) for i in range(num_test)]
+
+    # Held-out items are not center-aligned or noise-free in the wild:
+    # each test image gets one fixed random crop and mild noise (seeded,
+    # so evaluation is deterministic).  Augmented training learns these
+    # invariances; center-crop-only training does not — the Figure 5 gap.
+    eval_rng = np.random.default_rng(config.seed + 1)
+    eval_pipe = PrepPipeline(
+        [RandomCrop(crop, crop), GaussianNoise(noise_sigma), CastToFloat()],
+        name="eval",
+    )
+    x_test = _prepare_batch(
+        [img for img, _ in test_items], eval_pipe, eval_rng, flatten=flatten
+    )
+    y_test = np.array([label for _, label in test_items])
+
+    curves: Dict[str, List[float]] = {}
+    for augment in (True, False):
+        key = "with_augmentation" if augment else "without_augmentation"
+        pipeline = augmentation_pipeline(crop, augment, noise_sigma)
+        if flatten:
+            net = MLP([crop * crop * 3, hidden, num_classes], seed=config.seed)
+        else:
+            from repro.training.cnn import ConvNet
+
+            net = ConvNet(
+                (crop, crop, 3), channels=(8, 12), num_classes=num_classes,
+                seed=config.seed,
+            )
+        trainer = DataParallelTrainer(net, n_ranks=n_ranks)
+        rng = np.random.default_rng(config.seed + 2)
+        accuracies: List[float] = []
+        per_rank = max(1, config.batch_size // n_ranks)
+        for _ in range(config.epochs):
+            order = rng.permutation(num_train)
+            for start in range(0, num_train, per_rank * n_ranks):
+                idx = order[start : start + per_rank * n_ranks]
+                if idx.size < n_ranks:
+                    continue
+                batches = []
+                for rank in range(n_ranks):
+                    rank_idx = idx[rank::n_ranks]
+                    images = [train_items[i][0] for i in rank_idx]
+                    labels = np.array([train_items[i][1] for i in rank_idx])
+                    batches.append(
+                        (
+                            _prepare_batch(images, pipeline, rng, flatten=flatten),
+                            labels,
+                        )
+                    )
+                trainer.step(batches, config.lr)
+            accuracies.append(trainer.model.top_k_accuracy(x_test, y_test, k=top_k))
+        curves[key] = accuracies
+    return curves

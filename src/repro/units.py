@@ -1,0 +1,67 @@
+"""Physical unit helpers and hardware constants.
+
+All bandwidths inside the library are expressed in **bytes per second**,
+all sizes in **bytes**, all times in **seconds**, and all compute rates in
+**cycles per second** unless a name explicitly says otherwise.  The helpers
+here exist so that calibration constants can be written in the units the
+paper uses (GB/s, Gb/s, MB, KB, GHz) without sprinkling powers of ten
+throughout the code.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Size units (decimal, matching how vendors quote link/storage bandwidth).
+# ---------------------------------------------------------------------------
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+# Binary sizes, used when talking about in-memory buffers.
+KIB = 1 << 10
+MIB = 1 << 20
+GIB = 1 << 30
+
+# ---------------------------------------------------------------------------
+# Rate units.
+# ---------------------------------------------------------------------------
+
+MHZ = 1_000_000
+GHZ = 1_000_000_000
+
+
+def gbps(value: float) -> float:
+    """Convert *gigabits* per second to bytes per second."""
+    return value * 1e9 / 8.0
+
+
+def gb_s(value: float) -> float:
+    """Convert gigabytes per second to bytes per second."""
+    return value * GB
+
+
+def mb_s(value: float) -> float:
+    """Convert megabytes per second to bytes per second."""
+    return value * MB
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * 1e-6
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * 1e-3
+
+
+def to_gb_s(value_bytes_per_s: float) -> float:
+    """Express a bytes-per-second rate in GB/s (for reporting)."""
+    return value_bytes_per_s / GB
+
+
+def to_mb(value_bytes: float) -> float:
+    """Express a byte count in MB (for reporting)."""
+    return value_bytes / MB

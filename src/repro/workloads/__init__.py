@@ -1,0 +1,26 @@
+"""Workload registry: the seven Table I models and their properties."""
+
+from repro.workloads.registry import (
+    TABLE_I,
+    InputType,
+    NNType,
+    Workload,
+    audio_workloads,
+    get_workload,
+    image_workloads,
+    workload_names,
+)
+from repro.workloads.models import estimated_flops_per_sample, implied_utilization
+
+__all__ = [
+    "InputType",
+    "NNType",
+    "TABLE_I",
+    "Workload",
+    "audio_workloads",
+    "estimated_flops_per_sample",
+    "get_workload",
+    "image_workloads",
+    "implied_utilization",
+    "workload_names",
+]

@@ -1,0 +1,50 @@
+"""Per-model compute estimates, for sanity-checking Table I.
+
+These are literature FLOP counts for one training sample (forward +
+backward ≈ 3× forward).  They are not used by the simulator — the paper
+measures accelerator throughput instead of deriving it — but the tests
+use them to check that Table I's rates imply plausible accelerator
+utilization, which guards against transcription errors in the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigError
+
+#: Forward-pass GFLOPs per sample (224×224 inputs for CNNs; typical
+#: sequence geometry for the RNN/Transformer rows).
+_FORWARD_GFLOPS: Dict[str, float] = {
+    "VGG-19": 19.6,
+    "Resnet-50": 4.1,
+    "Inception-v4": 12.3,
+    "RNN-S": 0.6,
+    "RNN-L": 2.4,
+    "Transformer-SR": 30.0,
+    "Transformer-AA": 21.0,
+}
+
+#: TPU v3-8 peak (8 cores × 52.5 TFLOPS bf16 ≈ 420 TFLOPS).
+TPU_V3_8_PEAK_FLOPS = 420e12
+
+#: forward + backward ≈ 3× forward.
+TRAIN_FLOPS_MULTIPLIER = 3.0
+
+
+def estimated_flops_per_sample(name: str) -> float:
+    """Training FLOPs for one sample of the named workload."""
+    try:
+        forward = _FORWARD_GFLOPS[name]
+    except KeyError:
+        raise ConfigError(
+            f"no FLOP estimate for {name!r}; known: {sorted(_FORWARD_GFLOPS)}"
+        ) from None
+    return forward * 1e9 * TRAIN_FLOPS_MULTIPLIER
+
+
+def implied_utilization(name: str, sample_rate: float) -> float:
+    """Fraction of TPU v3-8 peak implied by a measured sample rate."""
+    if sample_rate <= 0:
+        raise ConfigError("sample_rate must be positive")
+    return sample_rate * estimated_flops_per_sample(name) / TPU_V3_8_PEAK_FLOPS

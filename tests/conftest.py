@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pcie.address import enumerate_topology
+from repro.pcie.topology import Endpoint, PcieTopology, RootComplex, Switch
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def smooth_image(rng):
+    """A photo-like 48x40 uint8 RGB image (compresses well)."""
+    h, w = 48, 40
+    x = np.linspace(0, 255, w)[None, :] * np.ones((h, 1))
+    img = np.stack([x, x[::-1], np.full((h, w), 128.0)], axis=-1)
+    return np.clip(img + rng.normal(0, 8, img.shape), 0, 255).astype(np.uint8)
+
+
+@pytest.fixture
+def small_topology():
+    """rc -> {s1 -> (a, b), s2 -> (c)} with default Gen3 x16 links."""
+    topo = PcieTopology(RootComplex())
+    topo.attach(Switch("s1"), "rc")
+    topo.attach(Switch("s2"), "rc")
+    topo.attach(Endpoint("a"), "s1")
+    topo.attach(Endpoint("b"), "s1")
+    topo.attach(Endpoint("c"), "s2")
+    enumerate_topology(topo)
+    return topo
+
+
+def build_deep_topology(depth: int = 3, fanout: int = 2) -> PcieTopology:
+    """A complete switch tree of the given depth with endpoint leaves."""
+    topo = PcieTopology(RootComplex(max_links=fanout + 2))
+    frontier = ["rc"]
+    for level in range(depth):
+        nxt = []
+        for parent in frontier:
+            for i in range(fanout):
+                sid = f"{parent}.{i}" if parent != "rc" else f"n{i}"
+                topo.attach(Switch(sid, max_links=fanout + 2), parent)
+                nxt.append(sid)
+        frontier = nxt
+    for parent in frontier:
+        for i in range(fanout):
+            topo.attach(Endpoint(f"{parent}.e{i}"), parent)
+    enumerate_topology(topo)
+    return topo

@@ -1,0 +1,70 @@
+"""Tests for the analysis helpers (tables, trends) and units."""
+
+import pytest
+
+from repro.analysis.tables import format_series, format_table, geometric_mean
+from repro.analysis.trends import asic_trend, interconnect_trend, trend_growth
+from repro.errors import ConfigError
+from repro import units
+
+
+def test_format_table_aligns_columns():
+    table = format_table(["a", "long_header"], [[1, 2.5], ["xx", 0.001]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # every row padded to the same width
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ConfigError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_table_float_formatting():
+    out = format_table(["x"], [[12345.678], [0.0001], [3.14159], [0]])
+    assert "1.23e+04" in out
+    assert "0.0001" in out
+    assert "3.14" in out
+
+
+def test_format_series():
+    out = format_series("s", [1, 2], [1.5, 2.5])
+    assert out == "s: 1=1.50, 2=2.50"
+    with pytest.raises(ConfigError):
+        format_series("s", [1], [1.0, 2.0])
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([5.0]) == pytest.approx(5.0)
+    with pytest.raises(ConfigError):
+        geometric_mean([])
+    with pytest.raises(ConfigError):
+        geometric_mean([1.0, -2.0])
+
+
+def test_trends_monotone_and_huge_gap():
+    asic = asic_trend()
+    icn = interconnect_trend()
+    assert [v for _, v, _ in asic] == sorted(v for _, v, _ in asic)
+    assert [v for _, v, _ in icn] == sorted(v for _, v, _ in icn)
+    # Figure 2a's story: four orders of magnitude vs roughly one.
+    assert trend_growth(asic) > 1000 * trend_growth(icn)
+
+
+def test_trend_growth_validation():
+    with pytest.raises(ConfigError):
+        trend_growth([(2012, 1.0, "x")])
+
+
+def test_unit_conversions():
+    assert units.gbps(100) == pytest.approx(12.5e9)
+    assert units.gb_s(3.2) == pytest.approx(3.2e9)
+    assert units.mb_s(1) == pytest.approx(1e6)
+    assert units.to_gb_s(16e9) == pytest.approx(16.0)
+    assert units.to_mb(97.5e6) == pytest.approx(97.5)
+    assert units.us(5) == pytest.approx(5e-6)
+    assert units.ms(3) == pytest.approx(3e-3)
+    assert units.KIB == 1024
+    assert units.GB == 10**9

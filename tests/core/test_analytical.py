@@ -1,0 +1,140 @@
+"""Tests for the analytical throughput solver."""
+
+import pytest
+
+from repro.core.analytical import TrainingScenario, prep_capacity, simulate
+from repro.core.config import ArchitectureConfig, SyncStrategy
+from repro.core.dataflow import build_demand
+from repro.core.server import build_server
+from repro.errors import ConfigError
+from repro.workloads.registry import get_workload
+
+RESNET = get_workload("Resnet-50")
+INCEPTION = get_workload("Inception-v4")
+
+
+def test_scenario_validation():
+    with pytest.raises(ConfigError):
+        TrainingScenario(RESNET, ArchitectureConfig.baseline(), 0)
+    with pytest.raises(ConfigError):
+        TrainingScenario(RESNET, ArchitectureConfig.baseline(), 4, batch_size=0)
+    with pytest.raises(ConfigError):
+        TrainingScenario(
+            RESNET, ArchitectureConfig.baseline(), 4, accelerator="npu"
+        )
+
+
+def test_small_scale_accelerator_bound():
+    result = simulate(TrainingScenario(RESNET, ArchitectureConfig.baseline(), 1))
+    assert result.bottleneck == "accelerator"
+    assert result.throughput == pytest.approx(RESNET.sample_rate, rel=0.01)
+    assert not result.prep_bound
+
+
+def test_large_scale_prep_bound():
+    result = simulate(TrainingScenario(RESNET, ArchitectureConfig.baseline(), 256))
+    assert result.prep_bound
+    assert result.bottleneck == "host_cpu"
+
+
+def test_throughput_is_min_law():
+    result = simulate(TrainingScenario(RESNET, ArchitectureConfig.baseline(), 64))
+    assert result.throughput == pytest.approx(
+        min(result.prep_rate, result.consume_rate)
+    )
+    assert result.prep_rate == pytest.approx(min(result.resource_rates.values()))
+
+
+def test_throughput_monotone_in_scale():
+    prev = 0.0
+    for n in (1, 2, 4, 8, 16, 32, 64):
+        r = simulate(TrainingScenario(INCEPTION, ArchitectureConfig.trainbox(), n))
+        assert r.throughput >= prev - 1e-6
+        prev = r.throughput
+
+
+def test_prebuilt_server_reuse():
+    server = build_server(ArchitectureConfig.baseline(), 8)
+    scenario = TrainingScenario(RESNET, ArchitectureConfig.baseline(), 8)
+    a = simulate(scenario)
+    b = simulate(scenario, server=server)
+    assert a.throughput == pytest.approx(b.throughput)
+    with pytest.raises(ConfigError):
+        simulate(
+            TrainingScenario(RESNET, ArchitectureConfig.baseline(), 16),
+            server=server,
+        )
+
+
+def test_batch_size_override_changes_consume_side():
+    small = simulate(
+        TrainingScenario(RESNET, ArchitectureConfig.trainbox(), 8, batch_size=64)
+    )
+    big = simulate(
+        TrainingScenario(RESNET, ArchitectureConfig.trainbox(), 8, batch_size=8192)
+    )
+    assert big.consume_rate > small.consume_rate
+
+
+def test_legacy_gpu_slower():
+    tpu = simulate(TrainingScenario(RESNET, ArchitectureConfig.baseline(), 8))
+    gpu = simulate(
+        TrainingScenario(
+            RESNET, ArchitectureConfig.baseline(), 8, accelerator="legacy-gpu"
+        )
+    )
+    assert gpu.throughput < tpu.throughput / 10
+
+
+def test_fabric_bandwidth_override_slows_sync():
+    fast = simulate(TrainingScenario(RESNET, ArchitectureConfig.baseline(), 64))
+    slow = simulate(
+        TrainingScenario(
+            RESNET,
+            ArchitectureConfig.baseline(),
+            64,
+            fabric_bandwidth=16e9,
+        )
+    )
+    assert slow.sync_time > fast.sync_time
+
+
+def test_sync_strategy_from_arch():
+    import dataclasses
+
+    central = dataclasses.replace(
+        ArchitectureConfig.baseline(), sync=SyncStrategy.CENTRAL
+    )
+    ring = simulate(TrainingScenario(RESNET, ArchitectureConfig.baseline(), 64))
+    cent = simulate(TrainingScenario(RESNET, central, 64))
+    assert cent.sync_time > ring.sync_time
+
+
+def test_prep_capacity_reports_all_resources():
+    server = build_server(ArchitectureConfig.trainbox(), 16)
+    demand = build_demand(server, RESNET)
+    rate, rates = prep_capacity(server, demand)
+    expected_keys = {
+        "host_cpu",
+        "host_memory",
+        "pcie",
+        "ssd",
+        "prep_compute",
+        "prep_network",
+        "accelerator_ingest",
+    }
+    assert set(rates) == expected_keys
+    assert rate == min(rates.values())
+
+
+def test_iteration_time_consistency():
+    r = simulate(TrainingScenario(RESNET, ArchitectureConfig.trainbox(), 8))
+    assert r.iteration_time == pytest.approx(
+        8 * r.batch_size / r.throughput
+    )
+
+
+def test_speedup_over():
+    base = simulate(TrainingScenario(RESNET, ArchitectureConfig.baseline(), 256))
+    tb = simulate(TrainingScenario(RESNET, ArchitectureConfig.trainbox(), 256))
+    assert tb.speedup_over(base) > 10

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_workloads_command(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "Resnet-50" in out
+    assert "Transformer-AA" in out
+
+
+def test_simulate_command(capsys):
+    assert main(["simulate", "Resnet-50", "-a", "trainbox", "-n", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "bottleneck" in out
+
+
+def test_simulate_with_batch(capsys):
+    assert main(["simulate", "Resnet-50", "-n", "8", "-b", "512"]) == 0
+    assert "512" in capsys.readouterr().out
+
+
+def test_ladder_command(capsys):
+    assert main(["ladder", "tf-aa", "-n", "64"]) == 0
+    out = capsys.readouterr().out
+    for name in ("baseline", "baseline+acc", "trainbox"):
+        assert name in out
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "Inception-v4", "-a", "baseline", "-n", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "host_cpu" in out  # saturation visible
+
+
+def test_plan_command(capsys):
+    assert main(["plan", "Transformer-SR", "-n", "64", "--items", "1000"]) == 0
+    out = capsys.readouterr().out
+    assert "prep-pool FPGAs" in out
+    assert "meets target" in out
+
+
+def test_unknown_architecture_exits():
+    with pytest.raises(SystemExit):
+        main(["simulate", "Resnet-50", "-a", "warp-drive"])
+
+
+def test_unknown_workload_raises():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        main(["simulate", "GPT-9"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,93 @@
+"""Tests for hardware and architecture configurations."""
+
+import pytest
+
+from repro.core.config import (
+    Architecture,
+    ArchitectureConfig,
+    HardwareConfig,
+    PrepDevice,
+    SyncStrategy,
+)
+from repro.errors import ConfigError
+from repro.pcie.link import PcieGen
+
+
+def test_default_hardware_is_dgx2_class():
+    hw = HardwareConfig()
+    assert hw.cpu_cores == 48
+    assert hw.memory_bandwidth == pytest.approx(239e9)
+    assert hw.accs_per_box == 8
+    assert hw.fpgas_per_train_box == 2
+    assert hw.ssds_per_train_box == 2
+
+
+def test_hardware_validation():
+    with pytest.raises(ConfigError):
+        HardwareConfig(cpu_cores=0)
+    with pytest.raises(ConfigError):
+        HardwareConfig(prep_per_acc_ratio=0.0)
+    with pytest.raises(ConfigError):
+        HardwareConfig(max_boxes_per_chain=0)
+
+
+def test_figure19_ladder_order():
+    ladder = ArchitectureConfig.figure19_ladder()
+    assert [a.name for a in ladder] == [
+        "baseline",
+        "baseline+acc",
+        "baseline+acc+p2p",
+        "baseline+acc+p2p+gen4",
+        "trainbox",
+    ]
+
+
+def test_baseline_flags():
+    arch = ArchitectureConfig.baseline()
+    assert arch.prep_device is PrepDevice.CPU
+    assert not arch.p2p and not arch.clustering and not arch.prep_pool
+    assert arch.sync is SyncStrategy.RING
+
+
+def test_trainbox_flags():
+    arch = ArchitectureConfig.trainbox()
+    assert arch.prep_device is PrepDevice.FPGA
+    assert arch.p2p and arch.clustering and arch.prep_pool
+    no_pool = ArchitectureConfig.trainbox(prep_pool=False)
+    assert no_pool.clustering and not no_pool.prep_pool
+    assert no_pool.name == Architecture.TRAINBOX_NO_POOL.value
+
+
+def test_gen4_config():
+    arch = ArchitectureConfig.baseline_acc_p2p_gen4()
+    assert arch.pcie_gen is PcieGen.GEN4
+    assert arch.p2p
+
+
+def test_gpu_acc_variant_named_distinctly():
+    gpu = ArchitectureConfig.baseline_acc(PrepDevice.GPU)
+    fpga = ArchitectureConfig.baseline_acc()
+    assert gpu.name != fpga.name
+    assert gpu.prep_device is PrepDevice.GPU
+
+
+def test_invalid_combinations_rejected():
+    with pytest.raises(ConfigError):
+        # Clustering needs hardware prep.
+        ArchitectureConfig(name="x", clustering=True, p2p=True)
+    with pytest.raises(ConfigError):
+        # The train box is P2P by design.
+        ArchitectureConfig(
+            name="x", prep_device=PrepDevice.FPGA, clustering=True, p2p=False
+        )
+    with pytest.raises(ConfigError):
+        # Pool without clustering.
+        ArchitectureConfig(name="x", prep_device=PrepDevice.FPGA, prep_pool=True)
+    with pytest.raises(ConfigError):
+        # P2P on the CPU path.
+        ArchitectureConfig(name="x", p2p=True)
+    with pytest.raises(ConfigError):
+        # GPUs cannot run the generic P2P datapath (§V-B).
+        ArchitectureConfig(name="x", prep_device=PrepDevice.GPU, p2p=True)
+    with pytest.raises(ConfigError):
+        ArchitectureConfig.baseline_acc(PrepDevice.CPU)

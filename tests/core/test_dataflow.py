@@ -1,0 +1,134 @@
+"""Tests for the per-architecture datapath demands."""
+
+import math
+
+import pytest
+
+from repro.core.config import ArchitectureConfig, PrepDevice
+from repro.core.dataflow import CATEGORIES, build_demand
+from repro.core.server import build_server
+from repro.workloads.registry import get_workload
+
+RESNET = get_workload("Resnet-50")
+TF_SR = get_workload("Transformer-SR")
+
+
+def _demand(arch, workload=RESNET, n=32):
+    server = build_server(arch, n)
+    return server, build_demand(server, workload)
+
+
+def test_baseline_cpu_dominated_by_prep_compute():
+    _, demand = _demand(ArchitectureConfig.baseline())
+    fmt_aug = demand.cpu_cycles["formatting"] + demand.cpu_cycles["augmentation"]
+    assert fmt_aug / demand.total_cpu_cycles > 0.95
+
+
+def test_baseline_memory_shares_match_figure11a():
+    """Figure 11a: formatting+augmentation ≈59%, data load ≈37%."""
+    _, demand = _demand(ArchitectureConfig.baseline())
+    total = demand.total_mem_bytes
+    fmt_aug = demand.mem_bytes["formatting"] + demand.mem_bytes["augmentation"]
+    assert fmt_aug / total == pytest.approx(0.59, abs=0.06)
+    assert demand.mem_bytes["data_load"] / total == pytest.approx(0.37, abs=0.06)
+
+
+def test_acc_offload_clears_cpu_compute():
+    _, demand = _demand(ArchitectureConfig.baseline_acc())
+    assert demand.cpu_cycles["formatting"] == 0
+    assert demand.cpu_cycles["augmentation"] == 0
+    assert demand.total_cpu_cycles > 0  # driver + copies remain
+
+
+def test_acc_doubles_memory_traffic():
+    """§IV-C: offload adds buffering for the prep accelerators."""
+    _, base = _demand(ArchitectureConfig.baseline())
+    _, acc = _demand(ArchitectureConfig.baseline_acc())
+    # Baseline stages c + p plus CPU passes; Acc stages 2(c+p).
+    compressed = RESNET.dataset_sample_spec().nbytes
+    prepared = base.bytes_to_accelerator
+    assert acc.total_mem_bytes == pytest.approx(2 * (compressed + prepared))
+
+
+def test_p2p_frees_host_memory():
+    _, demand = _demand(ArchitectureConfig.baseline_acc_p2p())
+    assert demand.total_mem_bytes == 0
+
+
+def test_p2p_rc_traffic_unchanged_vs_acc():
+    """§VI-C: P2P alone does not relieve the RC."""
+    _, acc = _demand(ArchitectureConfig.baseline_acc())
+    _, p2p = _demand(ArchitectureConfig.baseline_acc_p2p())
+    assert p2p.rc_bytes_per_sample() == pytest.approx(
+        acc.rc_bytes_per_sample(), rel=1e-6
+    )
+
+
+def test_acc_rc_traffic_doubles_baseline():
+    """§IV-D: the datapath SSD→RC→prep→RC→acc doubles RC pressure."""
+    _, base = _demand(ArchitectureConfig.baseline())
+    _, acc = _demand(ArchitectureConfig.baseline_acc())
+    assert acc.rc_bytes_per_sample() == pytest.approx(
+        2 * base.rc_bytes_per_sample(), rel=1e-6
+    )
+
+
+def test_clustering_empties_the_rc():
+    _, tb = _demand(ArchitectureConfig.trainbox())
+    assert tb.rc_bytes_per_sample() == 0.0
+
+
+def test_trainbox_cpu_nearly_free():
+    _, base = _demand(ArchitectureConfig.baseline())
+    _, tb = _demand(ArchitectureConfig.trainbox())
+    assert tb.total_cpu_cycles < base.total_cpu_cycles / 50
+
+
+def test_pool_sizing_for_audio():
+    server = build_server(ArchitectureConfig.trainbox(), 256)
+    demand = build_demand(server, TF_SR)
+    assert demand.n_pool_devices > 0
+    assert demand.ethernet_flows
+    # Pool grant ≈ 54% of the 64 in-box FPGAs (§VI-D).
+    assert demand.n_pool_devices / demand.n_prep_devices == pytest.approx(
+        0.54, abs=0.05
+    )
+
+
+def test_no_pool_for_image_models():
+    server = build_server(ArchitectureConfig.trainbox(), 256)
+    demand = build_demand(server, get_workload("Inception-v4"))
+    assert demand.n_pool_devices == 0
+    assert demand.ethernet_flows == []
+
+
+def test_categories_complete():
+    for arch in ArchitectureConfig.figure19_ladder():
+        _, demand = _demand(arch)
+        assert set(demand.cpu_cycles) == set(CATEGORIES)
+        assert set(demand.mem_bytes) == set(CATEGORIES)
+
+
+def test_flow_volumes_conserve_payloads():
+    """Per-sample flow volumes into the accelerators must sum to the
+    prepared batch bytes, and out of SSDs to the compressed bytes."""
+    for arch in ArchitectureConfig.figure19_ladder():
+        server, demand = _demand(arch)
+        acc_set = set(server.acc_ids)
+        ssd_set = set(server.ssd_ids)
+        to_acc = sum(f.volume for f in demand.pcie_flows if f.dst in acc_set)
+        from_ssd = sum(f.volume for f in demand.pcie_flows if f.src in ssd_set)
+        assert to_acc == pytest.approx(demand.bytes_to_accelerator, rel=1e-9)
+        assert from_ssd == pytest.approx(demand.ssd_read_bytes, rel=1e-9)
+
+
+def test_prep_rate_cpu_arch_is_infinite():
+    """CPU-prep compute is priced through cpu_cycles, not prep devices."""
+    _, demand = _demand(ArchitectureConfig.baseline())
+    assert math.isinf(demand.prep_device_rate)
+
+
+def test_gpu_arch_prep_rate_lower_than_fpga():
+    _, gpu = _demand(ArchitectureConfig.baseline_acc(PrepDevice.GPU))
+    _, fpga = _demand(ArchitectureConfig.baseline_acc())
+    assert gpu.prep_device_rate < fpga.prep_device_rate

@@ -1,0 +1,130 @@
+"""Tests for the batch-level discrete-event simulator."""
+
+import pytest
+
+from repro.core.analytical import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig
+from repro.core.des import DesResult, Station, run_pipeline, simulate_des
+from repro.errors import ConfigError
+from repro.workloads.registry import get_workload
+
+RESNET = get_workload("Resnet-50")
+
+
+def test_station_service_time():
+    s = Station("prep", rate=1000.0)
+    assert s.service_time(500) == pytest.approx(0.5)
+    with pytest.raises(ConfigError):
+        Station("bad", rate=0.0).service_time(1)
+
+
+def test_single_fast_station_accelerator_bound():
+    # Prep far faster than consumption: throughput = n·B/iter_time.
+    result = run_pipeline(
+        [Station("prep", 1e9)],
+        n_accelerators=4,
+        batch_size=100,
+        iteration_time=1.0,
+        iterations=50,
+    )
+    assert result.throughput == pytest.approx(400.0, rel=0.02)
+
+
+def test_slow_station_prep_bound():
+    # Prep delivers 100 samples/s total; accelerators could do 400.
+    result = run_pipeline(
+        [Station("prep", 100.0)],
+        n_accelerators=4,
+        batch_size=100,
+        iteration_time=1.0,
+        iterations=50,
+    )
+    assert result.throughput == pytest.approx(100.0, rel=0.05)
+
+
+def test_tandem_bottleneck_is_min():
+    stations = [Station("a", 500.0), Station("b", 200.0), Station("c", 900.0)]
+    result = run_pipeline(stations, 2, 100, 0.01, iterations=60)
+    assert result.throughput == pytest.approx(200.0, rel=0.05)
+    # The bottleneck station is the busiest.
+    assert max(
+        result.station_utilization, key=result.station_utilization.get
+    ) == "b"
+
+
+def test_blocking_with_tiny_buffers_still_converges():
+    stations = [Station("a", 300.0), Station("b", 300.0)]
+    result = run_pipeline(stations, 2, 100, 0.01, iterations=60, buffer_batches=1)
+    assert result.throughput == pytest.approx(300.0, rel=0.05)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        run_pipeline([Station("a", 1.0)], 1, 1, 1.0, iterations=0)
+    with pytest.raises(ConfigError):
+        run_pipeline([Station("a", 1.0)], 1, 1, 1.0, iterations=5, buffer_batches=0)
+
+
+def test_des_matches_analytical_across_configs():
+    """The DES and the closed-form solver agree within 2% everywhere."""
+    for arch in ArchitectureConfig.figure19_ladder():
+        for n in (8, 64):
+            scenario = TrainingScenario(RESNET, arch, n)
+            analytical = simulate(scenario)
+            des = simulate_des(scenario, iterations=60)
+            assert des.relative_error(analytical.throughput) < 0.02, (
+                arch.name,
+                n,
+            )
+
+
+def test_jitter_barely_moves_throughput():
+    """§VI-A: latency variation has little impact thanks to pipelining."""
+    scenario = TrainingScenario(RESNET, ArchitectureConfig.trainbox(), 32)
+    analytical = simulate(scenario)
+    des = simulate_des(scenario, iterations=80, jitter=0.3, seed=7)
+    assert des.relative_error(analytical.throughput) < 0.08
+
+
+def test_jitter_deterministic_per_seed():
+    scenario = TrainingScenario(RESNET, ArchitectureConfig.baseline(), 8)
+    a = simulate_des(scenario, iterations=30, jitter=0.2, seed=1)
+    b = simulate_des(scenario, iterations=30, jitter=0.2, seed=1)
+    c = simulate_des(scenario, iterations=30, jitter=0.2, seed=2)
+    assert a.throughput == pytest.approx(b.throughput)
+    assert a.throughput != pytest.approx(c.throughput)
+
+
+def test_utilization_bounded():
+    result = run_pipeline(
+        [Station("a", 500.0), Station("b", 200.0)], 2, 100, 0.5, iterations=40
+    )
+    for value in result.station_utilization.values():
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+
+def test_multi_server_station_matches_aggregate_throughput():
+    """k servers of rate r sustain the same steady throughput as one
+    server of rate k·r — but each batch takes k× longer in service."""
+    single = run_pipeline(
+        [Station("prep", 800.0)], 2, 80, 0.01, iterations=400
+    )
+    multi = run_pipeline(
+        [Station("prep", 100.0, servers=8)], 2, 80, 0.01, iterations=400,
+        buffer_batches=8,
+    )
+    assert multi.throughput == pytest.approx(single.throughput, rel=0.03)
+
+
+def test_multi_server_utilization_normalized_per_server():
+    result = run_pipeline(
+        [Station("prep", 50.0, servers=4)], 2, 100, 1e-4, iterations=40,
+        buffer_batches=8,
+    )
+    assert 0.0 <= result.station_utilization["prep"] <= 1.0 + 1e-9
+
+
+def test_station_server_validation():
+    with pytest.raises(ConfigError):
+        Station("bad", 10.0, servers=0)
+    assert Station("ok", 10.0, servers=4).aggregate_rate == pytest.approx(40.0)

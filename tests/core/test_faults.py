@@ -1,0 +1,110 @@
+"""Tests for fault injection and degraded operation."""
+
+import pytest
+
+from repro.core.analytical import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig
+from repro.core.faults import FaultSet, drain_box, inject_faults
+from repro.core.server import build_server
+from repro.errors import ConfigError
+from repro.workloads.registry import get_workload
+
+RESNET = get_workload("Resnet-50")
+TF_SR = get_workload("Transformer-SR")
+
+
+def _healthy(n=32):
+    return build_server(ArchitectureConfig.trainbox(), n)
+
+
+def _simulate_on(server, workload=RESNET):
+    scenario = TrainingScenario(
+        workload, server.arch, server.n_accelerators, hw=server.hw
+    )
+    return simulate(scenario, server=server)
+
+
+def test_ssd_failure_degrades_box_bandwidth():
+    server = _healthy()
+    healthy = _simulate_on(server)
+    victim = server.boxes[0].ssd_ids[0]
+    degraded_server = inject_faults(server, FaultSet.of(victim))
+    degraded = _simulate_on(degraded_server)
+    # The surviving drive carries the whole box's reads; system
+    # throughput may drop but never below the one-drive bound.
+    assert degraded.throughput <= healthy.throughput
+    assert degraded.throughput > 0.4 * healthy.throughput
+
+
+def test_fpga_failure_halves_box_prep():
+    server = _healthy()
+    healthy = _simulate_on(server, TF_SR)
+    victim = server.boxes[0].prep_ids[0]
+    degraded = _simulate_on(inject_faults(server, FaultSet.of(victim)), TF_SR)
+    assert degraded.throughput <= healthy.throughput
+    assert degraded.throughput > 0.5 * healthy.throughput
+
+
+def test_accelerator_failure_shrinks_the_job():
+    server = _healthy()
+    victim = server.boxes[0].acc_ids[0]
+    degraded_server = inject_faults(server, FaultSet.of(victim))
+    assert degraded_server.n_accelerators == server.n_accelerators - 1
+    result = _simulate_on(degraded_server)
+    assert result.throughput > 0
+
+
+def test_multiple_faults_compose():
+    server = _healthy()
+    faults = FaultSet.of(
+        server.boxes[0].ssd_ids[0],
+        server.boxes[1].prep_ids[0],
+        server.boxes[2].acc_ids[3],
+    )
+    degraded_server = inject_faults(server, faults)
+    assert degraded_server.n_accelerators == server.n_accelerators - 1
+    assert len(degraded_server.ssd_ids) == len(server.ssd_ids) - 1
+    assert _simulate_on(degraded_server).throughput > 0
+
+
+def test_total_box_ssd_loss_rejected():
+    server = _healthy()
+    box = server.boxes[0]
+    with pytest.raises(ConfigError):
+        inject_faults(server, FaultSet(frozenset(box.ssd_ids)))
+
+
+def test_total_box_fpga_loss_rejected():
+    server = _healthy()
+    box = server.boxes[0]
+    with pytest.raises(ConfigError):
+        inject_faults(server, FaultSet(frozenset(box.prep_ids)))
+
+
+def test_unknown_device_rejected():
+    server = _healthy()
+    with pytest.raises(ConfigError):
+        inject_faults(server, FaultSet.of("flux_capacitor"))
+
+
+def test_original_server_untouched():
+    server = _healthy()
+    before = list(server.boxes[0].ssd_ids)
+    inject_faults(server, FaultSet.of(before[0]))
+    assert server.boxes[0].ssd_ids == before
+
+
+def test_drain_box():
+    server = _healthy()
+    drained = drain_box(server, server.boxes[0].box_id)
+    assert drained.n_accelerators == server.n_accelerators - 8
+    assert _simulate_on(drained).throughput > 0
+    with pytest.raises(ConfigError):
+        drain_box(server, "nonexistent")
+
+
+def test_drain_last_box_rejected():
+    server = build_server(ArchitectureConfig.trainbox(), 8)
+    acc_boxes = [b for b in server.boxes if b.acc_ids]
+    with pytest.raises(ConfigError):
+        drain_box(server, acc_boxes[0].box_id)

@@ -1,0 +1,75 @@
+"""Tests for the inference-serving mode."""
+
+import pytest
+
+from repro.core.analytical import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig
+from repro.core.inference import InferenceScenario, simulate_inference
+from repro.errors import ConfigError
+from repro.workloads.registry import get_workload
+
+RESNET = get_workload("Resnet-50")
+
+
+def test_inference_has_no_sync():
+    result = simulate_inference(
+        InferenceScenario(RESNET, ArchitectureConfig.trainbox(), 32)
+    )
+    assert result.sync_time == 0.0
+    assert result.arch_name.endswith("/inference")
+
+
+def test_forward_only_demands_more_prep():
+    """§II-A: the insight applies to inference too — forward-only compute
+    raises per-device demand, so prep binds at even smaller scale."""
+    train = simulate(
+        TrainingScenario(RESNET, ArchitectureConfig.baseline(), 8, batch_size=512)
+    )
+    infer = simulate_inference(
+        InferenceScenario(RESNET, ArchitectureConfig.baseline(), 8, batch_size=512)
+    )
+    assert infer.consume_rate > 2.5 * train.consume_rate
+    # Prep capacity is the same datapath.
+    assert infer.prep_rate == pytest.approx(train.prep_rate)
+
+
+def test_baseline_inference_prep_bound_early():
+    result = simulate_inference(
+        InferenceScenario(RESNET, ArchitectureConfig.baseline(), 8)
+    )
+    assert result.prep_bound
+    # At 8 devices either the host CPU or the single accelerator box's
+    # uplink binds — both are preparation-side resources.
+    assert result.bottleneck == "host_cpu" or result.bottleneck.startswith("pcie")
+
+
+def test_trainbox_relieves_inference_too():
+    base = simulate_inference(
+        InferenceScenario(RESNET, ArchitectureConfig.baseline(), 64)
+    )
+    tb = simulate_inference(
+        InferenceScenario(RESNET, ArchitectureConfig.trainbox(), 64)
+    )
+    assert tb.throughput > 5 * base.throughput
+
+
+def test_default_batch_is_fraction_of_training():
+    result = simulate_inference(
+        InferenceScenario(RESNET, ArchitectureConfig.trainbox(), 4)
+    )
+    assert result.batch_size == RESNET.batch_size // 16
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        InferenceScenario(RESNET, ArchitectureConfig.baseline(), 0)
+    with pytest.raises(ConfigError):
+        InferenceScenario(RESNET, ArchitectureConfig.baseline(), 4, batch_size=0)
+    from repro.core.server import build_server
+
+    server = build_server(ArchitectureConfig.baseline(), 8)
+    with pytest.raises(ConfigError):
+        simulate_inference(
+            InferenceScenario(RESNET, ArchitectureConfig.baseline(), 16),
+            server=server,
+        )

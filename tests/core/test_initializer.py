@@ -1,0 +1,111 @@
+"""Tests for the train initializer."""
+
+import pytest
+
+from repro.core.config import ArchitectureConfig
+from repro.core.initializer import TrainInitializer
+from repro.core.server import build_server
+from repro.datasets.storage import validate_sharding
+from repro.errors import ConfigError
+from repro.workloads.registry import get_workload
+
+RESNET = get_workload("Resnet-50")
+TF_SR = get_workload("Transformer-SR")
+
+
+def _initializer(n=32, pool=True):
+    server = build_server(ArchitectureConfig.trainbox(prep_pool=pool), n)
+    return TrainInitializer(server)
+
+
+def test_requires_trainbox_server():
+    server = build_server(ArchitectureConfig.baseline(), 8)
+    with pytest.raises(ConfigError):
+        TrainInitializer(server)
+
+
+def test_plan_image_model_needs_no_pool():
+    init = _initializer()
+    plan = init.plan(get_workload("Inception-v4"), num_items=10_000)
+    assert plan.pool_fpgas_requested == 0
+    assert plan.pool_fpgas_granted == 0
+    assert plan.meets_target
+
+
+def test_plan_audio_model_requests_pool():
+    init = _initializer(n=256)
+    plan = init.plan(TF_SR, num_items=10_000)
+    assert plan.pool_fpgas_requested > 0
+    assert plan.pool_fpgas_granted == plan.pool_fpgas_requested
+    assert plan.meets_target
+    # §VI-D: ≈54% more FPGA resources for Transformer-SR.
+    assert plan.extra_resource_fraction == pytest.approx(0.54, abs=0.05)
+
+
+def test_no_pool_server_grants_nothing():
+    init = _initializer(n=256, pool=False)
+    plan = init.plan(TF_SR, num_items=1_000)
+    assert plan.pool_fpgas_requested > 0
+    assert plan.pool_fpgas_granted == 0
+    assert not plan.meets_target
+
+
+def test_required_rate_uses_sync_model():
+    init = _initializer(n=32)
+    plan = init.plan(RESNET, num_items=1_000)
+    assert plan.per_batch_time > 0
+    assert plan.sync_time > 0
+    expected = 32 * plan.batch_size / (plan.per_batch_time + plan.sync_time)
+    assert plan.required_prep_rate == pytest.approx(expected)
+
+
+def test_sharding_covers_dataset():
+    init = _initializer(n=24)
+    plan = init.plan(RESNET, num_items=1003)
+    all_shards = [s for shards in plan.shards.values() for s in shards]
+    validate_sharding(all_shards, 1003)
+
+
+def test_shards_proportional_to_box_accelerators():
+    init = _initializer(n=12)  # boxes of 8 and 4
+    plan = init.plan(RESNET, num_items=1200)
+    boxes = {b.box_id: b for b in init.server.boxes}
+    counts = {
+        box_id: sum(len(s) for s in shards)
+        for box_id, shards in plan.shards.items()
+    }
+    big = [c for bid, c in counts.items() if len(boxes[bid].acc_ids) == 8]
+    small = [c for bid, c in counts.items() if len(boxes[bid].acc_ids) == 4]
+    assert big and small
+    assert big[0] == pytest.approx(2 * small[0], rel=0.05)
+
+
+def test_shards_live_on_box_ssds():
+    init = _initializer(n=16)
+    plan = init.plan(RESNET, num_items=100)
+    for box in init.server.boxes:
+        for shard in plan.shards.get(box.box_id, []):
+            assert shard.ssd_id in box.ssd_ids
+
+
+def test_release_returns_pool_resources():
+    init = _initializer(n=256)
+    before = init.pool.available
+    plan = init.plan(TF_SR, num_items=100, job_id="j1")
+    assert init.pool.available == before - plan.pool_fpgas_granted
+    init.release("j1")
+    assert init.pool.available == before
+
+
+def test_two_jobs_share_pool():
+    init = _initializer(n=256)
+    p1 = init.plan(TF_SR, num_items=100, job_id="j1")
+    p2 = init.plan(get_workload("Transformer-AA"), num_items=100, job_id="j2")
+    granted_ids = set(p1.pool_grant.fpga_ids) & set(p2.pool_grant.fpga_ids)
+    assert not granted_ids
+
+
+def test_batch_override():
+    init = _initializer(n=8)
+    plan = init.plan(RESNET, num_items=100, batch_size=512)
+    assert plan.batch_size == 512

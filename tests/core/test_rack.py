@@ -1,0 +1,118 @@
+"""Tests for rack-scale TrainBox and multi-job scheduling."""
+
+import pytest
+
+from repro.core.rack import JobRequest, TrainBoxRack
+from repro.errors import CapacityError, ConfigError
+from repro.workloads.registry import get_workload
+
+RESNET = get_workload("Resnet-50")
+TF_SR = get_workload("Transformer-SR")
+TF_AA = get_workload("Transformer-AA")
+
+
+def test_single_job_placement():
+    rack = TrainBoxRack(n_boxes=32)
+    placement = rack.submit(JobRequest("j1", RESNET, 64))
+    assert placement.n_boxes == 8
+    assert rack.free_boxes == 24
+    assert rack.utilization() == pytest.approx(8 / 32)
+    assert placement.result.throughput > 0
+
+
+def test_audio_job_borrows_idle_fpgas():
+    rack = TrainBoxRack(n_boxes=32, external_pool_fpgas=0)
+    placement = rack.submit(JobRequest("audio", TF_SR, 128))
+    # 16 boxes busy, 16 idle with 32 FPGAs: the audio shortfall is
+    # covered by borrowing from idle boxes (§V-D's third realization).
+    assert placement.borrowed_from_idle_boxes > 0
+    assert placement.borrowed_from_external == 0
+    assert placement.result.bottleneck == "accelerator"
+
+
+def test_external_pool_preferred_over_idle():
+    rack = TrainBoxRack(n_boxes=32, external_pool_fpgas=64)
+    placement = rack.submit(JobRequest("audio", TF_SR, 128))
+    assert placement.borrowed_from_external > 0
+    assert placement.borrowed_from_idle_boxes == 0
+
+
+def test_full_rack_audio_needs_external_pool():
+    # Whole rack to one audio job: no idle boxes to borrow from.
+    no_pool = TrainBoxRack(n_boxes=32, external_pool_fpgas=0)
+    starved = no_pool.submit(JobRequest("a", TF_SR, 256))
+    assert starved.pool_fpgas_borrowed == 0
+    assert starved.result.bottleneck == "prep_compute"
+
+    with_pool = TrainBoxRack(n_boxes=32, external_pool_fpgas=64)
+    fed = with_pool.submit(JobRequest("a", TF_SR, 256))
+    assert fed.pool_fpgas_borrowed > 0
+    assert fed.result.throughput > 1.4 * starved.result.throughput
+
+
+def test_multi_job_sync_is_per_job():
+    """Footnote 2: each job's ring spans only its own accelerators, so
+    smaller co-scheduled jobs see lower sync overhead than one big job."""
+    rack = TrainBoxRack(n_boxes=32)
+    small = rack.submit(JobRequest("small", RESNET, 32))
+    big_rack = TrainBoxRack(n_boxes=32)
+    big = big_rack.submit(JobRequest("big", RESNET, 256))
+    assert small.result.sync_time < big.result.sync_time
+
+
+def test_capacity_enforced():
+    rack = TrainBoxRack(n_boxes=4)
+    rack.submit(JobRequest("j1", RESNET, 24))
+    with pytest.raises(CapacityError):
+        rack.submit(JobRequest("j2", RESNET, 16))
+
+
+def test_duplicate_job_rejected():
+    rack = TrainBoxRack(n_boxes=8)
+    rack.submit(JobRequest("j1", RESNET, 8))
+    with pytest.raises(ConfigError):
+        rack.submit(JobRequest("j1", RESNET, 8))
+
+
+def test_finish_releases_everything():
+    rack = TrainBoxRack(n_boxes=32, external_pool_fpgas=16)
+    placement = rack.submit(JobRequest("j1", TF_AA, 128))
+    assert rack.free_boxes == 16
+    rack.finish("j1")
+    assert rack.free_boxes == 32
+    assert rack.external_fpgas_available == 16
+    assert rack.idle_fpgas_available == 64
+    with pytest.raises(ConfigError):
+        rack.finish("j1")
+
+
+def test_lent_fpgas_pin_their_boxes():
+    """A job may not claim boxes whose FPGAs back another job's loan."""
+    rack = TrainBoxRack(n_boxes=18, external_pool_fpgas=0)
+    # 16 boxes of audio: shortfall ≈ 0.54 * 32 ≈ 18 FPGAs, lent from the
+    # 2 idle boxes (4 FPGAs) — partially covered, all idle FPGAs pinned.
+    first = rack.submit(JobRequest("audio", TF_SR, 128))
+    assert first.borrowed_from_idle_boxes == 4
+    with pytest.raises(CapacityError):
+        rack.submit(JobRequest("second", RESNET, 16))
+
+
+def test_two_jobs_coexist():
+    rack = TrainBoxRack(n_boxes=32, external_pool_fpgas=64)
+    a = rack.submit(JobRequest("img", RESNET, 128))
+    b = rack.submit(JobRequest("audio", TF_SR, 128))
+    assert a.result.throughput > 0 and b.result.throughput > 0
+    assert set(a.box_ids) & set(b.box_ids) == set()
+    assert rack.utilization() == 1.0
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        TrainBoxRack(n_boxes=0)
+    with pytest.raises(ConfigError):
+        TrainBoxRack(external_pool_fpgas=-1)
+    with pytest.raises(ConfigError):
+        JobRequest("x", RESNET, 0)
+    rack = TrainBoxRack(n_boxes=4)
+    with pytest.raises(ConfigError):
+        rack.finish("ghost")

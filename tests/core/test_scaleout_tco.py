@@ -1,0 +1,133 @@
+"""Tests for the scale-out comparison and the TCO model (§III-A)."""
+
+import pytest
+
+from repro.analysis.tco import (
+    BillOfMaterials,
+    ComponentPrices,
+    host_amortization_ratio,
+    scaleout_bom,
+    trainbox_bom,
+)
+from repro.core.scaleout import (
+    ScaleOutConfig,
+    hierarchical_sync_time,
+    scaleup_equivalent_speedup,
+    simulate_scaleout,
+)
+from repro.errors import ConfigError
+from repro.workloads.registry import get_workload
+
+RESNET = get_workload("Resnet-50")
+
+
+# -- scale-out ---------------------------------------------------------------
+
+
+def test_96_dgx2_shows_about_40x():
+    """§III-A: 'a scale-out system with 96 DGX-2 shows only 39.7×
+    improvement over one DGX-2 in MLPerf results'."""
+    result = simulate_scaleout(RESNET, 96)
+    assert result.speedup_over_one_node == pytest.approx(39.7, rel=0.2)
+    assert result.efficiency < 0.55
+
+
+def test_small_clusters_scale_well():
+    for n in (2, 4, 8):
+        result = simulate_scaleout(RESNET, n)
+        assert result.efficiency > 0.9, n
+
+
+def test_speedup_monotone_but_efficiency_drops():
+    speedups = []
+    efficiencies = []
+    for n in (1, 4, 16, 48, 96):
+        result = simulate_scaleout(RESNET, n)
+        speedups.append(result.speedup_over_one_node)
+        efficiencies.append(result.efficiency)
+    assert speedups == sorted(speedups)
+    assert efficiencies == sorted(efficiencies, reverse=True)
+
+
+def test_faster_nic_helps():
+    slow = simulate_scaleout(RESNET, 96)
+    fast = simulate_scaleout(
+        RESNET, 96, config=ScaleOutConfig(nic_bandwidth=50e9)
+    )
+    assert fast.speedup_over_one_node > slow.speedup_over_one_node
+
+
+def test_scaleup_beats_scaleout_at_equal_accelerators():
+    """The §III-A punchline: 256 accelerators scale up to ~16 node-
+    equivalents on the NVLink fabric, while 16 scale-out nodes of 16
+    GPUs lose a chunk to the NIC ring."""
+    up = scaleup_equivalent_speedup(RESNET, 256)
+    out = simulate_scaleout(RESNET, 16)  # also 256 accelerators
+    assert up > out.speedup_over_one_node
+
+
+def test_hierarchical_sync_components():
+    config = ScaleOutConfig()
+    one = hierarchical_sync_time(config, 1, RESNET.model_bytes)
+    many = hierarchical_sync_time(config, 32, RESNET.model_bytes)
+    assert many > one  # the NIC ring adds on top of the intra ring
+    assert one > 0
+
+
+def test_scaleout_validation():
+    with pytest.raises(ConfigError):
+        simulate_scaleout(RESNET, 0)
+    with pytest.raises(ConfigError):
+        simulate_scaleout(RESNET, 4, max_batch_growth=0.5)
+    with pytest.raises(ConfigError):
+        ScaleOutConfig(accs_per_node=0)
+    with pytest.raises(ConfigError):
+        scaleup_equivalent_speedup(RESNET, 0)
+
+
+# -- TCO ---------------------------------------------------------------------
+
+
+def test_host_amortization_grows_with_scale():
+    """One host for 256 accelerators vs 256 hosts: the per-accelerator
+    host overhead gap is enormous and grows with the node count."""
+    r64 = host_amortization_ratio(64)
+    r256 = host_amortization_ratio(256)
+    assert r256 > r64 > 10
+
+
+def test_denser_scaleout_nodes_narrow_the_gap():
+    sparse = host_amortization_ratio(256, accs_per_node=1)
+    dense = host_amortization_ratio(256, accs_per_node=16)
+    assert dense < sparse
+
+
+def test_bom_totals_and_accounting():
+    bom = trainbox_bom(64, pool_fpgas=8)
+    assert bom.total == pytest.approx(sum(bom.items.values()))
+    assert bom.host_overhead < bom.total
+    assert bom.items["prep_fpgas"] == (16 + 8) * ComponentPrices().prep_fpga
+    assert bom.dollars_per_throughput(1e6) == pytest.approx(bom.total / 1e6)
+    with pytest.raises(ConfigError):
+        bom.dollars_per_throughput(0)
+
+
+def test_accelerator_capex_identical_across_organizations():
+    up = trainbox_bom(128)
+    out = scaleout_bom(128)
+    assert up.items["nn_accelerators"] == out.items["nn_accelerators"]
+
+
+def test_scaleup_total_cheaper_for_same_accelerators():
+    up = trainbox_bom(256)
+    out = scaleout_bom(256)
+    assert up.total < out.total
+
+
+def test_bom_validation():
+    with pytest.raises(ConfigError):
+        trainbox_bom(0)
+    with pytest.raises(ConfigError):
+        scaleout_bom(16, accs_per_node=0)
+    with pytest.raises(ConfigError):
+        ComponentPrices(nn_accelerator=-1)

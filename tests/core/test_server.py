@@ -1,0 +1,142 @@
+"""Tests for the server topology builders."""
+
+import pytest
+
+from repro.core.config import ArchitectureConfig, HardwareConfig, PrepDevice
+from repro.core.server import build_server
+from repro.devices.base import DeviceKind
+from repro.errors import ConfigError
+from repro.pcie.link import PcieGen
+from repro.pcie.routing import crosses_root_complex
+
+
+def test_baseline_population():
+    server = build_server(ArchitectureConfig.baseline(), 32)
+    assert server.n_accelerators == 32
+    assert len(server.ssd_ids) == 16  # 2 SSD boxes × 8
+    assert server.prep_ids == []
+    server.topology.validate()
+
+
+def test_acc_config_adds_prep_boxes():
+    server = build_server(ArchitectureConfig.baseline_acc(), 32)
+    assert len(server.prep_ids) == 8  # 1:4 ratio
+    kinds = {
+        server.topology.node(p).device.kind for p in server.prep_ids
+    }
+    assert kinds == {DeviceKind.PREP_ACCELERATOR}
+
+
+def test_gpu_prep_devices():
+    server = build_server(
+        ArchitectureConfig.baseline_acc(PrepDevice.GPU), 16
+    )
+    from repro.devices.gpu_prep import GpuPrepDevice
+
+    devices = [server.topology.node(p).device for p in server.prep_ids]
+    assert all(isinstance(d, GpuPrepDevice) for d in devices)
+
+
+def test_trainbox_population_scales_with_boxes():
+    server = build_server(ArchitectureConfig.trainbox(), 64)
+    assert server.n_accelerators == 64
+    boxes = [b for b in server.boxes if b.acc_ids]
+    assert len(boxes) == 8
+    for box in boxes:
+        assert len(box.acc_ids) == 8
+        assert len(box.prep_ids) == 2
+        assert len(box.ssd_ids) == 2
+    # SSDs scale with boxes under clustering.
+    assert len(server.ssd_ids) == 16
+
+
+def test_trainbox_datapath_stays_in_box():
+    """The clustering invariant: SSD→FPGA→accelerator never crosses the
+    root complex."""
+    server = build_server(ArchitectureConfig.trainbox(), 32)
+    for box in server.boxes:
+        for fpga in box.prep_ids:
+            for ssd in box.ssd_ids:
+                assert not crosses_root_complex(server.topology, ssd, fpga)
+            for acc in box.acc_ids:
+                assert not crosses_root_complex(server.topology, fpga, acc)
+
+
+def test_baseline_datapath_crosses_rc():
+    server = build_server(ArchitectureConfig.baseline_acc_p2p(), 32)
+    ssd = server.ssd_ids[0]
+    prep = server.prep_ids[0]
+    acc = server.acc_ids[0]
+    assert crosses_root_complex(server.topology, ssd, prep)
+    assert crosses_root_complex(server.topology, prep, acc)
+
+
+def test_gen4_links_applied():
+    server = build_server(ArchitectureConfig.baseline_acc_p2p_gen4(), 16)
+    gens = {link.gen for link in server.topology.links()}
+    assert gens == {PcieGen.GEN4}
+
+
+def test_trainbox_has_prep_network_and_pool():
+    server = build_server(ArchitectureConfig.trainbox(), 32)
+    assert server.prep_network is not None
+    in_box = len(server.prep_ids)
+    assert len(server.pool_fpga_ids) == 2 * in_box
+    hosts = set(server.prep_network.hosts())
+    assert set(server.prep_ids) <= hosts
+    assert set(server.pool_fpga_ids) <= hosts
+
+
+def test_trainbox_no_pool():
+    server = build_server(ArchitectureConfig.trainbox(prep_pool=False), 32)
+    assert server.pool_fpga_ids == []
+    assert server.prep_network is not None
+
+
+def test_partial_last_box():
+    server = build_server(ArchitectureConfig.trainbox(), 12)
+    assert server.n_accelerators == 12
+    sizes = sorted(len(b.acc_ids) for b in server.boxes if b.acc_ids)
+    assert sizes == [4, 8]
+
+
+def test_chaining_respects_port_count():
+    hw = HardwareConfig()
+    server = build_server(ArchitectureConfig.baseline(), 256, hw=hw)
+    topo = server.topology
+    # At most acc_root_ports box chains attach directly to the RC for
+    # accelerator boxes.
+    rc_children = topo.children_of("rc")
+    acc_chains = [c for c in rc_children if c.startswith("abox")]
+    assert len(acc_chains) <= hw.acc_root_ports
+    # 32 boxes over 8 ports → chains of 4.
+    depth_boxes = [n for n in rc_children if n == "abox0"]
+    assert depth_boxes
+    assert topo.parent_of("abox8") == "abox0"
+    assert topo.parent_of("abox16") == "abox8"
+
+
+def test_invalid_scale_rejected():
+    with pytest.raises(ConfigError):
+        build_server(ArchitectureConfig.baseline(), 0)
+
+
+def test_all_endpoints_enumerated():
+    server = build_server(ArchitectureConfig.trainbox(), 16)
+    for node in server.topology.endpoints():
+        assert node.enumerated
+
+
+def test_aggregate_ssd_bandwidth():
+    server = build_server(ArchitectureConfig.baseline(), 8)
+    hw = server.hw
+    assert server.aggregate_ssd_bandwidth() == pytest.approx(
+        16 * hw.ssd_read_bandwidth
+    )
+
+
+def test_ssd_of_type_checks():
+    server = build_server(ArchitectureConfig.baseline(), 8)
+    assert server.ssd_of(server.ssd_ids[0]).read_bandwidth > 0
+    with pytest.raises(ConfigError):
+        server.ssd_of(server.acc_ids[0])

@@ -1,0 +1,122 @@
+"""Tests for DES trace recording and timeline rendering."""
+
+import pytest
+
+from repro.analysis.timeline import busy_fraction, render_timeline
+from repro.core.des import Station, TraceEvent, run_pipeline
+from repro.errors import SimulationError
+
+
+def _traced_run(**kwargs):
+    defaults = dict(
+        stations=[Station("ssd", 400.0), Station("prep", 300.0)],
+        n_accelerators=2,
+        batch_size=60,
+        iteration_time=0.5,
+        iterations=10,
+        record_trace=True,
+    )
+    defaults.update(kwargs)
+    return run_pipeline(**defaults)
+
+
+def test_trace_recorded_when_requested():
+    result = _traced_run()
+    assert result.trace is not None
+    kinds = {e.kind for e in result.trace}
+    assert kinds == {"station", "iteration"}
+    # One station event per (station, batch) and one per iteration.
+    station_events = [e for e in result.trace if e.kind == "station"]
+    assert len(station_events) == 2 * 10 * 2  # stations × iterations × accs
+    iteration_events = [e for e in result.trace if e.kind == "iteration"]
+    assert len(iteration_events) == 10
+
+
+def test_no_trace_by_default():
+    result = run_pipeline(
+        [Station("prep", 100.0)], 1, 10, 0.1, iterations=5
+    )
+    assert result.trace is None
+    with pytest.raises(SimulationError):
+        result.stall_time("prep")
+
+
+def test_trace_events_well_formed():
+    result = _traced_run()
+    for event in result.trace:
+        assert event.end >= event.start >= 0
+        assert event.duration >= 0
+    # Events of one lane never overlap (one batch in service at a time).
+    for lane in ("ssd", "prep"):
+        spans = sorted(
+            (e.start, e.end) for e in result.trace if e.name == lane
+        )
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert s2 >= e1 - 1e-12
+
+
+def test_stall_time_accounting():
+    result = _traced_run()
+    stall = result.stall_time("prep")
+    busy = sum(e.duration for e in result.trace if e.name == "prep")
+    assert stall == pytest.approx(result.makespan - busy)
+    assert 0 <= stall <= result.makespan
+
+
+def test_render_timeline_structure():
+    result = _traced_run()
+    chart = render_timeline(result.trace, width=60)
+    lines = chart.splitlines()
+    assert len(lines) == 4  # ruler + 2 stations + iteration lane
+    assert "station:ssd" in chart
+    assert "iteration:compute+sync" in chart
+    for line in lines[1:]:
+        body = line.split("|")[1]
+        assert len(body) == 60
+        assert set(body) <= {"#", "+", "."}
+
+
+def test_render_window_selection():
+    result = _traced_run()
+    full = render_timeline(result.trace, width=40)
+    tail = render_timeline(
+        result.trace, width=40, t_start=result.makespan / 2
+    )
+    assert full != tail
+
+
+def test_render_validation():
+    with pytest.raises(SimulationError):
+        render_timeline([])
+    event = TraceEvent("station", "x", 0, 0.0, 1.0)
+    with pytest.raises(SimulationError):
+        render_timeline([event], width=5)
+    with pytest.raises(SimulationError):
+        render_timeline([event], t_start=2.0, t_end=1.0)
+
+
+def test_busy_fraction():
+    events = [
+        TraceEvent("station", "a", 0, 0.0, 1.0),
+        TraceEvent("station", "b", 0, 1.0, 4.0),
+    ]
+    assert busy_fraction(events, "a") == pytest.approx(0.25)
+    assert busy_fraction(events, "b") == pytest.approx(0.75)
+    with pytest.raises(SimulationError):
+        busy_fraction([], "a")
+
+
+def test_prep_bound_pipeline_shows_busy_prep_idle_accelerators():
+    """The paper's bottleneck, visible in the trace: with slow prep the
+    prep lane saturates while the iteration lane has gaps."""
+    result = _traced_run(
+        stations=[Station("prep", 50.0)],
+        iteration_time=0.2,
+        iterations=20,
+    )
+    prep_busy = result.station_utilization["prep"]
+    iteration_busy = sum(
+        e.duration for e in result.trace if e.kind == "iteration"
+    ) / result.makespan
+    assert prep_busy > 0.9
+    assert iteration_busy < prep_busy

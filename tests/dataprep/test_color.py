@@ -1,0 +1,55 @@
+"""Tests for color conversion and chroma subsampling."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.jpeg import color
+from repro.errors import CodecError
+
+
+def test_rgb_ycbcr_roundtrip(rng):
+    rgb = rng.integers(0, 256, (16, 12, 3), dtype=np.uint8)
+    back = color.ycbcr_to_rgb(color.rgb_to_ycbcr(rgb))
+    assert np.abs(back.astype(int) - rgb.astype(int)).max() <= 1
+
+
+def test_gray_has_neutral_chroma():
+    gray = np.full((8, 8, 3), 77, dtype=np.uint8)
+    ycc = color.rgb_to_ycbcr(gray)
+    assert np.allclose(ycc[..., 0], 77, atol=0.5)
+    assert np.allclose(ycc[..., 1:], 128, atol=0.5)
+
+
+def test_luma_weights_sum_to_one():
+    white = np.full((2, 2, 3), 255, dtype=np.uint8)
+    ycc = color.rgb_to_ycbcr(white)
+    assert np.allclose(ycc[..., 0], 255, atol=1e-6)
+
+
+def test_shape_validation():
+    with pytest.raises(CodecError):
+        color.rgb_to_ycbcr(np.zeros((4, 4)))
+    with pytest.raises(CodecError):
+        color.ycbcr_to_rgb(np.zeros((4, 4, 1)))
+
+
+def test_subsample_upsample_420():
+    plane = np.arange(16).reshape(4, 4).astype(float)
+    sub = color.subsample_420(plane)
+    assert sub.shape == (2, 2)
+    assert sub[0, 0] == pytest.approx(plane[:2, :2].mean())
+    up = color.upsample_420(sub)
+    assert up.shape == (4, 4)
+    assert np.allclose(up[:2, :2], sub[0, 0])
+
+
+def test_subsample_constant_is_exact():
+    plane = np.full((8, 8), 42.0)
+    assert np.allclose(
+        color.upsample_420(color.subsample_420(plane)), plane
+    )
+
+
+def test_subsample_rejects_odd_dims():
+    with pytest.raises(CodecError):
+        color.subsample_420(np.zeros((3, 4)))

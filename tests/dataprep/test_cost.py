@@ -1,0 +1,112 @@
+"""Tests for the cost model and device profiles."""
+
+import math
+
+import pytest
+
+from repro.dataprep.cost import (
+    CPU_PROFILE,
+    FPGA_PROFILE,
+    GPU_PROFILE,
+    OP_KINDS,
+    DeviceProfile,
+    OpCost,
+    PipelineCost,
+    cpu_mem_traffic,
+    profile_by_name,
+)
+from repro.dataprep.ops_audio import audio_pipeline
+from repro.dataprep.ops_image import image_pipeline
+from repro.dataprep.pipeline import SampleSpec
+from repro.errors import DataprepError
+
+IMAGE_SPEC = SampleSpec("jpeg", (256, 256, 3), 45_000)
+AUDIO_SPEC = SampleSpec("audio_pcm", (111_360,), 222_720)
+
+
+def test_opcost_validation():
+    with pytest.raises(DataprepError):
+        OpCost("x", "not-a-kind", 1, 1, 1, 1)
+    with pytest.raises(DataprepError):
+        OpCost("x", "crop", -1, 1, 1, 1)
+
+
+def test_every_profile_covers_every_kind():
+    for profile in (CPU_PROFILE, FPGA_PROFILE, GPU_PROFILE):
+        for kind in OP_KINDS:
+            assert profile.speedup(kind) > 0
+
+
+def test_profile_lookup():
+    assert profile_by_name("fpga") is FPGA_PROFILE
+    assert profile_by_name("cpu-core") is CPU_PROFILE
+    with pytest.raises(DataprepError):
+        profile_by_name("tpu")
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(DataprepError):
+        CPU_PROFILE.speedup("warp")
+    profile = DeviceProfile("partial", {"crop": 2.0})
+    with pytest.raises(DataprepError):
+        profile.speedup("decode")
+
+
+def test_cpu_profile_is_identity():
+    cost = image_pipeline().cost(IMAGE_SPEC)
+    assert CPU_PROFILE.effective_cycles(cost) == pytest.approx(cost.cpu_cycles)
+
+
+def test_fpga_is_faster_than_cpu_core_everywhere():
+    for pipeline, spec in (
+        (image_pipeline(), IMAGE_SPEC),
+        (audio_pipeline(), AUDIO_SPEC),
+    ):
+        cost = pipeline.cost(spec)
+        assert FPGA_PROFILE.sample_rate(cost) > CPU_PROFILE.sample_rate(cost)
+
+
+def test_gpu_weak_at_decode_strong_at_elementwise():
+    """The §V-B asymmetry: FPGA ≫ GPU on decode-heavy image prep."""
+    image_cost = image_pipeline().cost(IMAGE_SPEC)
+    assert FPGA_PROFILE.sample_rate(image_cost) > 5 * GPU_PROFILE.sample_rate(
+        image_cost
+    )
+
+
+def test_fpga_beats_gpu_on_audio_small_ffts():
+    audio_cost = audio_pipeline().cost(AUDIO_SPEC)
+    assert FPGA_PROFILE.sample_rate(audio_cost) > GPU_PROFILE.sample_rate(audio_cost)
+
+
+def test_calibrated_saturation_points():
+    """The baseline host (48×2.5 GHz) saturates at the paper's numbers:
+    ≈18.3 accelerators for Inception-v4, ≈4.4 for Transformer-SR."""
+    budget = 48 * 2.5e9
+    image_rate = budget / image_pipeline().cost(IMAGE_SPEC).cpu_cycles
+    audio_rate = budget / audio_pipeline().cost(AUDIO_SPEC).cpu_cycles
+    assert image_rate / 1669 == pytest.approx(18.3, rel=0.03)
+    assert audio_rate / 2001 == pytest.approx(4.4, rel=0.03)
+
+
+def test_empty_pipeline_cost_rate_infinite():
+    empty = PipelineCost(())
+    assert math.isinf(FPGA_PROFILE.sample_rate(empty))
+    assert empty.cpu_cycles == 0
+    assert empty.mem_traffic == 0
+
+
+def test_cache_absorption_halves_traffic():
+    assert cpu_mem_traffic(100, 200) == pytest.approx(150.0)
+
+
+def test_image_memory_share_calibration():
+    """Figure 11a: formatting+augmentation ≈59%, data load ≈37% of the
+    baseline's memory traffic."""
+    cost = image_pipeline().cost(IMAGE_SPEC)
+    fmt_aug = cost.mem_traffic
+    load = cost.bytes_out
+    ssd = IMAGE_SPEC.nbytes
+    total = fmt_aug + load + ssd
+    assert fmt_aug / total == pytest.approx(0.592, abs=0.05)
+    assert load / total == pytest.approx(0.367, abs=0.05)

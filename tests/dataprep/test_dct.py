@@ -1,0 +1,64 @@
+"""Tests for the 8×8 block DCT."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.jpeg import dct
+from repro.errors import CodecError
+
+
+def test_roundtrip_identity(rng):
+    blocks = rng.normal(0, 50, (10, 8, 8))
+    back = dct.idct2(dct.dct2(blocks))
+    assert np.allclose(back, blocks, atol=1e-9)
+
+
+def test_dct_is_orthonormal():
+    m = dct._dct_matrix()
+    assert np.allclose(m @ m.T, np.eye(8), atol=1e-12)
+
+
+def test_dc_coefficient_is_scaled_mean():
+    block = np.full((1, 8, 8), 100.0)
+    coeffs = dct.dct2(block)
+    assert coeffs[0, 0, 0] == pytest.approx(100.0 * 8)
+    assert np.allclose(coeffs[0].reshape(-1)[1:], 0, atol=1e-9)
+
+
+def test_energy_preservation(rng):
+    """Parseval: orthonormal transform preserves L2 energy."""
+    block = rng.normal(0, 30, (4, 8, 8))
+    coeffs = dct.dct2(block)
+    assert np.sum(block**2) == pytest.approx(np.sum(coeffs**2), rel=1e-10)
+
+
+def test_blockify_unblockify_roundtrip(rng):
+    plane = rng.normal(size=(24, 16))
+    blocks = dct.blockify(plane)
+    assert blocks.shape == (6, 8, 8)
+    assert np.array_equal(dct.unblockify(blocks, (24, 16)), plane)
+
+
+def test_blockify_ordering():
+    plane = np.arange(16 * 16).reshape(16, 16).astype(float)
+    blocks = dct.blockify(plane)
+    # First block is the top-left 8x8 tile.
+    assert np.array_equal(blocks[0], plane[:8, :8])
+    assert np.array_equal(blocks[1], plane[:8, 8:])
+    assert np.array_equal(blocks[2], plane[8:, :8])
+
+
+def test_blockify_rejects_unaligned():
+    with pytest.raises(CodecError):
+        dct.blockify(np.zeros((10, 16)))
+    with pytest.raises(CodecError):
+        dct.unblockify(np.zeros((2, 8, 8)), (10, 16))
+    with pytest.raises(CodecError):
+        dct.unblockify(np.zeros((3, 8, 8)), (16, 16))
+
+
+def test_pad_to_blocks():
+    padded = dct.pad_to_blocks(np.ones((10, 17)))
+    assert padded.shape == (16, 24)
+    already = np.ones((16, 8))
+    assert dct.pad_to_blocks(already) is already

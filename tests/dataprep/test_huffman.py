@@ -1,0 +1,182 @@
+"""Tests for entropy-coding primitives."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.jpeg import huffman as hf
+from repro.errors import CodecError
+
+
+# -- zig-zag -----------------------------------------------------------------
+
+
+def test_zigzag_starts_dc_then_neighbors():
+    assert hf.ZIGZAG[0] == 0          # (0,0)
+    assert hf.ZIGZAG[1] == 1          # (0,1)
+    assert hf.ZIGZAG[2] == 8          # (1,0)
+    assert hf.ZIGZAG[63] == 63        # (7,7)
+
+
+def test_zigzag_is_permutation():
+    assert sorted(hf.ZIGZAG.tolist()) == list(range(64))
+
+
+def test_zigzag_roundtrip(rng):
+    block = rng.integers(-100, 100, (8, 8))
+    assert np.array_equal(hf.zigzag_unscan(hf.zigzag_scan(block)), block)
+
+
+# -- magnitude categories ------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "value,expected_size",
+    [(0, 0), (1, 1), (-1, 1), (2, 2), (3, 2), (-3, 2), (7, 3), (255, 8), (-255, 8)],
+)
+def test_magnitude_category(value, expected_size):
+    assert hf.magnitude_category(value) == expected_size
+
+
+@pytest.mark.parametrize("value", [0, 1, -1, 5, -5, 127, -127, 1000, -1000])
+def test_amplitude_roundtrip(value):
+    size, bits = hf.encode_amplitude(value)
+    assert hf.decode_amplitude(size, bits) == value
+
+
+# -- bit I/O -------------------------------------------------------------------
+
+
+def test_bit_roundtrip(rng):
+    writer = hf.BitWriter()
+    values = []
+    for _ in range(200):
+        nbits = int(rng.integers(1, 17))
+        value = int(rng.integers(0, 1 << nbits))
+        values.append((value, nbits))
+        writer.write(value, nbits)
+    reader = hf.BitReader(writer.getvalue())
+    for value, nbits in values:
+        assert reader.read(nbits) == value
+
+
+def test_bitwriter_rejects_overflow():
+    writer = hf.BitWriter()
+    with pytest.raises(CodecError):
+        writer.write(4, 2)
+
+
+def test_bitreader_underrun():
+    reader = hf.BitReader(b"\xff")
+    reader.read(8)
+    with pytest.raises(CodecError):
+        reader.read(1)
+
+
+def test_padding_is_ones():
+    writer = hf.BitWriter()
+    writer.write(0, 3)
+    data = writer.getvalue()
+    assert data == bytes([0b00011111])
+
+
+# -- Huffman -------------------------------------------------------------------
+
+
+def test_huffman_roundtrip_simple():
+    freqs = {0: 100, 1: 50, 2: 20, 3: 5}
+    table = hf.HuffmanTable.from_frequencies(freqs)
+    writer = hf.BitWriter()
+    symbols = [0, 1, 0, 2, 3, 0, 1]
+    for s in symbols:
+        table.write_symbol(writer, s)
+    reader = hf.BitReader(writer.getvalue())
+    assert [table.read_symbol(reader) for _ in symbols] == symbols
+
+
+def test_huffman_single_symbol():
+    table = hf.HuffmanTable.from_frequencies({7: 42})
+    writer = hf.BitWriter()
+    table.write_symbol(writer, 7)
+    reader = hf.BitReader(writer.getvalue())
+    assert table.read_symbol(reader) == 7
+
+
+def test_frequent_symbols_get_short_codes():
+    freqs = {i: 1 for i in range(16)}
+    freqs[0] = 10_000
+    table = hf.HuffmanTable.from_frequencies(freqs)
+    len0 = table._encode[0][1]
+    assert len0 <= min(table._encode[s][1] for s in range(1, 16))
+
+
+def test_code_lengths_limited_to_16():
+    # Exponential frequencies force a degenerate deep tree pre-adjustment.
+    freqs = {i: 2**i for i in range(40)}
+    table = hf.HuffmanTable.from_frequencies(freqs)
+    assert max(length for _, length in table._encode.values()) <= 16
+    # Kraft inequality must hold for a valid prefix code.
+    kraft = sum(2.0 ** -length for _, length in table._encode.values())
+    assert kraft <= 1.0 + 1e-12
+
+
+def test_unknown_symbol_rejected():
+    table = hf.HuffmanTable.from_frequencies({1: 1, 2: 1})
+    writer = hf.BitWriter()
+    with pytest.raises(CodecError):
+        table.write_symbol(writer, 99)
+
+
+def test_block_symbols_roundtrip(rng):
+    dc_freqs, ac_freqs = {}, {}
+    blocks = []
+    prev_dc = 0
+    events = []
+    for _ in range(20):
+        block = np.zeros((8, 8), dtype=np.int32)
+        # Sparse AC pattern typical of quantized DCT output.
+        block[0, 0] = int(rng.integers(-200, 200))
+        for _ in range(6):
+            i, j = rng.integers(0, 8, 2)
+            block[i, j] = int(rng.integers(-30, 31))
+        blocks.append(block)
+        dc_ev, ac_ev, prev_dc = hf.block_symbols(block, prev_dc)
+        events.append((dc_ev, ac_ev))
+        for s, _a, _n in dc_ev:
+            dc_freqs[s] = dc_freqs.get(s, 0) + 1
+        for s, _a, _n in ac_ev:
+            ac_freqs[s] = ac_freqs.get(s, 0) + 1
+    dc_table = hf.HuffmanTable.from_frequencies(dc_freqs)
+    ac_table = hf.HuffmanTable.from_frequencies(ac_freqs)
+    writer = hf.BitWriter()
+    for dc_ev, ac_ev in events:
+        for s, amp, nbits in dc_ev:
+            dc_table.write_symbol(writer, s)
+            writer.write(amp, nbits)
+        for s, amp, nbits in ac_ev:
+            ac_table.write_symbol(writer, s)
+            writer.write(amp, nbits)
+    reader = hf.BitReader(writer.getvalue())
+    prev = 0
+    for block in blocks:
+        decoded, prev = hf.decode_block(reader, dc_table, ac_table, prev)
+        assert np.array_equal(decoded, block)
+
+
+def test_all_zero_block_is_just_eob():
+    block = np.zeros((8, 8), dtype=np.int32)
+    dc_ev, ac_ev, dc = hf.block_symbols(block, prev_dc=0)
+    assert dc == 0
+    assert dc_ev == [(0, 0, 0)]
+    assert ac_ev == [(hf.EOB, 0, 0)]
+
+
+def test_zrl_runs_of_zeros():
+    block = np.zeros((8, 8), dtype=np.int32)
+    flat = np.zeros(64, dtype=np.int32)
+    flat[0] = 5
+    flat[40] = 3  # 39 zeros before it in zig-zag order
+    block = hf.zigzag_unscan(flat)
+    _dc, ac_ev, _ = hf.block_symbols(block, 0)
+    symbols = [s for s, _a, _n in ac_ev]
+    assert symbols.count(hf.ZRL) == 2  # 39 zeros = 2 ZRL + run of 7
+    assert symbols[-1] == hf.EOB

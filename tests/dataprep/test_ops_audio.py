@@ -1,0 +1,92 @@
+"""Tests for the audio preparation operations."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.ops_audio import (
+    MelFilterBank,
+    Normalize,
+    SpecMasking,
+    Spectrogram,
+    audio_pipeline,
+)
+from repro.dataprep.pipeline import SampleSpec
+from repro.errors import DataprepError
+import repro.dataprep.audio.stft as stft
+
+
+def test_spectrogram_executes_int16(rng):
+    sig = (rng.normal(0, 0.1, 8000) * 32767).astype(np.int16)
+    out = Spectrogram().apply(sig, rng)
+    assert out.shape == (stft.num_frames(8000), 257)
+    assert out.dtype == np.float32
+    assert np.all(out >= 0)
+
+
+def test_spectrogram_rejects_2d(rng):
+    with pytest.raises(DataprepError):
+        Spectrogram().apply(rng.normal(size=(10, 10)), rng)
+
+
+def test_mel_filter_bank_op(rng):
+    power = rng.random((50, 257)).astype(np.float32)
+    out = MelFilterBank(n_mels=64).apply(power, rng)
+    assert out.shape == (50, 64)
+
+
+def test_masking_masks_a_block(rng):
+    feats = rng.normal(size=(100, 64)).astype(np.float32)
+    out = SpecMasking(max_time_mask=20, max_freq_mask=10).apply(feats, rng)
+    assert out.shape == feats.shape
+    # Input untouched (copy semantics).
+    assert not np.shares_memory(out, feats)
+
+
+def test_masking_fill_value_is_mean(rng):
+    feats = np.arange(64 * 32, dtype=np.float32).reshape(64, 32)
+    out = SpecMasking(max_time_mask=16, max_freq_mask=8).apply(feats, rng)
+    changed = out != feats
+    if changed.any():
+        assert np.allclose(out[changed], feats.mean())
+
+
+def test_normalize_zero_mean_unit_std(rng):
+    feats = rng.normal(5.0, 3.0, (80, 40)).astype(np.float32)
+    out = Normalize().apply(feats, rng)
+    assert out.mean() == pytest.approx(0.0, abs=1e-3)
+    assert out.std() == pytest.approx(1.0, abs=1e-2)
+
+
+def test_full_audio_pipeline(rng):
+    sig = (rng.normal(0, 0.1, 16_000) * 32767).astype(np.int16)
+    pipe = audio_pipeline(n_mels=64)
+    out = pipe.run(sig, rng)
+    assert out.shape == (stft.num_frames(16_000), 64)
+    assert out.dtype == np.float32
+
+
+def test_audio_cost_matches_calibration():
+    """A 6.96 s stream costs ≈13.6 M CPU cycles (DESIGN.md §5)."""
+    spec = SampleSpec("audio_pcm", (111_360,), 222_720)
+    cost = audio_pipeline().cost(spec)
+    assert cost.cpu_cycles == pytest.approx(13.6e6, rel=0.02)
+    frames = stft.num_frames(111_360)
+    assert cost.bytes_out == pytest.approx(frames * 128 * 4)
+
+
+def test_audio_cost_scales_with_duration():
+    short = audio_pipeline().cost(SampleSpec("audio_pcm", (16_000,), 32_000))
+    long = audio_pipeline().cost(SampleSpec("audio_pcm", (160_000,), 320_000))
+    assert long.cpu_cycles > 8 * short.cpu_cycles
+
+
+def test_audio_cost_spec_threading():
+    spec = SampleSpec("audio_pcm", (111_360,), 222_720)
+    out = audio_pipeline(n_mels=80).output_spec(spec)
+    assert out.kind == "mel"
+    assert out.shape[1] == 80
+
+
+def test_wrong_input_kind_rejected():
+    with pytest.raises(DataprepError):
+        audio_pipeline().cost(SampleSpec("jpeg", (256, 256, 3), 45_000))

@@ -1,0 +1,161 @@
+"""Tests for the extended augmentation ops: time warp, MFCC, RICAP."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.ops_audio import Mfcc, TimeWarp
+from repro.dataprep.ops_batch import Ricap, apply_batch_op
+from repro.dataprep.pipeline import SampleSpec
+from repro.errors import DataprepError
+
+
+# -- time warp ----------------------------------------------------------------
+
+
+def test_time_warp_preserves_shape_and_range(rng):
+    feats = rng.normal(size=(120, 64)).astype(np.float32)
+    out = TimeWarp(max_warp=20).apply(feats, rng)
+    assert out.shape == feats.shape
+    assert out.dtype == feats.dtype
+    # Interpolation cannot exceed the input's envelope.
+    assert out.max() <= feats.max() + 1e-5
+    assert out.min() >= feats.min() - 1e-5
+
+
+def test_time_warp_changes_content(rng):
+    feats = np.cumsum(rng.normal(size=(100, 32)), axis=0).astype(np.float32)
+    outs = [TimeWarp(max_warp=16).apply(feats, rng) for _ in range(8)]
+    assert any(not np.allclose(o, feats) for o in outs)
+
+
+def test_time_warp_zero_budget_is_identity(rng):
+    feats = rng.normal(size=(50, 16)).astype(np.float32)
+    out = TimeWarp(max_warp=0).apply(feats, rng)
+    assert np.array_equal(out, feats)
+
+
+def test_time_warp_endpoints_fixed(rng):
+    feats = rng.normal(size=(80, 8)).astype(np.float32)
+    out = TimeWarp(max_warp=10).apply(feats, rng)
+    assert np.allclose(out[0], feats[0], atol=1e-5)
+    assert np.allclose(out[-1], feats[-1], atol=1e-4)
+
+
+def test_time_warp_validation(rng):
+    with pytest.raises(DataprepError):
+        TimeWarp(max_warp=-1)
+    with pytest.raises(DataprepError):
+        TimeWarp().apply(rng.normal(size=10), rng)
+
+
+def test_time_warp_cost():
+    spec = SampleSpec("mel", (100, 64), 100 * 64 * 4)
+    op_cost, out_spec = TimeWarp().cost(spec)
+    assert out_spec == spec
+    assert op_cost.kind == "masking"
+
+
+# -- MFCC ---------------------------------------------------------------------
+
+
+def test_mfcc_shape_and_energy_compaction(rng):
+    feats = rng.normal(size=(60, 40)).astype(np.float32)
+    out = Mfcc(n_coefficients=13).apply(feats, rng)
+    assert out.shape == (60, 13)
+    assert out.dtype == np.float32
+
+
+def test_mfcc_constant_input_concentrates_in_c0():
+    feats = np.full((10, 32), 3.0, dtype=np.float32)
+    out = Mfcc(n_coefficients=8).apply(feats, np.random.default_rng(0))
+    # A constant along the mel axis has only a DC component.
+    assert np.allclose(out[:, 1:], 0.0, atol=1e-5)
+    assert np.all(out[:, 0] > 0)
+
+
+def test_mfcc_orthonormal_basis_preserves_energy(rng):
+    feats = rng.normal(size=(20, 24)).astype(np.float32)
+    full = Mfcc(n_coefficients=24).apply(feats, rng)
+    assert np.allclose(
+        np.sum(full**2, axis=1), np.sum(feats.astype(np.float64) ** 2, axis=1),
+        rtol=1e-5,
+    )
+
+
+def test_mfcc_cost_spec_threading():
+    spec = SampleSpec("mel", (100, 64), 100 * 64 * 4)
+    op_cost, out_spec = Mfcc(n_coefficients=13).cost(spec)
+    assert out_spec.kind == "mfcc"
+    assert out_spec.shape == (100, 13)
+    assert op_cost.bytes_out == 100 * 13 * 4
+
+
+def test_mfcc_validation(rng):
+    with pytest.raises(DataprepError):
+        Mfcc(n_coefficients=0)
+    with pytest.raises(DataprepError):
+        Mfcc(n_coefficients=40).apply(rng.normal(size=(5, 8)), rng)
+
+
+# -- RICAP --------------------------------------------------------------------
+
+
+def _images(rng, count=4, h=40, w=40):
+    return [
+        rng.integers(0, 256, (h, w, 3), dtype=np.uint8) for _ in range(count)
+    ]
+
+
+def test_ricap_output_geometry(rng):
+    op = Ricap(out_height=32, out_width=32)
+    out = op.apply(_images(rng), rng)
+    assert out.shape == (32, 32, 3)
+    assert out.dtype == np.uint8
+
+
+def test_ricap_weights_sum_to_one(rng):
+    op = Ricap(out_height=32, out_width=32)
+    op.apply(_images(rng), rng)
+    weights = op.mix_weights()
+    assert len(weights) == 4
+    assert sum(weights) == pytest.approx(1.0)
+    assert all(w >= 0 for w in weights)
+
+
+def test_ricap_regions_come_from_sources(rng):
+    # Four constant-valued sources: every output pixel must carry one of
+    # the four source values.
+    sources = [np.full((40, 40, 3), v, dtype=np.uint8) for v in (10, 60, 170, 240)]
+    op = Ricap(out_height=24, out_width=24)
+    out = op.apply(sources, rng)
+    assert set(np.unique(out)) <= {10, 60, 170, 240}
+    # With min_fraction > 0 every source contributes.
+    assert len(set(np.unique(out))) == 4
+
+
+def test_ricap_validation(rng):
+    op = Ricap(out_height=32, out_width=32)
+    with pytest.raises(DataprepError):
+        op.apply(_images(rng, count=3), rng)
+    with pytest.raises(DataprepError):
+        op.apply(_images(rng, h=16, w=16), rng)
+    with pytest.raises(DataprepError):
+        Ricap(min_fraction=0.0)
+    with pytest.raises(DataprepError):
+        Ricap().mix_weights()
+
+
+def test_ricap_cost():
+    spec = SampleSpec("image_u8", (256, 256, 3), 256 * 256 * 3)
+    op_cost = Ricap().cost(spec)
+    assert op_cost.bytes_in == 4 * spec.nbytes
+    assert op_cost.bytes_out == 224 * 224 * 3
+
+
+def test_apply_batch_op_produces_batch(rng):
+    op = Ricap(out_height=24, out_width=24)
+    outs = apply_batch_op(op, _images(rng, count=6), rng)
+    assert len(outs) == 6
+    assert all(o.shape == (24, 24, 3) for o in outs)
+    with pytest.raises(DataprepError):
+        apply_batch_op(op, [], rng)

@@ -1,0 +1,130 @@
+"""Tests for the image preparation operations."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.jpeg import encode
+from repro.dataprep.ops_image import (
+    CastToFloat,
+    DecodeJpeg,
+    GaussianNoise,
+    Mirror,
+    RandomCrop,
+    image_pipeline,
+)
+from repro.dataprep.pipeline import SampleSpec
+from repro.errors import DataprepError
+
+
+def test_decode_executes(smooth_image, rng):
+    data = encode(smooth_image, quality=90)
+    out = DecodeJpeg().apply(data, rng)
+    assert out.shape == smooth_image.shape
+    assert out.dtype == np.uint8
+
+
+def test_decode_rejects_arrays(rng):
+    with pytest.raises(DataprepError):
+        DecodeJpeg().apply(np.zeros((4, 4, 3), dtype=np.uint8), rng)
+
+
+def test_crop_shape_and_content(rng):
+    img = np.arange(40 * 40 * 3, dtype=np.uint8).reshape(40, 40, 3)
+    crop = RandomCrop(32, 32)
+    out = crop.apply(img, rng)
+    assert out.shape == (32, 32, 3)
+    # The crop must be a contiguous window of the source.
+    found = False
+    for top in range(9):
+        for left in range(9):
+            if np.array_equal(out, img[top : top + 32, left : left + 32]):
+                found = True
+    assert found
+
+
+def test_crop_too_small_rejected(rng):
+    with pytest.raises(DataprepError):
+        RandomCrop(64, 64).apply(np.zeros((32, 32, 3), dtype=np.uint8), rng)
+
+
+def test_crop_randomness(rng):
+    img = np.arange(40 * 40 * 3, dtype=np.uint8).reshape(40, 40, 3)
+    crop = RandomCrop(20, 20)
+    outs = {crop.apply(img, rng).tobytes() for _ in range(16)}
+    assert len(outs) > 1  # different offsets actually sampled
+
+
+def test_mirror_flips_horizontally():
+    img = np.arange(4 * 4 * 3, dtype=np.uint8).reshape(4, 4, 3)
+    always = Mirror(probability=1.0)
+    out = always.apply(img, np.random.default_rng(0))
+    assert np.array_equal(out, img[:, ::-1])
+    never = Mirror(probability=0.0)
+    assert np.array_equal(never.apply(img, np.random.default_rng(0)), img)
+
+
+def test_mirror_probability_validated():
+    with pytest.raises(DataprepError):
+        Mirror(probability=1.5)
+
+
+def test_noise_changes_pixels_but_bounded(rng):
+    img = np.full((16, 16, 3), 128, dtype=np.uint8)
+    out = GaussianNoise(sigma=5.0).apply(img, rng)
+    assert out.dtype == np.uint8
+    assert not np.array_equal(out, img)
+    assert np.abs(out.astype(int) - 128).max() < 40
+
+
+def test_noise_zero_sigma_near_identity(rng):
+    img = np.full((8, 8, 3), 100, dtype=np.uint8)
+    out = GaussianNoise(sigma=0.0).apply(img, rng)
+    assert np.array_equal(out, img)
+
+
+def test_noise_requires_uint8(rng):
+    with pytest.raises(DataprepError):
+        GaussianNoise().apply(np.zeros((4, 4, 3), dtype=np.float32), rng)
+
+
+def test_cast_scales_to_unit_range(rng):
+    img = np.array([[[0, 128, 255]]], dtype=np.uint8)
+    out = CastToFloat().apply(img, rng)
+    assert out.dtype == np.float32
+    assert out.min() == pytest.approx(0.0)
+    assert out.max() == pytest.approx(1.0)
+
+
+def test_full_pipeline_execution(rng):
+    img = np.random.default_rng(0).integers(0, 256, (40, 40, 3), dtype=np.uint8)
+    pipe = image_pipeline(out_height=32, out_width=32)
+    out = pipe.run(encode(img), rng)
+    assert out.shape == (32, 32, 3)
+    assert out.dtype == np.float32
+
+
+def test_pipeline_cost_matches_calibration():
+    """The 256×256 image pipeline costs ≈3.9 M CPU cycles (DESIGN.md §5)."""
+    spec = SampleSpec("jpeg", (256, 256, 3), 45_000)
+    cost = image_pipeline().cost(spec)
+    assert cost.cpu_cycles == pytest.approx(3.93e6, rel=0.02)
+    assert cost.bytes_out == pytest.approx(224 * 224 * 3 * 4)
+
+
+def test_cost_spec_threading():
+    spec = SampleSpec("jpeg", (256, 256, 3), 45_000)
+    pipe = image_pipeline()
+    out_spec = pipe.output_spec(spec)
+    assert out_spec.kind == "image_f32"
+    assert out_spec.shape == (224, 224, 3)
+
+
+def test_cost_rejects_wrong_input_kind():
+    with pytest.raises(DataprepError):
+        image_pipeline().cost(SampleSpec("audio_pcm", (1000,), 2000))
+
+
+def test_crop_cost_validates_geometry():
+    spec = SampleSpec("image_u8", (100, 100, 3), 30_000)
+    with pytest.raises(DataprepError):
+        RandomCrop(224, 224).cost(spec)

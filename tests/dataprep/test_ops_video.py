@@ -1,0 +1,117 @@
+"""Tests for the video extension (§V-C partial reconfiguration story)."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.ops_video import (
+    ClipCast,
+    ClipCrop,
+    DecodeVideo,
+    TemporalSubsample,
+    decode_clip,
+    encode_clip,
+    video_engine_resources,
+    video_pipeline,
+)
+from repro.dataprep.pipeline import SampleSpec
+from repro.devices.fpga import FpgaResourceModel, audio_resource_model
+from repro.errors import CodecError, DataprepError
+
+
+def _frames(rng, count=6, h=24, w=24):
+    # Smooth, photo-like frames (noise frames would stress the lossy
+    # JPEG bound, which test_codec covers separately).
+    x = np.linspace(0, 200, w)[None, :] * np.ones((h, 1))
+    base = np.stack([x, x[::-1], np.full((h, w), 90.0)], axis=-1)
+    base = np.clip(base + rng.normal(0, 4, base.shape), 0, 255).astype(np.uint8)
+    return [
+        np.clip(base.astype(int) + 5 * i, 0, 255).astype(np.uint8)
+        for i in range(count)
+    ]
+
+
+def test_clip_container_roundtrip(rng):
+    frames = _frames(rng)
+    clip = encode_clip(frames, quality=90)
+    back = decode_clip(clip)
+    assert len(back) == len(frames)
+    for a, b in zip(back, frames):
+        assert a.shape == b.shape
+        assert np.abs(a.astype(int) - b.astype(int)).mean() < 15
+
+
+def test_clip_validation(rng):
+    with pytest.raises(CodecError):
+        encode_clip([])
+    with pytest.raises(CodecError):
+        encode_clip([_frames(rng)[0], _frames(rng, h=16)[0]])
+    with pytest.raises(CodecError):
+        decode_clip(b"xxxx")
+
+
+def test_pipeline_execution(rng):
+    clip = encode_clip(_frames(rng, count=8, h=32, w=32))
+    pipe = video_pipeline(out_height=24, out_width=24, stride=2)
+    out = pipe.run(clip, rng)
+    assert out.shape == (4, 24, 24, 3)
+    assert out.dtype == np.float32
+
+
+def test_temporal_subsample(rng):
+    data = rng.integers(0, 256, (10, 4, 4, 3), dtype=np.uint8)
+    out = TemporalSubsample(3).apply(data, rng)
+    assert out.shape[0] == 4
+    assert np.array_equal(out[1], data[3])
+    with pytest.raises(DataprepError):
+        TemporalSubsample(0)
+
+
+def test_clip_crop_consistent_across_frames(rng):
+    data = np.stack(
+        [np.arange(8 * 8 * 3, dtype=np.uint8).reshape(8, 8, 3)] * 5
+    )
+    out = ClipCrop(4, 4).apply(data, rng)
+    assert out.shape == (5, 4, 4, 3)
+    for frame in out[1:]:
+        assert np.array_equal(frame, out[0])
+
+
+def test_clip_cast(rng):
+    data = rng.integers(0, 256, (3, 4, 4, 3), dtype=np.uint8)
+    out = ClipCast().apply(data, rng)
+    assert out.dtype == np.float32
+    assert out.max() <= 1.0
+    with pytest.raises(DataprepError):
+        ClipCast().apply(out, rng)
+
+
+def test_cost_threading():
+    spec = SampleSpec("video_mjpeg", (16, 256, 256, 3), 16 * 45_000.0)
+    pipe = video_pipeline(stride=2)
+    cost = pipe.cost(spec)
+    out = pipe.output_spec(spec)
+    assert out.kind == "video_f32"
+    assert out.shape == (8, 224, 224, 3)
+    # Per-frame decode cost matches the image decode calibration.
+    decode_op = cost.by_stage()["decode_video"]
+    assert decode_op.cpu_cycles == pytest.approx(16 * 38.0 * 256 * 256)
+
+
+def test_cost_rejects_wrong_kind():
+    with pytest.raises(DataprepError):
+        video_pipeline().cost(SampleSpec("jpeg", (256, 256, 3), 45_000))
+
+
+def test_partial_reconfiguration_fits():
+    """§V-C: swap the computation engine, keep Ethernet + P2P resident —
+    and the result must still fit the XCVU9P."""
+    base = audio_resource_model()
+    interfacing = [
+        e for e in base.engines if e.name in ("ethernet_protocol", "p2p_handler")
+    ]
+    video = FpgaResourceModel(
+        interfacing + [video_engine_resources()], label="video-prep-fpga"
+    )
+    video.check_fits()
+    util = video.utilization()
+    assert 0.5 < util["luts"] < 1.0

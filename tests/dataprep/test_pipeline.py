@@ -1,0 +1,81 @@
+"""Tests for pipeline composition and the SampleSpec machinery."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.ops_image import CastToFloat, Mirror, RandomCrop
+from repro.dataprep.pipeline import PrepPipeline, SampleSpec
+from repro.errors import DataprepError
+
+
+def test_empty_pipeline_rejected():
+    with pytest.raises(DataprepError):
+        PrepPipeline([])
+
+
+def test_duplicate_op_names_rejected():
+    with pytest.raises(DataprepError):
+        PrepPipeline([Mirror(), Mirror()])
+
+
+def test_spec_validation():
+    with pytest.raises(DataprepError):
+        SampleSpec("jpeg", (0, 10, 3), 100)
+    with pytest.raises(DataprepError):
+        SampleSpec("jpeg", (10, 10, 3), -1)
+    spec = SampleSpec("jpeg", (10, 10, 3), 100)
+    with pytest.raises(DataprepError):
+        spec.expect("image_u8", "some_op")
+
+
+def test_run_batch(rng):
+    pipe = PrepPipeline([RandomCrop(8, 8), CastToFloat()])
+    batch = [
+        np.random.default_rng(i).integers(0, 256, (12, 12, 3), dtype=np.uint8)
+        for i in range(3)
+    ]
+    outs = pipe.run_batch(batch, rng)
+    assert len(outs) == 3
+    assert all(o.shape == (8, 8, 3) for o in outs)
+
+
+def test_cost_aggregation():
+    pipe = PrepPipeline([RandomCrop(8, 8), CastToFloat()])
+    spec = SampleSpec("image_u8", (12, 12, 3), 12 * 12 * 3)
+    cost = pipe.cost(spec)
+    assert len(cost.ops) == 2
+    assert cost.cpu_cycles == sum(op.cpu_cycles for op in cost.ops)
+    assert cost.bytes_in == 12 * 12 * 3
+    assert cost.bytes_out == 8 * 8 * 3 * 4
+
+
+def test_cost_split_by_kind():
+    pipe = PrepPipeline([RandomCrop(8, 8), Mirror(), CastToFloat()])
+    spec = SampleSpec("image_u8", (12, 12, 3), 12 * 12 * 3)
+    cost = pipe.cost(spec)
+    crops = cost.split(["crop"])
+    assert [op.name for op in crops.ops] == ["random_crop"]
+    empty = cost.split(["decode"])
+    assert empty.cpu_cycles == 0
+    assert empty.bytes_out == 0
+
+
+def test_describe_and_len():
+    pipe = PrepPipeline([RandomCrop(8, 8), CastToFloat()], name="p")
+    assert len(pipe) == 2
+    assert pipe.describe() == "p: random_crop -> cast"
+
+
+def test_default_rng_used_when_none():
+    pipe = PrepPipeline([RandomCrop(8, 8)])
+    img = np.zeros((12, 12, 3), dtype=np.uint8)
+    out = pipe.run(img)  # must not raise without an explicit rng
+    assert out.shape == (8, 8, 3)
+
+
+def test_by_stage_lookup():
+    pipe = PrepPipeline([RandomCrop(8, 8), CastToFloat()])
+    spec = SampleSpec("image_u8", (12, 12, 3), 12 * 12 * 3)
+    stages = pipe.cost(spec).by_stage()
+    assert set(stages) == {"random_crop", "cast"}
+    assert stages["cast"].kind == "cast"

@@ -1,0 +1,124 @@
+"""Tests for the deflate layer and the PNG-like codec."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.png import decode, encode
+from repro.dataprep.png.deflate import (
+    compress,
+    decompress,
+    distance_symbol,
+    length_symbol,
+)
+from repro.errors import CodecError
+
+
+# -- deflate ------------------------------------------------------------------
+
+
+def test_deflate_roundtrip_text():
+    data = b"to be or not to be, that is the question " * 20
+    packed = compress(data)
+    assert decompress(packed) == data
+    assert len(packed) < len(data) / 2
+
+
+def test_deflate_roundtrip_binary(rng):
+    data = rng.integers(0, 256, 5000, dtype=np.uint8).tobytes()
+    assert decompress(compress(data)) == data
+
+
+def test_deflate_empty():
+    assert decompress(compress(b"")) == b""
+
+
+def test_deflate_single_byte():
+    assert decompress(compress(b"z")) == b"z"
+
+
+def test_length_symbol_table():
+    # RFC 1951 anchors: length 3 -> 257, 10 -> 264, 258 -> 285.
+    assert length_symbol(3) == (257, 0, 0)
+    assert length_symbol(10) == (264, 0, 0)
+    assert length_symbol(258) == (285, 0, 0)
+    # Code 265 covers lengths 11-12 (1 extra bit), 266 covers 13-14.
+    sym, nbits, extra = length_symbol(12)
+    assert sym == 265 and nbits == 1 and extra == 1
+    sym, nbits, extra = length_symbol(13)
+    assert sym == 266 and nbits == 1 and extra == 0
+
+
+def test_distance_symbol_table():
+    assert distance_symbol(1) == (0, 0, 0)
+    assert distance_symbol(4) == (3, 0, 0)
+    sym, nbits, extra = distance_symbol(5)
+    assert sym == 4 and nbits == 1 and extra == 0
+    sym, nbits, extra = distance_symbol(24577)
+    assert sym == 29 and nbits == 13 and extra == 0
+
+
+def test_every_length_and_distance_roundtrips():
+    from repro.dataprep.png.deflate import (
+        _DIST_BASE,
+        _DIST_EXTRA,
+        _LENGTH_BASE,
+        _LENGTH_EXTRA,
+    )
+
+    for length in range(3, 259):
+        sym, nbits, extra = length_symbol(length)
+        idx = sym - 257
+        assert _LENGTH_BASE[idx] + extra == length
+        assert extra < (1 << nbits) or nbits == 0 and extra == 0
+    for distance in (1, 2, 3, 4, 5, 100, 1024, 32768):
+        sym, nbits, extra = distance_symbol(distance)
+        assert _DIST_BASE[sym] + extra == distance
+
+
+# -- codec --------------------------------------------------------------------
+
+
+def test_png_lossless_roundtrip(smooth_image):
+    data = encode(smooth_image)
+    out = decode(data)
+    assert np.array_equal(out, smooth_image)
+
+
+def test_png_compresses_smooth_images(smooth_image):
+    assert len(encode(smooth_image)) < smooth_image.nbytes * 0.8
+
+
+def test_png_channel_counts(rng):
+    for channels in (1, 3, 4):
+        img = rng.integers(0, 256, (11, 13, channels), dtype=np.uint8)
+        assert np.array_equal(decode(encode(img)), img)
+
+
+def test_png_tiny_image(rng):
+    img = rng.integers(0, 256, (1, 1, 3), dtype=np.uint8)
+    assert np.array_equal(decode(encode(img)), img)
+
+
+def test_png_validation(rng):
+    with pytest.raises(CodecError):
+        encode(rng.integers(0, 256, (4, 4), dtype=np.uint8))
+    with pytest.raises(CodecError):
+        encode(rng.integers(0, 256, (4, 4, 2), dtype=np.uint8))
+    with pytest.raises(CodecError):
+        encode(rng.random((4, 4, 3)).astype(np.float32))
+    with pytest.raises(CodecError):
+        decode(b"nope")
+
+
+def test_png_deterministic(smooth_image):
+    assert encode(smooth_image) == encode(smooth_image)
+
+
+def test_png_vs_jpeg_tradeoff(smooth_image):
+    """PNG is exact but bigger than JPEG on photo-like content — the
+    reason ImageNet ships as JPEG."""
+    from repro.dataprep.jpeg import encode as jpeg_encode
+
+    png_size = len(encode(smooth_image))
+    jpeg_size = len(jpeg_encode(smooth_image, quality=75))
+    assert jpeg_size < png_size

@@ -1,0 +1,82 @@
+"""Tests for PNG scanline filters."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.png import filters
+from repro.errors import CodecError
+
+
+@pytest.mark.parametrize("method", sorted(filters.FILTER_NAMES))
+def test_scanline_roundtrip_every_method(method, rng):
+    line = rng.integers(0, 256, 30, dtype=np.uint8)
+    prev = rng.integers(0, 256, 30, dtype=np.uint8)
+    residual = filters.filter_scanline(line, prev, bpp=3, method=method)
+    back = filters.unfilter_scanline(residual, prev, bpp=3, method=method)
+    assert np.array_equal(back, line)
+
+
+def test_unknown_method_rejected(rng):
+    line = rng.integers(0, 256, 12, dtype=np.uint8)
+    with pytest.raises(CodecError):
+        filters.filter_scanline(line, line, 3, 9)
+    with pytest.raises(CodecError):
+        filters.unfilter_scanline(line, line, 3, 9)
+
+
+def test_sub_filter_on_constant_line_is_zero():
+    line = np.full(12, 55, dtype=np.uint8)
+    prev = np.zeros(12, dtype=np.uint8)
+    residual = filters.filter_scanline(line, prev, bpp=1, method=filters.FILTER_SUB)
+    # First pixel keeps its value; the rest difference to zero.
+    assert residual[0] == 55
+    assert np.all(residual[1:] == 0)
+
+
+def test_up_filter_on_repeated_line_is_zero(rng):
+    line = rng.integers(0, 256, 12, dtype=np.uint8)
+    residual = filters.filter_scanline(line, line, bpp=3, method=filters.FILTER_UP)
+    assert np.all(residual == 0)
+
+
+def test_choose_filter_prefers_cheap_residuals():
+    # A horizontal gradient: SUB yields tiny residuals, NONE does not.
+    line = np.arange(0, 120, 2, dtype=np.uint8)
+    prev = np.zeros_like(line)
+    method, residual = filters.choose_filter(line, prev, bpp=1)
+    assert method in (filters.FILTER_SUB, filters.FILTER_AVERAGE, filters.FILTER_PAETH)
+    assert int(np.abs(residual[1:].astype(np.int16)).sum()) <= int(line.sum())
+
+
+def test_image_roundtrip(rng):
+    image = rng.integers(0, 256, (9, 7, 3), dtype=np.uint8)
+    methods, residuals = filters.filter_image(image)
+    back = filters.unfilter_image(methods, residuals, image.shape)
+    assert np.array_equal(back, image)
+    assert len(methods) == 9
+
+
+def test_image_validation(rng):
+    with pytest.raises(CodecError):
+        filters.filter_image(rng.integers(0, 256, (4, 4), dtype=np.uint8))
+    with pytest.raises(CodecError):
+        filters.filter_image(rng.random((4, 4, 3)))
+    methods, residuals = filters.filter_image(
+        rng.integers(0, 256, (4, 4, 3), dtype=np.uint8)
+    )
+    with pytest.raises(CodecError):
+        filters.unfilter_image(methods, residuals, (5, 4, 3))
+    with pytest.raises(CodecError):
+        filters.unfilter_image(methods[:-1], residuals, (4, 4, 3))
+
+
+def test_paeth_predictor_cases():
+    # a=left, b=up, c=upleft; exact tie-break order a, b, c.
+    a = np.array([10], dtype=np.int16)
+    b = np.array([20], dtype=np.int16)
+    c = np.array([15], dtype=np.int16)
+    # p = 15; pa=5, pb=5, pc=0 -> c wins only when strictly smaller.
+    assert filters._paeth_predictor(a, b, c)[0] == 15
+    c2 = np.array([30], dtype=np.int16)
+    # p = 0; pa=10, pb=20, pc=30 -> a.
+    assert filters._paeth_predictor(a, b, c2)[0] == 10

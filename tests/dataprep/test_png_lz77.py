@@ -1,0 +1,87 @@
+"""Tests for the LZ77 matcher."""
+
+import pytest
+
+from repro.dataprep.png.lz77 import (
+    MAX_MATCH,
+    MIN_MATCH,
+    Match,
+    compression_tokens_ratio,
+    expand,
+    tokenize,
+)
+from repro.errors import CodecError
+
+
+def test_roundtrip_simple():
+    data = b"abcabcabcabcxyz"
+    tokens = tokenize(data)
+    assert expand(tokens) == data
+    assert any(isinstance(t, Match) for t in tokens)
+
+
+def test_roundtrip_no_matches():
+    data = bytes(range(200))
+    tokens = tokenize(data)
+    assert expand(tokens) == data
+
+
+def test_overlapping_match_rle():
+    """Runs compress to a literal + one long overlapping match."""
+    data = b"a" * 100
+    tokens = tokenize(data)
+    assert expand(tokens) == data
+    matches = [t for t in tokens if isinstance(t, Match)]
+    assert matches and matches[0].distance == 1
+
+
+def test_empty_input():
+    assert tokenize(b"") == []
+    assert expand([]) == b""
+
+
+def test_match_validation():
+    with pytest.raises(CodecError):
+        Match(length=MIN_MATCH - 1, distance=1)
+    with pytest.raises(CodecError):
+        Match(length=MAX_MATCH + 1, distance=1)
+    with pytest.raises(CodecError):
+        Match(length=10, distance=0)
+
+
+def test_expand_rejects_bad_distance():
+    with pytest.raises(CodecError):
+        expand([65, Match(length=3, distance=5)])
+
+
+def test_expand_rejects_bad_literal():
+    with pytest.raises(CodecError):
+        expand([300])
+
+
+def test_max_match_cap():
+    data = b"x" * 1000
+    tokens = tokenize(data)
+    for token in tokens:
+        if isinstance(token, Match):
+            assert token.length <= MAX_MATCH
+    assert expand(tokens) == data
+
+
+def test_repetitive_data_mostly_matched():
+    data = b"the quick brown fox " * 50
+    tokens = tokenize(data)
+    assert compression_tokens_ratio(tokens, len(data)) > 0.9
+    assert expand(tokens) == data
+
+
+def test_ratio_validation():
+    with pytest.raises(CodecError):
+        compression_tokens_ratio([], 0)
+
+
+def test_max_chain_zero_degrades_to_literals():
+    data = b"abcabcabc"
+    tokens = tokenize(data, max_chain=0)
+    assert all(not isinstance(t, Match) for t in tokens)
+    assert expand(tokens) == data

@@ -1,0 +1,58 @@
+"""Tests for the PNG decode op and PNG-sourced pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.ops_image import DecodePng, image_pipeline
+from repro.dataprep.pipeline import SampleSpec
+from repro.dataprep.png import encode as png_encode
+from repro.errors import DataprepError
+
+
+def test_decode_png_executes(smooth_image, rng):
+    out = DecodePng().apply(png_encode(smooth_image), rng)
+    assert np.array_equal(out, smooth_image)  # lossless
+
+
+def test_decode_png_rejects_arrays(rng):
+    with pytest.raises(DataprepError):
+        DecodePng().apply(np.zeros((4, 4, 3), dtype=np.uint8), rng)
+
+
+def test_png_pipeline_execution(rng):
+    img = np.random.default_rng(1).integers(0, 256, (40, 40, 3), dtype=np.uint8)
+    pipe = image_pipeline(out_height=32, out_width=32, source_format="png")
+    out = pipe.run(png_encode(img), rng)
+    assert out.shape == (32, 32, 3)
+    assert out.dtype == np.float32
+
+
+def test_png_cost_cheaper_per_pixel_than_jpeg():
+    png_spec = SampleSpec("png", (256, 256, 3), 120_000)
+    jpeg_spec = SampleSpec("jpeg", (256, 256, 3), 45_000)
+    png_cost = image_pipeline(source_format="png").cost(png_spec)
+    jpeg_cost = image_pipeline().cost(jpeg_spec)
+    png_decode = png_cost.by_stage()["decode_png"]
+    jpeg_decode = jpeg_cost.by_stage()["decode_jpeg"]
+    assert png_decode.cpu_cycles < jpeg_decode.cpu_cycles
+    # ...but the PNG payload read from storage is larger.
+    assert png_decode.bytes_in > jpeg_decode.bytes_in
+
+
+def test_png_cost_spec_threading():
+    spec = SampleSpec("png", (256, 256, 3), 120_000)
+    out = image_pipeline(source_format="png").output_spec(spec)
+    assert out.kind == "image_f32"
+    assert out.shape == (224, 224, 3)
+
+
+def test_unknown_source_format_rejected():
+    with pytest.raises(DataprepError):
+        image_pipeline(source_format="webp")
+
+
+def test_kind_mismatch_rejected():
+    with pytest.raises(DataprepError):
+        image_pipeline(source_format="png").cost(
+            SampleSpec("jpeg", (256, 256, 3), 45_000)
+        )

@@ -1,0 +1,58 @@
+"""Tests for quantization tables and quality scaling."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.jpeg import quant
+from repro.errors import CodecError
+
+
+def test_quality_50_is_base_table():
+    assert np.array_equal(quant.scaled_table(quant.LUMA_BASE, 50), quant.LUMA_BASE)
+
+
+def test_quality_100_is_all_ones():
+    assert np.all(quant.scaled_table(quant.LUMA_BASE, 100) == 1)
+
+
+def test_lower_quality_coarser():
+    q25 = quant.scaled_table(quant.LUMA_BASE, 25)
+    q75 = quant.scaled_table(quant.LUMA_BASE, 75)
+    assert np.all(q25 >= q75)
+    assert q25.sum() > q75.sum()
+
+
+def test_tables_stay_in_byte_range():
+    for quality in (1, 10, 50, 90, 100):
+        table = quant.scaled_table(quant.CHROMA_BASE, quality)
+        assert table.min() >= 1
+        assert table.max() <= 255
+
+
+def test_invalid_quality_rejected():
+    with pytest.raises(CodecError):
+        quant.scaled_table(quant.LUMA_BASE, 0)
+    with pytest.raises(CodecError):
+        quant.scaled_table(quant.LUMA_BASE, 101)
+
+
+def test_quantize_dequantize_error_bounded(rng):
+    table = quant.scaled_table(quant.LUMA_BASE, 75)
+    coeffs = rng.normal(0, 200, (5, 8, 8))
+    q = quant.quantize(coeffs, table)
+    back = quant.dequantize(q, table)
+    # Round-trip error is at most half a quantization step per entry.
+    assert np.all(np.abs(back - coeffs) <= table / 2 + 1e-9)
+
+
+def test_quantize_is_integer():
+    table = quant.scaled_table(quant.LUMA_BASE, 75)
+    q = quant.quantize(np.ones((1, 8, 8)) * 7.7, table)
+    assert q.dtype == np.int32
+
+
+def test_base_tables_shape_and_symmetric_roles():
+    assert quant.LUMA_BASE.shape == (8, 8)
+    assert quant.CHROMA_BASE.shape == (8, 8)
+    # Chroma is quantized at least as coarsely as luma at high frequency.
+    assert quant.CHROMA_BASE[4:, 4:].min() >= quant.LUMA_BASE[4:, 4:].min()

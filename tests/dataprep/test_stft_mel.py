@@ -1,0 +1,111 @@
+"""Tests for the audio front-end (STFT, Mel filter bank)."""
+
+import numpy as np
+import pytest
+
+import repro.dataprep.audio.mel as mel
+import repro.dataprep.audio.stft as stft
+from repro.errors import DataprepError
+
+
+def test_hann_window_endpoints_and_peak():
+    w = stft.hann_window(400)
+    assert w[0] == pytest.approx(0.0)
+    assert w.max() == pytest.approx(1.0, abs=1e-4)
+    with pytest.raises(DataprepError):
+        stft.hann_window(0)
+
+
+def test_frame_count_formula(rng):
+    signal = rng.normal(size=16_000)
+    frames = stft.frame_signal(signal)
+    assert frames.shape[0] == stft.num_frames(16_000)
+    assert frames.shape[1] == stft.WIN_LENGTH
+
+
+def test_short_signal_padded(rng):
+    signal = rng.normal(size=100)  # shorter than one window
+    frames = stft.frame_signal(signal)
+    assert frames.shape == (1, stft.WIN_LENGTH)
+    assert np.array_equal(frames[0, :100], signal)
+    assert np.all(frames[0, 100:] == 0)
+
+
+def test_frame_hop_alignment():
+    signal = np.arange(1000).astype(float)
+    frames = stft.frame_signal(signal, win_length=400, hop_length=160)
+    assert frames[1, 0] == 160.0
+    assert frames[2, 0] == 320.0
+
+
+def test_stft_pure_tone_peaks_at_right_bin():
+    sr = 16_000
+    freq = 1000.0
+    t = np.arange(sr) / sr
+    tone = np.sin(2 * np.pi * freq * t)
+    power = stft.power_spectrogram(tone)
+    peak_bin = power.mean(axis=0).argmax()
+    expected_bin = round(freq * stft.N_FFT / sr)
+    assert abs(int(peak_bin) - expected_bin) <= 1
+
+
+def test_stft_validation(rng):
+    with pytest.raises(DataprepError):
+        stft.stft(rng.normal(size=(10, 10)))
+    with pytest.raises(DataprepError):
+        stft.stft(rng.normal(size=1000), n_fft=128, win_length=400)
+    with pytest.raises(DataprepError):
+        stft.frame_signal(np.array([]))
+
+
+def test_mel_scale_roundtrip():
+    hz = np.array([0.0, 440.0, 4000.0, 8000.0])
+    assert np.allclose(mel.mel_to_hz(mel.hz_to_mel(hz)), hz)
+
+
+def test_mel_scale_monotone():
+    hz = np.linspace(0, 8000, 100)
+    m = mel.hz_to_mel(hz)
+    assert np.all(np.diff(m) > 0)
+
+
+def test_filter_bank_shape_and_coverage():
+    bank = mel.mel_filter_bank(n_mels=40, n_fft=512, sample_rate=16_000)
+    assert bank.shape == (40, 257)
+    assert np.all(bank >= 0)
+    # Interior FFT bins are covered by at least one filter.
+    coverage = bank.sum(axis=0)
+    assert np.all(coverage[2:-2] > 0)
+
+
+def test_filter_bank_rows_are_triangles():
+    bank = mel.mel_filter_bank(n_mels=20)
+    for row in bank:
+        support = np.nonzero(row)[0]
+        if support.size < 3:
+            continue
+        peak = row.argmax()
+        assert np.all(np.diff(row[support[0] : peak + 1]) >= -1e-12)
+        assert np.all(np.diff(row[peak : support[-1] + 1]) <= 1e-12)
+
+
+def test_filter_bank_validation():
+    with pytest.raises(DataprepError):
+        mel.mel_filter_bank(n_mels=0)
+    with pytest.raises(DataprepError):
+        mel.mel_filter_bank(fmin=5000, fmax=1000)
+
+
+def test_mel_spectrogram_shape(rng):
+    signal = rng.normal(size=16_000)
+    feats = mel.mel_spectrogram(signal, n_mels=64)
+    assert feats.shape == (stft.num_frames(16_000), 64)
+    assert feats.dtype == np.float32
+
+
+def test_log_compression_applied(rng):
+    signal = rng.normal(size=8_000)
+    linear = mel.mel_spectrogram(signal, log=False)
+    logged = mel.mel_spectrogram(signal, log=True)
+    assert np.all(linear >= 0)
+    assert logged.min() < 0  # log of small powers goes negative

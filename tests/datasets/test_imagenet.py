@@ -1,0 +1,86 @@
+"""Tests for the synthetic image dataset."""
+
+import numpy as np
+import pytest
+
+from repro.dataprep.jpeg import decode
+from repro.datasets.imagenet import (
+    IMAGENET_LIKE,
+    SyntheticImageDataset,
+    synthesize_image,
+)
+from repro.errors import DataprepError
+
+
+def test_items_are_decodable_jpeg():
+    ds = SyntheticImageDataset(num_items=3, height=32, width=32)
+    data, label = ds[0]
+    img = decode(data)
+    assert img.shape == (32, 32, 3)
+    assert 0 <= label < ds.num_classes
+
+
+def test_items_deterministic():
+    a = SyntheticImageDataset(num_items=4, height=24, width=24, seed=7)
+    b = SyntheticImageDataset(num_items=4, height=24, width=24, seed=7)
+    assert a[2][0] == b[2][0]
+    assert a[2][1] == b[2][1]
+
+
+def test_different_seeds_differ():
+    a = SyntheticImageDataset(num_items=1, height=24, width=24, seed=1)
+    b = SyntheticImageDataset(num_items=1, height=24, width=24, seed=2)
+    assert a[0][0] != b[0][0]
+
+
+def test_labels_cycle_through_classes():
+    ds = SyntheticImageDataset(num_items=10, num_classes=4)
+    assert [ds.label_of(i) for i in range(5)] == [0, 1, 2, 3, 0]
+
+
+def test_mirror_symmetric_class_signal():
+    """Flipping must not change the class-determined structure (the
+    augmentation experiment relies on this)."""
+    rng = np.random.default_rng(0)
+    img = synthesize_image(rng, 32, 32, label=3).astype(float)
+    rng2 = np.random.default_rng(0)
+    # Regenerate with the same rng state: identical blobs, so the only
+    # asymmetry could come from the base pattern.
+    img2 = synthesize_image(rng2, 32, 32, label=3).astype(float)
+    assert np.array_equal(img, img2)
+
+
+def test_compression_is_photo_like():
+    ds = SyntheticImageDataset(num_items=2, height=64, width=64, quality=80)
+    spec = ds.measured_spec(probe_items=2)
+    raw = 64 * 64 * 3
+    assert spec.nbytes < raw  # actually compresses
+    assert spec.nbytes > raw / 40  # but not degenerate
+
+
+def test_iteration_and_len():
+    ds = SyntheticImageDataset(num_items=3, height=16, width=16)
+    items = list(ds)
+    assert len(items) == len(ds) == 3
+
+
+def test_index_bounds():
+    ds = SyntheticImageDataset(num_items=2, height=16, width=16)
+    with pytest.raises(IndexError):
+        ds[2]
+    with pytest.raises(IndexError):
+        ds[-1]
+
+
+def test_validation():
+    with pytest.raises(DataprepError):
+        SyntheticImageDataset(num_items=0)
+    with pytest.raises(DataprepError):
+        synthesize_image(np.random.default_rng(0), 4, 4, 0)
+
+
+def test_imagenet_like_spec():
+    spec = IMAGENET_LIKE.sample_spec()
+    assert spec.kind == "jpeg"
+    assert spec.shape == (256, 256, 3)
+    assert IMAGENET_LIKE.num_items == 14_000_000

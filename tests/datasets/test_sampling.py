@@ -1,0 +1,173 @@
+"""Tests for shuffling and weighted sampling (footnote-3 operations)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.sampling import (
+    ShuffleBuffer,
+    WeightedSampler,
+    epoch_permutation,
+    exchange_cost,
+    recommend_strategy,
+    replication_cost,
+)
+from repro.errors import ConfigError
+from repro import units
+
+
+# -- shuffle buffer -----------------------------------------------------------
+
+
+def test_shuffle_is_a_permutation():
+    items = list(range(100))
+    out = list(ShuffleBuffer(capacity=16, seed=0).shuffle(items))
+    assert sorted(out) == items
+    assert out != items  # astronomically unlikely to be identity
+
+
+def test_full_capacity_gives_uniform_shuffle():
+    items = list(range(50))
+    a = list(ShuffleBuffer(capacity=50, seed=1).shuffle(items))
+    b = list(ShuffleBuffer(capacity=50, seed=2).shuffle(items))
+    assert sorted(a) == items and sorted(b) == items
+    assert a != b
+
+
+def test_shuffle_deterministic_per_seed():
+    items = list(range(40))
+    a = list(ShuffleBuffer(capacity=8, seed=7).shuffle(items))
+    b = list(ShuffleBuffer(capacity=8, seed=7).shuffle(items))
+    assert a == b
+
+
+def test_small_buffer_limits_displacement():
+    """An item cannot appear before all but `capacity` of its
+    predecessors have been emitted (windowed shuffling semantics)."""
+    items = list(range(200))
+    out = list(ShuffleBuffer(capacity=10, seed=3).shuffle(items))
+    positions = {v: i for i, v in enumerate(out)}
+    for value in items:
+        assert positions[value] >= value - 10
+
+
+def test_buffer_validation():
+    with pytest.raises(ConfigError):
+        ShuffleBuffer(capacity=0)
+
+
+# -- epoch permutation -------------------------------------------------------
+
+
+def test_epoch_permutation_properties():
+    p0 = epoch_permutation(64, epoch=0, seed=1)
+    p0_again = epoch_permutation(64, epoch=0, seed=1)
+    p1 = epoch_permutation(64, epoch=1, seed=1)
+    assert np.array_equal(p0, p0_again)
+    assert not np.array_equal(p0, p1)
+    assert sorted(p0.tolist()) == list(range(64))
+    with pytest.raises(ConfigError):
+        epoch_permutation(0, epoch=0)
+
+
+# -- weighted sampler --------------------------------------------------------
+
+
+def test_alias_sampler_matches_weights():
+    weights = [1.0, 2.0, 4.0, 1.0]
+    sampler = WeightedSampler(weights, seed=0)
+    draws = sampler.sample(80_000)
+    freqs = np.bincount(draws, minlength=4) / draws.size
+    expected = np.asarray(weights) / sum(weights)
+    assert np.allclose(freqs, expected, atol=0.01)
+
+
+def test_alias_sampler_zero_weight_never_drawn():
+    sampler = WeightedSampler([0.0, 1.0, 1.0], seed=0)
+    draws = sampler.sample(20_000)
+    assert not np.any(draws == 0)
+
+
+def test_alias_sampler_degenerate_single():
+    sampler = WeightedSampler([3.0], seed=0)
+    assert np.all(sampler.sample(100) == 0)
+
+
+def test_alias_tables_consistent():
+    sampler = WeightedSampler([0.1, 0.2, 0.3, 0.4], seed=0)
+    # Reconstruct probabilities from the alias tables.
+    recon = np.zeros(sampler.n)
+    for i in range(sampler.n):
+        recon[i] += sampler._prob[i] / sampler.n
+        recon[sampler._alias[i]] += (1.0 - sampler._prob[i]) / sampler.n
+    assert np.allclose(recon, sampler.probabilities, atol=1e-12)
+
+
+def test_sampler_validation():
+    with pytest.raises(ConfigError):
+        WeightedSampler([])
+    with pytest.raises(ConfigError):
+        WeightedSampler([-1.0, 2.0])
+    with pytest.raises(ConfigError):
+        WeightedSampler([0.0, 0.0])
+    with pytest.raises(ConfigError):
+        WeightedSampler([1.0]).sample(0)
+
+
+# -- cross-box strategies -----------------------------------------------------
+
+
+def test_replication_cost_scaling():
+    cost = replication_cost(32, dataset_bytes=630e9)
+    assert cost.extra_storage_bytes == pytest.approx(31 * 630e9)
+    assert cost.ethernet_bytes_per_sample == 0.0
+
+
+def test_exchange_cost_miss_probability():
+    cost = exchange_cost(32, bytes_per_item=45_000)
+    assert cost.ethernet_bytes_per_sample == pytest.approx(45_000 * 31 / 32)
+    single_box = exchange_cost(1, bytes_per_item=45_000)
+    assert single_box.ethernet_bytes_per_sample == 0.0
+
+
+def test_recommend_prefers_free_replication():
+    plan = recommend_strategy(
+        n_boxes=4,
+        dataset_bytes=1e12,
+        bytes_per_item=45_000,
+        sample_rate=1e6,
+        spare_storage_bytes=1e13,
+    )
+    assert plan.strategy == "replication"
+
+
+def test_recommend_falls_back_to_exchange():
+    plan = recommend_strategy(
+        n_boxes=32,
+        dataset_bytes=630e9,
+        bytes_per_item=45_000,
+        sample_rate=1.9e6,
+        spare_storage_bytes=1e12,  # not enough for 31 copies
+    )
+    assert plan.strategy == "exchange"
+    # ImageNet-scale exchange fits comfortably in 100 GbE per FPGA.
+    per_fpga = plan.ethernet_bytes_per_sample * (1.9e6 / 32) / 2
+    assert per_fpga < 12.5 * units.GB
+
+
+def test_recommend_raises_when_infeasible():
+    with pytest.raises(ConfigError):
+        recommend_strategy(
+            n_boxes=32,
+            dataset_bytes=1e15,
+            bytes_per_item=5e6,       # huge items
+            sample_rate=1.9e6,
+            spare_storage_bytes=0.0,
+            ethernet_bandwidth=1e9,   # slow links
+        )
+
+
+def test_cost_validation():
+    with pytest.raises(ConfigError):
+        replication_cost(0, 1.0)
+    with pytest.raises(ConfigError):
+        exchange_cost(2, -1.0)

@@ -1,0 +1,64 @@
+"""Tests for data sharding across SSDs."""
+
+import pytest
+
+from repro.datasets.storage import DataShard, shard_dataset, validate_sharding
+from repro.errors import CapacityError, ConfigError
+
+
+def test_shards_cover_everything_once():
+    shards = shard_dataset(100, ["s0", "s1", "s2"])
+    validate_sharding(shards, 100)
+
+
+def test_shards_balanced():
+    shards = shard_dataset(10, ["a", "b", "c"])
+    sizes = [len(s) for s in shards]
+    assert max(sizes) - min(sizes) <= 1
+    assert sum(sizes) == 10
+
+
+def test_shards_contiguous():
+    shards = shard_dataset(9, ["a", "b", "c"])
+    assert shards[0].item_indices == range(0, 3)
+    assert shards[1].item_indices == range(3, 6)
+    assert shards[2].item_indices == range(6, 9)
+
+
+def test_capacity_respected():
+    with pytest.raises(CapacityError):
+        shard_dataset(100, ["a"], bytes_per_item=1e9, ssd_capacity=1e10)
+    # Fits exactly.
+    shard_dataset(10, ["a"], bytes_per_item=1e9, ssd_capacity=1e10)
+
+
+def test_bytes_stored():
+    shard = DataShard("a", range(0, 5))
+    assert shard.bytes_stored(2.0) == 10.0
+
+
+def test_more_ssds_than_items():
+    shards = shard_dataset(2, ["a", "b", "c"])
+    validate_sharding(shards, 2)
+    assert sum(len(s) for s in shards) == 2
+
+
+def test_validation_errors():
+    with pytest.raises(ConfigError):
+        shard_dataset(0, ["a"])
+    with pytest.raises(ConfigError):
+        shard_dataset(5, [])
+    with pytest.raises(ConfigError):
+        shard_dataset(5, ["a", "a"])
+
+
+def test_validate_sharding_detects_overlap():
+    shards = [DataShard("a", range(0, 3)), DataShard("b", range(2, 5))]
+    with pytest.raises(ConfigError):
+        validate_sharding(shards, 5)
+
+
+def test_validate_sharding_detects_gap():
+    shards = [DataShard("a", range(0, 2))]
+    with pytest.raises(ConfigError):
+        validate_sharding(shards, 5)

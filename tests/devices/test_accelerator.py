@@ -1,0 +1,64 @@
+"""Tests for the NN accelerator model."""
+
+import pytest
+
+from repro.devices.accelerator import AcceleratorSpec, NNAccelerator
+from repro.errors import ConfigError
+
+
+def make_spec(**kwargs):
+    defaults = dict(name="t", sample_rate=7431, reference_batch=8192)
+    defaults.update(kwargs)
+    return AcceleratorSpec(**defaults)
+
+
+def test_reference_point_reproduced():
+    spec = make_spec()
+    assert spec.throughput(8192) == pytest.approx(7431)
+
+
+def test_efficiency_monotone_in_batch():
+    spec = make_spec()
+    rates = [spec.throughput(b) for b in (8, 64, 512, 4096, 32768)]
+    assert rates == sorted(rates)
+
+
+def test_efficiency_bounded_by_peak():
+    spec = make_spec()
+    assert spec.throughput(10**9) <= spec.peak_rate * (1 + 1e-9)
+    assert spec.efficiency(spec.batch_half) == pytest.approx(0.5)
+
+
+def test_compute_time_scales_superlinearly_at_small_batch():
+    spec = make_spec()
+    # Halving the batch less than halves throughput, so per-sample time
+    # grows as batches shrink.
+    t_small = spec.compute_time(64) / 64
+    t_big = spec.compute_time(8192) / 8192
+    assert t_small > t_big
+
+
+def test_invalid_spec_rejected():
+    with pytest.raises(ConfigError):
+        make_spec(sample_rate=0)
+    with pytest.raises(ConfigError):
+        make_spec(reference_batch=0)
+    with pytest.raises(ConfigError):
+        make_spec(batch_half=-1)
+    with pytest.raises(ConfigError):
+        make_spec().efficiency(0)
+
+
+def test_device_wrapper():
+    acc = NNAccelerator("acc0", spec=make_spec())
+    assert acc.compute_time(8192) == pytest.approx(8192 / 7431)
+    with pytest.raises(ConfigError):
+        NNAccelerator("acc1", spec=None)
+
+
+def test_fresh_id_unique_and_prefixed():
+    from repro.devices.base import Device
+
+    ids = {Device.fresh_id("acc") for _ in range(100)}
+    assert len(ids) == 100
+    assert all(i.startswith("acc") for i in ids)

@@ -1,0 +1,55 @@
+"""Tests for the host CPU and DRAM budgets."""
+
+import pytest
+
+from repro.devices.cpu import HostCpu
+from repro.devices.dram import HostDram
+from repro.errors import ConfigError
+from repro import units
+
+
+def test_cycle_budget():
+    cpu = HostCpu(cores=48, frequency=2.5 * units.GHZ)
+    assert cpu.cycle_budget == pytest.approx(120e9)
+    assert cpu.time_for(120e9) == pytest.approx(1.0)
+    assert cpu.throughput_for(4e6) == pytest.approx(30_000)
+
+
+def test_cores_required_inverts_throughput():
+    cpu = HostCpu()
+    demand = 3.93e6 * 30_000  # cycles/s
+    assert cpu.cores_required(demand) == pytest.approx(
+        demand / cpu.frequency
+    )
+
+
+def test_parallel_efficiency_discount():
+    full = HostCpu(parallel_efficiency=1.0)
+    half = HostCpu(parallel_efficiency=0.5)
+    assert half.cycle_budget == pytest.approx(full.cycle_budget / 2)
+
+
+def test_cpu_validation():
+    with pytest.raises(ConfigError):
+        HostCpu(cores=0)
+    with pytest.raises(ConfigError):
+        HostCpu(parallel_efficiency=1.5)
+    with pytest.raises(ConfigError):
+        HostCpu().time_for(-1)
+    with pytest.raises(ConfigError):
+        HostCpu().throughput_for(0)
+
+
+def test_dram_budget():
+    dram = HostDram(bandwidth=239 * units.GB)
+    assert dram.time_for(239 * units.GB) == pytest.approx(1.0)
+    assert dram.throughput_for(1 * units.MB) == pytest.approx(239_000)
+
+
+def test_dram_validation():
+    with pytest.raises(ConfigError):
+        HostDram(bandwidth=0)
+    with pytest.raises(ConfigError):
+        HostDram().time_for(-5)
+    with pytest.raises(ConfigError):
+        HostDram().throughput_for(0)

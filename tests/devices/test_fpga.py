@@ -1,0 +1,93 @@
+"""Tests for the FPGA device and the Table II/III resource models."""
+
+import pytest
+
+from repro.devices.base import DeviceKind
+from repro.devices.fpga import (
+    EngineResources,
+    FpgaDevice,
+    FpgaResourceModel,
+    XCVU9P_CAPACITY,
+    audio_resource_model,
+    image_resource_model,
+)
+from repro.devices.gpu_prep import GpuPrepDevice
+from repro.errors import CapacityError, ConfigError
+
+
+def test_image_model_matches_table2_totals():
+    """Table II: totals 78.7% LUTs, 38.1% FF, 30.5% DSP."""
+    util = image_resource_model().utilization()
+    assert util["luts"] == pytest.approx(0.787, abs=0.01)
+    assert util["ffs"] == pytest.approx(0.381, abs=0.01)
+    assert util["dsps"] == pytest.approx(0.305, abs=0.01)
+
+
+def test_audio_model_matches_table3_totals():
+    """Table III: totals 80.2% LUTs, 46.3% FF, 12.2% DSP."""
+    util = audio_resource_model().utilization()
+    assert util["luts"] == pytest.approx(0.802, abs=0.01)
+    assert util["ffs"] == pytest.approx(0.463, abs=0.01)
+    assert util["dsps"] == pytest.approx(0.122, abs=0.01)
+
+
+def test_jpeg_decoder_dominates_image_luts():
+    """Table II: the JPEG decoder alone takes 59.6% of LUTs."""
+    per_engine = image_resource_model().engine_utilization()
+    assert per_engine["jpeg_decoder"]["luts"] == pytest.approx(0.596, abs=0.005)
+    biggest = max(per_engine, key=lambda e: per_engine[e]["luts"])
+    assert biggest == "jpeg_decoder"
+
+
+def test_spectrogram_dominates_audio_luts():
+    """Table III: the spectrogram engine takes 52.6% of LUTs."""
+    per_engine = audio_resource_model().engine_utilization()
+    assert per_engine["spectrogram"]["luts"] == pytest.approx(0.526, abs=0.005)
+
+
+def test_both_configurations_fit_the_part():
+    image_resource_model().check_fits()
+    audio_resource_model().check_fits()
+
+
+def test_over_capacity_rejected():
+    huge = EngineResources("huge", XCVU9P_CAPACITY.luts + 1, 0, 0, 0)
+    with pytest.raises(CapacityError):
+        FpgaResourceModel([huge])
+
+
+def test_with_engine_partial_reconfiguration():
+    model = image_resource_model()
+    extra = EngineResources("png_decoder", 50_000, 40_000, 16, 64)
+    bigger = model.with_engine(extra)
+    assert len(bigger.engines) == len(model.engines) + 1
+    assert bigger.utilization()["luts"] > model.utilization()["luts"]
+    # The original is unchanged (functional update).
+    assert len(model.engines) == 7
+
+
+def test_duplicate_engine_rejected():
+    model = image_resource_model()
+    with pytest.raises(ConfigError):
+        model.with_engine(EngineResources("crop", 1, 1, 0, 0))
+
+
+def test_engine_resources_addition():
+    a = EngineResources("a", 1, 2, 3, 4)
+    b = EngineResources("b", 10, 20, 30, 40)
+    total = a + b
+    assert (total.luts, total.ffs, total.brams, total.dsps) == (11, 22, 33, 44)
+
+
+def test_fpga_device_defaults():
+    fpga = FpgaDevice("f0")
+    assert fpga.kind is DeviceKind.PREP_ACCELERATOR
+    assert fpga.pool_link_bandwidth == pytest.approx(12.5e9)
+    with pytest.raises(ConfigError):
+        FpgaDevice("f1", ethernet_bandwidth=0)
+
+
+def test_gpu_prep_device():
+    gpu = GpuPrepDevice("g0")
+    assert gpu.kind is DeviceKind.PREP_ACCELERATOR
+    assert not gpu.supports_generic_p2p

@@ -1,0 +1,36 @@
+"""Tests for the NVMe SSD model."""
+
+import pytest
+
+from repro.devices.base import DeviceKind
+from repro.devices.ssd import NvmeSsd
+from repro.errors import ConfigError
+from repro import units
+
+
+def test_read_time():
+    ssd = NvmeSsd("s0", read_bandwidth=3.2 * units.GB)
+    assert ssd.read_time(3.2 * units.GB) == pytest.approx(1.0)
+    assert ssd.read_time(0) == 0.0
+
+
+def test_driver_cycles_scale_with_commands():
+    ssd = NvmeSsd("s0")
+    one_cmd = ssd.host_driver_cycles(1024)  # below io_size: one command
+    assert one_cmd == pytest.approx(ssd.driver_cycles_per_cmd)
+    two_cmds = ssd.host_driver_cycles(2 * ssd.io_size)
+    assert two_cmds == pytest.approx(2 * ssd.driver_cycles_per_cmd)
+
+
+def test_kind_set():
+    assert NvmeSsd("s0").kind is DeviceKind.SSD
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ConfigError):
+        NvmeSsd("s0", read_bandwidth=0)
+    ssd = NvmeSsd("s1")
+    with pytest.raises(ConfigError):
+        ssd.read_time(-1)
+    with pytest.raises(ConfigError):
+        ssd.host_driver_cycles(-1)

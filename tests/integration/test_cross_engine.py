@@ -1,0 +1,82 @@
+"""Cross-engine validation: the three performance engines agree.
+
+The analytical solver, the batch-level DES, and the fluid flow-level
+interconnect simulation are independent implementations over the same
+hardware constants; these tests pin their mutual consistency on real
+architecture dataflows.
+"""
+
+import pytest
+
+from repro.core.analytical import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig
+from repro.core.dataflow import build_demand
+from repro.core.des import run_pipeline, simulate_des, Station
+from repro.core.server import build_server
+from repro.pcie.flowsim import FlowSimulator, Transfer
+from repro.pcie.traffic import completion_time
+from repro.workloads.registry import TABLE_I, get_workload
+
+RESNET = get_workload("Resnet-50")
+
+
+@pytest.mark.parametrize(
+    "arch",
+    ArchitectureConfig.figure19_ladder(),
+    ids=lambda a: a.name,
+)
+def test_fluid_matches_analytical_on_real_dataflows(arch):
+    """Running one batch worth of every PCIe flow through the fluid
+    simulator reproduces the analytical pipelined time (equal-progress
+    flows drain together)."""
+    server = build_server(arch, 16)
+    demand = build_demand(server, RESNET)
+    batch = 1024  # one batch worth of samples, arbitrary scale factor
+    flows = [f for f in demand.pcie_flows if f.volume > 0]
+    analytic = completion_time(server.topology, flows) * batch
+    transfers = [
+        Transfer(f.src, f.dst, f.volume * batch, label=f.label) for f in flows
+    ]
+    fluid = FlowSimulator(server.topology).makespan(transfers)
+    # The fluid makespan can only be <= the pipelined bound when early
+    # finishers free bandwidth, and equals it when the bottleneck link
+    # is busy throughout.
+    assert fluid <= analytic * (1 + 1e-9)
+    assert fluid >= analytic * 0.5
+
+
+def test_des_buffer_depth_sweep_converges():
+    """Deeper prefetch buffers help monotonically and saturate fast —
+    double buffering (§V-C) already captures nearly all of it."""
+    stations = [Station("ssd", 400.0), Station("prep", 350.0), Station("pcie", 500.0)]
+    throughputs = []
+    for buffers in (1, 2, 4, 8):
+        result = run_pipeline(
+            stations, 4, 64, iteration_time=0.7, iterations=60,
+            buffer_batches=buffers,
+        )
+        throughputs.append(result.throughput)
+    assert all(b >= a - 1e-6 for a, b in zip(throughputs, throughputs[1:]))
+    assert throughputs[1] > 0.95 * throughputs[-1]
+
+
+def test_all_three_engines_on_trainbox():
+    scenario = TrainingScenario(RESNET, ArchitectureConfig.trainbox(), 32)
+    analytical = simulate(scenario)
+    des = simulate_des(scenario, iterations=60)
+    assert des.relative_error(analytical.throughput) < 0.02
+
+    server = build_server(ArchitectureConfig.trainbox(), 32)
+    demand = build_demand(server, RESNET)
+    flows = [f for f in demand.pcie_flows if f.volume > 0]
+    per_sample = completion_time(server.topology, flows)
+    assert analytical.resource_rates["pcie"] == pytest.approx(1.0 / per_sample)
+
+
+def test_des_matches_analytical_for_every_workload():
+    arch = ArchitectureConfig.trainbox()
+    for workload in TABLE_I.values():
+        scenario = TrainingScenario(workload, arch, 64)
+        analytical = simulate(scenario)
+        des = simulate_des(scenario, iterations=50)
+        assert des.relative_error(analytical.throughput) < 0.03, workload.name

@@ -1,0 +1,221 @@
+"""Integration tests pinning the paper's quantitative claims (in shape).
+
+Each test names the paper statement it checks.  Absolute numbers carry
+tolerance bands — the substrate is a calibrated simulator, not the
+authors' testbed — but orderings, crossovers and saturation points are
+asserted tightly.
+"""
+
+import pytest
+
+from repro.analysis.tables import geometric_mean
+from repro.core.analytical import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig, PrepDevice
+from repro.workloads.registry import TABLE_I, get_workload
+
+
+def _throughput(workload, arch, n, **kwargs):
+    return simulate(TrainingScenario(workload, arch, n, **kwargs)).throughput
+
+
+@pytest.fixture(scope="module")
+def figure19():
+    """Throughput of every (workload, config) pair at 256 accelerators."""
+    ladder = ArchitectureConfig.figure19_ladder()
+    table = {}
+    for name, workload in TABLE_I.items():
+        table[name] = {
+            arch.name: _throughput(workload, arch, 256) for arch in ladder
+        }
+    return table
+
+
+def test_headline_speedup_band(figure19):
+    """§VI-C: TrainBox achieves 44.4× higher throughput on average over
+    the baseline with 256 accelerators."""
+    speedups = [row["trainbox"] / row["baseline"] for row in figure19.values()]
+    mean = sum(speedups) / len(speedups)
+    assert 30 < mean < 60, f"mean speedup {mean:.1f} outside the 44.4× band"
+
+
+def test_tf_aa_is_the_largest_winner(figure19):
+    """§VI-C: the improvement is the largest (84.3×) with TF-AA."""
+    speedups = {
+        name: row["trainbox"] / row["baseline"] for name, row in figure19.items()
+    }
+    assert max(speedups, key=speedups.get) == "Transformer-AA"
+    assert speedups["Transformer-AA"] == pytest.approx(84.3, rel=0.15)
+
+
+def test_acc_alone_around_3x_for_images(figure19):
+    """§VI-C: computation acceleration boosts throughput 3.32× on
+    average (image models dominate that average)."""
+    image_models = ("VGG-19", "Resnet-50", "Inception-v4", "RNN-S", "RNN-L")
+    gains = [
+        figure19[m]["baseline+acc"] / figure19[m]["baseline"]
+        for m in image_models
+    ]
+    assert geometric_mean(gains) == pytest.approx(3.3, rel=0.25)
+
+
+def test_p2p_alone_adds_nothing(figure19):
+    """§VI-C: P2P does not increase system throughput (RC-bound)."""
+    for name, row in figure19.items():
+        assert row["baseline+acc+p2p"] == pytest.approx(
+            row["baseline+acc"], rel=1e-6
+        ), name
+
+
+def test_gen4_helps_but_less_than_clustering(figure19):
+    """§VI-C: doubling PCIe is beneficial, but TrainBox without Gen4
+    shows even higher improvement."""
+    for name, row in figure19.items():
+        assert row["baseline+acc+p2p+gen4"] > row["baseline+acc+p2p"] * 1.3, name
+        assert row["trainbox"] > row["baseline+acc+p2p+gen4"], name
+
+
+def test_optimizations_monotone(figure19):
+    """Each step of the ladder never hurts."""
+    order = [
+        "baseline",
+        "baseline+acc",
+        "baseline+acc+p2p",
+        "baseline+acc+p2p+gen4",
+        "trainbox",
+    ]
+    for name, row in figure19.items():
+        values = [row[k] for k in order]
+        assert all(b >= a * 0.999 for a, b in zip(values, values[1:])), name
+
+
+def test_baseline_saturates_near_18_accelerators():
+    """§III-B2 / Figure 8: Inception-v4 saturates at ≈18.3 accelerators
+    and no model benefits beyond 18."""
+    inception = get_workload("Inception-v4")
+    arch = ArchitectureConfig.baseline()
+    t18 = _throughput(inception, arch, 18)
+    t256 = _throughput(inception, arch, 256)
+    assert t256 / t18 < 1.05
+    one = _throughput(inception, arch, 1)
+    assert t256 / one == pytest.approx(18.3, rel=0.05)
+    for name, workload in TABLE_I.items():
+        cap = _throughput(workload, arch, 256)
+        base = _throughput(workload, arch, 1)
+        assert cap / base < 19.0, name
+
+
+def test_tf_sr_saturates_near_4_accelerators():
+    """§VI-D: the CPU baseline saturates at 4.4 accelerators for TF-SR."""
+    tf_sr = get_workload("Transformer-SR")
+    arch = ArchitectureConfig.baseline()
+    cap = _throughput(tf_sr, arch, 256)
+    one = _throughput(tf_sr, arch, 1)
+    assert cap / one == pytest.approx(4.4, rel=0.05)
+
+
+def test_prep_share_of_latency_at_scale():
+    """§III-B2 / Figure 9: data preparation accounts for ≈98% of the
+    per-batch latency at 256 accelerators."""
+    from repro.core.dataflow import build_demand
+    from repro.core.resources import latency_decomposition
+    from repro.core.server import build_server
+
+    fractions = []
+    arch = ArchitectureConfig.baseline()
+    for workload in TABLE_I.values():
+        server = build_server(arch, 256)
+        demand = build_demand(server, workload)
+        result = simulate(TrainingScenario(workload, arch, 256), server=server)
+        decomp = latency_decomposition(
+            server, demand, result.compute_time, result.sync_time,
+            result.batch_size,
+        )
+        fractions.append(decomp.prep_fraction)
+    assert sum(fractions) / len(fractions) > 0.93
+
+
+def test_gpu_prep_worse_at_small_scale_better_at_large():
+    """§VI-D / Figure 21: GPU-based prep starts below the CPU baseline
+    and only wins with enough devices; FPGA acceleration wins
+    immediately."""
+    tf_sr = get_workload("Transformer-SR")
+    base = ArchitectureConfig.baseline()
+    gpu = ArchitectureConfig.baseline_acc(PrepDevice.GPU)
+    fpga = ArchitectureConfig.baseline_acc()
+    assert _throughput(tf_sr, gpu, 16) < _throughput(tf_sr, base, 16)
+    assert _throughput(tf_sr, gpu, 128) > _throughput(tf_sr, base, 128)
+    assert _throughput(tf_sr, fpga, 16) > _throughput(tf_sr, base, 16)
+
+
+def test_prep_pool_closes_the_audio_gap():
+    """§VI-D / Figure 21: TF-SR without the prep-pool falls short of the
+    target; with it the system reaches target throughput."""
+    tf_sr = get_workload("Transformer-SR")
+    with_pool = _throughput(tf_sr, ArchitectureConfig.trainbox(), 256)
+    without = _throughput(tf_sr, ArchitectureConfig.trainbox(prep_pool=False), 256)
+    target = 256 * tf_sr.sample_rate
+    assert without < 0.8 * target
+    assert with_pool > 0.95 * target
+
+
+def test_inception_needs_no_pool():
+    """§VI-D: Inception-v4's TrainBox performance is identical with and
+    without the prep-pool."""
+    inception = get_workload("Inception-v4")
+    with_pool = _throughput(inception, ArchitectureConfig.trainbox(), 256)
+    without = _throughput(
+        inception, ArchitectureConfig.trainbox(prep_pool=False), 256
+    )
+    assert with_pool == pytest.approx(without, rel=1e-9)
+
+
+def test_batch_sweep_speedup_grows_with_batch():
+    """Figure 20: TrainBox's advantage grows with batch size."""
+    resnet = get_workload("Resnet-50")
+    speedups = []
+    for batch in (32, 512, 8192):
+        base = _throughput(resnet, ArchitectureConfig.baseline(), 256, batch_size=batch)
+        tb = _throughput(resnet, ArchitectureConfig.trainbox(), 256, batch_size=batch)
+        speedups.append(tb / base)
+    assert speedups[0] < speedups[-1]
+    assert all(s > 1.0 for s in speedups)
+
+
+def test_bottleneck_shift_figure3():
+    """Figure 3: prep share grows monotonically along the platform
+    ladder (Current → +HW → +ICN → +SyncOpt), ending prep-dominated."""
+    import dataclasses
+
+    from repro.core.config import SyncStrategy
+    from repro.core.dataflow import build_demand
+    from repro.core.resources import latency_decomposition
+    from repro.core.server import build_server
+
+    resnet = get_workload("Resnet-50")
+    base = ArchitectureConfig.baseline()
+    central = dataclasses.replace(base, sync=SyncStrategy.CENTRAL)
+    steps = [
+        # (accelerator, n, arch, fabric override)
+        ("legacy-gpu", 8, central, 16e9),
+        ("tpu", 256, central, 16e9),
+        ("tpu", 256, central, None),
+        ("tpu", 256, base, None),
+    ]
+    fractions = []
+    for accel, n, arch, fabric in steps:
+        server = build_server(arch, n)
+        demand = build_demand(server, resnet)
+        result = simulate(
+            TrainingScenario(
+                resnet, arch, n, accelerator=accel, fabric_bandwidth=fabric
+            ),
+            server=server,
+        )
+        decomp = latency_decomposition(
+            server, demand, result.compute_time, result.sync_time,
+            result.batch_size,
+        )
+        fractions.append(decomp.prep_fraction)
+    assert fractions[0] < 0.5              # Current: others dominate
+    assert fractions == sorted(fractions)  # monotone shift
+    assert fractions[-1] > 0.9             # prep dominates at the end

@@ -1,0 +1,81 @@
+"""Tests for the Ethernet star network."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.ethernet import (
+    EthernetFlow,
+    EthernetLink,
+    EthernetSwitch,
+    StarNetwork,
+)
+from repro import units
+
+GB = units.GB
+
+
+def _net(hosts=("a", "b", "c"), bw=12.5 * GB):
+    net = StarNetwork()
+    for h in hosts:
+        net.attach(EthernetLink(h, bandwidth=bw))
+    return net
+
+
+def test_attach_and_lookup():
+    net = _net()
+    assert net.link_of("a").bandwidth == pytest.approx(12.5 * GB)
+    assert sorted(net.hosts()) == ["a", "b", "c"]
+    with pytest.raises(TopologyError):
+        net.link_of("zz")
+
+
+def test_duplicate_host_rejected():
+    net = _net()
+    with pytest.raises(TopologyError):
+        net.attach(EthernetLink("a"))
+
+
+def test_port_budget():
+    net = StarNetwork(EthernetSwitch(ports=1))
+    net.attach(EthernetLink("a"))
+    with pytest.raises(TopologyError):
+        net.attach(EthernetLink("b"))
+    with pytest.raises(TopologyError):
+        StarNetwork(EthernetSwitch(ports=0))
+
+
+def test_completion_time_single_flow():
+    net = _net()
+    t = net.completion_time([EthernetFlow("a", "b", 12.5 * GB)])
+    assert t == pytest.approx(1.0)
+
+
+def test_uplink_aggregation():
+    """Two flows out of the same host serialize on its uplink."""
+    net = _net()
+    flows = [
+        EthernetFlow("a", "b", 12.5 * GB),
+        EthernetFlow("a", "c", 12.5 * GB),
+    ]
+    assert net.completion_time(flows) == pytest.approx(2.0)
+
+
+def test_nonblocking_fabric():
+    """Disjoint host pairs do not contend (line-rate switch)."""
+    net = _net(hosts=("a", "b", "c", "d"))
+    flows = [
+        EthernetFlow("a", "b", 12.5 * GB),
+        EthernetFlow("c", "d", 12.5 * GB),
+    ]
+    assert net.completion_time(flows) == pytest.approx(1.0)
+
+
+def test_self_flow_free():
+    net = _net()
+    assert net.completion_time([EthernetFlow("a", "a", 1e12)]) == 0.0
+
+
+def test_unknown_endpoint_rejected():
+    net = _net()
+    with pytest.raises(TopologyError):
+        net.completion_time([EthernetFlow("a", "zz", 1.0)])

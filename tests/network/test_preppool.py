@@ -1,0 +1,92 @@
+"""Tests for the prep-pool allocator."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigError
+from repro.network.preppool import PoolAllocation, PrepPool, pool_fpgas_needed
+
+
+def test_allocate_and_release():
+    pool = PrepPool(["f0", "f1", "f2"])
+    grant = pool.allocate("job", 2)
+    assert grant.count == 2
+    assert pool.available == 1
+    pool.release("job")
+    assert pool.available == 3
+
+
+def test_grants_are_disjoint():
+    pool = PrepPool(["f0", "f1", "f2", "f3"])
+    g1 = pool.allocate("a", 2)
+    g2 = pool.allocate("b", 2)
+    assert not set(g1.fpga_ids) & set(g2.fpga_ids)
+
+
+def test_over_allocation_rejected():
+    pool = PrepPool(["f0"])
+    with pytest.raises(CapacityError):
+        pool.allocate("job", 2)
+
+
+def test_double_grant_rejected():
+    pool = PrepPool(["f0", "f1"])
+    pool.allocate("job", 1)
+    with pytest.raises(ConfigError):
+        pool.allocate("job", 1)
+
+
+def test_release_unknown_job():
+    pool = PrepPool(["f0"])
+    with pytest.raises(ConfigError):
+        pool.release("nope")
+
+
+def test_zero_allocation_allowed():
+    pool = PrepPool(["f0"])
+    grant = pool.allocate("job", 0)
+    assert grant.count == 0
+    assert pool.available == 1
+
+
+def test_duplicate_ids_rejected():
+    with pytest.raises(ConfigError):
+        PrepPool(["f0", "f0"])
+
+
+def test_grant_lookup_and_totals():
+    pool = PrepPool(["f0", "f1"])
+    grant = pool.allocate("job", 1)
+    assert pool.grant_of("job") is grant
+    assert pool.grant_of("other") is None
+    assert pool.total == 2
+
+
+def test_pool_sizing_rule():
+    """§V-A: shortfall / per-FPGA throughput, rounded up."""
+    assert pool_fpgas_needed(100.0, 100.0, 10.0) == 0
+    assert pool_fpgas_needed(100.0, 120.0, 10.0) == 0
+    assert pool_fpgas_needed(100.0, 95.0, 10.0) == 1
+    assert pool_fpgas_needed(100.0, 50.0, 10.0) == 5
+    assert pool_fpgas_needed(101.0, 50.0, 10.0) == 6
+
+
+def test_pool_sizing_validation():
+    with pytest.raises(ConfigError):
+        pool_fpgas_needed(1.0, 1.0, 0.0)
+    with pytest.raises(ConfigError):
+        pool_fpgas_needed(-1.0, 1.0, 1.0)
+
+
+def test_transformer_sr_needs_54_percent_more():
+    """The paper's headline prep-pool number (§VI-D): TF-SR at 256
+    accelerators needs ≈54% more FPGA resources than the boxes hold."""
+    from repro.dataprep.cost import FPGA_PROFILE
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload("Transformer-SR")
+    cost = workload.prep_pipeline().cost(workload.dataset_sample_spec())
+    per_fpga = FPGA_PROFILE.sample_rate(cost)
+    in_box = 64 * per_fpga  # 32 train boxes × 2 FPGAs
+    required = 256 * workload.sample_rate
+    extra = pool_fpgas_needed(required, in_box, per_fpga)
+    assert extra / 64 == pytest.approx(0.54, abs=0.05)

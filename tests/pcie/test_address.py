@@ -1,0 +1,90 @@
+"""Tests for PCIe enumeration and address windows."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.pcie.address import enumerate_topology, resolve_address
+from repro.pcie.topology import Endpoint, PcieTopology, RootComplex, Switch
+
+
+def _fresh_tree():
+    topo = PcieTopology(RootComplex())
+    topo.attach(Switch("s1"), "rc")
+    topo.attach(Switch("s2"), "rc")
+    topo.attach(Endpoint("a"), "s1")
+    topo.attach(Endpoint("b"), "s1")
+    topo.attach(Endpoint("c"), "s2")
+    return topo
+
+
+def test_every_node_enumerated():
+    topo = _fresh_tree()
+    enumerate_topology(topo)
+    for node in topo.nodes():
+        assert node.enumerated, node.node_id
+
+
+def test_parent_window_contains_children():
+    topo = _fresh_tree()
+    enumerate_topology(topo)
+    for node in topo.nodes():
+        parent_id = topo.parent_of(node.node_id)
+        if parent_id is None:
+            continue
+        parent = topo.node(parent_id)
+        assert parent.addr_base <= node.addr_base
+        assert node.addr_limit <= parent.addr_limit
+
+
+def test_sibling_windows_disjoint():
+    topo = _fresh_tree()
+    enumerate_topology(topo)
+    for node in topo.nodes():
+        kids = [topo.node(c) for c in topo.children_of(node.node_id)]
+        kids.sort(key=lambda k: k.addr_base)
+        for first, second in zip(kids, kids[1:]):
+            assert first.addr_limit <= second.addr_base
+
+
+def test_endpoint_windows_have_requested_size():
+    topo = _fresh_tree()
+    enumerate_topology(topo, window=4096)
+    for endpoint in topo.endpoints():
+        assert endpoint.addr_limit - endpoint.addr_base == 4096
+
+
+def test_resolve_address_finds_owner():
+    topo = _fresh_tree()
+    enumerate_topology(topo)
+    for endpoint in topo.endpoints():
+        mid = (endpoint.addr_base + endpoint.addr_limit) // 2
+        assert resolve_address(topo, mid) == endpoint.node_id
+
+
+def test_resolve_address_outside_tree_fails():
+    topo = _fresh_tree()
+    assignments = enumerate_topology(topo)
+    top = max(r.stop for r in assignments.values())
+    with pytest.raises(TopologyError):
+        resolve_address(topo, top + 1)
+
+
+def test_contains_address_before_enumeration_fails():
+    topo = _fresh_tree()
+    with pytest.raises(TopologyError):
+        topo.node("a").contains_address(123)
+
+
+def test_invalid_window_rejected():
+    topo = _fresh_tree()
+    with pytest.raises(TopologyError):
+        enumerate_topology(topo, window=0)
+
+
+def test_enumeration_returns_assignments():
+    topo = _fresh_tree()
+    assignments = enumerate_topology(topo)
+    assert set(assignments) == {n.node_id for n in topo.nodes()}
+    root_range = assignments["rc"]
+    for r in assignments.values():
+        assert root_range.start <= r.start and r.stop <= root_range.stop

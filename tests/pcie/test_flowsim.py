@@ -1,0 +1,112 @@
+"""Tests for the fluid flow-level simulator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pcie.flowsim import FlowSimulator, Transfer
+from repro.pcie.traffic import Flow, completion_time
+from repro import units
+
+GB = units.GB
+
+
+def test_single_transfer_exact(small_topology):
+    sim = FlowSimulator(small_topology)
+    records = sim.run([Transfer("a", "c", 16 * GB)])
+    assert records[0].finish_time == pytest.approx(1.0)
+    assert records[0].mean_rate == pytest.approx(16 * GB)
+
+
+def test_two_sharing_flows(small_topology):
+    sim = FlowSimulator(small_topology)
+    records = sim.run(
+        [Transfer("a", "c", 16 * GB), Transfer("b", "c", 16 * GB)]
+    )
+    # Equal shares of the 16 GB/s downlink: both finish at 2 s.
+    for record in records:
+        assert record.finish_time == pytest.approx(2.0)
+
+
+def test_unequal_volumes_release_bandwidth(small_topology):
+    """When the small flow drains, the big one speeds up: classic fluid
+    behaviour the steady-state law cannot capture."""
+    sim = FlowSimulator(small_topology)
+    records = sim.run(
+        [Transfer("a", "c", 8 * GB), Transfer("b", "c", 24 * GB)]
+    )
+    small, big = records
+    assert small.finish_time == pytest.approx(1.0)   # 8 GB at 8 GB/s
+    # Big: 8 GB at 8 GB/s (1 s), then 16 GB at full 16 GB/s (1 s).
+    assert big.finish_time == pytest.approx(2.0)
+
+
+def test_matches_steady_state_for_symmetric_volumes(small_topology):
+    """With equal volumes started together the fluid makespan equals the
+    analytical pipelined completion time."""
+    flows = [Flow("a", "c", volume=10 * GB), Flow("b", "c", volume=10 * GB)]
+    analytic = completion_time(small_topology, flows)
+    sim = FlowSimulator(small_topology)
+    fluid = sim.makespan(
+        [Transfer("a", "c", 10 * GB), Transfer("b", "c", 10 * GB)]
+    )
+    assert fluid == pytest.approx(analytic)
+
+
+def test_staggered_start(small_topology):
+    sim = FlowSimulator(small_topology)
+    records = sim.run(
+        [
+            Transfer("a", "c", 16 * GB, start_time=0.0),
+            Transfer("b", "c", 16 * GB, start_time=1.0),
+        ]
+    )
+    first, second = records
+    # First runs alone for 1 s (16 GB done) — finishes exactly then.
+    assert first.finish_time == pytest.approx(1.0)
+    assert second.finish_time == pytest.approx(2.0)
+
+
+def test_demand_capped_transfer(small_topology):
+    sim = FlowSimulator(small_topology)
+    records = sim.run([Transfer("a", "c", 4 * GB, demand=2 * GB)])
+    assert records[0].finish_time == pytest.approx(2.0)
+
+
+def test_disjoint_paths_parallel(small_topology):
+    sim = FlowSimulator(small_topology)
+    makespan = sim.makespan(
+        [Transfer("a", "b", 16 * GB), Transfer("rc", "c", 16 * GB)]
+    )
+    assert makespan == pytest.approx(1.0)
+
+
+def test_self_transfer_instant(small_topology):
+    sim = FlowSimulator(small_topology)
+    records = sim.run([Transfer("a", "a", 1e12)])
+    assert records[0].finish_time == pytest.approx(0.0)
+
+
+def test_empty_input(small_topology):
+    sim = FlowSimulator(small_topology)
+    assert sim.run([]) == []
+    assert sim.makespan([]) == 0.0
+
+
+def test_validation(small_topology):
+    with pytest.raises(ConfigError):
+        Transfer("a", "b", 0)
+    with pytest.raises(ConfigError):
+        Transfer("a", "b", 1.0, start_time=-1)
+
+
+def test_conservation_of_work(small_topology):
+    """Total bytes moved per unit time never exceed the cut capacity
+    into the destination."""
+    sim = FlowSimulator(small_topology)
+    volumes = [5 * GB, 9 * GB, 13 * GB]
+    records = sim.run(
+        [Transfer(src, "c", v) for src, v in zip(("a", "b", "rc"), volumes)]
+    )
+    makespan = max(r.finish_time for r in records)
+    # The c downlink is 16 GB/s; all 27 GB must take >= 27/16 s.
+    assert makespan >= sum(volumes) / (16 * GB) - 1e-9

@@ -1,0 +1,50 @@
+"""Tests for PCIe link generations and bandwidth math."""
+
+import pytest
+
+from repro.pcie.link import Link, LinkDirection, PcieGen, link_bandwidth
+from repro import units
+
+
+def test_gen3_x16_is_16_gb_s():
+    assert link_bandwidth(PcieGen.GEN3, 16) == pytest.approx(16 * units.GB)
+
+
+def test_gen4_doubles_gen3():
+    assert link_bandwidth(PcieGen.GEN4, 16) == pytest.approx(
+        2 * link_bandwidth(PcieGen.GEN3, 16)
+    )
+
+
+def test_every_generation_doubles():
+    gens = list(PcieGen)
+    for prev, cur in zip(gens, gens[1:]):
+        assert cur.per_lane_bandwidth == pytest.approx(2 * prev.per_lane_bandwidth)
+
+
+def test_next_gen():
+    assert PcieGen.GEN3.next_gen() is PcieGen.GEN4
+    with pytest.raises(ValueError):
+        PcieGen.GEN5.next_gen()
+
+
+def test_invalid_lane_count_rejected():
+    with pytest.raises(ValueError):
+        link_bandwidth(PcieGen.GEN3, 3)
+
+
+def test_link_directions_independent():
+    link = Link("child", "parent")
+    up = link.directed(LinkDirection.UP)
+    down = link.directed(LinkDirection.DOWN)
+    assert up != down
+    assert up.bandwidth == down.bandwidth == link.bandwidth
+
+
+def test_directed_links_hashable_and_equal():
+    link = Link("child", "parent")
+    a = link.directed(LinkDirection.UP)
+    b = Link("child", "parent").directed(LinkDirection.UP)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1

@@ -1,0 +1,89 @@
+"""Tests for tree routing and address-based forwarding."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.pcie.link import LinkDirection
+from repro.pcie.routing import (
+    crosses_root_complex,
+    forward_path,
+    route,
+    route_nodes,
+)
+
+from tests.conftest import build_deep_topology
+
+
+def test_same_node_route_is_empty(small_topology):
+    assert route(small_topology, "a", "a") == []
+
+
+def test_route_within_switch_has_two_hops(small_topology):
+    hops = route(small_topology, "a", "b")
+    assert len(hops) == 2
+    assert hops[0].direction is LinkDirection.UP
+    assert hops[1].direction is LinkDirection.DOWN
+    assert hops[0].link.child_id == "a"
+    assert hops[1].link.child_id == "b"
+
+
+def test_route_across_root(small_topology):
+    hops = route(small_topology, "a", "c")
+    assert len(hops) == 4
+    directions = [h.direction for h in hops]
+    assert directions == [
+        LinkDirection.UP,
+        LinkDirection.UP,
+        LinkDirection.DOWN,
+        LinkDirection.DOWN,
+    ]
+
+
+def test_route_nodes_lists_path(small_topology):
+    assert route_nodes(small_topology, "a", "c") == ["a", "s1", "rc", "s2", "c"]
+    assert route_nodes(small_topology, "a", "b") == ["a", "s1", "b"]
+    assert route_nodes(small_topology, "a", "a") == ["a"]
+
+
+def test_forward_matches_route_nodes(small_topology):
+    topo = small_topology
+    endpoints = [n.node_id for n in topo.endpoints()]
+    for src in endpoints:
+        for dst in endpoints:
+            if src == dst:
+                continue
+            assert forward_path(topo, src, dst) == route_nodes(topo, src, dst)
+
+
+def test_forward_matches_route_nodes_deep_tree():
+    topo = build_deep_topology(depth=3, fanout=2)
+    endpoints = [n.node_id for n in topo.endpoints()]
+    for src in endpoints[:4]:
+        for dst in endpoints:
+            if src != dst:
+                assert forward_path(topo, src, dst) == route_nodes(topo, src, dst)
+
+
+def test_crosses_root_complex(small_topology):
+    assert not crosses_root_complex(small_topology, "a", "b")
+    assert crosses_root_complex(small_topology, "a", "c")
+    assert not crosses_root_complex(small_topology, "a", "a")
+
+
+def test_forward_requires_enumeration():
+    from repro.pcie.topology import Endpoint, PcieTopology, RootComplex, Switch
+
+    topo = PcieTopology(RootComplex())
+    topo.attach(Switch("s"), "rc")
+    topo.attach(Endpoint("e0"), "s")
+    topo.attach(Endpoint("e1"), "s")
+    with pytest.raises(RoutingError):
+        forward_path(topo, "e0", "e1")
+
+
+def test_p2p_under_shared_switch_stays_local(small_topology):
+    """The clustering property: sibling endpoints never touch the RC."""
+    hops = route(small_topology, "a", "b")
+    for hop in hops:
+        assert hop.link.parent_id != "rc" or hop.link.child_id != "rc"
+    assert "rc" not in route_nodes(small_topology, "a", "b")

@@ -1,0 +1,139 @@
+"""Tests for the PCIe tree structure and its invariants."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.pcie.link import PcieGen
+from repro.pcie.topology import (
+    Endpoint,
+    NodeKind,
+    PcieTopology,
+    RootComplex,
+    Switch,
+    chain_boxes,
+)
+
+
+def test_root_must_be_root_complex():
+    topo = PcieTopology()
+    with pytest.raises(TopologyError):
+        topo.add_root(Switch("s"))
+
+
+def test_single_root_enforced():
+    topo = PcieTopology(RootComplex())
+    with pytest.raises(TopologyError):
+        topo.add_root(RootComplex("rc2"))
+
+
+def test_attach_before_root_fails():
+    topo = PcieTopology()
+    with pytest.raises(TopologyError):
+        topo.attach(Switch("s"), "rc")
+
+
+def test_duplicate_node_id_rejected():
+    topo = PcieTopology(RootComplex())
+    topo.attach(Switch("s"), "rc")
+    with pytest.raises(TopologyError):
+        topo.attach(Switch("s"), "rc")
+
+
+def test_endpoints_are_leaves():
+    topo = PcieTopology(RootComplex())
+    topo.attach(Endpoint("e"), "rc")
+    with pytest.raises(TopologyError):
+        topo.attach(Endpoint("e2"), "e")
+
+
+def test_switch_link_budget_enforced():
+    topo = PcieTopology(RootComplex())
+    sw = topo.attach(Switch("s", max_links=3), "rc")  # uplink + 2 down
+    topo.attach(Endpoint("e0"), "s")
+    topo.attach(Endpoint("e1"), "s")
+    with pytest.raises(TopologyError):
+        topo.attach(Endpoint("e2"), "s")
+
+
+def test_root_link_budget_counts_no_uplink():
+    topo = PcieTopology(RootComplex(max_links=2))
+    topo.attach(Endpoint("e0"), "rc")
+    topo.attach(Endpoint("e1"), "rc")
+    with pytest.raises(TopologyError):
+        topo.attach(Endpoint("e2"), "rc")
+
+
+def test_parent_child_links(small_topology):
+    topo = small_topology
+    assert topo.parent_of("a") == "s1"
+    assert topo.parent_of("s1") == "rc"
+    assert topo.parent_of("rc") is None
+    assert sorted(topo.children_of("s1")) == ["a", "b"]
+    assert topo.uplink_of("a").parent_id == "s1"
+
+
+def test_uplink_of_root_fails(small_topology):
+    with pytest.raises(TopologyError):
+        small_topology.uplink_of("rc")
+
+
+def test_unknown_node_lookup(small_topology):
+    with pytest.raises(TopologyError):
+        small_topology.node("nope")
+
+
+def test_ancestors_and_depth(small_topology):
+    topo = small_topology
+    assert topo.ancestors("a") == ["s1", "rc"]
+    assert topo.depth("a") == 2
+    assert topo.depth("rc") == 0
+
+
+def test_lowest_common_ancestor(small_topology):
+    topo = small_topology
+    assert topo.lowest_common_ancestor("a", "b") == "s1"
+    assert topo.lowest_common_ancestor("a", "c") == "rc"
+    assert topo.lowest_common_ancestor("a", "a") == "a"
+    assert topo.lowest_common_ancestor("a", "s1") == "s1"
+
+
+def test_subtree_preorder(small_topology):
+    ids = [n.node_id for n in small_topology.subtree("s1")]
+    assert ids[0] == "s1"
+    assert set(ids) == {"s1", "a", "b"}
+
+
+def test_endpoints_listing(small_topology):
+    ids = {n.node_id for n in small_topology.endpoints()}
+    assert ids == {"a", "b", "c"}
+
+
+def test_validate_passes_on_good_tree(small_topology):
+    small_topology.validate()
+
+
+def test_len_and_contains(small_topology):
+    assert len(small_topology) == 6
+    assert "a" in small_topology
+    assert "zz" not in small_topology
+
+
+def test_upgrade_links_changes_generation(small_topology):
+    small_topology.upgrade_links(PcieGen.GEN4)
+    for link in small_topology.links():
+        assert link.gen is PcieGen.GEN4
+
+
+def test_chain_boxes_daisy_chains():
+    topo = PcieTopology(RootComplex())
+    boxes = [Switch(f"b{i}") for i in range(3)]
+    chain_boxes(topo, boxes)
+    assert topo.parent_of("b0") == "rc"
+    assert topo.parent_of("b1") == "b0"
+    assert topo.parent_of("b2") == "b1"
+
+
+def test_node_kinds():
+    assert RootComplex().kind is NodeKind.ROOT_COMPLEX
+    assert Switch("s").kind is NodeKind.SWITCH
+    assert Endpoint("e").kind is NodeKind.ENDPOINT

@@ -1,0 +1,118 @@
+"""Tests for flow accounting and max-min fair allocation."""
+
+import math
+
+import pytest
+
+from repro.pcie.link import LinkDirection
+from repro.pcie.traffic import (
+    Flow,
+    TrafficSolver,
+    bottleneck_link,
+    completion_time,
+    link_loads,
+)
+from repro import units
+
+
+GB = units.GB
+
+
+def test_flow_validation():
+    with pytest.raises(ValueError):
+        Flow("a", "b", volume=-1)
+    with pytest.raises(ValueError):
+        Flow("a", "b", demand=0)
+
+
+def test_link_loads_accumulate(small_topology):
+    flows = [Flow("a", "c", volume=10.0), Flow("b", "c", volume=5.0)]
+    loads = link_loads(small_topology, flows)
+    # The rc->s2 downlink carries both flows.
+    down = [
+        (hop, load)
+        for hop, load in loads.items()
+        if hop.link.child_id == "s2" and hop.direction is LinkDirection.DOWN
+    ]
+    assert len(down) == 1
+    assert down[0][1] == pytest.approx(15.0)
+
+
+def test_zero_volume_flows_ignored(small_topology):
+    assert link_loads(small_topology, [Flow("a", "c", volume=0.0)]) == {}
+    assert completion_time(small_topology, []) == 0.0
+
+
+def test_completion_time_single_flow(small_topology):
+    # 16 GB over a 16 GB/s Gen3 x16 path = 1 second.
+    t = completion_time(small_topology, [Flow("a", "c", volume=16 * GB)])
+    assert t == pytest.approx(1.0)
+
+
+def test_completion_time_sharing(small_topology):
+    # Two 16 GB flows into c share its downlink: 2 seconds.
+    flows = [Flow("a", "c", volume=16 * GB), Flow("b", "c", volume=16 * GB)]
+    assert completion_time(small_topology, flows) == pytest.approx(2.0)
+
+
+def test_completion_time_disjoint_paths(small_topology):
+    # a->b stays under s1; independent of a parallel c download.
+    flows = [Flow("a", "b", volume=16 * GB), Flow("rc", "c", volume=16 * GB)]
+    assert completion_time(small_topology, flows) == pytest.approx(1.0)
+
+
+def test_bottleneck_link_identity(small_topology):
+    flows = [Flow("a", "c", volume=16 * GB), Flow("b", "c", volume=16 * GB)]
+    hop, t = bottleneck_link(small_topology, flows)
+    assert t == pytest.approx(2.0)
+    # Both s1's uplink and s2's downlink carry 32 GB; either is a valid
+    # argmax.
+    assert hop.link.child_id in ("s1", "s2", "c")
+    assert bottleneck_link(small_topology, []) is None
+
+
+def test_maxmin_equal_split(small_topology):
+    solver = TrafficSolver(small_topology)
+    rates = solver.allocate([Flow("a", "c"), Flow("b", "c")])
+    assert rates[0] == pytest.approx(8 * GB, rel=1e-6)
+    assert rates[1] == pytest.approx(8 * GB, rel=1e-6)
+
+
+def test_maxmin_demand_cap_redistributes(small_topology):
+    solver = TrafficSolver(small_topology)
+    rates = solver.allocate([Flow("a", "c", demand=2 * GB), Flow("b", "c")])
+    assert rates[0] == pytest.approx(2 * GB, rel=1e-6)
+    # The capped flow's leftover goes to the elastic flow.
+    assert rates[1] == pytest.approx(14 * GB, rel=1e-6)
+
+
+def test_maxmin_no_links_unbounded(small_topology):
+    solver = TrafficSolver(small_topology)
+    rates = solver.allocate([Flow("a", "a")])
+    assert math.isinf(rates[0])
+    rates = solver.allocate([Flow("a", "a", demand=5.0)])
+    assert rates[0] == pytest.approx(5.0)
+
+
+def test_maxmin_never_exceeds_capacity(small_topology):
+    solver = TrafficSolver(small_topology)
+    flows = [Flow("a", "c"), Flow("b", "c"), Flow("a", "b"), Flow("rc", "c")]
+    rates = solver.allocate(flows)
+    loads = {}
+    from repro.pcie.routing import route
+
+    for flow, rate in zip(flows, rates):
+        for hop in route(small_topology, flow.src, flow.dst):
+            loads[hop] = loads.get(hop, 0.0) + rate
+    for hop, load in loads.items():
+        assert load <= hop.bandwidth * (1 + 1e-6)
+
+
+def test_maxmin_is_work_conserving(small_topology):
+    """No flow can be increased without decreasing a slower one."""
+    solver = TrafficSolver(small_topology)
+    flows = [Flow("a", "c"), Flow("b", "c")]
+    rates = solver.allocate(flows)
+    # Both flows bottleneck on the same link; equal split is max-min.
+    assert rates[0] == pytest.approx(rates[1])
+    assert sum(rates) == pytest.approx(16 * GB, rel=1e-6)

@@ -1,0 +1,80 @@
+"""Property tests on the analytical engine: more hardware never hurts."""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analytical import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig, HardwareConfig
+from repro.workloads.registry import TABLE_I
+
+WORKLOADS = list(TABLE_I.values())
+BASE_HW = HardwareConfig()
+
+
+def _throughput(workload, arch, n, hw):
+    return simulate(TrainingScenario(workload, arch, n, hw=hw)).throughput
+
+
+@given(
+    workload=st.sampled_from(WORKLOADS),
+    factor=st.sampled_from([2.0, 4.0]),
+)
+@settings(max_examples=20, deadline=None)
+def test_more_memory_bandwidth_never_hurts_baseline(workload, factor):
+    arch = ArchitectureConfig.baseline()
+    hw_big = dataclasses.replace(
+        BASE_HW, memory_bandwidth=BASE_HW.memory_bandwidth * factor
+    )
+    assert _throughput(workload, arch, 64, hw_big) >= _throughput(
+        workload, arch, 64, BASE_HW
+    ) * (1 - 1e-9)
+
+
+@given(
+    workload=st.sampled_from(WORKLOADS),
+    cores=st.sampled_from([96, 192]),
+)
+@settings(max_examples=20, deadline=None)
+def test_more_cores_never_hurt_baseline(workload, cores):
+    arch = ArchitectureConfig.baseline()
+    hw_big = dataclasses.replace(BASE_HW, cpu_cores=cores)
+    assert _throughput(workload, arch, 64, hw_big) >= _throughput(
+        workload, arch, 64, BASE_HW
+    ) * (1 - 1e-9)
+
+
+@given(workload=st.sampled_from(WORKLOADS))
+@settings(max_examples=14, deadline=None)
+def test_faster_ssds_never_hurt_trainbox(workload):
+    arch = ArchitectureConfig.trainbox()
+    hw_big = dataclasses.replace(
+        BASE_HW, ssd_read_bandwidth=BASE_HW.ssd_read_bandwidth * 2
+    )
+    assert _throughput(workload, arch, 64, hw_big) >= _throughput(
+        workload, arch, 64, BASE_HW
+    ) * (1 - 1e-9)
+
+
+@given(workload=st.sampled_from(WORKLOADS))
+@settings(max_examples=14, deadline=None)
+def test_faster_prep_network_never_hurts(workload):
+    arch = ArchitectureConfig.trainbox()
+    hw_big = dataclasses.replace(
+        BASE_HW, ethernet_bandwidth=BASE_HW.ethernet_bandwidth * 4
+    )
+    assert _throughput(workload, arch, 128, hw_big) >= _throughput(
+        workload, arch, 128, BASE_HW
+    ) * (1 - 1e-9)
+
+
+@given(
+    workload=st.sampled_from(WORKLOADS),
+    arch=st.sampled_from(ArchitectureConfig.figure19_ladder()),
+)
+@settings(max_examples=30, deadline=None)
+def test_throughput_bounded_by_accelerator_target(workload, arch):
+    """No architecture ever exceeds what the accelerators can consume."""
+    result = simulate(TrainingScenario(workload, arch, 64))
+    assert result.throughput <= result.consume_rate * (1 + 1e-9)
+    assert result.throughput <= 64 * workload.accelerator_spec().peak_rate

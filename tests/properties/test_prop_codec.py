@@ -1,0 +1,54 @@
+"""Property-based tests for the JPEG codec."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.dataprep.jpeg import decode, encode
+
+
+small_images = hnp.arrays(
+    dtype=np.uint8,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=24),
+        st.integers(min_value=1, max_value=24),
+        st.just(3),
+    ),
+    elements=st.integers(min_value=0, max_value=255),
+)
+
+
+@given(img=small_images, quality=st.integers(min_value=1, max_value=100))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_shape_dtype_any_image(img, quality):
+    out = decode(encode(img, quality=quality))
+    assert out.shape == img.shape
+    assert out.dtype == np.uint8
+
+
+@given(img=small_images)
+@settings(max_examples=25, deadline=None)
+def test_deterministic_encoding(img):
+    assert encode(img, quality=75) == encode(img, quality=75)
+
+
+@given(
+    value=st.integers(min_value=0, max_value=255),
+    h=st.integers(min_value=1, max_value=20),
+    w=st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=25, deadline=None)
+def test_constant_images_nearly_lossless(value, h, w):
+    img = np.full((h, w, 3), value, dtype=np.uint8)
+    out = decode(encode(img, quality=95))
+    assert np.abs(out.astype(int) - int(value)).max() <= 3
+
+
+@given(img=small_images)
+@settings(max_examples=20, deadline=None)
+def test_error_bounded_even_for_noise(img):
+    """Even adversarial (noise) images decode within a loose pixel bound
+    at high quality — quantization error cannot explode."""
+    out = decode(encode(img, quality=95, subsample=False))
+    err = np.abs(out.astype(int) - img.astype(int))
+    assert err.mean() <= 24

@@ -1,0 +1,83 @@
+"""Property-based tests for entropy-coding primitives."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dataprep.jpeg.huffman import (
+    BitReader,
+    BitWriter,
+    HuffmanTable,
+    decode_amplitude,
+    encode_amplitude,
+    magnitude_category,
+)
+
+
+@given(st.integers(min_value=-32767, max_value=32767))
+def test_amplitude_roundtrip(value):
+    size, bits = encode_amplitude(value)
+    assert decode_amplitude(size, bits) == value
+    assert size == magnitude_category(value)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 65535), st.integers(1, 16)).filter(
+            lambda t: t[0] < (1 << t[1])
+        ),
+        min_size=1,
+        max_size=300,
+    )
+)
+def test_bitstream_roundtrip(items):
+    writer = BitWriter()
+    for value, nbits in items:
+        writer.write(value, nbits)
+    reader = BitReader(writer.getvalue())
+    for value, nbits in items:
+        assert reader.read(nbits) == value
+
+
+@given(
+    freqs=st.dictionaries(
+        keys=st.integers(min_value=0, max_value=255),
+        values=st.integers(min_value=1, max_value=10_000),
+        min_size=1,
+        max_size=150,
+    ),
+    message=st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_huffman_prefix_code_roundtrip(freqs, message):
+    """Any frequency table yields a decodable ≤16-bit prefix code."""
+    table = HuffmanTable.from_frequencies(freqs)
+    lengths = [length for _, length in table._encode.values()]
+    assert max(lengths) <= 16
+    # Kraft inequality: the code is a valid prefix code.
+    assert sum(2.0**-l for l in lengths) <= 1.0 + 1e-12
+    symbols = message.draw(
+        st.lists(st.sampled_from(sorted(freqs)), min_size=1, max_size=50)
+    )
+    writer = BitWriter()
+    for s in symbols:
+        table.write_symbol(writer, s)
+    reader = BitReader(writer.getvalue())
+    assert [table.read_symbol(reader) for _ in symbols] == symbols
+
+
+@given(
+    freqs=st.dictionaries(
+        keys=st.integers(min_value=0, max_value=255),
+        values=st.integers(min_value=1, max_value=1_000_000),
+        min_size=2,
+        max_size=100,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_huffman_orders_by_frequency(freqs):
+    """A strictly most-frequent symbol never gets a longer code than a
+    strictly least-frequent one."""
+    table = HuffmanTable.from_frequencies(freqs)
+    best = max(freqs, key=lambda s: (freqs[s], -s))
+    worst = min(freqs, key=lambda s: (freqs[s], -s))
+    if freqs[best] > freqs[worst]:
+        assert table._encode[best][1] <= table._encode[worst][1]

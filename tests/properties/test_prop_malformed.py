@@ -1,0 +1,93 @@
+"""Fuzzing the decoders: malformed input must raise CodecError, never a
+raw struct/index/value error (production robustness for data read off
+storage devices)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CodecError
+from repro.dataprep.jpeg import codec as jpeg_codec
+from repro.dataprep.png import codec as png_codec
+from repro.dataprep.png.deflate import compress, decompress
+from repro.dataprep.ops_video import decode_clip, encode_clip
+
+
+def _image():
+    return np.arange(8 * 8 * 3, dtype=np.uint8).reshape(8, 8, 3)
+
+
+JPEG_BYTES = jpeg_codec.encode(_image())
+PNG_BYTES = png_codec.encode(_image())
+CLIP_BYTES = encode_clip([_image(), _image()])
+DEFLATE_BYTES = compress(b"hello world " * 10)
+
+
+def _expect_decoded_or_codec_error(fn, payload):
+    try:
+        fn(payload)
+    except CodecError:
+        pass  # the contract: malformed input -> CodecError
+
+
+@given(cut=st.integers(min_value=4, max_value=len(JPEG_BYTES) - 1))
+@settings(max_examples=40, deadline=None)
+def test_truncated_jpeg_never_leaks_raw_errors(cut):
+    _expect_decoded_or_codec_error(jpeg_codec.decode, JPEG_BYTES[:cut])
+
+
+@given(
+    pos=st.integers(min_value=4, max_value=len(JPEG_BYTES) - 1),
+    value=st.integers(min_value=0, max_value=255),
+)
+@settings(max_examples=40, deadline=None)
+def test_bitflipped_jpeg_never_leaks_raw_errors(pos, value):
+    corrupted = bytearray(JPEG_BYTES)
+    corrupted[pos] = value
+    _expect_decoded_or_codec_error(jpeg_codec.decode, bytes(corrupted))
+
+
+@given(cut=st.integers(min_value=4, max_value=len(PNG_BYTES) - 1))
+@settings(max_examples=40, deadline=None)
+def test_truncated_png_never_leaks_raw_errors(cut):
+    _expect_decoded_or_codec_error(png_codec.decode, PNG_BYTES[:cut])
+
+
+@given(
+    pos=st.integers(min_value=4, max_value=len(PNG_BYTES) - 1),
+    value=st.integers(min_value=0, max_value=255),
+)
+@settings(max_examples=40, deadline=None)
+def test_bitflipped_png_never_leaks_raw_errors(pos, value):
+    corrupted = bytearray(PNG_BYTES)
+    corrupted[pos] = value
+    _expect_decoded_or_codec_error(png_codec.decode, bytes(corrupted))
+
+
+@given(cut=st.integers(min_value=0, max_value=len(DEFLATE_BYTES) - 1))
+@settings(max_examples=40, deadline=None)
+def test_truncated_deflate_never_leaks_raw_errors(cut):
+    _expect_decoded_or_codec_error(decompress, DEFLATE_BYTES[:cut])
+
+
+@given(cut=st.integers(min_value=4, max_value=len(CLIP_BYTES) - 1))
+@settings(max_examples=40, deadline=None)
+def test_truncated_clip_never_leaks_raw_errors(cut):
+    _expect_decoded_or_codec_error(decode_clip, CLIP_BYTES[:cut])
+
+
+@given(junk=st.binary(min_size=0, max_size=64))
+@settings(max_examples=40, deadline=None)
+def test_garbage_with_magic_prefix(junk):
+    for magic, fn in (
+        (b"RJPG", jpeg_codec.decode),
+        (b"RPNG", png_codec.decode),
+        (b"RMJP", decode_clip),
+    ):
+        _expect_decoded_or_codec_error(fn, magic + junk)
+
+
+def test_wrong_magic_is_immediate_codec_error():
+    for fn in (jpeg_codec.decode, png_codec.decode, decode_clip):
+        with pytest.raises(CodecError):
+            fn(b"\x00\x01\x02\x03 payload")

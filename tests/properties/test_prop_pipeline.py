@@ -1,0 +1,79 @@
+"""Property-based tests for pipeline costs and the simulator laws."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analytical import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig
+from repro.core.des import Station, run_pipeline
+from repro.dataprep.cost import FPGA_PROFILE, GPU_PROFILE
+from repro.dataprep.ops_audio import audio_pipeline
+from repro.dataprep.ops_image import image_pipeline
+from repro.dataprep.pipeline import SampleSpec
+from repro.workloads.registry import get_workload
+
+
+@given(
+    side=st.integers(min_value=232, max_value=512),
+    compressed=st.floats(min_value=10_000, max_value=200_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_image_cost_monotone_in_resolution(side, compressed):
+    """Bigger inputs never cost fewer cycles or bytes."""
+    small = image_pipeline().cost(SampleSpec("jpeg", (side, side, 3), compressed))
+    big = image_pipeline().cost(
+        SampleSpec("jpeg", (side + 8, side + 8, 3), compressed)
+    )
+    assert big.cpu_cycles >= small.cpu_cycles
+    assert big.mem_traffic >= small.mem_traffic
+
+
+@given(samples=st.integers(min_value=1_000, max_value=500_000))
+@settings(max_examples=30, deadline=None)
+def test_audio_cost_monotone_in_duration(samples):
+    pipe = audio_pipeline()
+    a = pipe.cost(SampleSpec("audio_pcm", (samples,), samples * 2))
+    b = pipe.cost(SampleSpec("audio_pcm", (samples + 16_000,), (samples + 16_000) * 2))
+    assert b.cpu_cycles > a.cpu_cycles
+    assert b.bytes_out >= a.bytes_out
+
+
+@given(
+    rates=st.lists(
+        st.floats(min_value=10.0, max_value=1e6), min_size=1, max_size=5
+    ),
+    iter_time=st.floats(min_value=1e-4, max_value=10.0),
+    n=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_des_throughput_bounded_by_min_law(rates, iter_time, n):
+    """The DES can never beat min(prep, consume) and converges near it."""
+    stations = [Station(f"s{i}", r) for i, r in enumerate(rates)]
+    batch = 64
+    result = run_pipeline(stations, n, batch, iter_time, iterations=40)
+    bound = min(min(rates), n * batch / iter_time)
+    assert result.throughput <= bound * 1.001
+    assert result.throughput >= bound * 0.90
+
+
+@given(n=st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128, 256]))
+@settings(max_examples=12, deadline=None)
+def test_throughput_monotone_in_accelerators(n):
+    """More accelerators never reduce throughput (both architectures)."""
+    resnet = get_workload("Resnet-50")
+    for arch in (ArchitectureConfig.baseline(), ArchitectureConfig.trainbox()):
+        small = simulate(TrainingScenario(resnet, arch, n)).throughput
+        if n < 256:
+            big = simulate(TrainingScenario(resnet, arch, n * 2)).throughput
+            assert big >= small * 0.999
+
+
+@given(
+    spec_bytes=st.floats(min_value=1_000, max_value=1_000_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_device_profiles_ordering_invariant(spec_bytes):
+    """FPGA ≥ GPU on the decode-heavy image pipeline for any input size."""
+    cost = image_pipeline().cost(SampleSpec("jpeg", (256, 256, 3), spec_bytes))
+    assert FPGA_PROFILE.sample_rate(cost) >= GPU_PROFILE.sample_rate(cost)

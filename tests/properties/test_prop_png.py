@@ -1,0 +1,59 @@
+"""Property-based tests for the lossless PNG-like codec."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.dataprep.png import decode, encode
+from repro.dataprep.png.deflate import compress, decompress
+from repro.dataprep.png.filters import filter_image, unfilter_image
+from repro.dataprep.png.lz77 import expand, tokenize
+
+
+any_images = hnp.arrays(
+    dtype=np.uint8,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=1, max_value=16),
+        st.sampled_from([1, 3, 4]),
+    ),
+    elements=st.integers(min_value=0, max_value=255),
+)
+
+
+@given(img=any_images)
+@settings(max_examples=40, deadline=None)
+def test_png_roundtrip_is_bit_exact(img):
+    assert np.array_equal(decode(encode(img)), img)
+
+
+@given(data=st.binary(min_size=0, max_size=2000))
+@settings(max_examples=50, deadline=None)
+def test_deflate_roundtrip_any_bytes(data):
+    assert decompress(compress(data)) == data
+
+
+@given(data=st.binary(min_size=0, max_size=1500), chain=st.integers(0, 64))
+@settings(max_examples=50, deadline=None)
+def test_lz77_roundtrip_any_bytes_any_chain(data, chain):
+    assert expand(tokenize(data, max_chain=chain)) == data
+
+
+@given(
+    data=st.binary(min_size=1, max_size=400),
+    repeats=st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_repetition_never_hurts_compression(data, repeats):
+    """Compressing k copies never costs more than ~k× one copy plus a
+    constant (the dictionary must exploit repetition)."""
+    one = len(compress(data))
+    many = len(compress(data * repeats))
+    assert many <= one * repeats + 64
+
+
+@given(img=any_images)
+@settings(max_examples=40, deadline=None)
+def test_filters_roundtrip_any_image(img):
+    methods, residuals = filter_image(img)
+    assert np.array_equal(unfilter_image(methods, residuals, img.shape), img)

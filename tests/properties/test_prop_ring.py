@@ -1,0 +1,61 @@
+"""Property-based tests for the ring all-reduce."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sync.ring import ring_allreduce
+
+
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    length=st.integers(min_value=1, max_value=64),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_allreduce_equals_sum_any_shape(n, length, data):
+    seeds = data.draw(
+        st.lists(st.integers(0, 2**31 - 1), min_size=n, max_size=n)
+    )
+    bufs = [
+        np.random.default_rng(seed).normal(size=length) for seed in seeds
+    ]
+    expected = np.sum(bufs, axis=0)
+    ring_allreduce(bufs)
+    for buf in bufs:
+        assert np.allclose(buf, expected, atol=1e-9)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    length=st.integers(min_value=1, max_value=128),
+)
+@settings(max_examples=60, deadline=None)
+def test_volume_law(n, length):
+    """Per-rank bytes sent never exceed 2·M·(n-1)/n plus rounding, and
+    total steps are exactly 2(n-1)."""
+    bufs = [np.ones(length) for _ in range(n)]
+    stats = ring_allreduce(bufs)
+    assert stats.steps == 2 * (n - 1)
+    ideal = 2 * length * 8 * (n - 1) / n
+    for sent in stats.bytes_sent_per_rank:
+        assert abs(sent - ideal) <= 2 * (n - 1) * 8
+
+
+@given(
+    n=st.integers(min_value=1, max_value=6),
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_multidim_and_permutation_invariance(n, shape):
+    """The result is the sum regardless of rank order (commutativity)."""
+    rng = np.random.default_rng(0)
+    originals = [rng.normal(size=shape) for _ in range(n)]
+    a = [o.copy() for o in originals]
+    b = [o.copy() for o in reversed(originals)]
+    ring_allreduce(a)
+    ring_allreduce(b)
+    assert np.allclose(a[0], b[0], atol=1e-9)

@@ -1,0 +1,68 @@
+"""Property-based tests for topology routing over random trees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pcie.address import enumerate_topology
+from repro.pcie.link import LinkDirection
+from repro.pcie.routing import forward_path, route, route_nodes
+from repro.pcie.topology import Endpoint, PcieTopology, RootComplex, Switch
+
+
+@st.composite
+def random_trees(draw):
+    """A random PCIe tree: switches placed under random parents, then
+    endpoints under random internal nodes."""
+    topo = PcieTopology(RootComplex(max_links=64))
+    internal = ["rc"]
+    n_switches = draw(st.integers(min_value=0, max_value=10))
+    for i in range(n_switches):
+        parent = draw(st.sampled_from(internal))
+        sid = f"s{i}"
+        topo.attach(Switch(sid, max_links=64), parent)
+        internal.append(sid)
+    n_endpoints = draw(st.integers(min_value=2, max_value=12))
+    for i in range(n_endpoints):
+        parent = draw(st.sampled_from(internal))
+        topo.attach(Endpoint(f"e{i}"), parent)
+    enumerate_topology(topo)
+    return topo
+
+
+@given(tree=random_trees(), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_forwarding_agrees_with_tree_routing(tree, data):
+    """Address-based hop-by-hop forwarding always takes the LCA path."""
+    endpoints = [n.node_id for n in tree.endpoints()]
+    src = data.draw(st.sampled_from(endpoints))
+    dst = data.draw(st.sampled_from(endpoints))
+    assert forward_path(tree, src, dst) == route_nodes(tree, src, dst)
+
+
+@given(tree=random_trees(), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_route_shape_invariants(tree, data):
+    """Routes climb then descend: UP hops strictly precede DOWN hops,
+    and the reverse route mirrors the forward one."""
+    endpoints = [n.node_id for n in tree.endpoints()]
+    src = data.draw(st.sampled_from(endpoints))
+    dst = data.draw(st.sampled_from(endpoints))
+    hops = route(tree, src, dst)
+    directions = [h.direction for h in hops]
+    if LinkDirection.DOWN in directions:
+        first_down = directions.index(LinkDirection.DOWN)
+        assert all(d is LinkDirection.DOWN for d in directions[first_down:])
+    back = route(tree, dst, src)
+    assert len(back) == len(hops)
+    assert [h.link for h in back] == [h.link for h in reversed(hops)]
+
+
+@given(tree=random_trees(), data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_route_touches_lca_exactly_once(tree, data):
+    endpoints = [n.node_id for n in tree.endpoints()]
+    src = data.draw(st.sampled_from(endpoints))
+    dst = data.draw(st.sampled_from(endpoints))
+    nodes = route_nodes(tree, src, dst)
+    assert len(nodes) == len(set(nodes))  # no node revisited
+    lca = tree.lowest_common_ancestor(src, dst)
+    assert lca in nodes

@@ -1,0 +1,77 @@
+"""Fuzzing the server builders: every (architecture, scale) yields a
+valid machine with consistent routing and demand accounting."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ArchitectureConfig, PrepDevice
+from repro.core.dataflow import build_demand
+from repro.core.server import build_server
+from repro.pcie.routing import forward_path, route_nodes
+from repro.workloads.registry import TABLE_I
+
+ARCHS = ArchitectureConfig.figure19_ladder() + [
+    ArchitectureConfig.baseline_acc(PrepDevice.GPU),
+    ArchitectureConfig.trainbox(prep_pool=False),
+]
+WORKLOADS = list(TABLE_I.values())
+
+
+@given(
+    arch=st.sampled_from(ARCHS),
+    n=st.integers(min_value=1, max_value=300),
+)
+@settings(max_examples=40, deadline=None)
+def test_every_server_is_structurally_valid(arch, n):
+    server = build_server(arch, n)
+    server.topology.validate()
+    assert server.n_accelerators == n
+    # Registries point at real enumerated endpoints of the right shape.
+    for device_id in server.acc_ids + server.ssd_ids + server.prep_ids:
+        node = server.topology.node(device_id)
+        assert node.enumerated
+        assert node.device is not None
+    if arch.clustering:
+        boxes = [b for b in server.boxes if b.acc_ids]
+        assert len(boxes) == math.ceil(n / server.hw.accs_per_box)
+        for box in boxes:
+            assert box.prep_ids and box.ssd_ids
+
+
+@given(
+    arch=st.sampled_from(ARCHS),
+    n=st.sampled_from([4, 16, 40]),
+    data=st.data(),
+)
+@settings(max_examples=30, deadline=None)
+def test_forwarding_consistent_on_built_servers(arch, n, data):
+    server = build_server(arch, n)
+    endpoints = [e.node_id for e in server.topology.endpoints()]
+    src = data.draw(st.sampled_from(endpoints))
+    dst = data.draw(st.sampled_from(endpoints))
+    assert forward_path(server.topology, src, dst) == route_nodes(
+        server.topology, src, dst
+    )
+
+
+@given(
+    arch=st.sampled_from(ARCHS),
+    n=st.sampled_from([3, 8, 24, 64]),
+    workload=st.sampled_from(WORKLOADS),
+)
+@settings(max_examples=40, deadline=None)
+def test_demand_conserves_payload_volumes(arch, n, workload):
+    server = build_server(arch, n)
+    demand = build_demand(server, workload)
+    acc_set = set(server.acc_ids)
+    ssd_set = set(server.ssd_ids)
+    to_acc = sum(f.volume for f in demand.pcie_flows if f.dst in acc_set)
+    from_ssd = sum(f.volume for f in demand.pcie_flows if f.src in ssd_set)
+    assert abs(to_acc - demand.bytes_to_accelerator) < 1e-6 * demand.bytes_to_accelerator
+    assert abs(from_ssd - demand.ssd_read_bytes) < 1e-6 * demand.ssd_read_bytes
+    # Per-sample categories are non-negative and finite.
+    for table in (demand.cpu_cycles, demand.mem_bytes):
+        for value in table.values():
+            assert value >= 0
+            assert math.isfinite(value)

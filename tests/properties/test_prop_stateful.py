@@ -1,0 +1,127 @@
+"""Stateful property tests: the pool and rack ledgers never go bad
+under arbitrary submit/finish interleavings."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.core.rack import JobRequest, TrainBoxRack
+from repro.errors import CapacityError, ConfigError
+from repro.network.preppool import PrepPool
+from repro.workloads.registry import get_workload
+
+RESNET = get_workload("Resnet-50")
+TF_SR = get_workload("Transformer-SR")
+
+
+class PoolMachine(RuleBasedStateMachine):
+    """The PrepPool conserves FPGAs across any allocate/release order."""
+
+    def __init__(self):
+        super().__init__()
+        self.pool = PrepPool([f"f{i}" for i in range(12)])
+        self.jobs = {}
+        self.counter = 0
+
+    @rule(count=st.integers(min_value=0, max_value=14))
+    def allocate(self, count):
+        job_id = f"job{self.counter}"
+        self.counter += 1
+        if count > self.pool.available:
+            try:
+                self.pool.allocate(job_id, count)
+                raise AssertionError("over-allocation must fail")
+            except CapacityError:
+                return
+        grant = self.pool.allocate(job_id, count)
+        self.jobs[job_id] = grant
+
+    @precondition(lambda self: self.jobs)
+    @rule(data=st.data())
+    def release(self, data):
+        job_id = data.draw(st.sampled_from(sorted(self.jobs)))
+        self.pool.release(job_id)
+        del self.jobs[job_id]
+
+    @invariant()
+    def conservation(self):
+        granted = sum(g.count for g in self.jobs.values())
+        assert self.pool.available + granted == 12
+        assert self.pool.total == 12
+
+    @invariant()
+    def grants_disjoint(self):
+        seen = set()
+        for grant in self.jobs.values():
+            ids = set(grant.fpga_ids)
+            assert not ids & seen
+            seen |= ids
+
+
+class RackMachine(RuleBasedStateMachine):
+    """Rack box/FPGA ledgers stay consistent under arbitrary job churn."""
+
+    def __init__(self):
+        super().__init__()
+        self.rack = TrainBoxRack(n_boxes=12, external_pool_fpgas=8)
+        self.running = set()
+        self.counter = 0
+
+    @rule(
+        accs=st.sampled_from([8, 16, 24, 48, 96]),
+        audio=st.booleans(),
+    )
+    def submit(self, accs, audio):
+        job_id = f"j{self.counter}"
+        self.counter += 1
+        workload = TF_SR if audio else RESNET
+        try:
+            self.rack.submit(JobRequest(job_id, workload, accs))
+        except CapacityError:
+            return
+        self.running.add(job_id)
+
+    @precondition(lambda self: self.running)
+    @rule(data=st.data())
+    def finish(self, data):
+        job_id = data.draw(st.sampled_from(sorted(self.running)))
+        self.rack.finish(job_id)
+        self.running.remove(job_id)
+
+    @invariant()
+    def box_conservation(self):
+        used = sum(p.n_boxes for p in self.rack.placements())
+        assert used + self.rack.free_boxes == 12
+        assert 0.0 <= self.rack.utilization() <= 1.0
+
+    @invariant()
+    def fpga_ledgers_consistent(self):
+        external_out = sum(
+            p.borrowed_from_external for p in self.rack.placements()
+        )
+        assert external_out + self.rack.external_fpgas_available == 8
+        idle_out = sum(
+            p.borrowed_from_idle_boxes for p in self.rack.placements()
+        )
+        # Lent idle FPGAs never exceed what the idle boxes physically hold.
+        assert idle_out <= self.rack.free_boxes * self.rack.fpgas_per_box
+        assert self.rack.idle_fpgas_available >= 0
+
+    @invariant()
+    def placements_disjoint(self):
+        seen = set()
+        for placement in self.rack.placements():
+            ids = set(placement.box_ids)
+            assert not ids & seen
+            seen |= ids
+
+
+TestPoolMachine = PoolMachine.TestCase
+TestPoolMachine.settings = settings(max_examples=30, stateful_step_count=30, deadline=None)
+TestRackMachine = RackMachine.TestCase
+TestRackMachine.settings = settings(max_examples=15, stateful_step_count=20, deadline=None)

@@ -1,0 +1,118 @@
+"""Property-based tests for the max-min fair traffic solver."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pcie.address import enumerate_topology
+from repro.pcie.routing import route
+from repro.pcie.topology import Endpoint, PcieTopology, RootComplex, Switch
+from repro.pcie.traffic import Flow, TrafficSolver, completion_time
+
+
+def _tree():
+    topo = PcieTopology(RootComplex(max_links=8))
+    for i in range(3):
+        topo.attach(Switch(f"s{i}", max_links=8), "rc")
+        for j in range(3):
+            topo.attach(Endpoint(f"e{i}{j}"), f"s{i}")
+    enumerate_topology(topo)
+    return topo
+
+
+TOPO = _tree()
+ENDPOINTS = [n.node_id for n in TOPO.endpoints()]
+
+
+flows_strategy = st.lists(
+    st.builds(
+        Flow,
+        src=st.sampled_from(ENDPOINTS),
+        dst=st.sampled_from(ENDPOINTS),
+        volume=st.just(0.0),
+        demand=st.one_of(st.none(), st.floats(min_value=1e6, max_value=1e11)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(flows=flows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_allocation_feasible(flows):
+    """No directed link ever carries more than its capacity."""
+    rates = TrafficSolver(TOPO).allocate(flows)
+    loads = {}
+    for flow, rate in zip(flows, rates):
+        if math.isinf(rate):
+            assert flow.src == flow.dst
+            continue
+        for hop in route(TOPO, flow.src, flow.dst):
+            loads[hop] = loads.get(hop, 0.0) + rate
+    for hop, load in loads.items():
+        assert load <= hop.bandwidth * (1 + 1e-6)
+
+
+@given(flows=flows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_demands_respected_and_rates_positive(flows):
+    rates = TrafficSolver(TOPO).allocate(flows)
+    for flow, rate in zip(flows, rates):
+        if flow.demand is not None:
+            assert rate <= flow.demand * (1 + 1e-9)
+        if flow.src != flow.dst:
+            assert rate > 0
+
+
+@given(flows=flows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_maxmin_no_starved_flow_while_path_idle(flows):
+    """Max-min property: every routed flow is bounded either by its
+    demand or by at least one saturated link on its path."""
+    solver = TrafficSolver(TOPO)
+    rates = solver.allocate(flows)
+    loads = {}
+    for flow, rate in zip(flows, rates):
+        if math.isinf(rate):
+            continue
+        for hop in route(TOPO, flow.src, flow.dst):
+            loads[hop] = loads.get(hop, 0.0) + rate
+    for flow, rate in zip(flows, rates):
+        if flow.src == flow.dst:
+            continue
+        demand_bound = flow.demand is not None and rate >= flow.demand * (1 - 1e-6)
+        saturated = any(
+            loads[hop] >= hop.bandwidth * (1 - 1e-6)
+            for hop in route(TOPO, flow.src, flow.dst)
+        )
+        assert demand_bound or saturated
+
+
+@given(
+    volumes=st.lists(
+        st.floats(min_value=1.0, max_value=1e12), min_size=1, max_size=8
+    ),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_completion_time_scales_linearly(volumes, data):
+    """Doubling every volume exactly doubles the pipelined time."""
+    pairs = [
+        (data.draw(st.sampled_from(ENDPOINTS)), data.draw(st.sampled_from(ENDPOINTS)))
+        for _ in volumes
+    ]
+    flows = [Flow(s, d, volume=v) for (s, d), v in zip(pairs, volumes)]
+    doubled = [Flow(s, d, volume=2 * v) for (s, d), v in zip(pairs, volumes)]
+    t1 = completion_time(TOPO, flows)
+    t2 = completion_time(TOPO, doubled)
+    assert t2 == (0.0 if t1 == 0.0 else t1 * 2) or abs(t2 - 2 * t1) < 1e-9 * max(t2, 1)
+
+
+@given(flows=flows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_adding_a_flow_never_speeds_others_up(flows):
+    """Monotonicity of congestion: extra volume can only increase the
+    completion time."""
+    base = [Flow(f.src, f.dst, volume=1e9) for f in flows]
+    extra = base + [Flow(ENDPOINTS[0], ENDPOINTS[-1], volume=1e9)]
+    assert completion_time(TOPO, extra) >= completion_time(TOPO, base) - 1e-12

@@ -1,0 +1,71 @@
+"""Tests for the synchronization latency models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sync.model import CentralSyncModel, RingSyncModel, TreeSyncModel
+from repro import units
+
+M = 100 * units.MB
+
+
+def test_single_accelerator_costs_nothing():
+    for model in (RingSyncModel(), TreeSyncModel(), CentralSyncModel()):
+        assert model.time(1, M) == 0.0
+        assert model.time(8, 0.0) == 0.0
+
+
+def test_ring_normalized_latency_saturates_at_two():
+    """Figure 2b: latency normalized to n=2 approaches (and stays near) 2."""
+    model = RingSyncModel()
+    norms = [model.normalized_latency(n, M) for n in (2, 4, 16, 64, 256)]
+    assert norms[0] == pytest.approx(1.0)
+    assert all(a <= b + 1e-12 for a, b in zip(norms, norms[1:]))  # monotone
+    assert norms[-1] < 2.5
+    assert norms[-1] > 1.8
+
+
+def test_ring_bandwidth_term_formula():
+    model = RingSyncModel(step_latency=0.0)
+    for n in (2, 4, 8, 64):
+        expected = 2 * (n - 1) / n * M / model.bandwidth
+        assert model.time(n, M) == pytest.approx(expected)
+
+
+def test_central_is_linear_in_n():
+    model = CentralSyncModel(step_latency=0.0)
+    assert model.time(64, M) == pytest.approx(63 / 1 * model.time(2, M))
+
+
+def test_tree_is_logarithmic():
+    model = TreeSyncModel(step_latency=0.0)
+    assert model.time(256, M) == pytest.approx(8 * model.time(2, M))
+    assert model.time(250, M) == model.time(256, M)  # same ceil(log2)
+
+
+def test_ordering_at_scale():
+    """ring < tree < central for large n — why NCCL uses rings."""
+    n = 256
+    ring = RingSyncModel().time(n, M)
+    tree = TreeSyncModel().time(n, M)
+    central = CentralSyncModel().time(n, M)
+    assert ring < tree < central
+
+
+def test_ring_time_monotone_in_model_size():
+    model = RingSyncModel()
+    assert model.time(8, 2 * M) > model.time(8, M)
+
+
+def test_validation():
+    model = RingSyncModel()
+    with pytest.raises(ConfigError):
+        model.time(0, M)
+    with pytest.raises(ConfigError):
+        model.time(4, -1.0)
+
+
+def test_normalize_requires_nonzero_base():
+    model = RingSyncModel()
+    with pytest.raises(ConfigError):
+        model.normalized_latency(4, 0.0)

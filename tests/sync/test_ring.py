@@ -1,0 +1,82 @@
+"""Tests for the functional ring all-reduce."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sync.ring import RingAllReduce, ring_allreduce
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8])
+def test_allreduce_equals_sum(n, rng):
+    bufs = [rng.normal(size=53) for _ in range(n)]
+    expected = np.sum(bufs, axis=0)
+    ring_allreduce(bufs)
+    for buf in bufs:
+        assert np.allclose(buf, expected)
+
+
+def test_multidimensional_buffers(rng):
+    bufs = [rng.normal(size=(4, 5, 2)) for _ in range(3)]
+    expected = np.sum(bufs, axis=0)
+    ring_allreduce(bufs)
+    for buf in bufs:
+        assert np.allclose(buf, expected)
+
+
+def test_step_count_is_2n_minus_2(rng):
+    for n in (2, 3, 5):
+        bufs = [rng.normal(size=10) for _ in range(n)]
+        stats = ring_allreduce(bufs)
+        assert stats.steps == 2 * (n - 1)
+
+
+def test_communication_volume_identity(rng):
+    """Each rank moves 2·M·(n-1)/n bytes — the Figure 2b scaling law."""
+    n, length = 5, 100
+    bufs = [rng.normal(size=length) for _ in range(n)]
+    nbytes = length * 8
+    stats = ring_allreduce(bufs)
+    for sent in stats.bytes_sent_per_rank:
+        # Within segment-rounding of the ideal volume.
+        assert abs(sent - 2 * nbytes * (n - 1) / n) <= 2 * (n - 1) * 8
+
+
+def test_single_rank_no_communication(rng):
+    buf = rng.normal(size=10)
+    original = buf.copy()
+    stats = ring_allreduce([buf])
+    assert stats.total_bytes == 0
+    assert np.array_equal(buf, original)
+
+
+def test_buffer_count_mismatch(rng):
+    with pytest.raises(ConfigError):
+        RingAllReduce(3)([rng.normal(size=4)] * 2)
+
+
+def test_shape_mismatch(rng):
+    with pytest.raises(ConfigError):
+        ring_allreduce([rng.normal(size=4), rng.normal(size=5)])
+
+
+def test_invalid_rank_count():
+    with pytest.raises(ConfigError):
+        RingAllReduce(0)
+
+
+def test_small_payload_fewer_elements_than_ranks(rng):
+    """Segments may be empty when the buffer is tiny; still correct."""
+    bufs = [rng.normal(size=2) for _ in range(5)]
+    expected = np.sum(bufs, axis=0)
+    ring_allreduce(bufs)
+    for buf in bufs:
+        assert np.allclose(buf, expected)
+
+
+def test_integer_buffers(rng):
+    bufs = [rng.integers(-5, 6, size=16) for _ in range(4)]
+    expected = np.sum(bufs, axis=0)
+    ring_allreduce(bufs)
+    for buf in bufs:
+        assert np.array_equal(buf, expected)

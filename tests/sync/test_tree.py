@@ -1,0 +1,76 @@
+"""Tests for the functional tree all-reduce."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sync.ring import ring_allreduce
+from repro.sync.tree import tree_allreduce
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8, 13])
+def test_tree_equals_sum(n, rng):
+    bufs = [rng.normal(size=41) for _ in range(n)]
+    expected = np.sum(bufs, axis=0)
+    tree_allreduce(bufs)
+    for buf in bufs:
+        assert np.allclose(buf, expected)
+
+
+def test_single_rank_noop(rng):
+    buf = rng.normal(size=5)
+    original = buf.copy()
+    stats = tree_allreduce([buf])
+    assert stats.total_bytes == 0
+    assert np.array_equal(buf, original)
+
+
+def test_root_sends_most():
+    """The broadcast fans out from the root: rank 0 sends to both
+    children, leaves send once (reduce) and never broadcast."""
+    bufs = [np.ones(16) for _ in range(7)]
+    stats = tree_allreduce(bufs)
+    # Rank 0 only broadcasts (2 children), leaves only reduce (1 send).
+    assert stats.bytes_sent_per_rank[0] == 2 * 16 * 8
+    assert stats.bytes_sent_per_rank[6] == 16 * 8
+
+
+def test_tree_moves_more_bytes_than_ring_at_scale(rng):
+    """Why rings win for large gradients: total volume is ~2·n·M for the
+    tree vs 2·M·(n-1) spread as (n-1)/n per rank for the ring — but the
+    ring's *per-rank critical path* is constant while the tree's root
+    serializes log n full-gradient hops (latency models pin the time
+    side; here we pin volume shape)."""
+    n, length = 8, 64
+    tree_bufs = [rng.normal(size=length) for _ in range(n)]
+    ring_bufs = [b.copy() for b in tree_bufs]
+    tree_stats = tree_allreduce(tree_bufs)
+    ring_stats = ring_allreduce(ring_bufs)
+    for a, b in zip(tree_bufs, ring_bufs):
+        assert np.allclose(a, b)
+    # Max per-rank volume: tree's internal nodes send whole gradients.
+    assert max(tree_stats.bytes_sent_per_rank) >= max(
+        ring_stats.bytes_sent_per_rank
+    )
+
+
+def test_shape_mismatch(rng):
+    with pytest.raises(ConfigError):
+        tree_allreduce([rng.normal(size=3), rng.normal(size=4)])
+
+
+def test_requires_list(rng):
+    with pytest.raises(ConfigError):
+        tree_allreduce(tuple([rng.normal(size=3)]))
+
+
+def test_empty_rejected():
+    with pytest.raises(ConfigError):
+        tree_allreduce([])
+
+
+def test_depth_is_logarithmic():
+    for n, expected in ((2, 1), (4, 2), (8, 3), (15, 3)):
+        bufs = [np.zeros(4) for _ in range(n)]
+        stats = tree_allreduce(bufs)
+        assert stats.depth == expected, n

@@ -1,0 +1,44 @@
+"""Tests for the large-batch / LR-scaling experiment (§II-B)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.training.large_batch import (
+    BatchScalingResult,
+    batch_scaling_experiment,
+)
+
+
+def test_result_predicates():
+    good = BatchScalingResult(0.9, 0.88, 0.6)
+    assert good.scaling_recovers_accuracy()
+    assert good.unscaled_underperforms()
+    bad = BatchScalingResult(0.9, 0.5, 0.49)
+    assert not bad.scaling_recovers_accuracy()
+    assert not bad.unscaled_underperforms()
+
+
+def test_scale_validation():
+    with pytest.raises(ConfigError):
+        batch_scaling_experiment(scale=1)
+
+
+def test_experiment_smoke():
+    result = batch_scaling_experiment(
+        num_train=64, num_test=48, epochs=2, hidden=16, num_classes=4
+    )
+    for value in (
+        result.small_batch,
+        result.large_batch_scaled_lr,
+        result.large_batch_unscaled_lr,
+    ):
+        assert 0.0 <= value <= 1.0
+
+
+@pytest.mark.slow
+def test_linear_scaling_recovers_large_batch_accuracy():
+    """§II-B: a properly scaled learning rate removes the large-batch
+    instability; an unscaled one undertrains."""
+    result = batch_scaling_experiment(seed=1)
+    assert result.scaling_recovers_accuracy()
+    assert result.unscaled_underperforms()

@@ -1,0 +1,113 @@
+"""Tests for the numpy MLP."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.training.nn import MLP, softmax_cross_entropy
+
+
+def test_softmax_ce_uniform_logits():
+    logits = np.zeros((4, 10))
+    labels = np.array([0, 3, 5, 9])
+    loss, grad = softmax_cross_entropy(logits, labels)
+    assert loss == pytest.approx(np.log(10))
+    assert grad.shape == (4, 10)
+    # Gradient rows sum to zero.
+    assert np.allclose(grad.sum(axis=1), 0, atol=1e-12)
+
+
+def test_softmax_ce_validation():
+    with pytest.raises(ConfigError):
+        softmax_cross_entropy(np.zeros(10), np.zeros(1, dtype=int))
+    with pytest.raises(ConfigError):
+        softmax_cross_entropy(np.zeros((2, 3)), np.zeros(3, dtype=int))
+
+
+def test_forward_shapes(rng):
+    model = MLP([12, 8, 4])
+    x = rng.normal(size=(5, 12))
+    assert model.forward(x).shape == (5, 4)
+
+
+def test_gradient_check(rng):
+    """Backprop gradients match central finite differences."""
+    model = MLP([6, 5, 3], seed=1)
+    x = rng.normal(size=(4, 6))
+    y = np.array([0, 1, 2, 1])
+    _, grads = model.loss_and_grads(x, y)
+    flat_grad = MLP.flatten_grads(grads)
+    params = model.flat_params()
+    eps = 1e-6
+    idxs = rng.choice(params.size, size=25, replace=False)
+    for i in idxs:
+        bumped = params.copy()
+        bumped[i] += eps
+        model.set_flat_params(bumped)
+        up, _ = model.loss_and_grads(x, y)
+        bumped[i] -= 2 * eps
+        model.set_flat_params(bumped)
+        down, _ = model.loss_and_grads(x, y)
+        numeric = (up - down) / (2 * eps)
+        model.set_flat_params(params)
+        assert numeric == pytest.approx(flat_grad[i], rel=1e-4, abs=1e-7)
+
+
+def test_sgd_reduces_loss(rng):
+    model = MLP([8, 16, 3], seed=0)
+    x = rng.normal(size=(32, 8))
+    y = rng.integers(0, 3, 32)
+    first, grads = model.loss_and_grads(x, y)
+    for _ in range(50):
+        _, grads = model.loss_and_grads(x, y)
+        model.apply_grads(grads, lr=0.1)
+    last, _ = model.loss_and_grads(x, y)
+    assert last < first / 2
+
+
+def test_flat_param_roundtrip(rng):
+    model = MLP([7, 5, 2], seed=3)
+    flat = model.flat_params()
+    other = MLP([7, 5, 2], seed=99)
+    other.set_flat_params(flat)
+    x = rng.normal(size=(3, 7))
+    assert np.allclose(model.forward(x), other.forward(x))
+
+
+def test_flat_grads_roundtrip(rng):
+    model = MLP([7, 5, 2])
+    x = rng.normal(size=(3, 7))
+    y = np.array([0, 1, 0])
+    _, grads = model.loss_and_grads(x, y)
+    flat = MLP.flatten_grads(grads)
+    back = model.unflatten_grads(flat)
+    for a, b in zip(grads, back):
+        assert np.array_equal(a, b)
+
+
+def test_model_bytes():
+    model = MLP([10, 4, 2])
+    assert model.model_bytes == (10 * 4 + 4 + 4 * 2 + 2) * 8
+
+
+def test_topk_accuracy(rng):
+    model = MLP([4, 8], seed=0)
+    x = rng.normal(size=(20, 4))
+    y = rng.integers(0, 8, 20)
+    top1 = model.top_k_accuracy(x, y, k=1)
+    top5 = model.top_k_accuracy(x, y, k=5)
+    top8 = model.top_k_accuracy(x, y, k=8)
+    assert top1 <= top5 <= top8 == 1.0
+    assert top1 == model.accuracy(x, y)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        MLP([5])
+    with pytest.raises(ConfigError):
+        MLP([5, 0, 2])
+    model = MLP([3, 2])
+    with pytest.raises(ConfigError):
+        model.set_flat_params(np.zeros(3))
+    with pytest.raises(ConfigError):
+        model.apply_grads([np.zeros((3, 2))], lr=0.1)

@@ -1,0 +1,144 @@
+"""Tests for data-parallel training and the augmentation experiment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.training.nn import MLP
+from repro.training.trainer import (
+    CenterCrop,
+    DataParallelTrainer,
+    TrainConfig,
+    augmentation_experiment,
+    augmentation_pipeline,
+)
+
+
+def _toy_batches(n_ranks, rng, features=6, classes=3, per_rank=8):
+    batches = []
+    for _ in range(n_ranks):
+        x = rng.normal(size=(per_rank, features))
+        y = rng.integers(0, classes, per_rank)
+        batches.append((x, y))
+    return batches
+
+
+def test_replicas_stay_in_sync(rng):
+    model = MLP([6, 8, 3], seed=0)
+    trainer = DataParallelTrainer(model, n_ranks=4)
+    for _ in range(5):
+        trainer.step(_toy_batches(4, rng), lr=0.05)
+    assert trainer.replicas_in_sync()
+
+
+def test_data_parallel_equals_large_batch(rng):
+    """n ranks with averaged gradients ≡ single rank on the concatenated
+    batch — the correctness property of synchronous data parallelism."""
+    seed_model = MLP([6, 8, 3], seed=7)
+    batches = _toy_batches(4, rng)
+
+    parallel = DataParallelTrainer(seed_model, n_ranks=4)
+    parallel.step(batches, lr=0.1)
+
+    single = MLP([6, 8, 3], seed=0)
+    single.set_flat_params(seed_model.flat_params())
+    x = np.concatenate([b[0] for b in batches])
+    y = np.concatenate([b[1] for b in batches])
+    _, grads = single.loss_and_grads(x, y)
+    single.apply_grads(grads, lr=0.1)
+
+    assert np.allclose(
+        parallel.model.flat_params(), single.flat_params(), atol=1e-9
+    )
+
+
+def test_step_validates_batch_count(rng):
+    trainer = DataParallelTrainer(MLP([6, 3]), n_ranks=2)
+    with pytest.raises(ConfigError):
+        trainer.step(_toy_batches(3, rng), lr=0.1)
+
+
+def test_trainer_validation():
+    with pytest.raises(ConfigError):
+        DataParallelTrainer(MLP([4, 2]), n_ranks=0)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        TrainConfig(epochs=0)
+    with pytest.raises(ConfigError):
+        TrainConfig(lr=0)
+
+
+def test_center_crop_is_deterministic_center():
+    img = np.arange(6 * 6 * 3, dtype=np.uint8).reshape(6, 6, 3)
+    crop = CenterCrop(4, 4)
+    rng = np.random.default_rng(0)
+    out1 = crop.apply(img, rng)
+    out2 = crop.apply(img, np.random.default_rng(99))
+    assert np.array_equal(out1, out2)
+    assert np.array_equal(out1, img[1:5, 1:5])
+    assert crop.name == "center_crop"
+
+
+def test_augmentation_pipeline_variants():
+    aug = augmentation_pipeline(20, augment=True)
+    noaug = augmentation_pipeline(20, augment=False)
+    assert len(aug) == 4
+    assert len(noaug) == 2
+    assert aug.ops[0].name == "random_crop"
+    assert noaug.ops[0].name == "center_crop"
+
+
+def test_augmentation_experiment_smoke():
+    """A miniature run: both curves exist, lengths match, values valid."""
+    curves = augmentation_experiment(
+        num_train=32,
+        num_test=48,
+        image_size=16,
+        crop=12,
+        num_classes=4,
+        hidden=16,
+        n_ranks=2,
+        config=TrainConfig(epochs=2, lr=0.05, batch_size=8, seed=0),
+        top_k=1,
+    )
+    assert set(curves) == {"with_augmentation", "without_augmentation"}
+    for curve in curves.values():
+        assert len(curve) == 2
+        assert all(0.0 <= a <= 1.0 for a in curve)
+
+
+@pytest.mark.slow
+def test_augmentation_improves_heldout_accuracy():
+    """The Figure 5 claim at our scale: augmentation clearly wins."""
+    curves = augmentation_experiment(
+        config=TrainConfig(epochs=25, lr=0.03, batch_size=32, seed=0)
+    )
+    final_aug = np.mean(curves["with_augmentation"][-3:])
+    final_noaug = np.mean(curves["without_augmentation"][-3:])
+    assert final_aug > final_noaug + 0.03
+
+
+def test_augmentation_experiment_cnn_variant():
+    """The CNN path runs end to end; its built-in translation
+    equivariance means we assert validity, not a gap."""
+    curves = augmentation_experiment(
+        num_train=32,
+        num_test=48,
+        image_size=16,
+        crop=12,
+        num_classes=4,
+        n_ranks=2,
+        config=TrainConfig(epochs=2, lr=0.05, batch_size=8, seed=0),
+        top_k=1,
+        model="cnn",
+    )
+    for curve in curves.values():
+        assert len(curve) == 2
+        assert all(0.0 <= a <= 1.0 for a in curve)
+
+
+def test_augmentation_experiment_rejects_unknown_model():
+    with pytest.raises(ConfigError):
+        augmentation_experiment(model="transformer")
