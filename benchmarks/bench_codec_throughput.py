@@ -1,0 +1,91 @@
+"""Codec throughput: the data-prep fast paths vs their reference loops.
+
+The paper's premise is that data prep — JPEG decode above all (§V-B) —
+is the operation that must be balanced against accelerator consumption.
+This benchmark pins down what the package's own codecs deliver and
+guards two properties:
+
+* the vectorized JPEG entropy fast path decodes a 256×256 photo-like
+  image at least 5× faster than the symbol-at-a-time reference, while
+  producing byte-identical bitstreams on encode and identical pixels on
+  decode;
+* throughput does not silently rot: every fast-path number must stay
+  within the tolerance (default 30%) of the committed baseline in
+  ``benchmarks/baselines/codec_throughput.json``.
+
+Refresh the baseline on a quiet machine with::
+
+    PYTHONPATH=src python -m repro bench-codec --update
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import emit
+from repro import perf
+from repro.analysis.tables import format_table
+from repro.dataprep.jpeg.codec import JpegCodec
+from repro.dataprep.png import codec as png
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "codec_throughput.json"
+
+#: Acceptance floor for the vectorized JPEG decode path.
+MIN_DECODE_SPEEDUP = 5.0
+
+
+def test_codec_throughput_vs_baseline(benchmark, capsys):
+    measurements = benchmark.pedantic(
+        lambda: perf.codec_suite(size=256, repeats=10), rounds=1, iterations=1
+    )
+    baseline = perf.load_baseline(BASELINE_PATH)
+    rows = [
+        [
+            m.name,
+            f"{m.best_seconds * 1000:.2f}",
+            f"{m.samples_per_s:,.1f}",
+            f"{baseline.get(m.name, float('nan')):,.1f}",
+        ]
+        for m in measurements
+    ]
+    emit(
+        capsys,
+        "Codec throughput (256×256 photo-like image, best-of-10)",
+        format_table(["benchmark", "best ms", "samples/s", "baseline"], rows),
+    )
+    assert baseline, f"missing baseline {BASELINE_PATH}"
+    failures = perf.regressions(measurements, baseline)
+    assert not failures, "; ".join(failures)
+
+
+def test_jpeg_decode_speedup_over_reference(benchmark, capsys):
+    speedup = benchmark.pedantic(
+        lambda: perf.reference_decode_speedup(size=256, repeats=10),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        capsys,
+        "JPEG decode fast path vs reference",
+        f"256×256 decode speedup: {speedup:.2f}x (floor {MIN_DECODE_SPEEDUP}x)",
+    )
+    assert speedup >= MIN_DECODE_SPEEDUP
+
+
+@pytest.mark.parametrize("subsample", [True, False])
+def test_jpeg_fast_path_bitstream_identity(subsample):
+    """The throughput claims are only meaningful if fast == reference."""
+    img = perf.bench_image(64, 64)
+    fast = JpegCodec(quality=75, subsample=subsample, fast=True)
+    ref = JpegCodec(quality=75, subsample=subsample, fast=False)
+    blob = fast.encode(img)
+    assert blob == ref.encode(img)
+    assert np.array_equal(
+        JpegCodec.decode(blob, fast=True), JpegCodec.decode(blob, fast=False)
+    )
+
+
+def test_png_fast_path_roundtrip():
+    img = perf.bench_image(64, 64)
+    assert np.array_equal(png.decode(png.encode(img)), img)

@@ -8,17 +8,26 @@ from benchmarks._harness import SCALE_SWEEP, emit
 from repro.analysis.tables import format_series
 from repro.core.analytical import TrainingScenario, simulate
 from repro.core.config import ArchitectureConfig
+from repro.core.server import build_server_cached
 from repro.workloads.registry import TABLE_I
 
 ARCH = ArchitectureConfig.baseline()
 
 
 def build_figure():
+    # The same (arch, scale) server serves every workload in the sweep.
     curves = {}
     for name, workload in TABLE_I.items():
-        one = simulate(TrainingScenario(workload, ARCH, 1)).throughput
+        one = simulate(
+            TrainingScenario(workload, ARCH, 1),
+            server=build_server_cached(ARCH, 1),
+        ).throughput
         curves[name] = [
-            simulate(TrainingScenario(workload, ARCH, n)).throughput / one
+            simulate(
+                TrainingScenario(workload, ARCH, n),
+                server=build_server_cached(ARCH, n),
+            ).throughput
+            / one
             for n in SCALE_SWEEP
         ]
     return curves

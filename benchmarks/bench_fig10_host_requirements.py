@@ -10,7 +10,7 @@ from repro.analysis.tables import format_series, format_table
 from repro.core.config import ArchitectureConfig
 from repro.core.dataflow import build_demand
 from repro.core.resources import host_requirements
-from repro.core.server import build_server
+from repro.core.server import build_server_cached
 from repro.workloads.registry import TABLE_I
 
 ARCH = ArchitectureConfig.baseline()
@@ -18,7 +18,7 @@ ARCH = ArchitectureConfig.baseline()
 
 def build_figure():
     curves = {}
-    server = build_server(ARCH, 256)
+    server = build_server_cached(ARCH, 256)
     for name, workload in TABLE_I.items():
         demand = build_demand(server, workload)
         per_scale = []
@@ -63,7 +63,7 @@ def test_fig10_host_requirements(benchmark, capsys):
 def test_fig10_requirements_grow_linearly(benchmark, capsys):
     """Required resources are linear in scale (the figure's straight
     lines on its linear axes)."""
-    server = build_server(ARCH, 256)
+    server = build_server_cached(ARCH, 256)
     workload = TABLE_I["Resnet-50"]
     demand = build_demand(server, workload)
 

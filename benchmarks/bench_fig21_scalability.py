@@ -12,6 +12,7 @@ from benchmarks._harness import SCALE_SWEEP, emit
 from repro.analysis.tables import format_series
 from repro.core.analytical import TrainingScenario, simulate
 from repro.core.config import ArchitectureConfig, PrepDevice
+from repro.core.server import build_server_cached
 from repro.workloads.registry import get_workload
 
 CONFIGS = [
@@ -24,16 +25,23 @@ CONFIGS = [
 
 
 def build_figure():
+    # Each (arch, scale) server is shared across the two workloads.
     out = {}
     for workload_name in ("Inception-v4", "Transformer-SR"):
         workload = get_workload(workload_name)
+        baseline = ArchitectureConfig.baseline()
         one = simulate(
-            TrainingScenario(workload, ArchitectureConfig.baseline(), 1)
+            TrainingScenario(workload, baseline, 1),
+            server=build_server_cached(baseline, 1),
         ).throughput
         curves = {}
         for label, arch in CONFIGS:
             curves[label] = [
-                simulate(TrainingScenario(workload, arch, n)).throughput / one
+                simulate(
+                    TrainingScenario(workload, arch, n),
+                    server=build_server_cached(arch, n),
+                ).throughput
+                / one
                 for n in SCALE_SWEEP
             ]
         out[workload_name] = curves

@@ -127,6 +127,45 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_codec(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro import perf
+
+    baseline_path = Path(args.baseline)
+    measurements = perf.codec_suite(
+        size=args.size, repeats=args.repeats, batch=args.batch
+    )
+    baseline = perf.load_baseline(baseline_path)
+    rows = []
+    for m in measurements:
+        ref = baseline.get(m.name)
+        rows.append(
+            [
+                m.name,
+                f"{m.best_seconds * 1000:.2f}",
+                f"{m.samples_per_s:,.1f}",
+                f"{ref:,.1f}" if ref else "-",
+            ]
+        )
+    print(format_table(["benchmark", "best ms", "samples/s", "baseline"], rows))
+
+    if args.update:
+        perf.save_baseline(baseline_path, measurements)
+        print(f"baseline updated: {baseline_path}")
+        return 0
+    if not baseline:
+        print(f"no baseline at {baseline_path}; run with --update to record one")
+        return 0
+    failures = perf.regressions(measurements, baseline)
+    for line in failures:
+        print(f"REGRESSION  {line}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"all codec throughputs within {100 * perf.tolerance():.0f}% of baseline")
+    return 0
+
+
 def _cmd_workloads(_args: argparse.Namespace) -> int:
     rows = [
         [
@@ -189,6 +228,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-b", "--batch", type=int, default=None)
     p.add_argument("--json", action="store_true", help="emit JSON")
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "bench-codec",
+        help="codec throughput smoke test vs the committed baseline",
+    )
+    p.add_argument(
+        "--baseline",
+        default="benchmarks/baselines/codec_throughput.json",
+        help="baseline JSON path",
+    )
+    p.add_argument("--size", type=int, default=256, help="square image size")
+    p.add_argument("--repeats", type=int, default=10, help="best-of-N repeats")
+    p.add_argument("--batch", type=int, default=8, help="encode_batch size")
+    p.add_argument(
+        "--update", action="store_true", help="rewrite the baseline and exit"
+    )
+    p.set_defaults(func=_cmd_bench_codec)
 
     p = sub.add_parser("workloads", help="print Table I")
     p.set_defaults(func=_cmd_workloads)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Optional
 
 from repro.errors import ConfigError
@@ -180,6 +181,25 @@ def build_server(
         prep_network=prep_network,
         pool_fpga_ids=pool_ids,
     )
+
+
+@lru_cache(maxsize=64)
+def build_server_cached(
+    arch: ArchitectureConfig,
+    n_accelerators: int,
+    hw: Optional[HardwareConfig] = None,
+    pool_size: Optional[int] = None,
+) -> ServerModel:
+    """Memoized :func:`build_server`.
+
+    Topology construction + enumeration is the dominant fixed cost of a
+    scalability sweep, and the sweeps revisit the same ``(arch, scale)``
+    points for every workload.  Both config types are frozen dataclasses,
+    so they key an ``lru_cache`` directly.  Callers share the returned
+    model; :func:`repro.core.analytical.simulate` treats a passed-in
+    server as read-only, which is what makes the sharing sound.
+    """
+    return build_server(arch, n_accelerators, hw=hw, pool_size=pool_size)
 
 
 def _build_type_grouped(

@@ -22,6 +22,12 @@ compute stage — the part that costs cycles — is the real algorithm, so
 compression ratios and decode cost scale exactly like baseline JPEG.
 """
 
-from repro.dataprep.jpeg.codec import JpegCodec, decode, encode
+from repro.dataprep.jpeg.codec import (
+    JpegCodec,
+    decode,
+    decode_batch,
+    encode,
+    encode_batch,
+)
 
-__all__ = ["JpegCodec", "decode", "encode"]
+__all__ = ["JpegCodec", "decode", "decode_batch", "encode", "encode_batch"]

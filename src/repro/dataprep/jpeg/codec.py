@@ -7,18 +7,25 @@ quantize → zig-zag + RLE → canonical Huffman → bitstream.
 
 decode is the exact reverse.  Tables are optimized per image and shipped
 in the header (see :mod:`repro.dataprep.jpeg.huffman`).
+
+Two entropy paths produce *byte-identical* streams: the reference
+symbol-at-a-time path (``fast=False``, the executable spec) and the
+vectorized path in :mod:`repro.dataprep.jpeg.entropy_fast` (default).
+:func:`encode_batch` additionally runs the DCT/quantize stage over a
+whole stack of same-shape images at once, the layout the synthetic
+dataset generators feed it.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import CodecError
-from repro.dataprep.jpeg import color, dct, quant
+from repro.dataprep.jpeg import color, dct, entropy_fast, quant
 from repro.dataprep.jpeg.huffman import (
     BitReader,
     BitWriter,
@@ -26,6 +33,7 @@ from repro.dataprep.jpeg.huffman import (
     TableSpec,
     block_symbols,
     decode_block,
+    table_from_spec,
 )
 
 _MAGIC = b"RJPG"
@@ -42,23 +50,24 @@ def _component_planes(
     pad_w = (-w) % (16 if subsample else 8)
     if pad_h or pad_w:
         rgb = np.pad(rgb, ((0, pad_h), (0, pad_w), (0, 0)), mode="edge")
-    ycc = color.rgb_to_ycbcr(rgb)
-    y = ycc[..., 0]
-    cb = ycc[..., 1]
-    cr = ycc[..., 2]
+    y, cb, cr = color.rgb_to_ycbcr_planes(rgb)
     if subsample:
         cb = color.subsample_420(cb)
         cr = color.subsample_420(cr)
     return [y, cb, cr], y.shape
 
 
+def _quantized_blocks(plane: np.ndarray, table: np.ndarray) -> np.ndarray:
+    blocks = dct.blockify(plane - 128.0)
+    coeffs = dct.dct2(blocks)
+    return quant.quantize(coeffs, table)
+
+
 def _encode_plane(
     plane: np.ndarray, table: np.ndarray
 ) -> Tuple[np.ndarray, List, List]:
     """Quantized blocks plus DC/AC symbol event streams for one plane."""
-    blocks = dct.blockify(plane - 128.0)
-    coeffs = dct.dct2(blocks)
-    quantized = quant.quantize(coeffs, table)
+    quantized = _quantized_blocks(plane, table)
     dc_events: List = []
     ac_events: List = []
     prev_dc = 0
@@ -77,6 +86,14 @@ def _collect_frequencies(event_lists: List[List]) -> Dict[int, int]:
     return freqs
 
 
+def _merge_frequencies(*freq_dicts: Dict[int, int]) -> Dict[int, int]:
+    merged: Dict[int, int] = {}
+    for freqs in freq_dicts:
+        for symbol, count in freqs.items():
+            merged[symbol] = merged.get(symbol, 0) + count
+    return merged
+
+
 def _write_table(spec: TableSpec, out: bytearray) -> None:
     out.extend(struct.pack("<16H", *spec.counts))
     out.extend(struct.pack("<H", len(spec.symbols)))
@@ -93,25 +110,101 @@ def _read_table(buf: bytes, offset: int) -> Tuple[TableSpec, int]:
     return TableSpec(tuple(counts), tuple(symbols)), offset
 
 
+def _entropy_encode_planes(
+    plane_symbols: Sequence[entropy_fast.PlaneSymbols],
+) -> Tuple[List[bytes], List[HuffmanTable]]:
+    """Huffman tables (optimized per image) + per-plane bitstreams for
+    one image's three planes of symbols."""
+    y, cb, cr = plane_symbols
+    dc_luma = HuffmanTable.from_frequencies(
+        entropy_fast.symbol_frequencies(y.dc_syms)
+    )
+    ac_luma = HuffmanTable.from_frequencies(
+        entropy_fast.symbol_frequencies(y.ac_syms)
+    )
+    dc_chroma = HuffmanTable.from_frequencies(
+        _merge_frequencies(
+            entropy_fast.symbol_frequencies(cb.dc_syms),
+            entropy_fast.symbol_frequencies(cr.dc_syms),
+        )
+    )
+    ac_chroma = HuffmanTable.from_frequencies(
+        _merge_frequencies(
+            entropy_fast.symbol_frequencies(cb.ac_syms),
+            entropy_fast.symbol_frequencies(cr.ac_syms),
+        )
+    )
+    streams = [
+        entropy_fast.plane_bitstream(y, dc_luma, ac_luma),
+        entropy_fast.plane_bitstream(cb, dc_chroma, ac_chroma),
+        entropy_fast.plane_bitstream(cr, dc_chroma, ac_chroma),
+    ]
+    return streams, [dc_luma, ac_luma, dc_chroma, ac_chroma]
+
+
+def _frame(
+    quality: int,
+    subsample: bool,
+    shape: Tuple[int, int],
+    tables: Sequence[HuffmanTable],
+    streams: Sequence[bytes],
+) -> bytes:
+    h, w = shape
+    out = bytearray()
+    out.extend(_MAGIC)
+    out.extend(
+        struct.pack("<BBBHH", _VERSION, quality, int(subsample), h, w)
+    )
+    for table in tables:
+        _write_table(table.spec, out)
+    out.extend(struct.pack("<3I", *(len(s) for s in streams)))
+    for stream in streams:
+        out.extend(stream)
+    return bytes(out)
+
+
+def _check_image(rgb: np.ndarray) -> None:
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise CodecError(f"expected HxWx3 RGB, got {rgb.shape}")
+    if rgb.dtype != np.uint8:
+        raise CodecError(f"expected uint8 input, got {rgb.dtype}")
+    if rgb.shape[0] < 1 or rgb.shape[1] < 1:
+        raise CodecError("image must be non-empty")
+
+
 @dataclass
 class JpegCodec:
-    """Configurable codec instance."""
+    """Configurable codec instance.
+
+    ``fast`` selects the vectorized entropy path (byte-identical output;
+    the reference path survives as the executable specification and as
+    the baseline for the codec-throughput benchmark).
+    """
 
     quality: int = 75
     subsample: bool = True
+    fast: bool = True
 
     def encode(self, rgb: np.ndarray) -> bytes:
         """Compress an H×W×3 uint8 RGB image."""
-        if rgb.ndim != 3 or rgb.shape[2] != 3:
-            raise CodecError(f"expected HxWx3 RGB, got {rgb.shape}")
-        if rgb.dtype != np.uint8:
-            raise CodecError(f"expected uint8 input, got {rgb.dtype}")
+        _check_image(rgb)
         h, w = rgb.shape[:2]
-        if h < 1 or w < 1:
-            raise CodecError("image must be non-empty")
         luma_q = quant.scaled_table(quant.LUMA_BASE, self.quality)
         chroma_q = quant.scaled_table(quant.CHROMA_BASE, self.quality)
         planes, _ = _component_planes(rgb, self.subsample)
+
+        if self.fast:
+            symbols = [
+                entropy_fast.plane_symbols(
+                    _quantized_blocks(
+                        dct.pad_to_blocks(plane),
+                        luma_q if i == 0 else chroma_q,
+                    )
+                )
+                for i, plane in enumerate(planes)
+            ]
+            streams, tables = _entropy_encode_planes(symbols)
+            return _frame(self.quality, self.subsample, (h, w), tables, streams)
 
         encoded = []
         for i, plane in enumerate(planes):
@@ -127,7 +220,7 @@ class JpegCodec:
             _collect_frequencies(encoded[1][2] + encoded[2][2])
         )
 
-        streams: List[bytes] = []
+        streams = []
         for i, (_q, dc_events, ac_events) in enumerate(encoded):
             dc_table = dc_luma if i == 0 else dc_chroma
             ac_table = ac_luma if i == 0 else ac_chroma
@@ -140,35 +233,28 @@ class JpegCodec:
                     ac_table.write_symbol(writer, symbol)
                     writer.write(amp, size)
             streams.append(writer.getvalue())
-
-        out = bytearray()
-        out.extend(_MAGIC)
-        out.extend(
-            struct.pack(
-                "<BBBHH", _VERSION, self.quality, int(self.subsample), h, w
-            )
+        return _frame(
+            self.quality,
+            self.subsample,
+            (h, w),
+            [dc_luma, ac_luma, dc_chroma, ac_chroma],
+            streams,
         )
-        for table in (dc_luma, ac_luma, dc_chroma, ac_chroma):
-            _write_table(table.spec, out)
-        out.extend(struct.pack("<3I", *(len(s) for s in streams)))
-        for stream in streams:
-            out.extend(stream)
-        return bytes(out)
 
     @staticmethod
-    def decode(data: bytes) -> np.ndarray:
+    def decode(data: bytes, fast: bool = True) -> np.ndarray:
         """Decompress back to H×W×3 uint8 RGB."""
         if data[:4] != _MAGIC:
             raise CodecError("not an RJPG stream")
         try:
-            return JpegCodec._decode_checked(data)
+            return JpegCodec._decode_checked(data, fast)
         except CodecError:
             raise
         except (struct.error, IndexError, ValueError, KeyError) as exc:
             raise CodecError(f"malformed RJPG stream: {exc}") from exc
 
     @staticmethod
-    def _decode_checked(data: bytes) -> np.ndarray:
+    def _decode_checked(data: bytes, fast: bool = True) -> np.ndarray:
         version, quality, subsample_flag, h, w = struct.unpack_from(
             "<BBBHH", data, 4
         )
@@ -180,7 +266,9 @@ class JpegCodec:
         for _ in range(4):
             spec, offset = _read_table(data, offset)
             specs.append(spec)
-        dc_luma, ac_luma, dc_chroma, ac_chroma = (HuffmanTable(s) for s in specs)
+        dc_luma, ac_luma, dc_chroma, ac_chroma = (
+            table_from_spec(s) for s in specs
+        )
         lengths = struct.unpack_from("<3I", data, offset)
         offset += 12
         streams = []
@@ -210,11 +298,14 @@ class JpegCodec:
         ]
         for stream, shape, (dc_t, ac_t, qtable) in zip(streams, shapes, tables):
             nblocks = (shape[0] // 8) * (shape[1] // 8)
-            reader = BitReader(stream)
-            blocks = np.empty((nblocks, 8, 8), dtype=np.int32)
-            prev_dc = 0
-            for b in range(nblocks):
-                blocks[b], prev_dc = decode_block(reader, dc_t, ac_t, prev_dc)
+            if fast:
+                blocks = entropy_fast.decode_plane(stream, dc_t, ac_t, nblocks)
+            else:
+                reader = BitReader(stream)
+                blocks = np.empty((nblocks, 8, 8), dtype=np.int32)
+                prev_dc = 0
+                for b in range(nblocks):
+                    blocks[b], prev_dc = decode_block(reader, dc_t, ac_t, prev_dc)
             coeffs = quant.dequantize(blocks, qtable)
             plane = dct.unblockify(dct.idct2(coeffs), shape) + 128.0
             planes.append(plane)
@@ -223,10 +314,9 @@ class JpegCodec:
         cb = planes[1][: chroma_shape[0], : chroma_shape[1]]
         cr = planes[2][: chroma_shape[0], : chroma_shape[1]]
         if subsample:
-            cb = color.upsample_420(cb)
-            cr = color.upsample_420(cr)
-        ycc = np.stack([y, cb, cr], axis=-1)
-        rgb = color.ycbcr_to_rgb(ycc)
+            rgb = color.ycbcr_planes_420_to_rgb(y, cb, cr)
+        else:
+            rgb = color.ycbcr_planes_to_rgb(y, cb, cr)
         return rgb[:h, :w]
 
 
@@ -238,3 +328,71 @@ def encode(rgb: np.ndarray, quality: int = 75, subsample: bool = True) -> bytes:
 def decode(data: bytes) -> np.ndarray:
     """Module-level convenience wrapper around :class:`JpegCodec`."""
     return JpegCodec.decode(data)
+
+
+def encode_batch(
+    images: Sequence[np.ndarray],
+    quality: int = 75,
+    subsample: bool = True,
+) -> List[bytes]:
+    """Compress a stack of same-shape images, batching the transform.
+
+    Color conversion, padding, blockify, DCT and quantization run once
+    over the whole stack (images are stacked into one tall plane per
+    component, so the 8×8 matmuls amortize across the batch); the
+    per-image entropy stage then slices out each image's blocks.  Output
+    is byte-for-byte what :func:`encode` produces per image.
+    """
+    images = list(images)
+    if not images:
+        return []
+    first = images[0]
+    _check_image(first)
+    if any(im.shape != first.shape or im.dtype != first.dtype for im in images):
+        # Mixed shapes: no batching win to be had, encode one by one.
+        return [encode(im, quality=quality, subsample=subsample) for im in images]
+
+    h, w = first.shape[:2]
+    batch = len(images)
+    luma_q = quant.scaled_table(quant.LUMA_BASE, quality)
+    chroma_q = quant.scaled_table(quant.CHROMA_BASE, quality)
+
+    # Stack images vertically: every per-plane op below (color matrix,
+    # 2×2 pooling, 8×8 blocking) is local to row groups whose heights
+    # are multiples of the padded image height, so images never mix.
+    pad_h = (-h) % (16 if subsample else 8)
+    pad_w = (-w) % (16 if subsample else 8)
+    stacked = np.stack(images)
+    if pad_h or pad_w:
+        stacked = np.pad(
+            stacked, ((0, 0), (0, pad_h), (0, pad_w), (0, 0)), mode="edge"
+        )
+    ph, pw = h + pad_h, w + pad_w
+    tall = stacked.reshape(batch * ph, pw, 3)
+    planes = list(color.rgb_to_ycbcr_planes(tall))
+    if subsample:
+        planes = [planes[0]] + [color.subsample_420(p) for p in planes[1:]]
+
+    results: List[List[entropy_fast.PlaneSymbols]] = [[] for _ in range(batch)]
+    for i, plane in enumerate(planes):
+        table = luma_q if i == 0 else chroma_q
+        plane = dct.pad_to_blocks(plane)
+        quantized = _quantized_blocks(plane, table)
+        per_image = quantized.shape[0] // batch
+        for j in range(batch):
+            results[j].append(
+                entropy_fast.plane_symbols(
+                    quantized[j * per_image : (j + 1) * per_image]
+                )
+            )
+
+    out: List[bytes] = []
+    for symbols in results:
+        streams, tables = _entropy_encode_planes(symbols)
+        out.append(_frame(quality, subsample, (h, w), tables, streams))
+    return out
+
+
+def decode_batch(datas: Sequence[bytes]) -> List[np.ndarray]:
+    """Decode a batch of streams (shares memoized tables across items)."""
+    return [JpegCodec.decode(data) for data in datas]

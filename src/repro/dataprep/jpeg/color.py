@@ -17,25 +17,99 @@ _RGB_TO_YCBCR = np.array(
 _YCBCR_TO_RGB = np.linalg.inv(_RGB_TO_YCBCR)
 
 
+def rgb_to_ycbcr_planes(rgb: np.ndarray):
+    """Split an H×W×3 uint8 RGB image into float64 Y, Cb, Cr planes
+    (Y in 0..255, Cb/Cr centered on 128).
+
+    Channel-at-a-time linear combinations instead of a pixel×matrix
+    product: same math, no (H·W, 3)-shaped temporaries.
+    """
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise CodecError(f"expected HxWx3 RGB, got shape {rgb.shape}")
+    r = rgb[..., 0].astype(np.float64)
+    g = rgb[..., 1].astype(np.float64)
+    b = rgb[..., 2].astype(np.float64)
+    m = _RGB_TO_YCBCR
+    y = m[0, 0] * r + m[0, 1] * g + m[0, 2] * b
+    cb = m[1, 0] * r + m[1, 1] * g + m[1, 2] * b
+    cb += 128.0
+    cr = m[2, 0] * r + m[2, 1] * g + m[2, 2] * b
+    cr += 128.0
+    return y, cb, cr
+
+
 def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
     """Convert H×W×3 uint8 RGB to float64 YCbCr (Y in 0..255, Cb/Cr centered
     on 128)."""
-    if rgb.ndim != 3 or rgb.shape[2] != 3:
-        raise CodecError(f"expected HxWx3 RGB, got shape {rgb.shape}")
-    pixels = rgb.astype(np.float64)
-    ycc = pixels @ _RGB_TO_YCBCR.T
-    ycc[..., 1:] += 128.0
-    return ycc
+    y, cb, cr = rgb_to_ycbcr_planes(rgb)
+    out = np.empty(rgb.shape, dtype=np.float64)
+    out[..., 0] = y
+    out[..., 1] = cb
+    out[..., 2] = cr
+    return out
+
+
+def ycbcr_planes_to_rgb(
+    y: np.ndarray, cb: np.ndarray, cr: np.ndarray
+) -> np.ndarray:
+    """Convert float Y/Cb/Cr planes back to uint8 RGB with clipping."""
+    if not (y.shape == cb.shape == cr.shape):
+        raise CodecError("Y, Cb, Cr planes must share a shape")
+    cb = cb - 128.0
+    cr = cr - 128.0
+    m = _YCBCR_TO_RGB
+    out = np.empty(y.shape + (3,), dtype=np.uint8)
+    buf = np.empty_like(y)
+    tmp = np.empty_like(y)
+    for i in range(3):
+        np.multiply(y, m[i, 0], out=buf)
+        np.multiply(cb, m[i, 1], out=tmp)
+        buf += tmp
+        np.multiply(cr, m[i, 2], out=tmp)
+        buf += tmp
+        np.rint(buf, out=buf)
+        np.clip(buf, 0, 255, out=buf)
+        out[..., i] = buf
+    return out
+
+
+def ycbcr_planes_420_to_rgb(
+    y: np.ndarray, cb: np.ndarray, cr: np.ndarray
+) -> np.ndarray:
+    """4:2:0-aware variant: ``cb``/``cr`` are half-resolution planes.
+
+    The chroma terms of the color matrix are computed at quarter area and
+    then nearest-neighbour upsampled — elementwise multiplication commutes
+    with sample replication, so the result is bit-identical to upsampling
+    first, at a fraction of the arithmetic.
+    """
+    h, w = y.shape
+    hh, hw = cb.shape
+    if (2 * hh, 2 * hw) != (h, w):
+        raise CodecError("chroma planes must be half the luma resolution")
+    cb = cb - 128.0
+    cr = cr - 128.0
+    m = _YCBCR_TO_RGB
+    out = np.empty((h, w, 3), dtype=np.uint8)
+    buf = np.empty_like(y)
+    ctmp = np.empty_like(cb)
+    for i in range(3):
+        np.multiply(cb, m[i, 1], out=ctmp)
+        chroma = m[i, 2] * cr
+        chroma += ctmp
+        np.multiply(y, m[i, 0], out=buf)
+        buf.reshape(hh, 2, hw, 2)[...] += chroma[:, None, :, None]
+        np.rint(buf, out=buf)
+        np.clip(buf, 0, 255, out=buf)
+        out[..., i] = buf
+    return out
 
 
 def ycbcr_to_rgb(ycc: np.ndarray) -> np.ndarray:
     """Convert float YCbCr back to uint8 RGB with clipping."""
     if ycc.ndim != 3 or ycc.shape[2] != 3:
         raise CodecError(f"expected HxWx3 YCbCr, got shape {ycc.shape}")
-    shifted = ycc.astype(np.float64).copy()
-    shifted[..., 1:] -= 128.0
-    rgb = shifted @ _YCBCR_TO_RGB.T
-    return np.clip(np.round(rgb), 0, 255).astype(np.uint8)
+    return ycbcr_planes_to_rgb(ycc[..., 0], ycc[..., 1], ycc[..., 2])
 
 
 def subsample_420(channel: np.ndarray) -> np.ndarray:
@@ -48,4 +122,7 @@ def subsample_420(channel: np.ndarray) -> np.ndarray:
 
 def upsample_420(channel: np.ndarray) -> np.ndarray:
     """Nearest-neighbour 2× upsample of a chroma plane."""
-    return np.repeat(np.repeat(channel, 2, axis=0), 2, axis=1)
+    h, w = channel.shape
+    return np.broadcast_to(
+        channel[:, None, :, None], (h, 2, w, 2)
+    ).reshape(2 * h, 2 * w)

@@ -8,6 +8,8 @@ down.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.errors import CodecError
@@ -15,12 +17,15 @@ from repro.errors import CodecError
 BLOCK = 8
 
 
+@lru_cache(maxsize=16)
 def _dct_matrix(n: int = BLOCK) -> np.ndarray:
     k = np.arange(n)
     basis = np.cos(np.pi * (2 * k[None, :] + 1) * k[:, None] / (2 * n))
     scale = np.full((n, 1), np.sqrt(2.0 / n))
     scale[0, 0] = np.sqrt(1.0 / n)
-    return scale * basis
+    matrix = scale * basis
+    matrix.setflags(write=False)  # shared via the cache
+    return matrix
 
 
 _DCT = _dct_matrix()

@@ -1,0 +1,328 @@
+"""Vectorized JPEG entropy stage: numpy RLE + table-driven decode.
+
+The reference path in :mod:`repro.dataprep.jpeg.huffman` walks every
+block symbol by symbol through ``BitWriter``/``BitReader``.  This module
+produces *byte-identical* bitstreams an order of magnitude faster:
+
+* encode: zig-zag, DC differencing, run-length coding and amplitude
+  categories are computed for a whole plane of blocks with numpy; the
+  resulting ``(code, nbits)`` arrays are packed in one shot with
+  :func:`repro.dataprep.jpeg.huffman.pack_bits` (``np.packbits`` under
+  the hood) instead of one ``BitWriter.write`` call per symbol.
+* decode: a 16-bit lookup table (memoized per table spec) resolves each
+  Huffman code with a single list index, and a precomputed 64-bit window
+  array makes every peek O(1); the sequential walk that remains is the
+  irreducible part of JPEG entropy decode (§V-B of the paper).
+
+The symbol *semantics* — including ZRL runs, EOB placement and the JPEG
+one's-complement amplitude convention — exactly mirror
+``block_symbols``/``decode_block``, which the golden tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import CodecError
+from repro.dataprep.jpeg.huffman import (
+    EOB,
+    ZIGZAG,
+    UNZIGZAG,
+    ZRL,
+    HuffmanTable,
+    TableSpec,
+    bit_windows_array,
+    pack_bits,
+    table_runtime,
+)
+
+_POW2 = 1 << np.arange(17, dtype=np.int64)
+
+
+def _bit_sizes(values: np.ndarray) -> np.ndarray:
+    """JPEG size category (``int.bit_length`` of \\|v\\|), vectorized."""
+    return np.searchsorted(_POW2, np.abs(values), side="right").astype(np.int64)
+
+
+@dataclass(frozen=True)
+class PlaneSymbols:
+    """Stream-ordered symbol arrays for one plane of quantized blocks.
+
+    DC events (one per block) and AC events are kept separate so the
+    encoder can build per-class frequency tables; ``ac_block`` maps each
+    AC event back to its block and ``block_start`` gives each block's
+    offset into the AC event arrays, which together pin down the exact
+    interleaving of the final bitstream.
+    """
+
+    n_blocks: int
+    dc_syms: np.ndarray  # (N,)  DC size-category symbols
+    dc_amps: np.ndarray  # (N,)  DC amplitude bits
+    ac_syms: np.ndarray  # (M,)  AC (run, size) symbols incl. ZRL/EOB
+    ac_amps: np.ndarray  # (M,)  AC amplitude bits
+    ac_sizes: np.ndarray  # (M,) AC amplitude bit counts
+    ac_block: np.ndarray  # (M,) owning block of each AC event
+    block_start: np.ndarray  # (N,) AC-array offset of each block
+
+
+def plane_symbols(quantized: np.ndarray) -> PlaneSymbols:
+    """Vectorized equivalent of running ``block_symbols`` over a plane."""
+    q = np.asarray(quantized)
+    if q.ndim != 3 or q.shape[1:] != (8, 8):
+        raise CodecError(f"expected (N, 8, 8) blocks, got {q.shape}")
+    n = q.shape[0]
+    flat = q.reshape(n, 64)[:, ZIGZAG].astype(np.int64)
+
+    # DC: differential coding against the previous block's DC.
+    dc = flat[:, 0]
+    diff = dc - np.concatenate(([0], dc[:-1]))
+    dc_syms = _bit_sizes(diff)
+    dc_amps = np.where(diff > 0, diff, diff + (1 << dc_syms) - 1)
+    dc_amps = np.where(dc_syms == 0, 0, dc_amps)
+
+    # AC: run-length coding of the 63 remaining coefficients per block.
+    ac = flat[:, 1:]
+    nz_blk, nz_pos = np.nonzero(ac)
+    has_nz = np.zeros(n, dtype=bool)
+    last_pos = np.zeros(n, dtype=np.int64)
+    if nz_blk.size:
+        has_nz[nz_blk] = True
+        last_pos[nz_blk] = nz_pos  # row-major order: later wins
+        first = np.empty(nz_blk.size, dtype=bool)
+        first[0] = True
+        first[1:] = nz_blk[1:] != nz_blk[:-1]
+        prev_pos = np.where(first, -1, np.concatenate(([0], nz_pos[:-1])))
+        gap = nz_pos - prev_pos - 1
+        zrl_runs = gap >> 4  # each full run of 16 zeros emits a ZRL
+        values = ac[nz_blk, nz_pos]
+        sizes = _bit_sizes(values)
+        amps = np.where(values > 0, values, values + (1 << sizes) - 1)
+        syms = ((gap & 15) << 4) | sizes
+        per_nz = zrl_runs + 1
+        ac_count = np.bincount(
+            nz_blk, weights=per_nz, minlength=n
+        ).astype(np.int64)
+    else:
+        per_nz = np.zeros(0, dtype=np.int64)
+        ac_count = np.zeros(n, dtype=np.int64)
+
+    eob = (~has_nz) | (last_pos < 62)
+    total = ac_count + eob
+    block_start = np.concatenate(([0], np.cumsum(total)[:-1]))
+    m = int(total.sum())
+    # Unassigned slots inside a block's nonzero segment are ZRLs by
+    # construction (each nonzero occupies zrl_runs slots + 1 symbol slot).
+    ac_syms = np.full(m, ZRL, dtype=np.int64)
+    ac_amps = np.zeros(m, dtype=np.int64)
+    ac_sizes = np.zeros(m, dtype=np.int64)
+    if nz_blk.size:
+        before = np.concatenate(([0], np.cumsum(per_nz)[:-1]))
+        # AC-event offset of each nonzero within its own block.
+        within = before - np.maximum.accumulate(np.where(first, before, 0))
+        sym_pos = block_start[nz_blk] + within + zrl_runs
+        ac_syms[sym_pos] = syms
+        ac_amps[sym_pos] = amps
+        ac_sizes[sym_pos] = sizes
+    eob_pos = (block_start + total - 1)[eob]
+    ac_syms[eob_pos] = EOB
+    ac_block = np.repeat(np.arange(n), total)
+    return PlaneSymbols(
+        n_blocks=n,
+        dc_syms=dc_syms,
+        dc_amps=dc_amps,
+        ac_syms=ac_syms,
+        ac_amps=ac_amps,
+        ac_sizes=ac_sizes,
+        ac_block=ac_block,
+        block_start=block_start,
+    )
+
+
+def symbol_frequencies(symbols: np.ndarray) -> Dict[int, int]:
+    """Frequency dict of a symbol array (for ``from_frequencies``)."""
+    counts = np.bincount(symbols.astype(np.int64))
+    return {int(s): int(c) for s, c in enumerate(counts) if c}
+
+
+def plane_bitstream(
+    ps: PlaneSymbols, dc_table: HuffmanTable, ac_table: HuffmanTable
+) -> bytes:
+    """Pack a plane's symbols into the JPEG bitstream in one shot."""
+    rt_dc = dc_table.runtime
+    rt_ac = ac_table.runtime
+    n, m = ps.n_blocks, ps.ac_syms.size
+    if np.any(ps.dc_syms >= rt_dc.enc_len.size) or np.any(
+        ps.ac_syms >= rt_ac.enc_len.size
+    ):
+        raise CodecError("symbol not in Huffman table")
+    dc_lens = rt_dc.enc_len[ps.dc_syms]
+    ac_lens = rt_ac.enc_len[ps.ac_syms]
+    if np.any(dc_lens == 0) or np.any(ac_lens == 0):
+        raise CodecError("symbol not in Huffman table")
+    # Stream slot of each event: block b's DC sits before its AC events,
+    # and b earlier DC events precede every AC event of block b.
+    dc_slot = ps.block_start + np.arange(n)
+    ac_slot = np.arange(m) + ps.ac_block + 1
+    values = np.zeros(2 * (n + m), dtype=np.int64)
+    widths = np.zeros(2 * (n + m), dtype=np.int64)
+    values[2 * dc_slot] = rt_dc.enc_code[ps.dc_syms]
+    widths[2 * dc_slot] = dc_lens
+    values[2 * dc_slot + 1] = ps.dc_amps
+    widths[2 * dc_slot + 1] = ps.dc_syms  # DC symbol == amplitude size
+    values[2 * ac_slot] = rt_ac.enc_code[ps.ac_syms]
+    widths[2 * ac_slot] = ac_lens
+    values[2 * ac_slot + 1] = ps.ac_amps
+    widths[2 * ac_slot + 1] = ps.ac_sizes
+    return pack_bits(values, widths)
+
+
+@lru_cache(maxsize=512)
+def _ac_lut(spec: TableSpec) -> Tuple[List[int], int]:
+    """Repack a table's decode LUT for the JPEG AC role.
+
+    Entry layout: ``(run << 11) | (amplitude_size << 6) | advance`` with
+    ``advance = code_length + amplitude_size`` — the total cursor move,
+    so the amplitude field ends exactly at the advanced cursor and is a
+    plain ``(win >> s) & mask``.  EOB is stored with run 63 (it pushes
+    the coefficient cursor past the end of the block), ZRL with run 16;
+    both have size 0.  0 marks an invalid prefix, -1 a symbol that is
+    corrupt in AC position (zero size that is neither EOB nor ZRL).
+    One list index then yields everything the decode loop needs.
+    """
+    rt = table_runtime(spec)
+    entries = np.asarray(rt.lut, dtype=np.int64)
+    sym = entries >> 5
+    length = entries & 31
+    run = sym >> 4
+    size = sym & 15
+    packed = (run << 11) | (size << 6) | (length + size)
+    packed = np.where(sym == EOB, (63 << 11) | length, packed)
+    packed = np.where(sym == ZRL, (16 << 11) | length, packed)
+    packed = np.where(
+        (size == 0) & (sym != EOB) & (sym != ZRL) & (length > 0), -1, packed
+    )
+    packed = np.where(length == 0, 0, packed)
+    return packed.tolist(), rt.lut_bits
+
+
+@lru_cache(maxsize=512)
+def _dc_lut(spec: TableSpec) -> Tuple[List[int], int]:
+    """Packed decode LUT for the JPEG DC role.
+
+    Entry layout: ``(amplitude_size << 6) | advance`` with
+    ``advance = code_length + amplitude_size`` (the DC symbol *is* the
+    amplitude size).  0 marks an invalid prefix, -1 a symbol that is
+    corrupt in DC position (a size category beyond JPEG's 16).
+    """
+    rt = table_runtime(spec)
+    entries = np.asarray(rt.lut, dtype=np.int64)
+    size = entries >> 5
+    length = entries & 31
+    packed = (size << 6) | (length + size)
+    packed = np.where(size > 16, -1, packed)
+    packed = np.where(length == 0, 0, packed)
+    return packed.tolist(), rt.lut_bits
+
+
+def decode_plane(
+    stream: bytes,
+    dc_table: HuffmanTable,
+    ac_table: HuffmanTable,
+    n_blocks: int,
+) -> np.ndarray:
+    """LUT-driven decode of ``n_blocks`` quantized blocks from ``stream``.
+
+    Exactly inverts :func:`plane_bitstream` (and the reference
+    ``decode_block`` loop); returns an (N, 8, 8) int32 stack.
+    """
+    warr = bit_windows_array(stream)
+    windows = warr.tolist()
+    total_bits = len(stream) * 8
+    dc_lut, dc_bits = _dc_lut(dc_table.spec)
+    dc_mask = (1 << dc_bits) - 1
+    ac_lut, ac_bits = _ac_lut(ac_table.spec)
+    ac_mask = (1 << ac_bits) - 1
+    # The hot loop never touches amplitudes: each nonzero coefficient
+    # (DC diffs included, at in-block index 0) is recorded as one packed
+    # int — (flat index << 39) | (size << 34) | end-bit-position — and
+    # the amplitude bits are gathered, sign-extended and scattered with
+    # numpy after the walk; DC prediction becomes a cumulative sum.
+    events: List[int] = []
+    append = events.append
+    pos = 0
+    # One fetched 64-bit window serves several symbols: ``s`` is the
+    # number of window bits still ahead of the cursor, so the next
+    # n-bit field is ``(win >> (s - n)) & mask_n`` and a refill is only
+    # needed when fewer than 32 bits remain (a symbol plus its
+    # amplitude never exceeds 32 bits).  ``pos`` is re-synced from the
+    # consumed count ``s0 - s`` at refills and block ends.
+    win = windows[0]
+    s0 = s = 64
+    try:
+        for b in range(n_blocks):
+            if s < 32:
+                pos += s0 - s
+                win = windows[pos >> 3]
+                s0 = s = 64 - (pos & 7)
+            entry = dc_lut[(win >> (s - dc_bits)) & dc_mask]
+            if entry <= 0:
+                if entry:
+                    raise CodecError("corrupt DC coefficient stream")
+                raise CodecError("invalid Huffman code in bitstream")
+            base = b << 45  # (b << 6) ready-shifted into the index field
+            s -= entry & 63
+            if entry > 63:
+                append(base | (entry >> 6 << 34) | (pos + s0 - s))
+            k = 1
+            while k < 64:
+                if s < 32:
+                    pos += s0 - s
+                    win = windows[pos >> 3]
+                    s0 = s = 64 - (pos & 7)
+                entry = ac_lut[(win >> (s - ac_bits)) & ac_mask]
+                if entry <= 0:
+                    if entry:
+                        raise CodecError("corrupt AC coefficient stream")
+                    raise CodecError("invalid Huffman code in bitstream")
+                k += entry >> 11
+                size = (entry >> 6) & 31
+                if size:
+                    if k >= 64:
+                        raise CodecError("corrupt AC coefficient stream")
+                    s -= entry & 63
+                    append(
+                        base | (k << 39) | (size << 34) | (pos + s0 - s)
+                    )
+                    k += 1
+                else:
+                    s -= entry & 63
+            # One bounds check per block: the windows are padded with
+            # 1-bits, so an overrunning block decodes junk harmlessly
+            # and is rejected here before anything is returned.
+            if pos + s0 - s > total_bits:
+                raise CodecError("bitstream underrun")
+    except IndexError:
+        raise CodecError("bitstream underrun") from None
+    except ValueError:
+        # Defensive: any negative-shift style arithmetic fault from a
+        # corrupt stream is the same condition as running out of bits.
+        raise CodecError("bitstream underrun") from None
+    out = np.zeros((n_blocks, 64), dtype=np.int32)
+    if events:
+        ev = np.array(events, dtype=np.int64)
+        idx = ev >> 39
+        size = (ev >> 34) & 31
+        start = (ev & ((1 << 34) - 1)) - size
+        r = (start & 7).astype(np.uint64)
+        amp = (
+            (warr[start >> 3] << r) >> (np.uint64(64) - size.astype(np.uint64))
+        ).astype(np.int64)
+        vals = np.where(amp >> (size - 1) != 0, amp, amp - (1 << size) + 1)
+        out.reshape(-1)[idx] = vals
+    # DC differential coding inverts to a running sum down the plane.
+    np.cumsum(out[:, 0], out=out[:, 0])
+    return out[:, UNZIGZAG].reshape(n_blocks, 8, 8)

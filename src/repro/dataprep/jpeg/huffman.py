@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -21,6 +22,8 @@ import numpy as np
 from repro.errors import CodecError
 
 MAX_CODE_LENGTH = 16
+
+_U64_MASK = (1 << 64) - 1
 
 # -- zig-zag scan -----------------------------------------------------------
 
@@ -139,6 +142,58 @@ class BitReader:
     @property
     def bits_left(self) -> int:
         return len(self._data) * 8 - self._pos
+
+
+# -- vectorized bit I/O ------------------------------------------------------
+
+
+def pack_bits(values: np.ndarray, nbits: np.ndarray) -> bytes:
+    """Vectorized :class:`BitWriter`: MSB-first packing of ``(value, nbits)``
+    pairs, final byte padded with 1-bits.  Byte-identical to feeding the
+    pairs to ``BitWriter.write`` one at a time."""
+    values = np.ascontiguousarray(values, dtype=np.int64)
+    nbits = np.ascontiguousarray(nbits, dtype=np.int64)
+    if values.shape != nbits.shape or values.ndim != 1:
+        raise CodecError("values and nbits must be equal-length 1-D arrays")
+    if values.size == 0:
+        return b""
+    if np.any(nbits < 0) or np.any(nbits > 63):
+        raise CodecError("bit widths must be in 0..63")
+    if np.any(values >> nbits):
+        raise CodecError("value does not fit in its bit width")
+    total = int(nbits.sum())
+    if total == 0:
+        return b""
+    ends = np.cumsum(nbits)
+    elem = np.repeat(np.arange(values.size), nbits)
+    # Bit p of the stream is bit (ends[elem]-1-p) of its element, i.e.
+    # each element is emitted MSB first.
+    shift = ends[elem] - 1 - np.arange(total)
+    bits = ((values[elem] >> shift) & 1).astype(np.uint8)
+    pad = (-total) % 8
+    if pad:
+        bits = np.concatenate([bits, np.ones(pad, dtype=np.uint8)])
+    return np.packbits(bits).tobytes()
+
+
+def bit_windows_array(data: bytes) -> np.ndarray:
+    """64-bit big-endian windows of ``data`` at every byte offset, padded
+    with 1-bits past the end (JPEG pads with 1s, so trailing peeks are
+    harmless).  ``windows[i]`` holds bytes ``i..i+7`` MSB-first; together
+    with a bit cursor this supports O(1) peeks of up to 57 bits."""
+    padded = data + b"\xff" * 8
+    raw = np.frombuffer(padded, dtype=np.uint8).astype(np.uint64)
+    n = len(data) + 1
+    win = np.zeros(n, dtype=np.uint64)
+    for k in range(8):
+        win = (win << np.uint64(8)) | raw[k : k + n]
+    return win
+
+
+def bit_windows(data: bytes) -> List[int]:
+    """:func:`bit_windows_array` as a list of Python ints (the form the
+    symbol-at-a-time decode loop indexes fastest)."""
+    return bit_windows_array(data).tolist()
 
 
 # -- canonical Huffman -------------------------------------------------------
@@ -275,6 +330,61 @@ class HuffmanTable:
             if symbol is not None:
                 return symbol
         raise CodecError("invalid Huffman code in bitstream")
+
+    @property
+    def runtime(self) -> "TableRuntime":
+        """Memoized vectorized encode arrays + decode LUT for this code."""
+        return table_runtime(self.spec)
+
+
+@dataclass(frozen=True)
+class TableRuntime:
+    """Precomputed fast-path artifacts for one canonical code.
+
+    ``enc_code``/``enc_len`` map a symbol to its (code, length); a length
+    of 0 marks a symbol absent from the table.  ``lut`` is the classic
+    full-width decode table sized to the longest code actually present:
+    indexing with the next ``lut_bits`` bits of the stream yields
+    ``(symbol << 5) | code_length`` (0 for invalid prefixes), so one
+    list lookup replaces a bit-by-bit tree walk.
+    """
+
+    enc_code: np.ndarray
+    enc_len: np.ndarray
+    lut: List[int]
+    lut_bits: int
+
+
+@lru_cache(maxsize=512)
+def table_runtime(spec: TableSpec) -> TableRuntime:
+    table = table_from_spec(spec)
+    max_symbol = max(spec.symbols, default=0)
+    enc_code = np.zeros(max_symbol + 1, dtype=np.int64)
+    enc_len = np.zeros(max_symbol + 1, dtype=np.int64)
+    # Size the LUT to the longest code present (tables are optimized per
+    # image, so construction cost is paid per image, not once).
+    lut_bits = max(
+        (i + 1 for i, c in enumerate(spec.counts) if c), default=1
+    )
+    lut = np.zeros(1 << lut_bits, dtype=np.int64)
+    for symbol, (code, length) in table._encode.items():
+        enc_code[symbol] = code
+        enc_len[symbol] = length
+        # Every lut_bits-wide word starting with this code decodes to
+        # it; the code is prefix-free so the slices never overlap.
+        start = code << (lut_bits - length)
+        span = 1 << (lut_bits - length)
+        lut[start : start + span] = (symbol << 5) | length
+    enc_code.setflags(write=False)
+    enc_len.setflags(write=False)
+    return TableRuntime(enc_code, enc_len, lut.tolist(), lut_bits)
+
+
+@lru_cache(maxsize=512)
+def table_from_spec(spec: TableSpec) -> HuffmanTable:
+    """Memoized canonical-code construction (decoders see the same spec
+    for every block of a plane, and across images with common tables)."""
+    return HuffmanTable(spec)
 
 
 # -- block-level RLE + Huffman ----------------------------------------------

@@ -7,6 +7,8 @@ standard tables verbatim, 1 is the coarsest, 100 disables quantization
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.errors import CodecError
@@ -41,16 +43,35 @@ CHROMA_BASE = np.array(
 )
 
 
-def scaled_table(base: np.ndarray, quality: int) -> np.ndarray:
-    """Scale a base table for the requested quality (libjpeg formula)."""
-    if not 1 <= quality <= 100:
-        raise CodecError(f"quality must be in 1..100, got {quality}")
+def _scale(base: np.ndarray, quality: int) -> np.ndarray:
     if quality < 50:
         scale = 5000 // quality
     else:
         scale = 200 - 2 * quality
     table = (base * scale + 50) // 100
     return np.clip(table, 1, 255).astype(np.int32)
+
+
+@lru_cache(maxsize=256)
+def _scaled_standard_table(kind: str, quality: int) -> np.ndarray:
+    table = _scale(LUMA_BASE if kind == "luma" else CHROMA_BASE, quality)
+    table.setflags(write=False)  # shared across callers
+    return table
+
+
+def scaled_table(base: np.ndarray, quality: int) -> np.ndarray:
+    """Scale a base table for the requested quality (libjpeg formula).
+
+    Calls with the standard Annex-K tables (the codec hot path) are
+    memoized per quality and return shared read-only arrays.
+    """
+    if not 1 <= quality <= 100:
+        raise CodecError(f"quality must be in 1..100, got {quality}")
+    if base is LUMA_BASE:
+        return _scaled_standard_table("luma", quality)
+    if base is CHROMA_BASE:
+        return _scaled_standard_table("chroma", quality)
+    return _scale(base, quality)
 
 
 def quantize(coeffs: np.ndarray, table: np.ndarray) -> np.ndarray:

@@ -33,11 +33,10 @@ class PngCodec:
         h, w, c = image.shape
         methods, residuals = filter_image(image)
         # Interleave the filter byte before each scanline, PNG-style.
-        raw = bytearray()
-        for y in range(h):
-            raw.append(methods[y])
-            raw.extend(residuals[y].tobytes())
-        compressed = deflate.compress(bytes(raw), max_chain=self.max_chain)
+        raw = np.empty((h, w * c + 1), dtype=np.uint8)
+        raw[:, 0] = methods
+        raw[:, 1:] = residuals
+        compressed = deflate.compress(raw.tobytes(), max_chain=self.max_chain)
         out = bytearray(_MAGIC)
         out.extend(struct.pack("<BHHB", _VERSION, h, w, c))
         out.extend(compressed)
@@ -63,14 +62,9 @@ class PngCodec:
         stride = w * c
         if len(raw) != h * (stride + 1):
             raise CodecError("decompressed payload has the wrong size")
-        methods = []
-        residuals = np.zeros((h, stride), dtype=np.uint8)
-        for y in range(h):
-            start = y * (stride + 1)
-            methods.append(raw[start])
-            residuals[y] = np.frombuffer(
-                raw[start + 1 : start + 1 + stride], dtype=np.uint8
-            )
+        lines = np.frombuffer(raw, dtype=np.uint8).reshape(h, stride + 1)
+        methods = lines[:, 0].tolist()
+        residuals = lines[:, 1:]
         return unfilter_image(methods, residuals, (h, w, c))
 
 

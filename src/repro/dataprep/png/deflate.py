@@ -12,12 +12,17 @@ from __future__ import annotations
 import struct
 from typing import List, Tuple
 
+import numpy as np
+
 from repro.errors import CodecError
 from repro.dataprep.jpeg.huffman import (
     BitReader,
     BitWriter,
     HuffmanTable,
     TableSpec,
+    bit_windows,
+    pack_bits,
+    table_runtime,
 )
 from repro.dataprep.png.lz77 import Match, Token, expand, tokenize
 
@@ -79,8 +84,102 @@ def _read_table(buf: bytes, offset: int) -> Tuple[TableSpec, int]:
     return TableSpec(tuple(counts), tuple(symbols)), offset
 
 
+# Array mirrors of the alphabet tables for the vectorized encoder.
+_LENGTH_BASE_ARR = np.array(_LENGTH_BASE, dtype=np.int64)
+_LENGTH_EXTRA_ARR = np.array(_LENGTH_EXTRA, dtype=np.int64)
+_DIST_BASE_ARR = np.array(_DIST_BASE, dtype=np.int64)
+_DIST_EXTRA_ARR = np.array(_DIST_EXTRA, dtype=np.int64)
+
+
 def compress(data: bytes, max_chain: int = 32) -> bytes:
-    """LZ77 + dynamic canonical Huffman, one block."""
+    """LZ77 + dynamic canonical Huffman, one block.
+
+    Vectorized encoder: length/distance symbols come from
+    ``np.searchsorted`` over the alphabet bases, symbol frequencies from
+    ``np.bincount``, and the payload from one :func:`pack_bits` call over
+    the per-field ``(value, width)`` arrays scattered into stream order.
+    Byte-identical to :func:`compress_reference`.
+    """
+    tokens = tokenize(data, max_chain=max_chain)
+
+    lit_vals: List[int] = []
+    match_lens: List[int] = []
+    match_dists: List[int] = []
+    flags: List[bool] = []
+    for token in tokens:
+        if isinstance(token, Match):
+            flags.append(True)
+            match_lens.append(token.length)
+            match_dists.append(token.distance)
+        else:
+            flags.append(False)
+            lit_vals.append(token)
+
+    flags_arr = np.array(flags, dtype=bool)
+    lit_arr = np.array(lit_vals, dtype=np.int64)
+    len_arr = np.array(match_lens, dtype=np.int64)
+    dist_arr = np.array(match_dists, dtype=np.int64)
+
+    lidx = np.searchsorted(_LENGTH_BASE_ARR, len_arr, side="right") - 1
+    lsym = lidx + 257
+    lbits = _LENGTH_EXTRA_ARR[lidx]
+    lextra = len_arr - _LENGTH_BASE_ARR[lidx]
+    didx = np.searchsorted(_DIST_BASE_ARR, dist_arr, side="right") - 1
+    dbits = _DIST_EXTRA_ARR[didx]
+    dextra = dist_arr - _DIST_BASE_ARR[didx]
+
+    litlen_counts = np.bincount(
+        np.concatenate([lit_arr, lsym]), minlength=END_OF_BLOCK + 1
+    )
+    litlen_counts[END_OF_BLOCK] += 1
+    litlen_freq = {
+        int(s): int(c) for s, c in enumerate(litlen_counts) if c
+    }
+    dist_freq = {
+        int(s): int(c) for s, c in enumerate(np.bincount(didx)) if c
+    }
+
+    litlen = HuffmanTable.from_frequencies(litlen_freq)
+    dist = HuffmanTable.from_frequencies(dist_freq) if dist_freq else None
+
+    lit_rt = table_runtime(litlen.spec)
+    nfields = np.where(flags_arr, 4, 1)
+    total = int(nfields.sum()) + 1  # + END_OF_BLOCK
+    values = np.zeros(total, dtype=np.int64)
+    widths = np.zeros(total, dtype=np.int64)
+    starts = np.zeros(len(tokens), dtype=np.int64)
+    if len(tokens) > 1:
+        np.cumsum(nfields[:-1], out=starts[1:])
+    ls = starts[~flags_arr]
+    values[ls] = lit_rt.enc_code[lit_arr]
+    widths[ls] = lit_rt.enc_len[lit_arr]
+    if dist is not None:
+        dist_rt = table_runtime(dist.spec)
+        ms = starts[flags_arr]
+        values[ms] = lit_rt.enc_code[lsym]
+        widths[ms] = lit_rt.enc_len[lsym]
+        values[ms + 1] = lextra
+        widths[ms + 1] = lbits
+        values[ms + 2] = dist_rt.enc_code[didx]
+        widths[ms + 2] = dist_rt.enc_len[didx]
+        values[ms + 3] = dextra
+        widths[ms + 3] = dbits
+    values[total - 1] = lit_rt.enc_code[END_OF_BLOCK]
+    widths[total - 1] = lit_rt.enc_len[END_OF_BLOCK]
+    payload = pack_bits(values, widths)
+
+    out = bytearray()
+    out.extend(struct.pack("<I", len(data)))
+    _write_table(litlen.spec, out)
+    out.append(1 if dist is not None else 0)
+    if dist is not None:
+        _write_table(dist.spec, out)
+    out.extend(payload)
+    return bytes(out)
+
+
+def compress_reference(data: bytes, max_chain: int = 32) -> bytes:
+    """Symbol-at-a-time :func:`compress` (the executable spec)."""
     tokens = tokenize(data, max_chain=max_chain)
 
     litlen_freq = {END_OF_BLOCK: 1}
@@ -135,7 +234,120 @@ def decompress(data: bytes) -> bytes:
         raise CodecError(f"malformed deflate stream: {exc}") from exc
 
 
+def decompress_reference(data: bytes) -> bytes:
+    """Symbol-at-a-time :func:`decompress` (the executable spec)."""
+    try:
+        return _decompress_checked_reference(data)
+    except CodecError:
+        raise
+    except (struct.error, IndexError, ValueError, KeyError) as exc:
+        raise CodecError(f"malformed deflate stream: {exc}") from exc
+
+
 def _decompress_checked(data: bytes) -> bytes:
+    """Table-driven decode: one LUT probe per Huffman symbol against a
+    64-bit window cursor, match copies via slices (cyclic tiling for the
+    overlapping case).  Same outputs as the reference loop on well-formed
+    streams; malformed streams always surface as CodecError."""
+    (expected_len,) = struct.unpack_from("<I", data, 0)
+    offset = 4
+    litlen_spec, offset = _read_table(data, offset)
+    lit_rt = table_runtime(litlen_spec)
+    llut = lit_rt.lut
+    lw = lit_rt.lut_bits
+    lmask = (1 << lw) - 1
+    has_dist = data[offset]
+    offset += 1
+    dlut = None
+    dw = dmask = 0
+    if has_dist:
+        dist_spec, offset = _read_table(data, offset)
+        dist_rt = table_runtime(dist_spec)
+        dlut = dist_rt.lut
+        dw = dist_rt.lut_bits
+        dmask = (1 << dw) - 1
+    payload = data[offset:]
+    windows = bit_windows(payload)
+    total_bits = len(payload) * 8
+
+    out = bytearray()
+    append = out.append
+    pos = 0
+    win = windows[0]
+    s0 = s = 64
+    try:
+        while True:
+            if s < 32:
+                pos += s0 - s
+                win = windows[pos >> 3]
+                s0 = s = 64 - (pos & 7)
+            entry = llut[(win >> (s - lw)) & lmask]
+            if not entry:
+                raise CodecError("invalid Huffman code in bitstream")
+            s -= entry & 31
+            if pos + s0 - s > total_bits:
+                raise CodecError("bitstream underrun")
+            symbol = entry >> 5
+            if symbol < END_OF_BLOCK:
+                append(symbol)
+                continue
+            if symbol == END_OF_BLOCK:
+                break
+            idx = symbol - 257
+            if idx >= 29:
+                raise CodecError(f"invalid length symbol {symbol}")
+            nb = _LENGTH_EXTRA[idx]
+            if nb:
+                s -= nb
+                length = _LENGTH_BASE[idx] + ((win >> s) & ((1 << nb) - 1))
+            else:
+                length = _LENGTH_BASE[idx]
+            if dlut is None:
+                raise CodecError("match emitted but no distance table present")
+            if s < 32:
+                pos += s0 - s
+                win = windows[pos >> 3]
+                s0 = s = 64 - (pos & 7)
+            entry = dlut[(win >> (s - dw)) & dmask]
+            if not entry:
+                raise CodecError("invalid Huffman code in bitstream")
+            s -= entry & 31
+            dsym = entry >> 5
+            if dsym >= 30:
+                raise CodecError(f"invalid distance symbol {dsym}")
+            nb = _DIST_EXTRA[dsym]
+            if nb:
+                s -= nb
+                distance = _DIST_BASE[dsym] + ((win >> s) & ((1 << nb) - 1))
+            else:
+                distance = _DIST_BASE[dsym]
+            if pos + s0 - s > total_bits:
+                raise CodecError("bitstream underrun")
+            produced = len(out)
+            if produced + length > expected_len:
+                raise CodecError("decompressed beyond the declared length")
+            if distance > produced:
+                raise CodecError(
+                    f"match distance {distance} beyond output "
+                    f"({produced} bytes)"
+                )
+            start = produced - distance
+            if distance >= length:
+                out += out[start : start + length]
+            else:
+                seg = bytes(out[start:])
+                reps = -(-length // distance)
+                out += (seg * reps)[:length]
+    except IndexError:
+        raise CodecError("bitstream underrun") from None
+    if len(out) != expected_len:
+        raise CodecError(
+            f"declared {expected_len} bytes, reconstructed {len(out)}"
+        )
+    return bytes(out)
+
+
+def _decompress_checked_reference(data: bytes) -> bytes:
     (expected_len,) = struct.unpack_from("<I", data, 0)
     offset = 4
     litlen_spec, offset = _read_table(data, offset)

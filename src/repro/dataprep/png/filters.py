@@ -125,9 +125,8 @@ def choose_filter(line: np.ndarray, prev: np.ndarray, bpp: int) -> Tuple[int, np
     return best_method, best_residual
 
 
-def filter_image(image: np.ndarray) -> Tuple[List[int], np.ndarray]:
-    """Filter every scanline of an H×W×C uint8 image; returns the chosen
-    per-line methods and the residual plane (H × W·C)."""
+def filter_image_reference(image: np.ndarray) -> Tuple[List[int], np.ndarray]:
+    """Line-at-a-time :func:`filter_image` (the executable spec)."""
     if image.ndim != 3:
         raise CodecError(f"expected HxWxC image, got {image.shape}")
     if image.dtype != np.uint8:
@@ -145,10 +144,59 @@ def filter_image(image: np.ndarray) -> Tuple[List[int], np.ndarray]:
     return methods, residuals
 
 
+def filter_image(image: np.ndarray) -> Tuple[List[int], np.ndarray]:
+    """Filter every scanline of an H×W×C uint8 image; returns the chosen
+    per-line methods and the residual plane (H × W·C).
+
+    All five candidate residual planes are produced for the whole image
+    at once; the per-line minimum-absolute-residual choice (first
+    minimum wins, matching :func:`choose_filter`'s strict-improvement
+    scan order) then picks one row per line.  Output is identical to
+    :func:`filter_image_reference`.
+    """
+    if image.ndim != 3:
+        raise CodecError(f"expected HxWxC image, got {image.shape}")
+    if image.dtype != np.uint8:
+        raise CodecError(f"expected uint8, got {image.dtype}")
+    h, w, c = image.shape
+    bpp = c
+    flat = image.reshape(h, w * c)
+    line = flat.astype(np.int16)
+    prev = np.zeros_like(line)
+    prev[1:] = line[:-1]
+    left = np.zeros_like(line)
+    left[:, bpp:] = line[:, :-bpp]
+    upleft = np.zeros_like(line)
+    upleft[:, bpp:] = prev[:, :-bpp]
+
+    candidates = np.empty((5, h, w * c), dtype=np.int16)
+    candidates[FILTER_NONE] = line
+    candidates[FILTER_SUB] = line - left
+    candidates[FILTER_UP] = line - prev
+    candidates[FILTER_AVERAGE] = line - (left + prev) // 2
+    candidates[FILTER_PAETH] = line - _paeth_predictor(left, prev, upleft)
+    candidates %= 256
+
+    signed = np.where(candidates > 127, 256 - candidates, candidates)
+    scores = np.abs(signed, out=signed).sum(axis=2)
+    methods = np.argmin(scores, axis=0)  # first minimum, like the spec
+    residuals = np.take_along_axis(
+        candidates, methods[None, :, None], axis=0
+    )[0].astype(np.uint8)
+    return methods.tolist(), residuals
+
+
 def unfilter_image(
     methods: List[int], residuals: np.ndarray, shape: Tuple[int, int, int]
 ) -> np.ndarray:
-    """Invert :func:`filter_image`."""
+    """Invert :func:`filter_image`.
+
+    NONE/UP/SUB rows invert with whole-row numpy ops (SUB is a per-lane
+    cumulative sum — uint8 addition wraps mod 256 natively).  The
+    left-recursive AVERAGE/PAETH rows are inherently sequential in x, so
+    they run over plain Python lists, which sidesteps the per-element
+    numpy scalar-indexing overhead of the reference scanline.
+    """
     h, w, c = shape
     if residuals.shape != (h, w * c):
         raise CodecError(
@@ -156,9 +204,51 @@ def unfilter_image(
         )
     if len(methods) != h:
         raise CodecError("one filter method per scanline required")
-    out = np.zeros((h, w * c), dtype=np.uint8)
-    prev = np.zeros(w * c, dtype=np.uint8)
+    stride = w * c
+    out = np.zeros((h, stride), dtype=np.uint8)
+    zero_row = np.zeros(stride, dtype=np.uint8)
     for y in range(h):
-        out[y] = unfilter_scanline(residuals[y], prev, c, methods[y])
-        prev = out[y]
+        method = methods[y]
+        prev = out[y - 1] if y else zero_row
+        if method == FILTER_NONE:
+            out[y] = residuals[y]
+        elif method == FILTER_UP:
+            np.add(residuals[y], prev, out=out[y])  # uint8 wraps mod 256
+        elif method == FILTER_SUB:
+            lanes = residuals[y].reshape(w, c).astype(np.int32)
+            np.cumsum(lanes, axis=0, out=lanes)
+            lanes %= 256
+            out[y] = lanes.astype(np.uint8).reshape(stride)
+        elif method == FILTER_AVERAGE:
+            row = residuals[y].tolist()
+            prev_l = prev.tolist()
+            for i in range(stride):
+                left = row[i - c] if i >= c else 0
+                row[i] = (row[i] + ((left + prev_l[i]) >> 1)) & 255
+            out[y] = row
+        elif method == FILTER_PAETH:
+            row = residuals[y].tolist()
+            prev_l = prev.tolist()
+            for i in range(stride):
+                if i >= c:
+                    a = row[i - c]
+                    cc = prev_l[i - c]
+                else:
+                    a = 0
+                    cc = 0
+                b = prev_l[i]
+                p = a + b - cc
+                pa = abs(p - a)
+                pb = abs(p - b)
+                pc = abs(p - cc)
+                if pa <= pb and pa <= pc:
+                    pred = a
+                elif pb <= pc:
+                    pred = b
+                else:
+                    pred = cc
+                row[i] = (row[i] + pred) & 255
+            out[y] = row
+        else:
+            raise CodecError(f"unknown filter method {method}")
     return out.reshape(h, w, c)

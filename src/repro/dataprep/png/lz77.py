@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Union
 
+import numpy as np
+
 from repro.errors import CodecError
 
 WINDOW_SIZE = 32 * 1024
@@ -39,10 +41,10 @@ def _hash3(data: bytes, pos: int) -> int:
     return (data[pos] << 10) ^ (data[pos + 1] << 5) ^ data[pos + 2]
 
 
-def tokenize(
+def tokenize_reference(
     data: bytes, max_chain: int = 32, lazy: bool = True
 ) -> List[Token]:
-    """Greedy-with-lazy-evaluation LZ77 parse of ``data``.
+    """Byte-at-a-time LZ77 parse of ``data`` (the executable spec).
 
     ``max_chain`` bounds how many previous positions with the same hash
     are probed per position (the usual speed/ratio knob); ``lazy``
@@ -107,25 +109,123 @@ def tokenize(
     return tokens
 
 
+def tokenize(
+    data: bytes, max_chain: int = 32, lazy: bool = True
+) -> List[Token]:
+    """Hash-chain LZ77 parse of ``data``; emits the exact token stream of
+    :func:`tokenize_reference`.
+
+    The speedups are purely mechanical: the rolling 3-byte hash is
+    precomputed in one vectorized pass, candidate chains live in plain
+    lists walked newest-first, a "can this candidate beat the best so
+    far?" single-byte guard skips hopeless candidates (a match longer
+    than ``best_len`` must agree at offset ``best_len``), and length
+    extension compares 16-byte slices before falling back to bytes.
+    Match objects are only materialized for emitted tokens.
+    """
+    n = len(data)
+    if n < MIN_MATCH:
+        return [b for b in data]
+    arr = np.frombuffer(data, dtype=np.uint8).astype(np.int32)
+    hashes = (
+        (arr[: n - 2] << 10) ^ (arr[1 : n - 1] << 5) ^ arr[2:]
+    ).tolist()
+    heads: Dict[int, List[int]] = {}
+    tokens: List[Token] = []
+    append_token = tokens.append
+    mv = data
+    last_hash_pos = n - 2  # positions < this have a 3-byte hash
+
+    def find(pos: int) -> int:
+        """Best (length << 16) | distance at ``pos``, or 0."""
+        chain = heads.get(hashes[pos])
+        if chain is None:
+            return 0
+        best_len = 0
+        best_dist = 0
+        limit = MAX_MATCH if n - pos > MAX_MATCH else n - pos
+        probes = 0
+        for j in range(len(chain) - 1, -1, -1):
+            if probes >= max_chain:
+                break
+            probes += 1
+            candidate = chain[j]
+            distance = pos - candidate
+            if distance > WINDOW_SIZE:
+                break
+            if best_len and mv[candidate + best_len] != mv[pos + best_len]:
+                continue
+            length = 0
+            while (
+                length + 16 <= limit
+                and mv[candidate + length : candidate + length + 16]
+                == mv[pos + length : pos + length + 16]
+            ):
+                length += 16
+            while length < limit and mv[candidate + length] == mv[pos + length]:
+                length += 1
+            if length > best_len:
+                best_len, best_dist = length, distance
+                if length >= limit:
+                    break
+        if best_len >= MIN_MATCH:
+            return (best_len << 16) | best_dist
+        return 0
+
+    pos = 0
+    while pos < n:
+        found = find(pos) if pos < last_hash_pos else 0
+        if found and lazy and pos + 1 < n:
+            heads.setdefault(hashes[pos], []).append(pos)
+            nxt = find(pos + 1) if pos + 1 < last_hash_pos else 0
+            if nxt and (nxt >> 16) > (found >> 16) + 1:
+                append_token(mv[pos])
+                pos += 1
+                found = nxt
+        if not found:
+            append_token(mv[pos])
+            if pos < last_hash_pos:
+                heads.setdefault(hashes[pos], []).append(pos)
+            pos += 1
+        else:
+            length = found >> 16
+            append_token(Match(length, found & 0xFFFF))
+            stop = pos + length
+            for p in range(pos, stop if stop < last_hash_pos else last_hash_pos):
+                heads.setdefault(hashes[p], []).append(p)
+            pos = stop
+    return tokens
+
+
 def expand(tokens: Iterable[Token]) -> bytes:
-    """Invert :func:`tokenize`."""
+    """Invert :func:`tokenize`.
+
+    Non-overlapping matches copy with one slice; overlapping (RLE-style)
+    matches tile the trailing segment cyclically, which reproduces the
+    byte-at-a-time reconstruction exactly.
+    """
     out = bytearray()
+    append = out.append
     for token in tokens:
         if isinstance(token, Match):
-            if token.distance > len(out):
+            distance = token.distance
+            length = token.length
+            if distance > len(out):
                 raise CodecError(
-                    f"match distance {token.distance} beyond output "
+                    f"match distance {distance} beyond output "
                     f"({len(out)} bytes)"
                 )
-            start = len(out) - token.distance
-            # Byte-by-byte to support overlapping copies (RLE-style
-            # matches where distance < length).
-            for i in range(token.length):
-                out.append(out[start + i])
+            start = len(out) - distance
+            if distance >= length:
+                out += out[start : start + length]
+            else:
+                seg = bytes(out[start:])
+                reps = -(-length // distance)
+                out += (seg * reps)[:length]
         else:
             if not 0 <= token <= 255:
                 raise CodecError(f"invalid literal {token}")
-            out.append(token)
+            append(token)
     return bytes(out)
 
 

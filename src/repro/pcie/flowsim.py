@@ -75,7 +75,11 @@ class FlowSimulator:
             return []
         remaining = {i: t.volume for i, t in enumerate(transfers)}
         finish: Dict[int, float] = {}
-        pending = sorted(range(len(transfers)), key=lambda i: transfers[i].start_time)
+        # Admission order: a head pointer over the start-time-sorted index
+        # list, so each admission is O(1) instead of a list-head pop that
+        # shifts every queued element.
+        order = sorted(range(len(transfers)), key=lambda i: transfers[i].start_time)
+        head = 0
         active: List[int] = []
         now = 0.0
 
@@ -85,12 +89,13 @@ class FlowSimulator:
             if guard > 4 * len(transfers) + 16:
                 raise SimulationError("fluid simulation failed to converge")
             # Admit transfers whose start time has arrived.
-            while pending and transfers[pending[0]].start_time <= now + 1e-15:
-                active.append(pending.pop(0))
+            while head < len(order) and transfers[order[head]].start_time <= now + 1e-15:
+                active.append(order[head])
+                head += 1
             if not active:
-                if not pending:
+                if head >= len(order):
                     raise SimulationError("no active or pending transfers left")
-                now = transfers[pending[0]].start_time
+                now = transfers[order[head]].start_time
                 continue
 
             flows = [
@@ -106,8 +111,8 @@ class FlowSimulator:
 
             # Next event: a flow draining or a new arrival.
             horizon = math.inf
-            if pending:
-                horizon = transfers[pending[0]].start_time - now
+            if head < len(order):
+                horizon = transfers[order[head]].start_time - now
             dt = horizon
             for idx, rate in zip(active, rates):
                 if rate <= 0 or math.isinf(rate):

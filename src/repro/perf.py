@@ -1,0 +1,205 @@
+"""Timing utilities and the codec-throughput regression harness.
+
+Wall-clock measurements on shared machines are noisy, so every number
+here is a best-of-N (minimum over repeats): the minimum is the run least
+disturbed by the scheduler, and throughput ratios computed from minima
+are stable even when absolute times drift between hosts.
+
+Throughputs are recorded as samples/s in a small JSON baseline; the
+``python -m repro bench-codec`` smoke test (and the matching pytest
+benchmark) fails loudly when a measurement drops more than the tolerance
+below its committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Fractional slowdown tolerated before a measurement counts as a
+#: regression.  Override with the REPRO_BENCH_TOLERANCE env var (e.g. on
+#: hosts much slower than the one that recorded the baseline).
+DEFAULT_TOLERANCE = 0.30
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One throughput sample: ``samples`` work items in ``best_seconds``."""
+
+    name: str
+    samples: int
+    best_seconds: float
+
+    @property
+    def samples_per_s(self) -> float:
+        if self.best_seconds <= 0:
+            return math.inf
+        return self.samples / self.best_seconds
+
+
+def best_of(fn: Callable[[], object], repeats: int = 15) -> float:
+    """Minimum wall time of ``repeats`` calls to ``fn``, in seconds."""
+    if repeats <= 0:
+        raise ConfigError("repeats must be positive")
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure(
+    name: str, fn: Callable[[], object], samples: int, repeats: int = 15
+) -> Measurement:
+    """Time ``fn`` (which processes ``samples`` items per call) best-of-N."""
+    if samples <= 0:
+        raise ConfigError("samples must be positive")
+    return Measurement(name, samples, best_of(fn, repeats=repeats))
+
+
+def tolerance() -> float:
+    """The configured regression tolerance (env override wins)."""
+    raw = os.environ.get("REPRO_BENCH_TOLERANCE")
+    if raw is None:
+        return DEFAULT_TOLERANCE
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigError(f"bad REPRO_BENCH_TOLERANCE: {raw!r}")
+    if not 0 <= value < 1:
+        raise ConfigError("REPRO_BENCH_TOLERANCE must be in [0, 1)")
+    return value
+
+
+def save_baseline(path: Path, measurements: List[Measurement]) -> None:
+    """Write ``measurements`` as the committed throughput baseline."""
+    payload = {
+        "unit": "samples_per_s",
+        "samples_per_s": {
+            m.name: round(m.samples_per_s, 2) for m in measurements
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_baseline(path: Path) -> Dict[str, float]:
+    """The baseline's name → samples/s map ({} when no baseline exists)."""
+    if not path.exists():
+        return {}
+    payload = json.loads(path.read_text())
+    table = payload.get("samples_per_s", {})
+    return {str(k): float(v) for k, v in table.items()}
+
+
+def regressions(
+    measurements: List[Measurement],
+    baseline: Dict[str, float],
+    tol: Optional[float] = None,
+) -> List[str]:
+    """Human-readable description of every measurement more than ``tol``
+    below its baseline.  Names absent from the baseline are not judged."""
+    tol = tolerance() if tol is None else tol
+    out = []
+    for m in measurements:
+        ref = baseline.get(m.name)
+        if ref is None or ref <= 0:
+            continue
+        floor = ref * (1.0 - tol)
+        if m.samples_per_s < floor:
+            out.append(
+                f"{m.name}: {m.samples_per_s:,.1f} samples/s is "
+                f"{100 * (1 - m.samples_per_s / ref):.0f}% below the "
+                f"baseline {ref:,.1f} (tolerance {100 * tol:.0f}%)"
+            )
+    return out
+
+
+# -- the codec suite ---------------------------------------------------------
+
+
+def bench_image(height: int = 256, width: int = 256, seed: int = 7) -> np.ndarray:
+    """The photo-like test image all codec throughput numbers refer to.
+
+    Smooth gradient + band-limited texture + sensor noise: compresses at
+    ~17:1 with the package's JPEG at quality 75, squarely in the range
+    real photographs hit, so the entropy stage sees a photo-typical
+    symbol load rather than a near-empty one.
+    """
+    rng = np.random.default_rng(seed)
+    gx = np.linspace(0, 255, width)
+    gy = np.linspace(0, 255, height)
+    base = gy[:, None, None] * 0.35 + gx[None, :, None] * 0.35
+    yy, xx = np.meshgrid(np.arange(height), np.arange(width), indexing="ij")
+    texture = (
+        18 * np.sin(2 * np.pi * xx / 9.0 + yy / 17.0)
+        + 14 * np.sin(2 * np.pi * yy / 7.0)
+    )[..., None]
+    img = base + 60.0 + texture + rng.normal(0, 10, (height, width, 3))
+    return np.clip(img, 0, 255).astype(np.uint8)
+
+
+def codec_suite(
+    size: int = 256, repeats: int = 10, batch: int = 8
+) -> List[Measurement]:
+    """Throughput of the JPEG/PNG fast paths on a ``size``×``size`` image.
+
+    Each entry is images/s; the batched entry counts every image in the
+    batch, so it is directly comparable to the per-image number.
+    """
+    from repro.dataprep import jpeg
+    from repro.dataprep.png import codec as png
+
+    img = bench_image(size, size)
+    jblob = jpeg.encode(img, quality=75)
+    pblob = png.encode(img)
+    stack = [bench_image(size, size, seed=100 + i) for i in range(batch)]
+    return [
+        measure(
+            f"jpeg_encode_{size}",
+            lambda: jpeg.encode(img, quality=75),
+            1,
+            repeats,
+        ),
+        measure(f"jpeg_decode_{size}", lambda: jpeg.decode(jblob), 1, repeats),
+        measure(
+            f"jpeg_encode_batch{batch}_{size}",
+            lambda: jpeg.encode_batch(stack, quality=75),
+            batch,
+            repeats,
+        ),
+        measure(f"png_encode_{size}", lambda: png.encode(img), 1, repeats),
+        measure(f"png_decode_{size}", lambda: png.decode(pblob), 1, repeats),
+    ]
+
+
+def reference_decode_speedup(size: int = 256, repeats: int = 10) -> float:
+    """Fast-path / reference-path JPEG decode throughput ratio.
+
+    The two paths are timed interleaved (one repeat of each per round) so
+    slow drift of the host perturbs both minima equally.
+    """
+    from repro.dataprep.jpeg.codec import JpegCodec
+
+    img = bench_image(size, size)
+    codec = JpegCodec(quality=75)
+    blob = codec.encode(img)
+    fast = ref = math.inf
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        codec.decode(blob, fast=True)
+        fast = min(fast, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        codec.decode(blob, fast=False)
+        ref = min(ref, time.perf_counter() - t0)
+    return ref / fast

@@ -1,0 +1,75 @@
+"""The repro.perf timing utility and baseline comparison logic."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro import perf
+
+
+def test_measure_counts_samples():
+    m = perf.measure("noop", lambda: None, samples=4, repeats=3)
+    assert m.samples == 4
+    assert m.best_seconds >= 0
+    assert m.samples_per_s > 0
+
+
+def test_measure_rejects_bad_args():
+    with pytest.raises(ConfigError):
+        perf.measure("x", lambda: None, samples=0)
+    with pytest.raises(ConfigError):
+        perf.best_of(lambda: None, repeats=0)
+
+
+def test_baseline_roundtrip(tmp_path):
+    path = tmp_path / "base.json"
+    ms = [perf.Measurement("a", 10, 0.5), perf.Measurement("b", 1, 0.001)]
+    perf.save_baseline(path, ms)
+    loaded = perf.load_baseline(path)
+    assert loaded == {"a": 20.0, "b": 1000.0}
+    assert json.loads(path.read_text())["unit"] == "samples_per_s"
+
+
+def test_load_missing_baseline_is_empty(tmp_path):
+    assert perf.load_baseline(tmp_path / "nope.json") == {}
+
+
+def test_regressions_flag_only_big_drops():
+    baseline = {"a": 100.0, "b": 100.0, "c": 100.0}
+    ms = [
+        perf.Measurement("a", 80, 1.0),   # 20% below: within tolerance
+        perf.Measurement("b", 50, 1.0),   # 50% below: regression
+        perf.Measurement("d", 1, 1.0),    # not in baseline: ignored
+    ]
+    failures = perf.regressions(ms, baseline, tol=0.30)
+    assert len(failures) == 1
+    assert failures[0].startswith("b:")
+
+
+def test_tolerance_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_TOLERANCE", "0.5")
+    assert perf.tolerance() == 0.5
+    monkeypatch.setenv("REPRO_BENCH_TOLERANCE", "junk")
+    with pytest.raises(ConfigError):
+        perf.tolerance()
+    monkeypatch.setenv("REPRO_BENCH_TOLERANCE", "1.5")
+    with pytest.raises(ConfigError):
+        perf.tolerance()
+
+
+def test_codec_suite_smoke():
+    ms = perf.codec_suite(size=32, repeats=1, batch=2)
+    names = {m.name for m in ms}
+    assert names == {
+        "jpeg_encode_32",
+        "jpeg_decode_32",
+        "jpeg_encode_batch2_32",
+        "png_encode_32",
+        "png_decode_32",
+    }
+    assert all(m.samples_per_s > 0 for m in ms)
+
+
+def test_reference_decode_speedup_positive():
+    assert perf.reference_decode_speedup(size=32, repeats=1) > 0

@@ -140,3 +140,14 @@ def test_ssd_of_type_checks():
     assert server.ssd_of(server.ssd_ids[0]).read_bandwidth > 0
     with pytest.raises(ConfigError):
         server.ssd_of(server.acc_ids[0])
+
+
+def test_build_server_cached_returns_same_model():
+    from repro.core.server import build_server_cached
+
+    arch = ArchitectureConfig.baseline()
+    a = build_server_cached(arch, 8)
+    b = build_server_cached(arch, 8)
+    assert a is b
+    assert a.n_accelerators == 8
+    assert build_server_cached(arch, 16) is not a

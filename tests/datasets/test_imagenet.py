@@ -84,3 +84,22 @@ def test_imagenet_like_spec():
     assert spec.kind == "jpeg"
     assert spec.shape == (256, 256, 3)
     assert IMAGENET_LIKE.num_items == 14_000_000
+
+
+def test_batch_matches_per_item_encoding():
+    ds = SyntheticImageDataset(num_items=6, height=16, width=16)
+    assert ds.batch(1, 4) == [ds[i] for i in range(1, 5)]
+
+
+def test_batch_bounds_checked():
+    ds = SyntheticImageDataset(num_items=4, height=16, width=16)
+    with pytest.raises(DataprepError):
+        ds.batch(0, 0)
+    with pytest.raises(IndexError):
+        ds.batch(2, 3)
+
+
+def test_measured_spec_uses_real_sizes():
+    ds = SyntheticImageDataset(num_items=4, height=16, width=16)
+    spec = ds.measured_spec(probe_items=2)
+    assert spec.nbytes == np.mean([len(ds[0][0]), len(ds[1][0])])
