@@ -7,13 +7,20 @@ substrate: small batch vs 8× batch with scaled LR (+warmup) vs 8× batch
 with the unscaled LR.
 """
 
+import os
+
 from benchmarks._harness import emit
 from repro.analysis.tables import format_table
 from repro.training.large_batch import batch_scaling_experiment
 
 
 def build_figure():
-    return batch_scaling_experiment(seed=1)
+    # The arms run through the sweep engine's process map; REPRO_BENCH_JOBS
+    # spreads them over workers on multi-core hosts (results are
+    # seed-deterministic either way).
+    return batch_scaling_experiment(
+        seed=1, n_jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    )
 
 
 def test_ext_batch_scaling(benchmark, capsys):

@@ -13,7 +13,7 @@ Two claims from the paper's motivation:
 from benchmarks._harness import emit
 from repro.analysis.tables import format_table
 from repro.analysis.tco import host_amortization_ratio, scaleout_bom, trainbox_bom
-from repro.core.scaleout import simulate_scaleout
+from repro.core.sweeps import SweepSpec, run_sweep
 from repro.workloads.registry import get_workload
 
 RESNET = get_workload("Resnet-50")
@@ -21,12 +21,17 @@ NODE_COUNTS = (1, 2, 4, 8, 16, 32, 48, 96)
 
 
 def build_figure():
+    spec = SweepSpec(
+        workloads=(RESNET,),
+        archs=(None,),
+        scales=NODE_COUNTS,
+        engine="scaleout",
+    )
     scaling_rows = []
-    for n in NODE_COUNTS:
-        result = simulate_scaleout(RESNET, n)
+    for point, result in run_sweep(spec):
         scaling_rows.append(
             [
-                n,
+                point.scale,
                 result.n_accelerators,
                 result.per_acc_batch,
                 f"{result.sync_time * 1e3:.1f} ms",

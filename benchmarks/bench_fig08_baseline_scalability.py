@@ -6,30 +6,25 @@ benefits beyond ~18 accelerators (Inception-v4 at 18.3, TF-SR at 4.4).
 
 from benchmarks._harness import SCALE_SWEEP, emit
 from repro.analysis.tables import format_series
-from repro.core.analytical import TrainingScenario, simulate
 from repro.core.config import ArchitectureConfig
-from repro.core.server import build_server_cached
+from repro.core.sweeps import SweepSpec, run_sweep
 from repro.workloads.registry import TABLE_I
 
 ARCH = ArchitectureConfig.baseline()
 
 
 def build_figure():
-    # The same (arch, scale) server serves every workload in the sweep.
+    spec = SweepSpec(
+        workloads=tuple(TABLE_I.values()),
+        archs=(ARCH,),
+        scales=SCALE_SWEEP,
+    )
+    outcome = run_sweep(spec)
     curves = {}
-    for name, workload in TABLE_I.items():
-        one = simulate(
-            TrainingScenario(workload, ARCH, 1),
-            server=build_server_cached(ARCH, 1),
-        ).throughput
-        curves[name] = [
-            simulate(
-                TrainingScenario(workload, ARCH, n),
-                server=build_server_cached(ARCH, n),
-            ).throughput
-            / one
-            for n in SCALE_SWEEP
-        ]
+    for name in TABLE_I:
+        series = outcome.curve(name, ARCH.name)
+        one = series[0].throughput
+        curves[name] = [r.throughput / one for r in series]
     return curves
 
 

@@ -8,7 +8,7 @@ root complex.
 from benchmarks._harness import SCALE_SWEEP, emit
 from repro.analysis.tables import format_series, format_table
 from repro.core.config import ArchitectureConfig
-from repro.core.dataflow import build_demand
+from repro.core.dataflow import build_demand_cached
 from repro.core.resources import host_requirements
 from repro.core.server import build_server_cached
 from repro.workloads.registry import TABLE_I
@@ -20,7 +20,7 @@ def build_figure():
     curves = {}
     server = build_server_cached(ARCH, 256)
     for name, workload in TABLE_I.items():
-        demand = build_demand(server, workload)
+        demand = build_demand_cached(server, workload)
         per_scale = []
         for n in SCALE_SWEEP:
             req = host_requirements(demand, n * workload.sample_rate)
@@ -65,7 +65,7 @@ def test_fig10_requirements_grow_linearly(benchmark, capsys):
     lines on its linear axes)."""
     server = build_server_cached(ARCH, 256)
     workload = TABLE_I["Resnet-50"]
-    demand = build_demand(server, workload)
+    demand = build_demand_cached(server, workload)
 
     def one():
         return host_requirements(demand, 256 * workload.sample_rate)

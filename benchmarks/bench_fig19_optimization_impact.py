@@ -8,22 +8,28 @@ largest winner at 84.3×.
 
 from benchmarks._harness import TARGET_SCALE, emit
 from repro.analysis.tables import format_table
-from repro.core.analytical import TrainingScenario, simulate
 from repro.core.config import ArchitectureConfig
+from repro.core.sweeps import SweepSpec, run_sweep
 from repro.workloads.registry import TABLE_I
 
 LADDER = ArchitectureConfig.figure19_ladder()
 
 
 def build_figure():
+    spec = SweepSpec(
+        workloads=tuple(TABLE_I.values()),
+        archs=tuple(LADDER),
+        scales=(TARGET_SCALE,),
+    )
+    keyed = run_sweep(spec).by_key()
     table = {}
-    for name, workload in TABLE_I.items():
-        base = simulate(TrainingScenario(workload, LADDER[0], TARGET_SCALE))
-        row = {}
-        for arch in LADDER:
-            result = simulate(TrainingScenario(workload, arch, TARGET_SCALE))
-            row[arch.name] = result.throughput / base.throughput
-        table[name] = row
+    for name in TABLE_I:
+        base = keyed[(name, LADDER[0].name, TARGET_SCALE)]
+        table[name] = {
+            arch.name: keyed[(name, arch.name, TARGET_SCALE)].throughput
+            / base.throughput
+            for arch in LADDER
+        }
     return table
 
 

@@ -8,8 +8,8 @@ synchronization at large batches).
 
 from benchmarks._harness import TARGET_SCALE, emit
 from repro.analysis.tables import format_series
-from repro.core.analytical import TrainingScenario, simulate
 from repro.core.config import ArchitectureConfig
+from repro.core.sweeps import SweepPoint, run_sweep
 from repro.workloads.registry import get_workload
 
 RESNET = get_workload("Resnet-50")
@@ -19,24 +19,19 @@ BATCHES = (8, 32, 128, 512, 2048, 8192)
 def build_figure():
     base_arch = ArchitectureConfig.baseline()
     tb_arch = ArchitectureConfig.trainbox()
-    one = simulate(
-        TrainingScenario(RESNET, base_arch, 1, batch_size=BATCHES[0])
-    ).throughput
-    baseline = []
-    trainbox = []
-    for batch in BATCHES:
-        baseline.append(
-            simulate(
-                TrainingScenario(RESNET, base_arch, TARGET_SCALE, batch_size=batch)
-            ).throughput
-            / one
-        )
-        trainbox.append(
-            simulate(
-                TrainingScenario(RESNET, tb_arch, TARGET_SCALE, batch_size=batch)
-            ).throughput
-            / one
-        )
+    # Batch size varies per point, so the grid is an explicit point list
+    # (reference point first, then each arch across the batch axis).
+    points = [SweepPoint(RESNET, base_arch, 1, batch_size=BATCHES[0])]
+    points += [
+        SweepPoint(RESNET, arch, TARGET_SCALE, batch_size=batch)
+        for arch in (base_arch, tb_arch)
+        for batch in BATCHES
+    ]
+    results = run_sweep(points).results
+    one = results[0].throughput
+    k = len(BATCHES)
+    baseline = [r.throughput / one for r in results[1 : 1 + k]]
+    trainbox = [r.throughput / one for r in results[1 + k :]]
     return baseline, trainbox
 
 

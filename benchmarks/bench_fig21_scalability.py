@@ -10,41 +10,32 @@ TrainBox scales to the target, with the prep-pool needed for TF-SR
 
 from benchmarks._harness import SCALE_SWEEP, emit
 from repro.analysis.tables import format_series
-from repro.core.analytical import TrainingScenario, simulate
-from repro.core.config import ArchitectureConfig, PrepDevice
-from repro.core.server import build_server_cached
-from repro.workloads.registry import get_workload
+from repro.core.sweeps import figure21_spec, run_sweep
 
-CONFIGS = [
-    ("Baseline (CPU)", ArchitectureConfig.baseline()),
-    ("Baseline+Acc (GPU)", ArchitectureConfig.baseline_acc(PrepDevice.GPU)),
-    ("Baseline+Acc (FPGA)", ArchitectureConfig.baseline_acc()),
-    ("TrainBox w/o prep-pool", ArchitectureConfig.trainbox(prep_pool=False)),
-    ("TrainBox", ArchitectureConfig.trainbox()),
-]
+#: Figure labels for the spec's architectures, in spec order.
+LABELS = (
+    "Baseline (CPU)",
+    "Baseline+Acc (GPU)",
+    "Baseline+Acc (FPGA)",
+    "TrainBox w/o prep-pool",
+    "TrainBox",
+)
 
 
 def build_figure():
-    # Each (arch, scale) server is shared across the two workloads.
+    spec = figure21_spec()
+    assert spec.scales == SCALE_SWEEP
+    outcome = run_sweep(spec)
     out = {}
-    for workload_name in ("Inception-v4", "Transformer-SR"):
-        workload = get_workload(workload_name)
-        baseline = ArchitectureConfig.baseline()
-        one = simulate(
-            TrainingScenario(workload, baseline, 1),
-            server=build_server_cached(baseline, 1),
-        ).throughput
-        curves = {}
-        for label, arch in CONFIGS:
-            curves[label] = [
-                simulate(
-                    TrainingScenario(workload, arch, n),
-                    server=build_server_cached(arch, n),
-                ).throughput
-                / one
-                for n in SCALE_SWEEP
+    for workload in spec.workloads:
+        one = outcome.curve(workload.name, spec.archs[0].name)[0].throughput
+        out[workload.name] = {
+            label: [
+                r.throughput / one
+                for r in outcome.curve(workload.name, arch.name)
             ]
-        out[workload_name] = curves
+            for label, arch in zip(LABELS, spec.archs)
+        }
     return out
 
 

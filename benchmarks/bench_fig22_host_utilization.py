@@ -9,9 +9,9 @@ zero.
 from benchmarks._harness import TARGET_SCALE, emit
 from repro.analysis.tables import format_table
 from repro.core.config import ArchitectureConfig
-from repro.core.dataflow import CATEGORIES, build_demand
+from repro.core.dataflow import CATEGORIES, build_demand_cached
 from repro.core.resources import resource_breakdown
-from repro.core.server import build_server
+from repro.core.server import build_server_cached
 from repro.workloads.registry import get_workload
 
 LADDER = [
@@ -28,8 +28,8 @@ def build_figure():
         workload = get_workload(workload_name)
         per_arch = {}
         for arch in LADDER:
-            server = build_server(arch, TARGET_SCALE)
-            demand = build_demand(server, workload)
+            server = build_server_cached(arch, TARGET_SCALE)
+            demand = build_demand_cached(server, workload)
             per_arch[arch.name] = resource_breakdown(demand)
         base = per_arch["baseline"]
         normalized = {}

@@ -1,0 +1,74 @@
+"""Sweep-engine throughput: the Figure 21 grid, cold vs warm cache.
+
+The evaluation harness replays the same grids every run; the sweep
+engine's promise is that replays are nearly free and never change a
+number.  This benchmark guards both halves:
+
+* the warm-cache path serves the full Figure 21 grid at least 3× faster
+  than computing it serially from scratch, while returning results that
+  are **identical** (every float, bit for bit) to the serial uncached
+  run;
+* neither path silently rots: both points/s numbers must stay within
+  the tolerance (default 30%) of the committed baseline in
+  ``benchmarks/baselines/sweep_throughput.json``.
+
+Refresh the baseline on a quiet machine with::
+
+    PYTHONPATH=src python -m repro bench-sweep --update
+"""
+
+from pathlib import Path
+
+from benchmarks._harness import emit
+from repro import perf
+from repro.analysis.tables import format_table
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "sweep_throughput.json"
+
+#: Acceptance floor for warm-cache replay vs serial uncached compute.
+MIN_WARM_SPEEDUP = 3.0
+
+
+def test_sweep_throughput_vs_baseline(benchmark, capsys):
+    measurements = benchmark.pedantic(
+        lambda: perf.sweep_suite(repeats=3, n_jobs=4), rounds=1, iterations=1
+    )
+    baseline = perf.load_baseline(BASELINE_PATH)
+    rows = [
+        [
+            m.name,
+            f"{m.best_seconds * 1000:.2f}",
+            f"{m.samples_per_s:,.1f}",
+            f"{baseline.get(m.name, float('nan')):,.1f}",
+        ]
+        for m in measurements
+    ]
+    by_name = {m.name: m for m in measurements}
+    speedup = (
+        by_name["fig21_warm_cache"].samples_per_s
+        / by_name["fig21_serial_uncached"].samples_per_s
+    )
+    emit(
+        capsys,
+        "Sweep-engine throughput (Figure 21 grid, best-of-3)",
+        format_table(["benchmark", "best ms", "points/s", "baseline"], rows)
+        + f"\n\nwarm-cache speedup: {speedup:.1f}x (floor {MIN_WARM_SPEEDUP}x)",
+    )
+    assert speedup >= MIN_WARM_SPEEDUP
+    assert baseline, f"missing baseline {BASELINE_PATH}"
+    failures = perf.regressions(measurements, baseline)
+    assert not failures, "; ".join(failures)
+
+
+def test_sweep_cache_and_pool_change_nothing(capsys):
+    """The speedup claims are only meaningful if cached == computed."""
+    serial, cached = perf.sweep_equivalence(n_jobs=4)
+    assert serial.points == cached.points
+    assert serial.results == cached.results  # frozen dataclasses: exact
+    assert cached.cache_hits == len(cached.points)
+    emit(
+        capsys,
+        "Sweep-engine equivalence",
+        f"{len(serial.points)} points: serial/uncached == parallel/"
+        "warm-cache, bit for bit",
+    )

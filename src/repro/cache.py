@@ -1,0 +1,220 @@
+"""Content-addressed result caching and in-process memoization.
+
+The evaluation harness replays large grids of simulator runs (workload ×
+architecture × accelerator count), and most of the cost of a point is
+deterministic recomputation: topology construction, demand pricing, the
+solver itself.  This module provides the two caching layers the sweep
+engine (:mod:`repro.core.sweeps`) stacks on top of that grid:
+
+* an **in-process memo** — a plain keyed registry for objects that are
+  expensive to build and safe to share within one process (server
+  models, per-server demand vectors).  It subsumes the old
+  ``lru_cache``-based ``build_server_cached``;
+* a **persistent on-disk result cache** — simulation results keyed by a
+  content hash of *everything that determines the answer* (hardware
+  config, architecture config, workload row, scale, engine), so a
+  changed field can never serve a stale entry.  Entries carry a schema
+  version; entries from older schemas (or corrupted files) are discarded
+  on read, never trusted and never fatal.
+
+Keys are built with :func:`fingerprint`, a canonical SHA-256 over a
+JSON-stable encoding of dataclasses/enums/floats.  Bump
+:data:`CACHE_VERSION` whenever the meaning of a cached result changes
+(solver semantics, result schema, calibration constants) so old caches
+self-invalidate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ConfigError
+
+#: Schema version stamped into every persistent entry.  Any change to
+#: result dataclasses, solver behaviour, or calibrated constants that
+#: affects cached values must bump this.
+CACHE_VERSION = 1
+
+
+# -- canonical fingerprinting ------------------------------------------------
+
+
+def canonicalize(obj: Any) -> Any:
+    """A JSON-encodable canonical form of ``obj``.
+
+    Dataclasses carry their type name and every field (so adding or
+    changing a field changes the fingerprint), enums their class and
+    value, floats their exact ``repr``; dict keys are sorted.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return {"__float__": repr(obj)}
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": type(obj).__name__, "value": canonicalize(obj.value)}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        body = {
+            f.name: canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        body["__dataclass__"] = type(obj).__name__
+        return body
+    if isinstance(obj, dict):
+        return {
+            "__dict__": sorted(
+                (str(k), canonicalize(v)) for k, v in obj.items()
+            )
+        }
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return {"__set__": sorted(json.dumps(canonicalize(v)) for v in obj)}
+    if isinstance(obj, bytes):
+        return {"__bytes__": obj.hex()}
+    raise ConfigError(f"cannot fingerprint object of type {type(obj).__name__}")
+
+
+def fingerprint(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``parts``."""
+    blob = json.dumps(
+        canonicalize(list(parts)), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# -- in-process memoization --------------------------------------------------
+
+_MEMO: Dict[Any, Any] = {}
+
+
+def memoized(key: Any, factory: Callable[[], Any]) -> Any:
+    """Return the memoized value for ``key``, building it on first use.
+
+    ``key`` must be hashable (frozen config dataclasses are); the value
+    is shared by every caller, so factories must produce objects that
+    are treated as read-only by convention.
+    """
+    try:
+        return _MEMO[key]
+    except KeyError:
+        value = factory()
+        _MEMO[key] = value
+        return value
+
+
+def clear_memo() -> None:
+    """Drop every in-process memo entry (tests, benchmark cold starts)."""
+    _MEMO.clear()
+
+
+def memo_size() -> int:
+    return len(_MEMO)
+
+
+# -- persistent result cache -------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    discards: int = 0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.stores = self.discards = 0
+
+
+class ResultCache:
+    """A directory of JSON entries keyed by content hash.
+
+    Entries are written atomically (temp file + rename) and validated on
+    read: wrong schema version, unparseable JSON, or a payload that does
+    not echo its own key are *discarded* (the file is deleted and the
+    lookup reports a miss) rather than raised — a corrupted cache must
+    never poison or crash a sweep.
+    """
+
+    def __init__(self, directory: os.PathLike, version: int = CACHE_VERSION):
+        self.directory = Path(directory)
+        self.version = version
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached payload for ``key``, or None on miss."""
+        path = self._path(key)
+        try:
+            raw = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            entry = json.loads(raw)
+            if (
+                not isinstance(entry, dict)
+                or entry.get("version") != self.version
+                or entry.get("key") != key
+                or "result" not in entry
+            ):
+                raise ValueError("stale or malformed cache entry")
+        except (ValueError, TypeError):
+            self.stats.discards += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return entry["result"]
+
+    def put(self, key: str, result: dict) -> None:
+        """Store ``result`` (a JSON-encodable dict) under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"version": self.version, "key": key, "result": result}
+        fd, tmp = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".json", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.directory.exists():
+            return 0
+        for path in self.directory.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))

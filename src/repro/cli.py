@@ -3,10 +3,15 @@
 Commands:
 
 * ``simulate`` — one scenario: workload × architecture × scale.
-* ``sweep``    — throughput vs accelerator count for one workload.
+* ``sweep``    — throughput vs accelerator count for one workload
+  (``--jobs``/``--cache-dir`` fan out and cache via :mod:`repro.core.sweeps`).
 * ``ladder``   — the Figure 19 optimization ladder for one workload.
 * ``plan``     — the §V-A train-initializer plan (prep-pool sizing,
   data distribution).
+* ``report``   — full session report (``--json`` for machines).
+* ``bench-codec`` — codec throughput smoke test vs the committed baseline.
+* ``bench-sweep`` — sweep-engine throughput smoke test vs the committed
+  baseline.
 * ``workloads`` — print Table I.
 """
 
@@ -62,40 +67,67 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_cache(args: argparse.Namespace):
+    if getattr(args, "cache_dir", None) is None:
+        return None
+    from repro.cache import ResultCache
+
+    return ResultCache(args.cache_dir)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.sweeps import SCALE_LADDER, SweepSpec, run_sweep
+
     workload = get_workload(args.workload)
     arch = _arch(args.arch)
-    rows = []
-    one = simulate(TrainingScenario(workload, arch, 1)).throughput
-    for n in (1, 2, 4, 8, 16, 32, 64, 128, 256):
-        if n > args.accelerators:
-            break
-        result = simulate(TrainingScenario(workload, arch, n))
-        rows.append(
-            [n, f"{result.throughput:,.0f}", f"{result.throughput / one:.1f}x",
-             result.bottleneck]
-        )
+    scales = tuple(n for n in SCALE_LADDER if n <= args.accelerators)
+    if not scales:
+        scales = (args.accelerators,)
+    spec = SweepSpec(workloads=(workload,), archs=(arch,), scales=scales)
+    outcome = run_sweep(spec, n_jobs=args.jobs, cache=_sweep_cache(args))
+    one = outcome.results[0].throughput
+    rows = [
+        [p.scale, f"{r.throughput:,.0f}", f"{r.throughput / one:.1f}x",
+         r.bottleneck]
+        for p, r in outcome
+    ]
     print(format_table(["accels", "samples/s", "vs 1", "bottleneck"], rows))
+    if args.cache_dir:
+        print(
+            f"cache: {outcome.cache_hits} hits, "
+            f"{outcome.cache_misses} misses ({args.cache_dir})"
+        )
     return 0
 
 
 def _cmd_ladder(args: argparse.Namespace) -> int:
+    from repro.core.sweeps import SweepSpec, run_sweep
+
     workload = get_workload(args.workload)
-    base = simulate(
-        TrainingScenario(workload, ArchitectureConfig.baseline(), args.accelerators)
+    spec = SweepSpec(
+        workloads=(workload,),
+        archs=tuple(ArchitectureConfig.figure19_ladder()),
+        scales=(args.accelerators,),
     )
-    rows = []
-    for arch in ArchitectureConfig.figure19_ladder():
-        result = simulate(TrainingScenario(workload, arch, args.accelerators))
-        rows.append(
-            [
-                arch.name,
-                f"{result.throughput:,.0f}",
-                f"{result.speedup_over(base):.1f}x",
-                result.bottleneck,
-            ]
-        )
+    outcome = run_sweep(spec, n_jobs=args.jobs, cache=_sweep_cache(args))
+    base = next(
+        r for p, r in outcome if p.arch.name == "baseline"
+    )
+    rows = [
+        [
+            p.arch.name,
+            f"{r.throughput:,.0f}",
+            f"{r.speedup_over(base):.1f}x",
+            r.bottleneck,
+        ]
+        for p, r in outcome
+    ]
     print(format_table(["architecture", "samples/s", "speedup", "bottleneck"], rows))
+    if args.cache_dir:
+        print(
+            f"cache: {outcome.cache_hits} hits, "
+            f"{outcome.cache_misses} misses ({args.cache_dir})"
+        )
     return 0
 
 
@@ -166,6 +198,43 @@ def _cmd_bench_codec(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro import perf
+
+    baseline_path = Path(args.baseline)
+    measurements = perf.sweep_suite(repeats=args.repeats, n_jobs=args.jobs)
+    baseline = perf.load_baseline(baseline_path)
+    rows = []
+    for m in measurements:
+        ref = baseline.get(m.name)
+        rows.append(
+            [
+                m.name,
+                f"{m.best_seconds * 1000:.2f}",
+                f"{m.samples_per_s:,.1f}",
+                f"{ref:,.1f}" if ref else "-",
+            ]
+        )
+    print(format_table(["benchmark", "best ms", "points/s", "baseline"], rows))
+
+    if args.update:
+        perf.save_baseline(baseline_path, measurements)
+        print(f"baseline updated: {baseline_path}")
+        return 0
+    if not baseline:
+        print(f"no baseline at {baseline_path}; run with --update to record one")
+        return 0
+    failures = perf.regressions(measurements, baseline)
+    for line in failures:
+        print(f"REGRESSION  {line}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"all sweep throughputs within {100 * perf.tolerance():.0f}% of baseline")
+    return 0
+
+
 def _cmd_workloads(_args: argparse.Namespace) -> int:
     rows = [
         [
@@ -205,13 +274,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-b", "--batch", type=int, default=None, help="per-device batch")
     p.set_defaults(func=_cmd_simulate)
 
+    def sweep_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "-j", "--jobs", type=int, default=1,
+            help="worker processes for uncached points (default 1)",
+        )
+        p.add_argument(
+            "--cache-dir", default=None,
+            help="persistent result-cache directory (off by default)",
+        )
+
     p = sub.add_parser("sweep", help="throughput vs accelerator count")
     common(p)
     p.add_argument("-a", "--arch", default="baseline")
+    sweep_opts(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("ladder", help="the Figure 19 optimization ladder")
     common(p)
+    sweep_opts(p)
     p.set_defaults(func=_cmd_ladder)
 
     p = sub.add_parser("plan", help="train-initializer plan (prep-pool sizing)")
@@ -245,6 +326,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--update", action="store_true", help="rewrite the baseline and exit"
     )
     p.set_defaults(func=_cmd_bench_codec)
+
+    p = sub.add_parser(
+        "bench-sweep",
+        help="sweep-engine throughput smoke test vs the committed baseline",
+    )
+    p.add_argument(
+        "--baseline",
+        default="benchmarks/baselines/sweep_throughput.json",
+        help="baseline JSON path",
+    )
+    p.add_argument("-j", "--jobs", type=int, default=4, help="pool size offered")
+    p.add_argument("--repeats", type=int, default=3, help="best-of-N repeats")
+    p.add_argument(
+        "--update", action="store_true", help="rewrite the baseline and exit"
+    )
+    p.set_defaults(func=_cmd_bench_sweep)
 
     p = sub.add_parser("workloads", help="print Table I")
     p.set_defaults(func=_cmd_workloads)

@@ -33,7 +33,11 @@ from repro.core.config import (
     HardwareConfig,
     SyncStrategy,
 )
-from repro.core.dataflow import DataflowDemand, build_demand
+from repro.core.dataflow import (
+    DataflowDemand,
+    build_demand,
+    build_demand_cached,
+)
 from repro.core.results import SimulationResult
 from repro.core.server import ServerModel, build_server
 from repro.pcie.traffic import bottleneck_link, completion_time
@@ -147,6 +151,25 @@ def prep_capacity(
     return rate, rates
 
 
+def prep_capacity_cached(
+    server: ServerModel, workload
+) -> Tuple[float, Dict[str, float]]:
+    """Per-server memo of :func:`prep_capacity` for a workload's demand.
+
+    Flow routing over the topology dominates the per-point solver cost;
+    a sweep asks for the same ``(server, workload)`` capacity from both
+    engines.  The rate table is returned as a fresh copy so callers may
+    keep or annotate it without corrupting the memo.
+    """
+    key = ("prep_capacity", workload.name)
+    memo = server.derived
+    if key not in memo:
+        demand = build_demand_cached(server, workload)
+        memo[key] = prep_capacity(server, demand)
+    rate, rates = memo[key]  # type: ignore[misc]
+    return rate, dict(rates)
+
+
 def pcie_bottleneck_link(server: ServerModel, demand: DataflowDemand) -> str:
     """Human-readable id of the busiest directed PCIe link for a demand
     (what a ``bottleneck == "pcie"`` result actually means)."""
@@ -177,8 +200,8 @@ def simulate(
             f"wants {scenario.n_accelerators}"
         )
 
-    demand = build_demand(server, workload)
-    prep_rate, resource_rates = prep_capacity(server, demand)
+    demand = build_demand_cached(server, workload)
+    prep_rate, resource_rates = prep_capacity_cached(server, workload)
 
     batch = scenario.batch_size or workload.batch_size
     if scenario.accelerator == "tpu":

@@ -293,3 +293,23 @@ def build_demand(
         topology=server.topology,
     )
     return demand
+
+
+def build_demand_cached(
+    server: ServerModel, workload: Workload
+) -> DataflowDemand:
+    """Per-server memo of :func:`build_demand`.
+
+    A sweep revisits the same ``(workload, arch, scale)`` point through
+    both engines (and normalization passes revisit it again), so the
+    demand vector is derived once per server instance and workload and
+    shared.  The memo lives on the server (``server.derived``), not in a
+    global table, so degraded copies made by :mod:`repro.core.faults`
+    never alias a healthy server's demand.  Callers must treat the
+    shared demand as read-only.
+    """
+    key = ("demand", workload.name)
+    memo = server.derived
+    if key not in memo:
+        memo[key] = build_demand(server, workload)
+    return memo[key]  # type: ignore[return-value]

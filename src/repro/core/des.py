@@ -17,6 +17,26 @@ blocking-after-service: batch ``k`` departs station ``i`` at
     D[i][k] = max(arrival, own previous departure, space downstream) + S
 
 which is an exact event-driven solution for FIFO deterministic networks.
+
+Two solvers implement the recursion:
+
+* :func:`run_pipeline_reference` — the batch-at-a-time scalar loop, the
+  executable spec.  It handles jitter and trace recording.
+* a **vectorized** solver used automatically for deterministic runs —
+  numpy over the whole batch axis, one station at a time.  Each
+  station's recursion ``F[k] = max(A[k], F[k - s]) + S`` is a max-plus
+  prefix scan solved in ``O(log)`` doubling passes
+  (``F[k] = max_t A[k - t·s] + (t+1)·S``).  Inter-station blocking can
+  be dropped there because with deterministic service it never moves the
+  last station's departures: a blocked batch is released exactly when
+  the downstream slot frees, which is never earlier than the downstream
+  server it would wait for anyway (the classical finite-buffer
+  invariance for deterministic tandem lines).  The delivery-buffer
+  barrier *is* kept exactly: the last station is solved one iteration at
+  a time, where its block term — ``iter_start`` of ``B + 1`` iterations
+  ago — is already known.  A golden test pins the vectorized solver to
+  the scalar reference across bottleneck positions, multi-server
+  stations, buffer depths and scales.
 """
 
 from __future__ import annotations
@@ -31,10 +51,10 @@ from repro.errors import ConfigError, SimulationError
 from repro.core.analytical import (
     TrainingScenario,
     make_sync_model,
-    prep_capacity,
+    prep_capacity_cached,
 )
 from repro.core.config import HardwareConfig
-from repro.core.dataflow import build_demand
+from repro.core.dataflow import build_demand_cached
 from repro.core.server import ServerModel, build_server
 
 
@@ -115,6 +135,36 @@ class DesResult:
         )
         return self.makespan - busy
 
+    def to_dict(self) -> Dict:
+        """JSON-encodable form for the persistent result cache.
+
+        Traces are transient diagnostics and are not cached; stations
+        round-trip as (name, rate, servers) rows.
+        """
+        return {
+            "throughput": self.throughput,
+            "iterations": self.iterations,
+            "makespan": self.makespan,
+            "station_utilization": dict(self.station_utilization),
+            "stations": [
+                [s.name, s.rate, s.servers] for s in self.stations
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DesResult":
+        return cls(
+            throughput=data["throughput"],
+            iterations=data["iterations"],
+            makespan=data["makespan"],
+            station_utilization=dict(data["station_utilization"]),
+            stations=tuple(
+                Station(name, rate, servers=servers)
+                for name, rate, servers in data["stations"]
+            ),
+            trace=None,
+        )
+
 
 def _stations_from_rates(
     rates: Dict[str, float], server_counts: Optional[Dict[str, int]] = None
@@ -147,7 +197,25 @@ def _stations_from_rates(
     return stations
 
 
-def run_pipeline(
+def _throughput_from_finish(
+    iter_finish: Sequence[float],
+    iterations: int,
+    n_accelerators: int,
+    batch_size: int,
+) -> float:
+    """Steady throughput over the post-warmup window (shared by both
+    solvers so they agree on the measurement, not just the event times)."""
+    makespan = iter_finish[-1]
+    # Skip the pipeline-fill warmup when measuring steady throughput.
+    warmup = min(iterations // 5, iterations - 1)
+    window = iter_finish[-1] - iter_finish[warmup]
+    done = iterations - 1 - warmup
+    if done <= 0 or window <= 0:
+        return iterations * n_accelerators * batch_size / makespan
+    return done * n_accelerators * batch_size / window
+
+
+def run_pipeline_reference(
     stations: Sequence[Station],
     n_accelerators: int,
     batch_size: int,
@@ -158,13 +226,10 @@ def run_pipeline(
     seed: int = 0,
     record_trace: bool = False,
 ) -> DesResult:
-    """Simulate ``iterations`` synchronous iterations.
+    """The scalar batch-at-a-time solver — the executable specification.
 
-    Per-accelerator batches flow through the tandem stations; iteration
-    ``j`` starts once all its ``n`` batches are delivered and iteration
-    ``j-1`` finished, then takes ``iteration_time`` (compute + sync).
-    ``jitter`` multiplies every service time by a lognormal factor with
-    the given coefficient of variation.
+    Handles service-time jitter and trace recording; the vectorized
+    solver is pinned to this one by a golden test.
     """
     if iterations <= 0:
         raise ConfigError("iterations must be positive")
@@ -237,14 +302,9 @@ def run_pipeline(
                 )
 
     makespan = iter_finish[-1]
-    # Skip the pipeline-fill warmup when measuring steady throughput.
-    warmup = min(iterations // 5, iterations - 1)
-    window = iter_finish[-1] - iter_finish[warmup]
-    done = iterations - 1 - warmup
-    if done <= 0 or window <= 0:
-        throughput = iterations * n_accelerators * batch_size / makespan
-    else:
-        throughput = done * n_accelerators * batch_size / window
+    throughput = _throughput_from_finish(
+        iter_finish, iterations, n_accelerators, batch_size
+    )
     utilization = {
         s.name: busy[i] / (makespan * s.servers) for i, s in enumerate(stations)
     }
@@ -255,6 +315,149 @@ def run_pipeline(
         station_utilization=utilization,
         stations=tuple(stations),
         trace=tuple(trace) if trace is not None else None,
+    )
+
+
+def _maxplus_scan(init: np.ndarray, shift: int, step: float) -> np.ndarray:
+    """Solve ``out[k] = max(init[k], out[k - shift] + step)`` in place.
+
+    Unrolled, the recursion is ``out[k] = max_t init[k - t·shift] + t·step``
+    — a max-plus prefix scan along stride ``shift``.  Doubling both the
+    span and the accumulated step covers all ``t`` in ``O(log)`` passes.
+    """
+    out = init
+    span = shift
+    add = step
+    while span < len(out):
+        np.maximum(out[span:], out[:-span] + add, out=out[span:])
+        span *= 2
+        add *= 2
+    return out
+
+
+def _run_pipeline_vectorized(
+    stations: Sequence[Station],
+    n_accelerators: int,
+    batch_size: int,
+    iteration_time: float,
+    iterations: int,
+    buffer_batches: int = 4,
+) -> DesResult:
+    """Deterministic solver, vectorized over the batch axis per station.
+
+    Stations before the last run feed-forward: each applies the scan
+    ``D[k] = max(A[k], D[k - servers]) + S``.  Dropping the
+    blocking-after-service term is exact for last-station departures with
+    deterministic service (see the module docstring).  The last station
+    keeps its delivery-buffer block, solved one iteration at a time where
+    the block — ``iter_start`` of ``buffer_batches + 1`` iterations ago —
+    is already known; the previous iteration's last ``servers``
+    departures are carried as a prefix so the scan crosses the chunk
+    boundary correctly.
+    """
+    if iterations <= 0:
+        raise ConfigError("iterations must be positive")
+    if buffer_batches < 1:
+        raise ConfigError("need at least one buffer slot between stages")
+    m = len(stations)
+    n = n_accelerators
+    n_batches = iterations * n
+    services = [st.service_time(batch_size) for st in stations]
+
+    arrival = np.zeros(n_batches)
+    for i in range(m - 1):
+        arrival += services[i]
+        arrival = _maxplus_scan(arrival, stations[i].servers, services[i])
+
+    s = stations[m - 1].servers
+    service = services[m - 1]
+    iter_start = np.zeros(iterations)
+    iter_finish = np.zeros(iterations)
+    # Last `s` departures of the previous chunk, oldest first.  -inf means
+    # "server never used": arrivals are non-negative, so the max with the
+    # missing predecessor is a no-op, matching the scalar's 0.0 default.
+    depart_tail = np.full(s, -math.inf)
+    prev_finish = 0.0
+    for j in range(iterations):
+        lo = j * n
+        blocked = np.maximum(arrival[lo : lo + n] + service, 0.0)
+        jb = j - buffer_batches - 1
+        if jb >= 0:
+            np.maximum(blocked, iter_start[jb], out=blocked)
+        work = np.concatenate([depart_tail, blocked])
+        span = s
+        add = service
+        while span < len(work):
+            np.maximum(work[span:], work[:-span] + add, out=work[span:])
+            span *= 2
+            add *= 2
+        depart_tail = work[-s:].copy()
+        iter_start[j] = max(work[-1], prev_finish)
+        prev_finish = iter_finish[j] = iter_start[j] + iteration_time
+
+    makespan = float(iter_finish[-1])
+    throughput = _throughput_from_finish(
+        iter_finish, iterations, n, batch_size
+    )
+    # Deterministic service: every batch costs exactly its service time,
+    # so busy time is n_batches · S per station — same sum the scalar
+    # solver accumulates.
+    utilization = {
+        st.name: n_batches * services[i] / (makespan * st.servers)
+        for i, st in enumerate(stations)
+    }
+    return DesResult(
+        throughput=float(throughput),
+        iterations=iterations,
+        makespan=makespan,
+        station_utilization=utilization,
+        stations=tuple(stations),
+        trace=None,
+    )
+
+
+def run_pipeline(
+    stations: Sequence[Station],
+    n_accelerators: int,
+    batch_size: int,
+    iteration_time: float,
+    iterations: int,
+    buffer_batches: int = 4,
+    jitter: float = 0.0,
+    seed: int = 0,
+    record_trace: bool = False,
+) -> DesResult:
+    """Simulate ``iterations`` synchronous iterations.
+
+    Per-accelerator batches flow through the tandem stations; iteration
+    ``j`` starts once all its ``n`` batches are delivered and iteration
+    ``j-1`` finished, then takes ``iteration_time`` (compute + sync).
+    ``jitter`` multiplies every service time by a lognormal factor with
+    the given coefficient of variation.
+
+    Deterministic runs without trace recording dispatch to the
+    vectorized solver; jitter (whose RNG draw order is defined by the
+    scalar loop) and tracing use :func:`run_pipeline_reference`.
+    """
+    if jitter <= 0 and not record_trace:
+        return _run_pipeline_vectorized(
+            stations,
+            n_accelerators,
+            batch_size,
+            iteration_time,
+            iterations,
+            buffer_batches=buffer_batches,
+        )
+    return run_pipeline_reference(
+        stations,
+        n_accelerators,
+        batch_size,
+        iteration_time,
+        iterations,
+        buffer_batches=buffer_batches,
+        jitter=jitter,
+        seed=seed,
+        record_trace=record_trace,
     )
 
 
@@ -276,8 +479,8 @@ def simulate_des(
             hw=hw,
             pool_size=scenario.pool_size,
         )
-    demand = build_demand(server, scenario.workload)
-    _, rates = prep_capacity(server, demand)
+    demand = build_demand_cached(server, scenario.workload)
+    _, rates = prep_capacity_cached(server, scenario.workload)
     # Device-granular service where the stage is an array of devices.
     counts = {
         "prep_compute": demand.n_prep_devices + demand.n_pool_devices,

@@ -50,6 +50,42 @@ class SimulationResult:
             raise SimulationError("reference throughput is zero")
         return self.throughput / other.throughput
 
+    def to_dict(self) -> Dict:
+        """JSON-encodable form for the persistent result cache.
+
+        Python round-trips floats through JSON exactly (repr-based), so a
+        cached result is bit-for-bit the computed one.
+        """
+        return {
+            "workload_name": self.workload_name,
+            "arch_name": self.arch_name,
+            "n_accelerators": self.n_accelerators,
+            "batch_size": self.batch_size,
+            "throughput": self.throughput,
+            "prep_rate": self.prep_rate,
+            "consume_rate": self.consume_rate,
+            "bottleneck": self.bottleneck,
+            "compute_time": self.compute_time,
+            "sync_time": self.sync_time,
+            "resource_rates": dict(self.resource_rates),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimulationResult":
+        return cls(
+            workload_name=data["workload_name"],
+            arch_name=data["arch_name"],
+            n_accelerators=data["n_accelerators"],
+            batch_size=data["batch_size"],
+            throughput=data["throughput"],
+            prep_rate=data["prep_rate"],
+            consume_rate=data["consume_rate"],
+            bottleneck=data["bottleneck"],
+            compute_time=data["compute_time"],
+            sync_time=data["sync_time"],
+            resource_rates=dict(data["resource_rates"]),
+        )
+
 
 @dataclass(frozen=True)
 class HostRequirements:

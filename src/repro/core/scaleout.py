@@ -58,6 +58,30 @@ class ScaleOutResult:
         """Speedup divided by the node count (1.0 = perfect scaling)."""
         return self.speedup_over_one_node / self.n_nodes
 
+    def to_dict(self) -> dict:
+        """JSON-encodable form for the persistent result cache."""
+        return {
+            "n_nodes": self.n_nodes,
+            "n_accelerators": self.n_accelerators,
+            "per_acc_batch": self.per_acc_batch,
+            "compute_time": self.compute_time,
+            "sync_time": self.sync_time,
+            "throughput": self.throughput,
+            "speedup_over_one_node": self.speedup_over_one_node,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScaleOutResult":
+        return cls(
+            n_nodes=data["n_nodes"],
+            n_accelerators=data["n_accelerators"],
+            per_acc_batch=data["per_acc_batch"],
+            compute_time=data["compute_time"],
+            sync_time=data["sync_time"],
+            throughput=data["throughput"],
+            speedup_over_one_node=data["speedup_over_one_node"],
+        )
+
 
 def hierarchical_sync_time(
     config: ScaleOutConfig, n_nodes: int, model_bytes: float

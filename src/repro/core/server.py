@@ -19,9 +19,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from functools import lru_cache
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from repro.cache import memoized
 from repro.errors import ConfigError
 from repro.core.config import ArchitectureConfig, HardwareConfig, PrepDevice
 from repro.devices.accelerator import AcceleratorSpec, NNAccelerator
@@ -67,6 +67,14 @@ class ServerModel:
     pool_fpga_ids: List[str] = field(default_factory=list)
 
     host_id: str = "rc"
+
+    #: Per-instance scratch memo for derived read-only objects (demand
+    #: vectors, prep-capacity tables) keyed by the deriving function —
+    #: see :func:`repro.core.dataflow.build_demand_cached`.  Excluded
+    #: from comparison; a copy of a server starts with a fresh memo.
+    derived: Dict[object, object] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def acc_ids(self) -> List[str]:
@@ -183,7 +191,6 @@ def build_server(
     )
 
 
-@lru_cache(maxsize=64)
 def build_server_cached(
     arch: ArchitectureConfig,
     n_accelerators: int,
@@ -195,11 +202,15 @@ def build_server_cached(
     Topology construction + enumeration is the dominant fixed cost of a
     scalability sweep, and the sweeps revisit the same ``(arch, scale)``
     points for every workload.  Both config types are frozen dataclasses,
-    so they key an ``lru_cache`` directly.  Callers share the returned
-    model; :func:`repro.core.analytical.simulate` treats a passed-in
-    server as read-only, which is what makes the sharing sound.
+    so they key the process-wide memo (:mod:`repro.cache`) directly.
+    Callers share the returned model;
+    :func:`repro.core.analytical.simulate` treats a passed-in server as
+    read-only, which is what makes the sharing sound.
     """
-    return build_server(arch, n_accelerators, hw=hw, pool_size=pool_size)
+    return memoized(
+        ("build_server", arch, n_accelerators, hw, pool_size),
+        lambda: build_server(arch, n_accelerators, hw=hw, pool_size=pool_size),
+    )
 
 
 def _build_type_grouped(

@@ -1,0 +1,350 @@
+"""Declarative sweep execution: grids of simulator runs, cached and
+parallel.
+
+Every evaluation figure is some grid — workloads × architectures ×
+accelerator counts, run through one of the engines (analytical, DES,
+scale-out).  Before this module each benchmark hand-rolled its own
+nested loops and recomputed every point on every run.  Here the grid is
+*data*:
+
+* :class:`SweepSpec` names the axes; :meth:`SweepSpec.points` expands
+  them in deterministic workload-major order (workload, then
+  architecture, then scale), so result vectors line up run to run and
+  process to process.
+* :func:`run_sweep` evaluates the points.  Each point is first looked up
+  in an optional persistent :class:`~repro.cache.ResultCache` under a
+  content-hash key (:func:`cache_key`) covering everything that
+  determines the answer — hardware config, architecture config, workload
+  row, scale, engine and engine parameters.  Only misses are computed:
+  serially for ``n_jobs=1``, otherwise on a ``ProcessPoolExecutor`` in
+  contiguous chunks.  Freshly computed results are written back to the
+  cache in the parent process (workers never touch the cache directory,
+  so there is nothing to coordinate).
+* Results are identical whichever path produced them: the engines are
+  deterministic, workers inherit the same code, and cached entries
+  round-trip through JSON bit-for-bit (tests pin all three ways).
+
+The in-process memo (:mod:`repro.cache`) sits underneath: server models
+and per-server demand vectors are shared across the points of one run.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import ConfigError
+from repro.cache import ResultCache, fingerprint
+from repro.core.analytical import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig, HardwareConfig
+from repro.core.results import SimulationResult
+from repro.core.scaleout import (
+    ScaleOutConfig,
+    ScaleOutResult,
+    simulate_scaleout,
+)
+from repro.core.server import build_server_cached
+from repro.workloads.registry import Workload
+
+#: The accelerator counts the scalability figures sweep.
+SCALE_LADDER = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: Engines a sweep point may request.
+ENGINES = ("analytical", "des", "scaleout")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: everything one engine invocation needs.
+
+    ``scale`` is the accelerator count for the analytical/DES engines
+    and the node count for ``scaleout``.  ``arch`` is unused by
+    ``scaleout`` (the cluster is described by ``scaleout_config``).
+    """
+
+    workload: Workload
+    arch: Optional[ArchitectureConfig]
+    scale: int
+    engine: str = "analytical"
+    batch_size: Optional[int] = None
+    hw: Optional[HardwareConfig] = None
+    pool_size: Optional[int] = None
+    accelerator: str = "tpu"
+    fabric_bandwidth: Optional[float] = None
+    scaleout_config: Optional[ScaleOutConfig] = None
+    des_iterations: int = 60
+    des_buffer_batches: int = 4
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}"
+            )
+        if self.scale <= 0:
+            raise ConfigError("scale must be positive")
+        if self.engine != "scaleout" and self.arch is None:
+            raise ConfigError(f"engine {self.engine!r} needs an architecture")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A full grid, expanded lazily in deterministic order."""
+
+    workloads: Tuple[Workload, ...]
+    archs: Tuple[Optional[ArchitectureConfig], ...]
+    scales: Tuple[int, ...] = SCALE_LADDER
+    engine: str = "analytical"
+    batch_size: Optional[int] = None
+    hw: Optional[HardwareConfig] = None
+    pool_size: Optional[int] = None
+    accelerator: str = "tpu"
+    fabric_bandwidth: Optional[float] = None
+    scaleout_config: Optional[ScaleOutConfig] = None
+    des_iterations: int = 60
+    des_buffer_batches: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.workloads or not self.archs or not self.scales:
+            raise ConfigError("sweep axes must be non-empty")
+
+    def points(self) -> List[SweepPoint]:
+        """Workload-major, then architecture, then ascending scale."""
+        return [
+            SweepPoint(
+                workload=w,
+                arch=a,
+                scale=s,
+                engine=self.engine,
+                batch_size=self.batch_size,
+                hw=self.hw,
+                pool_size=self.pool_size,
+                accelerator=self.accelerator,
+                fabric_bandwidth=self.fabric_bandwidth,
+                scaleout_config=self.scaleout_config,
+                des_iterations=self.des_iterations,
+                des_buffer_batches=self.des_buffer_batches,
+            )
+            for w in self.workloads
+            for a in self.archs
+            for s in self.scales
+        ]
+
+
+def cache_key(point: SweepPoint) -> str:
+    """Content-hash key for a point's result.
+
+    The whole point dataclass is fingerprinted — every nested config
+    field participates, so changing any of them (a bandwidth, a sync
+    strategy, a Table I rate) can never serve a stale entry.  ``hw`` and
+    ``scaleout_config`` are normalized to their defaults first so that
+    "no override" and "explicit default" hash alike.
+    """
+    hw = point.hw or HardwareConfig()
+    scaleout = (
+        (point.scaleout_config or ScaleOutConfig())
+        if point.engine == "scaleout"
+        else None
+    )
+    return fingerprint(
+        "sweep-point",
+        point.engine,
+        point.workload,
+        point.arch,
+        point.scale,
+        point.batch_size,
+        hw,
+        point.pool_size,
+        point.accelerator,
+        point.fabric_bandwidth,
+        scaleout,
+        point.des_iterations if point.engine == "des" else None,
+        point.des_buffer_batches if point.engine == "des" else None,
+    )
+
+
+def evaluate_point(
+    point: SweepPoint,
+) -> Union[SimulationResult, "DesResult", ScaleOutResult]:
+    """Run one point through its engine (module-level: pool workers
+    import it by name)."""
+    if point.engine == "scaleout":
+        return simulate_scaleout(
+            point.workload, point.scale, config=point.scaleout_config
+        )
+    server = build_server_cached(
+        point.arch, point.scale, hw=point.hw, pool_size=point.pool_size
+    )
+    scenario = TrainingScenario(
+        workload=point.workload,
+        arch=point.arch,
+        n_accelerators=point.scale,
+        batch_size=point.batch_size,
+        hw=point.hw,
+        accelerator=point.accelerator,
+        fabric_bandwidth=point.fabric_bandwidth,
+        pool_size=point.pool_size,
+    )
+    if point.engine == "des":
+        from repro.core.des import simulate_des
+
+        return simulate_des(
+            scenario,
+            server=server,
+            iterations=point.des_iterations,
+            buffer_batches=point.des_buffer_batches,
+        )
+    return simulate(scenario, server=server)
+
+
+def _result_from_dict(engine: str, data: dict):
+    if engine == "analytical":
+        return SimulationResult.from_dict(data)
+    if engine == "des":
+        from repro.core.des import DesResult
+
+        return DesResult.from_dict(data)
+    return ScaleOutResult.from_dict(data)
+
+
+@dataclass
+class SweepOutcome:
+    """Results aligned index-for-index with the evaluated points."""
+
+    points: Tuple[SweepPoint, ...]
+    results: Tuple[object, ...]
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def __iter__(self):
+        return iter(zip(self.points, self.results))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def by_key(self) -> Dict[Tuple[str, Optional[str], int], object]:
+        """Index results as ``(workload name, arch name, scale)``."""
+        return {
+            (p.workload.name, p.arch.name if p.arch else None, p.scale): r
+            for p, r in zip(self.points, self.results)
+        }
+
+    def curve(
+        self, workload_name: str, arch_name: Optional[str]
+    ) -> List[object]:
+        """The results for one (workload, arch) in ascending scale order."""
+        rows = [
+            (p.scale, r)
+            for p, r in zip(self.points, self.results)
+            if p.workload.name == workload_name
+            and (p.arch.name if p.arch else None) == arch_name
+        ]
+        rows.sort(key=lambda item: item[0])
+        return [r for _, r in rows]
+
+
+def run_sweep(
+    spec: Union[SweepSpec, Sequence[SweepPoint]],
+    n_jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    chunksize: Optional[int] = None,
+) -> SweepOutcome:
+    """Evaluate a grid, serving cached points and computing the rest.
+
+    ``n_jobs=1`` runs serially in-process; higher values fan the cache
+    misses out over a process pool in contiguous chunks.  The point
+    order of the outcome never depends on ``n_jobs`` or the cache state.
+    """
+    points = list(spec.points() if isinstance(spec, SweepSpec) else spec)
+    if n_jobs < 1:
+        raise ConfigError("n_jobs must be >= 1")
+    results: List[object] = [None] * len(points)
+
+    pending: List[int] = []
+    hits = 0
+    if cache is not None:
+        for idx, point in enumerate(points):
+            payload = cache.get(cache_key(point))
+            if payload is None:
+                pending.append(idx)
+            else:
+                results[idx] = _result_from_dict(point.engine, payload)
+                hits += 1
+    else:
+        pending = list(range(len(points)))
+
+    if pending:
+        todo = [points[i] for i in pending]
+        if n_jobs == 1 or len(todo) == 1:
+            computed = [evaluate_point(p) for p in todo]
+        else:
+            workers = min(n_jobs, len(todo))
+            if chunksize is None:
+                chunksize = max(1, -(-len(todo) // workers))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                computed = list(
+                    pool.map(evaluate_point, todo, chunksize=chunksize)
+                )
+        for idx, result in zip(pending, computed):
+            results[idx] = result
+            if cache is not None:
+                cache.put(cache_key(points[idx]), result.to_dict())
+
+    return SweepOutcome(
+        points=tuple(points),
+        results=tuple(results),
+        cache_hits=hits,
+        cache_misses=len(pending),
+    )
+
+
+def parallel_map(
+    fn: Callable, items: Iterable, n_jobs: int = 1
+) -> List[object]:
+    """``map`` with the sweep engine's process-pool semantics.
+
+    ``fn`` must be a module-level callable (pool workers import it by
+    qualified name); order follows ``items``; ``n_jobs=1`` is a plain
+    serial loop, so callers need no special casing.
+    """
+    items = list(items)
+    if n_jobs < 1:
+        raise ConfigError("n_jobs must be >= 1")
+    if n_jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = min(n_jobs, len(items))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))
+
+
+def figure21_spec(hw: Optional[HardwareConfig] = None) -> SweepSpec:
+    """The Figure 21 grid: five strategies × two workloads × the scale
+    ladder — the benchmark suite's canonical end-to-end sweep."""
+    from repro.core.config import PrepDevice
+    from repro.workloads.registry import get_workload
+
+    return SweepSpec(
+        workloads=(
+            get_workload("Inception-v4"),
+            get_workload("Transformer-SR"),
+        ),
+        archs=(
+            ArchitectureConfig.baseline(),
+            ArchitectureConfig.baseline_acc(PrepDevice.GPU),
+            ArchitectureConfig.baseline_acc(),
+            ArchitectureConfig.trainbox(prep_pool=False),
+            ArchitectureConfig.trainbox(),
+        ),
+        scales=SCALE_LADDER,
+        engine="analytical",
+        hw=hw,
+    )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.errors import DataprepError
@@ -39,6 +41,47 @@ def mel_filter_bank(
     [fmin, fmax] contributes to at least one mel bin (a property the tests
     check).
     """
+    return _cached_bank(n_mels, n_fft, sample_rate, float(fmin), fmax).copy()
+
+
+@lru_cache(maxsize=16)
+def _cached_bank(
+    n_mels: int, n_fft: int, sample_rate: int, fmin: float, fmax
+) -> np.ndarray:
+    """Shared read-only bank; geometries repeat across a whole dataset,
+    so the triangles are built once per geometry, not once per clip."""
+    if n_mels <= 0:
+        raise DataprepError(f"n_mels must be positive: {n_mels}")
+    if fmax is None:
+        fmax = sample_rate / 2.0
+    if not 0 <= fmin < fmax <= sample_rate / 2.0:
+        raise DataprepError(f"invalid band [{fmin}, {fmax}] for sr={sample_rate}")
+    n_bins = n_fft // 2 + 1
+    fft_freqs = np.linspace(0.0, sample_rate / 2.0, n_bins)
+    mel_points = np.linspace(hz_to_mel(fmin), hz_to_mel(fmax), n_mels + 2)
+    hz_points = mel_to_hz(mel_points)
+
+    # All triangles at once: row m rises over [hz[m], hz[m+1]] and falls
+    # over [hz[m+1], hz[m+2]].
+    left = hz_points[:-2, None]
+    center = hz_points[1:-1, None]
+    right = hz_points[2:, None]
+    up = (fft_freqs[None, :] - left) / np.maximum(center - left, 1e-12)
+    down = (right - fft_freqs[None, :]) / np.maximum(right - center, 1e-12)
+    bank = np.maximum(0.0, np.minimum(up, down))
+    bank.setflags(write=False)
+    return bank
+
+
+def mel_filter_bank_reference(
+    n_mels: int = N_MELS,
+    n_fft: int = N_FFT,
+    sample_rate: int = SAMPLE_RATE,
+    fmin: float = 0.0,
+    fmax: float = None,
+) -> np.ndarray:
+    """Triangle-at-a-time bank construction — the executable spec the
+    vectorized/cached build is pinned to by a golden test."""
     if n_mels <= 0:
         raise DataprepError(f"n_mels must be positive: {n_mels}")
     if fmax is None:
@@ -59,6 +102,18 @@ def mel_filter_bank(
     return bank
 
 
+@lru_cache(maxsize=16)
+def _cached_bank_t(
+    n_mels: int, n_fft: int, sample_rate: int
+) -> np.ndarray:
+    """Contiguous read-only transpose for the spectrogram matmul."""
+    bank_t = np.ascontiguousarray(
+        _cached_bank(n_mels, n_fft, sample_rate, 0.0, None).T
+    )
+    bank_t.setflags(write=False)
+    return bank_t
+
+
 def mel_spectrogram(
     signal: np.ndarray,
     n_mels: int = N_MELS,
@@ -71,8 +126,7 @@ def mel_spectrogram(
 ) -> np.ndarray:
     """Mel (log-)spectrogram of a 1-D signal: (n_frames × n_mels) float32."""
     power = power_spectrogram(signal, n_fft, win_length, hop_length)
-    bank = mel_filter_bank(n_mels, n_fft, sample_rate)
-    mel = power @ bank.T
+    mel = power @ _cached_bank_t(n_mels, n_fft, sample_rate)
     if log:
         mel = np.log(mel + eps)
     return mel.astype(np.float32)

@@ -46,8 +46,13 @@ def frame_signal(
     padded_len = (n_frames - 1) * hop_length + win_length
     padded = np.zeros(padded_len, dtype=np.float64)
     padded[:n] = signal
-    idx = np.arange(win_length)[None, :] + hop_length * np.arange(n_frames)[:, None]
-    return padded[idx]
+    # Stride-tricks framing: every hop_length-th window of the padded
+    # signal, materialized as one contiguous copy (the view itself is
+    # read-only and would alias ``padded``; .copy() guarantees an owned,
+    # writable array even when the strided slice is already contiguous,
+    # where ascontiguousarray would pass the read-only view through).
+    windows = np.lib.stride_tricks.sliding_window_view(padded, win_length)
+    return windows[::hop_length].copy()
 
 
 def num_frames(n_samples: int, hop_length: int = HOP_LENGTH, win_length: int = WIN_LENGTH) -> int:
@@ -69,8 +74,28 @@ def stft(
     if n_fft < win_length:
         raise DataprepError(f"n_fft ({n_fft}) must be >= win_length ({win_length})")
     frames = frame_signal(signal, win_length, hop_length)
-    windowed = frames * hann_window(win_length)[None, :]
-    return np.fft.rfft(windowed, n=n_fft, axis=1)
+    # frame_signal returns an owned copy, so window in place and run one
+    # batched FFT over the frame axis.
+    frames *= hann_window(win_length)[None, :]
+    return np.fft.rfft(frames, n=n_fft, axis=1)
+
+
+def stft_reference(
+    signal: np.ndarray,
+    n_fft: int = N_FFT,
+    win_length: int = WIN_LENGTH,
+    hop_length: int = HOP_LENGTH,
+) -> np.ndarray:
+    """Frame-at-a-time STFT — the executable spec :func:`stft` is pinned
+    to by a golden test."""
+    if n_fft < win_length:
+        raise DataprepError(f"n_fft ({n_fft}) must be >= win_length ({win_length})")
+    frames = frame_signal(signal, win_length, hop_length)
+    window = hann_window(win_length)
+    out = np.empty((frames.shape[0], n_fft // 2 + 1), dtype=np.complex128)
+    for i in range(frames.shape[0]):
+        out[i] = np.fft.rfft(frames[i] * window, n=n_fft)
+    return out
 
 
 def power_spectrogram(

@@ -92,6 +92,11 @@ class FlowSimulator:
             while head < len(order) and transfers[order[head]].start_time <= now + 1e-15:
                 active.append(order[head])
                 head += 1
+            # Compact once the dead prefix dominates the list, keeping
+            # the queue's memory proportional to what is still pending.
+            if head > len(order) // 2:
+                del order[:head]
+                head = 0
             if not active:
                 if head >= len(order):
                     raise SimulationError("no active or pending transfers left")

@@ -183,6 +183,76 @@ def codec_suite(
     ]
 
 
+# -- the sweep suite ---------------------------------------------------------
+
+
+def sweep_suite(
+    repeats: int = 3, n_jobs: int = 4, cache_dir: Optional[Path] = None
+) -> List[Measurement]:
+    """Throughput of the Figure 21 grid through the sweep engine.
+
+    Two measurements, points/s each:
+
+    * ``fig21_serial_uncached`` — every point computed from scratch
+      (the in-process memo is cleared inside the timed region);
+    * ``fig21_warm_cache`` — the same grid served from a warmed
+      persistent cache with ``n_jobs`` workers available (all hits, so
+      the pool is never spun up — the measurement is the cache path).
+    """
+    import shutil
+    import tempfile
+
+    from repro.cache import ResultCache, clear_memo
+    from repro.core.sweeps import figure21_spec, run_sweep
+
+    spec = figure21_spec()
+    n_points = len(spec.points())
+
+    def serial_uncached():
+        clear_memo()
+        run_sweep(spec, n_jobs=1)
+
+    out = [measure("fig21_serial_uncached", serial_uncached, n_points, repeats)]
+
+    tmp = (
+        tempfile.mkdtemp(prefix="repro-sweep-bench-")
+        if cache_dir is None
+        else str(cache_dir)
+    )
+    try:
+        run_sweep(spec, n_jobs=1, cache=ResultCache(tmp))  # warm the cache
+
+        def warm_cached():
+            run_sweep(spec, n_jobs=n_jobs, cache=ResultCache(tmp))
+
+        out.append(measure("fig21_warm_cache", warm_cached, n_points, repeats))
+    finally:
+        if cache_dir is None:
+            shutil.rmtree(tmp, ignore_errors=True)
+    return out
+
+
+def sweep_equivalence(n_jobs: int = 4):
+    """(serial/uncached, parallel/warm-cache) outcomes of the Figure 21
+    grid, for asserting the speedup never changes a number."""
+    import shutil
+    import tempfile
+
+    from repro.cache import ResultCache, clear_memo
+    from repro.core.sweeps import figure21_spec, run_sweep
+
+    spec = figure21_spec()
+    clear_memo()
+    serial = run_sweep(spec, n_jobs=1)
+    tmp = tempfile.mkdtemp(prefix="repro-sweep-equiv-")
+    try:
+        run_sweep(spec, n_jobs=n_jobs, cache=ResultCache(tmp))
+        cached = run_sweep(spec, n_jobs=n_jobs, cache=ResultCache(tmp))
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return serial, cached
+
+
 def reference_decode_speedup(size: int = 256, repeats: int = 10) -> float:
     """Fast-path / reference-path JPEG decode throughput ratio.
 

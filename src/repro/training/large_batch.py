@@ -80,6 +80,11 @@ def _train_arm(
     return model.accuracy(x_test, y_test)
 
 
+def _train_arm_kwargs(kwargs: dict) -> float:
+    """Module-level adapter so arms can cross a process-pool boundary."""
+    return _train_arm(**kwargs)
+
+
 def batch_scaling_experiment(
     num_train: int = 512,
     num_test: int = 256,
@@ -91,9 +96,14 @@ def batch_scaling_experiment(
     base_lr: float = 0.006,
     epochs: int = 20,
     seed: int = 0,
+    n_jobs: int = 1,
 ) -> BatchScalingResult:
     """Run the three arms on a fixed preparation (no augmentation, so
-    the only variable is the batch/LR schedule)."""
+    the only variable is the batch/LR schedule).
+
+    The arms are independent (each seeds its own model and shuffle), so
+    ``n_jobs > 1`` runs them through the sweep engine's process map.
+    """
     if scale <= 1:
         raise ConfigError("scale must be > 1")
     dataset = SyntheticImageDataset(
@@ -118,12 +128,18 @@ def batch_scaling_experiment(
         x_train=x_train, y_train=y_train, x_test=x_test, y_test=y_test,
         epochs=epochs, hidden=hidden, seed=seed,
     )
+    arms = [
+        dict(batch=small_batch, lr=base_lr, **common),
+        dict(batch=small_batch * scale, lr=base_lr * scale, **common),
+        dict(batch=small_batch * scale, lr=base_lr, **common),
+    ]
+    from repro.core.sweeps import parallel_map
+
+    small, scaled, unscaled = parallel_map(
+        _train_arm_kwargs, arms, n_jobs=n_jobs
+    )
     return BatchScalingResult(
-        small_batch=_train_arm(batch=small_batch, lr=base_lr, **common),
-        large_batch_scaled_lr=_train_arm(
-            batch=small_batch * scale, lr=base_lr * scale, **common
-        ),
-        large_batch_unscaled_lr=_train_arm(
-            batch=small_batch * scale, lr=base_lr, **common
-        ),
+        small_batch=small,
+        large_batch_scaled_lr=scaled,
+        large_batch_unscaled_lr=unscaled,
     )

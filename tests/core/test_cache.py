@@ -1,0 +1,171 @@
+"""The caching layers: fingerprints, the memo, the persistent cache."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cache import (
+    CACHE_VERSION,
+    CacheStats,
+    ResultCache,
+    canonicalize,
+    clear_memo,
+    fingerprint,
+    memo_size,
+    memoized,
+)
+from repro.core.config import ArchitectureConfig, HardwareConfig
+from repro.errors import ConfigError
+
+
+# -- fingerprinting ----------------------------------------------------------
+
+
+def test_fingerprint_is_deterministic():
+    hw = HardwareConfig()
+    assert fingerprint(hw) == fingerprint(HardwareConfig())
+
+
+def _bumped_values(value):
+    """Candidate replacements for a field; the first one the config's
+    validation accepts is used."""
+    if isinstance(value, bool):
+        return [not value]
+    if isinstance(value, int):
+        return [value + 1, max(1, value - 1)]
+    if isinstance(value, float):
+        return [value * 1.5 + 1.0, value * 0.5]
+    if isinstance(value, str):
+        return [value + "-x"]
+    if isinstance(value, dataclasses.Field):
+        return []
+    # Enums: any other member of the same class.
+    return [m for m in type(value) if m is not value]
+
+
+def _assert_every_field_changes_fingerprint(base):
+    reference = fingerprint(base)
+    for f in dataclasses.fields(base):
+        value = getattr(base, f.name)
+        for bumped in _bumped_values(value):
+            try:
+                variant = dataclasses.replace(base, **{f.name: bumped})
+            except ConfigError:
+                continue
+            assert fingerprint(variant) != reference, f.name
+            break
+        else:
+            # Validation rejects every candidate from this base (e.g.
+            # trainbox requires an FPGA prep device); the field still
+            # participates structurally: it is a key in the canonical
+            # encoding.
+            blob = json.dumps(canonicalize(base))
+            assert f'"{f.name}"' in blob
+
+
+def test_fingerprint_sensitive_to_every_hardware_field():
+    """No HardwareConfig field may be invisible to the cache key."""
+    _assert_every_field_changes_fingerprint(HardwareConfig())
+
+
+def test_fingerprint_sensitive_to_every_architecture_field():
+    _assert_every_field_changes_fingerprint(ArchitectureConfig.trainbox())
+
+
+def test_fingerprint_distinguishes_float_and_int():
+    assert fingerprint(1) != fingerprint(1.0)
+
+
+def test_fingerprint_distinguishes_container_shapes():
+    assert fingerprint([1, 2]) != fingerprint([2, 1])
+    assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+
+
+def test_canonicalize_rejects_opaque_objects():
+    with pytest.raises(ConfigError):
+        canonicalize(object())
+
+
+# -- in-process memo ---------------------------------------------------------
+
+
+def test_memoized_builds_once_and_shares():
+    clear_memo()
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return {"built": True}
+
+    a = memoized(("test-memo", 1), factory)
+    b = memoized(("test-memo", 1), factory)
+    assert a is b
+    assert len(calls) == 1
+    assert memo_size() >= 1
+    clear_memo()
+    assert memo_size() == 0
+
+
+# -- persistent cache --------------------------------------------------------
+
+
+def test_cache_miss_then_hit(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = fingerprint("point", 1)
+    assert cache.get(key) is None
+    cache.put(key, {"throughput": 42.5})
+    assert cache.get(key) == {"throughput": 42.5}
+    assert cache.stats == CacheStats(hits=1, misses=1, stores=1, discards=0)
+    assert len(cache) == 1
+
+
+def test_cache_roundtrips_floats_exactly(tmp_path):
+    cache = ResultCache(tmp_path)
+    value = 0.1 + 0.2  # not representable; repr round-trips exactly
+    cache.put("k" * 64, {"v": value, "inf": float("inf")})
+    got = cache.get("k" * 64)
+    assert got["v"] == value
+    assert got["inf"] == float("inf")
+
+
+def test_corrupted_entry_is_discarded_not_fatal(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = fingerprint("corrupt-me")
+    cache.put(key, {"v": 1})
+    path = cache._path(key)
+    path.write_text("{ not json")
+    assert cache.get(key) is None
+    assert cache.stats.discards == 1
+    assert not path.exists()  # the bad file is gone
+    assert cache.get(key) is None  # and stays a plain miss
+
+
+def test_stale_version_is_discarded(tmp_path):
+    old = ResultCache(tmp_path, version=CACHE_VERSION)
+    key = fingerprint("stale")
+    old.put(key, {"v": 1})
+    new = ResultCache(tmp_path, version=CACHE_VERSION + 1)
+    assert new.get(key) is None
+    assert new.stats.discards == 1
+    assert len(new) == 0
+
+
+def test_entry_must_echo_its_key(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = fingerprint("echo")
+    cache.put(key, {"v": 1})
+    path = cache._path(key)
+    entry = json.loads(path.read_text())
+    entry["key"] = "somebody-else"
+    path.write_text(json.dumps(entry))
+    assert cache.get(key) is None
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    for i in range(3):
+        cache.put(fingerprint("clear", i), {"i": i})
+    assert len(cache) == 3
+    assert cache.clear() == 3
+    assert len(cache) == 0

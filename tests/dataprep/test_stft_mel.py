@@ -109,3 +109,53 @@ def test_log_compression_applied(rng):
     logged = mel.mel_spectrogram(signal, log=True)
     assert np.all(linear >= 0)
     assert logged.min() < 0  # log of small powers goes negative
+
+
+def test_frames_are_owned_and_writable(rng):
+    """Stride-tricks framing must not hand out views of its scratch
+    buffer: frames are mutated in place by the STFT windowing."""
+    signal = rng.normal(size=2_000)
+    frames = stft.frame_signal(signal)
+    assert frames.flags.writeable
+    assert frames.flags.c_contiguous
+    before = signal.copy()
+    frames[:] = 0.0
+    assert np.array_equal(signal, before)
+
+
+def test_stft_matches_per_frame_reference(rng):
+    """Golden pin: the batched FFT equals the frame-at-a-time spec."""
+    for size in (100, 1_000, 16_000):
+        signal = rng.normal(size=size)
+        np.testing.assert_allclose(
+            stft.stft(signal), stft.stft_reference(signal), rtol=1e-12, atol=1e-12
+        )
+
+
+def test_filter_bank_matches_reference_exactly():
+    """Golden pin: the vectorized/cached bank equals the loop spec."""
+    for kwargs in (
+        {},
+        {"n_mels": 40, "n_fft": 512, "sample_rate": 16_000},
+        {"n_mels": 20, "fmin": 100.0, "fmax": 7_000.0},
+    ):
+        assert np.array_equal(
+            mel.mel_filter_bank(**kwargs), mel.mel_filter_bank_reference(**kwargs)
+        )
+
+
+def test_filter_bank_cache_returns_fresh_copies():
+    a = mel.mel_filter_bank(n_mels=24)
+    b = mel.mel_filter_bank(n_mels=24)
+    assert a is not b
+    assert a.flags.writeable
+    a[:] = -1.0  # mutating a caller's copy...
+    assert np.array_equal(b, mel.mel_filter_bank(n_mels=24))  # ...harms nobody
+
+
+def test_mel_spectrogram_matches_uncached_matmul(rng):
+    signal = rng.normal(size=8_000)
+    power = stft.power_spectrogram(signal)
+    expected = power @ mel.mel_filter_bank_reference(n_mels=64).T
+    got = mel.mel_spectrogram(signal, n_mels=64, log=False)
+    np.testing.assert_allclose(got, expected.astype(np.float32), rtol=1e-5)

@@ -99,6 +99,20 @@ def test_validation(small_topology):
         Transfer("a", "b", 1.0, start_time=-1)
 
 
+def test_many_staggered_transfers_compact_admission_queue(small_topology):
+    """A long staggered sequence exercises the admission-queue
+    compaction; results must match the obvious per-transfer timing."""
+    sim = FlowSimulator(small_topology)
+    n = 64
+    transfers = [
+        Transfer("a", "c", 16 * GB, start_time=float(i)) for i in range(n)
+    ]
+    records = sim.run(transfers)
+    # Each 16 GB transfer has the 16 GB/s path to itself for its second.
+    for i, record in enumerate(records):
+        assert record.finish_time == pytest.approx(i + 1.0)
+
+
 def test_conservation_of_work(small_topology):
     """Total bytes moved per unit time never exceed the cut capacity
     into the destination."""
