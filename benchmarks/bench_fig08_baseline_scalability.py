@@ -7,7 +7,8 @@ benefits beyond ~18 accelerators (Inception-v4 at 18.3, TF-SR at 4.4).
 from benchmarks._harness import SCALE_SWEEP, emit
 from repro.analysis.tables import format_series
 from repro.core.config import ArchitectureConfig
-from repro.core.sweeps import SweepSpec, run_sweep
+from repro.api import sweep as run_sweep
+from repro.core.sweeps import SweepSpec
 from repro.workloads.registry import TABLE_I
 
 ARCH = ArchitectureConfig.baseline()

@@ -9,7 +9,8 @@ largest winner at 84.3×.
 from benchmarks._harness import TARGET_SCALE, emit
 from repro.analysis.tables import format_table
 from repro.core.config import ArchitectureConfig
-from repro.core.sweeps import SweepSpec, run_sweep
+from repro.api import sweep as run_sweep
+from repro.core.sweeps import SweepSpec
 from repro.workloads.registry import TABLE_I
 
 LADDER = ArchitectureConfig.figure19_ladder()

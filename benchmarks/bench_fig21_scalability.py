@@ -10,7 +10,8 @@ TrainBox scales to the target, with the prep-pool needed for TF-SR
 
 from benchmarks._harness import SCALE_SWEEP, emit
 from repro.analysis.tables import format_series
-from repro.core.sweeps import figure21_spec, run_sweep
+from repro.api import sweep as run_sweep
+from repro.core.sweeps import figure21_spec
 
 #: Figure labels for the spec's architectures, in spec order.
 LABELS = (

@@ -1,0 +1,119 @@
+"""CI gate: the observability layer must be free when disabled.
+
+Two checks, one exit code:
+
+1. **Overhead** — the serial uncached Figure 21 sweep (the same
+   measurement committed in ``benchmarks/baselines/sweep_throughput.json``)
+   is re-run with tracing and metrics disabled; throughput more than
+   ``REPRO_TRACE_OVERHEAD_TOL`` (default 2%) below the committed
+   baseline fails.  Shared CI runners set a looser tolerance the same
+   way the bench-* gates do.
+2. **Smoke** — one traced + metered sweep over a fig21 sub-grid must
+   produce a schema-valid metrics manifest and a well-formed Chrome
+   ``trace_event`` document whose iteration spans reconcile with the
+   reported iteration time.
+
+Run from the repo root: ``PYTHONPATH=src python benchmarks/check_tracing_overhead.py``
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+from repro import api, obs, perf
+from repro.core.config import ArchitectureConfig
+from repro.core.sweeps import SweepSpec, figure21_spec, run_sweep
+from repro.workloads.registry import get_workload
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baselines" / "sweep_throughput.json"
+BENCH_NAME = "fig21_serial_uncached"
+DEFAULT_TOL = 0.02
+
+
+def overhead_tolerance() -> float:
+    raw = os.environ.get("REPRO_TRACE_OVERHEAD_TOL")
+    return float(raw) if raw is not None else DEFAULT_TOL
+
+
+def check_disabled_overhead() -> list:
+    baseline = perf.load_baseline(BASELINE_PATH)
+    if BENCH_NAME not in baseline:
+        return [f"no {BENCH_NAME!r} entry in {BASELINE_PATH}"]
+    assert obs.current_tracer() is None and obs.current_metrics() is None
+    measurements = [
+        m for m in perf.sweep_suite(repeats=3) if m.name == BENCH_NAME
+    ]
+    tol = overhead_tolerance()
+    failures = perf.regressions(measurements, baseline, tol=tol)
+    for m in measurements:
+        print(
+            f"{m.name}: {m.samples_per_s:,.1f} points/s "
+            f"(baseline {baseline[BENCH_NAME]:,.1f}, "
+            f"tolerance {100 * tol:.0f}%)"
+        )
+    return failures
+
+
+def check_traced_smoke() -> list:
+    failures = []
+    spec = SweepSpec(
+        workloads=(get_workload("Inception-v4"),),
+        archs=(ArchitectureConfig.baseline(), ArchitectureConfig.trainbox()),
+        scales=(1, 4, 16),
+    )
+    tracer = obs.Tracer()
+    with obs.session(tracer=tracer):
+        outcome = run_sweep(spec, metrics=True)
+
+    try:
+        obs.validate_manifest(outcome.manifest)
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the gate
+        failures.append(f"sweep manifest invalid: {exc}")
+    else:
+        points = outcome.manifest["counters"].get("sweep.points")
+        if points != len(spec.points()):
+            failures.append(
+                f"manifest counted {points} points, grid has {len(spec.points())}"
+            )
+
+    doc = tracer.to_chrome()
+    events = doc.get("traceEvents", [])
+    if not any(e.get("ph") == "X" for e in events):
+        failures.append("trace has no complete ('X') events")
+    if not any(e.get("ph") == "M" for e in events):
+        failures.append("trace has no process_name metadata")
+
+    # Reconciliation on a traced single scenario (the fig21 workload).
+    tracer = obs.Tracer()
+    result = api.simulate(
+        "Inception-v4", "trainbox", 16, engine="des", trace=tracer,
+        des_iterations=30,
+    )
+    traced = api.trace_iteration_time(tracer)
+    delta = abs(traced - result.iteration_time) / result.iteration_time
+    print(f"trace reconciliation: {100 * delta:.4f}% off reported iteration time")
+    if delta > 0.01:
+        failures.append(
+            f"traced iteration time {traced} vs reported "
+            f"{result.iteration_time} differ by {100 * delta:.2f}% (>1%)"
+        )
+    spec_points = len(spec.points())
+    print(f"traced smoke sweep: {spec_points} points, "
+          f"{len(tracer.spans)} spans on the scenario trace")
+    return failures
+
+
+def main() -> int:
+    failures = check_disabled_overhead()
+    failures += check_traced_smoke()
+    for line in failures:
+        print(f"FAIL  {line}", file=sys.stderr)
+    if not failures:
+        print("tracing overhead gate: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,7 @@ def show(label, scenario):
     t_mid = result.makespan * 0.3
     print(render_timeline(result.trace, width=90, t_start=t_mid,
                           t_end=min(result.makespan, t_mid * 2.2)))
-    for name, utilization in result.station_utilization.items():
+    for name, utilization in result.resource_utilization.items():
         print(f"  {name:20s} busy {100 * utilization:5.1f}%")
     print()
 

@@ -9,18 +9,22 @@ codec and audio front-end, ring synchronization, the Ethernet prep-pool),
 and the experiment harness regenerating every table and figure of the
 paper's evaluation.
 
-Quick start::
+Quick start (the :mod:`repro.api` facade is the supported entry point;
+``engine="des"``/``engine="flow"`` select the other engines)::
 
-    from repro.core import TrainingScenario, simulate
-    from repro.core.config import ArchitectureConfig
-    from repro.workloads import get_workload
+    from repro import api
 
-    workload = get_workload("Resnet-50")
-    baseline = simulate(TrainingScenario(
-        workload, ArchitectureConfig.baseline(), n_accelerators=256))
-    trainbox = simulate(TrainingScenario(
-        workload, ArchitectureConfig.trainbox(), n_accelerators=256))
+    baseline = api.simulate("Resnet-50", "baseline", 256)
+    trainbox = api.simulate("Resnet-50", "trainbox", 256)
     print(trainbox.speedup_over(baseline))
+
+Observability (tracing + metrics, ``docs/observability.md``)::
+
+    from repro import api, obs
+
+    tracer = obs.Tracer()
+    api.simulate("Resnet-50", "trainbox", 256, engine="des", trace=tracer)
+    tracer.write_chrome("trace.json")
 """
 
 __version__ = "1.0.0"
@@ -47,5 +51,17 @@ __all__ = [
     "SimulationError",
     "TopologyError",
     "__version__",
+    "api",
+    "obs",
     "units",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy so that ``import repro`` stays light: the facade pulls in the
+    # full engine stack, which only attribute access should pay for.
+    if name in ("api", "obs"):
+        import importlib
+
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

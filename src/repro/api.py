@@ -1,0 +1,255 @@
+"""The supported public entry surface: one call, any engine.
+
+Historically each engine had its own entrypoint with its own signature
+(:func:`repro.core.analytical.simulate`,
+:func:`repro.core.des.simulate_des`, and the fluid PCIe layer had none
+at all).  This module puts a single facade in front of all of them::
+
+    from repro import api
+
+    result = api.simulate("Resnet-50", "trainbox", 256)           # analytical
+    des    = api.simulate("Resnet-50", "trainbox", 256, engine="des")
+    flow   = api.simulate("Resnet-50", "trainbox", 16, engine="flow")
+
+Every engine returns a :class:`~repro.core.results.SimulationOutcome`
+(same fields, same derived properties), and the facade threads the
+observability layer (``trace=``, ``metrics=``) and the persistent result
+cache (``cache=``) uniformly — callers never touch three divergent
+signatures again.
+
+Engines are pluggable through the :class:`Engine` protocol; the built-in
+registry covers ``analytical``, ``des`` and ``flow``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Protocol, Union, runtime_checkable
+
+from repro import obs
+from repro.cache import ResultCache
+from repro.core.analytical import TrainingScenario, simulate as _simulate_analytical
+from repro.core.config import ArchitectureConfig, HardwareConfig, PrepDevice
+from repro.core.des import simulate_des
+from repro.core.flowengine import simulate_flow
+from repro.core.results import SimulationOutcome
+from repro.core.sweeps import (
+    SweepPoint,
+    SweepSpec,
+    cache_key,
+    run_sweep,
+    _result_from_dict,
+)
+from repro.errors import ConfigError
+from repro.workloads.registry import Workload, get_workload
+
+__all__ = [
+    "ARCH_BUILDERS",
+    "Engine",
+    "ENGINE_NAMES",
+    "get_engine",
+    "resolve_arch",
+    "resolve_workload",
+    "simulate",
+    "sweep",
+    "trace_iteration_time",
+]
+
+#: Short architecture aliases accepted anywhere the facade (or the CLI)
+#: takes an architecture.
+ARCH_BUILDERS = {
+    "baseline": ArchitectureConfig.baseline,
+    "acc": ArchitectureConfig.baseline_acc,
+    "acc-gpu": lambda: ArchitectureConfig.baseline_acc(PrepDevice.GPU),
+    "p2p": ArchitectureConfig.baseline_acc_p2p,
+    "gen4": ArchitectureConfig.baseline_acc_p2p_gen4,
+    "trainbox": ArchitectureConfig.trainbox,
+    "trainbox-no-pool": lambda: ArchitectureConfig.trainbox(prep_pool=False),
+}
+
+
+def resolve_workload(workload: Union[str, Workload]) -> Workload:
+    """A Table I workload, by name or already-resolved."""
+    if isinstance(workload, Workload):
+        return workload
+    return get_workload(workload)
+
+
+def resolve_arch(arch: Union[str, ArchitectureConfig]) -> ArchitectureConfig:
+    """An architecture config, by alias or already-resolved."""
+    if isinstance(arch, ArchitectureConfig):
+        return arch
+    try:
+        return ARCH_BUILDERS[arch]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown architecture {arch!r}; choose from "
+            f"{sorted(ARCH_BUILDERS)}"
+        ) from None
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """What the facade requires of a simulation engine.
+
+    ``run`` evaluates one :class:`~repro.core.sweeps.SweepPoint` and
+    returns a :class:`~repro.core.results.SimulationOutcome`.  Engines
+    read the active tracer/metrics from :mod:`repro.obs` — the facade
+    installs them before calling.
+    """
+
+    name: str
+
+    def run(self, point: SweepPoint) -> SimulationOutcome:
+        ...
+
+
+def _scenario(point: SweepPoint) -> TrainingScenario:
+    return TrainingScenario(
+        workload=point.workload,
+        arch=point.arch,
+        n_accelerators=point.scale,
+        batch_size=point.batch_size,
+        hw=point.hw,
+        accelerator=point.accelerator,
+        fabric_bandwidth=point.fabric_bandwidth,
+        pool_size=point.pool_size,
+    )
+
+
+class AnalyticalEngine:
+    """Steady-state overlap law (``min(prep, consume)``)."""
+
+    name = "analytical"
+
+    def run(self, point: SweepPoint) -> SimulationOutcome:
+        return _simulate_analytical(_scenario(point))
+
+
+class DesEngine:
+    """Batch-level discrete-event simulation of the pipeline."""
+
+    name = "des"
+
+    def run(self, point: SweepPoint) -> SimulationOutcome:
+        # A live tracer wants the event stream; recording is only paid
+        # when asked for.
+        record = obs.current_tracer() is not None
+        return simulate_des(
+            _scenario(point),
+            iterations=point.des_iterations,
+            buffer_batches=point.des_buffer_batches,
+            record_trace=record,
+        )
+
+
+class FlowEngine:
+    """Max-min fair fluid simulation of the PCIe transfer set."""
+
+    name = "flow"
+
+    def run(self, point: SweepPoint) -> SimulationOutcome:
+        return simulate_flow(_scenario(point))
+
+
+_ENGINES: Dict[str, Engine] = {
+    e.name: e for e in (AnalyticalEngine(), DesEngine(), FlowEngine())
+}
+
+#: Engine names the facade accepts.
+ENGINE_NAMES = tuple(_ENGINES)
+
+
+def get_engine(name: str) -> Engine:
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown engine {name!r}; choose from {ENGINE_NAMES}"
+        ) from None
+
+
+def _as_cache(cache) -> Optional[ResultCache]:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(Path(cache))
+
+
+def simulate(
+    workload: Union[str, Workload],
+    arch: Union[str, ArchitectureConfig],
+    scale: int,
+    *,
+    engine: str = "analytical",
+    batch_size: Optional[int] = None,
+    hw: Optional[HardwareConfig] = None,
+    pool_size: Optional[int] = None,
+    accelerator: str = "tpu",
+    fabric_bandwidth: Optional[float] = None,
+    des_iterations: int = 60,
+    des_buffer_batches: int = 4,
+    trace: Optional[obs.Tracer] = None,
+    metrics: Optional[obs.MetricsRegistry] = None,
+    cache: Union[None, str, Path, ResultCache] = None,
+) -> SimulationOutcome:
+    """Simulate one ``workload × arch × scale`` scenario on any engine.
+
+    ``trace``/``metrics`` install the given instruments for the duration
+    of the call; ``cache`` (a :class:`~repro.cache.ResultCache` or a
+    directory path) serves the point content-addressed when possible.
+    Traced runs always recompute — a cached payload has no event stream
+    to replay — but still refresh the cache with what they computed.
+    """
+    eng = get_engine(engine)
+    point = SweepPoint(
+        workload=resolve_workload(workload),
+        arch=resolve_arch(arch),
+        scale=scale,
+        engine=engine,
+        batch_size=batch_size,
+        hw=hw,
+        pool_size=pool_size,
+        accelerator=accelerator,
+        fabric_bandwidth=fabric_bandwidth,
+        des_iterations=des_iterations,
+        des_buffer_batches=des_buffer_batches,
+    )
+    store = _as_cache(cache)
+    with obs.session(tracer=trace, metrics=metrics):
+        with obs.span(
+            "api.simulate", cat="api",
+            engine=engine, workload=point.workload.name, scale=scale,
+        ):
+            key = cache_key(point) if store is not None else None
+            if store is not None and trace is None:
+                payload = store.get(key)
+                if payload is not None:
+                    return _result_from_dict(engine, payload)
+            result = eng.run(point)
+            if store is not None:
+                store.put(key, result.to_dict())
+    return result
+
+
+def sweep(
+    spec: Union[SweepSpec, list],
+    *,
+    n_jobs: int = 1,
+    cache: Union[None, str, Path, ResultCache] = None,
+    metrics: Union[None, bool, obs.MetricsRegistry] = None,
+):
+    """Evaluate a grid through the facade (thin wrapper over
+    :func:`repro.core.sweeps.run_sweep` with the facade's cache and
+    metrics conveniences)."""
+    return run_sweep(spec, n_jobs=n_jobs, cache=_as_cache(cache), metrics=metrics)
+
+
+def trace_iteration_time(tracer: obs.Tracer) -> float:
+    """The per-iteration time a trace's ``iteration`` spans imply.
+
+    ``repro trace`` reconciles this against ``result.iteration_time``;
+    the two agree to well within 1% for every engine (a test pins it).
+    """
+    return obs.steady_iteration_time(
+        tracer.model_spans(cat=obs.ITERATION_CATEGORY)
+    )

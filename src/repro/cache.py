@@ -36,12 +36,15 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional
 
+from repro import obs
 from repro.errors import ConfigError
 
 #: Schema version stamped into every persistent entry.  Any change to
 #: result dataclasses, solver behaviour, or calibrated constants that
 #: affects cached values must bump this.
-CACHE_VERSION = 1
+#: v2: DesResult normalized onto the shared SimulationOutcome schema
+#: (resource_utilization + scenario identity + rate fields).
+CACHE_VERSION = 2
 
 
 # -- canonical fingerprinting ------------------------------------------------
@@ -156,50 +159,57 @@ class ResultCache:
     def get(self, key: str) -> Optional[dict]:
         """The cached payload for ``key``, or None on miss."""
         path = self._path(key)
-        try:
-            raw = path.read_text()
-        except OSError:
-            self.stats.misses += 1
-            return None
-        try:
-            entry = json.loads(raw)
-            if (
-                not isinstance(entry, dict)
-                or entry.get("version") != self.version
-                or entry.get("key") != key
-                or "result" not in entry
-            ):
-                raise ValueError("stale or malformed cache entry")
-        except (ValueError, TypeError):
-            self.stats.discards += 1
-            self.stats.misses += 1
+        with obs.span("cache.get", cat="cache"):
             try:
-                path.unlink()
+                raw = path.read_text()
             except OSError:
-                pass
-            return None
-        self.stats.hits += 1
-        return entry["result"]
+                self.stats.misses += 1
+                obs.inc("cache.misses")
+                return None
+            try:
+                entry = json.loads(raw)
+                if (
+                    not isinstance(entry, dict)
+                    or entry.get("version") != self.version
+                    or entry.get("key") != key
+                    or "result" not in entry
+                ):
+                    raise ValueError("stale or malformed cache entry")
+            except (ValueError, TypeError):
+                self.stats.discards += 1
+                self.stats.misses += 1
+                obs.inc("cache.discards")
+                obs.inc("cache.misses")
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                return None
+            self.stats.hits += 1
+            obs.inc("cache.hits")
+            return entry["result"]
 
     def put(self, key: str, result: dict) -> None:
         """Store ``result`` (a JSON-encodable dict) under ``key``."""
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {"version": self.version, "key": key, "result": result}
-        fd, tmp = tempfile.mkstemp(
-            prefix=".tmp-", suffix=".json", dir=path.parent
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(entry, handle)
-            os.replace(tmp, path)
-        except OSError:
+        with obs.span("cache.put", cat="cache"):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            entry = {"version": self.version, "key": key, "result": result}
+            fd, tmp = tempfile.mkstemp(
+                prefix=".tmp-", suffix=".json", dir=path.parent
+            )
             try:
-                os.unlink(tmp)
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(entry, handle)
+                os.replace(tmp, path)
             except OSError:
-                pass
-            raise
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         self.stats.stores += 1
+        obs.inc("cache.stores")
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

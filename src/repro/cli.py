@@ -9,10 +9,18 @@ Commands:
 * ``plan``     — the §V-A train-initializer plan (prep-pool sizing,
   data distribution).
 * ``report``   — full session report (``--json`` for machines).
+* ``trace``    — run one scenario with tracing on and export a Chrome
+  ``trace_event`` JSON (open in ``chrome://tracing`` / Perfetto).
+* ``profile``  — run one scenario instrumented and print the top spans
+  and counters.
 * ``bench-codec`` — codec throughput smoke test vs the committed baseline.
 * ``bench-sweep`` — sweep-engine throughput smoke test vs the committed
   baseline.
 * ``workloads`` — print Table I.
+
+``simulate``/``sweep``/``ladder`` accept ``--trace PATH`` and
+``--metrics PATH`` to export the same artifacts from any run.  All
+scenario evaluation goes through the :mod:`repro.api` facade.
 """
 
 from __future__ import annotations
@@ -21,49 +29,64 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import api, obs, units
 from repro.analysis.tables import format_table
-from repro.core.analytical import TrainingScenario, simulate
-from repro.core.config import ArchitectureConfig, PrepDevice
+from repro.core.config import ArchitectureConfig
 from repro.core.initializer import TrainInitializer
 from repro.core.server import build_server
+from repro.errors import ConfigError
 from repro.workloads.registry import TABLE_I, get_workload
-from repro import units
 
-_ARCHS = {
-    "baseline": ArchitectureConfig.baseline,
-    "acc": ArchitectureConfig.baseline_acc,
-    "acc-gpu": lambda: ArchitectureConfig.baseline_acc(PrepDevice.GPU),
-    "p2p": ArchitectureConfig.baseline_acc_p2p,
-    "gen4": ArchitectureConfig.baseline_acc_p2p_gen4,
-    "trainbox": ArchitectureConfig.trainbox,
-    "trainbox-no-pool": lambda: ArchitectureConfig.trainbox(prep_pool=False),
-}
+#: Kept as the canonical alias map lives in :mod:`repro.api` now.
+_ARCHS = api.ARCH_BUILDERS
 
 
 def _arch(name: str) -> ArchitectureConfig:
     try:
-        return _ARCHS[name]()
-    except KeyError:
+        return api.resolve_arch(name)
+    except ConfigError:
         raise SystemExit(
             f"unknown architecture {name!r}; choose from {sorted(_ARCHS)}"
         )
 
 
+def _instruments(args: argparse.Namespace):
+    """(tracer, registry) per the command's --trace/--metrics flags."""
+    tracer = obs.Tracer() if getattr(args, "trace", None) else None
+    registry = obs.MetricsRegistry() if getattr(args, "metrics", None) else None
+    return tracer, registry
+
+
+def _export_instruments(args, tracer, registry) -> None:
+    if tracer is not None:
+        tracer.write_chrome(args.trace)
+        print(f"trace written: {args.trace} ({len(tracer.spans)} spans)")
+    if registry is not None:
+        registry.write_manifest(args.metrics)
+        print(f"metrics manifest written: {args.metrics}")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    workload = get_workload(args.workload)
-    result = simulate(
-        TrainingScenario(
-            workload, _arch(args.arch), args.accelerators, batch_size=args.batch
-        )
+    tracer, registry = _instruments(args)
+    result = api.simulate(
+        args.workload,
+        _arch(args.arch),
+        args.accelerators,
+        engine=args.engine,
+        batch_size=args.batch,
+        trace=tracer,
+        metrics=registry,
     )
-    print(f"workload      : {workload.name}")
+    print(f"workload      : {result.workload_name}")
     print(f"architecture  : {result.arch_name}")
+    print(f"engine        : {args.engine}")
     print(f"accelerators  : {result.n_accelerators}")
     print(f"batch/device  : {result.batch_size}")
     print(f"throughput    : {result.throughput:,.0f} samples/s")
     print(f"prep capacity : {result.prep_rate:,.0f} samples/s")
     print(f"accel demand  : {result.consume_rate:,.0f} samples/s")
     print(f"bottleneck    : {result.bottleneck}")
+    _export_instruments(args, tracer, registry)
     return 0
 
 
@@ -76,15 +99,23 @@ def _sweep_cache(args: argparse.Namespace):
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.core.sweeps import SCALE_LADDER, SweepSpec, run_sweep
+    from repro.core.sweeps import SCALE_LADDER, SweepSpec
 
     workload = get_workload(args.workload)
     arch = _arch(args.arch)
     scales = tuple(n for n in SCALE_LADDER if n <= args.accelerators)
     if not scales:
         scales = (args.accelerators,)
-    spec = SweepSpec(workloads=(workload,), archs=(arch,), scales=scales)
-    outcome = run_sweep(spec, n_jobs=args.jobs, cache=_sweep_cache(args))
+    spec = SweepSpec(
+        workloads=(workload,), archs=(arch,), scales=scales,
+        engine=args.engine,
+    )
+    tracer, registry = _instruments(args)
+    with obs.session(tracer=tracer):
+        outcome = api.sweep(
+            spec, n_jobs=args.jobs, cache=_sweep_cache(args),
+            metrics=registry,
+        )
     one = outcome.results[0].throughput
     rows = [
         [p.scale, f"{r.throughput:,.0f}", f"{r.throughput / one:.1f}x",
@@ -97,11 +128,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"cache: {outcome.cache_hits} hits, "
             f"{outcome.cache_misses} misses ({args.cache_dir})"
         )
+    _export_instruments(args, tracer, registry)
     return 0
 
 
 def _cmd_ladder(args: argparse.Namespace) -> int:
-    from repro.core.sweeps import SweepSpec, run_sweep
+    from repro.core.sweeps import SweepSpec
 
     workload = get_workload(args.workload)
     spec = SweepSpec(
@@ -109,7 +141,12 @@ def _cmd_ladder(args: argparse.Namespace) -> int:
         archs=tuple(ArchitectureConfig.figure19_ladder()),
         scales=(args.accelerators,),
     )
-    outcome = run_sweep(spec, n_jobs=args.jobs, cache=_sweep_cache(args))
+    tracer, registry = _instruments(args)
+    with obs.session(tracer=tracer):
+        outcome = api.sweep(
+            spec, n_jobs=args.jobs, cache=_sweep_cache(args),
+            metrics=registry,
+        )
     base = next(
         r for p, r in outcome if p.arch.name == "baseline"
     )
@@ -128,6 +165,80 @@ def _cmd_ladder(args: argparse.Namespace) -> int:
             f"cache: {outcome.cache_hits} hits, "
             f"{outcome.cache_misses} misses ({args.cache_dir})"
         )
+    _export_instruments(args, tracer, registry)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    tracer = obs.Tracer()
+    registry = obs.MetricsRegistry()
+    result = api.simulate(
+        args.workload,
+        _arch(args.arch),
+        args.accelerators,
+        engine=args.engine,
+        batch_size=args.batch,
+        trace=tracer,
+        metrics=registry,
+    )
+    path = tracer.write_chrome(args.out)
+    traced = api.trace_iteration_time(tracer)
+    reported = result.iteration_time
+    delta = abs(traced - reported) / reported if reported else 0.0
+    print(f"trace written : {path} ({len(tracer.spans)} spans)")
+    print(f"engine        : {args.engine}")
+    print(f"throughput    : {result.throughput:,.0f} samples/s")
+    print(f"iteration time: {reported * 1e3:.3f} ms (reported)")
+    print(f"trace implies : {traced * 1e3:.3f} ms ({100 * delta:.3f}% off)")
+    if delta > 0.01:
+        print("RECONCILIATION FAILURE: trace vs result differ by >1%",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    tracer = obs.Tracer()
+    registry = obs.MetricsRegistry()
+    result = api.simulate(
+        args.workload,
+        _arch(args.arch),
+        args.accelerators,
+        engine=args.engine,
+        batch_size=args.batch,
+        trace=tracer,
+        metrics=registry,
+    )
+    print(f"{result.workload_name} on {result.arch_name} "
+          f"x{result.n_accelerators} [{args.engine}]: "
+          f"{result.throughput:,.0f} samples/s")
+    print()
+    rows = [
+        [
+            s.name,
+            s.track,
+            s.count,
+            f"{s.total * 1e3:.3f}",
+            f"{s.mean * 1e3:.3f}",
+            f"{s.max_duration * 1e3:.3f}",
+        ]
+        for s in tracer.summarize(top=args.top)
+    ]
+    print(format_table(
+        ["span", "track", "count", "total ms", "mean ms", "max ms"], rows
+    ))
+    manifest = registry.to_manifest()
+    counter_rows = [[k, v] for k, v in manifest["counters"].items()]
+    if counter_rows:
+        print()
+        print(format_table(["counter", "value"], counter_rows))
+    histo_rows = [
+        [k, h["count"], f"{h['total']:.4g}", h["min"], h["max"]]
+        for k, h in manifest["histograms"].items()
+    ]
+    if histo_rows:
+        print()
+        print(format_table(["histogram", "n", "total", "min", "max"], histo_rows))
     return 0
 
 
@@ -268,10 +379,29 @@ def build_parser() -> argparse.ArgumentParser:
             help="NN accelerator count (default 256)",
         )
 
+    def engine_opt(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "-e", "--engine", default="analytical",
+            choices=list(api.ENGINE_NAMES),
+            help="simulation engine (default analytical)",
+        )
+
+    def obs_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="record a trace and write Chrome trace_event JSON here",
+        )
+        p.add_argument(
+            "--metrics", default=None, metavar="PATH",
+            help="collect counters and write the run manifest JSON here",
+        )
+
     p = sub.add_parser("simulate", help="simulate one scenario")
     common(p)
     p.add_argument("-a", "--arch", default="trainbox", help=f"one of {sorted(_ARCHS)}")
     p.add_argument("-b", "--batch", type=int, default=None, help="per-device batch")
+    engine_opt(p)
+    obs_opts(p)
     p.set_defaults(func=_cmd_simulate)
 
     def sweep_opts(p: argparse.ArgumentParser) -> None:
@@ -283,10 +413,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache-dir", default=None,
             help="persistent result-cache directory (off by default)",
         )
+        obs_opts(p)
 
     p = sub.add_parser("sweep", help="throughput vs accelerator count")
     common(p)
     p.add_argument("-a", "--arch", default="baseline")
+    engine_opt(p)
     sweep_opts(p)
     p.set_defaults(func=_cmd_sweep)
 
@@ -294,6 +426,34 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     sweep_opts(p)
     p.set_defaults(func=_cmd_ladder)
+
+    p = sub.add_parser(
+        "trace",
+        help="trace one scenario and export Chrome trace_event JSON",
+    )
+    common(p)
+    p.add_argument("-a", "--arch", default="trainbox", help=f"one of {sorted(_ARCHS)}")
+    p.add_argument("-b", "--batch", type=int, default=None, help="per-device batch")
+    engine_opt(p)
+    p.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="output trace path (default trace.json)",
+    )
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="run one scenario instrumented; print top spans and counters",
+    )
+    common(p)
+    p.add_argument("-a", "--arch", default="trainbox", help=f"one of {sorted(_ARCHS)}")
+    p.add_argument("-b", "--batch", type=int, default=None, help="per-device batch")
+    engine_opt(p)
+    p.add_argument(
+        "--top", type=int, default=10,
+        help="how many span aggregates to show (default 10)",
+    )
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("plan", help="train-initializer plan (prep-pool sizing)")
     common(p)

@@ -27,6 +27,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.errors import ConfigError, SimulationError
 from repro.core.config import (
     ArchitectureConfig,
@@ -90,6 +91,7 @@ def make_sync_model(
     return CentralSyncModel(bandwidth=bandwidth)
 
 
+@obs.profiled("analytical.prep_capacity", cat="engine")
 def prep_capacity(
     server: ServerModel, demand: DataflowDemand
 ) -> Tuple[float, Dict[str, float]]:
@@ -188,46 +190,51 @@ def simulate(
     workload = scenario.workload
     hw = scenario.hw or HardwareConfig()
     if server is None:
-        server = build_server(
-            scenario.arch,
-            scenario.n_accelerators,
-            hw=hw,
-            pool_size=scenario.pool_size,
-        )
+        with obs.span("analytical.build_server", cat="engine"):
+            server = build_server(
+                scenario.arch,
+                scenario.n_accelerators,
+                hw=hw,
+                pool_size=scenario.pool_size,
+            )
     elif server.n_accelerators != scenario.n_accelerators:
         raise ConfigError(
             f"server has {server.n_accelerators} accelerators, scenario "
             f"wants {scenario.n_accelerators}"
         )
 
-    demand = build_demand_cached(server, workload)
-    prep_rate, resource_rates = prep_capacity_cached(server, workload)
+    with obs.span("analytical.price_demand", cat="engine"):
+        demand = build_demand_cached(server, workload)
+        prep_rate, resource_rates = prep_capacity_cached(server, workload)
 
     batch = scenario.batch_size or workload.batch_size
-    if scenario.accelerator == "tpu":
-        spec = workload.accelerator_spec()
-    else:
-        spec = workload.legacy_accelerator_spec()
-    compute_time = spec.compute_time(batch)
+    with obs.span("analytical.solve", cat="engine"):
+        if scenario.accelerator == "tpu":
+            spec = workload.accelerator_spec()
+        else:
+            spec = workload.legacy_accelerator_spec()
+        compute_time = spec.compute_time(batch)
 
-    fabric = scenario.fabric_bandwidth or hw.accelerator_fabric_bandwidth
-    sync_model = make_sync_model(scenario.arch.sync, fabric)
-    sync_time = sync_model.time(scenario.n_accelerators, workload.model_bytes)
+        fabric = scenario.fabric_bandwidth or hw.accelerator_fabric_bandwidth
+        sync_model = make_sync_model(scenario.arch.sync, fabric)
+        sync_time = sync_model.time(
+            scenario.n_accelerators, workload.model_bytes
+        )
 
-    consume_rate = (
-        scenario.n_accelerators * batch / (compute_time + sync_time)
-    )
-    throughput = min(prep_rate, consume_rate)
-    if prep_rate < consume_rate:
-        bottleneck = min(resource_rates, key=resource_rates.get)
-        if bottleneck == "pcie":
-            link = pcie_bottleneck_link(server, demand)
-            if link:
-                bottleneck = f"pcie ({link})"
-    else:
-        bottleneck = "accelerator"
+        consume_rate = (
+            scenario.n_accelerators * batch / (compute_time + sync_time)
+        )
+        throughput = min(prep_rate, consume_rate)
+        if prep_rate < consume_rate:
+            bottleneck = min(resource_rates, key=resource_rates.get)
+            if bottleneck == "pcie":
+                link = pcie_bottleneck_link(server, demand)
+                if link:
+                    bottleneck = f"pcie ({link})"
+        else:
+            bottleneck = "accelerator"
 
-    return SimulationResult(
+    result = SimulationResult(
         workload_name=workload.name,
         arch_name=scenario.arch.name,
         n_accelerators=scenario.n_accelerators,
@@ -240,3 +247,43 @@ def simulate(
         sync_time=sync_time,
         resource_rates=resource_rates,
     )
+    obs.inc("engine.analytical.runs")
+    obs.observe("engine.analytical.throughput", throughput)
+    tracer = obs.current_tracer()
+    if tracer is not None:
+        emit_iteration_trace(tracer, result)
+    return result
+
+
+def emit_iteration_trace(tracer, result: SimulationResult) -> None:
+    """One steady-state iteration on the model-time track.
+
+    The top-level ``iteration`` span has duration ``iteration_time``
+    exactly; its children decompose it into compute, sync and (when the
+    scenario is prep-bound) the stall the accelerators spend waiting on
+    data — so a trace's span totals always reconcile with the reported
+    numbers.
+    """
+    it = result.iteration_time
+    tracer.add_model_span(
+        "iteration", 0.0, it,
+        cat=obs.ITERATION_CATEGORY,
+        bottleneck=result.bottleneck,
+        throughput=result.throughput,
+    )
+    tracer.add_model_span(
+        "compute", 0.0, result.compute_time, cat="phase", depth=1
+    )
+    tracer.add_model_span(
+        "sync",
+        result.compute_time,
+        result.compute_time + result.sync_time,
+        cat="phase",
+        depth=1,
+    )
+    busy = result.compute_time + result.sync_time
+    if it > busy * (1 + 1e-12):
+        tracer.add_model_span(
+            "prep_stall", busy, it, cat="phase", depth=1,
+            bottleneck=result.bottleneck,
+        )

@@ -41,12 +41,15 @@ Two solvers implement the recursion:
 
 from __future__ import annotations
 
+import dataclasses
 import math
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigError, SimulationError
 from repro.core.analytical import (
     TrainingScenario,
@@ -55,6 +58,7 @@ from repro.core.analytical import (
 )
 from repro.core.config import HardwareConfig
 from repro.core.dataflow import build_demand_cached
+from repro.core.results import SimulationOutcome
 from repro.core.server import ServerModel, build_server
 
 
@@ -108,19 +112,48 @@ class TraceEvent:
 
 
 @dataclass(frozen=True)
-class DesResult:
-    """Measured outcome of one DES run."""
+class DesResult(SimulationOutcome):
+    """Measured outcome of one DES run.
+
+    Shares the :class:`~repro.core.results.SimulationOutcome` interface
+    with the other engines: ``throughput``/``prep_rate``/``consume_rate``
+    /``bottleneck`` plus the derived ``prep_bound``/``iteration_time``/
+    ``speedup_over``.  ``resource_utilization`` maps each station to its
+    measured busy fraction (the old ``station_utilization`` name is a
+    deprecated alias for one release).
+    """
 
     throughput: float
     iterations: int
     makespan: float
-    station_utilization: Dict[str, float]
+    resource_utilization: Dict[str, float]
     stations: tuple
     trace: Optional[tuple] = None
 
+    workload_name: str = ""
+    arch_name: str = ""
+    n_accelerators: int = 0
+    batch_size: int = 0
+    prep_rate: float = math.inf
+    consume_rate: float = 0.0
+    bottleneck: str = ""
+
+    @property
+    def station_utilization(self) -> Dict[str, float]:
+        """Deprecated alias for :attr:`resource_utilization`."""
+        warnings.warn(
+            "DesResult.station_utilization is deprecated; use "
+            "resource_utilization (removal after one release)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.resource_utilization
+
     def relative_error(self, analytical_throughput: float) -> float:
         if analytical_throughput <= 0:
-            raise SimulationError("reference throughput must be positive")
+            raise SimulationError(
+                f"reference throughput must be positive for {self.scenario_id()}"
+            )
         return abs(self.throughput - analytical_throughput) / analytical_throughput
 
     def stall_time(self, station_name: str) -> float:
@@ -145,24 +178,41 @@ class DesResult:
             "throughput": self.throughput,
             "iterations": self.iterations,
             "makespan": self.makespan,
-            "station_utilization": dict(self.station_utilization),
+            "resource_utilization": dict(self.resource_utilization),
             "stations": [
                 [s.name, s.rate, s.servers] for s in self.stations
             ],
+            "workload_name": self.workload_name,
+            "arch_name": self.arch_name,
+            "n_accelerators": self.n_accelerators,
+            "batch_size": self.batch_size,
+            "prep_rate": self.prep_rate,
+            "consume_rate": self.consume_rate,
+            "bottleneck": self.bottleneck,
         }
 
     @classmethod
     def from_dict(cls, data: Dict) -> "DesResult":
+        utilization = data.get(
+            "resource_utilization", data.get("station_utilization", {})
+        )
         return cls(
             throughput=data["throughput"],
             iterations=data["iterations"],
             makespan=data["makespan"],
-            station_utilization=dict(data["station_utilization"]),
+            resource_utilization=dict(utilization),
             stations=tuple(
                 Station(name, rate, servers=servers)
                 for name, rate, servers in data["stations"]
             ),
             trace=None,
+            workload_name=data.get("workload_name", ""),
+            arch_name=data.get("arch_name", ""),
+            n_accelerators=data.get("n_accelerators", 0),
+            batch_size=data.get("batch_size", 0),
+            prep_rate=data.get("prep_rate", math.inf),
+            consume_rate=data.get("consume_rate", 0.0),
+            bottleneck=data.get("bottleneck", ""),
         )
 
 
@@ -195,6 +245,36 @@ def _stations_from_rates(
         # the recursion trivial.
         stations.append(Station("prep", 1e18))
     return stations
+
+
+def _normalized_fields(
+    stations: Sequence[Station],
+    n_accelerators: int,
+    batch_size: int,
+    iteration_time: float,
+) -> Dict[str, object]:
+    """The SimulationOutcome fields both solvers derive identically.
+
+    ``prep_rate`` is the slowest station's aggregate rate (the tandem
+    line's steady capacity), ``consume_rate`` the iteration barrier's
+    demand; ``bottleneck`` names whichever binds, exactly mirroring the
+    analytical engine's convention.
+    """
+    slowest = min(stations, key=lambda s: s.aggregate_rate)
+    prep_rate = slowest.aggregate_rate
+    consume_rate = (
+        n_accelerators * batch_size / iteration_time
+        if iteration_time > 0
+        else math.inf
+    )
+    bottleneck = slowest.name if prep_rate < consume_rate else "accelerator"
+    return {
+        "n_accelerators": n_accelerators,
+        "batch_size": batch_size,
+        "prep_rate": prep_rate,
+        "consume_rate": consume_rate,
+        "bottleneck": bottleneck,
+    }
 
 
 def _throughput_from_finish(
@@ -312,9 +392,10 @@ def run_pipeline_reference(
         throughput=throughput,
         iterations=iterations,
         makespan=makespan,
-        station_utilization=utilization,
+        resource_utilization=utilization,
         stations=tuple(stations),
         trace=tuple(trace) if trace is not None else None,
+        **_normalized_fields(stations, n_accelerators, batch_size, iteration_time),
     )
 
 
@@ -410,9 +491,10 @@ def _run_pipeline_vectorized(
         throughput=float(throughput),
         iterations=iterations,
         makespan=makespan,
-        station_utilization=utilization,
+        resource_utilization=utilization,
         stations=tuple(stations),
         trace=None,
+        **_normalized_fields(stations, n_accelerators, batch_size, iteration_time),
     )
 
 
@@ -439,26 +521,35 @@ def run_pipeline(
     vectorized solver; jitter (whose RNG draw order is defined by the
     scalar loop) and tracing use :func:`run_pipeline_reference`.
     """
-    if jitter <= 0 and not record_trace:
-        return _run_pipeline_vectorized(
-            stations,
-            n_accelerators,
-            batch_size,
-            iteration_time,
-            iterations,
-            buffer_batches=buffer_batches,
-        )
-    return run_pipeline_reference(
-        stations,
-        n_accelerators,
-        batch_size,
-        iteration_time,
-        iterations,
-        buffer_batches=buffer_batches,
-        jitter=jitter,
-        seed=seed,
-        record_trace=record_trace,
-    )
+    obs.inc("engine.des.runs")
+    obs.inc("engine.des.batches", iterations * n_accelerators)
+    with obs.span(
+        "des.run_pipeline", cat="engine",
+        stations=len(stations), iterations=iterations,
+    ):
+        if jitter <= 0 and not record_trace:
+            result = _run_pipeline_vectorized(
+                stations,
+                n_accelerators,
+                batch_size,
+                iteration_time,
+                iterations,
+                buffer_batches=buffer_batches,
+            )
+        else:
+            result = run_pipeline_reference(
+                stations,
+                n_accelerators,
+                batch_size,
+                iteration_time,
+                iterations,
+                buffer_batches=buffer_batches,
+                jitter=jitter,
+                seed=seed,
+                record_trace=record_trace,
+            )
+    obs.observe("engine.des.throughput", result.throughput)
+    return result
 
 
 def simulate_des(
@@ -473,14 +564,16 @@ def simulate_des(
     """Build the scenario's server and run the batch-level DES."""
     hw = scenario.hw or HardwareConfig()
     if server is None:
-        server = build_server(
-            scenario.arch,
-            scenario.n_accelerators,
-            hw=hw,
-            pool_size=scenario.pool_size,
-        )
-    demand = build_demand_cached(server, scenario.workload)
-    _, rates = prep_capacity_cached(server, scenario.workload)
+        with obs.span("des.build_server", cat="engine"):
+            server = build_server(
+                scenario.arch,
+                scenario.n_accelerators,
+                hw=hw,
+                pool_size=scenario.pool_size,
+            )
+    with obs.span("des.price_demand", cat="engine"):
+        demand = build_demand_cached(server, scenario.workload)
+        _, rates = prep_capacity_cached(server, scenario.workload)
     # Device-granular service where the stage is an array of devices.
     counts = {
         "prep_compute": demand.n_prep_devices + demand.n_pool_devices,
@@ -504,7 +597,7 @@ def simulate_des(
     # Stations serve per-accelerator batches; their rates are aggregate,
     # which the station abstraction already captures (one batch in
     # service at a time at the aggregate rate ≡ perfectly shared stage).
-    return run_pipeline(
+    result = run_pipeline(
         stations,
         scenario.n_accelerators,
         batch,
@@ -515,3 +608,37 @@ def simulate_des(
         seed=seed,
         record_trace=record_trace,
     )
+    result = dataclasses.replace(
+        result,
+        workload_name=scenario.workload.name,
+        arch_name=scenario.arch.name,
+    )
+    tracer = obs.current_tracer()
+    if tracer is not None and result.trace is not None:
+        _emit_model_trace(tracer, result)
+    return result
+
+
+def _emit_model_trace(tracer, result: DesResult) -> None:
+    """Replay a recorded DES trace onto the active tracer's ``des``
+    track: one span per station busy interval, plus the iteration
+    barrier spans ``repro trace`` reconciles against."""
+    for event in result.trace:
+        if event.kind == "iteration":
+            tracer.add_model_span(
+                "iteration",
+                event.start,
+                event.end,
+                cat=obs.ITERATION_CATEGORY,
+                track="des",
+                index=event.index,
+            )
+        else:
+            tracer.add_model_span(
+                event.name,
+                event.start,
+                event.end,
+                cat="station",
+                track="des",
+                batch=event.index,
+            )

@@ -1,4 +1,12 @@
-"""Result containers for the simulation engines."""
+"""Result containers for the simulation engines.
+
+Every engine outcome — analytical, DES, fluid-flow — derives from
+:class:`SimulationOutcome`, the shared interface the ``repro.api``
+facade promises: the same field names (``throughput``, ``prep_rate``,
+``consume_rate``, ``bottleneck``) and the same derived properties
+(``prep_bound``, ``iteration_time``, ``speedup_over``) whichever engine
+produced the number.  A parametrized conformance test pins this.
+"""
 
 from __future__ import annotations
 
@@ -8,8 +16,55 @@ from typing import Dict
 from repro.errors import SimulationError
 
 
+class SimulationOutcome:
+    """Mixin giving every engine result the common derived interface.
+
+    Subclasses are frozen dataclasses carrying at least
+    ``workload_name``, ``arch_name``, ``n_accelerators``, ``batch_size``,
+    ``throughput``, ``prep_rate``, ``consume_rate`` and ``bottleneck``.
+    Error messages always carry the scenario identity so a failure deep
+    inside a thousand-point sweep is attributable.
+    """
+
+    __slots__ = ()
+
+    def scenario_id(self) -> str:
+        """``workload/arch@scale`` tag for error messages and manifests."""
+        workload = getattr(self, "workload_name", "") or "?"
+        arch = getattr(self, "arch_name", "") or "?"
+        return f"{workload}/{arch}@n={getattr(self, 'n_accelerators', '?')}"
+
+    @property
+    def prep_bound(self) -> bool:
+        """True when data preparation limits the system (the paper's
+        central observation at scale)."""
+        return self.prep_rate < self.consume_rate
+
+    @property
+    def iteration_time(self) -> float:
+        """Steady-state time per iteration (global batch)."""
+        if self.throughput <= 0:
+            raise SimulationError(
+                f"throughput is zero for {self.scenario_id()}; no steady state"
+            )
+        return self.n_accelerators * self.batch_size / self.throughput
+
+    def speedup_over(self, other: "SimulationOutcome") -> float:
+        if other.throughput <= 0:
+            ident = (
+                other.scenario_id()
+                if isinstance(other, SimulationOutcome)
+                else repr(other)
+            )
+            raise SimulationError(
+                f"reference throughput is zero for {ident} "
+                f"(comparing against {self.scenario_id()})"
+            )
+        return self.throughput / other.throughput
+
+
 @dataclass(frozen=True)
-class SimulationResult:
+class SimulationResult(SimulationOutcome):
     """Outcome of one analytical simulation run.
 
     Rates are samples/second; times are seconds.  ``resource_rates`` maps
@@ -31,24 +86,6 @@ class SimulationResult:
     compute_time: float
     sync_time: float
     resource_rates: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def prep_bound(self) -> bool:
-        """True when data preparation limits the system (the paper's
-        central observation at scale)."""
-        return self.prep_rate < self.consume_rate
-
-    @property
-    def iteration_time(self) -> float:
-        """Steady-state time per iteration (global batch)."""
-        if self.throughput <= 0:
-            raise SimulationError("throughput is zero; no steady state")
-        return self.n_accelerators * self.batch_size / self.throughput
-
-    def speedup_over(self, other: "SimulationResult") -> float:
-        if other.throughput <= 0:
-            raise SimulationError("reference throughput is zero")
-        return self.throughput / other.throughput
 
     def to_dict(self) -> Dict:
         """JSON-encodable form for the persistent result cache.
@@ -83,6 +120,70 @@ class SimulationResult:
             bottleneck=data["bottleneck"],
             compute_time=data["compute_time"],
             sync_time=data["sync_time"],
+            resource_rates=dict(data["resource_rates"]),
+        )
+
+
+@dataclass(frozen=True)
+class FlowResult(SimulationOutcome):
+    """Outcome of the fluid-flow engine.
+
+    The analytical model prices PCIe with the steady-state busiest-link
+    law; this result replaces that one rate with the makespan of a full
+    global batch's transfer set run through the max-min fair fluid
+    simulator (:mod:`repro.pcie.flowsim`), keeping every other resource
+    priced analytically.  ``pcie_makespan`` is the simulated seconds to
+    move one global batch; ``n_transfers`` the concurrent flow count.
+    """
+
+    workload_name: str
+    arch_name: str
+    n_accelerators: int
+    batch_size: int
+
+    throughput: float
+    prep_rate: float
+    consume_rate: float
+    bottleneck: str
+
+    compute_time: float
+    sync_time: float
+    pcie_makespan: float
+    n_transfers: int
+    resource_rates: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "workload_name": self.workload_name,
+            "arch_name": self.arch_name,
+            "n_accelerators": self.n_accelerators,
+            "batch_size": self.batch_size,
+            "throughput": self.throughput,
+            "prep_rate": self.prep_rate,
+            "consume_rate": self.consume_rate,
+            "bottleneck": self.bottleneck,
+            "compute_time": self.compute_time,
+            "sync_time": self.sync_time,
+            "pcie_makespan": self.pcie_makespan,
+            "n_transfers": self.n_transfers,
+            "resource_rates": dict(self.resource_rates),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FlowResult":
+        return cls(
+            workload_name=data["workload_name"],
+            arch_name=data["arch_name"],
+            n_accelerators=data["n_accelerators"],
+            batch_size=data["batch_size"],
+            throughput=data["throughput"],
+            prep_rate=data["prep_rate"],
+            consume_rate=data["consume_rate"],
+            bottleneck=data["bottleneck"],
+            compute_time=data["compute_time"],
+            sync_time=data["sync_time"],
+            pcie_makespan=data["pcie_makespan"],
+            n_transfers=data["n_transfers"],
             resource_rates=dict(data["resource_rates"]),
         )
 

@@ -30,6 +30,7 @@ and per-server demand vectors are shared across the points of one run.
 
 from __future__ import annotations
 
+import contextlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import (
@@ -43,11 +44,12 @@ from typing import (
     Union,
 )
 
+from repro import obs
 from repro.errors import ConfigError
 from repro.cache import ResultCache, fingerprint
 from repro.core.analytical import TrainingScenario, simulate
 from repro.core.config import ArchitectureConfig, HardwareConfig
-from repro.core.results import SimulationResult
+from repro.core.results import FlowResult, SimulationResult
 from repro.core.scaleout import (
     ScaleOutConfig,
     ScaleOutResult,
@@ -60,7 +62,10 @@ from repro.workloads.registry import Workload
 SCALE_LADDER = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 #: Engines a sweep point may request.
-ENGINES = ("analytical", "des", "scaleout")
+ENGINES = ("analytical", "des", "flow", "scaleout")
+
+#: Reusable no-op context for paths that run without a metrics session.
+_NULL_CTX = contextlib.nullcontext()
 
 
 @dataclass(frozen=True)
@@ -203,7 +208,26 @@ def evaluate_point(
             iterations=point.des_iterations,
             buffer_batches=point.des_buffer_batches,
         )
+    if point.engine == "flow":
+        from repro.core.flowengine import simulate_flow
+
+        return simulate_flow(scenario, server=server)
     return simulate(scenario, server=server)
+
+
+def evaluate_point_metered(point: SweepPoint) -> Tuple[object, Dict]:
+    """Evaluate one point under a fresh metrics registry.
+
+    Module-level so pool workers import it by name.  Each point's model
+    counters are collected hermetically and returned alongside the
+    result, so the parent can fold child manifests in point order and
+    obtain the *same* aggregate whether points ran serially in-process
+    or fanned out over workers (a test pins parallel == serial).
+    """
+    registry = obs.MetricsRegistry()
+    with obs.session(metrics=registry):
+        result = evaluate_point(point)
+    return result, registry.to_manifest()
 
 
 def _result_from_dict(engine: str, data: dict):
@@ -213,17 +237,25 @@ def _result_from_dict(engine: str, data: dict):
         from repro.core.des import DesResult
 
         return DesResult.from_dict(data)
+    if engine == "flow":
+        return FlowResult.from_dict(data)
     return ScaleOutResult.from_dict(data)
 
 
 @dataclass
 class SweepOutcome:
-    """Results aligned index-for-index with the evaluated points."""
+    """Results aligned index-for-index with the evaluated points.
+
+    ``manifest`` is the merged observability run manifest (counters +
+    histograms across every evaluated point, cache layer included) when
+    the sweep ran with metrics collection, else ``None``.
+    """
 
     points: Tuple[SweepPoint, ...]
     results: Tuple[object, ...]
     cache_hits: int = 0
     cache_misses: int = 0
+    manifest: Optional[Dict] = None
 
     def __iter__(self):
         return iter(zip(self.points, self.results))
@@ -257,53 +289,119 @@ def run_sweep(
     n_jobs: int = 1,
     cache: Optional[ResultCache] = None,
     chunksize: Optional[int] = None,
+    metrics: Union[None, bool, "obs.MetricsRegistry"] = None,
 ) -> SweepOutcome:
     """Evaluate a grid, serving cached points and computing the rest.
 
     ``n_jobs=1`` runs serially in-process; higher values fan the cache
     misses out over a process pool in contiguous chunks.  The point
     order of the outcome never depends on ``n_jobs`` or the cache state.
+
+    ``metrics`` turns on observability aggregation: pass ``True`` (a
+    fresh registry) or an existing :class:`~repro.obs.MetricsRegistry`.
+    Every point is then evaluated under a hermetic child registry —
+    in-process or in a pool worker alike — and the children are merged
+    into the parent in point-index order, so the outcome's ``manifest``
+    is identical whichever execution path ran (parallel == serial, a
+    test pins it).  Cache-layer counters accrue in the parent, where the
+    cache lives.
     """
     points = list(spec.points() if isinstance(spec, SweepSpec) else spec)
     if n_jobs < 1:
         raise ConfigError("n_jobs must be >= 1")
+    registry: Optional[obs.MetricsRegistry]
+    if metrics is None or metrics is False:
+        registry = None
+    elif metrics is True:
+        registry = obs.MetricsRegistry()
+    else:
+        registry = metrics
     results: List[object] = [None] * len(points)
 
-    pending: List[int] = []
-    hits = 0
-    if cache is not None:
-        for idx, point in enumerate(points):
-            payload = cache.get(cache_key(point))
-            if payload is None:
-                pending.append(idx)
-            else:
-                results[idx] = _result_from_dict(point.engine, payload)
-                hits += 1
-    else:
-        pending = list(range(len(points)))
-
-    if pending:
-        todo = [points[i] for i in pending]
-        if n_jobs == 1 or len(todo) == 1:
-            computed = [evaluate_point(p) for p in todo]
-        else:
-            workers = min(n_jobs, len(todo))
-            if chunksize is None:
-                chunksize = max(1, -(-len(todo) // workers))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                computed = list(
-                    pool.map(evaluate_point, todo, chunksize=chunksize)
-                )
-        for idx, result in zip(pending, computed):
-            results[idx] = result
+    parent_session = (
+        obs.session(metrics=registry) if registry is not None else None
+    )
+    with parent_session or _NULL_CTX:
+        with obs.span("sweep.run", cat="sweep", points=len(points)):
+            pending: List[int] = []
+            hits = 0
             if cache is not None:
-                cache.put(cache_key(points[idx]), result.to_dict())
+                with obs.span("sweep.cache_scan", cat="sweep"):
+                    for idx, point in enumerate(points):
+                        payload = cache.get(cache_key(point))
+                        if payload is None:
+                            pending.append(idx)
+                        else:
+                            results[idx] = _result_from_dict(
+                                point.engine, payload
+                            )
+                            hits += 1
+            else:
+                pending = list(range(len(points)))
+            obs.inc("sweep.points", len(points))
+            obs.inc("sweep.cache_hits", hits)
+            obs.inc("sweep.cache_misses", len(pending))
+
+            if pending:
+                todo = [points[i] for i in pending]
+                manifests: List[Dict] = []
+                if n_jobs == 1 or len(todo) == 1:
+                    computed = []
+                    for p in todo:
+                        with obs.span(
+                            "sweep.point", cat="sweep",
+                            workload=p.workload.name, scale=p.scale,
+                            engine=p.engine,
+                        ):
+                            if registry is not None:
+                                result, manifest = evaluate_point_metered(p)
+                                manifests.append(manifest)
+                            else:
+                                result = evaluate_point(p)
+                        computed.append(result)
+                else:
+                    workers = min(n_jobs, len(todo))
+                    if chunksize is None:
+                        chunksize = max(1, -(-len(todo) // workers))
+                    with obs.span(
+                        "sweep.pool", cat="sweep",
+                        workers=workers, chunksize=chunksize,
+                    ):
+                        with ProcessPoolExecutor(max_workers=workers) as pool:
+                            if registry is not None:
+                                metered = list(
+                                    pool.map(
+                                        evaluate_point_metered,
+                                        todo,
+                                        chunksize=chunksize,
+                                    )
+                                )
+                                computed = [r for r, _ in metered]
+                                manifests = [m for _, m in metered]
+                            else:
+                                computed = list(
+                                    pool.map(
+                                        evaluate_point,
+                                        todo,
+                                        chunksize=chunksize,
+                                    )
+                                )
+                if registry is not None:
+                    # Point-index order: the merge is deterministic and
+                    # independent of which worker computed what.
+                    for manifest in manifests:
+                        registry.merge_manifest(manifest)
+                for idx, result in zip(pending, computed):
+                    results[idx] = result
+                    if cache is not None:
+                        cache.put(cache_key(points[idx]), result.to_dict())
 
     return SweepOutcome(
         points=tuple(points),
         results=tuple(results),
         cache_hits=hits,
         cache_misses=len(pending),
+        manifest=registry.to_manifest() if registry is not None else None,
     )
 
 

@@ -12,6 +12,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.errors import CapacityError, ConfigError
 
 
@@ -51,14 +52,19 @@ class PrepPool:
         if job_id in self._grants:
             raise ConfigError(f"job {job_id} already holds a grant")
         if count > len(self._free):
+            obs.inc("preppool.rejections")
             raise CapacityError(
                 f"job {job_id} requested {count} pool FPGAs, "
                 f"only {len(self._free)} available"
             )
-        granted = tuple(self._free[:count])
-        del self._free[:count]
-        grant = PoolAllocation(job_id, granted)
-        self._grants[job_id] = grant
+        with obs.span("preppool.allocate", cat="pool", job=job_id, count=count):
+            granted = tuple(self._free[:count])
+            del self._free[:count]
+            grant = PoolAllocation(job_id, granted)
+            self._grants[job_id] = grant
+        obs.inc("preppool.allocations")
+        obs.inc("preppool.fpgas_granted", count)
+        obs.observe("preppool.grant_size", count)
         return grant
 
     def release(self, job_id: str) -> None:
@@ -68,6 +74,8 @@ class PrepPool:
         except KeyError:
             raise ConfigError(f"job {job_id} holds no grant") from None
         self._free.extend(grant.fpga_ids)
+        obs.inc("preppool.releases")
+        obs.inc("preppool.fpgas_released", grant.count)
 
     def grant_of(self, job_id: str) -> Optional[PoolAllocation]:
         return self._grants.get(job_id)

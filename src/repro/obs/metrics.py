@@ -1,0 +1,159 @@
+"""Counters and histograms aggregated into a machine-readable run manifest.
+
+The registry records **model quantities only** — points evaluated, cache
+hits, simulated batches, throughput samples — never wall-clock timings.
+That restriction is what makes manifests *deterministic*: a sweep
+evaluated serially and the same sweep fanned out over a process pool
+merge to the identical manifest (a test pins this), so manifests can be
+diffed across runs and gated in CI.  Wall timings belong to the tracer.
+
+Merging is exact because every statistic kept is order-insensitive
+enough for the fixed merge order the sweep engine uses: counters and
+histogram counts/totals add, minima/maxima combine, and the sweep engine
+always folds child manifests in point-index order.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from repro.errors import ConfigError
+
+#: Schema tag stamped into every manifest; bump on layout changes.
+MANIFEST_SCHEMA = "repro-obs-manifest/1"
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of one observed quantity."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    def merge_dict(self, data: Dict) -> None:
+        count = int(data["count"])
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(data["total"])
+        self.min = min(self.min, float(data["min"]))
+        self.max = max(self.max, float(data["max"]))
+
+
+class MetricsRegistry:
+    """A run's named counters and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def inc(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.histograms)
+
+    # -- manifests ----------------------------------------------------
+
+    def to_manifest(self) -> Dict:
+        """The JSON-encodable run manifest (deterministic key order)."""
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "histograms": {
+                k: self.histograms[k].to_dict()
+                for k in sorted(self.histograms)
+            },
+        }
+
+    def merge_manifest(self, manifest: Dict) -> None:
+        """Fold another manifest into this registry (validated first)."""
+        validate_manifest(manifest)
+        for name, value in manifest["counters"].items():
+            self.inc(name, int(value))
+        for name, data in manifest["histograms"].items():
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.merge_dict(data)
+
+    @classmethod
+    def merged(cls, manifests: Iterable[Dict]) -> "MetricsRegistry":
+        reg = cls()
+        for manifest in manifests:
+            reg.merge_manifest(manifest)
+        return reg
+
+    def write_manifest(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_manifest(), indent=2) + "\n")
+        return path
+
+
+def validate_manifest(manifest: Dict) -> None:
+    """Raise :class:`ConfigError` unless ``manifest`` is a well-formed
+    run manifest (the CI smoke gate calls this on real output)."""
+    if not isinstance(manifest, dict):
+        raise ConfigError("manifest must be a dict")
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        raise ConfigError(
+            f"manifest schema {manifest.get('schema')!r} != {MANIFEST_SCHEMA!r}"
+        )
+    counters = manifest.get("counters")
+    histograms = manifest.get("histograms")
+    if not isinstance(counters, dict) or not isinstance(histograms, dict):
+        raise ConfigError("manifest needs 'counters' and 'histograms' dicts")
+    for name, value in counters.items():
+        if not isinstance(name, str) or not isinstance(value, int):
+            raise ConfigError(f"bad counter entry {name!r}: {value!r}")
+    for name, data in histograms.items():
+        if not isinstance(name, str) or not isinstance(data, dict):
+            raise ConfigError(f"bad histogram entry {name!r}")
+        if not isinstance(data.get("count"), int) or data["count"] < 0:
+            raise ConfigError(f"histogram {name!r} has a bad count")
+        if data["count"] > 0:
+            for key in ("total", "min", "max"):
+                if not isinstance(data.get(key), (int, float)):
+                    raise ConfigError(f"histogram {name!r} missing {key!r}")
+            if data["min"] > data["max"]:
+                raise ConfigError(f"histogram {name!r} has min > max")
+
+
+def load_manifest(path) -> Dict:
+    """Read and validate a manifest file."""
+    manifest = json.loads(Path(path).read_text())
+    validate_manifest(manifest)
+    return manifest

@@ -1,0 +1,302 @@
+"""Structured span/event tracing with Chrome ``trace_event`` export.
+
+A :class:`Tracer` records two kinds of spans on named *tracks*:
+
+* **wall spans** — real elapsed time around a code region, opened with
+  the :meth:`Tracer.span` context manager.  Nesting is tracked with an
+  explicit stack so the Chrome viewer renders call trees correctly.
+* **model spans** — intervals on a *simulated* timeline (a DES station
+  busy period, a fluid PCIe transfer lifetime, the analytical engine's
+  iteration decomposition), added with :meth:`Tracer.add_model_span`.
+  Their timestamps are simulated seconds, not wall seconds.
+
+Every track exports as its own Chrome process so wall time and the
+simulated timelines never share an axis.  The export is plain
+``trace_event`` JSON (``{"traceEvents": [...]}``) loadable in
+``chrome://tracing`` / Perfetto.
+
+The module keeps **no global state** — activation lives in
+:mod:`repro.obs` so that a disabled program never constructs a tracer at
+all (the zero-overhead contract is tested).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError
+
+#: Track names used by the built-in instrumentation.
+WALL_TRACK = "wall"
+MODEL_TRACK = "model"
+
+#: Category tag every engine puts on its top-level simulated-iteration
+#: spans; ``repro trace`` reconciles their totals against
+#: ``result.iteration_time``.
+ITERATION_CATEGORY = "iteration"
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span: ``[start, end)`` seconds on ``track``."""
+
+    name: str
+    cat: str
+    track: str
+    start: float
+    end: float
+    depth: int = 0
+    args: Optional[Dict[str, Any]] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One instant event."""
+
+    name: str
+    cat: str
+    track: str
+    ts: float
+    args: Optional[Dict[str, Any]] = None
+
+
+@dataclass
+class SpanSummary:
+    """Aggregate of every span sharing one name (``repro profile``)."""
+
+    name: str
+    track: str
+    count: int = 0
+    total: float = 0.0
+    max_duration: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _OpenSpan:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args):
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_OpenSpan":
+        tracer = self._tracer
+        self._start = tracer._clock()
+        tracer._stack.append(self._name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self._tracer
+        end = tracer._clock()
+        tracer._stack.pop()
+        tracer._record_wall(
+            self._name, self._cat, self._start, end,
+            len(tracer._stack), self._args,
+        )
+
+
+class Tracer:
+    """Collects spans and instant events for one run."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._t0 = clock()
+        self._stack: List[str] = []
+        self.spans: List[SpanRecord] = []
+        self.events: List[EventRecord] = []
+
+    # -- recording ----------------------------------------------------
+
+    def span(self, name: str, cat: str = "span", **args: Any) -> _OpenSpan:
+        """Open a wall-clock span around a ``with`` block."""
+        return _OpenSpan(self, name, cat, args or None)
+
+    def _record_wall(
+        self, name, cat, start, end, depth, args
+    ) -> None:
+        self.spans.append(
+            SpanRecord(
+                name=name,
+                cat=cat,
+                track=WALL_TRACK,
+                start=start - self._t0,
+                end=end - self._t0,
+                depth=depth,
+                args=args,
+            )
+        )
+
+    def add_model_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        cat: str = "model",
+        track: str = MODEL_TRACK,
+        depth: int = 0,
+        **args: Any,
+    ) -> None:
+        """Record a span on a simulated timeline (seconds of model time)."""
+        if end < start:
+            raise ConfigError(
+                f"model span {name!r} ends before it starts: {start}..{end}"
+            )
+        self.spans.append(
+            SpanRecord(
+                name=name,
+                cat=cat,
+                track=track,
+                start=start,
+                end=end,
+                depth=depth,
+                args=args or None,
+            )
+        )
+
+    def instant(
+        self, name: str, cat: str = "event", track: str = WALL_TRACK, **args
+    ) -> None:
+        """Record an instant event at the current wall time (or pass a
+        ``ts`` arg for model tracks)."""
+        ts = args.pop("ts", None)
+        if ts is None:
+            ts = self._clock() - self._t0
+        self.events.append(
+            EventRecord(name=name, cat=cat, track=track, ts=ts, args=args or None)
+        )
+
+    # -- queries ------------------------------------------------------
+
+    def model_spans(
+        self, cat: Optional[str] = None, track: Optional[str] = None
+    ) -> List[SpanRecord]:
+        """Spans on simulated timelines, optionally filtered by category."""
+        return [
+            s
+            for s in self.spans
+            if s.track != WALL_TRACK
+            and (cat is None or s.cat == cat)
+            and (track is None or s.track == track)
+        ]
+
+    def wall_spans(self) -> List[SpanRecord]:
+        return [s for s in self.spans if s.track == WALL_TRACK]
+
+    def summarize(self, top: Optional[int] = None) -> List[SpanSummary]:
+        """Spans aggregated by name, widest total first."""
+        table: Dict[tuple, SpanSummary] = {}
+        for s in self.spans:
+            key = (s.track, s.name)
+            agg = table.get(key)
+            if agg is None:
+                agg = table[key] = SpanSummary(name=s.name, track=s.track)
+            agg.count += 1
+            agg.total += s.duration
+            agg.max_duration = max(agg.max_duration, s.duration)
+        out = sorted(table.values(), key=lambda a: (-a.total, a.name))
+        return out[:top] if top is not None else out
+
+    # -- Chrome trace_event export ------------------------------------
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The run as a ``chrome://tracing`` / Perfetto JSON object.
+
+        Each track is one process; timestamps are microseconds.  Wall
+        spans carry their recorded nesting depth implicitly through
+        containment on a single thread, which the viewer reconstructs.
+        """
+        tracks: List[str] = []
+        for s in self.spans:
+            if s.track not in tracks:
+                tracks.append(s.track)
+        for e in self.events:
+            if e.track not in tracks:
+                tracks.append(e.track)
+        pid_of = {t: i for i, t in enumerate(tracks)}
+
+        events: List[Dict[str, Any]] = []
+        for track, pid in pid_of.items():
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "name": "process_name",
+                    "args": {"name": track},
+                }
+            )
+        for s in self.spans:
+            row: Dict[str, Any] = {
+                "ph": "X",
+                "pid": pid_of[s.track],
+                "tid": 0,
+                "name": s.name,
+                "cat": s.cat,
+                "ts": s.start * 1e6,
+                "dur": s.duration * 1e6,
+            }
+            if s.args:
+                row["args"] = dict(s.args)
+            events.append(row)
+        for e in self.events:
+            row = {
+                "ph": "i",
+                "s": "t",
+                "pid": pid_of[e.track],
+                "tid": 0,
+                "name": e.name,
+                "cat": e.cat,
+                "ts": e.ts * 1e6,
+            }
+            if e.args:
+                row["args"] = dict(e.args)
+            events.append(row)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path) -> Path:
+        """Serialize :meth:`to_chrome` to ``path``; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_chrome()) + "\n")
+        return path
+
+
+def steady_iteration_time(iteration_spans: Sequence[SpanRecord]) -> float:
+    """Per-iteration time implied by a trace's iteration spans.
+
+    A single span (the analytical/flow engines emit one steady-state
+    iteration) is its own answer.  A train of spans (the DES emits one
+    per simulated iteration) is measured exactly like the DES measures
+    throughput: the spacing of iteration *finishes* over the post-warmup
+    window, so the number reconciles with ``result.iteration_time`` by
+    construction.
+    """
+    spans = sorted(iteration_spans, key=lambda s: s.end)
+    if not spans:
+        raise ConfigError("trace has no iteration spans to reconcile")
+    if len(spans) == 1:
+        return spans[0].duration
+    n = len(spans)
+    warmup = min(n // 5, n - 1)
+    window = spans[-1].end - spans[warmup].end
+    done = n - 1 - warmup
+    if done <= 0 or window <= 0:
+        return spans[-1].end / n
+    return window / done

@@ -19,6 +19,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.errors import ConfigError, SimulationError
 from repro.pcie.topology import PcieTopology
 from repro.pcie.traffic import Flow, TrafficSolver
@@ -73,6 +74,26 @@ class FlowSimulator:
         order the transfers were given."""
         if not transfers:
             return []
+        with obs.span("flowsim.run", cat="pcie", transfers=len(transfers)):
+            records = self._run(transfers)
+        obs.inc("flowsim.runs")
+        obs.inc("flowsim.transfers", len(transfers))
+        tracer = obs.current_tracer()
+        if tracer is not None:
+            # Transfer lifetimes on the simulated timeline, one span each.
+            for record in records:
+                t = record.transfer
+                tracer.add_model_span(
+                    t.label or f"{t.src}->{t.dst}",
+                    t.start_time,
+                    record.finish_time,
+                    cat="transfer",
+                    track="flowsim",
+                    volume=t.volume,
+                )
+        return records
+
+    def _run(self, transfers: Sequence[Transfer]) -> List[TransferRecord]:
         remaining = {i: t.volume for i, t in enumerate(transfers)}
         finish: Dict[int, float] = {}
         # Admission order: a head pointer over the start-time-sorted index
@@ -88,6 +109,7 @@ class FlowSimulator:
             guard += 1
             if guard > 4 * len(transfers) + 16:
                 raise SimulationError("fluid simulation failed to converge")
+            obs.inc("flowsim.rate_solves")
             # Admit transfers whose start time has arrived.
             while head < len(order) and transfers[order[head]].start_time <= now + 1e-15:
                 active.append(order[head])

@@ -1,0 +1,167 @@
+"""Facade and engine-protocol conformance across all three engines."""
+
+import dataclasses
+
+import pytest
+
+from repro import api, obs
+from repro.cache import ResultCache
+from repro.core.config import ArchitectureConfig
+from repro.core.results import SimulationOutcome
+from repro.errors import ConfigError, SimulationError
+from repro.workloads.registry import get_workload
+
+ENGINES = list(api.ENGINE_NAMES)
+
+
+def _run(engine, scale=8, **kwargs):
+    return api.simulate(
+        "Resnet-50", "trainbox", scale, engine=engine,
+        des_iterations=30, **kwargs
+    )
+
+
+# -- conformance: every engine satisfies the shared result interface ---------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_result_satisfies_shared_interface(engine):
+    result = _run(engine)
+    assert isinstance(result, SimulationOutcome)
+    assert result.workload_name == "Resnet-50"
+    assert result.arch_name == "trainbox"
+    assert result.n_accelerators == 8
+    assert result.batch_size > 0
+    assert result.throughput > 0
+    assert result.prep_rate > 0
+    assert result.consume_rate > 0
+    assert isinstance(result.bottleneck, str) and result.bottleneck
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_derived_properties_are_consistent(engine):
+    result = _run(engine)
+    assert result.prep_bound == (result.prep_rate < result.consume_rate)
+    expected = result.n_accelerators * result.batch_size / result.throughput
+    assert result.iteration_time == pytest.approx(expected)
+    assert result.speedup_over(result) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_roundtrips_through_dict(engine):
+    result = _run(engine)
+    clone = type(result).from_dict(result.to_dict())
+    assert clone.to_dict() == result.to_dict()
+
+
+def test_engines_agree_on_steady_state():
+    # The DES and the fluid engine model the same pipeline the
+    # analytical law solves; their throughputs should be close.
+    analytical = _run("analytical")
+    for engine in ("des", "flow"):
+        other = _run(engine)
+        assert other.throughput == pytest.approx(
+            analytical.throughput, rel=0.05
+        )
+
+
+def test_registered_engines_satisfy_protocol():
+    for name in ENGINES:
+        engine = api.get_engine(name)
+        assert isinstance(engine, api.Engine)
+        assert engine.name == name
+
+
+# -- facade argument handling ------------------------------------------------
+
+
+def test_string_and_object_arguments_are_equivalent():
+    by_name = api.simulate("Resnet-50", "trainbox", 4)
+    by_object = api.simulate(
+        get_workload("Resnet-50"), ArchitectureConfig.trainbox(), 4
+    )
+    assert by_name == by_object
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ConfigError, match="unknown engine"):
+        api.simulate("Resnet-50", "trainbox", 4, engine="quantum")
+
+
+def test_unknown_arch_rejected():
+    with pytest.raises(ConfigError, match="unknown architecture"):
+        api.simulate("Resnet-50", "warp-drive", 4)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_cache_roundtrip(engine, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    first = _run(engine, cache=cache)
+    assert cache.stats.misses == 1 and cache.stats.stores == 1
+    second = _run(engine, cache=cache)
+    assert cache.stats.hits == 1
+    assert second.to_dict() == first.to_dict()
+
+
+def test_cache_accepts_directory_path(tmp_path):
+    _run("analytical", cache=tmp_path / "c")
+    again = _run("analytical", cache=str(tmp_path / "c"))
+    assert again.throughput > 0
+    assert len(ResultCache(tmp_path / "c")) == 1
+
+
+def test_traced_run_bypasses_cache_read(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    _run("des", cache=cache)
+    tracer = obs.Tracer()
+    traced = _run("des", cache=cache, trace=tracer)
+    # Recomputed (no cache read), so the trace has real spans.
+    assert cache.stats.hits == 0
+    assert tracer.model_spans(cat=obs.ITERATION_CATEGORY)
+    assert traced.throughput > 0
+
+
+# -- trace reconciliation (the acceptance criterion) -------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_trace_reconciles_with_iteration_time(engine):
+    tracer = obs.Tracer()
+    result = _run(engine, scale=16, trace=tracer)
+    traced = api.trace_iteration_time(tracer)
+    assert traced == pytest.approx(result.iteration_time, rel=0.01)
+
+
+# -- error-message identity (scenario named in failures) ---------------------
+
+
+def test_iteration_time_error_names_scenario():
+    result = _run("analytical")
+    broken = dataclasses.replace(result, throughput=0.0)
+    with pytest.raises(SimulationError) as err:
+        broken.iteration_time
+    message = str(err.value)
+    assert "Resnet-50" in message
+    assert "trainbox" in message
+    assert "n=8" in message
+
+
+def test_speedup_over_error_names_scenario():
+    result = _run("analytical")
+    broken = dataclasses.replace(result, throughput=0.0)
+    with pytest.raises(SimulationError) as err:
+        result.speedup_over(broken)
+    message = str(err.value)
+    assert "Resnet-50" in message
+    assert "trainbox" in message
+    assert "n=8" in message
+
+
+# -- deprecation shims -------------------------------------------------------
+
+
+def test_des_station_utilization_shim_warns():
+    result = _run("des")
+    with pytest.warns(DeprecationWarning, match="resource_utilization"):
+        legacy = result.station_utilization
+    assert legacy == result.resource_utilization

@@ -44,6 +44,69 @@ def test_plan_command(capsys):
     assert "meets target" in out
 
 
+def test_simulate_engine_flag(capsys):
+    assert main(["simulate", "Resnet-50", "-n", "8", "-e", "des"]) == 0
+    out = capsys.readouterr().out
+    assert "engine        : des" in out
+    assert "throughput" in out
+
+
+def test_simulate_trace_and_metrics_flags(capsys, tmp_path):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "manifest.json"
+    assert main([
+        "simulate", "Resnet-50", "-n", "8", "-e", "flow",
+        "--trace", str(trace_path), "--metrics", str(metrics_path),
+    ]) == 0
+    doc = json.loads(trace_path.read_text())
+    assert doc["traceEvents"]
+    from repro.obs import load_manifest
+
+    manifest = load_manifest(metrics_path)
+    assert manifest["counters"]["engine.flow.runs"] == 1
+
+
+def test_trace_command_reconciles(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "fig21.json"
+    assert main([
+        "trace", "Inception-v4", "-a", "trainbox", "-n", "16",
+        "-e", "des", "--out", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "trace written" in out
+    assert "RECONCILIATION FAILURE" not in out
+    assert json.loads(out_path.read_text())["traceEvents"]
+
+
+def test_profile_command(capsys):
+    assert main(["profile", "Resnet-50", "-n", "8", "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "span" in out
+    assert "counter" in out
+    assert "engine.analytical.runs" in out
+
+
+def test_sweep_metrics_flag(capsys, tmp_path):
+    metrics_path = tmp_path / "sweep-manifest.json"
+    assert main([
+        "sweep", "Resnet-50", "-a", "trainbox", "-n", "8",
+        "--metrics", str(metrics_path),
+    ]) == 0
+    from repro.obs import load_manifest
+
+    manifest = load_manifest(metrics_path)
+    assert manifest["counters"]["sweep.points"] == 4
+
+
+def test_unknown_engine_exits():
+    with pytest.raises(SystemExit):
+        main(["simulate", "Resnet-50", "-e", "quantum"])
+
+
 def test_unknown_architecture_exits():
     with pytest.raises(SystemExit):
         main(["simulate", "Resnet-50", "-a", "warp-drive"])

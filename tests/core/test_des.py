@@ -48,7 +48,7 @@ def test_tandem_bottleneck_is_min():
     assert result.throughput == pytest.approx(200.0, rel=0.05)
     # The bottleneck station is the busiest.
     assert max(
-        result.station_utilization, key=result.station_utilization.get
+        result.resource_utilization, key=result.resource_utilization.get
     ) == "b"
 
 
@@ -99,7 +99,7 @@ def test_utilization_bounded():
     result = run_pipeline(
         [Station("a", 500.0), Station("b", 200.0)], 2, 100, 0.5, iterations=40
     )
-    for value in result.station_utilization.values():
+    for value in result.resource_utilization.values():
         assert 0.0 <= value <= 1.0 + 1e-9
 
 
@@ -121,7 +121,7 @@ def test_multi_server_utilization_normalized_per_server():
         [Station("prep", 50.0, servers=4)], 2, 100, 1e-4, iterations=40,
         buffer_batches=8,
     )
-    assert 0.0 <= result.station_utilization["prep"] <= 1.0 + 1e-9
+    assert 0.0 <= result.resource_utilization["prep"] <= 1.0 + 1e-9
 
 
 def test_station_server_validation():

@@ -64,8 +64,8 @@ def test_vectorized_matches_reference(rates, n_accelerators, buffer_batches):
         assert vec.makespan == pytest.approx(ref.makespan, rel=1e-9)
         assert vec.iterations == ref.iterations
         assert vec.stations == ref.stations
-        for name, util in ref.station_utilization.items():
-            assert vec.station_utilization[name] == pytest.approx(
+        for name, util in ref.resource_utilization.items():
+            assert vec.resource_utilization[name] == pytest.approx(
                 util, rel=1e-9, abs=1e-12
             )
 
@@ -105,6 +105,6 @@ def test_desresult_to_from_dict_roundtrip():
     clone = type(result).from_dict(result.to_dict())
     assert clone.throughput == result.throughput
     assert clone.makespan == result.makespan
-    assert clone.station_utilization == result.station_utilization
+    assert clone.resource_utilization == result.resource_utilization
     assert clone.stations == result.stations
     assert clone.trace is None

@@ -1,0 +1,217 @@
+"""Tracer unit suite: disabled no-ops, span nesting, Chrome export."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigError
+
+
+class FakeClock:
+    """Deterministic wall clock for span tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, dt):
+        self.now += dt
+
+
+# -- disabled path -----------------------------------------------------------
+
+
+def test_disabled_helpers_are_noops():
+    assert obs.current_tracer() is None
+    assert obs.current_metrics() is None
+    # No tracer installed: nothing recorded, nothing raised.
+    obs.model_span("x", 0.0, 1.0)
+    obs.instant("x")
+    obs.inc("x")
+    obs.observe("x", 1.0)
+    with obs.span("x", cat="test"):
+        pass
+
+
+def test_disabled_span_is_shared_singleton():
+    # The zero-overhead contract: no allocation on the disabled path.
+    assert obs.span("a") is obs.span("b")
+
+
+def test_profiled_disabled_calls_through():
+    calls = []
+
+    @obs.profiled()
+    def hot(x):
+        calls.append(x)
+        return x * 2
+
+    assert hot(21) == 42
+    assert calls == [21]
+    assert hot.__wrapped__(1) == 2
+
+
+# -- sessions ----------------------------------------------------------------
+
+
+def test_session_installs_and_restores():
+    tracer = obs.Tracer()
+    metrics = obs.MetricsRegistry()
+    with obs.session(tracer=tracer, metrics=metrics):
+        assert obs.current_tracer() is tracer
+        assert obs.current_metrics() is metrics
+        obs.inc("seen")
+    assert obs.current_tracer() is None
+    assert obs.current_metrics() is None
+    assert metrics.counters == {"seen": 1}
+
+
+def test_nested_session_with_none_leaves_outer_instrument():
+    outer = obs.Tracer()
+    inner_metrics = obs.MetricsRegistry()
+    with obs.session(tracer=outer):
+        with obs.session(metrics=inner_metrics):
+            assert obs.current_tracer() is outer
+            assert obs.current_metrics() is inner_metrics
+        assert obs.current_tracer() is outer
+        assert obs.current_metrics() is None
+
+
+def test_session_restores_on_exception():
+    tracer = obs.Tracer()
+    with pytest.raises(RuntimeError):
+        with obs.session(tracer=tracer):
+            raise RuntimeError("boom")
+    assert obs.current_tracer() is None
+
+
+# -- recording ---------------------------------------------------------------
+
+
+def test_span_nesting_depth_and_timing():
+    clock = FakeClock()
+    tracer = obs.Tracer(clock=clock)
+    with tracer.span("outer"):
+        clock.tick(1.0)
+        with tracer.span("inner"):
+            clock.tick(0.5)
+        clock.tick(0.25)
+    inner, outer = tracer.spans  # inner closes first
+    assert inner.name == "inner" and inner.depth == 1
+    assert outer.name == "outer" and outer.depth == 0
+    assert inner.duration == pytest.approx(0.5)
+    assert outer.duration == pytest.approx(1.75)
+    assert outer.start <= inner.start and inner.end <= outer.end
+
+
+def test_profiled_enabled_records_default_label():
+    tracer = obs.Tracer()
+
+    @obs.profiled()
+    def hot():
+        return 7
+
+    with obs.session(tracer=tracer):
+        assert hot() == 7
+    (span,) = tracer.spans
+    assert span.name.endswith("hot")
+    assert span.cat == "profile"
+
+
+def test_model_span_rejects_negative_duration():
+    tracer = obs.Tracer()
+    with pytest.raises(ConfigError):
+        tracer.add_model_span("bad", 2.0, 1.0)
+
+
+def test_model_span_filters():
+    tracer = obs.Tracer()
+    tracer.add_model_span("a", 0.0, 1.0, cat="iteration", track="des")
+    tracer.add_model_span("b", 0.0, 1.0, cat="station", track="des")
+    tracer.add_model_span("c", 0.0, 1.0, cat="iteration", track="model")
+    with tracer.span("wall-only"):
+        pass
+    assert {s.name for s in tracer.model_spans()} == {"a", "b", "c"}
+    assert {s.name for s in tracer.model_spans(cat="iteration")} == {"a", "c"}
+    assert {s.name for s in tracer.model_spans(track="des")} == {"a", "b"}
+    assert [s.name for s in tracer.wall_spans()] == ["wall-only"]
+
+
+def test_summarize_orders_by_total_and_truncates():
+    tracer = obs.Tracer()
+    tracer.add_model_span("small", 0.0, 1.0)
+    tracer.add_model_span("big", 0.0, 5.0)
+    tracer.add_model_span("big", 5.0, 8.0)
+    summaries = tracer.summarize()
+    assert [s.name for s in summaries] == ["big", "small"]
+    big = summaries[0]
+    assert big.count == 2
+    assert big.total == pytest.approx(8.0)
+    assert big.mean == pytest.approx(4.0)
+    assert big.max_duration == pytest.approx(5.0)
+    assert len(tracer.summarize(top=1)) == 1
+
+
+# -- Chrome export -----------------------------------------------------------
+
+
+def test_chrome_export_schema(tmp_path):
+    clock = FakeClock()
+    tracer = obs.Tracer(clock=clock)
+    with tracer.span("work", cat="phase", detail=1):
+        clock.tick(0.002)
+    tracer.add_model_span("iteration", 0.0, 1.5, cat="iteration")
+    tracer.instant("mark")
+
+    doc = tracer.to_chrome()
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    events = doc["traceEvents"]
+
+    meta = [e for e in events if e["ph"] == "M"]
+    assert {m["args"]["name"] for m in meta} == {obs.WALL_TRACK, obs.MODEL_TRACK}
+    assert all(m["name"] == "process_name" for m in meta)
+
+    complete = [e for e in events if e["ph"] == "X"]
+    by_name = {e["name"]: e for e in complete}
+    assert by_name["work"]["dur"] == pytest.approx(2000.0)  # µs
+    assert by_name["work"]["args"] == {"detail": 1}
+    assert by_name["iteration"]["ts"] == 0.0
+    assert by_name["iteration"]["dur"] == pytest.approx(1.5e6)
+    # Wall and model tracks are separate Chrome processes.
+    assert by_name["work"]["pid"] != by_name["iteration"]["pid"]
+
+    instants = [e for e in events if e["ph"] == "i"]
+    assert len(instants) == 1 and instants[0]["name"] == "mark"
+
+    path = tracer.write_chrome(tmp_path / "sub" / "trace.json")
+    assert json.loads(path.read_text()) == doc
+
+
+# -- iteration-time reconciliation -------------------------------------------
+
+
+def test_steady_iteration_time_single_span():
+    tracer = obs.Tracer()
+    tracer.add_model_span("iteration", 0.0, 2.5, cat="iteration")
+    spans = tracer.model_spans(cat=obs.ITERATION_CATEGORY)
+    assert obs.steady_iteration_time(spans) == pytest.approx(2.5)
+
+
+def test_steady_iteration_time_span_train_uses_finish_spacing():
+    tracer = obs.Tracer()
+    # 10 iterations finishing 1s apart after a slow first one.
+    end = 0.0
+    for i in range(10):
+        dur = 3.0 if i == 0 else 1.0
+        tracer.add_model_span("iteration", end, end + dur, cat="iteration")
+        end += dur
+    spans = tracer.model_spans(cat=obs.ITERATION_CATEGORY)
+    assert obs.steady_iteration_time(spans) == pytest.approx(1.0)
+
+
+def test_steady_iteration_time_empty_raises():
+    with pytest.raises(ConfigError):
+        obs.steady_iteration_time([])

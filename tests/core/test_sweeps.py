@@ -117,7 +117,7 @@ def test_des_engine_roundtrip(tmp_path):
     a, b = computed.results[0], cached.results[0]
     assert a.throughput == b.throughput
     assert a.makespan == b.makespan
-    assert a.station_utilization == b.station_utilization
+    assert a.resource_utilization == b.resource_utilization
     assert a.stations == b.stations
 
 

@@ -114,7 +114,7 @@ def test_prep_bound_pipeline_shows_busy_prep_idle_accelerators():
         iteration_time=0.2,
         iterations=20,
     )
-    prep_busy = result.station_utilization["prep"]
+    prep_busy = result.resource_utilization["prep"]
     iteration_busy = sum(
         e.duration for e in result.trace if e.kind == "iteration"
     ) / result.makespan
