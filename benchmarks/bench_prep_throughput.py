@@ -1,0 +1,86 @@
+"""Data-preparation throughput: the batched engine vs its reference.
+
+The tentpole claim of the prep engine is that the vectorized
+``apply_batch`` path — lock-step batched JPEG entropy decode, one
+gather per random-crop batch, fused noise — prepares a 256-image
+256×256 JPEG batch at least 5× the throughput of the kept per-sample
+reference loop (the symbol-at-a-time entropy decoder and one ``run``
+per sample), while producing bit-identical outputs.  This benchmark
+guards that claim and three more properties:
+
+* end-to-end bit-identity of the two pipeline paths (asserted inside
+  :func:`repro.perf.prep_reference_speedup` before anything is timed);
+* the multi-process engine's parallel == serial determinism contract;
+* prep throughput does not silently rot: every number must stay within
+  the tolerance (default 30%, CI 60%) of the committed baseline in
+  ``benchmarks/baselines/prep_throughput.json``.
+
+Refresh the baseline on a quiet machine with::
+
+    PYTHONPATH=src python -m repro bench-prep --update
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks._harness import emit
+from repro import perf
+from repro.analysis.tables import format_table
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "prep_throughput.json"
+
+#: Acceptance floor for the batched prep path on a 256-image batch.
+MIN_PREP_SPEEDUP = 5.0
+
+
+def test_prep_throughput_vs_baseline(benchmark, capsys):
+    measurements = benchmark.pedantic(
+        lambda: perf.prep_suite(size=256, batch=32, repeats=5),
+        rounds=1,
+        iterations=1,
+    )
+    baseline = perf.load_baseline(BASELINE_PATH)
+    rows = [
+        [
+            m.name,
+            f"{m.best_seconds * 1000:.2f}",
+            f"{m.samples_per_s:,.1f}",
+            f"{baseline.get(m.name, float('nan')):,.1f}",
+        ]
+        for m in measurements
+    ]
+    emit(
+        capsys,
+        "Prep throughput (image and audio pipelines, best-of-5)",
+        format_table(["benchmark", "best ms", "samples/s", "baseline"], rows),
+    )
+    assert baseline, f"missing baseline {BASELINE_PATH}"
+    failures = perf.regressions(measurements, baseline)
+    assert not failures, "; ".join(failures)
+
+
+def test_batched_prep_speedup_over_reference(benchmark, capsys):
+    speedup = benchmark.pedantic(
+        lambda: perf.prep_reference_speedup(size=256, batch=256, repeats=4),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        capsys,
+        "Batched prep vs per-sample reference",
+        f"256-image 256×256 JPEG batch speedup: {speedup:.2f}x "
+        f"(floor {MIN_PREP_SPEEDUP}x, bit-identical outputs)",
+    )
+    assert speedup >= MIN_PREP_SPEEDUP
+
+
+def test_engine_parallel_matches_serial():
+    """The throughput story may never cost a bit: worker-pool output is
+    the serial output, exactly."""
+    serial, parallel = perf.prep_equivalence(
+        size=64, num_samples=12, batch_size=4, workers=2
+    )
+    assert len(serial) == len(parallel) == 3
+    for a, b in zip(serial, parallel):
+        assert np.array_equal(a, b)

@@ -16,6 +16,8 @@ Commands:
 * ``bench-codec`` — codec throughput smoke test vs the committed baseline.
 * ``bench-sweep`` — sweep-engine throughput smoke test vs the committed
   baseline.
+* ``bench-prep`` — data-preparation throughput smoke test vs the
+  committed baseline, plus the batched-vs-reference speedup gate.
 * ``workloads`` — print Table I.
 
 ``simulate``/``sweep``/``ladder`` accept ``--trace PATH`` and
@@ -346,6 +348,70 @@ def _cmd_bench_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_prep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro import perf
+
+    baseline_path = Path(args.baseline)
+    measurements = perf.prep_suite(
+        size=args.size, batch=args.batch, repeats=args.repeats
+    )
+    baseline = perf.load_baseline(baseline_path)
+    rows = []
+    for m in measurements:
+        ref = baseline.get(m.name)
+        rows.append(
+            [
+                m.name,
+                f"{m.best_seconds * 1000:.2f}",
+                f"{m.samples_per_s:,.1f}",
+                f"{ref:,.1f}" if ref else "-",
+            ]
+        )
+    print(format_table(["benchmark", "best ms", "samples/s", "baseline"], rows))
+
+    # The speedup gate is a fixed-floor ratio, not a tolerance check, so
+    # give best-of a couple of extra repeats to ride out host noise.
+    speedup = perf.prep_reference_speedup(
+        size=args.speedup_size,
+        batch=args.speedup_batch,
+        repeats=max(args.repeats, 5),
+    )
+    print(
+        f"batched prep speedup vs per-sample reference: {speedup:.2f}x "
+        f"({args.speedup_batch}x{args.speedup_size}x{args.speedup_size} "
+        f"JPEG batch, bit-identical outputs)"
+    )
+
+    if args.update:
+        perf.save_baseline(baseline_path, measurements)
+        print(f"baseline updated: {baseline_path}")
+        return 0
+    status = 0
+    if speedup < args.min_speedup:
+        print(
+            f"SPEEDUP GATE  batched path is {speedup:.2f}x the reference, "
+            f"required >= {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        status = 1
+    if not baseline:
+        print(f"no baseline at {baseline_path}; run with --update to record one")
+        return status
+    failures = perf.regressions(measurements, baseline)
+    for line in failures:
+        print(f"REGRESSION  {line}", file=sys.stderr)
+    if failures:
+        return 1
+    if status == 0:
+        print(
+            f"all prep throughputs within {100 * perf.tolerance():.0f}% "
+            f"of baseline"
+        )
+    return status
+
+
 def _cmd_workloads(_args: argparse.Namespace) -> int:
     rows = [
         [
@@ -502,6 +568,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--update", action="store_true", help="rewrite the baseline and exit"
     )
     p.set_defaults(func=_cmd_bench_sweep)
+
+    p = sub.add_parser(
+        "bench-prep",
+        help="data-prep throughput smoke test vs the committed baseline, "
+        "plus the batched-vs-reference speedup gate",
+    )
+    p.add_argument(
+        "--baseline",
+        default="benchmarks/baselines/prep_throughput.json",
+        help="baseline JSON path",
+    )
+    p.add_argument("--size", type=int, default=256, help="suite image edge")
+    p.add_argument("--batch", type=int, default=32, help="suite batch size")
+    p.add_argument(
+        "--speedup-size", type=int, default=256,
+        help="image edge for the speedup gate",
+    )
+    p.add_argument(
+        "--speedup-batch", type=int, default=256,
+        help="batch size for the speedup gate",
+    )
+    p.add_argument(
+        "--min-speedup", type=float, default=5.0,
+        help="fail below this batched/reference throughput ratio",
+    )
+    p.add_argument("--repeats", type=int, default=3, help="best-of-N repeats")
+    p.add_argument(
+        "--update", action="store_true", help="rewrite the baseline and exit"
+    )
+    p.set_defaults(func=_cmd_bench_prep)
 
     p = sub.add_parser("workloads", help="print Table I")
     p.set_defaults(func=_cmd_workloads)

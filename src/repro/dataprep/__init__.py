@@ -17,6 +17,13 @@ of Figure 5) and *prices itself* through the cost model in
 and pricing on the same object is what grounds the simulator: the cycle
 constants are calibrated once, per operation kind, and every architecture
 configuration consumes them through device profiles.
+
+Execution has two faces with a bit-identity contract between them: the
+per-sample reference path (``PrepOp.apply`` / ``PrepPipeline.run``) and
+the batched path (``apply_batch`` / ``run_batch``) driven by per-sample
+spawned RNG streams.  :mod:`repro.dataprep.engine` scales the batched
+path across worker processes with shared-memory handoff — still
+bit-identical to serial execution.
 """
 
 from repro.dataprep.cost import (
@@ -28,7 +35,20 @@ from repro.dataprep.cost import (
     PipelineCost,
     profile_by_name,
 )
-from repro.dataprep.pipeline import PrepPipeline, SampleSpec
+from repro.dataprep.engine import (
+    PreparedBatch,
+    PrepEngine,
+    ShardSpec,
+    make_shards,
+    prepare_shard,
+    run_engine,
+)
+from repro.dataprep.pipeline import (
+    PrepPipeline,
+    SampleSpec,
+    sample_rng,
+    spawn_rngs,
+)
 from repro.dataprep.ops_image import (
     CastToFloat,
     DecodeJpeg,
@@ -75,10 +95,13 @@ __all__ = [
     "Normalize",
     "OpCost",
     "PipelineCost",
+    "PrepEngine",
     "PrepPipeline",
+    "PreparedBatch",
     "RandomCrop",
     "Ricap",
     "SampleSpec",
+    "ShardSpec",
     "SpecMasking",
     "Spectrogram",
     "TemporalSubsample",
@@ -86,6 +109,11 @@ __all__ = [
     "apply_batch_op",
     "audio_pipeline",
     "image_pipeline",
+    "make_shards",
+    "prepare_shard",
     "profile_by_name",
+    "run_engine",
+    "sample_rng",
+    "spawn_rngs",
     "video_pipeline",
 ]

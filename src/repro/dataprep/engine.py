@@ -1,0 +1,381 @@
+"""Multi-process data-preparation engine with zero-copy handoff.
+
+The functional mirror of the paper's preparation server: a pool of
+prep workers (the "data preparation processors") pulls shard
+descriptors, runs the batched pipeline (``decode_batch`` +
+``apply_batch``), and hands finished batches to the trainer through
+``multiprocessing.shared_memory`` ring-buffer slots — the consumer
+reads numpy views straight out of shared memory, never copying a
+sample.
+
+Determinism contract
+--------------------
+
+Sample ``i``'s RNG stream is :func:`repro.dataprep.pipeline.sample_rng`
+``(seed, i)`` — keyed to the *global* sample index, not to the shard,
+the worker, or the batch.  Combined with the per-op batched/scalar
+bit-identity contract, this makes the engine's output a pure function
+of ``(loader, pipeline, seed, batch layout)``:
+
+* parallel == serial bit-for-bit (``num_workers=0`` runs the identical
+  code path in-process, with no shared memory);
+* worker count, slot count and scheduling order never change a single
+  output bit — only the wall-clock.
+
+Backpressure and prefetch
+-------------------------
+
+The ring has ``num_slots`` shared-memory slots (default two per worker:
+double buffering — one slot being consumed while the next is filled).
+Workers block on the free-slot queue when the consumer falls behind, so
+memory stays bounded.  A yielded batch's array is a **view into its
+slot** and is only valid until the next iteration, when the slot is
+recycled; callers that need the data longer must copy (the trainer
+consumes batches immediately, so it never does).
+"""
+
+from __future__ import annotations
+
+import queue
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+import multiprocessing
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro import obs
+from repro.errors import DataprepError
+from repro.dataprep.pipeline import PrepPipeline, sample_rng
+
+#: Raw-shard loader: ``loader(start, count)`` returns the raw payloads
+#: (bytes blobs or an ndarray stack) for global samples
+#: ``start .. start+count``.  Must be picklable for worker mode.
+ShardLoader = Callable[[int, int], Any]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One unit of prep work: ``count`` consecutive samples."""
+
+    index: int
+    start: int
+    count: int
+
+
+@dataclass(frozen=True)
+class PreparedBatch:
+    """A finished batch.  ``data`` is an ``N×…`` stack; in worker mode
+    it is a zero-copy view into a shared-memory slot, valid until the
+    next batch is pulled from the engine."""
+
+    index: int
+    start: int
+    count: int
+    data: np.ndarray
+
+
+def make_shards(
+    num_samples: int, batch_size: int, start: int = 0
+) -> List[ShardSpec]:
+    """Split ``num_samples`` samples into consecutive shards of
+    ``batch_size`` (the final shard may be ragged)."""
+    if num_samples <= 0:
+        raise DataprepError("num_samples must be positive")
+    if batch_size <= 0:
+        raise DataprepError("batch_size must be positive")
+    shards = []
+    for index, shard_start in enumerate(range(0, num_samples, batch_size)):
+        count = min(batch_size, num_samples - shard_start)
+        shards.append(ShardSpec(index, start + shard_start, count))
+    return shards
+
+
+def prepare_shard(
+    pipeline: PrepPipeline,
+    loader: ShardLoader,
+    seed: int,
+    shard: ShardSpec,
+) -> np.ndarray:
+    """Load and prepare one shard on the calling process.
+
+    This is the whole per-shard computation — the serial path runs it
+    inline, workers run it remotely; both produce identical bits.
+    """
+    raw = loader(shard.start, shard.count)
+    rngs = [sample_rng(seed, shard.start + i) for i in range(shard.count)]
+    with obs.span("prep.shard", cat="dataprep", shard=shard.index):
+        out = pipeline.run_batch_vectorized(raw, rngs)
+    if not isinstance(out, np.ndarray):
+        raise DataprepError(
+            f"{pipeline.name}: engine shards must prepare to a fixed-shape "
+            f"stack, got ragged outputs for shard {shard.index}"
+        )
+    return out
+
+
+def _worker_loop(
+    pipeline: PrepPipeline,
+    loader: ShardLoader,
+    seed: int,
+    segment_names: Sequence[str],
+    tasks: Any,
+    results: Any,
+    free_slots: Any,
+) -> None:
+    segments = [shared_memory.SharedMemory(name=n) for n in segment_names]
+    try:
+        while True:
+            shard = tasks.get()
+            if shard is None:
+                return
+            try:
+                out = prepare_shard(pipeline, loader, seed, shard)
+                slot = free_slots.get()
+                seg = segments[slot]
+                if out.nbytes > seg.size:
+                    raise DataprepError(
+                        f"shard {shard.index} needs {out.nbytes} bytes but "
+                        f"slots hold {seg.size}; raise sample_nbytes"
+                    )
+                dest = np.ndarray(out.shape, dtype=out.dtype, buffer=seg.buf)
+                dest[...] = out  # the one batch-level copy into the ring
+                results.put(
+                    ("ok", shard.index, slot, out.shape, out.dtype.str)
+                )
+            except Exception:
+                results.put(("error", shard.index, traceback.format_exc()))
+                return
+    finally:
+        for seg in segments:
+            seg.close()
+
+
+class PrepEngine:
+    """Batched, optionally multi-process preparation over a sample range.
+
+    Parameters
+    ----------
+    pipeline, loader, num_samples, batch_size:
+        What to prepare and in what shard layout.
+    seed:
+        Root of the per-sample RNG streams (see module docstring).
+    num_workers:
+        0 = serial in-process execution (no shared memory); N > 0 = a
+        pool of N prep processes with shared-memory handoff.
+    sample_nbytes:
+        Upper bound on one *prepared* sample's bytes, used to size the
+        ring slots.  Required in worker mode; derive it from
+        ``pipeline.output_spec(...)`` when the input spec is known.
+    num_slots:
+        Ring size; default ``2 * num_workers`` (double buffering).
+    """
+
+    def __init__(
+        self,
+        pipeline: PrepPipeline,
+        loader: ShardLoader,
+        num_samples: int,
+        batch_size: int,
+        *,
+        seed: int = 0,
+        num_workers: int = 0,
+        sample_nbytes: Optional[int] = None,
+        num_slots: Optional[int] = None,
+        start: int = 0,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        # Cleanup state first: __del__ calls close() even when the
+        # validation below aborts construction.
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._workers: List[Any] = []
+        self._closed = False
+        if num_workers < 0:
+            raise DataprepError(f"num_workers must be >= 0: {num_workers}")
+        self.pipeline = pipeline
+        self.loader = loader
+        self.seed = seed
+        self.num_workers = num_workers
+        self.shards = make_shards(num_samples, batch_size, start=start)
+        if num_workers > 0:
+            if sample_nbytes is None or sample_nbytes <= 0:
+                raise DataprepError(
+                    "worker mode needs sample_nbytes > 0 to size the "
+                    "shared-memory slots"
+                )
+            self.slot_bytes = int(sample_nbytes) * batch_size
+            self.num_slots = (
+                int(num_slots) if num_slots is not None else 2 * num_workers
+            )
+            if self.num_slots < 2:
+                raise DataprepError("the ring needs at least 2 slots")
+        else:
+            self.slot_bytes = 0
+            self.num_slots = 0
+        self._mp_context = mp_context
+        self._results: Optional[Any] = None
+        self._free_slots: Optional[Any] = None
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------
+
+    def __enter__(self) -> "PrepEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        self.close()
+
+    @property
+    def segment_names(self) -> List[str]:
+        """Names of the live shared-memory slots (for inspection)."""
+        return [seg.name for seg in self._segments]
+
+    def close(self) -> None:
+        """Stop workers and release every shared-memory segment.
+
+        Idempotent, and the engine's only exit path: it runs on normal
+        completion, on errors, and on worker crashes alike, so no
+        segment outlives the engine.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        self._workers = []
+        for seg in self._segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments = []
+
+    def _start(self) -> None:
+        if self._started:
+            raise DataprepError("a PrepEngine can only be iterated once")
+        self._started = True
+        if self.num_workers == 0:
+            return
+        ctx = multiprocessing.get_context(self._mp_context)
+        self._segments = [
+            shared_memory.SharedMemory(create=True, size=self.slot_bytes)
+            for _ in range(self.num_slots)
+        ]
+        names = [seg.name for seg in self._segments]
+        tasks = ctx.Queue()
+        self._results = ctx.Queue()
+        self._free_slots = ctx.Queue()
+        for slot in range(self.num_slots):
+            self._free_slots.put(slot)
+        for shard in self.shards:
+            tasks.put(shard)
+        for _ in range(self.num_workers):
+            tasks.put(None)
+        self._workers = [
+            ctx.Process(
+                target=_worker_loop,
+                args=(
+                    self.pipeline,
+                    self.loader,
+                    self.seed,
+                    names,
+                    tasks,
+                    self._results,
+                    self._free_slots,
+                ),
+                daemon=True,
+            )
+            for _ in range(self.num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- consumption --------------------------------------------------
+
+    def batches(self) -> Iterator[PreparedBatch]:
+        """Yield prepared batches in shard order (deterministic).
+
+        In worker mode each batch's ``data`` is a zero-copy view into
+        its ring slot; the slot is recycled when the next batch is
+        requested.
+        """
+        self._start()
+        try:
+            if self.num_workers == 0:
+                yield from self._serial_batches()
+            else:
+                yield from self._worker_batches()
+        except BaseException:
+            self.close()
+            raise
+        else:
+            if self.num_workers > 0:
+                self.close()
+
+    def _serial_batches(self) -> Iterator[PreparedBatch]:
+        for shard in self.shards:
+            data = prepare_shard(self.pipeline, self.loader, self.seed, shard)
+            obs.inc("prep.batches")
+            obs.inc("prep.samples", shard.count)
+            yield PreparedBatch(shard.index, shard.start, shard.count, data)
+
+    def _next_result(self) -> Tuple[Any, ...]:
+        assert self._results is not None
+        while True:
+            try:
+                return self._results.get(timeout=0.5)
+            except queue.Empty:
+                dead = [w for w in self._workers if not w.is_alive()]
+                if len(dead) == len(self._workers):
+                    raise DataprepError(
+                        "all prep workers exited without delivering results"
+                    ) from None
+
+    def _worker_batches(self) -> Iterator[PreparedBatch]:
+        assert self._free_slots is not None
+        pending = {}
+        for shard in self.shards:
+            # Reorder-buffer: drain results until this shard arrives.
+            # Out-of-order shards wait in `pending`, parked in their
+            # ring slots (backpressure caps how many that can be).
+            while shard.index not in pending:
+                msg = self._next_result()
+                if msg[0] == "error":
+                    raise DataprepError(
+                        f"prep worker failed on shard {msg[1]}:\n{msg[2]}"
+                    )
+                pending[msg[1]] = msg[2:]
+            slot, shape, dtype = pending.pop(shard.index)
+            data = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=self._segments[slot].buf
+            )
+            obs.inc("prep.batches")
+            obs.inc("prep.samples", shard.count)
+            yield PreparedBatch(shard.index, shard.start, shard.count, data)
+            # The consumer has moved on; recycle the slot.
+            self._free_slots.put(slot)
+
+
+def run_engine(
+    pipeline: PrepPipeline,
+    loader: ShardLoader,
+    num_samples: int,
+    batch_size: int,
+    **kwargs: Any,
+) -> List[np.ndarray]:
+    """Prepare everything and return owned per-batch arrays (copies of
+    the ring views — a convenience for tests and benchmarks; streaming
+    consumers should iterate :meth:`PrepEngine.batches` instead)."""
+    with PrepEngine(
+        pipeline, loader, num_samples, batch_size, **kwargs
+    ) as engine:
+        return [batch.data.copy() for batch in engine.batches()]

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -326,3 +326,212 @@ def decode_plane(
     # DC differential coding inverts to a running sum down the plane.
     np.cumsum(out[:, 0], out=out[:, 0])
     return out[:, UNZIGZAG].reshape(n_blocks, 8, 8)
+
+
+# Sized for batch decode: a 256-image group touches 1024 distinct
+# optimized tables (4 per frame); anything smaller thrashes and
+# rebuilds every LUT on every call.  Entries are ``uint32`` (a packed
+# entry needs 17 bits, the -1 corrupt marker wraps to all-ones): the
+# batch walk gathers from every live LUT each iteration, so halving
+# entry bytes halves its cache-miss working set.
+@lru_cache(maxsize=2048)
+def _dc_lut_arr(spec: TableSpec) -> Tuple[np.ndarray, int]:
+    lut, bits = _dc_lut(spec)
+    return np.asarray(lut, dtype=np.int64).astype(np.uint32), bits
+
+
+@lru_cache(maxsize=2048)
+def _ac_lut_arr(spec: TableSpec) -> Tuple[np.ndarray, int]:
+    lut, bits = _ac_lut(spec)
+    return np.asarray(lut, dtype=np.int64).astype(np.uint32), bits
+
+
+
+
+def decode_planes_batch(
+    tasks: Sequence[Tuple[bytes, HuffmanTable, HuffmanTable, int]],
+) -> List[np.ndarray]:
+    """Lock-step Huffman decode of many plane streams at once.
+
+    Every stream advances one symbol per iteration under vectorized
+    numpy ops, so the per-symbol interpreter overhead — the whole cost
+    of :func:`decode_plane` — is amortized over the batch.  Each stream
+    indexes its own packed LUTs through per-stream offsets into one flat
+    buffer, so streams with different Huffman tables (the normal case:
+    tables are optimized per image) batch together.
+
+    The loop body is numpy-dispatch bound, so it carries no per-stream
+    bookkeeping beyond the cursor, the in-block coefficient index and a
+    started-blocks counter: symbols are recorded *unconditionally* as
+    four per-iteration arrays (DC flag, coefficient index, raw LUT
+    entry, end bit), and block numbering, event filtering, the
+    per-block bounds check and the corrupt-coefficient check are all
+    reconstructed vectorized over the recorded matrix in the epilogue.
+    Finished streams are not compacted away either: they decode junk —
+    their cursor reads the next stream's bytes or parks in an all-zero
+    trap region at the end of the buffer (index 0 of a canonical-Huffman
+    LUT is always a valid code, so a parked stream keeps making
+    progress, and the region is wide enough that the cursor only needs
+    clamping at the periodic check, not every symbol) — and every junk
+    symbol is dropped in the epilogue
+    because its reconstructed block index is past the stream's last
+    block.  Corrupt streams stall at an invalid prefix or trip one of
+    the epilogue checks; either way a :class:`CodecError` raises before
+    anything is returned.
+
+    Output ``i`` is bit-identical to ``decode_plane(*tasks[i])``:
+    streams are concatenated with the same 8-byte 1-bit spacer padding
+    :func:`~repro.dataprep.jpeg.huffman.bit_windows_array` applies, so
+    even trailing peeks past a stream's end see the same bits, and the
+    amplitude-gather epilogue is the same code on a shared window array.
+
+    Working memory is four int64 matrices of (symbols of the longest
+    stream) × (number of streams) — callers should group streams of
+    similar length (e.g. luma planes apart from chroma planes) so the
+    matrix is dense and short streams don't spin on junk for the whole
+    walk.
+    """
+    if not tasks:
+        return []
+    n = len(tasks)
+    streams = [bytes(t[0]) for t in tasks]
+    # One window array over all streams.  Per-stream 1-bit spacers keep
+    # end-of-stream peeks identical to the single-stream decoder; the
+    # final zero word is the parking trap for finished streams.
+    # The zero tail is wide enough that a parked cursor advancing at
+    # most 63 bits per iteration cannot escape it between the
+    # every-128-iteration clamps below (128 * 63 bits < 1024 bytes), so
+    # the hot loop carries no bounds clamp at all.
+    payload = b"".join(s + b"\xff" * 8 for s in streams) + b"\x00" * 1024
+    warr = bit_windows_array(payload)
+    trap = np.uint64((len(payload) - 1024) * 8)
+    base_bit = np.zeros(n, dtype=np.int64)
+    total_bits = np.empty(n, dtype=np.int64)
+    offset = 0
+    for i, s in enumerate(streams):
+        base_bit[i] = offset * 8
+        total_bits[i] = len(s) * 8
+        offset += len(s) + 8
+    # Each stream's DC and AC LUTs are widened to one shared peek width
+    # (the prefix property makes a ``repeat`` expansion exact), so the
+    # peek shift and mask are per-stream constants in the hot loop and
+    # only the LUT base offset still selects DC vs AC.
+    parts = []
+    dc_off = np.empty(n, dtype=np.int64)
+    ac_off = np.empty(n, dtype=np.int64)
+    lut_bits = np.empty(n, dtype=np.int64)
+    lut_off = 0
+    for i, (_, dc_t, ac_t, _nb) in enumerate(tasks):
+        dc_arr, dc_b = _dc_lut_arr(dc_t.spec)
+        ac_arr, ac_b = _ac_lut_arr(ac_t.spec)
+        bits = max(dc_b, ac_b)
+        if dc_b < bits:
+            dc_arr = np.repeat(dc_arr, 1 << (bits - dc_b))
+        if ac_b < bits:
+            ac_arr = np.repeat(ac_arr, 1 << (bits - ac_b))
+        parts.append(dc_arr)
+        parts.append(ac_arr)
+        dc_off[i], ac_off[i] = lut_off, lut_off + dc_arr.shape[0]
+        lut_bits[i] = bits
+        lut_off += dc_arr.shape[0] + ac_arr.shape[0]
+    flat_lut = np.concatenate(parts)
+    n_blocks = np.array([t[3] for t in tasks], dtype=np.int64)
+    if np.any(n_blocks <= 0):
+        raise CodecError("plane must have at least one block")
+    block_base = np.zeros(n, dtype=np.int64)
+    np.cumsum(n_blocks[:-1], out=block_base[1:])
+    out = np.zeros((int(n_blocks.sum()), 64), dtype=np.int32)
+
+    # Everything the hot loop touches is uint64: cursors are absolute
+    # bit positions, ``sb = 64 - lut_bits`` turns the peek into a single
+    # subtract + shift, and LUT entries keep their packed layout (a -1
+    # corrupt marker becomes a huge unsigned run that ends the block and
+    # is caught by the epilogue's coefficient check).
+    pos = base_bit.astype(np.uint64)
+    k = np.zeros(n, dtype=np.uint64)
+    blk = np.zeros(n, dtype=np.int64)
+    u = np.uint64
+    sb_c = u(64) - lut_bits.astype(np.uint64)
+    mask_c = ((np.int64(1) << lut_bits) - 1).astype(np.uint64)
+    dc_off_u, ac_off_u = dc_off.astype(np.uint64), ac_off.astype(np.uint64)
+    ev_dc: List[np.ndarray] = []
+    ev_kc: List[np.ndarray] = []
+    ev_entry: List[np.ndarray] = []
+    ev_pos: List[np.ndarray] = []
+    # Bits 6..10 of a packed entry hold the amplitude size; the loop
+    # only needs "size > 0" for the k update, so it tests those bits in
+    # place and the full size field is unpacked once, in the epilogue.
+    # Entry arithmetic uses plain-int constants so the uint32 entries
+    # are not promoted to 8-byte temporaries.
+    sznz_mask = 0x1F << 6
+    # A valid block is at most 65 symbols (DC + 63 coefficients + EOB),
+    # finished streams need one junk DC start to be counted done, and
+    # the done/progress checks run every 128 iterations: an unfinished
+    # stream that starts no new block across a whole window is stalled
+    # on an invalid prefix (a valid or junk-decoding stream starts one
+    # at least every 65 symbols), so corrupt input raises promptly
+    # instead of recording events until the cap.
+    cap = 65 * int(n_blocks.max()) + 256
+    done = False
+    prev_blk = blk
+    for t in range(cap):
+        if not (t & 127):
+            pos = np.minimum(pos, trap)
+            if bool((blk > n_blocks).all()):
+                done = True
+                break
+            if t and bool(((blk == prev_blk) & (blk <= n_blocks)).any()):
+                raise CodecError("invalid Huffman code in bitstream")
+            prev_blk = blk
+        is_dc = k == u(0)
+        win = warr[pos >> u(3)]
+        sh = pos & u(7)
+        off = np.where(is_dc, dc_off_u, ac_off_u)
+        peek = (win >> (sb_c - sh)) & mask_c
+        entry = flat_lut[off + peek]
+        kc = k + (entry >> 11)
+        pos = pos + (entry & 63)
+        k = np.where(is_dc, u(1), kc + ((entry & sznz_mask) > 0))
+        k = k * (k < u(64))
+        blk = blk + is_dc
+        ev_dc.append(is_dc)
+        ev_kc.append(kc)
+        ev_entry.append(entry)
+        ev_pos.append(pos)
+    if not done and not bool((blk > n_blocks).all()):
+        raise CodecError("invalid Huffman code in bitstream")
+
+    # Epilogue: reconstruct block numbering from the recorded walk, drop
+    # junk symbols, run the deferred checks, then gather amplitudes and
+    # scatter — the same closing moves as decode_plane, batched.
+    started = np.array(ev_dc)  # (T, n): iteration t decoded a DC symbol
+    blkm = np.cumsum(started, axis=0, dtype=np.int64)
+    np.subtract(blkm, 1, out=blkm)
+    real = blkm < n_blocks[None, :]
+    PO = np.array(ev_pos)
+    last_row = real.sum(axis=0) - 1
+    last_pos = PO[last_row, np.arange(n)].astype(np.int64)
+    if np.any(last_pos - base_bit > total_bits):
+        raise CodecError("bitstream underrun")
+    SZ = (np.array(ev_entry) >> 6) & 31
+    evmask = real & (SZ > 0)
+    kcv = np.array(ev_kc)[evmask]
+    if np.any(kcv >= u(64)):
+        raise CodecError("corrupt AC coefficient stream")
+    size = SZ[evmask].astype(np.int64)
+    end = PO[evmask].astype(np.int64)
+    blkv = (blkm + block_base[None, :])[evmask]
+    idx = (blkv << 6) | kcv.astype(np.int64)
+    start = end - size
+    r = (start & 7).astype(np.uint64)
+    amp = (
+        (warr[start >> 3] << r) >> (np.uint64(64) - size.astype(np.uint64))
+    ).astype(np.int64)
+    vals = np.where(amp >> (size - 1) != 0, amp, amp - (1 << size) + 1)
+    out.reshape(-1)[idx] = vals
+    results: List[np.ndarray] = []
+    for i in range(n):
+        plane = out[block_base[i] : block_base[i] + n_blocks[i]]
+        np.cumsum(plane[:, 0], out=plane[:, 0])
+        results.append(plane[:, UNZIGZAG].reshape(int(n_blocks[i]), 8, 8))
+    return results

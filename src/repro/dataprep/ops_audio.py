@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Any, Sequence, Tuple
 
 import numpy as np
 
@@ -41,6 +41,36 @@ class Spectrogram(PrepOp):
         return stftmod.power_spectrogram(
             signal, self.n_fft, self.win_length, self.hop_length
         ).astype(np.float32)
+
+    def apply_batch(
+        self, batch: Any, rngs: Sequence[np.random.Generator]
+    ) -> Any:
+        """Batched STFT for equal-length utterances: frame every signal,
+        then run **one** FFT over all N×frames windows at once.  Ragged
+        batches (lists) fall back to the per-sample loop."""
+        if not isinstance(batch, np.ndarray):
+            return super().apply_batch(batch, rngs)
+        if batch.ndim != 2:
+            raise DataprepError("spectrogram expects an NxT PCM stack")
+        signal = batch.astype(np.float64)
+        if batch.dtype == np.int16:
+            signal /= 32768.0
+        n_batch, n = signal.shape
+        frames = stftmod.num_frames(n, self.hop_length, self.win_length)
+        padded_len = (frames - 1) * self.hop_length + self.win_length
+        padded = np.zeros((n_batch, padded_len), dtype=np.float64)
+        padded[:, :n] = signal
+        windows = np.lib.stride_tricks.sliding_window_view(
+            padded, self.win_length, axis=1
+        )[:, :: self.hop_length].copy()
+        windows *= stftmod.hann_window(self.win_length)[None, None, :]
+        spectrum = np.fft.rfft(
+            windows.reshape(n_batch * frames, self.win_length),
+            n=self.n_fft,
+            axis=1,
+        )
+        power = spectrum.real**2 + spectrum.imag**2
+        return power.reshape(n_batch, frames, -1).astype(np.float32)
 
     def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
         spec.expect("audio_pcm", self.name)
@@ -78,6 +108,22 @@ class MelFilterBank(PrepOp):
         n_fft = (data.shape[1] - 1) * 2
         bank = melmod.mel_filter_bank(self.n_mels, n_fft, self.sample_rate)
         out = data.astype(np.float64) @ bank.T
+        if self.log:
+            out = np.log(out + 1e-10)
+        return out.astype(np.float32)
+
+    def apply_batch(
+        self, batch: Any, rngs: Sequence[np.random.Generator]
+    ) -> Any:
+        if not isinstance(batch, np.ndarray):
+            return super().apply_batch(batch, rngs)
+        if batch.ndim != 3:
+            raise DataprepError("mel_filter_bank expects (N x frames x bins)")
+        n_fft = (batch.shape[2] - 1) * 2
+        bank = melmod.mel_filter_bank(self.n_mels, n_fft, self.sample_rate)
+        # Stacked matmul runs the same per-slice GEMM the scalar path
+        # does, so the batch is bit-identical.
+        out = batch.astype(np.float64) @ bank.T
         if self.log:
             out = np.log(out + 1e-10)
         return out.astype(np.float32)
@@ -122,6 +168,28 @@ class SpecMasking(PrepOp):
             out[:, f0 : f0 + f] = fill
         return out
 
+    def apply_batch(
+        self, batch: Any, rngs: Sequence[np.random.Generator]
+    ) -> Any:
+        if not isinstance(batch, np.ndarray):
+            return super().apply_batch(batch, rngs)
+        if batch.ndim != 3:
+            raise DataprepError("masking expects (N x frames x mels)")
+        frames, mels = batch.shape[1:]
+        for sample, rng in zip(batch, rngs):
+            # The masks are per-sample slice writes either way; batching
+            # just drops the per-sample copy by mutating the owned stack.
+            fill = float(sample.mean())
+            t = int(rng.integers(0, min(self.max_time_mask, frames) + 1))
+            if t:
+                t0 = int(rng.integers(0, frames - t + 1))
+                sample[t0 : t0 + t, :] = fill
+            f = int(rng.integers(0, min(self.max_freq_mask, mels) + 1))
+            if f:
+                f0 = int(rng.integers(0, mels - f + 1))
+                sample[:, f0 : f0 + f] = fill
+        return batch
+
     def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
         spec.expect("mel", self.name)
         cells = spec.shape[0] * spec.shape[1]
@@ -150,6 +218,23 @@ class Normalize(PrepOp):
         mean = data.mean()
         std = data.std()
         return ((data - mean) / (std + self.eps)).astype(np.float32)
+
+    def apply_batch(
+        self, batch: Any, rngs: Sequence[np.random.Generator]
+    ) -> Any:
+        if not isinstance(batch, np.ndarray):
+            return super().apply_batch(batch, rngs)
+        if batch.ndim != 3:
+            raise DataprepError("norm expects (N x frames x mels)")
+        # Per-sample statistics reduce over each contiguous slice exactly
+        # as the scalar path does; the normalization itself is one fused
+        # float64 broadcast over the stack (``data.mean()`` is a typed
+        # float64 scalar, so the scalar path promotes to float64 too).
+        means = np.array([sample.mean() for sample in batch])
+        divisors = np.array([sample.std() for sample in batch]) + self.eps
+        return (
+            (batch - means[:, None, None]) / divisors[:, None, None]
+        ).astype(np.float32)
 
     def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
         spec.expect("mel", self.name)
@@ -246,6 +331,25 @@ class Mfcc(PrepOp):
         basis[0] *= 1.0 / np.sqrt(2.0)
         basis *= np.sqrt(2.0 / mels)
         return (data.astype(np.float64) @ basis.T).astype(np.float32)
+
+    def apply_batch(
+        self, batch: Any, rngs: Sequence[np.random.Generator]
+    ) -> Any:
+        if not isinstance(batch, np.ndarray):
+            return super().apply_batch(batch, rngs)
+        if batch.ndim != 3:
+            raise DataprepError("mfcc expects (N x frames x mels)")
+        mels = batch.shape[2]
+        if self.n_coefficients > mels:
+            raise DataprepError(
+                f"cannot keep {self.n_coefficients} coefficients of {mels} mels"
+            )
+        n = np.arange(mels)
+        k = np.arange(self.n_coefficients)[:, None]
+        basis = np.cos(np.pi * k * (2 * n + 1) / (2 * mels))
+        basis[0] *= 1.0 / np.sqrt(2.0)
+        basis *= np.sqrt(2.0 / mels)
+        return (batch.astype(np.float64) @ basis.T).astype(np.float32)
 
     def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
         spec.expect("mel", self.name)

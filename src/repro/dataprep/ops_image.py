@@ -9,7 +9,7 @@ calibrated constants from :mod:`repro.dataprep.cost`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Tuple
+from typing import Any, Sequence, Tuple
 
 import numpy as np
 
@@ -17,7 +17,7 @@ from repro.errors import DataprepError
 from repro.dataprep import cost as costmod
 from repro.dataprep.cost import OpCost, cpu_mem_traffic
 from repro.dataprep.jpeg import codec as jpeg_codec
-from repro.dataprep.pipeline import PrepOp, SampleSpec
+from repro.dataprep.pipeline import PrepOp, SampleSpec, stack_samples
 
 
 class DecodePng(PrepOp):
@@ -33,6 +33,16 @@ class DecodePng(PrepOp):
         if not isinstance(data, (bytes, bytearray)):
             raise DataprepError("decode_png expects compressed bytes")
         return png_codec.decode(bytes(data))
+
+    def apply_batch(
+        self, batch: Any, rngs: Sequence[np.random.Generator]
+    ) -> Any:
+        from repro.dataprep.png import codec as png_codec
+
+        for blob in batch:
+            if not isinstance(blob, (bytes, bytearray)):
+                raise DataprepError("decode_png expects compressed bytes")
+        return stack_samples([png_codec.decode(bytes(b)) for b in batch])
 
     def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
         spec.expect("png", self.name)
@@ -50,16 +60,37 @@ class DecodePng(PrepOp):
         return op, SampleSpec("image_u8", (height, width, 3), out_bytes)
 
 
+@dataclass
 class DecodeJpeg(PrepOp):
-    """JPEG → uint8 RGB (the dominant formatting cost, §III-C)."""
+    """JPEG → uint8 RGB (the dominant formatting cost, §III-C).
 
-    name = "decode_jpeg"
-    kind = "decode"
+    ``fast=False`` selects the symbol-at-a-time reference entropy
+    decoder — the executable spec, and the baseline the prep-throughput
+    benchmark measures its speedup against."""
+
+    fast: bool = True
+    name: str = "decode_jpeg"
+    kind: str = "decode"
 
     def apply(self, data: Any, rng: np.random.Generator) -> np.ndarray:
         if not isinstance(data, (bytes, bytearray)):
             raise DataprepError("decode_jpeg expects compressed bytes")
-        return jpeg_codec.decode(bytes(data))
+        return jpeg_codec.JpegCodec.decode(bytes(data), fast=self.fast)
+
+    def apply_batch(
+        self, batch: Any, rngs: Sequence[np.random.Generator]
+    ) -> Any:
+        """Batched decode: the per-image entropy stage feeds one shared
+        dequantize/IDCT/color pass over the whole stack (see
+        :func:`repro.dataprep.jpeg.codec.decode_batch`)."""
+        for blob in batch:
+            if not isinstance(blob, (bytes, bytearray)):
+                raise DataprepError("decode_jpeg expects compressed bytes")
+        return stack_samples(
+            jpeg_codec.decode_batch(
+                [bytes(b) for b in batch], fast=self.fast
+            )
+        )
 
     def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
         spec.expect("jpeg", self.name)
@@ -100,6 +131,42 @@ class RandomCrop(PrepOp):
         left = int(rng.integers(0, w - self.out_width + 1))
         return data[top : top + self.out_height, left : left + self.out_width]
 
+    def offsets(
+        self, shape: Tuple[int, ...], rngs: Sequence[np.random.Generator]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-sample (top, left) crop origins, one draw pair per stream
+        — exactly the draws ``apply`` makes, so batched == scalar."""
+        h, w = shape[:2]
+        tops = np.empty(len(rngs), dtype=np.intp)
+        lefts = np.empty(len(rngs), dtype=np.intp)
+        for i, rng in enumerate(rngs):
+            tops[i] = int(rng.integers(0, h - self.out_height + 1))
+            lefts[i] = int(rng.integers(0, w - self.out_width + 1))
+        return tops, lefts
+
+    def apply_batch(
+        self, batch: Any, rngs: Sequence[np.random.Generator]
+    ) -> Any:
+        if not isinstance(batch, np.ndarray):
+            return super().apply_batch(batch, rngs)
+        if batch.ndim != 4:
+            raise DataprepError("random_crop expects an NxHxWxC stack")
+        n, h, w = batch.shape[:3]
+        if h < self.out_height or w < self.out_width:
+            raise DataprepError(
+                f"cannot crop {h}x{w} to {self.out_height}x{self.out_width}"
+            )
+        tops, lefts = self.offsets(batch.shape[1:], rngs)
+        # One gather over per-sample window indices: advanced indexing
+        # assembles all N crops in a single contiguous copy.
+        rows = tops[:, None] + np.arange(self.out_height, dtype=np.intp)
+        cols = lefts[:, None] + np.arange(self.out_width, dtype=np.intp)
+        return batch[
+            np.arange(n, dtype=np.intp)[:, None, None],
+            rows[:, :, None],
+            cols[:, None, :],
+        ]
+
     def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
         spec.expect("image_u8", self.name)
         if spec.shape[0] < self.out_height or spec.shape[1] < self.out_width:
@@ -138,6 +205,27 @@ class Mirror(PrepOp):
             return data[:, ::-1]
         return data
 
+    def coin_flips(self, rngs: Sequence[np.random.Generator]) -> np.ndarray:
+        """Per-sample flip decisions, one uniform draw per stream — the
+        same draw ``apply`` makes."""
+        return np.array(
+            [rng.random() < self.probability for rng in rngs], dtype=bool
+        )
+
+    def apply_batch(
+        self, batch: Any, rngs: Sequence[np.random.Generator]
+    ) -> Any:
+        if not isinstance(batch, np.ndarray):
+            return super().apply_batch(batch, rngs)
+        if batch.ndim != 4:
+            raise DataprepError("mirror expects an NxHxWxC stack")
+        flips = self.coin_flips(rngs)
+        if flips.any():
+            # One boolean-mask gather + reversed writeback flips every
+            # selected image along W without touching the others.
+            batch[flips] = batch[flips][:, :, ::-1]
+        return batch
+
     def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
         spec.expect("image_u8", self.name)
         pixels = spec.shape[0] * spec.shape[1]
@@ -167,8 +255,44 @@ class GaussianNoise(PrepOp):
     def apply(self, data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         if data.dtype != np.uint8:
             raise DataprepError("gaussian_noise expects uint8 pixels")
+        noise = rng.standard_normal(data.shape, dtype=np.float32)
+        return self._finish(noise, data)
+
+    def apply_reference_f64(
+        self, data: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """The original float64 implementation, kept as the numerical
+        reference the float32 path's goldens were re-pinned against."""
+        if data.dtype != np.uint8:
+            raise DataprepError("gaussian_noise expects uint8 pixels")
         noisy = data.astype(np.float32) + rng.normal(0.0, self.sigma, data.shape)
         return np.clip(np.round(noisy), 0, 255).astype(np.uint8)
+
+    def _finish(self, noise: np.ndarray, data: np.ndarray) -> np.ndarray:
+        # In-place scale/add/round/clip on the float32 noise buffer: no
+        # float64 temporary is ever materialized.  The op sequence is
+        # shared between the scalar and batched paths so their math is
+        # bit-identical by construction.
+        noise *= np.float32(self.sigma)
+        noise += data
+        np.round(noise, out=noise)
+        np.clip(noise, 0.0, 255.0, out=noise)
+        return noise.astype(np.uint8)
+
+    def apply_batch(
+        self, batch: Any, rngs: Sequence[np.random.Generator]
+    ) -> Any:
+        if not isinstance(batch, np.ndarray):
+            return super().apply_batch(batch, rngs)
+        if batch.dtype != np.uint8:
+            raise DataprepError("gaussian_noise expects uint8 pixels")
+        noise = np.empty(batch.shape, dtype=np.float32)
+        for row, rng in zip(noise, rngs):
+            # Same per-sample draw as ``apply``, written straight into
+            # the batch-wide buffer; the fused arithmetic below then runs
+            # once over the whole stack.
+            rng.standard_normal(row.shape, dtype=np.float32, out=row)
+        return self._finish(noise, batch)
 
     def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
         spec.expect("image_u8", self.name)
@@ -198,6 +322,17 @@ class CastToFloat(PrepOp):
             raise DataprepError("cast expects uint8 pixels")
         return data.astype(np.float32) * self.scale
 
+    def apply_batch(
+        self, batch: Any, rngs: Sequence[np.random.Generator]
+    ) -> Any:
+        if not isinstance(batch, np.ndarray):
+            return super().apply_batch(batch, rngs)
+        if batch.dtype != np.uint8:
+            raise DataprepError("cast expects uint8 pixels")
+        # float32 * python-float stays float32 (NEP 50 weak scalars), so
+        # the single batch cast matches the per-sample path bit-for-bit.
+        return batch.astype(np.float32) * self.scale
+
     def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
         spec.expect("image_u8", self.name)
         pixels = spec.shape[0] * spec.shape[1]
@@ -219,13 +354,16 @@ def image_pipeline(
     noise_sigma: float = 4.0,
     mirror_probability: float = 0.5,
     source_format: str = "jpeg",
+    fast_decode: bool = True,
 ) -> "PrepPipeline":
     """The full Table II image pipeline: decode → crop → mirror → noise →
-    cast.  ``source_format`` selects the decoder ("jpeg" or "png")."""
+    cast.  ``source_format`` selects the decoder ("jpeg" or "png");
+    ``fast_decode=False`` pins the JPEG decoder to its reference entropy
+    path (the prep benchmark's baseline)."""
     from repro.dataprep.pipeline import PrepPipeline
 
     if source_format == "jpeg":
-        decoder = DecodeJpeg()
+        decoder = DecodeJpeg(fast=fast_decode)
     elif source_format == "png":
         decoder = DecodePng()
     else:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Any, List, Tuple
+from typing import Any, List, Sequence, Tuple
 
 import numpy as np
 
@@ -27,7 +27,7 @@ from repro.errors import CodecError, DataprepError
 from repro.dataprep import cost as costmod
 from repro.dataprep.cost import OpCost, cpu_mem_traffic
 from repro.dataprep.jpeg import codec as jpeg_codec
-from repro.dataprep.pipeline import PrepOp, PrepPipeline, SampleSpec
+from repro.dataprep.pipeline import PrepOp, PrepPipeline, SampleSpec, stack_samples
 from repro.devices.fpga import EngineResources
 
 _CLIP_MAGIC = b"RMJP"
@@ -40,7 +40,14 @@ def encode_clip(frames: List[np.ndarray], quality: int = 75) -> bytes:
     shapes = {f.shape for f in frames}
     if len(shapes) != 1:
         raise CodecError(f"frames differ in shape: {shapes}")
-    payloads = [jpeg_codec.encode(f, quality=quality) for f in frames]
+    return pack_clip([jpeg_codec.encode(f, quality=quality) for f in frames])
+
+
+def pack_clip(payloads: List[bytes]) -> bytes:
+    """Assemble already-encoded per-frame JPEG payloads into a clip
+    container (the byte layout :func:`encode_clip` produces)."""
+    if not payloads:
+        raise CodecError("a clip needs at least one frame")
     out = bytearray(_CLIP_MAGIC)
     out.extend(struct.pack("<I", len(payloads)))
     for payload in payloads:
@@ -63,15 +70,22 @@ def decode_clip(data: bytes) -> List[np.ndarray]:
 
 
 def _decode_clip_checked(data: bytes) -> List[np.ndarray]:
+    return [jpeg_codec.decode(payload) for payload in _clip_payloads(data)]
+
+
+def _clip_payloads(data: bytes) -> List[bytes]:
+    """Split a clip container into its per-frame JPEG payloads."""
+    if data[:4] != _CLIP_MAGIC:
+        raise CodecError("not an RMJP clip")
     (count,) = struct.unpack_from("<I", data, 4)
     offset = 8
-    frames = []
+    payloads = []
     for _ in range(count):
         (length,) = struct.unpack_from("<I", data, offset)
         offset += 4
-        frames.append(jpeg_codec.decode(data[offset : offset + length]))
+        payloads.append(data[offset : offset + length])
         offset += length
-    return frames
+    return payloads
 
 
 class DecodeVideo(PrepOp):
@@ -84,6 +98,29 @@ class DecodeVideo(PrepOp):
         if not isinstance(data, (bytes, bytearray)):
             raise DataprepError("decode_video expects clip bytes")
         return np.stack(decode_clip(bytes(data)))
+
+    def apply_batch(
+        self, batch: Any, rngs: Sequence[np.random.Generator]
+    ) -> Any:
+        """Flatten every clip's frames into one ``decode_batch`` call so
+        the whole batch shares a single batched JPEG transform stage,
+        then regroup frames per clip."""
+        for blob in batch:
+            if not isinstance(blob, (bytes, bytearray)):
+                raise DataprepError("decode_video expects clip bytes")
+        try:
+            payload_lists = [_clip_payloads(bytes(b)) for b in batch]
+        except (struct.error, IndexError, ValueError) as exc:
+            raise CodecError(f"malformed RMJP clip: {exc}") from exc
+        flat = jpeg_codec.decode_batch(
+            [p for payloads in payload_lists for p in payloads]
+        )
+        clips = []
+        offset = 0
+        for payloads in payload_lists:
+            clips.append(np.stack(flat[offset : offset + len(payloads)]))
+            offset += len(payloads)
+        return stack_samples(clips)
 
     def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
         spec.expect("video_mjpeg", self.name)
@@ -117,6 +154,15 @@ class TemporalSubsample(PrepOp):
         if data.ndim != 4:
             raise DataprepError("temporal_subsample expects (T,H,W,C)")
         return data[:: self.stride]
+
+    def apply_batch(
+        self, batch: Any, rngs: Sequence[np.random.Generator]
+    ) -> Any:
+        if not isinstance(batch, np.ndarray):
+            return super().apply_batch(batch, rngs)
+        if batch.ndim != 5:
+            raise DataprepError("temporal_subsample expects (N,T,H,W,C)")
+        return batch[:, :: self.stride]
 
     def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
         spec.expect("video_u8", self.name)
@@ -156,6 +202,31 @@ class ClipCrop(PrepOp):
         left = int(rng.integers(0, w - self.out_width + 1))
         return data[:, top : top + self.out_height, left : left + self.out_width]
 
+    def apply_batch(
+        self, batch: Any, rngs: Sequence[np.random.Generator]
+    ) -> Any:
+        if not isinstance(batch, np.ndarray):
+            return super().apply_batch(batch, rngs)
+        if batch.ndim != 5:
+            raise DataprepError("clip_crop expects (N,T,H,W,C)")
+        n, t, h, w, c = batch.shape
+        if h < self.out_height or w < self.out_width:
+            raise DataprepError(
+                f"cannot crop {h}x{w} to {self.out_height}x{self.out_width}"
+            )
+        out = np.empty(
+            (n, t, self.out_height, self.out_width, c), dtype=batch.dtype
+        )
+        for i, rng in enumerate(rngs):
+            # One (top, left) per clip — the same draws ``apply`` makes —
+            # and one contiguous window copy per clip.
+            top = int(rng.integers(0, h - self.out_height + 1))
+            left = int(rng.integers(0, w - self.out_width + 1))
+            out[i] = batch[
+                i, :, top : top + self.out_height, left : left + self.out_width
+            ]
+        return out
+
     def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
         spec.expect("video_u8", self.name)
         frames = spec.shape[0]
@@ -190,6 +261,15 @@ class ClipCast(PrepOp):
         if data.dtype != np.uint8:
             raise DataprepError("clip_cast expects uint8 frames")
         return data.astype(np.float32) * self.scale
+
+    def apply_batch(
+        self, batch: Any, rngs: Sequence[np.random.Generator]
+    ) -> Any:
+        if not isinstance(batch, np.ndarray):
+            return super().apply_batch(batch, rngs)
+        if batch.dtype != np.uint8:
+            raise DataprepError("clip_cast expects uint8 frames")
+        return batch.astype(np.float32) * self.scale
 
     def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
         spec.expect("video_u8", self.name)

@@ -156,3 +156,25 @@ class SyntheticImageDataset:
         return SampleSpec(
             "jpeg", (self.height, self.width, 3), float(np.mean(sizes))
         )
+
+    def shard_loader(self) -> "ImageShardLoader":
+        """A picklable loader for :class:`repro.dataprep.engine.PrepEngine`."""
+        return ImageShardLoader(self)
+
+
+@dataclass(frozen=True)
+class ImageShardLoader:
+    """Shard loader feeding the prep engine: JPEG blobs for a global
+    sample range.  The dataset regenerates items deterministically from
+    its seed, so workers need no data transfer — only this descriptor."""
+
+    dataset: SyntheticImageDataset
+
+    def __call__(self, start: int, count: int) -> List[bytes]:
+        return [blob for blob, _ in self.dataset.batch(start, count)]
+
+    def labels(self, start: int, count: int) -> np.ndarray:
+        """Labels for the same range (cheap: no pixels generated)."""
+        return np.array(
+            [self.dataset.label_of(start + i) for i in range(count)]
+        )

@@ -95,6 +95,14 @@ class FlowSimulator:
 
     def _run(self, transfers: Sequence[Transfer]) -> List[TransferRecord]:
         remaining = {i: t.volume for i, t in enumerate(transfers)}
+        # A transfer's Flow never changes across events, so build each
+        # one once up front instead of re-materializing the whole active
+        # list every event-loop iteration (the loop runs O(n) times, so
+        # rebuilding made rate solves O(n^2) in allocations).
+        flow_of = [
+            Flow(t.src, t.dst, demand=t.demand, label=t.label)
+            for t in transfers
+        ]
         finish: Dict[int, float] = {}
         # Admission order: a head pointer over the start-time-sorted index
         # list, so each admission is O(1) instead of a list-head pop that
@@ -125,16 +133,7 @@ class FlowSimulator:
                 now = transfers[order[head]].start_time
                 continue
 
-            flows = [
-                Flow(
-                    transfers[i].src,
-                    transfers[i].dst,
-                    demand=transfers[i].demand,
-                    label=transfers[i].label,
-                )
-                for i in active
-            ]
-            rates = self._solver.allocate(flows)
+            rates = self._solver.allocate([flow_of[i] for i in active])
 
             # Next event: a flow draining or a new arrival.
             horizon = math.inf

@@ -253,6 +253,156 @@ def sweep_equivalence(n_jobs: int = 4):
     return serial, cached
 
 
+# -- the prep suite ----------------------------------------------------------
+
+
+def _bench_jpeg_blobs(size: int, batch: int, quality: int = 75) -> List[bytes]:
+    """Photo-like JPEG payloads for the prep benchmarks (batch-encoded —
+    byte-identical to per-image encode, just faster to set up)."""
+    from repro.dataprep import jpeg
+
+    images = [bench_image(size, size, seed=300 + i) for i in range(batch)]
+    return jpeg.encode_batch(images, quality=quality)
+
+
+def prep_suite(
+    size: int = 256, batch: int = 32, repeats: int = 3
+) -> List[Measurement]:
+    """Throughput of the data-preparation pipelines, samples/s.
+
+    * ``image_prep_single_{size}`` — the kept per-sample path
+      (``run_batch_reference``), one fast-codec ``run`` per image;
+    * ``image_prep_batch{batch}_{size}`` — the vectorized
+      ``run_batch_vectorized`` path on the same payloads;
+    * ``audio_prep_batch{batch}`` — the batched audio pipeline on a
+      stack of equal-length utterances.
+
+    All paths are bit-identical; the measurements exist so CI notices
+    when one of them loses its throughput.
+    """
+    from repro.dataprep.ops_audio import audio_pipeline
+    from repro.dataprep.ops_image import image_pipeline
+    from repro.dataprep.pipeline import spawn_rngs
+
+    crop = max(1, size - 32)
+    pipe = image_pipeline(out_height=crop, out_width=crop)
+    blobs = _bench_jpeg_blobs(size, batch)
+    single = max(4, batch // 4)
+
+    def run_single():
+        rngs = spawn_rngs(np.random.default_rng(0), single)
+        pipe.run_batch_reference(blobs[:single], rngs)
+
+    def run_batched():
+        rngs = spawn_rngs(np.random.default_rng(0), batch)
+        pipe.run_batch_vectorized(blobs, rngs)
+
+    apipe = audio_pipeline()
+    pcm = (
+        np.clip(
+            np.random.default_rng(5).normal(0, 0.2, (batch, 16_000)), -1, 1
+        )
+        * 32767
+    ).astype(np.int16)
+
+    def run_audio():
+        rngs = spawn_rngs(np.random.default_rng(0), batch)
+        apipe.run_batch_vectorized(pcm, rngs)
+
+    return [
+        measure(f"image_prep_single_{size}", run_single, single, repeats),
+        measure(f"image_prep_batch{batch}_{size}", run_batched, batch, repeats),
+        measure(f"audio_prep_batch{batch}", run_audio, batch, repeats),
+    ]
+
+
+def prep_reference_speedup(
+    size: int = 256,
+    batch: int = 256,
+    reference_samples: int = 8,
+    repeats: int = 3,
+) -> float:
+    """Batched-path / per-sample-reference throughput ratio for the
+    image pipeline on a ``batch``×``size``×``size`` JPEG batch.
+
+    The reference is the kept executable spec end to end: a per-sample
+    ``run`` loop with the symbol-at-a-time JPEG entropy decoder
+    (``fast=False`` — the same baseline the codec benchmark measures
+    against, PR 1 discipline).  It is timed on ``reference_samples``
+    images and scaled linearly — it is a strict per-sample loop, so its
+    cost is linear by construction — because timing all ``batch`` images
+    through it would take minutes.  Bit-identity of the two paths is
+    asserted on the subset while we're at it.
+    """
+    from repro.dataprep.ops_image import image_pipeline
+    from repro.dataprep.pipeline import spawn_rngs
+
+    crop = max(1, size - 32)
+    fast_pipe = image_pipeline(out_height=crop, out_width=crop)
+    ref_pipe = image_pipeline(
+        out_height=crop, out_width=crop, fast_decode=False
+    )
+    blobs = _bench_jpeg_blobs(size, batch)
+    reference_samples = min(reference_samples, batch)
+
+    rngs = spawn_rngs(np.random.default_rng(0), batch)
+    batched = fast_pipe.run_batch_vectorized(blobs, rngs)
+    rngs = spawn_rngs(np.random.default_rng(0), batch)
+    reference = ref_pipe.run_batch_reference(
+        blobs[:reference_samples], rngs[:reference_samples]
+    )
+    for i, ref_out in enumerate(reference):
+        if not np.array_equal(ref_out, batched[i]):
+            raise ConfigError(
+                f"batched prep output differs from the reference at {i}"
+            )
+
+    def run_reference():
+        rngs = spawn_rngs(np.random.default_rng(0), reference_samples)
+        ref_pipe.run_batch_reference(blobs[:reference_samples], rngs)
+
+    def run_batched():
+        rngs = spawn_rngs(np.random.default_rng(0), batch)
+        fast_pipe.run_batch_vectorized(blobs, rngs)
+
+    ref_s = best_of(run_reference, repeats=repeats) / reference_samples
+    batched_s = best_of(run_batched, repeats=repeats) / batch
+    if batched_s <= 0:
+        return math.inf
+    return ref_s / batched_s
+
+
+def prep_equivalence(
+    size: int = 64, num_samples: int = 20, batch_size: int = 8, workers: int = 2
+):
+    """(serial, parallel) engine outputs over the same shards, for
+    asserting the worker pool never changes a bit."""
+    from repro.dataprep.engine import run_engine
+    from repro.dataprep.ops_image import image_pipeline
+    from repro.datasets.imagenet import SyntheticImageDataset
+
+    dataset = SyntheticImageDataset(
+        num_items=num_samples, height=size, width=size, seed=21
+    )
+    pipe = image_pipeline(out_height=size - 16, out_width=size - 16)
+    out_spec = pipe.output_spec(dataset.measured_spec())
+    sample_nbytes = int(np.prod(out_spec.shape)) * 4
+    loader = dataset.shard_loader()
+    serial = run_engine(
+        pipe, loader, num_samples, batch_size, seed=13, num_workers=0
+    )
+    parallel = run_engine(
+        pipe,
+        loader,
+        num_samples,
+        batch_size,
+        seed=13,
+        num_workers=workers,
+        sample_nbytes=sample_nbytes,
+    )
+    return serial, parallel
+
+
 def reference_decode_speedup(size: int = 256, repeats: int = 10) -> float:
     """Fast-path / reference-path JPEG decode throughput ratio.
 

@@ -97,8 +97,13 @@ def _prepare_batch(
     flatten: bool = True,
 ) -> np.ndarray:
     """Run the preparation pipeline; flatten for MLPs, keep (and center)
-    the spatial layout for convolutional models."""
-    prepared = [pipeline.run(img, rng) for img in images]
+    the spatial layout for convolutional models.
+
+    Batches go through the vectorized ``run_batch`` engine, which spawns
+    one RNG stream per sample: a sample's augmentation depends only on
+    the parent seed state and its position, not on how the batch is
+    sliced across ranks."""
+    prepared = pipeline.run_batch(images, rng)
     if flatten:
         return np.stack([p.reshape(-1) for p in prepared])
     return np.stack(prepared) - 0.5
@@ -142,6 +147,18 @@ class CenterCrop(RandomCrop):
         top = (h - self.out_height) // 2
         left = (w - self.out_width) // 2
         return data[top : top + self.out_height, left : left + self.out_width]
+
+    def offsets(
+        self, shape: Tuple[int, ...], rngs
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # Deterministic center origin for every sample; the inherited
+        # apply_batch gather then matches apply exactly.
+        h, w = shape[:2]
+        n = len(rngs)
+        return (
+            np.full(n, (h - self.out_height) // 2, dtype=np.intp),
+            np.full(n, (w - self.out_width) // 2, dtype=np.intp),
+        )
 
 
 def augmentation_experiment(
