@@ -48,6 +48,7 @@ __all__ = [
     "Engine",
     "ENGINE_NAMES",
     "get_engine",
+    "price_fault_schedule",
     "resolve_arch",
     "resolve_workload",
     "simulate",
@@ -242,6 +243,70 @@ def sweep(
     :func:`repro.core.sweeps.run_sweep` with the facade's cache and
     metrics conveniences)."""
     return run_sweep(spec, n_jobs=n_jobs, cache=_as_cache(cache), metrics=metrics)
+
+
+def price_fault_schedule(
+    workload: Union[str, Workload],
+    arch: Union[str, ArchitectureConfig],
+    scale: int,
+    schedule,
+    horizon: float,
+    *,
+    engine: str = "analytical",
+    batch_size: Optional[int] = None,
+    hw: Optional[HardwareConfig] = None,
+    pool_size: Optional[int] = None,
+    des_iterations: int = 60,
+    trace: Optional[obs.Tracer] = None,
+    metrics: Optional[obs.MetricsRegistry] = None,
+):
+    """Price a :class:`~repro.core.faults.FaultSchedule` on any engine.
+
+    Returns a :class:`~repro.core.faults.DegradedTimeline`: the horizon
+    partitioned into constant-fault windows, each priced by the chosen
+    engine on the degraded server — FPGA loss absorbed by the prep
+    pool, SSD loss halving the box's read bandwidth after resharding,
+    accelerator loss shrinking the job for its window.
+    """
+    from repro.core.des import simulate_des_schedule
+    from repro.core.faults import price_schedule
+    from repro.core.flowengine import simulate_flow_schedule
+    from repro.core.server import build_server
+
+    get_engine(engine)  # validate the name with the canonical error
+    scenario = TrainingScenario(
+        workload=resolve_workload(workload),
+        arch=resolve_arch(arch),
+        n_accelerators=scale,
+        batch_size=batch_size,
+        hw=hw,
+        pool_size=pool_size,
+    )
+    with obs.session(tracer=trace, metrics=metrics):
+        with obs.span(
+            "api.price_fault_schedule", cat="api",
+            engine=engine, workload=scenario.workload.name, scale=scale,
+        ):
+            if engine == "des":
+                return simulate_des_schedule(
+                    scenario, schedule, horizon, iterations=des_iterations
+                )
+            if engine == "flow":
+                return simulate_flow_schedule(scenario, schedule, horizon)
+            server = build_server(
+                scenario.arch, scale, hw=scenario.hw or HardwareConfig(),
+                pool_size=pool_size,
+            )
+
+            def runner(degraded):
+                import dataclasses
+
+                window = dataclasses.replace(
+                    scenario, n_accelerators=degraded.n_accelerators
+                )
+                return _simulate_analytical(window, server=degraded)
+
+            return price_schedule(server, schedule, horizon, runner)
 
 
 def trace_iteration_time(tracer: obs.Tracer) -> float:

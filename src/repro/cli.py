@@ -18,6 +18,10 @@ Commands:
   baseline.
 * ``bench-prep`` — data-preparation throughput smoke test vs the
   committed baseline, plus the batched-vs-reference speedup gate.
+* ``chaos``    — the resilience drill: inject every prep-engine failure
+  mode deterministically and verify bit-identical recovery; with
+  ``--fail DEVICE:T0[:T1]`` it prices a time-varying fault schedule as
+  a piecewise degraded-throughput timeline instead.
 * ``workloads`` — print Table I.
 
 ``simulate``/``sweep``/``ladder`` accept ``--trace PATH`` and
@@ -412,6 +416,102 @@ def _cmd_bench_prep(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.fail:
+        return _chaos_schedule(args)
+    return _chaos_drill(args)
+
+
+def _chaos_drill(args: argparse.Namespace) -> int:
+    from repro.dataprep.drill import run_drill
+
+    results = run_drill(
+        num_samples=args.samples,
+        batch_size=args.batch,
+        num_workers=args.workers,
+        seed=args.seed,
+        shard_timeout_s=args.timeout,
+    )
+    rows = []
+    for r in results:
+        d = r.report.as_dict()
+        rows.append(
+            [
+                r.name,
+                "ok" if r.ok else "FAIL",
+                f"{r.seconds:.2f}",
+                d["retries"],
+                d["worker_crashes"],
+                d["deadline_expiries"],
+                d["respawns"],
+                d["shards_quarantined"],
+                d["samples_quarantined"],
+            ]
+        )
+    print(format_table(
+        ["scenario", "bits", "sec", "retry", "crash", "deadline",
+         "respawn", "shard-q", "sample-q"],
+        rows,
+    ))
+    failures = [r for r in results if not r.ok]
+    for r in failures:
+        detail = r.error or "delivered batches differ from the reference run"
+        print(f"CHAOS FAILURE  {r.name}: {detail}", file=sys.stderr)
+    if failures:
+        return 1
+    print(
+        f"all {len(results)} chaos scenarios bit-identical to the "
+        f"fault-free reference ({args.workers} workers, seed {args.seed})"
+    )
+    return 0
+
+
+def _chaos_schedule(args: argparse.Namespace) -> int:
+    from repro.core.faults import FaultEvent, FaultSchedule
+
+    events = []
+    for spec in args.fail:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            raise SystemExit(
+                f"bad --fail spec {spec!r}; expected DEVICE:FAIL[:RECOVER]"
+            )
+        try:
+            fail_t = float(parts[1])
+            recover_t = float(parts[2]) if len(parts) == 3 else float("inf")
+        except ValueError:
+            raise SystemExit(f"bad --fail times in {spec!r}") from None
+        events.append(FaultEvent(parts[0], fail_t, recover_t))
+    timeline = api.price_fault_schedule(
+        args.workload,
+        _arch(args.arch),
+        args.accelerators,
+        FaultSchedule(tuple(events)),
+        args.horizon,
+        engine=args.engine,
+    )
+    rows = [
+        [
+            f"{s.start:g}",
+            f"{s.end:g}",
+            ",".join(s.failed) or "-",
+            f"{s.throughput:,.0f}",
+            s.bottleneck,
+        ]
+        for s in timeline.segments
+    ]
+    print(format_table(
+        ["start", "end", "failed", "samples/s", "bottleneck"], rows
+    ))
+    print(
+        f"mean {timeline.mean_throughput:,.0f} samples/s over "
+        f"{timeline.horizon:g}s "
+        f"(min {timeline.min_throughput:,.0f}, "
+        f"max {timeline.max_throughput:,.0f}) [{args.engine}]"
+    )
+    return 0
+
+
 def _cmd_workloads(_args: argparse.Namespace) -> int:
     rows = [
         [
@@ -598,6 +698,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--update", action="store_true", help="rewrite the baseline and exit"
     )
     p.set_defaults(func=_cmd_bench_prep)
+
+    p = sub.add_parser(
+        "chaos",
+        help="chaos drill: run every prep-engine failure mode and verify "
+        "bit-identical recovery; with --fail, price a fault schedule",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2,
+        help="prep worker processes for the drill (default 2)",
+    )
+    p.add_argument("--samples", type=int, default=20, help="drill dataset size")
+    p.add_argument("--batch", type=int, default=4, help="drill batch size")
+    p.add_argument("--seed", type=int, default=7, help="chaos + pipeline seed")
+    p.add_argument(
+        "--timeout", type=float, default=2.0,
+        help="per-shard deadline seconds for the drill (default 2.0)",
+    )
+    p.add_argument(
+        "--fail", action="append", default=[], metavar="DEVICE:FAIL[:RECOVER]",
+        help="price a fault schedule instead of the drill; repeatable "
+        "(e.g. --fail tbox0_fpga0:10:40)",
+    )
+    p.add_argument(
+        "--workload", default="Resnet-50",
+        help="workload for --fail schedule pricing (default Resnet-50)",
+    )
+    p.add_argument("-a", "--arch", default="trainbox", help=f"one of {sorted(_ARCHS)}")
+    p.add_argument(
+        "-n", "--accelerators", type=int, default=32,
+        help="accelerator count for --fail pricing (default 32)",
+    )
+    engine_opt(p)
+    p.add_argument(
+        "--horizon", type=float, default=60.0,
+        help="schedule pricing horizon seconds (default 60)",
+    )
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("workloads", help="print Table I")
     p.set_defaults(func=_cmd_workloads)

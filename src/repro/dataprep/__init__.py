@@ -35,12 +35,16 @@ from repro.dataprep.cost import (
     PipelineCost,
     profile_by_name,
 )
+from repro.dataprep.chaos import ChaosSpec, corrupt_payload, wrap_loader
 from repro.dataprep.engine import (
     PreparedBatch,
     PrepEngine,
+    ResilienceConfig,
+    ResilienceReport,
     ShardSpec,
     make_shards,
     prepare_shard,
+    prepare_shard_salvaging,
     run_engine,
 )
 from repro.dataprep.pipeline import (
@@ -80,6 +84,7 @@ __all__ = [
     "BatchOp",
     "CPU_PROFILE",
     "CastToFloat",
+    "ChaosSpec",
     "ClipCast",
     "ClipCrop",
     "DecodeJpeg",
@@ -99,6 +104,8 @@ __all__ = [
     "PrepPipeline",
     "PreparedBatch",
     "RandomCrop",
+    "ResilienceConfig",
+    "ResilienceReport",
     "Ricap",
     "SampleSpec",
     "ShardSpec",
@@ -108,11 +115,14 @@ __all__ = [
     "TimeWarp",
     "apply_batch_op",
     "audio_pipeline",
+    "corrupt_payload",
     "image_pipeline",
     "make_shards",
     "prepare_shard",
+    "prepare_shard_salvaging",
     "profile_by_name",
     "run_engine",
+    "wrap_loader",
     "sample_rng",
     "spawn_rngs",
     "video_pipeline",

@@ -1,0 +1,227 @@
+"""Deterministic chaos injection for the prep engine.
+
+At TrainBox scale (256 accelerators plus racks of SSDs and prep
+devices) failures are routine, so recovery code is load-bearing — and
+recovery code that is only exercised by real outages is recovery code
+that does not work.  This module turns every failure mode the resilient
+:class:`~repro.dataprep.engine.PrepEngine` handles into a *reproducible
+test case*: worker crashes, worker hangs, lost completion messages
+(which strand their shared-memory slot), and corrupt payload bytes are
+injected at well-defined points, with every decision a pure function of
+``(seed, shard_index)``.  Re-running a chaos scenario replays the exact
+same fault sequence; no flaky tests, no Heisenbugs.
+
+Fault kinds
+-----------
+
+``crash``
+    The worker process hard-exits (``os._exit``) while preparing the
+    shard — the supervisor sees a dead worker with an in-flight shard.
+``hang``
+    The worker sleeps past any reasonable deadline — the supervisor's
+    per-shard deadline must fire and the worker be replaced.
+``lose_result``
+    The shard is prepared and written to its ring slot, but the
+    completion message is dropped — from the supervisor's side the slot
+    is lost until the deadline reclaims it.
+``corrupt``
+    The shard's payload bytes are corrupted (truncated) on the *first*
+    load only — a transient bad read; the engine's reload-retry path
+    must heal it, so delivered bits still match the fault-free run.
+``poison``
+    The chosen sample's payload is corrupted on *every* load — bad
+    bytes at rest; the engine must quarantine that single sample with a
+    deterministic fill instead of failing the batch.
+
+Crash/hang/lose_result fire on the shard's **first attempt only** by
+default (``first_attempt_only=True``), so the retry path succeeds;
+setting it ``False`` makes the fault persistent, which drives the
+shard-quarantine path (prepare in-process after the retry budget).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DataprepError
+
+#: Fault kinds a :class:`ChaosSpec` can inject, in documentation order.
+FAULT_KINDS = ("crash", "hang", "lose_result", "corrupt", "poison")
+
+
+def _chaos_rng(seed: int, shard_index: int) -> np.random.Generator:
+    """The decision stream for one shard: a pure function of
+    ``(seed, shard_index)``, independent of every other shard."""
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(shard_index,))
+    )
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Which shards suffer which faults, deterministically.
+
+    Shard index sets are explicit so tests read as scenarios; use
+    :meth:`sample` to draw them from fault rates instead (still a pure
+    function of the seed).  ``seed`` additionally keys the in-shard
+    decisions (which sample a ``poison`` fault corrupts).
+    """
+
+    seed: int = 0
+    crash: frozenset = frozenset()
+    hang: frozenset = frozenset()
+    lose_result: frozenset = frozenset()
+    corrupt: frozenset = frozenset()
+    poison: frozenset = frozenset()
+    #: crash/hang/lose_result/corrupt fire on attempt 0 only (recoverable
+    #: by retry) when True; on every attempt (driving quarantine) when
+    #: False.  ``poison`` is persistent by definition.
+    first_attempt_only: bool = True
+    #: how long an injected hang sleeps; anything far past the engine's
+    #: per-shard deadline (the worker is terminated long before waking).
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        for name in ("crash", "hang", "lose_result", "corrupt", "poison"):
+            object.__setattr__(self, name, frozenset(getattr(self, name)))
+        if self.hang_seconds <= 0:
+            raise DataprepError("hang_seconds must be positive")
+
+    @staticmethod
+    def sample(
+        seed: int,
+        num_shards: int,
+        crash_rate: float = 0.0,
+        hang_rate: float = 0.0,
+        lose_result_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        poison_rate: float = 0.0,
+        **kwargs: Any,
+    ) -> "ChaosSpec":
+        """Draw a spec from per-shard fault rates.
+
+        Each shard draws one uniform variate from its own
+        ``(seed, shard_index)`` stream and the cumulative rate bands
+        decide its (single) fault, so a shard's fate never depends on
+        the other shards or on the order of evaluation.
+        """
+        rates = (crash_rate, hang_rate, lose_result_rate, corrupt_rate,
+                 poison_rate)
+        if any(r < 0 for r in rates) or sum(rates) > 1.0:
+            raise DataprepError(
+                f"fault rates must be >= 0 and sum to <= 1: {rates}"
+            )
+        sets: Tuple[List[int], ...] = ([], [], [], [], [])
+        for shard in range(num_shards):
+            u = float(_chaos_rng(seed, shard).uniform())
+            edge = 0.0
+            for band, rate in zip(sets, rates):
+                edge += rate
+                if u < edge:
+                    band.append(shard)
+                    break
+        crash, hang, lose, corrupt, poison = (frozenset(s) for s in sets)
+        return ChaosSpec(
+            seed=seed, crash=crash, hang=hang, lose_result=lose,
+            corrupt=corrupt, poison=poison, **kwargs,
+        )
+
+    @property
+    def faulted_shards(self) -> frozenset:
+        return self.crash | self.hang | self.lose_result | self.corrupt | self.poison
+
+    def _fires(self, shards: frozenset, index: int, attempt: int) -> bool:
+        if index not in shards:
+            return False
+        return attempt == 0 or not self.first_attempt_only
+
+    # -- worker-side injection points ---------------------------------
+
+    def before_prepare(self, shard_index: int, attempt: int) -> None:
+        """Called by the worker before preparing a shard: injects the
+        process-level faults (hard crash, hang)."""
+        if self._fires(self.crash, shard_index, attempt):
+            os._exit(87)  # hard crash: no cleanup, no exception
+        if self._fires(self.hang, shard_index, attempt):
+            time.sleep(self.hang_seconds)
+
+    def drops_result(self, shard_index: int, attempt: int) -> bool:
+        """Whether the worker should silently drop this shard's
+        completion message (stranding its ring slot)."""
+        return self._fires(self.lose_result, shard_index, attempt)
+
+    def poisoned_sample(self, shard_index: int, count: int) -> int:
+        """Which sample of a poisoned shard carries the bad bytes —
+        deterministic in ``(seed, shard_index)``."""
+        return int(_chaos_rng(self.seed, shard_index).integers(count))
+
+
+def corrupt_payload(blob: bytes) -> bytes:
+    """A deterministically corrupted copy of one payload: truncated to
+    half length, which every codec in the tree rejects with
+    :class:`~repro.errors.CodecError` (bitstream underrun)."""
+    if not isinstance(blob, (bytes, bytearray)):
+        raise DataprepError(
+            "chaos payload corruption supports bytes payloads only, "
+            f"got {type(blob).__name__}"
+        )
+    return bytes(blob[: max(2, len(blob) // 2)])
+
+
+class ChaosLoader:
+    """A shard loader wrapper that injects payload corruption.
+
+    Wraps the user's ``loader(start, count)``; when the chaos spec marks
+    the enclosing shard ``corrupt`` (transient — first load in this
+    process only) or ``poison`` (every load), one deterministic sample
+    of the returned payload list is replaced with corrupted bytes.
+
+    The wrapper is picklable as long as the wrapped loader is, so it
+    crosses the worker-process boundary exactly like a plain loader.
+    Load-attempt counting is per-process state, which is the semantics a
+    transient bad read has: each process's *first* read of the shard
+    glitches, its retry reads clean bytes.
+    """
+
+    def __init__(self, loader: Callable[[int, int], Any], spec: ChaosSpec,
+                 batch_size: int) -> None:
+        if batch_size <= 0:
+            raise DataprepError("batch_size must be positive")
+        self._loader = loader
+        self._spec = spec
+        self._batch_size = batch_size
+        self._loads: dict = {}
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_loads"] = {}  # attempt counts are per-process
+        return state
+
+    def __call__(self, start: int, count: int) -> Any:
+        raw = self._loader(start, count)
+        shard = start // self._batch_size
+        spec = self._spec
+        loads = self._loads.get(shard, 0)
+        self._loads[shard] = loads + 1
+        transient = spec._fires(spec.corrupt, shard, loads)
+        persistent = shard in spec.poison
+        if not (transient or persistent):
+            return raw
+        payloads = list(raw)
+        victim = spec.poisoned_sample(shard, count)
+        payloads[victim] = corrupt_payload(payloads[victim])
+        return payloads
+
+
+def wrap_loader(loader: Callable[[int, int], Any], spec: ChaosSpec,
+                batch_size: int) -> Callable[[int, int], Any]:
+    """The chaos-instrumented view of ``loader`` (identity when the spec
+    corrupts nothing)."""
+    if not spec.corrupt and not spec.poison:
+        return loader
+    return ChaosLoader(loader, spec, batch_size)

@@ -20,26 +20,67 @@ of ``(loader, pipeline, seed, batch layout)``:
 * parallel == serial bit-for-bit (``num_workers=0`` runs the identical
   code path in-process, with no shared memory);
 * worker count, slot count and scheduling order never change a single
-  output bit — only the wall-clock.
+  output bit — only the wall-clock;
+* **failures never change a bit either**: a retried, re-dispatched or
+  quarantined shard re-derives the same per-sample streams, so crash,
+  hang and lost-slot recovery all deliver the fault-free bits.
+
+Fault tolerance
+---------------
+
+At the paper's scale (256 accelerators, racks of SSDs and prep
+devices) per-device failures are routine, so the engine degrades
+instead of dying.  The consumer loop doubles as a supervisor: it
+*assigns* ``(shard, slot, attempt)`` tuples to workers one at a time
+(so it always knows which worker holds which shard and which ring
+slot), and on every poll it checks worker liveness, worker heartbeats,
+and per-shard deadlines.  When :class:`ResilienceConfig` is set:
+
+* a **crashed** worker's in-flight shard is re-dispatched (capped
+  exponential backoff) and the worker is respawned;
+* a **hung** worker — shard deadline missed or heartbeat gone stale —
+  is terminated and treated like a crash;
+* a **lost completion** (slot written but never reported) hits the
+  same deadline and the slot is reclaimed, because the supervisor owns
+  slot accounting;
+* a shard that defeats workers ``max_shard_retries`` times is
+  **quarantined**: prepared in-process on the per-sample reference
+  path, so one poison shard degrades throughput instead of killing the
+  run;
+* a **corrupt sample** (:class:`~repro.errors.CodecError`) first gets
+  one clean re-read (transient bad reads heal bit-exactly), then is
+  quarantined alone with a deterministic zero fill and reported, so
+  one bad payload never fails its batch.
+
+Without a :class:`ResilienceConfig` every resilience hook is a single
+branch on ``None``: failures raise immediately (but a *partial* worker
+crash is still detected immediately instead of livelocking — the
+supervisor knows the dead worker held an in-flight shard).
 
 Backpressure and prefetch
 -------------------------
 
 The ring has ``num_slots`` shared-memory slots (default two per worker:
 double buffering — one slot being consumed while the next is filled).
-Workers block on the free-slot queue when the consumer falls behind, so
-memory stays bounded.  A yielded batch's array is a **view into its
-slot** and is only valid until the next iteration, when the slot is
-recycled; callers that need the data longer must copy (the trainer
-consumes batches immediately, so it never does).
+The supervisor dispatches a shard only when a slot is free, and always
+reserves the last free slot for the next shard the consumer needs, so
+out-of-order completions can never park in every slot and deadlock the
+reorder buffer.  A yielded batch's array is a **view into its slot**
+and is only valid until the next iteration, when the slot is recycled;
+callers that need the data longer must copy (the trainer consumes
+batches immediately, so it never does).
 """
 
 from __future__ import annotations
 
+import bisect
+import itertools
 import queue
+import threading
+import time
 import traceback
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import multiprocessing
 from multiprocessing import shared_memory
@@ -47,7 +88,15 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro import obs
-from repro.errors import DataprepError
+from repro.errors import (
+    CodecError,
+    DataprepError,
+    PoisonShardError,
+    PrepWorkerCrash,
+    ReproError,
+    ShardTimeoutError,
+)
+from repro.dataprep.chaos import ChaosSpec, wrap_loader
 from repro.dataprep.pipeline import PrepPipeline, sample_rng
 
 #: Raw-shard loader: ``loader(start, count)`` returns the raw payloads
@@ -69,12 +118,72 @@ class ShardSpec:
 class PreparedBatch:
     """A finished batch.  ``data`` is an ``N×…`` stack; in worker mode
     it is a zero-copy view into a shared-memory slot, valid until the
-    next batch is pulled from the engine."""
+    next batch is pulled from the engine (quarantined shards own their
+    array).  ``quarantined`` lists in-shard indices of samples that were
+    corrupt and carry the deterministic fill instead of real data."""
 
     index: int
     start: int
     count: int
     data: np.ndarray
+    quarantined: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Retry/quarantine policy for worker-mode preparation.
+
+    ``max_shard_retries`` re-dispatches per shard before it is
+    quarantined to the in-process reference path; ``max_total_retries``
+    is the global budget across all shards (exhausting it raises, so a
+    systemically failing run terminates instead of thrashing).
+    Backoff before re-dispatch is ``base · 2^(attempt-1)`` capped at
+    ``backoff_cap_s``.  ``shard_timeout_s`` is the per-shard deadline;
+    ``heartbeat_timeout_s`` declares a worker dead when its beat (every
+    ``heartbeat_interval_s``) goes stale — 0 disables heartbeats.
+    """
+
+    max_shard_retries: int = 3
+    max_total_retries: int = 64
+    shard_timeout_s: float = 30.0
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    heartbeat_interval_s: float = 0.2
+    heartbeat_timeout_s: float = 10.0
+    respawn: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_shard_retries < 0 or self.max_total_retries < 0:
+            raise DataprepError("retry budgets must be >= 0")
+        if self.shard_timeout_s <= 0:
+            raise DataprepError("shard_timeout_s must be positive")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise DataprepError("backoff times must be >= 0")
+        if self.heartbeat_interval_s <= 0:
+            raise DataprepError("heartbeat_interval_s must be positive")
+
+
+@dataclass
+class ResilienceReport:
+    """Exact recovery accounting for one engine run (mirrored onto the
+    ``prep.*`` obs counters)."""
+
+    retries: int = 0
+    worker_crashes: int = 0
+    deadline_expiries: int = 0
+    respawns: int = 0
+    shards_quarantined: int = 0
+    samples_quarantined: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "retries": self.retries,
+            "worker_crashes": self.worker_crashes,
+            "deadline_expiries": self.deadline_expiries,
+            "respawns": self.respawns,
+            "shards_quarantined": self.shards_quarantined,
+            "samples_quarantined": self.samples_quarantined,
+        }
 
 
 def make_shards(
@@ -116,24 +225,102 @@ def prepare_shard(
     return out
 
 
+def prepare_shard_salvaging(
+    pipeline: PrepPipeline,
+    loader: ShardLoader,
+    seed: int,
+    shard: ShardSpec,
+    vectorized: bool = True,
+) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """:func:`prepare_shard` with corrupt-sample quarantine.
+
+    On a :class:`~repro.errors.CodecError` from the batched path the
+    payload is re-read once and retried (a transient bad read heals
+    bit-exactly); if corruption persists, the shard falls back to the
+    per-sample reference path and each corrupt sample is replaced by a
+    deterministic zero fill.  Returns ``(stack, quarantined_indices)``
+    — bit-identical to the fault-free path when nothing is corrupt.
+    ``vectorized=False`` (the quarantine path) skips straight to the
+    per-sample reference loop.
+    """
+    if vectorized:
+        for _attempt in range(2):  # original read, then one clean re-read
+            try:
+                return prepare_shard(pipeline, loader, seed, shard), ()
+            except CodecError:
+                continue
+    raw = loader(shard.start, shard.count)
+    raw = list(raw) if not isinstance(raw, np.ndarray) else raw
+    if len(raw) != shard.count:
+        raise DataprepError(
+            f"loader returned {len(raw)} payloads for shard {shard.index}, "
+            f"expected {shard.count}"
+        )
+    outputs: List[Optional[np.ndarray]] = [None] * shard.count
+    bad: List[int] = []
+    for i in range(shard.count):
+        rng = sample_rng(seed, shard.start + i)
+        try:
+            outputs[i] = pipeline.run(raw[i], rng)
+        except CodecError:
+            bad.append(i)
+    if len(bad) == shard.count:
+        raise PoisonShardError(
+            f"every sample of shard {shard.index} is corrupt"
+        )
+    template = next(o for o in outputs if o is not None)
+    if not isinstance(template, np.ndarray):
+        raise DataprepError(
+            f"{pipeline.name}: engine shards must prepare to a fixed-shape "
+            f"stack, got ragged outputs for shard {shard.index}"
+        )
+    fill = np.zeros_like(template)
+    stack = np.stack([o if o is not None else fill for o in outputs])
+    return stack, tuple(bad)
+
+
+def _heartbeat_loop(value: Any, interval: float, stop: threading.Event) -> None:
+    while not stop.wait(interval):
+        value.value = time.monotonic()
+
+
 def _worker_loop(
+    worker_id: int,
     pipeline: PrepPipeline,
     loader: ShardLoader,
     seed: int,
     segment_names: Sequence[str],
     tasks: Any,
     results: Any,
-    free_slots: Any,
+    heartbeat: Any,
+    heartbeat_interval: float,
+    chaos: Optional[ChaosSpec],
+    salvage: bool,
 ) -> None:
+    stop = threading.Event()
+    if heartbeat is not None:
+        threading.Thread(
+            target=_heartbeat_loop,
+            args=(heartbeat, heartbeat_interval, stop),
+            daemon=True,
+        ).start()
     segments = [shared_memory.SharedMemory(name=n) for n in segment_names]
     try:
         while True:
-            shard = tasks.get()
-            if shard is None:
+            task = tasks.get()
+            if task is None:
                 return
+            shard, slot, attempt = task
             try:
-                out = prepare_shard(pipeline, loader, seed, shard)
-                slot = free_slots.get()
+                if chaos is not None:
+                    chaos.before_prepare(shard.index, attempt)
+                if salvage:
+                    out, quarantined = prepare_shard_salvaging(
+                        pipeline, loader, seed, shard
+                    )
+                else:
+                    out = prepare_shard(pipeline, loader, seed, shard)
+                    quarantined = ()
                 seg = segments[slot]
                 if out.nbytes > seg.size:
                     raise DataprepError(
@@ -142,15 +329,59 @@ def _worker_loop(
                     )
                 dest = np.ndarray(out.shape, dtype=out.dtype, buffer=seg.buf)
                 dest[...] = out  # the one batch-level copy into the ring
+                if chaos is not None and chaos.drops_result(
+                    shard.index, attempt
+                ):
+                    continue  # injected lost completion: the slot is stranded
                 results.put(
-                    ("ok", shard.index, slot, out.shape, out.dtype.str)
+                    (
+                        "ok",
+                        worker_id,
+                        shard.index,
+                        slot,
+                        out.shape,
+                        out.dtype.str,
+                        quarantined,
+                    )
                 )
-            except Exception:
-                results.put(("error", shard.index, traceback.format_exc()))
-                return
+            except Exception as exc:
+                # Attempt-scoped failures (I/O glitches, killed workers'
+                # kin) are retryable; a ReproError that declares itself
+                # non-retryable (bad config, poison shard) is not.
+                retryable = not (
+                    isinstance(exc, ReproError) and not exc.retryable
+                )
+                results.put(
+                    (
+                        "error",
+                        worker_id,
+                        shard.index,
+                        slot,
+                        traceback.format_exc(),
+                        retryable,
+                    )
+                )
+                # The shard failed; the worker itself is fine — keep
+                # serving so one bad payload doesn't cost a process.
     finally:
+        stop.set()
         for seg in segments:
             seg.close()
+
+
+class _Worker:
+    """Supervisor-side handle: process, private task queue, heartbeat,
+    and the single in-flight assignment ``(shard, slot, attempt,
+    deadline)`` (None when idle)."""
+
+    __slots__ = ("wid", "proc", "tasks", "heartbeat", "assignment")
+
+    def __init__(self, wid: int, proc: Any, tasks: Any, heartbeat: Any) -> None:
+        self.wid = wid
+        self.proc = proc
+        self.tasks = tasks
+        self.heartbeat = heartbeat
+        self.assignment: Optional[Tuple[ShardSpec, int, int, Optional[float]]] = None
 
 
 class PrepEngine:
@@ -171,6 +402,16 @@ class PrepEngine:
         ``pipeline.output_spec(...)`` when the input spec is known.
     num_slots:
         Ring size; default ``2 * num_workers`` (double buffering).
+    resilience:
+        A :class:`ResilienceConfig` enabling heartbeats, deadlines,
+        retry/backoff, quarantine and corrupt-sample salvage.  ``None``
+        (the default) keeps the fail-fast semantics — every hook is one
+        branch, so the no-fault hot path is untouched.
+    chaos:
+        A :class:`~repro.dataprep.chaos.ChaosSpec` injecting
+        deterministic faults (tests and the ``repro chaos`` drill);
+        crash/hang/lost-result faults require worker mode, payload
+        corruption also applies serially.
     """
 
     def __init__(
@@ -186,18 +427,33 @@ class PrepEngine:
         num_slots: Optional[int] = None,
         start: int = 0,
         mp_context: Optional[str] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        chaos: Optional[ChaosSpec] = None,
     ) -> None:
         # Cleanup state first: __del__ calls close() even when the
         # validation below aborts construction.
         self._segments: List[shared_memory.SharedMemory] = []
-        self._workers: List[Any] = []
+        self._live: Dict[int, _Worker] = {}
+        self._results: Optional[Any] = None
         self._closed = False
         if num_workers < 0:
             raise DataprepError(f"num_workers must be >= 0: {num_workers}")
+        if chaos is not None and num_workers == 0 and (
+            chaos.crash or chaos.hang or chaos.lose_result
+        ):
+            raise DataprepError(
+                "crash/hang/lost-result chaos needs worker mode; only "
+                "payload corruption applies serially"
+            )
         self.pipeline = pipeline
-        self.loader = loader
+        self.loader = (
+            loader if chaos is None else wrap_loader(loader, chaos, batch_size)
+        )
         self.seed = seed
         self.num_workers = num_workers
+        self.resilience = resilience
+        self.chaos = chaos
+        self.report = ResilienceReport()
         self.shards = make_shards(num_samples, batch_size, start=start)
         if num_workers > 0:
             if sample_nbytes is None or sample_nbytes <= 0:
@@ -215,8 +471,9 @@ class PrepEngine:
             self.slot_bytes = 0
             self.num_slots = 0
         self._mp_context = mp_context
-        self._results: Optional[Any] = None
-        self._free_slots: Optional[Any] = None
+        self._ctx: Optional[Any] = None
+        self._wid_counter = itertools.count()
+        self._retries_total = 0
         self._started = False
 
     # -- lifecycle ----------------------------------------------------
@@ -238,26 +495,70 @@ class PrepEngine:
     def close(self) -> None:
         """Stop workers and release every shared-memory segment.
 
-        Idempotent, and the engine's only exit path: it runs on normal
-        completion, on errors, and on worker crashes alike, so no
-        segment outlives the engine.
+        Idempotent (safe to call repeatedly, including before
+        :meth:`_start` and after a partial start failure), and the
+        engine's only exit path: it runs on normal completion, on
+        errors, and on worker crashes alike, so no segment or worker
+        process outlives the engine.
         """
         if self._closed:
             return
         self._closed = True
-        for worker in self._workers:
-            if worker.is_alive():
-                worker.terminate()
-        for worker in self._workers:
-            worker.join(timeout=5.0)
-        self._workers = []
-        for seg in self._segments:
+        workers = list(self._live.values())
+        self._live = {}
+        for worker in workers:
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+        for worker in workers:
+            worker.proc.join(timeout=5.0)
+            if worker.proc.is_alive():  # pragma: no cover - defensive
+                worker.proc.kill()
+                worker.proc.join(timeout=1.0)
+        # Drop queue feeder threads before unlinking memory so close()
+        # can never hang flushing to a dead consumer.
+        for worker in workers:
+            worker.tasks.close()
+            worker.tasks.cancel_join_thread()
+        if self._results is not None:
+            self._results.close()
+            self._results.cancel_join_thread()
+            self._results = None
+        segments, self._segments = self._segments, []
+        for seg in segments:
             try:
                 seg.close()
                 seg.unlink()
             except FileNotFoundError:
                 pass
-        self._segments = []
+
+    def _spawn_worker(self) -> _Worker:
+        assert self._ctx is not None
+        wid = next(self._wid_counter)
+        tasks = self._ctx.Queue()
+        heartbeat = None
+        interval = 0.0
+        if self.resilience is not None and self.resilience.heartbeat_timeout_s > 0:
+            heartbeat = self._ctx.Value("d", time.monotonic(), lock=False)
+            interval = self.resilience.heartbeat_interval_s
+        proc = self._ctx.Process(
+            target=_worker_loop,
+            args=(
+                wid,
+                self.pipeline,
+                self.loader,
+                self.seed,
+                [seg.name for seg in self._segments],
+                tasks,
+                self._results,
+                heartbeat,
+                interval,
+                self.chaos,
+                self.resilience is not None,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        return _Worker(wid, proc, tasks, heartbeat)
 
     def _start(self) -> None:
         if self._started:
@@ -265,39 +566,25 @@ class PrepEngine:
         self._started = True
         if self.num_workers == 0:
             return
-        ctx = multiprocessing.get_context(self._mp_context)
-        self._segments = [
-            shared_memory.SharedMemory(create=True, size=self.slot_bytes)
-            for _ in range(self.num_slots)
-        ]
-        names = [seg.name for seg in self._segments]
-        tasks = ctx.Queue()
-        self._results = ctx.Queue()
-        self._free_slots = ctx.Queue()
-        for slot in range(self.num_slots):
-            self._free_slots.put(slot)
-        for shard in self.shards:
-            tasks.put(shard)
-        for _ in range(self.num_workers):
-            tasks.put(None)
-        self._workers = [
-            ctx.Process(
-                target=_worker_loop,
-                args=(
-                    self.pipeline,
-                    self.loader,
-                    self.seed,
-                    names,
-                    tasks,
-                    self._results,
-                    self._free_slots,
-                ),
-                daemon=True,
-            )
-            for _ in range(self.num_workers)
-        ]
-        for worker in self._workers:
-            worker.start()
+        try:
+            self._ctx = multiprocessing.get_context(self._mp_context)
+            # Append one by one: a failure partway must leave the
+            # already-created segments where close() can unlink them.
+            for _ in range(self.num_slots):
+                self._segments.append(
+                    shared_memory.SharedMemory(
+                        create=True, size=self.slot_bytes
+                    )
+                )
+            self._results = self._ctx.Queue()
+            for _ in range(self.num_workers):
+                worker = self._spawn_worker()
+                self._live[worker.wid] = worker
+        except BaseException:
+            # A failure partway through startup must not leak segments
+            # or zombie workers; close() releases whatever exists.
+            self.close()
+            raise
 
     # -- consumption --------------------------------------------------
 
@@ -323,46 +610,280 @@ class PrepEngine:
 
     def _serial_batches(self) -> Iterator[PreparedBatch]:
         for shard in self.shards:
-            data = prepare_shard(self.pipeline, self.loader, self.seed, shard)
+            if self.resilience is not None:
+                data, quarantined = prepare_shard_salvaging(
+                    self.pipeline, self.loader, self.seed, shard
+                )
+                self._count_quarantined(quarantined)
+            else:
+                data = prepare_shard(
+                    self.pipeline, self.loader, self.seed, shard
+                )
+                quarantined = ()
             obs.inc("prep.batches")
             obs.inc("prep.samples", shard.count)
-            yield PreparedBatch(shard.index, shard.start, shard.count, data)
+            yield PreparedBatch(
+                shard.index, shard.start, shard.count, data, quarantined
+            )
 
-    def _next_result(self) -> Tuple[Any, ...]:
-        assert self._results is not None
-        while True:
-            try:
-                return self._results.get(timeout=0.5)
-            except queue.Empty:
-                dead = [w for w in self._workers if not w.is_alive()]
-                if len(dead) == len(self._workers):
-                    raise DataprepError(
-                        "all prep workers exited without delivering results"
-                    ) from None
+    def _count_quarantined(self, quarantined: Sequence[int]) -> None:
+        if quarantined:
+            self.report.samples_quarantined += len(quarantined)
+            obs.inc("prep.samples_quarantined", len(quarantined))
+
+    # -- the supervisor -----------------------------------------------
 
     def _worker_batches(self) -> Iterator[PreparedBatch]:
-        assert self._free_slots is not None
-        pending = {}
+        # (shard, attempt, eligible_at), kept sorted by shard index so
+        # the consumer's next shard is always dispatched first.
+        pending: List[Tuple[ShardSpec, int, float]] = [
+            (shard, 0, 0.0) for shard in self.shards
+        ]
+        # Reorder buffer: index -> ("slot", slot, shape, dtype, quar)
+        # for ring deliveries, ("data", array, quar) for quarantined
+        # shards prepared in-process.
+        done: Dict[int, Tuple] = {}
+        free = list(range(self.num_slots))
         for shard in self.shards:
-            # Reorder-buffer: drain results until this shard arrives.
-            # Out-of-order shards wait in `pending`, parked in their
-            # ring slots (backpressure caps how many that can be).
-            while shard.index not in pending:
-                msg = self._next_result()
-                if msg[0] == "error":
-                    raise DataprepError(
-                        f"prep worker failed on shard {msg[1]}:\n{msg[2]}"
-                    )
-                pending[msg[1]] = msg[2:]
-            slot, shape, dtype = pending.pop(shard.index)
-            data = np.ndarray(
-                shape, dtype=np.dtype(dtype), buffer=self._segments[slot].buf
-            )
+            while shard.index not in done:
+                self._dispatch(pending, free, done, shard.index)
+                msg = self._poll()
+                if msg is not None:
+                    self._handle_message(msg, pending, free, done)
+                self._check_workers(pending, free, done)
+            entry = done.pop(shard.index)
+            if entry[0] == "slot":
+                _, slot, shape, dtype, quarantined = entry
+                data = np.ndarray(
+                    shape, dtype=np.dtype(dtype),
+                    buffer=self._segments[slot].buf,
+                )
+            else:
+                _, data, quarantined = entry
+                slot = None
             obs.inc("prep.batches")
             obs.inc("prep.samples", shard.count)
-            yield PreparedBatch(shard.index, shard.start, shard.count, data)
-            # The consumer has moved on; recycle the slot.
-            self._free_slots.put(slot)
+            yield PreparedBatch(
+                shard.index, shard.start, shard.count, data, quarantined
+            )
+            if slot is not None:
+                # The consumer has moved on; recycle the slot.
+                free.append(slot)
+
+    def _poll(self) -> Optional[Tuple]:
+        assert self._results is not None
+        try:
+            return self._results.get(timeout=0.05)
+        except queue.Empty:
+            return None
+
+    def _dispatch(
+        self,
+        pending: List[Tuple[ShardSpec, int, float]],
+        free: List[int],
+        done: Dict[int, Tuple],
+        lowest_index: int,
+    ) -> None:
+        if not pending:
+            return
+        if not self._live:
+            # Total pool loss.  With resilience the run degrades to
+            # in-process preparation; without it, it fails fast.
+            if self.resilience is None:
+                raise PrepWorkerCrash(
+                    "all prep workers exited without delivering results"
+                )
+            while pending:
+                shard, _, _ = pending.pop(0)
+                self._quarantine(shard, done)
+            return
+        now = time.monotonic()
+        lowest_covered = lowest_index in done or any(
+            w.assignment is not None and w.assignment[0].index == lowest_index
+            for w in self._live.values()
+        )
+        for worker in self._live.values():
+            if not free or not pending:
+                return
+            if worker.assignment is not None:
+                continue
+            pick = None
+            for i, (cand, _attempt, eligible) in enumerate(pending):
+                if eligible > now:
+                    continue  # backing off; later shards may still run
+                if (
+                    cand.index != lowest_index
+                    and not lowest_covered
+                    and len(free) <= 1
+                ):
+                    # Reserve the last slot for the shard the consumer
+                    # is waiting on, or the reorder buffer can deadlock.
+                    break
+                pick = i
+                break
+            if pick is None:
+                return
+            shard, attempt, _ = pending.pop(pick)
+            slot = free.pop()
+            deadline = (
+                now + self.resilience.shard_timeout_s
+                if self.resilience is not None
+                else None
+            )
+            worker.assignment = (shard, slot, attempt, deadline)
+            worker.tasks.put((shard, slot, attempt))
+            if shard.index == lowest_index:
+                lowest_covered = True
+
+    def _handle_message(
+        self,
+        msg: Tuple,
+        pending: List[Tuple[ShardSpec, int, float]],
+        free: List[int],
+        done: Dict[int, Tuple],
+    ) -> None:
+        kind, wid, index = msg[0], msg[1], msg[2]
+        worker = self._live.get(wid)
+        if (
+            worker is None
+            or worker.assignment is None
+            or worker.assignment[0].index != index
+        ):
+            # Stale: the worker was replaced (its slot already
+            # reclaimed) or the shard was already re-dispatched.
+            return
+        shard, slot, attempt, _ = worker.assignment
+        worker.assignment = None
+        if kind == "ok":
+            _, _, _, slot_msg, shape, dtype, quarantined = msg
+            done[index] = ("slot", slot_msg, shape, dtype, tuple(quarantined))
+            self._count_quarantined(quarantined)
+        else:
+            _, _, _, _, detail, retryable = msg
+            free.append(slot)
+            error_cls = PrepWorkerCrash if retryable else DataprepError
+            self._shard_failed(
+                shard, attempt, pending, done,
+                retryable=retryable,
+                error=error_cls(
+                    f"prep worker failed on shard {index}:\n{detail}"
+                ),
+                detail=detail,
+            )
+
+    def _check_workers(
+        self,
+        pending: List[Tuple[ShardSpec, int, float]],
+        free: List[int],
+        done: Dict[int, Tuple],
+    ) -> None:
+        res = self.resilience
+        now = time.monotonic()
+        for wid in list(self._live):
+            worker = self._live[wid]
+            if worker.proc.is_alive():
+                expired = (
+                    worker.assignment is not None
+                    and worker.assignment[3] is not None
+                    and now > worker.assignment[3]
+                )
+                stale = (
+                    worker.heartbeat is not None
+                    and now - worker.heartbeat.value > res.heartbeat_timeout_s
+                )
+                if not expired and not stale:
+                    continue
+                # Hung (deadline missed) or frozen (heartbeat stale):
+                # a process cannot be preempted, so replace it.
+                self.report.deadline_expiries += 1
+                obs.inc("prep.deadline_expiries")
+                error_cls = ShardTimeoutError
+                detail = (
+                    "shard deadline expired" if expired
+                    else "worker heartbeat went stale"
+                )
+                worker.proc.terminate()
+            else:
+                self.report.worker_crashes += 1
+                obs.inc("prep.worker_crashes")
+                error_cls = PrepWorkerCrash
+                detail = f"worker exited with code {worker.proc.exitcode}"
+            assignment = worker.assignment
+            worker.assignment = None
+            del self._live[wid]
+            worker.proc.join(timeout=5.0)
+            worker.tasks.close()
+            worker.tasks.cancel_join_thread()
+            if res is not None and res.respawn:
+                replacement = self._spawn_worker()
+                self._live[replacement.wid] = replacement
+                self.report.respawns += 1
+                obs.inc("prep.respawns")
+            if assignment is not None:
+                shard, slot, attempt, _ = assignment
+                free.append(slot)
+                self._shard_failed(
+                    shard, attempt, pending, done,
+                    retryable=True,
+                    error=error_cls(
+                        f"shard {shard.index} lost on worker {wid}: {detail}"
+                    ),
+                    detail=detail,
+                )
+
+    def _shard_failed(
+        self,
+        shard: ShardSpec,
+        attempt: int,
+        pending: List[Tuple[ShardSpec, int, float]],
+        done: Dict[int, Tuple],
+        *,
+        retryable: bool,
+        error: DataprepError,
+        detail: str,
+    ) -> None:
+        res = self.resilience
+        if res is None or not retryable:
+            raise error
+        if attempt + 1 > res.max_shard_retries:
+            # This shard has defeated the worker pool repeatedly:
+            # stop spending workers on it and prepare it in-process.
+            self._quarantine(shard, done)
+            return
+        self._retries_total += 1
+        if self._retries_total > res.max_total_retries:
+            raise type(error)(
+                f"retry budget exhausted ({res.max_total_retries}) at "
+                f"shard {shard.index}: {detail}"
+            )
+        self.report.retries += 1
+        obs.inc("prep.retries")
+        delay = min(
+            res.backoff_base_s * (2.0 ** attempt), res.backoff_cap_s
+        )
+        entry = (shard, attempt + 1, time.monotonic() + delay)
+        bisect.insort(pending, entry, key=lambda e: e[0].index)
+
+    def _quarantine(self, shard: ShardSpec, done: Dict[int, Tuple]) -> None:
+        """Prepare a poison shard in-process on the per-sample reference
+        path (fault injection cannot follow it here: crash/hang faults
+        are worker-side)."""
+        self.report.shards_quarantined += 1
+        obs.inc("prep.shards_quarantined")
+        try:
+            data, quarantined = prepare_shard_salvaging(
+                self.pipeline, self.loader, self.seed, shard,
+                vectorized=False,
+            )
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise PoisonShardError(
+                f"shard {shard.index} failed in-process after exhausting "
+                f"its worker retries: {exc}"
+            ) from exc
+        self._count_quarantined(quarantined)
+        done[shard.index] = ("data", data, quarantined)
 
 
 def run_engine(

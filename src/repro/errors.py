@@ -8,7 +8,16 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this package."""
+    """Base class for all errors raised by this package.
+
+    ``retryable`` is the failure taxonomy the resilient prep engine
+    dispatches on: a retryable error means the *attempt* failed (a
+    worker crashed, a deadline expired, a read glitched) and the same
+    work may succeed if repeated, while a non-retryable error means the
+    work itself is wrong and repeating it only burns the retry budget.
+    """
+
+    retryable = False
 
 
 class TopologyError(ReproError):
@@ -33,6 +42,29 @@ class CodecError(ReproError):
 
 class DataprepError(ReproError):
     """A data-preparation pipeline was built or executed incorrectly."""
+
+
+class PrepWorkerCrash(DataprepError):
+    """A prep worker process died (or reported a failure) while it held
+    in-flight shards.  Retryable: the shard can be re-dispatched to a
+    surviving or respawned worker."""
+
+    retryable = True
+
+
+class ShardTimeoutError(DataprepError):
+    """A shard missed its per-shard deadline — the worker is hung, the
+    completion message was lost, or the host is badly overloaded.
+    Retryable: the worker is replaced and the shard re-dispatched."""
+
+    retryable = True
+
+
+class PoisonShardError(DataprepError):
+    """A shard failed on every worker attempt *and* on the in-process
+    reference path, so retrying cannot help.  Not retryable."""
+
+    retryable = False
 
 
 class SimulationError(ReproError):

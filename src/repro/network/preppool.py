@@ -29,13 +29,21 @@ class PoolAllocation:
 
 
 class PrepPool:
-    """Allocates whole pool FPGAs to jobs; release returns them."""
+    """Allocates whole pool FPGAs to jobs; release returns them.
+
+    The pool is also the failover domain for preparation compute
+    (§V-A): when a granted FPGA dies, :meth:`fail` transparently
+    replaces it from the free list so the job keeps its preparation
+    rate — the paper's rule that an FPGA loss degrades a box, never
+    kills the job.  Only when no spare exists does the grant shrink.
+    """
 
     def __init__(self, fpga_ids: List[str]) -> None:
         if len(set(fpga_ids)) != len(fpga_ids):
             raise ConfigError(f"duplicate pool FPGA ids: {fpga_ids}")
         self._free: List[str] = list(fpga_ids)
         self._grants: Dict[str, PoolAllocation] = {}
+        self._failed: List[str] = []
 
     @property
     def total(self) -> int:
@@ -44,6 +52,11 @@ class PrepPool:
     @property
     def available(self) -> int:
         return len(self._free)
+
+    @property
+    def failed(self) -> tuple:
+        """FPGAs currently out of service, in failure order."""
+        return tuple(self._failed)
 
     def allocate(self, job_id: str, count: int) -> PoolAllocation:
         """Grant ``count`` FPGAs to ``job_id`` (at most one grant per job)."""
@@ -79,6 +92,51 @@ class PrepPool:
 
     def grant_of(self, job_id: str) -> Optional[PoolAllocation]:
         return self._grants.get(job_id)
+
+    def fail(self, fpga_id: str) -> Optional[str]:
+        """Take a pool FPGA out of service.
+
+        A free FPGA just leaves the pool.  A *granted* FPGA fails over:
+        it is replaced in its grant by a free spare (returned), keeping
+        the job's preparation rate intact; with no spare available the
+        grant shrinks by one device (degraded, not dead) and ``None``
+        is returned.
+        """
+        obs.inc("preppool.fpga_failures")
+        if fpga_id in self._failed:
+            raise ConfigError(f"pool FPGA {fpga_id} already failed")
+        if fpga_id in self._free:
+            self._free.remove(fpga_id)
+            self._failed.append(fpga_id)
+            return None
+        for job_id, grant in self._grants.items():
+            if fpga_id not in grant.fpga_ids:
+                continue
+            self._failed.append(fpga_id)
+            surviving = tuple(f for f in grant.fpga_ids if f != fpga_id)
+            if self._free:
+                spare = self._free.pop(0)
+                self._grants[job_id] = PoolAllocation(
+                    job_id, surviving + (spare,)
+                )
+                obs.inc("preppool.failovers")
+                obs.instant(
+                    "preppool.failover", cat="pool",
+                    job=job_id, lost=fpga_id, spare=spare,
+                )
+                return spare
+            self._grants[job_id] = PoolAllocation(job_id, surviving)
+            obs.inc("preppool.degraded_grants")
+            return None
+        raise ConfigError(f"unknown pool FPGA: {fpga_id}")
+
+    def recover(self, fpga_id: str) -> None:
+        """Return a previously failed FPGA to the free list."""
+        if fpga_id not in self._failed:
+            raise ConfigError(f"pool FPGA {fpga_id} is not failed")
+        self._failed.remove(fpga_id)
+        self._free.append(fpga_id)
+        obs.inc("preppool.recoveries")
 
 
 def pool_fpgas_needed(

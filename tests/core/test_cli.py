@@ -122,3 +122,32 @@ def test_unknown_workload_raises():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_chaos_schedule_mode(capsys):
+    assert main([
+        "chaos", "--fail", "tbox0_fpga0:10:40", "-n", "32",
+        "--horizon", "60",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "tbox0_fpga0" in out
+    assert "mean" in out and "samples/s" in out
+
+
+def test_chaos_schedule_mode_bad_spec():
+    with pytest.raises(SystemExit):
+        main(["chaos", "--fail", "nonsense"])
+    with pytest.raises(SystemExit):
+        main(["chaos", "--fail", "dev:not_a_time"])
+
+
+def test_chaos_drill_smoke(capsys):
+    # One worker, tiny dataset: exercises the full drill quickly.
+    assert main([
+        "chaos", "--workers", "2", "--samples", "8", "--batch", "4",
+        "--timeout", "2.0",
+    ]) == 0
+    out = capsys.readouterr().out
+    for scenario in ("crash", "hang", "lost-result", "poison"):
+        assert scenario in out
+    assert "bit-identical" in out

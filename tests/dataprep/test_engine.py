@@ -127,3 +127,108 @@ def test_undersized_slots_surface_as_error():
     )
     with pytest.raises(DataprepError, match="raise sample_nbytes"):
         list(engine.batches())
+
+
+# -- resilience-adjacent engine contracts -----------------------------------
+
+
+def _stalling_loader(start, count):
+    # Shard 0 loads instantly; later shards park their worker so the
+    # test can kill a process while its shard is in flight.
+    if start >= 2:
+        import time
+
+        time.sleep(120)
+    return _loader(start, count)
+
+
+def test_partial_worker_death_raises_promptly_without_resilience():
+    """A dead worker among live ones must surface as PrepWorkerCrash,
+    not a livelock waiting on a result that can never arrive."""
+    import os
+    import signal
+    import time
+
+    from repro.errors import PrepWorkerCrash
+
+    engine = PrepEngine(
+        _pipe(), _stalling_loader, 8, 2, seed=3, num_workers=2,
+        sample_nbytes=_SAMPLE_NBYTES,
+    )
+    start = time.monotonic()
+    with pytest.raises(PrepWorkerCrash):
+        it = engine.batches()
+        first = next(it)
+        assert first.index == 0
+        # Both workers are now parked inside _stalling_loader with
+        # shards in flight; kill one while the other stays alive.
+        deadline = time.monotonic() + 10
+        victim = None
+        while victim is None and time.monotonic() < deadline:
+            stuck = [
+                w for w in engine._live.values() if w.assignment is not None
+            ]
+            if stuck:
+                victim = stuck[0]
+            else:
+                time.sleep(0.05)
+        assert victim is not None, "no in-flight assignment to kill"
+        os.kill(victim.proc.pid, signal.SIGKILL)
+        next(it)
+    assert time.monotonic() - start < 30
+    engine.close()
+    assert engine.segment_names == []
+
+
+def test_close_is_idempotent_and_safe_before_start():
+    engine = PrepEngine(
+        _pipe(), _loader, 4, 2, num_workers=1, sample_nbytes=_SAMPLE_NBYTES
+    )
+    engine.close()  # never started
+    engine.close()
+
+    engine = PrepEngine(
+        _pipe(), _loader, 8, 2, num_workers=2, sample_nbytes=_SAMPLE_NBYTES
+    )
+    it = engine.batches()
+    next(it)  # mid-stream
+    engine.close()
+    engine.close()
+    assert engine.segment_names == []
+    assert not engine._live
+
+
+def test_start_partial_failure_leaks_nothing(monkeypatch):
+    """If shared-memory creation fails partway, the segments already
+    created are unlinked and no workers are left behind."""
+    from repro.dataprep import engine as engine_mod
+
+    real = shared_memory.SharedMemory
+    created = []
+
+    class Flaky:
+        calls = 0
+
+        def __new__(cls, *args, **kwargs):
+            if kwargs.get("create"):
+                Flaky.calls += 1
+                if Flaky.calls >= 3:
+                    raise OSError("shm quota exceeded")
+            seg = real(*args, **kwargs)
+            if kwargs.get("create"):
+                created.append(seg.name)
+            return seg
+
+    monkeypatch.setattr(engine_mod.shared_memory, "SharedMemory", Flaky)
+    engine = PrepEngine(
+        _pipe(), _loader, 8, 2, num_workers=2, sample_nbytes=_SAMPLE_NBYTES
+    )
+    with pytest.raises(OSError, match="shm quota"):
+        list(engine.batches())
+    monkeypatch.undo()
+    assert len(created) == 2
+    assert engine.segment_names == []
+    assert not engine._live
+    for name in created:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)

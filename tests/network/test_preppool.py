@@ -90,3 +90,63 @@ def test_transformer_sr_needs_54_percent_more():
     required = 256 * workload.sample_rate
     extra = pool_fpgas_needed(required, in_box, per_fpga)
     assert extra / 64 == pytest.approx(0.54, abs=0.05)
+
+
+# -- failure and failover ---------------------------------------------------
+
+
+def test_fail_free_fpga_leaves_pool():
+    pool = PrepPool(["f0", "f1"])
+    assert pool.fail("f0") is None
+    assert pool.available == 1
+    assert pool.failed == ("f0",)
+    assert pool.total == 1
+
+
+def test_fail_granted_fpga_fails_over_to_spare():
+    pool = PrepPool(["f0", "f1", "f2"])
+    grant = pool.allocate("job", 2)
+    spare = pool.fail(grant.fpga_ids[0])
+    assert spare == "f2"
+    replaced = pool.grant_of("job")
+    assert replaced.count == 2
+    assert grant.fpga_ids[0] not in replaced.fpga_ids
+    assert spare in replaced.fpga_ids
+    assert pool.available == 0
+
+
+def test_fail_granted_fpga_without_spare_shrinks_grant():
+    pool = PrepPool(["f0", "f1"])
+    grant = pool.allocate("job", 2)
+    assert pool.fail(grant.fpga_ids[1]) is None
+    shrunk = pool.grant_of("job")
+    assert shrunk.fpga_ids == (grant.fpga_ids[0],)
+
+
+def test_recover_returns_fpga_to_service():
+    pool = PrepPool(["f0", "f1"])
+    pool.fail("f0")
+    pool.recover("f0")
+    assert pool.failed == ()
+    assert pool.available == 2
+    with pytest.raises(ConfigError):
+        pool.recover("f0")
+
+
+def test_double_fail_and_unknown_fpga_rejected():
+    pool = PrepPool(["f0"])
+    pool.fail("f0")
+    with pytest.raises(ConfigError):
+        pool.fail("f0")
+    with pytest.raises(ConfigError):
+        pool.fail("ghost")
+
+
+def test_released_failover_grant_returns_current_devices():
+    pool = PrepPool(["f0", "f1", "f2"])
+    grant = pool.allocate("job", 2)
+    pool.fail(grant.fpga_ids[0])
+    pool.release("job")
+    # f0 is failed; the pool holds the survivor and the spare.
+    assert pool.available == 2
+    assert pool.total == 2

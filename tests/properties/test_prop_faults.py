@@ -1,0 +1,111 @@
+"""Fuzzing fault injection: degradation is monotone, bounded, and never
+silently collapses to zero.
+
+The operational claims under test (docstring of
+:mod:`repro.core.faults`): losing devices can only lower throughput,
+never raise it; any *legal* fault set (one that leaves every box with
+an SSD and an FPGA) still prices to positive throughput; a fault set
+that strips a box of its last SSD or FPGA is rejected with the drain
+rule rather than priced; and a degraded server is itself a valid input
+for further degradation (faults compose).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analytical import TrainingScenario, simulate
+from repro.core.config import ArchitectureConfig
+from repro.core.faults import FaultSet, inject_faults
+from repro.core.server import build_server
+from repro.errors import ConfigError
+from repro.workloads.registry import get_workload
+
+RESNET = get_workload("Resnet-50")
+
+_SERVER = build_server(ArchitectureConfig.trainbox(), 32)
+_HEALTHY = simulate(
+    TrainingScenario(RESNET, _SERVER.arch, 32, hw=_SERVER.hw),
+    server=_SERVER,
+).throughput
+
+
+def _throughput(server):
+    scenario = TrainingScenario(
+        RESNET, server.arch, server.n_accelerators, hw=server.hw
+    )
+    return simulate(scenario, server=server).throughput
+
+
+def _legal_fault_sets():
+    """Fault subsets that keep every box serviceable: at most one SSD
+    and one FPGA per box, any number of accelerators except the last
+    one overall."""
+
+    def build(draw_spec):
+        ssd_boxes, fpga_boxes, acc_count = draw_spec
+        devices = []
+        for b in ssd_boxes:
+            devices.append(_SERVER.boxes[b].ssd_ids[0])
+        for b in fpga_boxes:
+            devices.append(_SERVER.boxes[b].prep_ids[0])
+        devices.extend(_SERVER.acc_ids[:acc_count])
+        return FaultSet(frozenset(devices))
+
+    n_boxes = len([b for b in _SERVER.boxes if b.acc_ids])
+    box_subset = st.sets(
+        st.integers(min_value=0, max_value=n_boxes - 1), max_size=n_boxes
+    )
+    return st.tuples(
+        box_subset, box_subset,
+        st.integers(min_value=0, max_value=_SERVER.n_accelerators - 1),
+    ).map(build)
+
+
+@given(faults=_legal_fault_sets())
+@settings(max_examples=40, deadline=None)
+def test_degradation_is_bounded_and_never_zero(faults):
+    degraded = inject_faults(_SERVER, faults)
+    rate = _throughput(degraded)
+    assert 0 < rate <= _HEALTHY
+    # Half the SSDs and half the FPGAs is the worst legal prep state;
+    # with accelerators also failing, throughput scales down with the
+    # surviving job but never below half-prep on the shrunken job.
+    if not faults.device_ids:
+        assert rate == _HEALTHY
+
+
+@given(faults=_legal_fault_sets(), extra_box=st.integers(min_value=0, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_degradation_is_monotone_under_supersets(faults, extra_box):
+    box = _SERVER.boxes[extra_box]
+    superset = FaultSet(
+        faults.device_ids | {box.ssd_ids[0], box.prep_ids[0]}
+    )
+    base = _throughput(inject_faults(_SERVER, faults))
+    worse = _throughput(inject_faults(_SERVER, superset))
+    assert worse <= base
+
+
+@given(faults=_legal_fault_sets())
+@settings(max_examples=25, deadline=None)
+def test_faults_compose_incrementally(faults):
+    # Injecting a set at once equals injecting it on top of a partial
+    # injection: the degraded server is a first-class server.
+    devices = sorted(faults.device_ids)
+    half = FaultSet(frozenset(devices[: len(devices) // 2]))
+    rest = FaultSet(faults.device_ids - half.device_ids)
+    at_once = inject_faults(_SERVER, faults)
+    staged = inject_faults(inject_faults(_SERVER, half), rest)
+    assert _throughput(staged) == _throughput(at_once)
+
+
+@given(box_index=st.integers(min_value=0, max_value=3), kind=st.sampled_from(["ssd", "prep"]))
+@settings(max_examples=10, deadline=None)
+def test_draining_faults_rejected_never_priced(box_index, kind):
+    box = _SERVER.boxes[box_index]
+    devices = box.ssd_ids if kind == "ssd" else box.prep_ids
+    try:
+        inject_faults(_SERVER, FaultSet(frozenset(devices)))
+    except ConfigError as exc:
+        assert "drain" in str(exc)
+    else:
+        raise AssertionError("stripping a box must raise the drain rule")
