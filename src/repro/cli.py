@@ -249,6 +249,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
+    if args.workload == "describe":
+        return _cmd_plan_describe(args)
     workload = get_workload(args.workload)
     server = build_server(ArchitectureConfig.trainbox(), args.accelerators)
     plan = TrainInitializer(server).plan(workload, num_items=args.items)
@@ -258,6 +260,52 @@ def _cmd_plan(args: argparse.Namespace) -> int:
           f"(+{100 * plan.extra_resource_fraction:.0f}%)")
     print(f"meets target             : {plan.meets_target}")
     print(f"boxes with data          : {len(plan.shards)}")
+    return 0
+
+
+def _cmd_plan_describe(args: argparse.Namespace) -> int:
+    """``repro plan describe <pipeline>`` — compile a prep pipeline for a
+    representative batch and print the compiled-plan report (stages,
+    fusions, hoisted invariants, arena layout)."""
+    import numpy as np
+
+    from repro import perf
+    from repro.dataprep.ops_audio import audio_pipeline
+    from repro.dataprep.ops_image import image_pipeline
+    from repro.dataprep.plan import compile_plan, geometry_for_batch
+
+    name = args.pipeline
+    size, batch = args.size, args.batch
+    crop = max(1, size - 32)
+    if name == "image":
+        pipe = image_pipeline(out_height=crop, out_width=crop)
+        payloads = perf._bench_jpeg_blobs(size, batch)
+    elif name == "image-png":
+        from repro.dataprep.png import codec as png
+
+        pipe = image_pipeline(
+            out_height=crop, out_width=crop, source_format="png"
+        )
+        payloads = [
+            png.encode(perf.bench_image(size, size, seed=300 + i))
+            for i in range(batch)
+        ]
+    elif name == "audio":
+        pipe = audio_pipeline()
+        payloads = (
+            np.clip(
+                np.random.default_rng(5).normal(0, 0.2, (batch, 16_000)),
+                -1,
+                1,
+            )
+            * 32767
+        ).astype(np.int16)
+    else:
+        raise SystemExit(
+            f"unknown pipeline {name!r}; choose from image, image-png, audio"
+        )
+    plan = compile_plan(pipe, geometry_for_batch(pipe, payloads))
+    print(plan.describe())
     return 0
 
 
@@ -352,12 +400,46 @@ def _cmd_bench_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _plan_steady_state_bytes() -> int:
+    """Retained bytes across repeated warm plan executes (asserts ~0).
+
+    Runs on a small geometry — the zero-allocation property is about the
+    arena discipline, not the batch size, so the check stays fast.
+    """
+    import numpy as np
+
+    from repro import perf
+    from repro.dataprep.ops_image import image_pipeline
+    from repro.dataprep.pipeline import spawn_rngs
+    from repro.dataprep.plan import compile_plan, geometry_for_batch
+
+    pipe = image_pipeline(out_height=48, out_width=48)
+    blobs = perf._bench_jpeg_blobs(64, 16)
+    plan = compile_plan(pipe, geometry_for_batch(pipe, blobs))
+
+    def step():
+        plan.execute(blobs, spawn_rngs(np.random.default_rng(0), 16))
+
+    return perf.assert_zero_alloc(step)
+
+
 def _cmd_bench_prep(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro import perf
 
     baseline_path = Path(args.baseline)
+    # The audio plan gate must run before anything churns large
+    # allocations: its fresh-process floor models a dedicated audio
+    # prep worker (see perf.audio_plan_speedup).
+    audio_speedup = None
+    if args.plan:
+        audio_speedup = perf.audio_plan_speedup(repeats=max(args.repeats, 15))
+        print(
+            f"compiled-plan audio speedup vs per-op vectorized path: "
+            f"{audio_speedup:.2f}x (32x16000 PCM batch, fresh process, "
+            f"bit-identical)"
+        )
     measurements = perf.prep_suite(
         size=args.size, batch=args.batch, repeats=args.repeats
     )
@@ -388,6 +470,26 @@ def _cmd_bench_prep(args: argparse.Namespace) -> int:
         f"JPEG batch, bit-identical outputs)"
     )
 
+    plan_speedup = None
+    if args.plan:
+        plan_speedup = perf.prep_plan_speedup(
+            size=args.speedup_size,
+            batch=args.speedup_batch,
+            repeats=max(args.repeats, 8),
+        )
+        print(
+            f"compiled-plan speedup vs per-op vectorized path: "
+            f"{plan_speedup:.2f}x "
+            f"({args.speedup_batch}x{args.speedup_size}x{args.speedup_size} "
+            f"JPEG batch, bit-identical, decode-bound — see "
+            f"docs/performance.md)"
+        )
+        growth = _plan_steady_state_bytes()
+        print(
+            f"steady-state plan allocation check: {growth} bytes retained "
+            f"across repeated execute() (zero-allocation)"
+        )
+
     if args.update:
         perf.save_baseline(baseline_path, measurements)
         print(f"baseline updated: {baseline_path}")
@@ -397,6 +499,20 @@ def _cmd_bench_prep(args: argparse.Namespace) -> int:
         print(
             f"SPEEDUP GATE  batched path is {speedup:.2f}x the reference, "
             f"required >= {args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        status = 1
+    if plan_speedup is not None and plan_speedup < args.min_plan_speedup:
+        print(
+            f"PLAN GATE  compiled plan is {plan_speedup:.2f}x the per-op "
+            f"path, required >= {args.min_plan_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        status = 1
+    if audio_speedup is not None and audio_speedup < args.min_audio_plan_speedup:
+        print(
+            f"PLAN GATE  compiled audio plan is {audio_speedup:.2f}x the "
+            f"per-op path, required >= {args.min_audio_plan_speedup:.2f}x",
             file=sys.stderr,
         )
         status = 1
@@ -621,9 +737,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_profile)
 
-    p = sub.add_parser("plan", help="train-initializer plan (prep-pool sizing)")
+    p = sub.add_parser(
+        "plan",
+        help="train-initializer plan (prep-pool sizing); "
+        "'plan describe <pipeline>' prints a compiled prep plan",
+    )
     common(p)
     p.add_argument("--items", type=int, default=1_000_000, help="dataset items")
+    p.add_argument(
+        "pipeline", nargs="?", default="image",
+        help="for 'plan describe': image | image-png | audio",
+    )
+    p.add_argument(
+        "--size", type=int, default=256,
+        help="for 'plan describe': source image edge (default 256)",
+    )
+    p.add_argument(
+        "-b", "--batch", type=int, default=32,
+        help="for 'plan describe': batch size to compile for (default 32)",
+    )
     p.set_defaults(func=_cmd_plan)
 
     p = sub.add_parser("report", help="full session report (use --json for machines)")
@@ -692,6 +824,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--min-speedup", type=float, default=5.0,
         help="fail below this batched/reference throughput ratio",
+    )
+    p.add_argument(
+        "--plan", action="store_true",
+        help="also gate the compiled-plan path: speedup vs the per-op "
+        "vectorized path plus the zero-allocation steady-state check",
+    )
+    p.add_argument(
+        "--min-plan-speedup", type=float, default=1.05,
+        help="with --plan, fail below this plan/per-op ratio on the "
+        "JPEG pipeline (decode-bound; measured ~1.25x warm)",
+    )
+    p.add_argument(
+        "--min-audio-plan-speedup", type=float, default=1.3,
+        help="with --plan, fail below this plan/per-op ratio on the "
+        "audio pipeline (measured ~1.5x warm)",
     )
     p.add_argument("--repeats", type=int, default=3, help="best-of-N repeats")
     p.add_argument(

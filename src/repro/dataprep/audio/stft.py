@@ -7,6 +7,8 @@ Librispeech setting): 16 kHz audio, 25 ms windows (400 samples), 10 ms hop
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from repro.errors import DataprepError
@@ -15,6 +17,15 @@ SAMPLE_RATE = 16_000
 WIN_LENGTH = 400
 HOP_LENGTH = 160
 N_FFT = 512
+
+
+@functools.lru_cache(maxsize=16)
+def cached_hann_window(length: int) -> np.ndarray:
+    """Read-only cached Hann window — the hoisted per-batch invariant
+    compiled prep plans (and :func:`stft`) multiply frames by."""
+    window = hann_window(length)
+    window.setflags(write=False)
+    return window
 
 
 def hann_window(length: int) -> np.ndarray:
@@ -76,7 +87,7 @@ def stft(
     frames = frame_signal(signal, win_length, hop_length)
     # frame_signal returns an owned copy, so window in place and run one
     # batched FFT over the frame axis.
-    frames *= hann_window(win_length)[None, :]
+    frames *= cached_hann_window(win_length)[None, :]
     return np.fft.rfft(frames, n=n_fft, axis=1)
 
 

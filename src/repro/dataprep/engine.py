@@ -212,6 +212,15 @@ def prepare_shard(
 
     This is the whole per-shard computation — the serial path runs it
     inline, workers run it remotely; both produce identical bits.
+
+    Shards execute through the compiled-plan path of
+    ``run_batch_vectorized``: the first shard a worker prepares compiles
+    the pipeline into a :class:`~repro.dataprep.plan.PrepPlan` (reported
+    as a ``prep.plan_compile`` span and metric via :mod:`repro.obs`);
+    the plan is memoized per (pipeline fingerprint, geometry) through
+    :mod:`repro.cache`, so every later shard of the same geometry reuses
+    the compiled stages and pooled arena — one compile per worker
+    process, not per shard.
     """
     raw = loader(shard.start, shard.count)
     rngs = [sample_rng(seed, shard.start + i) for i in range(shard.count)]
@@ -386,6 +395,12 @@ class _Worker:
 
 class PrepEngine:
     """Batched, optionally multi-process preparation over a sample range.
+
+    Each worker process (and the serial path) prepares shards through the
+    compiled-plan fast path: the pipeline compiles once per worker on the
+    first shard — emitting a ``prep.plan_compile`` span/metric — and the
+    plan's pooled arena is reused for every shard after, so steady-state
+    batches allocate nothing (see :mod:`repro.dataprep.plan`).
 
     Parameters
     ----------

@@ -462,11 +462,43 @@ def encode_batch(
 # the chunk size adapts to keep roughly this many pixels in flight.
 _TRANSFORM_PIXEL_BUDGET = 131_072
 
+# Transform chunk compiled prep plans pin for arena decodes: with the
+# entropy stage batched and delivery going straight into a pooled slot,
+# slightly larger chunks than the pixel-budget heuristic picks measured
+# fastest (4 images/chunk beat 2 by ~6% on 256x256 batches).
+PLANNED_TRANSFORM_CHUNK = 4
+
 
 # Lock-step entropy decode beats the per-stream walk only once its
 # fixed numpy-dispatch cost per symbol row is spread over enough
-# streams (measured crossover ~100 luma streams on 1 core).
+# streams (measured crossover ~100 luma streams on 1 core for 256x256
+# planes — the calibration point for :func:`lockstep_min_images`).
 _LOCKSTEP_MIN_IMAGES = 96
+
+# The walk also pays a fixed per-chunk setup (event matrices, flat-LUT
+# assembly) that is amortized over a plane's blocks; planes much
+# smaller than the 1024-block calibration plane need proportionally
+# more streams before lock-step wins.  Measured with
+# ``perf.measure_lockstep_crossover`` (64x64 planes crossed over ~1.5x
+# later than 256x256 ones on the calibration host).
+_LOCKSTEP_REF_BLOCKS = 1024
+
+
+def lockstep_min_images(luma_blocks: int) -> int:
+    """The measured lock-step crossover (in streams) for planes of
+    ``luma_blocks`` 8x8 blocks.
+
+    Derived from the calibrated 256x256 crossover: the per-iteration
+    dispatch cost is geometry-independent, but the fixed per-stream
+    setup is amortized over fewer symbols on small planes, pushing the
+    crossover up roughly with the square root of the block deficit.
+    Compiled prep plans record this value per geometry instead of
+    hard-coding :data:`_LOCKSTEP_MIN_IMAGES`.
+    """
+    if luma_blocks <= 0:
+        return _LOCKSTEP_MIN_IMAGES
+    scale = max(1.0, _LOCKSTEP_REF_BLOCKS / luma_blocks) ** 0.5
+    return max(2, int(round(_LOCKSTEP_MIN_IMAGES * scale)))
 
 
 def _entropy_decode_group(
@@ -548,36 +580,65 @@ def _decode_group(
 
 
 def decode_batch(
-    datas: Sequence[bytes], fast: bool = True
+    datas: Sequence[bytes],
+    fast: bool = True,
+    *,
+    lockstep_min: Optional[int] = None,
+    transform_chunk: Optional[int] = None,
+    out: Optional[np.ndarray] = None,
 ) -> List[np.ndarray]:
     """Decode a batch of streams, batching the transform stage.
 
     Frames are grouped by (quality, subsample, h, w); each group shares a
     single dequantize/IDCT/color pass over vertically stacked planes (see
-    :func:`_decode_group`).  Entropy decoding is per image below
-    ``_LOCKSTEP_MIN_IMAGES`` frames per group (every frame carries its
-    own optimized Huffman tables, so nothing is shared there) and
+    :func:`_decode_group`).  Entropy decoding is per image below the
+    lock-step crossover for the group's geometry (every frame carries
+    its own optimized Huffman tables, so nothing is shared there) and
     switches to the lock-step batch walk above it.  Output is
     pixel-identical to :func:`decode` per item, in input order.
+
+    ``lockstep_min`` overrides the measured per-geometry crossover
+    (:func:`lockstep_min_images`) and ``transform_chunk`` the
+    pixel-budget-derived transform chunk size — compiled prep plans
+    record both per geometry.  ``out`` (an ``N×h×w×3`` uint8 stack)
+    receives the decoded images in place — the arena path: nothing is
+    stacked and no per-image result arrays outlive the call.  With
+    ``out`` every frame must match the stack's geometry.
     """
     datas = list(datas)
+    if out is not None and len(out) != len(datas):
+        raise CodecError(
+            f"out= holds {len(out)} slots for {len(datas)} streams"
+        )
     if len(datas) <= 1:
-        return [JpegCodec.decode(data, fast=fast) for data in datas]
+        decoded = [JpegCodec.decode(data, fast=fast) for data in datas]
+        if out is None:
+            return decoded
+        _deliver(decoded, list(range(len(datas))), out, decoded)
+        return out  # type: ignore[return-value]
     frames = [_parse_frame(bytes(data)) for data in datas]
     groups: Dict[Tuple[int, bool, int, int], List[int]] = {}
     for i, frame in enumerate(frames):
         groups.setdefault(frame.geometry_key, []).append(i)
-    out: List[Optional[np.ndarray]] = [None] * len(datas)
+    results: List[Optional[np.ndarray]] = [None] * len(datas)
     for indices in groups.values():
         first = frames[indices[0]]
         geometry = _plane_geometry(first.subsample, first.h, first.w)
+        nb_luma = (geometry.luma_shape[0] // 8) * (geometry.luma_shape[1] // 8)
+        threshold = (
+            lockstep_min if lockstep_min is not None
+            else lockstep_min_images(nb_luma)
+        )
         group_blocks: Optional[List[List[np.ndarray]]] = None
-        if fast and len(indices) >= _LOCKSTEP_MIN_IMAGES:
+        if fast and len(indices) >= threshold:
             group_blocks = _entropy_decode_group(
                 [frames[i] for i in indices], geometry
             )
         pixels = first.h * first.w
-        chunk_size = max(1, _TRANSFORM_PIXEL_BUDGET // max(1, pixels))
+        chunk_size = (
+            max(1, int(transform_chunk)) if transform_chunk is not None
+            else max(1, _TRANSFORM_PIXEL_BUDGET // max(1, pixels))
+        )
         for start in range(0, len(indices), chunk_size):
             chunk = indices[start : start + chunk_size]
             chunk_blocks = (
@@ -588,13 +649,37 @@ def decode_batch(
             if len(chunk) == 1:
                 i = chunk[0]
                 if chunk_blocks is None:
-                    out[i] = JpegCodec.decode(datas[i], fast=fast)
+                    decoded = JpegCodec.decode(datas[i], fast=fast)
                 else:
-                    out[i] = _transform_planes(
+                    decoded = _transform_planes(
                         chunk_blocks[0], frames[i], geometry
                     )[: frames[i].h, : frames[i].w]
+                _deliver([decoded], [i], out, results)
                 continue
             rgb = _decode_group([frames[i] for i in chunk], fast, chunk_blocks)
-            for j, i in enumerate(chunk):
-                out[i] = rgb[j]
-    return out  # type: ignore[return-value]
+            _deliver([rgb[j] for j in range(len(chunk))], chunk, out, results)
+    if out is not None:
+        return out  # type: ignore[return-value]
+    return results  # type: ignore[return-value]
+
+
+def _deliver(
+    decoded: Sequence[np.ndarray],
+    indices: Sequence[int],
+    out: Optional[np.ndarray],
+    results: List[Optional[np.ndarray]],
+) -> List[np.ndarray]:
+    """Route per-image decode results to ``out`` slots (arena path) or
+    the collected-results list."""
+    if out is None:
+        for img, i in zip(decoded, indices):
+            results[i] = img
+        return results  # type: ignore[return-value]
+    for img, i in zip(decoded, indices):
+        if img.shape != out.shape[1:]:
+            raise CodecError(
+                f"decode out= expects uniform {out.shape[1:]} images, "
+                f"got {img.shape}"
+            )
+        out[i, ...] = img
+    return results  # type: ignore[return-value]

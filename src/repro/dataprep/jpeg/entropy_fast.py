@@ -334,18 +334,40 @@ def decode_plane(
 # entry needs 17 bits, the -1 corrupt marker wraps to all-ones): the
 # batch walk gathers from every live LUT each iteration, so halving
 # entry bytes halves its cache-miss working set.
+#
+# The batch variants additionally fold the "+1 past a decoded nonzero"
+# coefficient-cursor bump into the run field of every *valid* entry
+# with a nonzero amplitude size (markers, whose run field must stay
+# huge, are left alone).  The lock-step loop's k update then collapses
+# to ``k + (entry >> 11)`` with no size test, and the epilogue recovers
+# the coefficient index of a recorded event as ``kn - 1``.
+def _fold_nonzero_step(packed: np.ndarray) -> np.ndarray:
+    size = (packed >> 6) & 31
+    return packed + (((size > 0) & (packed > 0)) << 11)
+
+
 @lru_cache(maxsize=2048)
 def _dc_lut_arr(spec: TableSpec) -> Tuple[np.ndarray, int]:
     lut, bits = _dc_lut(spec)
-    return np.asarray(lut, dtype=np.int64).astype(np.uint32), bits
+    packed = _fold_nonzero_step(np.asarray(lut, dtype=np.int64))
+    return packed.astype(np.uint32), bits
 
 
 @lru_cache(maxsize=2048)
 def _ac_lut_arr(spec: TableSpec) -> Tuple[np.ndarray, int]:
     lut, bits = _ac_lut(spec)
-    return np.asarray(lut, dtype=np.int64).astype(np.uint32), bits
+    packed = _fold_nonzero_step(np.asarray(lut, dtype=np.int64))
+    return packed.astype(np.uint32), bits
 
 
+
+
+# Event rows are recorded into preallocated chunk matrices of this many
+# iterations (a multiple of the 128-iteration check window), so the
+# epilogue's per-chunk working set — four ~n-wide rows times _CHUNK —
+# stays cache-resident and no list-of-rows is ever re-copied through
+# ``np.array``.
+_CHUNK = 512
 
 
 def decode_planes_batch(
@@ -360,13 +382,17 @@ def decode_planes_batch(
     buffer, so streams with different Huffman tables (the normal case:
     tables are optimized per image) batch together.
 
-    The loop body is numpy-dispatch bound, so it carries no per-stream
-    bookkeeping beyond the cursor, the in-block coefficient index and a
-    started-blocks counter: symbols are recorded *unconditionally* as
-    four per-iteration arrays (DC flag, coefficient index, raw LUT
-    entry, end bit), and block numbering, event filtering, the
+    The loop body is numpy-dispatch bound, so every iteration is a
+    fixed sequence of ufunc calls on preallocated temporaries: the peek
+    is two shifts (left to drop consumed bits, right by the per-stream
+    ``64 - lut_bits``, no mask), the coefficient-cursor bump for decoded
+    nonzeros is pre-folded into the LUT run field (see
+    :func:`_fold_nonzero_step`), and symbols are recorded
+    *unconditionally* as four per-iteration rows (DC flag, advanced
+    coefficient cursor, raw LUT entry, end bit) written straight into
+    chunked event matrices.  Block numbering, event filtering, the
     per-block bounds check and the corrupt-coefficient check are all
-    reconstructed vectorized over the recorded matrix in the epilogue.
+    reconstructed vectorized over the recorded chunks in the epilogue.
     Finished streams are not compacted away either: they decode junk —
     their cursor reads the next stream's bytes or parks in an all-zero
     trap region at the end of the buffer (index 0 of a canonical-Huffman
@@ -385,7 +411,7 @@ def decode_planes_batch(
     even trailing peeks past a stream's end see the same bits, and the
     amplitude-gather epilogue is the same code on a shared window array.
 
-    Working memory is four int64 matrices of (symbols of the longest
+    Working memory is four narrow matrices of (symbols of the longest
     stream) × (number of streams) — callers should group streams of
     similar length (e.g. luma planes apart from chroma planes) so the
     matrix is dense and short streams don't spin on junk for the whole
@@ -414,8 +440,8 @@ def decode_planes_batch(
         offset += len(s) + 8
     # Each stream's DC and AC LUTs are widened to one shared peek width
     # (the prefix property makes a ``repeat`` expansion exact), so the
-    # peek shift and mask are per-stream constants in the hot loop and
-    # only the LUT base offset still selects DC vs AC.
+    # peek shift is a per-stream constant in the hot loop and only the
+    # LUT base offset still selects DC vs AC.
     parts = []
     dc_off = np.empty(n, dtype=np.int64)
     ac_off = np.empty(n, dtype=np.int64)
@@ -443,27 +469,28 @@ def decode_planes_batch(
     out = np.zeros((int(n_blocks.sum()), 64), dtype=np.int32)
 
     # Everything the hot loop touches is uint64: cursors are absolute
-    # bit positions, ``sb = 64 - lut_bits`` turns the peek into a single
-    # subtract + shift, and LUT entries keep their packed layout (a -1
+    # bit positions and LUT entries keep their packed layout (a -1
     # corrupt marker becomes a huge unsigned run that ends the block and
-    # is caught by the epilogue's coefficient check).
+    # is caught by the epilogue's coefficient check).  Event rows store
+    # narrower: kn and entries fit uint32, and so do bit cursors unless
+    # the payload is gigantic.
+    u = np.uint64
     pos = base_bit.astype(np.uint64)
     k = np.zeros(n, dtype=np.uint64)
     blk = np.zeros(n, dtype=np.int64)
-    u = np.uint64
-    sb_c = u(64) - lut_bits.astype(np.uint64)
-    mask_c = ((np.int64(1) << lut_bits) - 1).astype(np.uint64)
+    sbm = u(64) - lut_bits.astype(np.uint64)
     dc_off_u, ac_off_u = dc_off.astype(np.uint64), ac_off.astype(np.uint64)
-    ev_dc: List[np.ndarray] = []
-    ev_kc: List[np.ndarray] = []
-    ev_entry: List[np.ndarray] = []
-    ev_pos: List[np.ndarray] = []
-    # Bits 6..10 of a packed entry hold the amplitude size; the loop
-    # only needs "size > 0" for the k update, so it tests those bits in
-    # place and the full size field is unpacked once, in the epilogue.
-    # Entry arithmetic uses plain-int constants so the uint32 entries
-    # are not promoted to 8-byte temporaries.
-    sznz_mask = 0x1F << 6
+    pos_dtype = np.uint32 if len(payload) * 8 < 1 << 32 else np.uint64
+    # Preallocated hot-loop temporaries — the loop allocates nothing but
+    # the two ``np.where`` results per iteration.
+    t0 = np.empty(n, dtype=np.uint64)
+    win = np.empty(n, dtype=np.uint64)
+    sh = np.empty(n, dtype=np.uint64)
+    run = np.empty(n, dtype=np.uint32)
+    adv = np.empty(n, dtype=np.uint32)
+    lt = np.empty(n, dtype=bool)
+    ZERO, ONE, THREE, SEVEN, K64 = u(0), u(1), u(3), u(7), u(64)
+    ELEVEN, LOW6 = np.uint32(11), np.uint32(63)
     # A valid block is at most 65 symbols (DC + 63 coefficients + EOB),
     # finished streams need one junk DC start to be counted done, and
     # the done/progress checks run every 128 iterations: an unfinished
@@ -473,62 +500,120 @@ def decode_planes_batch(
     # instead of recording events until the cap.
     cap = 65 * int(n_blocks.max()) + 256
     done = False
-    prev_blk = blk
+    prev_blk = blk.copy()
+    chunks: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+    c_dc = c_kn = c_en = c_po = None
+    r = _CHUNK
+    T = 0
     for t in range(cap):
         if not (t & 127):
-            pos = np.minimum(pos, trap)
+            np.minimum(pos, trap, out=pos)
             if bool((blk > n_blocks).all()):
                 done = True
                 break
             if t and bool(((blk == prev_blk) & (blk <= n_blocks)).any()):
                 raise CodecError("invalid Huffman code in bitstream")
-            prev_blk = blk
-        is_dc = k == u(0)
-        win = warr[pos >> u(3)]
-        sh = pos & u(7)
+            np.copyto(prev_blk, blk)
+        if r == _CHUNK:
+            c_dc = np.empty((_CHUNK, n), dtype=bool)
+            c_kn = np.empty((_CHUNK, n), dtype=np.uint32)
+            c_en = np.empty((_CHUNK, n), dtype=np.uint32)
+            c_po = np.empty((_CHUNK, n), dtype=pos_dtype)
+            chunks.append((c_dc, c_kn, c_en, c_po))
+            r = 0
+        is_dc = c_dc[r]
+        np.equal(k, ZERO, out=is_dc)
+        np.right_shift(pos, THREE, out=t0)
+        # Bound-method take skips the np.take dispatch wrapper — it is
+        # measurably cheaper at hot-loop call counts.
+        warr.take(t0, out=win)
+        np.bitwise_and(pos, SEVEN, out=sh)
+        np.left_shift(win, sh, out=win)
+        np.right_shift(win, sbm, out=win)  # the peek, mask-free
         off = np.where(is_dc, dc_off_u, ac_off_u)
-        peek = (win >> (sb_c - sh)) & mask_c
-        entry = flat_lut[off + peek]
-        kc = k + (entry >> 11)
-        pos = pos + (entry & 63)
-        k = np.where(is_dc, u(1), kc + ((entry & sznz_mask) > 0))
-        k = k * (k < u(64))
-        blk = blk + is_dc
-        ev_dc.append(is_dc)
-        ev_kc.append(kc)
-        ev_entry.append(entry)
-        ev_pos.append(pos)
+        np.add(off, win, out=off)
+        entry = c_en[r]
+        flat_lut.take(off, out=entry)
+        np.right_shift(entry, ELEVEN, out=run)
+        np.add(k, run, out=c_kn[r], casting="same_kind")
+        np.bitwise_and(entry, LOW6, out=adv)
+        np.add(pos, adv, out=pos)
+        c_po[r] = pos
+        k = np.where(is_dc, ONE, c_kn[r])
+        np.less(k, K64, out=lt)
+        np.multiply(k, lt, out=k)
+        np.add(blk, is_dc, out=blk)
+        r += 1
+        T += 1
     if not done and not bool((blk > n_blocks).all()):
         raise CodecError("invalid Huffman code in bitstream")
 
     # Epilogue: reconstruct block numbering from the recorded walk, drop
     # junk symbols, run the deferred checks, then gather amplitudes and
-    # scatter — the same closing moves as decode_plane, batched.
-    started = np.array(ev_dc)  # (T, n): iteration t decoded a DC symbol
-    blkm = np.cumsum(started, axis=0, dtype=np.int64)
-    np.subtract(blkm, 1, out=blkm)
-    real = blkm < n_blocks[None, :]
-    PO = np.array(ev_pos)
-    last_row = real.sum(axis=0) - 1
-    last_pos = PO[last_row, np.arange(n)].astype(np.int64)
+    # scatter — the same closing moves as decode_plane, batched.  The
+    # reconstruction runs chunk by chunk (each chunk's matrices fit in
+    # cache) with the cumulative block count carried across chunks; the
+    # surviving events — a small fraction of the recorded rows — are
+    # then concatenated once for the shared amplitude gather.
+    nb32 = n_blocks.astype(np.int32)
+    carry = np.zeros(n, dtype=np.int32)
+    cols = np.arange(n)
+    last_pos = np.zeros(n, dtype=np.int64)
+    sel_kn: List[np.ndarray] = []
+    sel_en: List[np.ndarray] = []
+    sel_po: List[np.ndarray] = []
+    sel_bi: List[np.ndarray] = []
+    sel_col: List[np.ndarray] = []
+    remaining = T
+    for c_dc, c_kn, c_en, c_po in chunks:
+        rows = min(_CHUNK, remaining)
+        remaining -= rows
+        if not rows:
+            break
+        d = c_dc[:rows]
+        blkm = np.cumsum(d, axis=0, dtype=np.int32)
+        blkm += carry[None, :]
+        carry = blkm[-1].copy()
+        np.subtract(blkm, 1, out=blkm)  # now the block index per row
+        real = blkm < nb32[None, :]
+        # ``blk`` is nondecreasing, so each column's real rows are a
+        # prefix: the column's last real row this chunk (if any) carries
+        # its final cursor position.
+        cnt = real.sum(axis=0)
+        has = cnt > 0
+        if has.any():
+            last_pos[has] = c_po[cnt[has] - 1, cols[has]]
+        en = c_en[:rows]
+        ev = (en & np.uint32(0x1F << 6)) != 0  # nonzero amplitude size
+        np.logical_and(ev, real, out=ev)
+        sel = np.flatnonzero(ev.ravel())
+        if sel.size:
+            sel_kn.append(np.take(c_kn[:rows].ravel(), sel))
+            sel_en.append(np.take(en.ravel(), sel))
+            sel_po.append(np.take(c_po[:rows].ravel(), sel))
+            sel_bi.append(np.take(blkm.ravel(), sel))
+            sel_col.append(sel % n)
     if np.any(last_pos - base_bit > total_bits):
         raise CodecError("bitstream underrun")
-    SZ = (np.array(ev_entry) >> 6) & 31
-    evmask = real & (SZ > 0)
-    kcv = np.array(ev_kc)[evmask]
-    if np.any(kcv >= u(64)):
-        raise CodecError("corrupt AC coefficient stream")
-    size = SZ[evmask].astype(np.int64)
-    end = PO[evmask].astype(np.int64)
-    blkv = (blkm + block_base[None, :])[evmask]
-    idx = (blkv << 6) | kcv.astype(np.int64)
-    start = end - size
-    r = (start & 7).astype(np.uint64)
-    amp = (
-        (warr[start >> 3] << r) >> (np.uint64(64) - size.astype(np.uint64))
-    ).astype(np.int64)
-    vals = np.where(amp >> (size - 1) != 0, amp, amp - (1 << size) + 1)
-    out.reshape(-1)[idx] = vals
+    if sel_kn:
+        kn = np.concatenate(sel_kn).astype(np.int64)
+        kcv = kn - 1  # undo the folded nonzero step: the coefficient index
+        if np.any(kcv >= 64):
+            raise CodecError("corrupt AC coefficient stream")
+        en = np.concatenate(sel_en)
+        size = ((en >> np.uint32(6)) & np.uint32(31)).astype(np.int64)
+        end = np.concatenate(sel_po).astype(np.int64)
+        blkv = np.concatenate(sel_bi).astype(np.int64)
+        col = np.concatenate(sel_col)
+        idx = ((blkv + block_base[col]) << 6) | kcv
+        start = end - size
+        rs = (start & 7).astype(np.uint64)
+        amp = (
+            (warr[start >> 3] << rs)
+            >> (np.uint64(64) - size.astype(np.uint64))
+        ).astype(np.int64)
+        vals = np.where(amp >> (size - 1) != 0, amp, amp - (1 << size) + 1)
+        out.reshape(-1)[idx] = vals
     results: List[np.ndarray] = []
     for i in range(n):
         plane = out[block_base[i] : block_base[i] + n_blocks[i]]

@@ -42,7 +42,7 @@ class DecodePng(PrepOp):
         for blob in batch:
             if not isinstance(blob, (bytes, bytearray)):
                 raise DataprepError("decode_png expects compressed bytes")
-        return stack_samples([png_codec.decode(bytes(b)) for b in batch])
+        return stack_samples(png_codec.decode_batch(batch))
 
     def cost(self, spec: SampleSpec) -> Tuple[OpCost, SampleSpec]:
         spec.expect("png", self.name)

@@ -234,13 +234,24 @@ class PrepPipeline:
         ]
 
     def run_batch_vectorized(
-        self, batch: Any, rngs: Sequence[np.random.Generator]
+        self,
+        batch: Any,
+        rngs: Sequence[np.random.Generator],
+        plan: bool = True,
     ) -> Any:
         """Execute the pipeline through the ops' ``apply_batch`` kernels.
 
         Returns the final stacked ``N×…`` array (or a list when the
         output is ragged).  Bit-identical to ``run_batch_reference`` on
         the same streams.
+
+        When ``plan`` is true (the default) the batch runs through the
+        compiled-plan path (:mod:`repro.dataprep.plan`): the pipeline is
+        compiled once per (fingerprint, geometry) into fused stages over
+        a pooled arena, and the arena output is copied out (the caller
+        owns its result).  Batches a plan cannot specialize to — ragged
+        geometry, unknown payloads — fall back to the per-op path below;
+        ``plan=False`` pins that per-op path (the benchmark baseline).
         """
         if _batch_len(batch) != len(rngs):
             raise DataprepError(
@@ -248,6 +259,15 @@ class PrepPipeline:
             )
         if _batch_len(batch) == 0:
             return []
+        if plan:
+            from repro.dataprep.plan import PlanInapplicable, try_plan
+
+            compiled = try_plan(self, batch)
+            if compiled is not None:
+                try:
+                    return compiled.execute(batch, rngs).copy()
+                except PlanInapplicable:
+                    pass
         data = batch
         if isinstance(data, np.ndarray):
             # Ops may mutate their input stack; never a caller's array.

@@ -76,3 +76,54 @@ def encode(image: np.ndarray, max_chain: int = 32) -> bytes:
 def decode(data: bytes) -> np.ndarray:
     """Module-level convenience wrapper around :class:`PngCodec`."""
     return PngCodec.decode(data)
+
+
+def decode_batch(
+    datas, *, lockstep_min: "int | None" = None, out: "np.ndarray | None" = None
+) -> list:
+    """Decode many RPNG blobs, inflating their deflate payloads in
+    lock-step (:func:`deflate.decompress_batch`); the row-sequential
+    unfilter pass stays per-image.  Byte-identical to mapping
+    :func:`decode`; malformed blobs raise the reference error.
+
+    ``out`` optionally receives the decoded images in place (an
+    ``N x h x w x c`` uint8 arena slot; every image must match) and is
+    returned instead of a fresh list.
+    """
+    datas = [bytes(d) for d in datas]
+    if out is not None and len(out) != len(datas):
+        raise CodecError(
+            f"decode out= holds {len(out)} slots for {len(datas)} blobs"
+        )
+    headers = []
+    for data in datas:
+        if data[:4] != _MAGIC:
+            raise CodecError("not an RPNG stream")
+        try:
+            version, h, w, c = struct.unpack_from("<BHHB", data, 4)
+        except struct.error as exc:
+            raise CodecError(f"malformed RPNG stream: {exc}") from exc
+        if version != _VERSION:
+            raise CodecError(f"unsupported RPNG version {version}")
+        headers.append((h, w, c))
+    offset = 4 + struct.calcsize("<BHHB")
+    raws = deflate.decompress_batch(
+        [d[offset:] for d in datas], lockstep_min=lockstep_min
+    )
+    results = [] if out is None else out
+    for i, (raw, (h, w, c)) in enumerate(zip(raws, headers)):
+        stride = w * c
+        if len(raw) != h * (stride + 1):
+            raise CodecError("decompressed payload has the wrong size")
+        lines = np.frombuffer(raw, dtype=np.uint8).reshape(h, stride + 1)
+        image = unfilter_image(lines[:, 0].tolist(), lines[:, 1:], (h, w, c))
+        if out is None:
+            results.append(image)
+        else:
+            if image.shape != out.shape[1:]:
+                raise CodecError(
+                    f"decode out= expects uniform {out.shape[1:]} images,"
+                    f" got {image.shape}"
+                )
+            out[i, ...] = image
+    return results

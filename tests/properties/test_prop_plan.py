@@ -1,0 +1,164 @@
+"""Property-based tests for the compiled prep-plan path.
+
+The plan compiler may fuse, hoist and pool however it likes; the only
+observable contract is bit-identity with the per-sample reference.
+These properties hammer that contract across random op subsets and
+orderings (fused-adjacent and unfused alike), random batch geometries,
+random seeds, both audio dtypes, and the PR-5 quarantine fills.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dataprep import corrupt_payload, jpeg
+from repro.dataprep.engine import ShardSpec, prepare_shard_salvaging
+from repro.dataprep.ops_audio import audio_pipeline
+from repro.dataprep.ops_image import (
+    CastToFloat,
+    GaussianNoise,
+    Mirror,
+    RandomCrop,
+    image_pipeline,
+)
+from repro.dataprep.pipeline import PrepPipeline, sample_rng, spawn_rngs
+from repro.dataprep.plan import try_plan
+
+
+def _assert_plan_matches_reference(pipe, batch, n, seed):
+    """run_batch_vectorized (plan path, with per-op fallback) must be
+    bit-identical to the kept per-sample reference."""
+    rngs = spawn_rngs(np.random.default_rng(seed), n)
+    out = pipe.run_batch_vectorized(batch, rngs)
+    rngs = spawn_rngs(np.random.default_rng(seed), n)
+    reference = pipe.run_batch_reference(batch, rngs)
+    for i, ref in enumerate(reference):
+        assert ref.dtype == out[i].dtype
+        assert np.array_equal(ref, out[i]), f"sample {i} differs"
+
+
+@st.composite
+def _pipeline_and_batch(draw):
+    """A random legal image pipeline plus a matching uint8 batch.
+
+    GaussianNoise and CastToFloat require uint8 input, so cast (when
+    present) is pinned last; everything before it is a random subset of
+    {crop, mirror, noise} in a random order — covering both the
+    fusable adjacencies (crop→mirror, noise→cast) and the unfused
+    orderings ([mirror, crop], [noise, mirror], …).
+    """
+    out_h = draw(st.integers(min_value=4, max_value=10))
+    out_w = draw(st.integers(min_value=4, max_value=10))
+    pool = []
+    if draw(st.booleans()):
+        pool.append(RandomCrop(out_height=out_h, out_width=out_w))
+    if draw(st.booleans()):
+        pool.append(Mirror(probability=draw(st.sampled_from([0.0, 0.5, 1.0]))))
+    if draw(st.booleans()):
+        pool.append(GaussianNoise(sigma=draw(st.sampled_from([0.5, 2.0, 8.0]))))
+    ops = list(draw(st.permutations(pool)))
+    if draw(st.booleans()) or not ops:
+        ops.append(CastToFloat())
+    has_crop = any(isinstance(op, RandomCrop) for op in ops)
+    h = draw(st.integers(min_value=out_h if has_crop else 4, max_value=20))
+    w = draw(st.integers(min_value=out_w if has_crop else 4, max_value=20))
+    n = draw(st.integers(min_value=1, max_value=5))
+    img_seed = draw(st.integers(min_value=0, max_value=2**31))
+    batch = np.random.default_rng(img_seed).integers(
+        0, 256, (n, h, w, 3), dtype=np.uint8
+    )
+    return PrepPipeline(ops, name="prop-prep"), batch
+
+
+@given(pb=_pipeline_and_batch(), seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=40, deadline=None)
+def test_random_pipelines_plan_bit_identical_to_reference(pb, seed):
+    pipe, batch = pb
+    _assert_plan_matches_reference(pipe, batch, len(batch), seed)
+
+
+@given(
+    order=st.permutations([0, 1, 2]),
+    seed=st.integers(min_value=0, max_value=2**31),
+    n=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_fused_and_unfused_orderings_agree_with_reference(order, seed, n):
+    """Every ordering of {crop, mirror, noise} (+ trailing cast) is
+    bit-identical to its own reference — whether or not the compiler
+    found a fusable adjacency in that order."""
+    ops = [
+        RandomCrop(out_height=8, out_width=8),
+        Mirror(probability=0.5),
+        GaussianNoise(sigma=2.0),
+    ]
+    pipe = PrepPipeline(
+        [ops[i] for i in order] + [CastToFloat()], name="prop-order"
+    )
+    batch = np.random.default_rng(seed).integers(
+        0, 256, (n, 14, 14, 3), dtype=np.uint8
+    )
+    _assert_plan_matches_reference(pipe, batch, n, seed)
+
+
+@given(
+    side=st.integers(min_value=24, max_value=56),
+    n=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31),
+    quality=st.sampled_from([60, 80, 95]),
+)
+@settings(max_examples=15, deadline=None)
+def test_jpeg_geometries_plan_bit_identical_to_reference(side, n, seed, quality):
+    pipe = image_pipeline(out_height=16, out_width=16)
+    imgs = np.random.default_rng(seed).integers(
+        0, 256, (n, side, side, 3), dtype=np.uint8
+    )
+    blobs = jpeg.encode_batch(list(imgs), quality=quality)
+    assert try_plan(pipe, blobs) is not None
+    _assert_plan_matches_reference(pipe, blobs, n, seed)
+
+
+@given(
+    n_samples=st.integers(min_value=2_048, max_value=10_000),
+    n=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31),
+    as_int16=st.booleans(),
+)
+@settings(max_examples=15, deadline=None)
+def test_audio_geometries_plan_bit_identical_to_reference(
+    n_samples, n, seed, as_int16
+):
+    pipe = audio_pipeline()
+    pcm = np.random.default_rng(seed).normal(0, 0.2, (n, n_samples))
+    if as_int16:
+        pcm = (np.clip(pcm, -1, 1) * 32767).astype(np.int16)
+    assert try_plan(pipe, pcm) is not None
+    _assert_plan_matches_reference(pipe, pcm, n, seed)
+
+
+@given(
+    victim=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=10, deadline=None)
+def test_quarantine_fill_matches_per_sample_reference(victim, seed):
+    """PR-5 chaos contract through the plan path: a persistently
+    corrupt sample makes the shard fall back per-sample, quarantining
+    exactly the victim with a deterministic zero fill and leaving every
+    healthy sample bit-identical to its reference."""
+    pipe = image_pipeline(out_height=16, out_width=16)
+    imgs = np.random.default_rng(seed).integers(
+        0, 256, (4, 24, 24, 3), dtype=np.uint8
+    )
+    blobs = jpeg.encode_batch(list(imgs), quality=85)
+    blobs[victim] = corrupt_payload(blobs[victim])
+    shard = ShardSpec(0, 0, 4)
+    stack, quarantined = prepare_shard_salvaging(
+        pipe, lambda start, count: blobs[start : start + count], seed % 1000, shard
+    )
+    assert quarantined == (victim,)
+    for i in range(4):
+        if i == victim:
+            assert not stack[i].any()
+            continue
+        expected = pipe.run(blobs[i], sample_rng(seed % 1000, i))
+        assert np.array_equal(expected, stack[i])
