@@ -21,6 +21,8 @@ def build_figure():
         scales=SCALE_SWEEP,
     )
     outcome = run_sweep(spec)
+    # The whole grid is analytical — the vectorized kernel must take it.
+    assert outcome.batch_points == len(outcome.points)
     curves = {}
     for name in TABLE_I:
         series = outcome.curve(name, ARCH.name)

@@ -5,8 +5,13 @@ up to 17.9× the memory bandwidth, up to 18.0× the PCIe bandwidth at the
 root complex.
 """
 
+import math
+
+import numpy as np
+
 from benchmarks._harness import SCALE_SWEEP, emit
 from repro.analysis.tables import format_series, format_table
+from repro.core.analytical_batch import flow_incidence, routing_table
 from repro.core.config import ArchitectureConfig
 from repro.core.dataflow import build_demand_cached
 from repro.core.resources import host_requirements
@@ -14,6 +19,18 @@ from repro.core.server import build_server_cached
 from repro.workloads.registry import TABLE_I
 
 ARCH = ArchitectureConfig.baseline()
+
+
+def _rc_bytes_from_incidence(server, workload) -> float:
+    """Figure 10c's RC-port traffic, rederived from the vectorized sweep
+    kernel's link × flow incidence: sum the volumes of every hop whose
+    link hangs directly off the root complex."""
+    table = routing_table(server)
+    incidence = flow_incidence(server, workload, table)
+    root = table.index[server.topology.root.node_id]
+    parent = np.asarray(table.parent)
+    rc_hop = parent[incidence.hop_link // 2] == root
+    return float(incidence.volumes[incidence.hop_flow[rc_hop]].sum())
 
 
 def build_figure():
@@ -73,3 +90,17 @@ def test_fig10_requirements_grow_linearly(benchmark, capsys):
     req = benchmark(one)
     half = host_requirements(demand, 128 * workload.sample_rate)
     assert req.normalized_cores == 2 * half.normalized_cores
+
+
+def test_fig10_rc_traffic_matches_batch_incidence():
+    """The flow-walking derivation (``rc_bytes_per_sample``) and the
+    batch kernel's incidence matrix agree on RC traffic for every
+    workload — the two code paths share no pricing code."""
+    server = build_server_cached(ARCH, 256)
+    for name, workload in TABLE_I.items():
+        demand = build_demand_cached(server, workload)
+        walked = demand.rc_bytes_per_sample()
+        incident = _rc_bytes_from_incidence(server, workload)
+        assert math.isclose(walked, incident, rel_tol=1e-9), (
+            name, walked, incident
+        )

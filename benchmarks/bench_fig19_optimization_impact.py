@@ -22,7 +22,10 @@ def build_figure():
         archs=tuple(LADDER),
         scales=(TARGET_SCALE,),
     )
-    keyed = run_sweep(spec).by_key()
+    outcome = run_sweep(spec)
+    # The whole grid is analytical — the vectorized kernel must take it.
+    assert outcome.batch_points == len(outcome.points)
+    keyed = outcome.by_key()
     table = {}
     for name in TABLE_I:
         base = keyed[(name, LADDER[0].name, TARGET_SCALE)]

@@ -27,6 +27,8 @@ def build_figure():
     spec = figure21_spec()
     assert spec.scales == SCALE_SWEEP
     outcome = run_sweep(spec)
+    # The whole grid is analytical — the vectorized kernel must take it.
+    assert outcome.batch_points == len(outcome.points)
     out = {}
     for workload in spec.workloads:
         one = outcome.curve(workload.name, spec.archs[0].name)[0].throughput

@@ -60,6 +60,41 @@ def test_sweep_throughput_vs_baseline(benchmark, capsys):
     assert not failures, "; ".join(failures)
 
 
+def test_sweep_cold_batch_vs_scalar(capsys):
+    """The vectorized kernel gate: the 576-point uncached grid must be
+    bit-identical to the scalar engine (asserted inside the suite before
+    any timing) and at least ``perf.MIN_BATCH_SPEEDUP`` times faster,
+    with both absolute throughputs held to the committed baseline.
+
+    Refresh the baseline on a quiet machine with::
+
+        PYTHONPATH=src python -m repro bench-sweep --cold --update
+    """
+    cold_path = Path(__file__).parent / "baselines" / "sweep_cold.json"
+    measurements, speedup = perf.sweep_cold_suite(repeats=3)
+    baseline = perf.load_baseline(cold_path)
+    rows = [
+        [
+            m.name,
+            f"{m.best_seconds * 1000:.2f}",
+            f"{m.samples_per_s:,.1f}",
+            f"{baseline.get(m.name, float('nan')):,.1f}",
+        ]
+        for m in measurements
+    ]
+    emit(
+        capsys,
+        "Cold sweep grid: vectorized kernel vs scalar engine (best-of-3)",
+        format_table(["benchmark", "best ms", "points/s", "baseline"], rows)
+        + f"\n\nvectorized speedup: {speedup:.2f}x "
+        f"(floor {perf.MIN_BATCH_SPEEDUP:.0f}x)",
+    )
+    assert speedup >= perf.MIN_BATCH_SPEEDUP
+    assert baseline, f"missing baseline {cold_path}"
+    failures = perf.regressions(measurements, baseline)
+    assert not failures, "; ".join(failures)
+
+
 def test_sweep_cache_and_pool_change_nothing(capsys):
     """The speedup claims are only meaningful if cached == computed."""
     serial, cached = perf.sweep_equivalence(n_jobs=4)

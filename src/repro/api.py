@@ -238,11 +238,20 @@ def sweep(
     n_jobs: int = 1,
     cache: Union[None, str, Path, ResultCache] = None,
     metrics: Union[None, bool, obs.MetricsRegistry] = None,
+    batch: Union[bool, str] = "auto",
 ):
     """Evaluate a grid through the facade (thin wrapper over
     :func:`repro.core.sweeps.run_sweep` with the facade's cache and
-    metrics conveniences)."""
-    return run_sweep(spec, n_jobs=n_jobs, cache=_as_cache(cache), metrics=metrics)
+    metrics conveniences).  ``batch`` controls the vectorized kernel:
+    ``"auto"`` (default) evaluates every expressible analytical point in
+    structure-of-arrays passes, ``False`` forces per-point evaluation."""
+    return run_sweep(
+        spec,
+        n_jobs=n_jobs,
+        cache=_as_cache(cache),
+        metrics=metrics,
+        batch=batch,
+    )
 
 
 def price_fault_schedule(

@@ -15,7 +15,9 @@ Commands:
   and counters.
 * ``bench-codec`` — codec throughput smoke test vs the committed baseline.
 * ``bench-sweep`` — sweep-engine throughput smoke test vs the committed
-  baseline.
+  baseline; ``--cold`` times the vectorized kernel against the scalar
+  engine on a 576-point uncached grid (bit-identity asserted first,
+  ≥5x floor enforced).
 * ``bench-prep`` — data-preparation throughput smoke test vs the
   committed baseline, plus the batched-vs-reference speedup gate.
 * ``chaos``    — the resilience drill: inject every prep-engine failure
@@ -134,6 +136,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"cache: {outcome.cache_hits} hits, "
             f"{outcome.cache_misses} misses ({args.cache_dir})"
         )
+    if getattr(args, "explain_batch", False):
+        print(
+            f"dispatch: {outcome.batch_points} batch, "
+            f"{outcome.batch_fallbacks} scalar fallback, "
+            f"{outcome.cache_hits} cache"
+        )
+        for (p, _), how in zip(outcome, outcome.dispatch):
+            print(f"  {p.workload.name}/{p.arch.name}/{p.scale}: {how}")
     _export_instruments(args, tracer, registry)
     return 0
 
@@ -368,8 +378,21 @@ def _cmd_bench_sweep(args: argparse.Namespace) -> int:
 
     from repro import perf
 
-    baseline_path = Path(args.baseline)
-    measurements = perf.sweep_suite(repeats=args.repeats, n_jobs=args.jobs)
+    baseline_path = Path(
+        args.baseline
+        or (
+            "benchmarks/baselines/sweep_cold.json"
+            if args.cold
+            else "benchmarks/baselines/sweep_throughput.json"
+        )
+    )
+    if args.cold:
+        # Identity over the full cold grid is asserted inside the suite
+        # before any timing — a ConfigError here means the vectorized
+        # kernel disagrees with the scalar engine, not a slow host.
+        measurements, speedup = perf.sweep_cold_suite(repeats=args.repeats)
+    else:
+        measurements = perf.sweep_suite(repeats=args.repeats, n_jobs=args.jobs)
     baseline = perf.load_baseline(baseline_path)
     rows = []
     for m in measurements:
@@ -383,6 +406,21 @@ def _cmd_bench_sweep(args: argparse.Namespace) -> int:
             ]
         )
     print(format_table(["benchmark", "best ms", "points/s", "baseline"], rows))
+
+    if args.cold:
+        n_points = measurements[0].samples
+        print(
+            f"cold grid: {n_points} points bit-identical to the scalar "
+            f"engine; vectorized speedup {speedup:.2f}x "
+            f"(floor {perf.MIN_BATCH_SPEEDUP:.0f}x)"
+        )
+        if speedup < perf.MIN_BATCH_SPEEDUP:
+            print(
+                f"FLOOR  cold batch speedup {speedup:.2f}x is below the "
+                f"required {perf.MIN_BATCH_SPEEDUP:.0f}x",
+                file=sys.stderr,
+            )
+            return 1
 
     if args.update:
         perf.save_baseline(baseline_path, measurements)
@@ -702,6 +740,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-a", "--arch", default="baseline")
     engine_opt(p)
     sweep_opts(p)
+    p.add_argument(
+        "--explain-batch", action="store_true",
+        help="print which path (batch kernel / scalar / cache) served "
+        "each point",
+    )
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("ladder", help="the Figure 19 optimization ladder")
@@ -791,8 +834,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--baseline",
-        default="benchmarks/baselines/sweep_throughput.json",
-        help="baseline JSON path",
+        default=None,
+        help="baseline JSON path (default sweep_throughput.json, or "
+        "sweep_cold.json with --cold)",
+    )
+    p.add_argument(
+        "--cold", action="store_true",
+        help="time the 576-point uncached grid: vectorized kernel vs "
+        "scalar engine, bit-identity asserted first, >=5x floor enforced",
     )
     p.add_argument("-j", "--jobs", type=int, default=4, help="pool size offered")
     p.add_argument("--repeats", type=int, default=3, help="best-of-N repeats")

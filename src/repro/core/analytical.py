@@ -41,7 +41,7 @@ from repro.core.dataflow import (
 )
 from repro.core.results import SimulationResult
 from repro.core.server import ServerModel, build_server
-from repro.pcie.traffic import bottleneck_link, completion_time
+from repro.pcie.traffic import bottleneck_link, completion_time, price_flows
 from repro.sync.model import (
     CentralSyncModel,
     RingSyncModel,
@@ -91,11 +91,35 @@ def make_sync_model(
     return CentralSyncModel(bandwidth=bandwidth)
 
 
-@obs.profiled("analytical.prep_capacity", cat="engine")
-def prep_capacity(
-    server: ServerModel, demand: DataflowDemand
-) -> Tuple[float, Dict[str, float]]:
-    """Preparation-side throughput and the per-resource rate table."""
+#: Resource columns of the prep-side rate table, in the dict insertion
+#: order :func:`resource_rate_table` produces them — the batch kernel's
+#: matrix columns follow this order so its argmin reproduces the scalar
+#: first-minimal bottleneck tie-break.
+RESOURCE_ORDER = (
+    "host_cpu",
+    "host_memory",
+    "pcie",
+    "ssd",
+    "prep_compute",
+    "prep_network",
+    "accelerator_ingest",
+)
+
+
+def resource_rate_table(
+    server: ServerModel,
+    demand: DataflowDemand,
+    pcie_time: Optional[float] = None,
+    ssd_rate: Optional[float] = None,
+) -> Dict[str, float]:
+    """The per-resource rate table (keys follow :data:`RESOURCE_ORDER`).
+
+    ``pcie_time`` lets callers that already priced the PCIe flow set
+    (the single-pass cache below, the batch kernel's incidence pricing)
+    skip the routing pass; ``ssd_rate`` likewise accepts a precomputed
+    per-drive media rate (the batch kernel's bincount accounting).  When
+    omitted both are derived here from the flow set.
+    """
     hw = server.hw
     rates: Dict[str, float] = {}
 
@@ -108,26 +132,35 @@ def prep_capacity(
         server.dram.bandwidth / mem if mem > 0 else math.inf
     )
 
-    per_sample_pcie = completion_time(server.topology, demand.pcie_flows)
+    per_sample_pcie = (
+        completion_time(server.topology, demand.pcie_flows)
+        if pcie_time is None
+        else pcie_time
+    )
     rates["pcie"] = 1.0 / per_sample_pcie if per_sample_pcie > 0 else math.inf
 
     # SSD media: price each drive against the volume the flow set
     # actually sources from it, so unbalanced layouts (e.g. a degraded
     # box running on one surviving SSD) are charged correctly.
-    ssd_set = set(server.ssd_ids)
-    per_ssd: Dict[str, float] = {}
-    for flow in demand.pcie_flows:
-        if flow.src in ssd_set and flow.volume > 0:
-            per_ssd[flow.src] = per_ssd.get(flow.src, 0.0) + flow.volume
-    if per_ssd:
-        rates["ssd"] = min(
-            server.ssd_of(sid).read_bandwidth / volume
-            for sid, volume in per_ssd.items()
-        )
-    elif demand.ssd_read_bytes > 0:
-        rates["ssd"] = server.aggregate_ssd_bandwidth() / demand.ssd_read_bytes
+    if ssd_rate is not None:
+        rates["ssd"] = ssd_rate
     else:
-        rates["ssd"] = math.inf
+        ssd_set = set(server.ssd_ids)
+        per_ssd: Dict[str, float] = {}
+        for flow in demand.pcie_flows:
+            if flow.src in ssd_set and flow.volume > 0:
+                per_ssd[flow.src] = per_ssd.get(flow.src, 0.0) + flow.volume
+        if per_ssd:
+            rates["ssd"] = min(
+                server.ssd_of(sid).read_bandwidth / volume
+                for sid, volume in per_ssd.items()
+            )
+        elif demand.ssd_read_bytes > 0:
+            rates["ssd"] = (
+                server.aggregate_ssd_bandwidth() / demand.ssd_read_bytes
+            )
+        else:
+            rates["ssd"] = math.inf
 
     rates["prep_compute"] = demand.prep_device_rate
 
@@ -146,11 +179,40 @@ def prep_capacity(
         else math.inf
     )
     del per_acc_bytes
+    return rates
 
+
+@obs.profiled("analytical.prep_capacity", cat="engine")
+def prep_capacity(
+    server: ServerModel,
+    demand: DataflowDemand,
+    pcie_time: Optional[float] = None,
+) -> Tuple[float, Dict[str, float]]:
+    """Preparation-side throughput and the per-resource rate table."""
+    rates = resource_rate_table(server, demand, pcie_time=pcie_time)
     rate = min(rates.values())
     if rate <= 0:
         raise SimulationError(f"non-positive prep rate: {rates}")
     return rate, rates
+
+
+def _prep_entry(
+    server: ServerModel, workload
+) -> Tuple[float, Dict[str, float], str]:
+    """Memoized (rate, rate table, pcie bottleneck link) for a pair.
+
+    One ``link_loads`` pass prices both the per-sample PCIe time and the
+    bottleneck-link name (they used to be re-derived separately per
+    simulate() call, re-routing the whole flow set each time).
+    """
+    key = ("prep_capacity", workload.name)
+    memo = server.derived
+    if key not in memo:
+        demand = build_demand_cached(server, workload)
+        per_sample, worst = price_flows(server.topology, demand.pcie_flows)
+        rate, rates = prep_capacity(server, demand, pcie_time=per_sample)
+        memo[key] = (rate, rates, str(worst) if worst is not None else "")
+    return memo[key]  # type: ignore[return-value]
 
 
 def prep_capacity_cached(
@@ -163,13 +225,14 @@ def prep_capacity_cached(
     engines.  The rate table is returned as a fresh copy so callers may
     keep or annotate it without corrupting the memo.
     """
-    key = ("prep_capacity", workload.name)
-    memo = server.derived
-    if key not in memo:
-        demand = build_demand_cached(server, workload)
-        memo[key] = prep_capacity(server, demand)
-    rate, rates = memo[key]  # type: ignore[misc]
+    rate, rates, _ = _prep_entry(server, workload)
     return rate, dict(rates)
+
+
+def pcie_bottleneck_cached(server: ServerModel, workload) -> str:
+    """Memoized bottleneck-link name for a pair (priced together with
+    :func:`prep_capacity_cached` in a single routing pass)."""
+    return _prep_entry(server, workload)[2]
 
 
 def pcie_bottleneck_link(server: ServerModel, demand: DataflowDemand) -> str:
@@ -204,7 +267,6 @@ def simulate(
         )
 
     with obs.span("analytical.price_demand", cat="engine"):
-        demand = build_demand_cached(server, workload)
         prep_rate, resource_rates = prep_capacity_cached(server, workload)
 
     batch = scenario.batch_size or workload.batch_size
@@ -228,7 +290,7 @@ def simulate(
         if prep_rate < consume_rate:
             bottleneck = min(resource_rates, key=resource_rates.get)
             if bottleneck == "pcie":
-                link = pcie_bottleneck_link(server, demand)
+                link = pcie_bottleneck_cached(server, workload)
                 if link:
                     bottleneck = f"pcie ({link})"
         else:

@@ -30,6 +30,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.cache import memoized
 from repro.errors import ConfigError
 from repro.core.config import ArchitectureConfig, PrepDevice
 from repro.core.server import ServerModel
@@ -140,22 +141,50 @@ def _split_pipeline(cost: PipelineCost) -> Tuple[PipelineCost, PipelineCost]:
     return cost.split(FORMATTING_KINDS), cost.split(AUGMENTATION_KINDS)
 
 
-def build_demand(
-    server: ServerModel, workload: Workload
-) -> DataflowDemand:
-    """Per-sample demand of running ``workload`` on ``server``."""
+def workload_cost_cached(workload: Workload):
+    """Global memo of a workload's pipeline-cost bundle.
+
+    ``(sample spec, pipeline cost, formatting split, augmentation
+    split)`` depend only on the Table I row, yet every
+    :func:`build_demand` call used to re-derive them from scratch — the
+    dominant shared cost of a cold sweep after server construction.  The
+    memo lives in :mod:`repro.cache`'s in-process table (keyed by the
+    frozen workload row, like ``build_server_cached``) and its values
+    are read-only by convention.
+    """
+
+    def build():
+        sample_spec = workload.dataset_sample_spec()
+        cost = workload.prep_pipeline().cost(sample_spec)
+        fmt, aug = _split_pipeline(cost)
+        return sample_spec, cost, fmt, aug
+
+    return memoized(("workload_cost", workload), build)
+
+
+#: A PCIe flow before materialization: (src, dst, volume, label).
+FlowSpec = Tuple[str, str, float, str]
+
+
+def _demand_parts(server: ServerModel, workload: Workload):
+    """Everything :func:`build_demand` derives, with PCIe flows as raw
+    :data:`FlowSpec` tuples instead of :class:`Flow` objects.
+
+    Split out so the batch kernel (:mod:`repro.core.analytical_batch`)
+    can price a demand without allocating the flow objects it never
+    routes — the volumes here are computed by exactly the expressions
+    the materialized flows carry, which is what keeps the two paths
+    bit-identical.
+    """
     arch = server.arch
     n = server.n_accelerators
-    sample_spec = workload.dataset_sample_spec()
-    pipeline = workload.prep_pipeline()
-    cost = pipeline.cost(sample_spec)
-    fmt, aug = _split_pipeline(cost)
+    sample_spec, cost, fmt, aug = workload_cost_cached(workload)
     compressed = sample_spec.nbytes
     prepared = cost.bytes_out
 
     cpu: Dict[str, float] = {c: 0.0 for c in CATEGORIES}
     mem: Dict[str, float] = {c: 0.0 for c in CATEGORIES}
-    flows: List[Flow] = []
+    flows: List[FlowSpec] = []
     eth_flows: List[EthernetFlow] = []
     acc_ids = server.acc_ids
     ssd_ids = server.ssd_ids
@@ -185,9 +214,9 @@ def build_demand(
         mem["data_load"] = prepared            # accelerator DMA read
 
         for sid in ssd_ids:
-            flows.append(Flow(sid, server.host_id, compressed / len(ssd_ids), label="ssd_read"))
+            flows.append((sid, server.host_id, compressed / len(ssd_ids), "ssd_read"))
         for aid in acc_ids:
-            flows.append(Flow(server.host_id, aid, prepared / n, label="data_load"))
+            flows.append((server.host_id, aid, prepared / n, "data_load"))
 
     elif not arch.clustering:
         # ---- B+Acc / B+Acc+P2P / +Gen4 -------------------------------
@@ -207,12 +236,12 @@ def build_demand(
             mem["data_load"] = prepared
 
             for sid in ssd_ids:
-                flows.append(Flow(sid, server.host_id, compressed / len(ssd_ids), label="ssd_read"))
+                flows.append((sid, server.host_id, compressed / len(ssd_ids), "ssd_read"))
             for pid in prep_ids:
-                flows.append(Flow(server.host_id, pid, compressed / len(prep_ids), label="data_copy"))
-                flows.append(Flow(pid, server.host_id, prepared / len(prep_ids), label="data_copy"))
+                flows.append((server.host_id, pid, compressed / len(prep_ids), "data_copy"))
+                flows.append((pid, server.host_id, prepared / len(prep_ids), "data_copy"))
             for aid in acc_ids:
-                flows.append(Flow(server.host_id, aid, prepared / n, label="data_load"))
+                flows.append((server.host_id, aid, prepared / n, "data_load"))
         else:
             # P2P: SSD→prep and prep→accelerator directly; the host only
             # orchestrates.  The flows still climb to the RC because the
@@ -220,10 +249,10 @@ def build_demand(
             share = compressed / (len(prep_ids) * len(ssd_ids))
             for pid in prep_ids:
                 for sid in ssd_ids:
-                    flows.append(Flow(sid, pid, share, label="ssd_read"))
+                    flows.append((sid, pid, share, "ssd_read"))
             for i, aid in enumerate(acc_ids):
                 pid = prep_ids[i % len(prep_ids)]
-                flows.append(Flow(pid, aid, prepared / n, label="data_load"))
+                flows.append((pid, aid, prepared / n, "data_load"))
 
     else:
         # ---- TrainBox: clustered boxes, optional prep-pool -----------
@@ -253,16 +282,16 @@ def build_demand(
             for fid in box.prep_ids:
                 for sid in box.ssd_ids:
                     flows.append(
-                        Flow(
+                        (
                             sid,
                             fid,
                             compressed * box_share / (n_box_ssd * n_box_fpga),
-                            label="ssd_read",
+                            "ssd_read",
                         )
                     )
             for i, aid in enumerate(box.acc_ids):
                 fid = box.prep_ids[i % n_box_fpga]
-                flows.append(Flow(fid, aid, prepared / n, label="data_load"))
+                flows.append((fid, aid, prepared / n, "data_load"))
             if offload_fraction > 0 and n_pool:
                 for j, fid in enumerate(box.prep_ids):
                     out_vol = compressed * box_share * offload_fraction / n_box_fpga
@@ -276,23 +305,57 @@ def build_demand(
                     eth_flows.append(EthernetFlow(fid, pool_id, out_vol))
                     eth_flows.append(EthernetFlow(pool_id, fid, in_vol))
 
-    demand = DataflowDemand(
+    return cpu, mem, flows, eth_flows, compressed, prepared, cost, profile, n_pool
+
+
+def _assemble_demand(
+    server: ServerModel, workload: Workload, parts, pcie_flows: List[Flow]
+) -> DataflowDemand:
+    cpu, mem, _, eth_flows, compressed, prepared, cost, profile, n_pool = parts
+    return DataflowDemand(
         workload=workload,
-        arch=arch,
-        n_accelerators=n,
+        arch=server.arch,
+        n_accelerators=server.n_accelerators,
         cpu_cycles=cpu,
         mem_bytes=mem,
-        pcie_flows=flows,
+        pcie_flows=pcie_flows,
         ethernet_flows=eth_flows,
         ssd_read_bytes=compressed,
         bytes_to_accelerator=prepared,
         pipeline_cost=cost,
         prep_profile=profile,
-        n_prep_devices=len(prep_ids),
+        n_prep_devices=len(server.prep_ids),
         n_pool_devices=n_pool,
         topology=server.topology,
     )
-    return demand
+
+
+def build_demand(
+    server: ServerModel, workload: Workload
+) -> DataflowDemand:
+    """Per-sample demand of running ``workload`` on ``server``."""
+    parts = _demand_parts(server, workload)
+    flows = [
+        Flow(src, dst, volume, label=label)
+        for src, dst, volume, label in parts[2]
+    ]
+    return _assemble_demand(server, workload, parts, flows)
+
+
+def build_demand_lite(
+    server: ServerModel, workload: Workload
+) -> Tuple[DataflowDemand, List[FlowSpec]]:
+    """The demand with PCIe flows as raw specs, not :class:`Flow` objects.
+
+    The returned demand has an **empty** ``pcie_flows`` list — callers
+    (the batch kernel) must price PCIe and SSD media from the spec
+    tuples and must not hand it to flow-walking code such as
+    ``rc_bytes_per_sample`` or an un-overridden ``resource_rate_table``.
+    Skipping the ~flow-count frozen-dataclass allocations is a large
+    share of a cold batch sweep's demand cost.
+    """
+    parts = _demand_parts(server, workload)
+    return _assemble_demand(server, workload, parts, []), parts[2]
 
 
 def build_demand_cached(

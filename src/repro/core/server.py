@@ -154,8 +154,7 @@ def build_server(
     else:
         boxes = _build_type_grouped(topology, arch, hw, n_accelerators, gen, lanes)
 
-    topology.validate()
-    enumerate_topology(topology)
+    enumerate_topology(topology)  # validates the tree invariants first
 
     prep_network: Optional[StarNetwork] = None
     pool_ids: List[str] = []

@@ -249,6 +249,12 @@ class SweepOutcome:
     ``manifest`` is the merged observability run manifest (counters +
     histograms across every evaluated point, cache layer included) when
     the sweep ran with metrics collection, else ``None``.
+
+    ``dispatch`` records, per point, which execution path produced the
+    result: ``"cache"``, ``"batch"`` (the vectorized kernel), or
+    ``"scalar (<reason>)"`` for per-point evaluation, with the reason
+    the batch kernel gave for not taking the point.
+    ``batch_points``/``batch_fallbacks`` summarize the same split.
     """
 
     points: Tuple[SweepPoint, ...]
@@ -256,6 +262,9 @@ class SweepOutcome:
     cache_hits: int = 0
     cache_misses: int = 0
     manifest: Optional[Dict] = None
+    batch_points: int = 0
+    batch_fallbacks: int = 0
+    dispatch: Tuple[str, ...] = ()
 
     def __iter__(self):
         return iter(zip(self.points, self.results))
@@ -290,16 +299,26 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
     chunksize: Optional[int] = None,
     metrics: Union[None, bool, "obs.MetricsRegistry"] = None,
+    batch: Union[bool, str] = "auto",
 ) -> SweepOutcome:
     """Evaluate a grid, serving cached points and computing the rest.
 
-    ``n_jobs=1`` runs serially in-process; higher values fan the cache
-    misses out over a process pool in contiguous chunks.  The point
-    order of the outcome never depends on ``n_jobs`` or the cache state.
+    Cache misses first go through the vectorized batch kernel
+    (:func:`repro.core.analytical_batch.evaluate_grid`), which evaluates
+    every analytical point it can express in structure-of-arrays passes
+    with bit-identical results; only the points it declines (other
+    engines, unregistered sync strategies, an active tracer) reach the
+    per-point path.  ``batch=False`` forces everything scalar.
+
+    ``n_jobs=1`` runs the scalar remainder serially in-process; higher
+    values fan it out over a process pool in contiguous chunks.  The
+    point order of the outcome never depends on ``n_jobs``, ``batch``,
+    or the cache state.
 
     ``metrics`` turns on observability aggregation: pass ``True`` (a
     fresh registry) or an existing :class:`~repro.obs.MetricsRegistry`.
-    Every point is then evaluated under a hermetic child registry —
+    The batch kernel emits into the parent registry directly; every
+    scalar point is evaluated under a hermetic child registry —
     in-process or in a pool worker alike — and the children are merged
     into the parent in point-index order, so the outcome's ``manifest``
     is identical whichever execution path ran (parallel == serial, a
@@ -317,6 +336,9 @@ def run_sweep(
     else:
         registry = metrics
     results: List[object] = [None] * len(points)
+    dispatch: List[str] = ["cache"] * len(points)
+    batch_points = 0
+    batch_fallbacks = 0
 
     parent_session = (
         obs.session(metrics=registry) if registry is not None else None
@@ -342,8 +364,35 @@ def run_sweep(
             obs.inc("sweep.cache_hits", hits)
             obs.inc("sweep.cache_misses", len(pending))
 
-            if pending:
-                todo = [points[i] for i in pending]
+            scalar_pending = pending
+            if pending and batch:
+                from repro.core.analytical_batch import evaluate_grid
+
+                batched, reasons = evaluate_grid(
+                    [points[i] for i in pending]
+                )
+                scalar_pending = []
+                for k, idx in enumerate(pending):
+                    if batched[k] is not None:
+                        results[idx] = batched[k]
+                        dispatch[idx] = "batch"
+                        batch_points += 1
+                        if cache is not None:
+                            cache.put(
+                                cache_key(points[idx]), batched[k].to_dict()
+                            )
+                    else:
+                        scalar_pending.append(idx)
+                        dispatch[idx] = f"scalar ({reasons[k]})"
+                batch_fallbacks = len(scalar_pending)
+            elif pending:
+                for idx in pending:
+                    dispatch[idx] = "scalar (batch disabled)"
+            obs.inc("sweep.batch_points", batch_points)
+            obs.inc("sweep.batch_fallbacks", batch_fallbacks)
+
+            if scalar_pending:
+                todo = [points[i] for i in scalar_pending]
                 manifests: List[Dict] = []
                 if n_jobs == 1 or len(todo) == 1:
                     computed = []
@@ -360,9 +409,18 @@ def run_sweep(
                                 result = evaluate_point(p)
                         computed.append(result)
                 else:
+                    # Workers are capped by the actual work: never more
+                    # than one per remaining point, and with an explicit
+                    # chunksize never more than the number of chunks
+                    # (an all-hits grid would otherwise spin up a pool
+                    # of workers with nothing to map).
                     workers = min(n_jobs, len(todo))
                     if chunksize is None:
                         chunksize = max(1, -(-len(todo) // workers))
+                    else:
+                        workers = min(
+                            workers, max(1, -(-len(todo) // chunksize))
+                        )
                     with obs.span(
                         "sweep.pool", cat="sweep",
                         workers=workers, chunksize=chunksize,
@@ -391,7 +449,7 @@ def run_sweep(
                     # independent of which worker computed what.
                     for manifest in manifests:
                         registry.merge_manifest(manifest)
-                for idx, result in zip(pending, computed):
+                for idx, result in zip(scalar_pending, computed):
                     results[idx] = result
                     if cache is not None:
                         cache.put(cache_key(points[idx]), result.to_dict())
@@ -402,6 +460,9 @@ def run_sweep(
         cache_hits=hits,
         cache_misses=len(pending),
         manifest=registry.to_manifest() if registry is not None else None,
+        batch_points=batch_points,
+        batch_fallbacks=batch_fallbacks,
+        dispatch=tuple(dispatch),
     )
 
 

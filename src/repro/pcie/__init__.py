@@ -30,7 +30,13 @@ from repro.pcie.topology import (
 from repro.pcie.address import enumerate_topology
 from repro.pcie.flowsim import FlowSimulator, Transfer, TransferRecord
 from repro.pcie.routing import forward_path, route
-from repro.pcie.traffic import Flow, TrafficSolver, completion_time, link_loads
+from repro.pcie.traffic import (
+    Flow,
+    TrafficSolver,
+    completion_time,
+    link_loads,
+    price_flows,
+)
 
 __all__ = [
     "Endpoint",
@@ -52,5 +58,6 @@ __all__ = [
     "forward_path",
     "link_bandwidth",
     "link_loads",
+    "price_flows",
     "route",
 ]

@@ -88,6 +88,24 @@ def bottleneck_link(
     return hop, load / hop.bandwidth
 
 
+def price_flows(
+    topology: PcieTopology, flows: Iterable[Flow]
+) -> Tuple[float, Optional[DirectedLink]]:
+    """Completion time and bottleneck link from one ``link_loads`` pass.
+
+    Callers wanting both views used to pay two full routing passes over
+    the same flow set (:func:`completion_time` then
+    :func:`bottleneck_link`); the values here are the identical maxima
+    derived from one shared load table.  Returns ``(0.0, None)`` for no
+    traffic.
+    """
+    loads = link_loads(topology, flows)
+    if not loads:
+        return 0.0, None
+    hop, load = max(loads.items(), key=lambda kv: kv[1] / kv[0].bandwidth)
+    return load / hop.bandwidth, hop
+
+
 class TrafficSolver:
     """Max-min fair bandwidth allocation for concurrent flows.
 

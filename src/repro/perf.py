@@ -281,6 +281,99 @@ def sweep_suite(
     return out
 
 
+#: Minimum cold batch-vs-scalar speedup ``bench-sweep --cold`` enforces
+#: on the ≥512-point grid.
+MIN_BATCH_SPEEDUP = 5.0
+
+
+def sweep_cold_grid():
+    """The uncached grid the cold-sweep gate runs (8 workloads × 8
+    architecture variants × the 9-step scale ladder = 576 points).
+
+    Every Table I workload plus the CNN-Video extension row, crossed
+    with the full architecture ladder (baseline, +Acc GPU/FPGA, +P2P,
+    +Gen4, clustered, clustered+pool) and a tree-sync TrainBox variant
+    so all three sync closed forms are exercised.
+    """
+    import dataclasses
+
+    from repro.core.config import ArchitectureConfig, PrepDevice, SyncStrategy
+    from repro.core.sweeps import SCALE_LADDER, SweepSpec
+    from repro.workloads.registry import EXTENSION_WORKLOADS, TABLE_I
+
+    workloads = tuple(TABLE_I.values()) + tuple(EXTENSION_WORKLOADS.values())
+    archs = (
+        ArchitectureConfig.baseline(),
+        ArchitectureConfig.baseline_acc(PrepDevice.GPU),
+        ArchitectureConfig.baseline_acc(),
+        ArchitectureConfig.baseline_acc_p2p(),
+        ArchitectureConfig.baseline_acc_p2p_gen4(),
+        ArchitectureConfig.trainbox(prep_pool=False),
+        ArchitectureConfig.trainbox(),
+        dataclasses.replace(
+            ArchitectureConfig.trainbox(),
+            name="trainbox+tree",
+            sync=SyncStrategy.TREE,
+        ),
+    )
+    return SweepSpec(workloads=workloads, archs=archs, scales=SCALE_LADDER)
+
+
+def sweep_cold_suite(repeats: int = 3):
+    """Cold-grid timings of the vectorized kernel vs the scalar engine.
+
+    Returns ``(measurements, speedup)``: points/s for
+    ``sweep_cold_batch`` and ``sweep_cold_scalar`` (the in-process memo
+    is cleared inside each timed region, so every repeat pays full
+    construction), and their ratio.  **Bit-identity is asserted before
+    any timing**: the batch outcome must take every point (no silent
+    fallbacks) and fingerprint-match the scalar outcome point for point
+    — a kernel that is fast but wrong never produces a number.
+    """
+    from repro.cache import clear_memo, fingerprint
+    from repro.core.sweeps import run_sweep
+
+    spec = sweep_cold_grid()
+    points = spec.points()
+    n_points = len(points)
+
+    clear_memo()
+    batched = run_sweep(spec, n_jobs=1, batch="auto")
+    if batched.batch_points != n_points:
+        raise ConfigError(
+            f"batch kernel took {batched.batch_points}/{n_points} points "
+            f"of the cold grid; fallbacks: "
+            f"{[d for d in batched.dispatch if d != 'batch'][:3]}"
+        )
+    clear_memo()
+    scalar = run_sweep(spec, n_jobs=1, batch=False)
+    for point, rb, rs in zip(points, batched.results, scalar.results):
+        if fingerprint(rb.to_dict()) != fingerprint(rs.to_dict()):
+            raise ConfigError(
+                f"batch kernel diverges from the scalar engine at "
+                f"{point.workload.name}/{point.arch.name}/{point.scale}"
+            )
+
+    def cold_batch():
+        clear_memo()
+        run_sweep(spec, n_jobs=1, batch="auto")
+
+    def cold_scalar():
+        clear_memo()
+        run_sweep(spec, n_jobs=1, batch=False)
+
+    measurements = [
+        measure("sweep_cold_batch", cold_batch, n_points, repeats),
+        measure("sweep_cold_scalar", cold_scalar, n_points, repeats),
+    ]
+    speedup = (
+        measurements[0].samples_per_s / measurements[1].samples_per_s
+        if measurements[1].samples_per_s > 0
+        else math.inf
+    )
+    return measurements, speedup
+
+
 def sweep_equivalence(n_jobs: int = 4):
     """(serial/uncached, parallel/warm-cache) outcomes of the Figure 21
     grid, for asserting the speedup never changes a number."""

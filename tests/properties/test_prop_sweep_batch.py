@@ -1,0 +1,84 @@
+"""Property: the vectorized sweep kernel equals the scalar engine
+bit for bit over random grids — including grids where some points are
+forced to demote to per-point evaluation."""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import fingerprint
+from repro.core import analytical_batch as ab
+from repro.core.config import ArchitectureConfig, SyncStrategy
+from repro.core.sweeps import SweepPoint, run_sweep
+from repro.workloads.registry import EXTENSION_WORKLOADS, TABLE_I
+
+WORKLOADS = list(TABLE_I.values()) + list(EXTENSION_WORKLOADS.values())
+FAMILIES = (
+    ArchitectureConfig.baseline(),
+    ArchitectureConfig.baseline_acc(),
+    ArchitectureConfig.baseline_acc_p2p(),
+    ArchitectureConfig.baseline_acc_p2p_gen4(),
+    ArchitectureConfig.trainbox(prep_pool=False),
+    ArchitectureConfig.trainbox(),
+)
+
+
+def _arch(family, sync):
+    return dataclasses.replace(
+        family, name=f"{family.name}+{sync.value}", sync=sync
+    )
+
+
+# fabric_bandwidth=0.0 is the falsy edge: the scalar engine's
+# ``scenario.fabric_bandwidth or hw.accelerator_fabric_bandwidth``
+# treats it as "use the default", and the kernel must agree.
+points_strategy = st.lists(
+    st.builds(
+        SweepPoint,
+        workload=st.sampled_from(WORKLOADS),
+        arch=st.builds(
+            _arch,
+            st.sampled_from(FAMILIES),
+            st.sampled_from(list(SyncStrategy)),
+        ),
+        scale=st.integers(min_value=1, max_value=300),
+        batch_size=st.one_of(st.none(), st.sampled_from([1, 8, 32, 256])),
+        accelerator=st.sampled_from(["tpu", "legacy-gpu"]),
+        fabric_bandwidth=st.sampled_from([None, 0.0, 25e9, 150e9]),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _fingerprints(outcome):
+    return [fingerprint(r.to_dict()) for r in outcome.results]
+
+
+@given(points=points_strategy)
+@settings(max_examples=25, deadline=None)
+def test_batch_equals_scalar_bit_for_bit(points):
+    batched = run_sweep(points, batch=True)
+    scalar = run_sweep(points, batch=False)
+    assert batched.results == scalar.results
+    assert _fingerprints(batched) == _fingerprints(scalar)
+    assert batched.batch_points + batched.batch_fallbacks == len(points)
+    assert batched.points == scalar.points
+
+
+@given(points=points_strategy)
+@settings(max_examples=10, deadline=None)
+def test_forced_fallbacks_preserve_identity(points):
+    """With the ring closed form removed, ring points demote to the
+    scalar engine — and the mixed grid still matches it bit for bit."""
+    removed = ab._SYNC_FORMS.pop(SyncStrategy.RING)
+    try:
+        batched = run_sweep(points, batch=True)
+    finally:
+        ab._SYNC_FORMS[SyncStrategy.RING] = removed
+    scalar = run_sweep(points, batch=False)
+    assert batched.results == scalar.results
+    assert _fingerprints(batched) == _fingerprints(scalar)
+    ring = sum(1 for p in points if p.arch.sync is SyncStrategy.RING)
+    assert batched.batch_fallbacks == ring
+    assert batched.batch_points == len(points) - ring
