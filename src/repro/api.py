@@ -19,15 +19,35 @@ signatures again.
 
 Engines are pluggable through the :class:`Engine` protocol; the built-in
 registry covers ``analytical``, ``des`` and ``flow``.
+
+Scenarios also exist as **versioned request objects** —
+:class:`SimulationRequest`, :class:`SweepRequest` and
+:class:`FaultScheduleRequest` (schema tag ``repro-request/1``) — frozen,
+JSON-round-trippable, with a canonical content-hash ``fingerprint()``.
+They are the wire schema of :mod:`repro.service`, and every facade entry
+point accepts one in place of the legacy arguments::
+
+    req = api.SimulationRequest("Resnet-50", "trainbox", 256, engine="des")
+    result = api.simulate(req)          # same point, same result
 """
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import Dict, Optional, Protocol, Union, runtime_checkable
+from typing import (
+    ClassVar,
+    Dict,
+    Optional,
+    Protocol,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
 
 from repro import obs
-from repro.cache import ResultCache
+from repro.cache import ResultCache, fingerprint as _fingerprint
 from repro.core.analytical import TrainingScenario, simulate as _simulate_analytical
 from repro.core.config import ArchitectureConfig, HardwareConfig, PrepDevice
 from repro.core.des import simulate_des
@@ -47,8 +67,13 @@ __all__ = [
     "ARCH_BUILDERS",
     "Engine",
     "ENGINE_NAMES",
+    "FaultScheduleRequest",
+    "REQUEST_SCHEMA",
+    "SimulationRequest",
+    "SweepRequest",
     "get_engine",
     "price_fault_schedule",
+    "request_from_dict",
     "resolve_arch",
     "resolve_workload",
     "simulate",
@@ -87,6 +112,295 @@ def resolve_arch(arch: Union[str, ArchitectureConfig]) -> ArchitectureConfig:
             f"unknown architecture {arch!r}; choose from "
             f"{sorted(ARCH_BUILDERS)}"
         ) from None
+
+
+# -- versioned request objects (the service wire schema) ---------------------
+
+#: Version tag stamped into every serialized request.  Bump when the
+#: request schema changes incompatibly; :func:`request_from_dict`
+#: rejects any other tag.
+REQUEST_SCHEMA = "repro-request/1"
+
+
+def arch_alias(arch: Union[str, ArchitectureConfig]) -> str:
+    """The canonical :data:`ARCH_BUILDERS` alias for an architecture.
+
+    Requests are wire objects, so they reference architectures by alias
+    rather than by value; a config that no alias reproduces is not
+    wire-representable and raises :class:`ConfigError`.
+    """
+    if isinstance(arch, str):
+        resolve_arch(arch)  # validate, canonical error
+        return arch
+    for alias, builder in ARCH_BUILDERS.items():
+        if builder() == arch:
+            return alias
+    raise ConfigError(
+        f"architecture {arch.name!r} matches no registered alias; "
+        f"requests reference architectures by alias "
+        f"({sorted(ARCH_BUILDERS)})"
+    )
+
+
+def _workload_name(workload: Union[str, Workload]) -> str:
+    if isinstance(workload, Workload):
+        return workload.name
+    get_workload(workload)  # validate, canonical error
+    return workload
+
+
+class _RequestBase:
+    """Shared wire behaviour of the three request kinds.
+
+    Subclasses are frozen dataclasses whose fields are all
+    JSON-representable (strings, numbers, tuples); ``to_dict`` /
+    ``from_dict`` round-trip them under the :data:`REQUEST_SCHEMA`
+    version tag, and ``fingerprint`` is a canonical content hash built
+    from the same :mod:`repro.cache` fingerprints the result cache keys
+    on — two requests that denote the same computation hash identically
+    whatever dict ordering or process produced them.
+    """
+
+    kind: ClassVar[str]
+
+    def to_dict(self) -> Dict:
+        body = {"v": REQUEST_SCHEMA, "kind": self.kind}
+        for f in fields(self):
+            body[f.name] = getattr(self, f.name)
+        return body
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "_RequestBase":
+        if not isinstance(data, dict):
+            raise ConfigError(f"request must be a dict, got {type(data).__name__}")
+        version = data.get("v")
+        if version != REQUEST_SCHEMA:
+            raise ConfigError(
+                f"unsupported request schema {version!r}; this build "
+                f"speaks {REQUEST_SCHEMA}"
+            )
+        kind = data.get("kind")
+        if kind != cls.kind:
+            raise ConfigError(
+                f"request kind {kind!r} does not match {cls.kind!r}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known - {"v", "kind"}
+        if unknown:
+            raise ConfigError(
+                f"unknown {cls.kind} request fields: {sorted(unknown)}"
+            )
+        kwargs = {k: data[k] for k in known & set(data)}
+        return cls(**kwargs)
+
+
+def _as_tuple(value, caster) -> tuple:
+    if isinstance(value, (str, bytes)):
+        raise ConfigError(f"expected a sequence, got {value!r}")
+    return tuple(caster(v) for v in value)
+
+
+@dataclass(frozen=True)
+class SimulationRequest(_RequestBase):
+    """One ``workload × arch × scale`` scenario, as a wire object.
+
+    ``workload`` is a Table I name and ``arch`` an
+    :data:`ARCH_BUILDERS` alias — requests denote configurations by
+    name, never by value, so any process deserializing one resolves the
+    identical scenario.
+    """
+
+    workload: str
+    arch: str
+    scale: int
+    engine: str = "analytical"
+    batch_size: Optional[int] = None
+    pool_size: Optional[int] = None
+    accelerator: str = "tpu"
+    fabric_bandwidth: Optional[float] = None
+    des_iterations: int = 60
+    des_buffer_batches: int = 4
+
+    kind: ClassVar[str] = "simulate"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workload", _workload_name(self.workload))
+        object.__setattr__(self, "arch", arch_alias(self.arch))
+        get_engine(self.engine)
+
+    def resolve(self) -> SweepPoint:
+        """The fully-resolved grid point this request denotes."""
+        return SweepPoint(
+            workload=resolve_workload(self.workload),
+            arch=resolve_arch(self.arch),
+            scale=self.scale,
+            engine=self.engine,
+            batch_size=self.batch_size,
+            pool_size=self.pool_size,
+            accelerator=self.accelerator,
+            fabric_bandwidth=self.fabric_bandwidth,
+            des_iterations=self.des_iterations,
+            des_buffer_batches=self.des_buffer_batches,
+        )
+
+    def fingerprint(self) -> str:
+        return _fingerprint(REQUEST_SCHEMA, self.kind, cache_key(self.resolve()))
+
+
+@dataclass(frozen=True)
+class SweepRequest(_RequestBase):
+    """A whole grid (workloads × archs × scales) as one wire object."""
+
+    workloads: Tuple[str, ...]
+    archs: Tuple[str, ...]
+    scales: Tuple[int, ...]
+    engine: str = "analytical"
+    batch_size: Optional[int] = None
+    pool_size: Optional[int] = None
+    accelerator: str = "tpu"
+    fabric_bandwidth: Optional[float] = None
+    des_iterations: int = 60
+    des_buffer_batches: int = 4
+
+    kind: ClassVar[str] = "sweep"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "workloads", _as_tuple(self.workloads, _workload_name)
+        )
+        object.__setattr__(self, "archs", _as_tuple(self.archs, arch_alias))
+        object.__setattr__(self, "scales", _as_tuple(self.scales, int))
+        if not self.workloads or not self.archs or not self.scales:
+            raise ConfigError("sweep request axes must be non-empty")
+        get_engine(self.engine)
+
+    def to_dict(self) -> Dict:
+        body = super().to_dict()
+        body["workloads"] = list(self.workloads)
+        body["archs"] = list(self.archs)
+        body["scales"] = list(self.scales)
+        return body
+
+    def resolve(self) -> SweepSpec:
+        return SweepSpec(
+            workloads=tuple(resolve_workload(w) for w in self.workloads),
+            archs=tuple(resolve_arch(a) for a in self.archs),
+            scales=self.scales,
+            engine=self.engine,
+            batch_size=self.batch_size,
+            pool_size=self.pool_size,
+            accelerator=self.accelerator,
+            fabric_bandwidth=self.fabric_bandwidth,
+            des_iterations=self.des_iterations,
+            des_buffer_batches=self.des_buffer_batches,
+        )
+
+    def fingerprint(self) -> str:
+        # Reuses the per-point result-cache keys, so two sweep requests
+        # coalesce exactly when they denote the same point set.
+        keys = [cache_key(p) for p in self.resolve().points()]
+        return _fingerprint(REQUEST_SCHEMA, self.kind, keys)
+
+
+@dataclass(frozen=True)
+class FaultScheduleRequest(_RequestBase):
+    """A fault-schedule pricing run as a wire object.
+
+    ``events`` are ``(device_id, fail_time, recover_time)`` triples;
+    ``recover_time`` ``None`` means the device never comes back (the
+    JSON-safe spelling of ``inf``).
+    """
+
+    workload: str
+    arch: str
+    scale: int
+    events: Tuple[Tuple[str, float, Optional[float]], ...]
+    horizon: float
+    engine: str = "analytical"
+    batch_size: Optional[int] = None
+    pool_size: Optional[int] = None
+    des_iterations: int = 60
+
+    kind: ClassVar[str] = "price_fault_schedule"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workload", _workload_name(self.workload))
+        object.__setattr__(self, "arch", arch_alias(self.arch))
+        get_engine(self.engine)
+        events = []
+        for event in self.events:
+            device, fail_t, recover_t = event
+            recover = None if recover_t is None else float(recover_t)
+            if recover is not None and math.isinf(recover):
+                recover = None
+            events.append((str(device), float(fail_t), recover))
+        object.__setattr__(self, "events", tuple(events))
+        if self.horizon <= 0:
+            raise ConfigError(f"horizon must be positive: {self.horizon}")
+
+    def to_dict(self) -> Dict:
+        body = super().to_dict()
+        body["events"] = [list(e) for e in self.events]
+        return body
+
+    def resolve(self):
+        """The :class:`~repro.core.faults.FaultSchedule` this denotes."""
+        from repro.core.faults import FaultEvent, FaultSchedule
+
+        return FaultSchedule(
+            tuple(
+                FaultEvent(
+                    device,
+                    fail_t,
+                    math.inf if recover is None else recover,
+                )
+                for device, fail_t, recover in self.events
+            )
+        )
+
+    def fingerprint(self) -> str:
+        point = SweepPoint(
+            workload=resolve_workload(self.workload),
+            arch=resolve_arch(self.arch),
+            scale=self.scale,
+            engine=self.engine,
+            batch_size=self.batch_size,
+            pool_size=self.pool_size,
+            des_iterations=self.des_iterations,
+        )
+        return _fingerprint(
+            REQUEST_SCHEMA,
+            self.kind,
+            cache_key(point),
+            list(self.events),
+            self.horizon,
+        )
+
+
+_REQUEST_KINDS = {
+    cls.kind: cls
+    for cls in (SimulationRequest, SweepRequest, FaultScheduleRequest)
+}
+
+
+def request_from_dict(data: Dict) -> _RequestBase:
+    """Deserialize any request kind (the service's single entry point).
+
+    Validates the :data:`REQUEST_SCHEMA` version tag and dispatches on
+    ``kind``; field order in ``data`` never matters (a test pins
+    fingerprint stability across orderings and processes).
+    """
+    if not isinstance(data, dict):
+        raise ConfigError(f"request must be a dict, got {type(data).__name__}")
+    kind = data.get("kind")
+    try:
+        cls = _REQUEST_KINDS[kind]
+    except KeyError:
+        raise ConfigError(
+            f"unknown request kind {kind!r}; choose from "
+            f"{sorted(_REQUEST_KINDS)}"
+        ) from None
+    return cls.from_dict(data)
 
 
 @runtime_checkable
@@ -177,9 +491,9 @@ def _as_cache(cache) -> Optional[ResultCache]:
 
 
 def simulate(
-    workload: Union[str, Workload],
-    arch: Union[str, ArchitectureConfig],
-    scale: int,
+    workload: Union[str, Workload, SimulationRequest],
+    arch: Union[None, str, ArchitectureConfig] = None,
+    scale: Optional[int] = None,
     *,
     engine: str = "analytical",
     batch_size: Optional[int] = None,
@@ -195,37 +509,53 @@ def simulate(
 ) -> SimulationOutcome:
     """Simulate one ``workload × arch × scale`` scenario on any engine.
 
+    Accepts either a :class:`SimulationRequest` as the sole scenario
+    argument (the wire form the service speaks) or the legacy
+    ``workload, arch, scale`` keywords — the two spellings resolve to
+    the identical grid point.
+
     ``trace``/``metrics`` install the given instruments for the duration
     of the call; ``cache`` (a :class:`~repro.cache.ResultCache` or a
     directory path) serves the point content-addressed when possible.
     Traced runs always recompute — a cached payload has no event stream
     to replay — but still refresh the cache with what they computed.
     """
-    eng = get_engine(engine)
-    point = SweepPoint(
-        workload=resolve_workload(workload),
-        arch=resolve_arch(arch),
-        scale=scale,
-        engine=engine,
-        batch_size=batch_size,
-        hw=hw,
-        pool_size=pool_size,
-        accelerator=accelerator,
-        fabric_bandwidth=fabric_bandwidth,
-        des_iterations=des_iterations,
-        des_buffer_batches=des_buffer_batches,
-    )
+    if isinstance(workload, SimulationRequest):
+        if arch is not None or scale is not None or hw is not None:
+            raise ConfigError(
+                "pass either a SimulationRequest or workload/arch/scale "
+                "keywords, not both"
+            )
+        point = workload.resolve()
+    else:
+        if arch is None or scale is None:
+            raise ConfigError("simulate needs workload, arch and scale")
+        point = SweepPoint(
+            workload=resolve_workload(workload),
+            arch=resolve_arch(arch),
+            scale=scale,
+            engine=engine,
+            batch_size=batch_size,
+            hw=hw,
+            pool_size=pool_size,
+            accelerator=accelerator,
+            fabric_bandwidth=fabric_bandwidth,
+            des_iterations=des_iterations,
+            des_buffer_batches=des_buffer_batches,
+        )
+    eng = get_engine(point.engine)
     store = _as_cache(cache)
     with obs.session(tracer=trace, metrics=metrics):
         with obs.span(
             "api.simulate", cat="api",
-            engine=engine, workload=point.workload.name, scale=scale,
+            engine=point.engine, workload=point.workload.name,
+            scale=point.scale,
         ):
             key = cache_key(point) if store is not None else None
             if store is not None and trace is None:
                 payload = store.get(key)
                 if payload is not None:
-                    return _result_from_dict(engine, payload)
+                    return _result_from_dict(point.engine, payload)
             result = eng.run(point)
             if store is not None:
                 store.put(key, result.to_dict())
@@ -233,7 +563,7 @@ def simulate(
 
 
 def sweep(
-    spec: Union[SweepSpec, list],
+    spec: Union[SweepSpec, SweepRequest, list],
     *,
     n_jobs: int = 1,
     cache: Union[None, str, Path, ResultCache] = None,
@@ -242,9 +572,13 @@ def sweep(
 ):
     """Evaluate a grid through the facade (thin wrapper over
     :func:`repro.core.sweeps.run_sweep` with the facade's cache and
-    metrics conveniences).  ``batch`` controls the vectorized kernel:
-    ``"auto"`` (default) evaluates every expressible analytical point in
+    metrics conveniences).  Accepts a :class:`SweepRequest` (the wire
+    form), a :class:`~repro.core.sweeps.SweepSpec`, or an explicit point
+    list.  ``batch`` controls the vectorized kernel: ``"auto"``
+    (default) evaluates every expressible analytical point in
     structure-of-arrays passes, ``False`` forces per-point evaluation."""
+    if isinstance(spec, SweepRequest):
+        spec = spec.resolve()
     return run_sweep(
         spec,
         n_jobs=n_jobs,
@@ -255,11 +589,11 @@ def sweep(
 
 
 def price_fault_schedule(
-    workload: Union[str, Workload],
-    arch: Union[str, ArchitectureConfig],
-    scale: int,
-    schedule,
-    horizon: float,
+    workload: Union[str, Workload, FaultScheduleRequest],
+    arch: Union[None, str, ArchitectureConfig] = None,
+    scale: Optional[int] = None,
+    schedule=None,
+    horizon: Optional[float] = None,
     *,
     engine: str = "analytical",
     batch_size: Optional[int] = None,
@@ -271,6 +605,10 @@ def price_fault_schedule(
 ):
     """Price a :class:`~repro.core.faults.FaultSchedule` on any engine.
 
+    Accepts either a :class:`FaultScheduleRequest` as the sole scenario
+    argument (the wire form) or the legacy ``workload, arch, scale,
+    schedule, horizon`` arguments.
+
     Returns a :class:`~repro.core.faults.DegradedTimeline`: the horizon
     partitioned into constant-fault windows, each priced by the chosen
     engine on the degraded server — FPGA loss absorbed by the prep
@@ -281,6 +619,25 @@ def price_fault_schedule(
     from repro.core.faults import price_schedule
     from repro.core.flowengine import simulate_flow_schedule
     from repro.core.server import build_server
+
+    if isinstance(workload, FaultScheduleRequest):
+        if arch is not None or scale is not None or schedule is not None:
+            raise ConfigError(
+                "pass either a FaultScheduleRequest or workload/arch/"
+                "scale/schedule/horizon arguments, not both"
+            )
+        request = workload
+        workload, arch, scale = request.workload, request.arch, request.scale
+        schedule, horizon = request.resolve(), request.horizon
+        engine = request.engine
+        batch_size = request.batch_size
+        pool_size = request.pool_size
+        des_iterations = request.des_iterations
+    elif arch is None or scale is None or schedule is None or horizon is None:
+        raise ConfigError(
+            "price_fault_schedule needs workload, arch, scale, schedule "
+            "and horizon"
+        )
 
     get_engine(engine)  # validate the name with the canonical error
     scenario = TrainingScenario(

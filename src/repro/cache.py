@@ -26,12 +26,14 @@ self-invalidate.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import enum
 import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional
@@ -44,7 +46,10 @@ from repro.errors import ConfigError
 #: affects cached values must bump this.
 #: v2: DesResult normalized onto the shared SimulationOutcome schema
 #: (resource_utilization + scenario identity + rate fields).
-CACHE_VERSION = 2
+#: v3: the deprecated ``station_utilization`` alias is gone from
+#: DesResult payloads, and the service layer stores whole-response
+#: payloads keyed by request fingerprint in the same store.
+CACHE_VERSION = 3
 
 
 # -- canonical fingerprinting ------------------------------------------------
@@ -104,13 +109,16 @@ def memoized(key: Any, factory: Callable[[], Any]) -> Any:
     ``key`` must be hashable (frozen config dataclasses are); the value
     is shared by every caller, so factories must produce objects that
     are treated as read-only by convention.
+
+    Reentrancy: concurrent service threads may race the first build of a
+    key.  Both builds are valid (factories are pure), and ``setdefault``
+    guarantees every caller still ends up sharing the *same* canonical
+    object — the loser's copy is dropped.
     """
     try:
         return _MEMO[key]
     except KeyError:
-        value = factory()
-        _MEMO[key] = value
-        return value
+        return _MEMO.setdefault(key, factory())
 
 
 def clear_memo() -> None:
@@ -120,6 +128,124 @@ def clear_memo() -> None:
 
 def memo_size() -> int:
     return len(_MEMO)
+
+
+# -- cross-process locking ---------------------------------------------------
+
+
+class LockTimeout(ConfigError):
+    """A :class:`CacheLock` could not be acquired within its timeout."""
+
+
+class CacheLock:
+    """Single-writer advisory lock for a shared cache directory.
+
+    Implemented as an atomically-created lock *directory* (``os.mkdir``
+    is atomic on POSIX and Windows alike) stamped with the owner's pid.
+    A lock whose owner process is dead, or whose stamp is older than
+    ``stale_after`` seconds, is **reclaimed**: the contender atomically
+    renames the stale lock aside (only one renamer can win) and retries,
+    so a writer killed mid-put can never wedge the cache.
+
+    Usage::
+
+        with CacheLock(path.with_suffix(".lock")):
+            ...  # single writer for the guarded entry
+    """
+
+    def __init__(
+        self,
+        path: os.PathLike,
+        timeout: float = 10.0,
+        stale_after: float = 30.0,
+        poll: float = 0.005,
+    ) -> None:
+        self.path = Path(path)
+        self.timeout = timeout
+        self.stale_after = stale_after
+        self.poll = poll
+
+    def _stamp(self) -> None:
+        try:
+            (self.path / "owner").write_text(str(os.getpid()))
+        except OSError:
+            pass
+
+    def _is_stale(self) -> bool:
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return False  # vanished: owner released it, not stale
+        if age > self.stale_after:
+            return True
+        try:
+            pid = int((self.path / "owner").read_text())
+        except (OSError, ValueError):
+            # Not yet stamped; judge by age alone (above).
+            return False
+        if pid == os.getpid():
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True  # owner died without releasing
+        except (PermissionError, OSError):
+            return False
+        return False
+
+    def _reclaim(self) -> None:
+        """Atomically move the stale lock aside and delete it; only one
+        contender's rename can succeed, so reclaim itself never races."""
+        trash = self.path.with_name(
+            f"{self.path.name}.stale-{os.getpid()}-{time.monotonic_ns()}"
+        )
+        try:
+            os.rename(self.path, trash)
+        except OSError:
+            return  # someone else reclaimed (or the owner released)
+        obs.inc("cache.locks_reclaimed")
+        try:
+            for child in trash.iterdir():
+                child.unlink()
+            trash.rmdir()
+        except OSError:
+            pass
+
+    def acquire(self) -> "CacheLock":
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                os.mkdir(self.path)
+                self._stamp()
+                obs.inc("cache.locks_acquired")
+                return self
+            except FileExistsError:
+                if self._is_stale():
+                    self._reclaim()
+                    continue
+                if time.monotonic() >= deadline:
+                    raise LockTimeout(
+                        f"could not acquire cache lock {self.path} within "
+                        f"{self.timeout:g}s (live owner holds it)"
+                    ) from None
+                time.sleep(self.poll)
+
+    def release(self) -> None:
+        try:
+            (self.path / "owner").unlink()
+        except OSError:
+            pass
+        try:
+            os.rmdir(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "CacheLock":
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
 
 
 # -- persistent result cache -------------------------------------------------
@@ -146,15 +272,42 @@ class ResultCache:
     not echo its own key are *discarded* (the file is deleted and the
     lookup reports a miss) rather than raised — a corrupted cache must
     never poison or crash a sweep.
+
+    Concurrency: reads are always safe (writes land via atomic rename,
+    and a torn or half-written entry fails validation and reports a
+    miss).  With ``locked=True`` every ``put`` additionally takes a
+    per-key :class:`CacheLock`, making the directory safe to **share
+    between processes** (the service's shared tier): exactly one writer
+    touches an entry at a time, and a lock orphaned by a killed writer
+    is reclaimed instead of wedging the store.
     """
 
-    def __init__(self, directory: os.PathLike, version: int = CACHE_VERSION):
+    def __init__(
+        self,
+        directory: os.PathLike,
+        version: int = CACHE_VERSION,
+        locked: bool = False,
+        lock_timeout: float = 10.0,
+        lock_stale_after: float = 30.0,
+    ):
         self.directory = Path(directory)
         self.version = version
+        self.locked = locked
+        self.lock_timeout = lock_timeout
+        self.lock_stale_after = lock_stale_after
         self.stats = CacheStats()
 
     def _path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.json"
+
+    def lock(self, key: str) -> CacheLock:
+        """The per-entry writer lock (independent of ``locked`` mode)."""
+        path = self._path(key)
+        return CacheLock(
+            path.with_name(path.name + ".lock"),
+            timeout=self.lock_timeout,
+            stale_after=self.lock_stale_after,
+        )
 
     def get(self, key: str) -> Optional[dict]:
         """The cached payload for ``key``, or None on miss."""
@@ -190,24 +343,30 @@ class ResultCache:
             return entry["result"]
 
     def put(self, key: str, result: dict) -> None:
-        """Store ``result`` (a JSON-encodable dict) under ``key``."""
+        """Store ``result`` (a JSON-encodable dict) under ``key``.
+
+        In ``locked`` mode the write holds the per-key
+        :class:`CacheLock`, so concurrent processes sharing the
+        directory serialize on the entry (single writer)."""
         path = self._path(key)
         with obs.span("cache.put", cat="cache"):
             path.parent.mkdir(parents=True, exist_ok=True)
-            entry = {"version": self.version, "key": key, "result": result}
-            fd, tmp = tempfile.mkstemp(
-                prefix=".tmp-", suffix=".json", dir=path.parent
-            )
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    json.dump(entry, handle)
-                os.replace(tmp, path)
-            except OSError:
+            guard = self.lock(key) if self.locked else contextlib.nullcontext()
+            with guard:
+                entry = {"version": self.version, "key": key, "result": result}
+                fd, tmp = tempfile.mkstemp(
+                    prefix=".tmp-", suffix=".json", dir=path.parent
+                )
                 try:
-                    os.unlink(tmp)
+                    with os.fdopen(fd, "w") as handle:
+                        json.dump(entry, handle)
+                    os.replace(tmp, path)
                 except OSError:
-                    pass
-                raise
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
         self.stats.stores += 1
         obs.inc("cache.stores")
 

@@ -24,11 +24,24 @@ Commands:
   mode deterministically and verify bit-identical recovery; with
   ``--fail DEVICE:T0[:T1]`` it prices a time-varying fault schedule as
   a piecewise degraded-throughput timeline instead.
+* ``serve``    — run the simulation service (:mod:`repro.service`):
+  an asyncio TCP server with request coalescing, admission control and
+  per-tenant quotas in front of the facade.
+* ``client``   — talk to a running service: ``client simulate`` prices
+  a scenario remotely, ``client stats`` / ``client ping`` are the admin
+  ops.
+* ``bench-service`` — the service load test: concurrent clients replay
+  a duplicate-heavy trace, every response is checked bit-identical to a
+  direct facade call, and p50/p99 latency is gated against the
+  committed baseline.
 * ``workloads`` — print Table I.
 
-``simulate``/``sweep``/``ladder`` accept ``--trace PATH`` and
-``--metrics PATH`` to export the same artifacts from any run.  All
-scenario evaluation goes through the :mod:`repro.api` facade.
+``simulate``/``sweep``/``ladder`` share one flag vocabulary (scenario,
+engine, ``--jobs``/``--cache-dir``, ``--trace``/``--metrics``) built
+from common argparse parents, and ``simulate``/``sweep`` construct the
+versioned :mod:`repro.api` request objects explicitly — the CLI speaks
+the same wire schema the service does.  All scenario evaluation goes
+through the :mod:`repro.api` facade.
 """
 
 from __future__ import annotations
@@ -74,16 +87,24 @@ def _export_instruments(args, tracer, registry) -> None:
         print(f"metrics manifest written: {args.metrics}")
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    tracer, registry = _instruments(args)
-    result = api.simulate(
+def _request(args: argparse.Namespace) -> "api.SimulationRequest":
+    """The versioned request object a scenario command denotes."""
+    return api.SimulationRequest(
         args.workload,
         _arch(args.arch),
         args.accelerators,
         engine=args.engine,
-        batch_size=args.batch,
+        batch_size=getattr(args, "batch", None),
+    )
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    tracer, registry = _instruments(args)
+    result = api.simulate(
+        _request(args),
         trace=tracer,
         metrics=registry,
+        cache=args.cache_dir,
     )
     print(f"workload      : {result.workload_name}")
     print(f"architecture  : {result.arch_name}")
@@ -107,21 +128,24 @@ def _sweep_cache(args: argparse.Namespace):
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.core.sweeps import SCALE_LADDER, SweepSpec
+    from repro.core.sweeps import SCALE_LADDER
 
-    workload = get_workload(args.workload)
-    arch = _arch(args.arch)
     scales = tuple(n for n in SCALE_LADDER if n <= args.accelerators)
     if not scales:
         scales = (args.accelerators,)
-    spec = SweepSpec(
-        workloads=(workload,), archs=(arch,), scales=scales,
-        engine=args.engine,
-    )
+    try:
+        request = api.SweepRequest(
+            workloads=(args.workload,),
+            archs=(args.arch,),
+            scales=scales,
+            engine=args.engine,
+        )
+    except ConfigError as exc:
+        raise SystemExit(str(exc)) from None
     tracer, registry = _instruments(args)
     with obs.session(tracer=tracer):
         outcome = api.sweep(
-            spec, n_jobs=args.jobs, cache=_sweep_cache(args),
+            request, n_jobs=args.jobs, cache=_sweep_cache(args),
             metrics=registry,
         )
     one = outcome.results[0].throughput
@@ -152,10 +176,13 @@ def _cmd_ladder(args: argparse.Namespace) -> int:
     from repro.core.sweeps import SweepSpec
 
     workload = get_workload(args.workload)
+    # The figure-19 ladder configs carry no ARCH_BUILDERS aliases, so
+    # this command keeps speaking SweepSpec rather than a wire request.
     spec = SweepSpec(
         workloads=(workload,),
         archs=tuple(ArchitectureConfig.figure19_ladder()),
         scales=(args.accelerators,),
+        engine=args.engine,
     )
     tracer, registry = _instruments(args)
     with obs.session(tracer=tracer):
@@ -666,6 +693,139 @@ def _chaos_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_config(args: argparse.Namespace):
+    import math
+
+    from repro.service import ServiceConfig
+
+    return ServiceConfig(
+        max_workers=args.workers,
+        max_pending=args.max_pending,
+        memo_entries=args.memo,
+        quota_rate=math.inf if args.quota_rate is None else args.quota_rate,
+        quota_burst=args.quota_burst,
+        cache_dir=args.cache_dir,
+        shared_dir=args.shared_dir,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    try:
+        serve(_service_config(args), host=args.host, port=args.port)
+    except ConfigError as exc:
+        raise SystemExit(str(exc)) from None
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceClient
+
+    try:
+        with ServiceClient(
+            args.host, args.port, tenant=args.tenant
+        ) as client:
+            if args.action == "ping":
+                response = client.ping()
+                print(json.dumps(response, indent=2, sort_keys=True))
+                return 0 if response.get("status") == "ok" else 1
+            if args.action == "stats":
+                stats = client.stats()
+                print(json.dumps(stats, indent=2, sort_keys=True))
+                return 0
+            # action == "simulate": price one scenario remotely.
+            if args.workload is None:
+                raise SystemExit("client simulate needs a workload name")
+            request = _request(args)
+            response = client.call(request, profile=args.profile)
+            if response.get("status") != "ok":
+                error = response.get("error") or {}
+                print(
+                    f"{response.get('status')}: {error.get('code')}: "
+                    f"{error.get('message')}",
+                    file=sys.stderr,
+                )
+                return 1
+            if args.json:
+                print(json.dumps(response, indent=2, sort_keys=True))
+                return 0
+            result = response["payload"]["result"]
+            meta = response.get("meta", {})
+            print(f"workload      : {result['workload_name']}")
+            print(f"architecture  : {result['arch_name']}")
+            print(f"engine        : {request.engine}")
+            print(f"accelerators  : {result['n_accelerators']}")
+            print(f"throughput    : {result['throughput']:,.0f} samples/s")
+            print(f"bottleneck    : {result['bottleneck']}")
+            print(f"served by     : {meta.get('served_by')}")
+            if args.profile and "spans" in meta:
+                rows = [
+                    [name, count, f"{total_ms:.3f}"]
+                    for name, count, total_ms in meta["spans"]
+                ]
+                print(format_table(["span", "count", "total ms"], rows))
+            return 0
+    except ConfigError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _cmd_bench_service(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro import perf
+    from repro.service import ServiceConfig, run_load_test
+
+    baseline_path = Path(args.baseline)
+    config = ServiceConfig(
+        max_workers=args.workers,
+        max_pending=max(64, args.clients * 64),
+    )
+    try:
+        report = run_load_test(
+            n_clients=args.clients, dup_factor=args.dup, config=config
+        )
+    except ConfigError as exc:
+        print(f"SERVICE GATE  {exc}", file=sys.stderr)
+        return 1
+    print(report.summary())
+
+    measurements = report.measurements()
+    baseline = perf.load_baseline(baseline_path)
+    rows = []
+    for m in measurements:
+        ref = baseline.get(m.name)
+        rows.append(
+            [
+                m.name,
+                f"{m.best_seconds * 1000:.2f}",
+                f"{m.samples_per_s:,.1f}",
+                f"{ref:,.1f}" if ref else "-",
+            ]
+        )
+    print(format_table(["benchmark", "best ms", "rate/s", "baseline"], rows))
+
+    if args.update:
+        perf.save_baseline(baseline_path, measurements)
+        print(f"baseline updated: {baseline_path}")
+        return 0
+    if not baseline:
+        print(f"no baseline at {baseline_path}; run with --update to record one")
+        return 0
+    failures = perf.regressions(measurements, baseline)
+    for line in failures:
+        print(f"REGRESSION  {line}", file=sys.stderr)
+    if failures:
+        return 1
+    print(
+        f"service latencies within {100 * perf.tolerance():.0f}% of "
+        f"baseline; every response bit-identical to the direct facade call"
+    )
+    return 0
+
+
 def _cmd_workloads(_args: argparse.Namespace) -> int:
     rows = [
         [
@@ -692,54 +852,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("workload", help="Table I workload name (e.g. Resnet-50)")
-        p.add_argument(
-            "-n", "--accelerators", type=int, default=256,
-            help="NN accelerator count (default 256)",
-        )
+    # Shared flag vocabulary: one argparse parent per group, composed
+    # per command, so simulate/sweep/ladder (and trace/profile) can
+    # never drift apart in spelling, defaults or help text.
+    scenario_p = argparse.ArgumentParser(add_help=False)
+    scenario_p.add_argument(
+        "workload", help="Table I workload name (e.g. Resnet-50)"
+    )
+    scenario_p.add_argument(
+        "-n", "--accelerators", type=int, default=256,
+        help="NN accelerator count (default 256)",
+    )
 
-    def engine_opt(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "-e", "--engine", default="analytical",
-            choices=list(api.ENGINE_NAMES),
-            help="simulation engine (default analytical)",
+    # argparse parents share Action objects, so a per-command default
+    # needs a per-default parent (set_defaults would mutate the shared
+    # Action and leak the override into every sibling command).
+    def arch_parent(default: str) -> argparse.ArgumentParser:
+        ap = argparse.ArgumentParser(add_help=False)
+        ap.add_argument(
+            "-a", "--arch", default=default,
+            help=f"one of {sorted(_ARCHS)} (default {default})",
         )
+        return ap
 
-    def obs_opts(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "--trace", default=None, metavar="PATH",
-            help="record a trace and write Chrome trace_event JSON here",
-        )
-        p.add_argument(
-            "--metrics", default=None, metavar="PATH",
-            help="collect counters and write the run manifest JSON here",
-        )
+    arch_p = arch_parent("trainbox")
+    arch_baseline_p = arch_parent("baseline")
 
-    p = sub.add_parser("simulate", help="simulate one scenario")
-    common(p)
-    p.add_argument("-a", "--arch", default="trainbox", help=f"one of {sorted(_ARCHS)}")
-    p.add_argument("-b", "--batch", type=int, default=None, help="per-device batch")
-    engine_opt(p)
-    obs_opts(p)
+    batch_p = argparse.ArgumentParser(add_help=False)
+    batch_p.add_argument(
+        "-b", "--batch", type=int, default=None, help="per-device batch"
+    )
+
+    engine_p = argparse.ArgumentParser(add_help=False)
+    engine_p.add_argument(
+        "-e", "--engine", default="analytical",
+        choices=list(api.ENGINE_NAMES),
+        help="simulation engine (default analytical)",
+    )
+
+    obs_p = argparse.ArgumentParser(add_help=False)
+    obs_p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a trace and write Chrome trace_event JSON here",
+    )
+    obs_p.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="collect counters and write the run manifest JSON here",
+    )
+
+    cache_p = argparse.ArgumentParser(add_help=False)
+    cache_p.add_argument(
+        "--cache-dir", default=None,
+        help="persistent result-cache directory (off by default)",
+    )
+
+    jobs_p = argparse.ArgumentParser(add_help=False)
+    jobs_p.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for uncached points (default 1)",
+    )
+
+    p = sub.add_parser(
+        "simulate", help="simulate one scenario",
+        parents=[scenario_p, arch_p, batch_p, engine_p, cache_p, obs_p],
+    )
     p.set_defaults(func=_cmd_simulate)
 
-    def sweep_opts(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "-j", "--jobs", type=int, default=1,
-            help="worker processes for uncached points (default 1)",
-        )
-        p.add_argument(
-            "--cache-dir", default=None,
-            help="persistent result-cache directory (off by default)",
-        )
-        obs_opts(p)
-
-    p = sub.add_parser("sweep", help="throughput vs accelerator count")
-    common(p)
-    p.add_argument("-a", "--arch", default="baseline")
-    engine_opt(p)
-    sweep_opts(p)
+    p = sub.add_parser(
+        "sweep", help="throughput vs accelerator count",
+        parents=[scenario_p, arch_baseline_p, engine_p, jobs_p, cache_p, obs_p],
+    )
     p.add_argument(
         "--explain-batch", action="store_true",
         help="print which path (batch kernel / scalar / cache) served "
@@ -747,19 +929,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_sweep)
 
-    p = sub.add_parser("ladder", help="the Figure 19 optimization ladder")
-    common(p)
-    sweep_opts(p)
+    p = sub.add_parser(
+        "ladder", help="the Figure 19 optimization ladder",
+        parents=[scenario_p, engine_p, jobs_p, cache_p, obs_p],
+    )
     p.set_defaults(func=_cmd_ladder)
 
     p = sub.add_parser(
         "trace",
         help="trace one scenario and export Chrome trace_event JSON",
+        parents=[scenario_p, arch_p, batch_p, engine_p],
     )
-    common(p)
-    p.add_argument("-a", "--arch", default="trainbox", help=f"one of {sorted(_ARCHS)}")
-    p.add_argument("-b", "--batch", type=int, default=None, help="per-device batch")
-    engine_opt(p)
     p.add_argument(
         "--out", default="trace.json", metavar="PATH",
         help="output trace path (default trace.json)",
@@ -769,11 +949,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "profile",
         help="run one scenario instrumented; print top spans and counters",
+        parents=[scenario_p, arch_p, batch_p, engine_p],
     )
-    common(p)
-    p.add_argument("-a", "--arch", default="trainbox", help=f"one of {sorted(_ARCHS)}")
-    p.add_argument("-b", "--batch", type=int, default=None, help="per-device batch")
-    engine_opt(p)
     p.add_argument(
         "--top", type=int, default=10,
         help="how many span aggregates to show (default 10)",
@@ -784,8 +961,8 @@ def build_parser() -> argparse.ArgumentParser:
         "plan",
         help="train-initializer plan (prep-pool sizing); "
         "'plan describe <pipeline>' prints a compiled prep plan",
+        parents=[scenario_p],
     )
-    common(p)
     p.add_argument("--items", type=int, default=1_000_000, help="dataset items")
     p.add_argument(
         "pipeline", nargs="?", default="image",
@@ -801,13 +978,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_plan)
 
-    p = sub.add_parser("report", help="full session report (use --json for machines)")
-    common(p)
-    p.add_argument(
-        "-a", "--arch", default="trainbox",
-        help="baseline | trainbox | trainbox-no-pool",
+    p = sub.add_parser(
+        "report", help="full session report (use --json for machines)",
+        parents=[scenario_p, arch_p, batch_p],
     )
-    p.add_argument("-b", "--batch", type=int, default=None)
     p.add_argument("--json", action="store_true", help="emit JSON")
     p.set_defaults(func=_cmd_report)
 
@@ -925,12 +1099,109 @@ def build_parser() -> argparse.ArgumentParser:
         "-n", "--accelerators", type=int, default=32,
         help="accelerator count for --fail pricing (default 32)",
     )
-    engine_opt(p)
+    p.add_argument(
+        "-e", "--engine", default="analytical",
+        choices=list(api.ENGINE_NAMES),
+        help="simulation engine (default analytical)",
+    )
     p.add_argument(
         "--horizon", type=float, default=60.0,
         help="schedule pricing horizon seconds (default 60)",
     )
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the simulation service (asyncio TCP, NDJSON protocol)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=7543, help="bind port")
+    p.add_argument(
+        "--workers", type=int, default=4, help="engine threads (default 4)"
+    )
+    p.add_argument(
+        "--max-pending", type=int, default=64,
+        help="admission-control bound on queued+running computations; "
+        "beyond it requests get a backpressure rejection (default 64)",
+    )
+    p.add_argument(
+        "--memo", type=int, default=512,
+        help="in-process memo entries (default 512)",
+    )
+    p.add_argument(
+        "--quota-rate", type=float, default=None,
+        help="per-tenant requests/s token-bucket rate (default unlimited)",
+    )
+    p.add_argument(
+        "--quota-burst", type=float, default=256.0,
+        help="per-tenant burst capacity (default 256)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="private on-disk result tier for this server",
+    )
+    p.add_argument(
+        "--shared-dir", default=None,
+        help="shared cross-process result tier (single-writer locking)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="talk to a running simulation service",
+        parents=[arch_p, batch_p, engine_p],
+    )
+    p.add_argument(
+        "action", choices=["simulate", "stats", "ping"],
+        help="simulate a scenario remotely, or an admin op",
+    )
+    p.add_argument(
+        "workload", nargs="?", default=None,
+        help="Table I workload name (for 'simulate')",
+    )
+    p.add_argument(
+        "-n", "--accelerators", type=int, default=256,
+        help="NN accelerator count (default 256)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="service address")
+    p.add_argument("--port", type=int, default=7543, help="service port")
+    p.add_argument("--tenant", default="cli", help="tenant id for quotas")
+    p.add_argument(
+        "--profile", action="store_true",
+        help="ask the server for a per-request span summary",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="print the raw response envelope"
+    )
+    p.set_defaults(func=_cmd_client)
+
+    p = sub.add_parser(
+        "bench-service",
+        help="service load test (concurrent clients, duplicate-heavy "
+        "trace, bit-identity gate) vs the committed latency baseline",
+    )
+    p.add_argument(
+        "--baseline",
+        default="benchmarks/baselines/service_latency.json",
+        help="baseline JSON path",
+    )
+    p.add_argument(
+        "--clients", type=int, default=16,
+        help="concurrent client threads (default 16)",
+    )
+    p.add_argument(
+        "--dup", type=int, default=2,
+        help="copies of every unique request; 2 makes half the trace "
+        "duplicates (default 2)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4,
+        help="server engine threads (default 4)",
+    )
+    p.add_argument(
+        "--update", action="store_true", help="rewrite the baseline and exit"
+    )
+    p.set_defaults(func=_cmd_bench_service)
 
     p = sub.add_parser("workloads", help="print Table I")
     p.set_defaults(func=_cmd_workloads)

@@ -43,7 +43,6 @@ from __future__ import annotations
 
 import dataclasses
 import math
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -119,8 +118,7 @@ class DesResult(SimulationOutcome):
     with the other engines: ``throughput``/``prep_rate``/``consume_rate``
     /``bottleneck`` plus the derived ``prep_bound``/``iteration_time``/
     ``speedup_over``.  ``resource_utilization`` maps each station to its
-    measured busy fraction (the old ``station_utilization`` name is a
-    deprecated alias for one release).
+    measured busy fraction.
     """
 
     throughput: float
@@ -137,17 +135,6 @@ class DesResult(SimulationOutcome):
     prep_rate: float = math.inf
     consume_rate: float = 0.0
     bottleneck: str = ""
-
-    @property
-    def station_utilization(self) -> Dict[str, float]:
-        """Deprecated alias for :attr:`resource_utilization`."""
-        warnings.warn(
-            "DesResult.station_utilization is deprecated; use "
-            "resource_utilization (removal after one release)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.resource_utilization
 
     def relative_error(self, analytical_throughput: float) -> float:
         if analytical_throughput <= 0:
@@ -193,14 +180,11 @@ class DesResult(SimulationOutcome):
 
     @classmethod
     def from_dict(cls, data: Dict) -> "DesResult":
-        utilization = data.get(
-            "resource_utilization", data.get("station_utilization", {})
-        )
         return cls(
             throughput=data["throughput"],
             iterations=data["iterations"],
             makespan=data["makespan"],
-            resource_utilization=dict(utilization),
+            resource_utilization=dict(data["resource_utilization"]),
             stations=tuple(
                 Station(name, rate, servers=servers)
                 for name, rate, servers in data["stations"]

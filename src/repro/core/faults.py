@@ -186,6 +186,25 @@ class TimelineSegment:
     def samples(self) -> float:
         return self.throughput * self.duration
 
+    def to_dict(self) -> Dict:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "failed": list(self.failed),
+            "throughput": self.throughput,
+            "bottleneck": self.bottleneck,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TimelineSegment":
+        return cls(
+            start=data["start"],
+            end=data["end"],
+            failed=tuple(data["failed"]),
+            throughput=data["throughput"],
+            bottleneck=data["bottleneck"],
+        )
+
 
 @dataclass(frozen=True)
 class DegradedTimeline:
@@ -226,6 +245,18 @@ class DegradedTimeline:
             if seg.start <= t < seg.end:
                 return seg.throughput
         raise ConfigError(f"time {t} outside the priced horizon")
+
+    def to_dict(self) -> Dict:
+        """JSON-encodable form (the service wire payload; floats
+        round-trip through JSON exactly, so a served timeline is
+        bit-for-bit the priced one)."""
+        return {"segments": [s.to_dict() for s in self.segments]}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DegradedTimeline":
+        return cls(
+            tuple(TimelineSegment.from_dict(s) for s in data["segments"])
+        )
 
 
 def price_schedule(

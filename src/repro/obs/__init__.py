@@ -15,8 +15,10 @@ One subsystem, three faces:
 
 The whole layer is **zero-overhead when disabled**: nothing is active
 unless a :func:`session` installs a tracer and/or registry, and every
-helper's disabled path is a single global load and branch — no
-allocation, no clock read (a test pins the no-op behaviour).
+helper's disabled path is a single thread-local load and branch — no
+allocation, no clock read (a test pins the no-op behaviour).  Sessions
+are **per-thread**: the service layer runs concurrent requests on a
+thread pool, each under its own hermetic instruments.
 
 Usage::
 
@@ -33,6 +35,7 @@ Usage::
 from __future__ import annotations
 
 import functools
+import threading
 from typing import Any, Optional
 
 from repro.obs.metrics import (
@@ -78,11 +81,13 @@ __all__ = [
     "validate_manifest",
 ]
 
-# Active instruments.  Module globals (not thread-locals): the simulators
-# are single-threaded per process, and sweep workers are separate
+# Active instruments, per thread.  Thread-local (not module-global): the
+# service layer (:mod:`repro.service`) runs concurrent requests on a
+# thread pool, each under its own hermetic session, so one request's
+# instruments must never observe another's engine run.  Single-threaded
+# callers see exactly the old behaviour, and sweep workers are separate
 # processes that start with both disabled.
-_TRACER: Optional[Tracer] = None
-_METRICS: Optional[MetricsRegistry] = None
+_STATE = threading.local()
 
 
 class _NullSpan:
@@ -101,11 +106,11 @@ _NULL_SPAN = _NullSpan()
 
 
 def current_tracer() -> Optional[Tracer]:
-    return _TRACER
+    return getattr(_STATE, "tracer", None)
 
 
 def current_metrics() -> Optional[MetricsRegistry]:
-    return _METRICS
+    return getattr(_STATE, "metrics", None)
 
 
 class session:
@@ -126,22 +131,20 @@ class session:
         self._saved = (None, None)
 
     def __enter__(self) -> "session":
-        global _TRACER, _METRICS
-        self._saved = (_TRACER, _METRICS)
+        self._saved = (current_tracer(), current_metrics())
         if self._tracer is not None:
-            _TRACER = self._tracer
+            _STATE.tracer = self._tracer
         if self._metrics is not None:
-            _METRICS = self._metrics
+            _STATE.metrics = self._metrics
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        global _TRACER, _METRICS
-        _TRACER, _METRICS = self._saved
+        _STATE.tracer, _STATE.metrics = self._saved
 
 
 def span(name: str, cat: str = "span", **args: Any):
     """A wall span on the active tracer, or a shared no-op when disabled."""
-    tracer = _TRACER
+    tracer = getattr(_STATE, "tracer", None)
     if tracer is None:
         return _NULL_SPAN
     return tracer.span(name, cat=cat, **args)
@@ -149,28 +152,28 @@ def span(name: str, cat: str = "span", **args: Any):
 
 def model_span(name: str, start: float, end: float, **kwargs: Any) -> None:
     """Record a simulated-time span when tracing is active."""
-    tracer = _TRACER
+    tracer = getattr(_STATE, "tracer", None)
     if tracer is not None:
         tracer.add_model_span(name, start, end, **kwargs)
 
 
 def instant(name: str, cat: str = "event", **args: Any) -> None:
     """Record an instant event when tracing is active."""
-    tracer = _TRACER
+    tracer = getattr(_STATE, "tracer", None)
     if tracer is not None:
         tracer.instant(name, cat=cat, **args)
 
 
 def inc(name: str, value: int = 1) -> None:
     """Bump a counter when metrics are active."""
-    metrics = _METRICS
+    metrics = getattr(_STATE, "metrics", None)
     if metrics is not None:
         metrics.inc(name, value)
 
 
 def observe(name: str, value: float) -> None:
     """Record a histogram sample when metrics are active."""
-    metrics = _METRICS
+    metrics = getattr(_STATE, "metrics", None)
     if metrics is not None:
         metrics.observe(name, value)
 
@@ -188,7 +191,7 @@ def profiled(name: Optional[str] = None, cat: str = "profile"):
 
         @functools.wraps(fn)
         def wrapper(*args: Any, **kwargs: Any):
-            tracer = _TRACER
+            tracer = getattr(_STATE, "tracer", None)
             if tracer is None:
                 return fn(*args, **kwargs)
             with tracer.span(label, cat=cat):

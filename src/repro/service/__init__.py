@@ -1,0 +1,53 @@
+"""``repro.service`` — simulation-as-a-service.
+
+An asyncio TCP server (:mod:`~repro.service.server`) exposing the
+:mod:`repro.api` facade to concurrent multi-tenant clients over a
+newline-delimited JSON protocol (:mod:`~repro.service.protocol`), with
+single-flight request coalescing, admission control with backpressure,
+per-tenant token-bucket quotas and a tiered result lookup (in-process
+memo → private disk cache → shared locked cache).  A small synchronous
+client (:mod:`~repro.service.client`) and a load-test harness
+(:mod:`~repro.service.bench`) ride along; ``repro serve`` /
+``repro client`` / ``repro bench-service`` are the CLI entries.
+
+See ``docs/service.md`` for the protocol and operational semantics.
+"""
+
+from repro.service.bench import LoadReport, mixed_trace, run_load_test
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from repro.service.server import (
+    ServerThread,
+    ServiceConfig,
+    SimulationServer,
+    SimulationService,
+    TokenBucket,
+    execute_request,
+    serve,
+)
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL",
+    "LoadReport",
+    "ProtocolError",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SimulationServer",
+    "SimulationService",
+    "TokenBucket",
+    "decode_frame",
+    "encode_frame",
+    "execute_request",
+    "mixed_trace",
+    "run_load_test",
+    "serve",
+]

@@ -1,0 +1,314 @@
+"""Service load harness: N concurrent clients replaying a mixed trace.
+
+The gate behind ``repro bench-service`` and
+``benchmarks/bench_service.py``.  A :class:`~repro.service.server.
+ServerThread` is started fresh (empty memo, optional empty disk tier), a
+deterministic trace of unique requests is inflated with duplicates and
+dealt round-robin to ``n_clients`` threads, and every response is
+checked **bit-identical** against a direct :func:`~repro.service.server.
+execute_request` evaluation of the same request object — the service
+may change *when* a result is computed, never *what*.
+
+Because the server starts cold, the accounting is deterministic whatever
+the interleaving: every unique request is computed exactly once
+(``computed == unique``) and every duplicate is served without engine
+work — ``coalesced`` when it overlapped the computation in flight,
+``memo`` when it arrived after — so ``coalesced + memo == duplicates``.
+Latency lands in the committed baseline as rates (1/p50, 1/p99) so the
+existing :mod:`repro.perf` regression machinery gates it unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro import api
+from repro.errors import ConfigError
+from repro.perf import Measurement
+from repro.service.client import ServiceClient
+from repro.service.server import (
+    ServerThread,
+    ServiceConfig,
+    execute_request,
+)
+
+__all__ = [
+    "BASELINE_PATH",
+    "LoadReport",
+    "mixed_trace",
+    "run_load_test",
+]
+
+#: Where the committed service latency baseline lives.
+BASELINE_PATH = (
+    Path(__file__).resolve().parents[3]
+    / "benchmarks"
+    / "baselines"
+    / "service_latency.json"
+)
+
+
+def mixed_trace() -> List:
+    """The deterministic unique-request trace the load test replays.
+
+    A realistic mix: mostly cheap analytical simulates across several
+    workloads/architectures/scales, a couple of DES runs (the expensive
+    tail that makes coalescing visible), one small sweep and one
+    fault-schedule pricing.
+    """
+    requests: List = []
+    for workload in ("Resnet-50", "VGG-19", "RNN-S", "Transformer-SR"):
+        for arch in ("baseline", "trainbox"):
+            for scale in (16, 64, 256):
+                requests.append(
+                    api.SimulationRequest(workload, arch, scale)
+                )
+    requests.append(
+        api.SimulationRequest(
+            "Resnet-50", "trainbox", 16, engine="des", des_iterations=12
+        )
+    )
+    requests.append(
+        api.SimulationRequest(
+            "Inception-v4", "trainbox", 32, engine="des", des_iterations=12
+        )
+    )
+    requests.append(
+        api.SweepRequest(
+            workloads=("Resnet-50", "RNN-L"),
+            archs=("baseline", "trainbox"),
+            scales=(16, 64),
+        )
+    )
+    from repro.core.server import build_server
+
+    server = build_server(api.resolve_arch("trainbox"), 16)
+    fpga = server.boxes[0].prep_ids[0]
+    requests.append(
+        api.FaultScheduleRequest(
+            "Resnet-50",
+            "trainbox",
+            16,
+            events=((fpga, 10.0, 40.0),),
+            horizon=60.0,
+        )
+    )
+    return requests
+
+
+def _shuffled(items: List, seed: int) -> List:
+    """Deterministic shuffle (LCG Fisher–Yates, independent of the
+    global RNG state)."""
+    out = list(items)
+    state = seed & 0xFFFFFFFF
+    for i in range(len(out) - 1, 0, -1):
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        j = state % (i + 1)
+        out[i], out[j] = out[j], out[i]
+    return out
+
+
+@dataclass
+class LoadReport:
+    """What one load-test run measured."""
+
+    n_clients: int
+    total: int
+    unique: int
+    duplicates: int
+    computed: int
+    coalesced: int
+    memo_hits: int
+    disk_hits: int
+    errors: int
+    rejected: int
+    wall_seconds: float
+    latencies: List[float] = field(repr=False)
+
+    @property
+    def p50_seconds(self) -> float:
+        return self._quantile(0.50)
+
+    @property
+    def p99_seconds(self) -> float:
+        return self._quantile(0.99)
+
+    def _quantile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Fraction of duplicate requests served by single-flight."""
+        if self.duplicates <= 0:
+            return 0.0
+        return self.coalesced / self.duplicates
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of all requests served without an engine run."""
+        if self.total <= 0:
+            return 0.0
+        return (
+            self.coalesced + self.memo_hits + self.disk_hits
+        ) / self.total
+
+    @property
+    def requests_per_s(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.total / self.wall_seconds
+
+    def measurements(self) -> List[Measurement]:
+        """The latency figures as :mod:`repro.perf` rate measurements
+        (1/latency, so 'samples per second' still means faster=bigger
+        and the standard regression tolerance applies unchanged)."""
+        return [
+            Measurement("service_p50_rate", 1, self.p50_seconds),
+            Measurement("service_p99_rate", 1, self.p99_seconds),
+            Measurement("service_throughput", self.total, self.wall_seconds),
+        ]
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} requests ({self.unique} unique, "
+            f"{self.duplicates} duplicates) over {self.n_clients} clients "
+            f"in {self.wall_seconds:.2f}s — "
+            f"p50 {self.p50_seconds * 1e3:.1f} ms, "
+            f"p99 {self.p99_seconds * 1e3:.1f} ms, "
+            f"computed {self.computed}, coalesced {self.coalesced}, "
+            f"memo {self.memo_hits}, "
+            f"coalesce ratio {self.coalesce_ratio:.0%}, "
+            f"cache-hit ratio {self.cache_hit_ratio:.0%}"
+        )
+
+
+def run_load_test(
+    n_clients: int = 16,
+    dup_factor: int = 2,
+    config: Optional[ServiceConfig] = None,
+    seed: int = 17,
+    check_identity: bool = True,
+) -> LoadReport:
+    """Replay the mixed trace from ``n_clients`` concurrent clients.
+
+    ``dup_factor`` copies of every unique request are interleaved
+    (``dup_factor=2`` → 50% duplicates), so both the coalescing path
+    and the memo path are exercised.  With ``check_identity`` every
+    response payload is compared — canonical JSON, hence bit-for-bit —
+    against a direct in-process :func:`execute_request` evaluation, and
+    the cold-start accounting invariants are asserted:
+    ``computed == unique`` and ``coalesced + memo == duplicates``.
+    """
+    if n_clients < 1:
+        raise ConfigError("n_clients must be >= 1")
+    if dup_factor < 1:
+        raise ConfigError("dup_factor must be >= 1")
+    unique = mixed_trace()
+    trace = _shuffled(unique * dup_factor, seed)
+    config = config or ServiceConfig(
+        max_workers=4, max_pending=max(64, len(trace))
+    )
+
+    expected: Dict[str, str] = {}
+    if check_identity:
+        for request in unique:
+            expected[request.fingerprint()] = json.dumps(
+                execute_request(request), sort_keys=True
+            )
+
+    shards: List[List] = [trace[i::n_clients] for i in range(n_clients)]
+    latencies: List[List[float]] = [[] for _ in range(n_clients)]
+    failures: List[str] = []
+    barrier = threading.Barrier(n_clients + 1)
+
+    with ServerThread(config) as srv:
+        host, port = srv.address
+
+        def worker(idx: int) -> None:
+            try:
+                with ServiceClient(
+                    host, port, tenant=f"tenant-{idx % 4}"
+                ) as client:
+                    barrier.wait()
+                    for request in shards[idx]:
+                        t0 = time.perf_counter()
+                        response = client.call(request)
+                        latencies[idx].append(time.perf_counter() - t0)
+                        if response.get("status") != "ok":
+                            failures.append(
+                                f"client {idx}: {response.get('error')}"
+                            )
+                            continue
+                        if check_identity:
+                            got = json.dumps(
+                                response["payload"], sort_keys=True
+                            )
+                            want = expected[request.fingerprint()]
+                            if got != want:
+                                failures.append(
+                                    f"client {idx}: response for "
+                                    f"{request.kind} diverged from the "
+                                    f"direct api call"
+                                )
+            except Exception as exc:  # surfaced after join
+                failures.append(f"client {idx}: {type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(n_clients)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        t0 = time.perf_counter()
+        for t in threads:
+            t.join(timeout=600)
+        wall = time.perf_counter() - t0
+        counters = srv.service.registry.to_manifest()["counters"]
+
+    if failures:
+        raise ConfigError(
+            f"service load test failed ({len(failures)} failures): "
+            + "; ".join(failures[:5])
+        )
+
+    report = LoadReport(
+        n_clients=n_clients,
+        total=len(trace),
+        unique=len(unique),
+        duplicates=len(trace) - len(unique),
+        computed=counters.get("service.computed", 0),
+        coalesced=counters.get("service.coalesced", 0),
+        memo_hits=counters.get("service.memo_hits", 0),
+        disk_hits=counters.get("service.disk_hits", 0)
+        + counters.get("service.shared_hits", 0),
+        errors=counters.get("service.errors", 0),
+        rejected=counters.get("service.rejected_backpressure", 0)
+        + counters.get("service.rejected_quota", 0),
+        wall_seconds=wall,
+        latencies=[lat for per_client in latencies for lat in per_client],
+    )
+
+    if check_identity:
+        # Cold server: every unique request computes exactly once, every
+        # duplicate is served without engine work — whatever the timing.
+        if report.computed != report.unique:
+            raise ConfigError(
+                f"dedup broke: {report.computed} computations for "
+                f"{report.unique} unique requests"
+            )
+        if report.coalesced + report.memo_hits != report.duplicates:
+            raise ConfigError(
+                f"dedup accounting broke: {report.coalesced} coalesced + "
+                f"{report.memo_hits} memo != {report.duplicates} duplicates"
+            )
+    return report

@@ -1,0 +1,166 @@
+"""A small synchronous client for the simulation service.
+
+Blocking sockets on purpose: callers are CLIs, tests and benchmark
+workers that want a dead-simple request/response surface.  The client
+still exploits the protocol's pipelining — :meth:`ServiceClient.
+request_many` writes a whole batch of frames before reading any
+responses and correlates the out-of-order replies by ``id``.
+
+Usage::
+
+    from repro import api
+    from repro.service import ServiceClient
+
+    with ServiceClient("127.0.0.1", 7543, tenant="team-a") as client:
+        response = client.call(
+            api.SimulationRequest("Resnet-50", "trainbox", 256)
+        )
+        assert response["status"] == "ok"
+        result = response["payload"]["result"]
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.service import protocol
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ConfigError):
+    """The server answered ``status: error`` to a strict call."""
+
+
+class ServiceClient:
+    """One TCP connection to a simulation server.
+
+    Not thread-safe: use one client per thread (the benchmark spawns one
+    per simulated tenant).  ``timeout`` guards every socket operation so
+    a dead server fails the call instead of hanging it.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "anon",
+        timeout: float = 60.0,
+    ) -> None:
+        self.tenant = tenant
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ConfigError(
+                f"cannot reach repro service at {host}:{port}: {exc}"
+            ) from None
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send(self, envelope: Dict) -> None:
+        self._sock.sendall(protocol.encode_frame(envelope))
+
+    def _recv(self) -> Dict:
+        line = self._reader.readline(protocol.MAX_FRAME_BYTES + 1)
+        if not line:
+            raise ConfigError("service closed the connection")
+        if len(line) > protocol.MAX_FRAME_BYTES:
+            raise ConfigError("service response exceeded the frame cap")
+        return protocol.decode_frame(line)
+
+    def _take_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    # -- the call surface ----------------------------------------------------
+
+    def call(self, request, profile: bool = False) -> Dict:
+        """Send one request, return its response envelope."""
+        rid = self._take_id()
+        envelope: Dict = {
+            "id": rid,
+            "tenant": self.tenant,
+            "request": request.to_dict(),
+        }
+        if profile:
+            envelope["profile"] = True
+        self._send(envelope)
+        response = self._recv()
+        if response.get("id") != rid:
+            raise ConfigError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {rid} (interleaved use of one client?)"
+            )
+        return response
+
+    def call_strict(self, request, profile: bool = False) -> Dict:
+        """Like :meth:`call` but raises on non-``ok`` responses and
+        returns the payload directly."""
+        response = self.call(request, profile=profile)
+        if response.get("status") != protocol.STATUS_OK:
+            error = response.get("error") or {}
+            raise ServiceError(
+                f"service answered {response.get('status')}: "
+                f"{error.get('code')}: {error.get('message')}"
+            )
+        return response["payload"]
+
+    def request_many(self, requests: Sequence) -> List[Dict]:
+        """Pipeline a batch: write every frame, then collect responses.
+
+        Responses arrive in completion order; the returned list is
+        re-sorted into *request* order via the echoed ids."""
+        ids = []
+        for request in requests:
+            rid = self._take_id()
+            ids.append(rid)
+            self._send(
+                {"id": rid, "tenant": self.tenant, "request": request.to_dict()}
+            )
+        by_id: Dict[int, Dict] = {}
+        for _ in ids:
+            response = self._recv()
+            by_id[response.get("id")] = response
+        missing = [rid for rid in ids if rid not in by_id]
+        if missing:
+            raise ConfigError(f"service never answered requests {missing}")
+        return [by_id[rid] for rid in ids]
+
+    def ping(self) -> Dict:
+        rid = self._take_id()
+        self._send({"id": rid, "op": "ping"})
+        return self._recv()
+
+    def stats(self) -> Dict:
+        """The server's live counters/config (the ``stats`` op)."""
+        rid = self._take_id()
+        self._send({"id": rid, "op": "stats"})
+        response = self._recv()
+        if response.get("status") != protocol.STATUS_OK:
+            raise ServiceError(f"stats failed: {response.get('error')}")
+        return response["payload"]
+
+    def raw(self, envelope: Dict) -> Dict:
+        """Send an arbitrary envelope (protocol tests, ``repro client``)."""
+        self._send(envelope)
+        return self._recv()
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

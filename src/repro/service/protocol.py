@@ -1,0 +1,107 @@
+"""The service wire protocol: newline-delimited JSON frames over TCP.
+
+One frame per line, one JSON object per frame.  A client sends request
+envelopes and reads response envelopes; requests may be pipelined on one
+connection and responses may arrive **out of order** — the ``id`` field
+correlates them (the server echoes it verbatim).
+
+Request envelope::
+
+    {"id": 7, "tenant": "team-a", "request": {<request.to_dict()>}}
+    {"id": 8, "op": "stats"}          # admin ops: stats | ping
+
+``request`` is a versioned :mod:`repro.api` request object
+(``repro-request/1``): ``simulate``, ``sweep`` or
+``price_fault_schedule``.
+
+Response envelope::
+
+    {"id": 7, "status": "ok",       "payload": {...}, "meta": {...}}
+    {"id": 7, "status": "rejected", "error": {"code": "backpressure", ...},
+     "meta": {"retry_after": 0.05}}
+    {"id": 7, "status": "error",    "error": {"code": "bad-request", ...}}
+
+``meta.served_by`` on ok responses names the tier that produced the
+payload: ``computed``, ``coalesced`` (attached to an identical in-flight
+computation), ``memo`` (in-process LRU), ``disk`` or ``shared`` (the
+on-disk tiers).  ``rejected`` means admission control or a quota turned
+the request away — retry after ``meta.retry_after`` seconds; ``error``
+means the request itself is unservable (malformed, unknown workload,
+engine failure) and retrying it unchanged cannot help.
+
+Frames are canonical (sorted keys, compact separators), so identical
+payloads are byte-identical on the wire.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigError
+
+#: Protocol version, echoed by ``ping`` and stamped into ``stats``.
+PROTOCOL = "repro-service/1"
+
+#: Per-frame size cap (a sweep response over a large grid is big, a
+#: request should never be).  The server reads lines with this limit.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Response statuses.
+STATUS_OK = "ok"
+STATUS_REJECTED = "rejected"
+STATUS_ERROR = "error"
+
+
+class ProtocolError(ConfigError):
+    """A frame that is not valid protocol (bad JSON, not an object)."""
+
+
+def encode_frame(obj: Dict) -> bytes:
+    """Canonical wire form: compact sorted-key JSON plus newline."""
+    return (
+        json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode_frame(line: bytes) -> Dict:
+    """Parse one frame; raises :class:`ProtocolError` on garbage."""
+    try:
+        obj = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"bad frame: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def ok_response(
+    rid: Any, payload: Dict, meta: Optional[Dict] = None
+) -> Dict:
+    return {
+        "id": rid,
+        "status": STATUS_OK,
+        "payload": payload,
+        "meta": meta or {},
+    }
+
+
+def rejected_response(
+    rid: Any, code: str, message: str, retry_after: float
+) -> Dict:
+    return {
+        "id": rid,
+        "status": STATUS_REJECTED,
+        "error": {"code": code, "message": message},
+        "meta": {"retry_after": retry_after},
+    }
+
+
+def error_response(rid: Any, code: str, message: str) -> Dict:
+    return {
+        "id": rid,
+        "status": STATUS_ERROR,
+        "error": {"code": code, "message": message},
+    }

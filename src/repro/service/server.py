@@ -1,0 +1,638 @@
+"""Simulation-as-a-service: the asyncio front end over :mod:`repro.api`.
+
+The engines price a scenario in microseconds-to-milliseconds; what a
+fleet of callers needs on top is *multiplexing*: many tenants, bursty
+duplicate-heavy traffic, and strict bounds on concurrent work.  This
+module provides that layer with three mechanisms, all keyed by the
+content-hash fingerprint of the versioned request objects
+(:mod:`repro.api`, schema ``repro-request/1``):
+
+* **single-flight coalescing** — identical requests arriving while one
+  is being computed attach to the in-flight future instead of entering
+  the queue; one engine run serves them all, bit-identically.
+* **admission control** — at most ``max_pending`` unique computations
+  may be queued or running; beyond that the server answers ``rejected``
+  with ``retry_after`` (backpressure) instead of building an unbounded
+  queue.  Coalesced and cache-served requests never consume a slot.
+* **tiered result lookup** — in-process LRU memo → the server's private
+  on-disk :class:`~repro.cache.ResultCache` → an optional *shared*
+  cache directory where writes take the per-entry cross-process
+  :class:`~repro.cache.CacheLock` (single writer; stale locks from
+  killed servers are reclaimed).  Shared hits are backfilled down.
+
+Per-tenant token buckets bound each tenant's request rate; counters for
+every tier and outcome accrue in a :class:`~repro.obs.MetricsRegistry`
+manifest (the ``stats`` op), and engine-internal counters from each
+computation are merged in hermetically.  Engine execution happens on a
+thread pool — the refactor making the engines stateless/reentrant
+(thread-local :mod:`repro.obs` sessions, canonical shared memo objects)
+is what makes that safe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro import api, obs
+from repro.cache import ResultCache
+from repro.errors import ConfigError
+from repro.service import protocol
+
+__all__ = [
+    "ServiceConfig",
+    "SimulationServer",
+    "SimulationService",
+    "ServerThread",
+    "TokenBucket",
+    "execute_request",
+    "serve",
+]
+
+
+def execute_request(request) -> Dict:
+    """Run one request through the facade; the response ``payload``.
+
+    Module-level and engine-pure so tests and the CI smoke can compare a
+    served response bit-for-bit against this direct evaluation.
+    """
+    if isinstance(request, api.SimulationRequest):
+        result = api.simulate(request)
+        return {
+            "kind": request.kind,
+            "engine": request.engine,
+            "result": result.to_dict(),
+        }
+    if isinstance(request, api.SweepRequest):
+        outcome = api.sweep(request)
+        return {
+            "kind": request.kind,
+            "engine": request.engine,
+            "points": [
+                [p.workload.name, p.arch.name, p.scale]
+                for p in outcome.points
+            ],
+            "results": [r.to_dict() for r in outcome.results],
+        }
+    if isinstance(request, api.FaultScheduleRequest):
+        timeline = api.price_fault_schedule(request)
+        return {
+            "kind": request.kind,
+            "engine": request.engine,
+            "result": timeline.to_dict(),
+        }
+    raise ConfigError(f"unservable request type {type(request).__name__}")
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, ``burst`` capacity."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = time.monotonic()
+
+    def take(self, n: float = 1.0) -> bool:
+        if math.isinf(self.rate):
+            return True
+        now = time.monotonic()
+        self.tokens = min(
+            self.burst, self.tokens + (now - self.updated) * self.rate
+        )
+        self.updated = now
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+    def retry_after(self, n: float = 1.0) -> float:
+        if math.isinf(self.rate) or self.rate <= 0:
+            return 0.0
+        return max(0.0, (n - self.tokens) / self.rate)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service policy: concurrency bounds, quotas, cache tiers."""
+
+    max_workers: int = 4         # engine threads
+    max_pending: int = 64        # unique computations queued + running
+    memo_entries: int = 512      # in-process LRU payloads
+    quota_rate: float = math.inf  # tokens/s granted per tenant
+    quota_burst: float = 256.0   # tenant burst capacity
+    cache_dir: Optional[Path] = None    # private on-disk tier
+    shared_dir: Optional[Path] = None   # cross-process tier (locked writes)
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ConfigError("max_workers must be >= 1")
+        if self.max_pending < 1:
+            raise ConfigError("max_pending must be >= 1")
+        if self.memo_entries < 0:
+            raise ConfigError("memo_entries must be >= 0")
+        if self.quota_rate <= 0:
+            raise ConfigError("quota_rate must be positive")
+        if self.quota_burst < 1:
+            raise ConfigError("quota_burst must be >= 1")
+
+
+class SimulationService:
+    """The request broker: coalescing, admission, quotas, cache tiers.
+
+    All bookkeeping (memo, in-flight table, counters, buckets) is
+    touched only on the event-loop thread; engine execution and disk
+    I/O run on the executor.  ``handle`` maps one request envelope to
+    one response envelope and never raises.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.registry = obs.MetricsRegistry()
+        self._memo: "collections.OrderedDict[str, Dict]" = (
+            collections.OrderedDict()
+        )
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._pending = 0
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_workers,
+            thread_name_prefix="repro-engine",
+        )
+        self._disk = (
+            ResultCache(self.config.cache_dir)
+            if self.config.cache_dir is not None
+            else None
+        )
+        self._shared = (
+            ResultCache(self.config.shared_dir, locked=True)
+            if self.config.shared_dir is not None
+            else None
+        )
+
+    # -- bookkeeping (event-loop thread only) --------------------------------
+
+    def _inc(self, name: str, value: int = 1) -> None:
+        self.registry.inc(name, value)
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(
+                self.config.quota_rate, self.config.quota_burst
+            )
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def _memo_get(self, fp: str) -> Optional[Dict]:
+        payload = self._memo.get(fp)
+        if payload is not None:
+            self._memo.move_to_end(fp)
+        return payload
+
+    def _memo_put(self, fp: str, payload: Dict) -> None:
+        if self.config.memo_entries <= 0:
+            return
+        self._memo[fp] = payload
+        self._memo.move_to_end(fp)
+        while len(self._memo) > self.config.memo_entries:
+            self._memo.popitem(last=False)
+
+    def stats(self) -> Dict:
+        """The ``stats`` op payload: counters + live state snapshot."""
+        manifest = self.registry.to_manifest()
+        return {
+            "kind": "stats",
+            "protocol": protocol.PROTOCOL,
+            "counters": manifest["counters"],
+            "inflight": len(self._inflight),
+            "pending": self._pending,
+            "memo_entries": len(self._memo),
+            "tenants": sorted(self._buckets),
+            "config": {
+                "max_workers": self.config.max_workers,
+                "max_pending": self.config.max_pending,
+                "memo_entries": self.config.memo_entries,
+                "quota_rate": (
+                    None
+                    if math.isinf(self.config.quota_rate)
+                    else self.config.quota_rate
+                ),
+                "quota_burst": self.config.quota_burst,
+                "cache_dir": (
+                    str(self.config.cache_dir)
+                    if self.config.cache_dir
+                    else None
+                ),
+                "shared_dir": (
+                    str(self.config.shared_dir)
+                    if self.config.shared_dir
+                    else None
+                ),
+            },
+        }
+
+    # -- execution (executor threads) ----------------------------------------
+
+    def _compute(
+        self, request, fp: str, profile: bool
+    ) -> Tuple[Dict, str, Optional[Dict], Optional[list]]:
+        """Tiered lookup then engine run; returns ``(payload, tier,
+        engine_manifest, span_rows)``.  Runs on an executor thread under
+        its own hermetic obs session (sessions are thread-local)."""
+        if self._disk is not None:
+            payload = self._disk.get(fp)
+            if payload is not None and payload.get("kind") == request.kind:
+                return payload, "disk", None, None
+        if self._shared is not None:
+            payload = self._shared.get(fp)
+            if payload is not None and payload.get("kind") == request.kind:
+                if self._disk is not None:
+                    self._disk.put(fp, payload)
+                return payload, "shared", None, None
+        registry = obs.MetricsRegistry()
+        tracer = obs.Tracer() if profile else None
+        with obs.session(tracer=tracer, metrics=registry):
+            with obs.span("service.compute", cat="service", kind=request.kind):
+                payload = execute_request(request)
+        if self._disk is not None:
+            self._disk.put(fp, payload)
+        if self._shared is not None:
+            self._shared.put(fp, payload)  # single-writer CacheLock inside
+        spans = None
+        if tracer is not None:
+            spans = [
+                [s.name, s.count, round(s.total * 1e3, 6)]
+                for s in tracer.summarize(top=10)
+            ]
+        return payload, "computed", registry.to_manifest(), spans
+
+    # -- the request path (event-loop thread) --------------------------------
+
+    async def handle(self, envelope: Any) -> Dict:
+        """One envelope in, one envelope out; never raises."""
+        rid = envelope.get("id") if isinstance(envelope, dict) else None
+        try:
+            if not isinstance(envelope, dict):
+                raise protocol.ProtocolError("envelope must be a JSON object")
+            op = envelope.get("op", "request")
+            if op == "ping":
+                return protocol.ok_response(
+                    rid, {"kind": "pong", "protocol": protocol.PROTOCOL}
+                )
+            if op == "stats":
+                return protocol.ok_response(rid, self.stats())
+            if op != "request":
+                raise protocol.ProtocolError(f"unknown op {op!r}")
+            tenant = str(envelope.get("tenant") or "anon")
+            request = api.request_from_dict(envelope.get("request"))
+            profile = bool(envelope.get("profile", False))
+        except ConfigError as exc:
+            self._inc("service.bad_requests")
+            return protocol.error_response(rid, "bad-request", str(exc))
+
+        self._inc("service.requests")
+        self._inc(f"service.requests.{request.kind}")
+
+        bucket = self._bucket(tenant)
+        if not bucket.take():
+            self._inc("service.rejected_quota")
+            return protocol.rejected_response(
+                rid,
+                "quota",
+                f"tenant {tenant!r} exceeded its request quota",
+                round(bucket.retry_after(), 4),
+            )
+
+        fp = request.fingerprint()
+        meta: Dict[str, Any] = {"fingerprint": fp, "kind": request.kind}
+
+        payload = self._memo_get(fp)
+        if payload is not None:
+            self._inc("service.memo_hits")
+            meta["served_by"] = "memo"
+            return protocol.ok_response(rid, payload, meta)
+
+        shared_future = self._inflight.get(fp)
+        if shared_future is not None:
+            # Single-flight: ride the identical in-flight computation.
+            self._inc("service.coalesced")
+            try:
+                payload = await asyncio.shield(shared_future)
+            except ConfigError as exc:
+                return protocol.error_response(rid, "compute", str(exc))
+            meta["served_by"] = "coalesced"
+            return protocol.ok_response(rid, payload, meta)
+
+        if self._pending >= self.config.max_pending:
+            self._inc("service.rejected_backpressure")
+            retry = 0.05 * (1 + self._pending / self.config.max_workers)
+            return protocol.rejected_response(
+                rid,
+                "backpressure",
+                f"{self._pending} computations pending "
+                f"(limit {self.config.max_pending}); retry later",
+                round(retry, 4),
+            )
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[fp] = future
+        self._pending += 1
+        try:
+            payload, tier, manifest, spans = await loop.run_in_executor(
+                self._executor, self._compute, request, fp, profile
+            )
+        except ConfigError as exc:
+            future.set_exception(exc)
+            future.exception()  # consumed: no "never retrieved" warning
+            self._inc("service.errors")
+            return protocol.error_response(rid, "compute", str(exc))
+        except Exception as exc:  # engine bug: report, don't kill the server
+            future.set_exception(
+                ConfigError(f"internal error: {type(exc).__name__}: {exc}")
+            )
+            future.exception()
+            self._inc("service.errors")
+            return protocol.error_response(
+                rid, "internal", f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            self._inflight.pop(fp, None)
+            self._pending -= 1
+
+        if not future.done():
+            future.set_result(payload)
+        self._memo_put(fp, payload)
+        if tier == "computed":
+            self._inc("service.computed")
+        else:
+            self._inc(f"service.{tier}_hits")
+        if manifest is not None:
+            self.registry.merge_manifest(manifest)
+        meta["served_by"] = tier
+        if spans is not None:
+            meta["spans"] = spans
+        return protocol.ok_response(rid, payload, meta)
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=False)
+
+
+class SimulationServer:
+    """The TCP front end: newline-delimited JSON over asyncio streams.
+
+    Each connection may pipeline requests; every frame is handled as its
+    own task, so responses interleave by completion order and slow
+    computations never head-of-line-block cached ones.
+    """
+
+    def __init__(
+        self,
+        service: Optional[SimulationService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service or SimulationService()
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: set = set()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None:
+            raise ConfigError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self.host,
+            self.port,
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+        return self.address
+
+    async def _serve_connection(self, reader, writer) -> None:
+        conn_task = asyncio.current_task()
+        if conn_task is not None:
+            self._conn_tasks.add(conn_task)
+            conn_task.add_done_callback(self._conn_tasks.discard)
+        write_lock = asyncio.Lock()
+        tasks = set()
+
+        async def respond(response: Dict) -> None:
+            data = protocol.encode_frame(response)
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+
+        async def one(line: bytes) -> None:
+            try:
+                envelope = protocol.decode_frame(line)
+            except protocol.ProtocolError as exc:
+                await respond(
+                    protocol.error_response(None, "bad-frame", str(exc))
+                )
+                return
+            await respond(await self.service.handle(envelope))
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    asyncio.IncompleteReadError,
+                    ValueError,
+                ):
+                    await respond(
+                        protocol.error_response(
+                            None,
+                            "frame-too-large",
+                            f"frames are capped at "
+                            f"{protocol.MAX_FRAME_BYTES} bytes",
+                        )
+                    )
+                    break
+                if not line:
+                    break
+                task = asyncio.create_task(one(line))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        except (ConnectionError, asyncio.CancelledError):
+            # Cancelled = server shutdown with the connection open; close
+            # the stream and let the task end quietly.
+            for task in tasks:
+                task.cancel()
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(
+                *self._conn_tasks, return_exceptions=True
+            )
+        self.service.close()
+
+
+async def _run_server(
+    config: Optional[ServiceConfig],
+    host: str,
+    port: int,
+    ready=None,
+    stop: Optional[asyncio.Event] = None,
+    announce=None,
+) -> None:
+    server = SimulationServer(SimulationService(config), host, port)
+    address = await server.start()
+    if announce is not None:
+        announce(address)
+    if ready is not None:
+        ready.server = server
+        ready.address = address
+        ready.event.set()
+    try:
+        if stop is None:
+            stop = asyncio.Event()
+        await stop.wait()
+    finally:
+        await server.close()
+
+
+def serve(
+    config: Optional[ServiceConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 7543,
+    announce=print,
+) -> None:
+    """Run a server until interrupted (the ``repro serve`` entry)."""
+    try:
+        asyncio.run(
+            _run_server(
+                config,
+                host,
+                port,
+                announce=lambda addr: announce(
+                    f"repro service listening on {addr[0]}:{addr[1]} "
+                    f"({protocol.PROTOCOL})"
+                ),
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+
+
+class ServerThread:
+    """A live server on a background thread (tests, benchmarks, CLI).
+
+    Usage::
+
+        with ServerThread(ServiceConfig(max_workers=2)) as srv:
+            client = ServiceClient(*srv.address)
+            ...
+
+    The service object is reachable as ``srv.service`` for stats
+    inspection after the run.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._config = config
+        self._host = host
+        self._port = port
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self.address: Optional[Tuple[str, int]] = None
+        self.service: Optional[SimulationService] = None
+
+    def _main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        self._stop = asyncio.Event()
+
+        class _Ready:
+            pass
+
+        ready = _Ready()
+        ready.event = threading.Event()
+
+        async def main():
+            await _run_server(
+                self._config, self._host, self._port, ready=ready,
+                stop=self._stop,
+            )
+
+        def _announce_started():
+            self.address = ready.address
+            self.service = ready.server.service
+            self._ready.set()
+
+        watcher = threading.Thread(
+            target=lambda: (ready.event.wait(), _announce_started()),
+            daemon=True,
+        )
+        watcher.start()
+        try:
+            loop.run_until_complete(main())
+        except BaseException as exc:  # startup failure: surface in __enter__
+            self._startup_error = exc
+            self._ready.set()
+        finally:
+            loop.close()
+
+    def __enter__(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._main, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise ConfigError("service did not start within 30s")
+        if self._startup_error is not None:
+            raise ConfigError(
+                f"service failed to start: {self._startup_error}"
+            )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None

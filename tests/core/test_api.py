@@ -157,11 +157,111 @@ def test_speedup_over_error_names_scenario():
     assert "n=8" in message
 
 
-# -- deprecation shims -------------------------------------------------------
+# -- removed deprecation shims ------------------------------------------------
 
 
-def test_des_station_utilization_shim_warns():
+def test_des_station_utilization_shim_is_gone():
+    # The deprecated alias was removed with CACHE_VERSION 3; the real
+    # field is the only spelling.
     result = _run("des")
-    with pytest.warns(DeprecationWarning, match="resource_utilization"):
-        legacy = result.station_utilization
-    assert legacy == result.resource_utilization
+    assert not hasattr(result, "station_utilization")
+    assert result.resource_utilization
+
+
+# -- versioned request objects ------------------------------------------------
+
+
+def test_simulation_request_matches_legacy_call():
+    request = api.SimulationRequest("Resnet-50", "trainbox", 16)
+    assert api.simulate(request) == api.simulate("Resnet-50", "trainbox", 16)
+
+
+def test_request_round_trips_through_dict():
+    request = api.SimulationRequest(
+        "Resnet-50", "trainbox", 64, engine="des", des_iterations=30
+    )
+    data = request.to_dict()
+    assert data["v"] == api.REQUEST_SCHEMA
+    assert data["kind"] == "simulate"
+    clone = api.request_from_dict(data)
+    assert clone == request
+    assert clone.fingerprint() == request.fingerprint()
+
+
+def test_request_rejects_mixed_arguments():
+    request = api.SimulationRequest("Resnet-50", "trainbox", 16)
+    with pytest.raises(ConfigError, match="not both"):
+        api.simulate(request, "trainbox", 16)
+
+
+def test_request_normalizes_resolved_objects_to_names():
+    request = api.SimulationRequest(
+        get_workload("Resnet-50"), ArchitectureConfig.trainbox(), 4
+    )
+    assert request.workload == "Resnet-50"
+    assert request.arch == "trainbox"
+
+
+def test_request_rejects_unregistered_arch():
+    custom = dataclasses.replace(
+        ArchitectureConfig.trainbox(), name="bespoke"
+    )
+    with pytest.raises(ConfigError, match="alias"):
+        api.SimulationRequest("Resnet-50", custom, 4)
+
+
+def test_request_rejects_unknown_fields_and_schema():
+    data = api.SimulationRequest("Resnet-50", "trainbox", 4).to_dict()
+    bad_schema = dict(data, v="repro-request/99")
+    with pytest.raises(ConfigError, match="schema"):
+        api.request_from_dict(bad_schema)
+    bad_field = dict(data, warp_factor=9)
+    with pytest.raises(ConfigError, match="unknown"):
+        api.request_from_dict(bad_field)
+    with pytest.raises(ConfigError, match="kind"):
+        api.request_from_dict(dict(data, kind="teleport"))
+
+
+def test_sweep_request_matches_legacy_sweep():
+    request = api.SweepRequest(
+        workloads=("Resnet-50",), archs=("baseline", "trainbox"),
+        scales=(4, 16),
+    )
+    via_request = api.sweep(request)
+    via_spec = api.sweep(request.resolve())
+    assert [r.to_dict() for r in via_request.results] == [
+        r.to_dict() for r in via_spec.results
+    ]
+
+
+def test_fault_request_matches_legacy_call():
+    from repro.core.faults import FaultEvent, FaultSchedule
+    from repro.core.server import build_server
+
+    server = build_server(api.resolve_arch("trainbox"), 16)
+    fpga = server.boxes[0].prep_ids[0]
+    request = api.FaultScheduleRequest(
+        "Resnet-50", "trainbox", 16,
+        events=((fpga, 10.0, 40.0),), horizon=60.0,
+    )
+    via_request = api.price_fault_schedule(request)
+    via_legacy = api.price_fault_schedule(
+        "Resnet-50", "trainbox", 16,
+        FaultSchedule.of(FaultEvent(fpga, 10.0, 40.0)), 60.0,
+    )
+    assert via_request.to_dict() == via_legacy.to_dict()
+
+
+def test_fault_request_spells_inf_recovery_as_none():
+    import math
+
+    request = api.FaultScheduleRequest(
+        "Resnet-50", "trainbox", 16,
+        events=(("d0", 5.0, math.inf), ("d1", 1.0, 2.0)),
+        horizon=10.0,
+    )
+    assert request.events == (("d0", 5.0, None), ("d1", 1.0, 2.0))
+    schedule = request.resolve()
+    assert schedule.events[0].recover_time == math.inf
+    clone = api.request_from_dict(request.to_dict())
+    assert clone == request

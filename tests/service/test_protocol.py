@@ -1,0 +1,53 @@
+"""Wire framing: canonical frames, envelope builders, garbage handling."""
+
+import json
+
+import pytest
+
+from repro.service import protocol
+from repro.service.protocol import ProtocolError
+
+
+def test_frames_are_canonical_and_newline_terminated():
+    frame = protocol.encode_frame({"b": 1, "a": {"z": 2, "y": 3}})
+    assert frame.endswith(b"\n")
+    assert frame == b'{"a":{"y":3,"z":2},"b":1}\n'
+    # Identical objects, whatever insertion order, are byte-identical.
+    assert frame == protocol.encode_frame({"a": {"y": 3, "z": 2}, "b": 1})
+
+
+def test_decode_round_trip():
+    obj = {"id": 7, "request": {"kind": "simulate", "scale": 256}}
+    assert protocol.decode_frame(protocol.encode_frame(obj)) == obj
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(ProtocolError, match="bad frame"):
+        protocol.decode_frame(b"{not json\n")
+    with pytest.raises(ProtocolError, match="JSON object"):
+        protocol.decode_frame(b"[1,2,3]\n")
+    with pytest.raises(ProtocolError, match="JSON object"):
+        protocol.decode_frame(b'"just a string"\n')
+
+
+def test_response_builders():
+    ok = protocol.ok_response(7, {"kind": "pong"}, {"served_by": "memo"})
+    assert ok["status"] == protocol.STATUS_OK
+    assert ok["id"] == 7
+    assert ok["meta"]["served_by"] == "memo"
+
+    rej = protocol.rejected_response(8, "backpressure", "busy", 0.05)
+    assert rej["status"] == protocol.STATUS_REJECTED
+    assert rej["error"]["code"] == "backpressure"
+    assert rej["meta"]["retry_after"] == 0.05
+
+    err = protocol.error_response(None, "bad-request", "nope")
+    assert err["status"] == protocol.STATUS_ERROR
+    assert err["id"] is None
+    assert "payload" not in err
+
+
+def test_floats_round_trip_exactly():
+    value = 106292.51700680272
+    frame = protocol.encode_frame({"throughput": value})
+    assert protocol.decode_frame(frame)["throughput"] == value

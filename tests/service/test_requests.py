@@ -1,0 +1,120 @@
+"""Request fingerprints: stable across dict orderings and processes.
+
+The whole coalescing design rests on one property — two requests that
+denote the same computation hash identically no matter how they were
+spelled, which process serialized them, or what order their dict keys
+arrived in.  These tests pin it.
+"""
+
+import json
+import multiprocessing
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.errors import ConfigError
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _requests():
+    return [
+        api.SimulationRequest("Resnet-50", "trainbox", 256),
+        api.SimulationRequest(
+            "VGG-19", "baseline", 64, engine="des", des_iterations=30
+        ),
+        api.SweepRequest(
+            workloads=("Resnet-50", "RNN-S"),
+            archs=("baseline", "trainbox"),
+            scales=(16, 64),
+        ),
+        api.FaultScheduleRequest(
+            "Resnet-50", "trainbox", 16,
+            events=(("tbox0_fpga0", 10.0, 40.0), ("tbox1_ssd0", 20.0, None)),
+            horizon=60.0,
+        ),
+    ]
+
+
+def test_fingerprint_ignores_dict_key_order():
+    for request in _requests():
+        data = request.to_dict()
+        reversed_data = dict(reversed(list(data.items())))
+        assert list(reversed_data) != list(data)  # the order truly differs
+        clone = api.request_from_dict(reversed_data)
+        assert clone == request
+        assert clone.fingerprint() == request.fingerprint()
+
+
+def test_fingerprint_distinguishes_different_computations():
+    base = api.SimulationRequest("Resnet-50", "trainbox", 256)
+    fps = {
+        base.fingerprint(),
+        api.SimulationRequest("Resnet-50", "trainbox", 128).fingerprint(),
+        api.SimulationRequest("Resnet-50", "baseline", 256).fingerprint(),
+        api.SimulationRequest("VGG-19", "trainbox", 256).fingerprint(),
+        api.SimulationRequest(
+            "Resnet-50", "trainbox", 256, engine="des"
+        ).fingerprint(),
+    }
+    assert len(fps) == 5
+
+
+def test_fingerprint_stable_across_processes():
+    # A fresh interpreter (fresh hash seed, fresh registries) must
+    # produce byte-identical fingerprints for the same wire dicts.
+    wire = [r.to_dict() for r in _requests()]
+    local = [r.fingerprint() for r in _requests()]
+    script = (
+        "import json, sys\n"
+        "from repro import api\n"
+        "reqs = [api.request_from_dict(d) for d in json.load(sys.stdin)]\n"
+        "print(json.dumps([r.fingerprint() for r in reqs]))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        input=json.dumps(wire),
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": SRC, "PYTHONHASHSEED": "random"},
+        check=True,
+    )
+    assert json.loads(out.stdout) == local
+
+
+def test_json_wire_round_trip_preserves_fingerprint():
+    for request in _requests():
+        wire = json.loads(json.dumps(request.to_dict()))
+        clone = api.request_from_dict(wire)
+        assert clone.fingerprint() == request.fingerprint()
+
+
+def test_simulation_request_shares_cache_key_with_sweep_point():
+    # The request fingerprint is built from the same cache_key the
+    # result cache uses, so a request and the grid point it denotes can
+    # never drift apart silently.
+    from repro.cache import fingerprint
+    from repro.core.sweeps import cache_key
+
+    request = api.SimulationRequest("Resnet-50", "trainbox", 256)
+    expected = fingerprint(
+        api.REQUEST_SCHEMA, "simulate", cache_key(request.resolve())
+    )
+    assert request.fingerprint() == expected
+
+
+def test_unknown_workload_and_arch_rejected_at_construction():
+    with pytest.raises(ConfigError):
+        api.SimulationRequest("NoSuchNet", "trainbox", 4)
+    with pytest.raises(ConfigError, match="unknown architecture"):
+        api.SimulationRequest("Resnet-50", "warp", 4)
+    with pytest.raises(ConfigError, match="unknown engine"):
+        api.SimulationRequest("Resnet-50", "trainbox", 4, engine="quantum")
+
+
+def test_sweep_request_rejects_empty_axes():
+    with pytest.raises(ConfigError, match="non-empty"):
+        api.SweepRequest(workloads=(), archs=("trainbox",), scales=(4,))

@@ -1,0 +1,359 @@
+"""The service broker and TCP server: coalescing, admission, quotas,
+tiers, and the bit-identity guarantee.
+
+Broker-level tests drive :meth:`SimulationService.handle` directly under
+``asyncio.run`` — with the engine call monkeypatched slow where the test
+needs deterministic overlap — and the end-to-end tests run a real
+:class:`ServerThread` with real :class:`ServiceClient` sockets.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro import api
+from repro.errors import ConfigError
+from repro.service import (
+    ServerThread,
+    ServiceClient,
+    ServiceConfig,
+    SimulationService,
+    TokenBucket,
+    execute_request,
+)
+from repro.service import server as server_mod
+
+REQ = api.SimulationRequest("Resnet-50", "trainbox", 64)
+
+
+def _envelope(request, rid=1, tenant="t", **extra):
+    return {"id": rid, "tenant": tenant, "request": request.to_dict(), **extra}
+
+
+def _gather(service, envelopes):
+    async def main():
+        try:
+            return await asyncio.gather(
+                *(service.handle(e) for e in envelopes)
+            )
+        finally:
+            service.close()
+
+    return asyncio.run(main())
+
+
+# -- token bucket -------------------------------------------------------------
+
+
+def test_token_bucket_enforces_rate_and_burst():
+    bucket = TokenBucket(rate=1000.0, burst=2.0)
+    assert bucket.take() and bucket.take()
+    # Burst exhausted; at 1000/s the next token is ~1ms away.
+    if not bucket.take():
+        assert bucket.retry_after() > 0
+        time.sleep(0.01)
+        assert bucket.take()
+    infinite = TokenBucket(rate=float("inf"), burst=1.0)
+    assert all(infinite.take() for _ in range(1000))
+    assert infinite.retry_after() == 0.0
+
+
+# -- broker behaviour ---------------------------------------------------------
+
+
+def test_ok_response_is_bit_identical_to_direct_call():
+    service = SimulationService(ServiceConfig(max_workers=2))
+    [response] = _gather(service, [_envelope(REQ)])
+    assert response["status"] == "ok"
+    assert response["meta"]["served_by"] == "computed"
+    assert json.dumps(response["payload"], sort_keys=True) == json.dumps(
+        execute_request(REQ), sort_keys=True
+    )
+
+
+def test_duplicate_in_flight_requests_coalesce(monkeypatch):
+    real = server_mod.execute_request
+    calls = []
+
+    def slow(request):
+        calls.append(request.fingerprint())
+        time.sleep(0.2)
+        return real(request)
+
+    monkeypatch.setattr(server_mod, "execute_request", slow)
+    service = SimulationService(ServiceConfig(max_workers=4))
+    responses = _gather(
+        service, [_envelope(REQ, rid=i) for i in range(5)]
+    )
+    assert [r["status"] for r in responses] == ["ok"] * 5
+    served = sorted(r["meta"]["served_by"] for r in responses)
+    assert served.count("computed") == 1
+    assert served.count("coalesced") == 4
+    assert len(calls) == 1  # the engine ran exactly once
+    payloads = {json.dumps(r["payload"], sort_keys=True) for r in responses}
+    assert len(payloads) == 1  # all five answers bit-identical
+
+
+def test_sequential_duplicates_hit_the_memo():
+    service = SimulationService(ServiceConfig(max_workers=2))
+
+    async def main():
+        try:
+            first = await service.handle(_envelope(REQ, rid=1))
+            second = await service.handle(_envelope(REQ, rid=2))
+            return first, second
+        finally:
+            service.close()
+
+    first, second = asyncio.run(main())
+    assert first["meta"]["served_by"] == "computed"
+    assert second["meta"]["served_by"] == "memo"
+    assert second["payload"] == first["payload"]
+
+
+def test_backpressure_rejects_beyond_max_pending(monkeypatch):
+    real = server_mod.execute_request
+
+    def slow(request):
+        time.sleep(0.2)
+        return real(request)
+
+    monkeypatch.setattr(server_mod, "execute_request", slow)
+    service = SimulationService(
+        ServiceConfig(max_workers=1, max_pending=1)
+    )
+    distinct = [
+        api.SimulationRequest("Resnet-50", "trainbox", scale)
+        for scale in (4, 8, 16)
+    ]
+    responses = _gather(
+        service,
+        [_envelope(r, rid=i) for i, r in enumerate(distinct)],
+    )
+    statuses = sorted(r["status"] for r in responses)
+    assert statuses.count("ok") == 1
+    assert statuses.count("rejected") == 2
+    rejected = [r for r in responses if r["status"] == "rejected"]
+    for r in rejected:
+        assert r["error"]["code"] == "backpressure"
+        assert r["meta"]["retry_after"] > 0
+
+
+def test_tenant_quota_rejects_over_budget():
+    service = SimulationService(
+        ServiceConfig(max_workers=2, quota_rate=0.001, quota_burst=2.0)
+    )
+    distinct = [
+        api.SimulationRequest("Resnet-50", "trainbox", scale)
+        for scale in (4, 8, 16)
+    ]
+    envelopes = [
+        _envelope(r, rid=i, tenant="greedy")
+        for i, r in enumerate(distinct)
+    ]
+    # A second tenant stays under its own bucket.
+    envelopes.append(_envelope(REQ, rid=99, tenant="frugal"))
+
+    async def main():
+        try:
+            return [await service.handle(e) for e in envelopes]
+        finally:
+            service.close()
+
+    responses = asyncio.run(main())
+    greedy = responses[:3]
+    assert [r["status"] for r in greedy[:2]] == ["ok", "ok"]
+    assert greedy[2]["status"] == "rejected"
+    assert greedy[2]["error"]["code"] == "quota"
+    assert greedy[2]["meta"]["retry_after"] > 0
+    assert responses[3]["status"] == "ok"
+
+
+def test_disk_and_shared_tiers(tmp_path):
+    shared = tmp_path / "shared"
+    first = SimulationService(
+        ServiceConfig(
+            max_workers=1,
+            cache_dir=tmp_path / "a",
+            shared_dir=shared,
+        )
+    )
+    [r1] = _gather(first, [_envelope(REQ)])
+    assert r1["meta"]["served_by"] == "computed"
+
+    # A restarted server with the same private dir serves from disk.
+    again = SimulationService(
+        ServiceConfig(max_workers=1, cache_dir=tmp_path / "a")
+    )
+    [r2] = _gather(again, [_envelope(REQ)])
+    assert r2["meta"]["served_by"] == "disk"
+    assert r2["payload"] == r1["payload"]
+
+    # A different server sharing only the shared tier serves from it.
+    other = SimulationService(
+        ServiceConfig(
+            max_workers=1,
+            cache_dir=tmp_path / "b",
+            shared_dir=shared,
+        )
+    )
+    [r3] = _gather(other, [_envelope(REQ)])
+    assert r3["meta"]["served_by"] == "shared"
+    assert r3["payload"] == r1["payload"]
+    # ...and backfilled its private tier for next time.
+    backfilled = SimulationService(
+        ServiceConfig(max_workers=1, cache_dir=tmp_path / "b")
+    )
+    [r4] = _gather(backfilled, [_envelope(REQ)])
+    assert r4["meta"]["served_by"] == "disk"
+
+
+def test_bad_requests_answer_error_not_crash():
+    service = SimulationService(ServiceConfig(max_workers=1))
+    envelopes = [
+        "not a dict",
+        {"id": 1, "op": "teleport"},
+        {"id": 2, "request": {"v": "repro-request/99", "kind": "simulate"}},
+        {"id": 3, "request": {"v": api.REQUEST_SCHEMA, "kind": "simulate",
+                              "workload": "NoSuchNet", "arch": "trainbox",
+                              "scale": 4}},
+        {"id": 4},  # op defaults to request, but no request body
+    ]
+
+    async def main():
+        try:
+            return [await service.handle(e) for e in envelopes]
+        finally:
+            service.close()
+
+    responses = asyncio.run(main())
+    assert all(r["status"] == "error" for r in responses)
+    assert all(
+        r["error"]["code"] in ("bad-request",) for r in responses
+    )
+    # Echoed ids where the envelope had one.
+    assert responses[1]["id"] == 1
+    assert responses[3]["id"] == 3
+
+
+def test_compute_error_reports_and_recovers():
+    service = SimulationService(ServiceConfig(max_workers=1))
+    # Valid at construction, fails at pricing: unknown device id.
+    doomed = api.FaultScheduleRequest(
+        "Resnet-50", "trainbox", 16,
+        events=(("no_such_device", 1.0, 2.0),), horizon=10.0,
+    )
+
+    async def main():
+        try:
+            failed = await service.handle(_envelope(doomed, rid=1))
+            healthy = await service.handle(_envelope(REQ, rid=2))
+            return failed, healthy
+        finally:
+            service.close()
+
+    failed, healthy = asyncio.run(main())
+    assert failed["status"] == "error"
+    assert failed["error"]["code"] == "compute"
+    assert "no_such_device" in failed["error"]["message"]
+    assert healthy["status"] == "ok"  # the broker is not wedged
+    counters = service.registry.to_manifest()["counters"]
+    assert counters["service.errors"] == 1
+
+
+def test_admin_ops_and_counters():
+    service = SimulationService(ServiceConfig(max_workers=1))
+
+    async def main():
+        try:
+            pong = await service.handle({"id": 1, "op": "ping"})
+            await service.handle(_envelope(REQ, rid=2))
+            await service.handle(_envelope(REQ, rid=3))
+            stats = await service.handle({"id": 4, "op": "stats"})
+            return pong, stats
+        finally:
+            service.close()
+
+    pong, stats = asyncio.run(main())
+    assert pong["payload"]["kind"] == "pong"
+    counters = stats["payload"]["counters"]
+    assert counters["service.requests"] == 2
+    assert counters["service.computed"] == 1
+    assert counters["service.memo_hits"] == 1
+    # Engine-internal counters merged into the service manifest.
+    assert counters.get("engine.analytical.runs", 0) >= 1
+
+
+# -- end-to-end over real sockets ---------------------------------------------
+
+
+def test_tcp_round_trip_all_request_kinds():
+    from repro.core.server import build_server
+
+    fpga = build_server(api.resolve_arch("trainbox"), 16).boxes[0].prep_ids[0]
+    requests = [
+        REQ,
+        api.SweepRequest(
+            workloads=("Resnet-50",), archs=("baseline",), scales=(4, 16),
+        ),
+        api.FaultScheduleRequest(
+            "Resnet-50", "trainbox", 16,
+            events=((fpga, 10.0, 40.0),), horizon=60.0,
+        ),
+    ]
+    with ServerThread(ServiceConfig(max_workers=2)) as srv:
+        host, port = srv.address
+        with ServiceClient(host, port) as client:
+            assert client.ping()["payload"]["kind"] == "pong"
+            for request in requests:
+                payload = client.call_strict(request)
+                assert json.dumps(payload, sort_keys=True) == json.dumps(
+                    execute_request(request), sort_keys=True
+                )
+
+
+def test_tcp_pipelined_duplicates_dedup():
+    requests = [
+        api.SimulationRequest("VGG-19", "baseline", s) for s in (4, 16)
+    ] * 4
+    with ServerThread(ServiceConfig(max_workers=2)) as srv:
+        host, port = srv.address
+        with ServiceClient(host, port) as client:
+            responses = client.request_many(requests)
+            assert all(r["status"] == "ok" for r in responses)
+            served = [r["meta"]["served_by"] for r in responses]
+            assert served.count("computed") == 2  # one per unique request
+            assert all(
+                s in ("computed", "coalesced", "memo") for s in served
+            )
+            stats = client.stats()
+        counters = stats["counters"]
+        assert counters["service.computed"] == 2
+        assert (
+            counters.get("service.coalesced", 0)
+            + counters.get("service.memo_hits", 0)
+            == 6
+        )
+
+
+def test_tcp_garbage_line_answers_error_and_connection_survives():
+    with ServerThread(ServiceConfig(max_workers=1)) as srv:
+        host, port = srv.address
+        with ServiceClient(host, port) as client:
+            client._sock.sendall(b"this is not json\n")
+            response = client._recv()
+            assert response["status"] == "error"
+            assert response["error"]["code"] == "bad-frame"
+            # The connection still works afterwards.
+            assert client.ping()["payload"]["kind"] == "pong"
+
+
+def test_server_thread_restartable():
+    with ServerThread(ServiceConfig(max_workers=1)) as srv:
+        first_port = srv.address[1]
+    with ServerThread(ServiceConfig(max_workers=1)) as srv:
+        with ServiceClient(*srv.address) as client:
+            assert client.ping()["status"] == "ok"
+    assert first_port  # both lifecycles completed cleanly
