@@ -191,13 +191,46 @@ class _RequestBase:
                 f"unknown {cls.kind} request fields: {sorted(unknown)}"
             )
         kwargs = {k: data[k] for k in known & set(data)}
-        return cls(**kwargs)
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:  # e.g. a missing required field
+            raise ConfigError(f"bad {cls.kind} request: {exc}") from None
 
 
 def _as_tuple(value, caster) -> tuple:
     if isinstance(value, (str, bytes)):
         raise ConfigError(f"expected a sequence, got {value!r}")
-    return tuple(caster(v) for v in value)
+    try:
+        return tuple(caster(v) for v in value)
+    except TypeError:
+        raise ConfigError(f"expected a sequence, got {value!r}") from None
+
+
+def _positive_int(name: str, value, optional: bool = False):
+    """Wire-field validator: a positive JSON integer (bools excluded).
+
+    Requests cross a trust boundary, so field types are checked at
+    construction — a bad value must surface as :class:`ConfigError`
+    (the service's ``bad-request``), never as a ``TypeError`` deep in
+    ``fingerprint()`` or an engine.
+    """
+    if value is None and optional:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigError(f"{name} must be an integer, got {value!r}")
+    if value <= 0:
+        raise ConfigError(f"{name} must be positive, got {value}")
+    return value
+
+
+def _positive_real(name: str, value, optional: bool = False):
+    if value is None and optional:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(f"{name} must be a number, got {value!r}")
+    if not math.isfinite(value) or value <= 0:
+        raise ConfigError(f"{name} must be positive and finite, got {value!r}")
+    return value
 
 
 @dataclass(frozen=True)
@@ -227,6 +260,12 @@ class SimulationRequest(_RequestBase):
         object.__setattr__(self, "workload", _workload_name(self.workload))
         object.__setattr__(self, "arch", arch_alias(self.arch))
         get_engine(self.engine)
+        _positive_int("scale", self.scale)
+        _positive_int("batch_size", self.batch_size, optional=True)
+        _positive_int("pool_size", self.pool_size, optional=True)
+        _positive_real("fabric_bandwidth", self.fabric_bandwidth, optional=True)
+        _positive_int("des_iterations", self.des_iterations)
+        _positive_int("des_buffer_batches", self.des_buffer_batches)
 
     def resolve(self) -> SweepPoint:
         """The fully-resolved grid point this request denotes."""
@@ -269,10 +308,19 @@ class SweepRequest(_RequestBase):
             self, "workloads", _as_tuple(self.workloads, _workload_name)
         )
         object.__setattr__(self, "archs", _as_tuple(self.archs, arch_alias))
-        object.__setattr__(self, "scales", _as_tuple(self.scales, int))
+        object.__setattr__(
+            self,
+            "scales",
+            _as_tuple(self.scales, lambda s: _positive_int("scale", s)),
+        )
         if not self.workloads or not self.archs or not self.scales:
             raise ConfigError("sweep request axes must be non-empty")
         get_engine(self.engine)
+        _positive_int("batch_size", self.batch_size, optional=True)
+        _positive_int("pool_size", self.pool_size, optional=True)
+        _positive_real("fabric_bandwidth", self.fabric_bandwidth, optional=True)
+        _positive_int("des_iterations", self.des_iterations)
+        _positive_int("des_buffer_batches", self.des_buffer_batches)
 
     def to_dict(self) -> Dict:
         body = super().to_dict()
@@ -327,16 +375,25 @@ class FaultScheduleRequest(_RequestBase):
         object.__setattr__(self, "workload", _workload_name(self.workload))
         object.__setattr__(self, "arch", arch_alias(self.arch))
         get_engine(self.engine)
+        _positive_int("scale", self.scale)
+        _positive_int("batch_size", self.batch_size, optional=True)
+        _positive_int("pool_size", self.pool_size, optional=True)
+        _positive_int("des_iterations", self.des_iterations)
         events = []
-        for event in self.events:
-            device, fail_t, recover_t = event
-            recover = None if recover_t is None else float(recover_t)
-            if recover is not None and math.isinf(recover):
-                recover = None
-            events.append((str(device), float(fail_t), recover))
+        try:
+            for event in self.events:
+                device, fail_t, recover_t = event
+                recover = None if recover_t is None else float(recover_t)
+                if recover is not None and math.isinf(recover):
+                    recover = None
+                events.append((str(device), float(fail_t), recover))
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"events must be (device, fail_time, recover_time) "
+                f"triples: {exc}"
+            ) from None
         object.__setattr__(self, "events", tuple(events))
-        if self.horizon <= 0:
-            raise ConfigError(f"horizon must be positive: {self.horizon}")
+        _positive_real("horizon", self.horizon)
 
     def to_dict(self) -> Dict:
         body = super().to_dict()
@@ -490,6 +547,22 @@ def _as_cache(cache) -> Optional[ResultCache]:
     return ResultCache(Path(cache))
 
 
+def _reject_request_overrides(kind: str, *overrides) -> None:
+    """Raise when scenario keywords accompany a request object.
+
+    A request object *is* the scenario; letting ``engine=`` or
+    ``batch_size=`` ride along would be silently ignored, so any
+    non-default value is a conflict (mirrors the workload/arch/scale
+    positional check).  ``overrides`` are ``(name, value, default)``.
+    """
+    clash = [name for name, value, default in overrides if value != default]
+    if clash:
+        raise ConfigError(
+            f"keyword(s) {', '.join(clash)} conflict with the {kind}; "
+            f"set scenario parameters on the request itself"
+        )
+
+
 def simulate(
     workload: Union[str, Workload, SimulationRequest],
     arch: Union[None, str, ArchitectureConfig] = None,
@@ -526,6 +599,16 @@ def simulate(
                 "pass either a SimulationRequest or workload/arch/scale "
                 "keywords, not both"
             )
+        _reject_request_overrides(
+            "SimulationRequest",
+            ("engine", engine, "analytical"),
+            ("batch_size", batch_size, None),
+            ("pool_size", pool_size, None),
+            ("accelerator", accelerator, "tpu"),
+            ("fabric_bandwidth", fabric_bandwidth, None),
+            ("des_iterations", des_iterations, 60),
+            ("des_buffer_batches", des_buffer_batches, 4),
+        )
         point = workload.resolve()
     else:
         if arch is None or scale is None:
@@ -621,11 +704,24 @@ def price_fault_schedule(
     from repro.core.server import build_server
 
     if isinstance(workload, FaultScheduleRequest):
-        if arch is not None or scale is not None or schedule is not None:
+        if (
+            arch is not None
+            or scale is not None
+            or schedule is not None
+            or horizon is not None
+            or hw is not None
+        ):
             raise ConfigError(
                 "pass either a FaultScheduleRequest or workload/arch/"
                 "scale/schedule/horizon arguments, not both"
             )
+        _reject_request_overrides(
+            "FaultScheduleRequest",
+            ("engine", engine, "analytical"),
+            ("batch_size", batch_size, None),
+            ("pool_size", pool_size, None),
+            ("des_iterations", des_iterations, 60),
+        )
         request = workload
         workload, arch, scale = request.workload, request.arch, request.scale
         schedule, horizon = request.resolve(), request.horizon

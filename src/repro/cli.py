@@ -704,6 +704,7 @@ def _service_config(args: argparse.Namespace):
         memo_entries=args.memo,
         quota_rate=math.inf if args.quota_rate is None else args.quota_rate,
         quota_burst=args.quota_burst,
+        max_tenants=args.max_tenants,
         cache_dir=args.cache_dir,
         shared_dir=args.shared_dir,
     )
@@ -1135,6 +1136,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--quota-burst", type=float, default=256.0,
         help="per-tenant burst capacity (default 256)",
+    )
+    p.add_argument(
+        "--max-tenants", type=int, default=1024,
+        help="live per-tenant quota buckets; idle ones are LRU-evicted "
+        "beyond this (default 1024)",
     )
     p.add_argument(
         "--cache-dir", default=None,

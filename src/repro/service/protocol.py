@@ -24,10 +24,12 @@ Response envelope::
 ``meta.served_by`` on ok responses names the tier that produced the
 payload: ``computed``, ``coalesced`` (attached to an identical in-flight
 computation), ``memo`` (in-process LRU), ``disk`` or ``shared`` (the
-on-disk tiers).  ``rejected`` means admission control or a quota turned
-the request away — retry after ``meta.retry_after`` seconds; ``error``
-means the request itself is unservable (malformed, unknown workload,
-engine failure) and retrying it unchanged cannot help.
+on-disk tiers).  ``rejected`` means the request was turned away but may
+succeed if resent — codes ``backpressure`` (admission control), ``quota``
+(tenant over budget), or ``retry`` (the in-flight computation this
+request coalesced onto was cancelled) — retry after ``meta.retry_after``
+seconds; ``error`` means the request itself is unservable (malformed,
+unknown workload, engine failure) and retrying it unchanged cannot help.
 
 Frames are canonical (sorted keys, compact separators), so identical
 payloads are byte-identical on the wire.

@@ -91,6 +91,15 @@ def execute_request(request) -> Dict:
     raise ConfigError(f"unservable request type {type(request).__name__}")
 
 
+class _OwnerCancelled(ConfigError):
+    """The task owning an in-flight computation was cancelled.
+
+    Set on the shared future so coalesced waiters fail fast (and get a
+    retryable ``rejected`` answer) instead of hanging on a future nobody
+    will ever resolve.
+    """
+
+
 class TokenBucket:
     """Classic token bucket: ``rate`` tokens/s, ``burst`` capacity."""
 
@@ -120,6 +129,14 @@ class TokenBucket:
             return 0.0
         return max(0.0, (n - self.tokens) / self.rate)
 
+    def idle(self) -> bool:
+        """True when the bucket has refilled to capacity — dropping it
+        loses no state, since a lazily recreated bucket starts full."""
+        if math.isinf(self.rate):
+            return True
+        refill = (time.monotonic() - self.updated) * self.rate
+        return self.tokens + refill >= self.burst
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -130,6 +147,7 @@ class ServiceConfig:
     memo_entries: int = 512      # in-process LRU payloads
     quota_rate: float = math.inf  # tokens/s granted per tenant
     quota_burst: float = 256.0   # tenant burst capacity
+    max_tenants: int = 1024      # live token buckets (LRU-evicted beyond)
     cache_dir: Optional[Path] = None    # private on-disk tier
     shared_dir: Optional[Path] = None   # cross-process tier (locked writes)
 
@@ -144,6 +162,8 @@ class ServiceConfig:
             raise ConfigError("quota_rate must be positive")
         if self.quota_burst < 1:
             raise ConfigError("quota_burst must be >= 1")
+        if self.max_tenants < 1:
+            raise ConfigError("max_tenants must be >= 1")
 
 
 class SimulationService:
@@ -163,7 +183,9 @@ class SimulationService:
         )
         self._inflight: Dict[str, asyncio.Future] = {}
         self._pending = 0
-        self._buckets: Dict[str, TokenBucket] = {}
+        self._buckets: "collections.OrderedDict[str, TokenBucket]" = (
+            collections.OrderedDict()
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.max_workers,
             thread_name_prefix="repro-engine",
@@ -187,11 +209,32 @@ class SimulationService:
     def _bucket(self, tenant: str) -> TokenBucket:
         bucket = self._buckets.get(tenant)
         if bucket is None:
+            if len(self._buckets) >= self.config.max_tenants:
+                self._evict_bucket()
             bucket = TokenBucket(
                 self.config.quota_rate, self.config.quota_burst
             )
             self._buckets[tenant] = bucket
+        else:
+            self._buckets.move_to_end(tenant)
         return bucket
+
+    def _evict_bucket(self) -> None:
+        """Drop one tenant bucket so the table stays bounded.
+
+        Tenant names are client-supplied strings, so the table must not
+        grow with the name space.  Prefers an :meth:`~TokenBucket.idle`
+        (fully refilled) bucket — dropping one loses no quota state —
+        scanning from the least-recently-used end; if every tenant is
+        mid-burst, the LRU one goes anyway (it regains its burst on
+        return, a bounded generosity that beats unbounded memory)."""
+        for tenant, bucket in self._buckets.items():  # LRU order
+            if bucket.idle():
+                del self._buckets[tenant]
+                self._inc("service.tenants_evicted")
+                return
+        self._buckets.popitem(last=False)
+        self._inc("service.tenants_evicted")
 
     def _memo_get(self, fp: str) -> Optional[Dict]:
         payload = self._memo.get(fp)
@@ -217,11 +260,12 @@ class SimulationService:
             "inflight": len(self._inflight),
             "pending": self._pending,
             "memo_entries": len(self._memo),
-            "tenants": sorted(self._buckets),
+            "tenants": len(self._buckets),
             "config": {
                 "max_workers": self.config.max_workers,
                 "max_pending": self.config.max_pending,
                 "memo_entries": self.config.memo_entries,
+                "max_tenants": self.config.max_tenants,
                 "quota_rate": (
                     None
                     if math.isinf(self.config.quota_rate)
@@ -296,9 +340,18 @@ class SimulationService:
             tenant = str(envelope.get("tenant") or "anon")
             request = api.request_from_dict(envelope.get("request"))
             profile = bool(envelope.get("profile", False))
+            # fingerprint() fully resolves the request, so malformed
+            # field values that slipped past construction surface here —
+            # still inside the bad-request envelope, never as a raise.
+            fp = request.fingerprint()
         except ConfigError as exc:
             self._inc("service.bad_requests")
             return protocol.error_response(rid, "bad-request", str(exc))
+        except (TypeError, ValueError) as exc:
+            self._inc("service.bad_requests")
+            return protocol.error_response(
+                rid, "bad-request", f"{type(exc).__name__}: {exc}"
+            )
 
         self._inc("service.requests")
         self._inc(f"service.requests.{request.kind}")
@@ -313,7 +366,6 @@ class SimulationService:
                 round(bucket.retry_after(), 4),
             )
 
-        fp = request.fingerprint()
         meta: Dict[str, Any] = {"fingerprint": fp, "kind": request.kind}
 
         payload = self._memo_get(fp)
@@ -328,6 +380,9 @@ class SimulationService:
             self._inc("service.coalesced")
             try:
                 payload = await asyncio.shield(shared_future)
+            except _OwnerCancelled as exc:
+                self._inc("service.coalesce_aborted")
+                return protocol.rejected_response(rid, "retry", str(exc), 0.0)
             except ConfigError as exc:
                 return protocol.error_response(rid, "compute", str(exc))
             meta["served_by"] = "coalesced"
@@ -352,6 +407,8 @@ class SimulationService:
             payload, tier, manifest, spans = await loop.run_in_executor(
                 self._executor, self._compute, request, fp, profile
             )
+            if not future.done():
+                future.set_result(payload)
         except ConfigError as exc:
             future.set_exception(exc)
             future.exception()  # consumed: no "never retrieved" warning
@@ -367,11 +424,21 @@ class SimulationService:
                 rid, "internal", f"{type(exc).__name__}: {exc}"
             )
         finally:
+            if not future.done():
+                # This task was cancelled mid-computation (e.g. its
+                # connection died).  Resolve the shared future so
+                # coalesced waiters from other connections fail fast
+                # and retry, instead of hanging until their timeout.
+                future.set_exception(
+                    _OwnerCancelled(
+                        "the computation this request coalesced onto was "
+                        "cancelled; retry"
+                    )
+                )
+                future.exception()
             self._inflight.pop(fp, None)
             self._pending -= 1
 
-        if not future.done():
-            future.set_result(payload)
         self._memo_put(fp, payload)
         if tier == "computed":
             self._inc("service.computed")
@@ -447,7 +514,19 @@ class SimulationServer:
                     protocol.error_response(None, "bad-frame", str(exc))
                 )
                 return
-            await respond(await self.service.handle(envelope))
+            try:
+                response = await self.service.handle(envelope)
+            except Exception as exc:
+                # handle() promises never to raise; if a hole slips
+                # through anyway the client must still get an answer for
+                # this id — silence here means a blocked client (the
+                # gather() below swallows task exceptions).
+                response = protocol.error_response(
+                    envelope.get("id"),
+                    "internal",
+                    f"{type(exc).__name__}: {exc}",
+                )
+            await respond(response)
 
         try:
             while True:

@@ -118,3 +118,53 @@ def test_unknown_workload_and_arch_rejected_at_construction():
 def test_sweep_request_rejects_empty_axes():
     with pytest.raises(ConfigError, match="non-empty"):
         api.SweepRequest(workloads=(), archs=("trainbox",), scales=(4,))
+
+
+def test_malformed_field_values_rejected_at_construction():
+    # Requests cross a trust boundary: bad field values must raise
+    # ConfigError at construction, never TypeError from fingerprint()
+    # or an engine (the service maps ConfigError to bad-request).
+    with pytest.raises(ConfigError, match="scale"):
+        api.SimulationRequest("Resnet-50", "trainbox", "huge")
+    with pytest.raises(ConfigError, match="scale"):
+        api.SimulationRequest("Resnet-50", "trainbox", 0)
+    with pytest.raises(ConfigError, match="batch_size"):
+        api.SimulationRequest("Resnet-50", "trainbox", 4, batch_size="big")
+    with pytest.raises(ConfigError, match="scale"):
+        api.SweepRequest(
+            workloads=("Resnet-50",), archs=("trainbox",), scales=(4, "x"),
+        )
+    with pytest.raises(ConfigError, match="horizon"):
+        api.FaultScheduleRequest(
+            "Resnet-50", "trainbox", 4, events=(), horizon="long"
+        )
+    with pytest.raises(ConfigError, match="events"):
+        api.FaultScheduleRequest(
+            "Resnet-50", "trainbox", 4, events=7, horizon=10.0
+        )
+    # A missing required field arrives as TypeError from the dataclass;
+    # from_dict must convert it to the canonical error.
+    with pytest.raises(ConfigError, match="scale"):
+        api.request_from_dict(
+            {"v": api.REQUEST_SCHEMA, "kind": "simulate",
+             "workload": "Resnet-50", "arch": "trainbox"}
+        )
+
+
+def test_request_object_rejects_conflicting_keywords():
+    # A request *is* the scenario: explicit scenario keywords alongside
+    # one would be silently ignored, so they raise instead.
+    request = api.SimulationRequest("Resnet-50", "trainbox", 16)
+    with pytest.raises(ConfigError, match="engine"):
+        api.simulate(request, engine="des")
+    with pytest.raises(ConfigError, match="batch_size"):
+        api.simulate(request, batch_size=32)
+    fault = api.FaultScheduleRequest(
+        "Resnet-50", "trainbox", 16, events=(), horizon=10.0
+    )
+    with pytest.raises(ConfigError, match="engine"):
+        api.price_fault_schedule(fault, engine="des")
+    with pytest.raises(ConfigError, match="not both"):
+        api.price_fault_schedule(fault, horizon=99.0)
+    # Execution knobs (trace/metrics/cache) still compose with requests.
+    assert api.simulate(request).throughput > 0

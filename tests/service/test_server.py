@@ -220,6 +220,23 @@ def test_bad_requests_answer_error_not_crash():
                               "workload": "NoSuchNet", "arch": "trainbox",
                               "scale": 4}},
         {"id": 4},  # op defaults to request, but no request body
+        # Schema-tagged but malformed field values: each must answer
+        # bad-request, never escape handle() (regression: these used to
+        # raise and leave the client hanging).
+        {"id": 5, "request": {"v": api.REQUEST_SCHEMA, "kind": "simulate",
+                              "workload": "Resnet-50",
+                              "arch": "trainbox"}},  # missing scale
+        {"id": 6, "request": {"v": api.REQUEST_SCHEMA, "kind": "simulate",
+                              "workload": "Resnet-50", "arch": "trainbox",
+                              "scale": "huge"}},  # string scale
+        {"id": 7, "request": {"v": api.REQUEST_SCHEMA, "kind": "simulate",
+                              "workload": "Resnet-50", "arch": "trainbox",
+                              "scale": -4}},  # non-positive scale
+        {"id": 8, "request": {"v": api.REQUEST_SCHEMA,
+                              "kind": "price_fault_schedule",
+                              "workload": "Resnet-50", "arch": "trainbox",
+                              "scale": 4, "events": 7,
+                              "horizon": "long"}},  # garbage events/horizon
     ]
 
     async def main():
@@ -236,6 +253,78 @@ def test_bad_requests_answer_error_not_crash():
     # Echoed ids where the envelope had one.
     assert responses[1]["id"] == 1
     assert responses[3]["id"] == 3
+
+
+def test_owner_cancellation_fails_coalesced_waiters_fast(monkeypatch):
+    # If the task owning a computation is cancelled (its connection
+    # died), coalesced waiters must get an immediate retryable answer,
+    # not hang on a future nobody will resolve.
+    real = server_mod.execute_request
+
+    def slow(request):
+        time.sleep(0.5)
+        return real(request)
+
+    monkeypatch.setattr(server_mod, "execute_request", slow)
+    service = SimulationService(ServiceConfig(max_workers=2))
+    fp = REQ.fingerprint()
+
+    async def main():
+        try:
+            owner = asyncio.create_task(service.handle(_envelope(REQ, rid=1)))
+            while fp not in service._inflight:
+                await asyncio.sleep(0.005)
+            waiter = asyncio.create_task(
+                service.handle(_envelope(REQ, rid=2))
+            )
+            # Let the waiter attach to the in-flight future.
+            while (
+                service.registry.to_manifest()["counters"].get(
+                    "service.coalesced", 0
+                )
+                < 1
+            ):
+                await asyncio.sleep(0.005)
+            owner.cancel()
+            start = time.monotonic()
+            response = await waiter
+            elapsed = time.monotonic() - start
+            try:
+                await owner
+            except asyncio.CancelledError:
+                pass
+            return response, elapsed
+        finally:
+            service.close()
+
+    response, elapsed = asyncio.run(main())
+    assert response["status"] == "rejected"
+    assert response["error"]["code"] == "retry"
+    assert elapsed < 0.4  # did not wait out the 0.5s engine run
+    assert fp not in service._inflight  # table cleaned up
+
+
+def test_tenant_bucket_table_is_bounded():
+    service = SimulationService(
+        ServiceConfig(max_workers=1, max_tenants=2)
+    )
+
+    async def main():
+        try:
+            for i in range(5):
+                req = api.SimulationRequest("Resnet-50", "trainbox", 2 ** (i + 2))
+                response = await service.handle(
+                    _envelope(req, rid=i, tenant=f"tenant-{i}")
+                )
+                assert response["status"] == "ok"
+            return await service.handle({"id": 99, "op": "stats"})
+        finally:
+            service.close()
+
+    stats = asyncio.run(main())
+    assert stats["payload"]["tenants"] <= 2
+    counters = stats["payload"]["counters"]
+    assert counters["service.tenants_evicted"] == 3
 
 
 def test_compute_error_reports_and_recovers():
