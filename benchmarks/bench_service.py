@@ -9,25 +9,39 @@ the contract:
 * **bit-identity** — every response payload equals a direct
   ``execute_request`` evaluation of the same request object, canonical
   JSON, byte for byte (checked inside the harness for all responses);
-* **dedup accounting** — the cold server computes every unique request
-  exactly once and serves every duplicate from single-flight coalescing
-  or the memo (``computed == unique``,
+* **dedup accounting** — the cold server serves every unique request
+  with exactly one engine pass and every duplicate from single-flight
+  coalescing or the memo (``computed + batched == unique``,
   ``coalesced + memo == duplicates``);
 * **latency** — p50/p99 (stored as 1/latency rates so the standard
   regression tolerance applies unchanged) and request throughput must
   stay within tolerance of the committed baseline in
   ``benchmarks/baselines/service_latency.json``.
 
-Refresh the baseline on a quiet machine with::
+A second gate targets the cross-request batch scheduler (ISSUE 9): the
+all-distinct 252-request analytical trace, pipelined from 16 clients,
+must be served at least 2x faster at the p99 with batching on than off
+(bit-identity asserted for every response of both phases before any
+timing), the stitch counters must show > 4 points per kernel dispatch,
+and the batched p99/throughput rates gate against
+``benchmarks/baselines/service_batch.json``.
+
+Refresh the baselines on a quiet machine with::
 
     PYTHONPATH=src python -m repro bench-service --update
+    PYTHONPATH=src python -m repro bench-service --distinct --update
 """
 
 from benchmarks._harness import emit
 from repro import perf
 from repro.analysis.tables import format_table
 from repro.service import ServiceConfig
-from repro.service.bench import BASELINE_PATH, run_load_test
+from repro.service.bench import (
+    BASELINE_PATH,
+    BATCH_BASELINE_PATH,
+    run_batch_comparison,
+    run_load_test,
+)
 
 #: The acceptance load: N>=16 clients, dup_factor=2 -> 50% duplicates.
 N_CLIENTS = 16
@@ -53,7 +67,7 @@ def test_service_load_vs_baseline(benchmark, capsys):
     # The harness has already verified bit-identity for every response
     # and raised on any divergence; re-assert the headline accounting.
     assert report.duplicates * 2 == report.total  # 50% duplicates
-    assert report.computed == report.unique
+    assert report.computed + report.batched == report.unique
     deduped = report.coalesced + report.memo_hits
     assert deduped >= MIN_DEDUPED_FRACTION * report.duplicates
     assert report.errors == 0 and report.rejected == 0
@@ -80,5 +94,55 @@ def test_service_load_vs_baseline(benchmark, capsys):
         + report.summary(),
     )
     assert baseline, f"missing baseline {BASELINE_PATH}"
+    failures = perf.regressions(measurements, baseline)
+    assert not failures, "; ".join(failures)
+
+
+#: The distinct-point acceptance gate: batched p99 must beat the
+#: unbatched path by at least this factor on the 16-client trace.
+SPEEDUP_FLOOR = 2.0
+MIN_POINTS_PER_DISPATCH = 4.0
+
+
+def test_service_batch_vs_baseline(benchmark, capsys):
+    report = benchmark.pedantic(
+        lambda: run_batch_comparison(
+            n_clients=N_CLIENTS,
+            speedup_floor=SPEEDUP_FLOOR,
+            min_points_per_dispatch=MIN_POINTS_PER_DISPATCH,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # The harness asserted identity for both phases and enforced the
+    # speedup floor; re-assert the headline accounting here.
+    assert report.batched.batched == report.batched.unique
+    assert report.unbatched.computed == report.unbatched.unique
+    assert report.points_per_dispatch > MIN_POINTS_PER_DISPATCH
+    assert report.p99_speedup >= SPEEDUP_FLOOR
+
+    measurements = report.measurements()
+    baseline = perf.load_baseline(BATCH_BASELINE_PATH)
+    rows = [
+        [
+            m.name,
+            f"{m.best_seconds * 1000:.2f}",
+            f"{m.samples_per_s:,.1f}",
+            f"{baseline.get(m.name, float('nan')):,.1f}",
+        ]
+        for m in measurements
+    ]
+    emit(
+        capsys,
+        f"Service cross-request batching ({N_CLIENTS} clients, "
+        f"{report.batched.total} distinct requests)",
+        format_table(
+            ["measurement", "seconds*1e3", "rate", "baseline"], rows
+        )
+        + "\n\n"
+        + report.summary(),
+    )
+    assert baseline, f"missing baseline {BATCH_BASELINE_PATH}"
     failures = perf.regressions(measurements, baseline)
     assert not failures, "; ".join(failures)

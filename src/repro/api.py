@@ -282,6 +282,12 @@ class SimulationRequest(_RequestBase):
             des_buffer_batches=self.des_buffer_batches,
         )
 
+    def points(self) -> list:
+        """The evaluation points this request decomposes into (the
+        service's cross-request batcher stitches these into shared
+        kernel dispatches)."""
+        return [self.resolve()]
+
     def fingerprint(self) -> str:
         return _fingerprint(REQUEST_SCHEMA, self.kind, cache_key(self.resolve()))
 
@@ -343,10 +349,15 @@ class SweepRequest(_RequestBase):
             des_buffer_batches=self.des_buffer_batches,
         )
 
+    def points(self) -> list:
+        """The grid's evaluation points, in the deterministic
+        workload-major order the response's ``results`` list follows."""
+        return self.resolve().points()
+
     def fingerprint(self) -> str:
         # Reuses the per-point result-cache keys, so two sweep requests
         # coalesce exactly when they denote the same point set.
-        keys = [cache_key(p) for p in self.resolve().points()]
+        keys = [cache_key(p) for p in self.points()]
         return _fingerprint(REQUEST_SCHEMA, self.kind, keys)
 
 

@@ -707,6 +707,9 @@ def _service_config(args: argparse.Namespace):
         max_tenants=args.max_tenants,
         cache_dir=args.cache_dir,
         shared_dir=args.shared_dir,
+        batch_enabled=not args.no_batch,
+        batch_window_ms=args.batch_window_ms,
+        max_batch_points=args.max_batch_points,
     )
 
 
@@ -720,8 +723,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _pipeline_requests(path: str):
+    """Parse a JSONL file of request bodies into request objects."""
+    import json
+
+    requests = []
+    try:
+        handle = open(path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    with handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"{path}:{lineno}: not JSON: {exc}")
+            try:
+                requests.append(api.request_from_dict(data))
+            except ConfigError as exc:
+                raise SystemExit(f"{path}:{lineno}: {exc}")
+    if not requests:
+        raise SystemExit(f"{path}: no requests")
+    return requests
+
+
 def _cmd_client(args: argparse.Namespace) -> int:
     import json
+    import time
 
     from repro.service import ServiceClient
 
@@ -729,6 +760,40 @@ def _cmd_client(args: argparse.Namespace) -> int:
         with ServiceClient(
             args.host, args.port, tenant=args.tenant
         ) as client:
+            if args.requests_file is not None:
+                # Pipeline mode: write every frame, then collect the
+                # out-of-order responses — the server's batch window
+                # stitches the distinct analytical points together.
+                requests = _pipeline_requests(args.requests_file)
+                start = time.perf_counter()
+                responses = client.request_many(requests)
+                elapsed = time.perf_counter() - start
+                if args.json:
+                    for response in responses:
+                        print(json.dumps(response, sort_keys=True))
+                failed = 0
+                served: dict = {}
+                for response in responses:
+                    if response.get("status") != "ok":
+                        failed += 1
+                        error = response.get("error") or {}
+                        print(
+                            f"{response.get('id')}: "
+                            f"{response.get('status')}: "
+                            f"{error.get('code')}: {error.get('message')}",
+                            file=sys.stderr,
+                        )
+                    else:
+                        tier = response["meta"].get("served_by", "?")
+                        served[tier] = served.get(tier, 0) + 1
+                tiers = ", ".join(
+                    f"{tier}: {count}" for tier, count in sorted(served.items())
+                )
+                print(
+                    f"{len(responses)} requests in {elapsed * 1000:.1f} ms "
+                    f"({failed} failed; {tiers})"
+                )
+                return 1 if failed else 0
             if args.action == "ping":
                 response = client.ping()
                 print(json.dumps(response, indent=2, sort_keys=True))
@@ -778,19 +843,42 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
 
     from repro import perf
     from repro.service import ServiceConfig, run_load_test
+    from repro.service.bench import BATCH_BASELINE_PATH, run_batch_comparison
 
-    baseline_path = Path(args.baseline)
     config = ServiceConfig(
         max_workers=args.workers,
         max_pending=max(64, args.clients * 64),
     )
-    try:
-        report = run_load_test(
-            n_clients=args.clients, dup_factor=args.dup, config=config
+    if args.distinct:
+        # The cross-request batching gate: all-distinct trace, batched
+        # vs unbatched phases, hard p99 speedup floor.
+        baseline_path = (
+            Path(args.baseline)
+            if args.baseline is not None
+            else BATCH_BASELINE_PATH
         )
-    except ConfigError as exc:
-        print(f"SERVICE GATE  {exc}", file=sys.stderr)
-        return 1
+        try:
+            report = run_batch_comparison(
+                n_clients=args.clients,
+                config=config,
+                speedup_floor=args.min_speedup,
+            )
+        except ConfigError as exc:
+            print(f"SERVICE GATE  {exc}", file=sys.stderr)
+            return 1
+    else:
+        baseline_path = (
+            Path(args.baseline)
+            if args.baseline is not None
+            else Path("benchmarks/baselines/service_latency.json")
+        )
+        try:
+            report = run_load_test(
+                n_clients=args.clients, dup_factor=args.dup, config=config
+            )
+        except ConfigError as exc:
+            print(f"SERVICE GATE  {exc}", file=sys.stderr)
+            return 1
     print(report.summary())
 
     measurements = report.measurements()
@@ -1118,7 +1206,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1", help="bind address")
     p.add_argument("--port", type=int, default=7543, help="bind port")
     p.add_argument(
-        "--workers", type=int, default=4, help="engine threads (default 4)"
+        "--workers", type=int, default=None,
+        help="engine threads (default: sized from the CPU count)",
+    )
+    p.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="cross-request batching window: how long the first queued "
+        "point waits for batch-mates before the kernel dispatch fires "
+        "(default 2.0)",
+    )
+    p.add_argument(
+        "--max-batch-points", type=int, default=256,
+        help="points per kernel dispatch; a full queue flushes without "
+        "waiting out the window (default 256)",
+    )
+    p.add_argument(
+        "--no-batch", action="store_true",
+        help="disable cross-request batching (every request takes the "
+        "per-request compute path)",
     )
     p.add_argument(
         "--max-pending", type=int, default=64,
@@ -1159,7 +1264,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "action", choices=["simulate", "stats", "ping"],
-        help="simulate a scenario remotely, or an admin op",
+        nargs="?", default="simulate",
+        help="simulate a scenario remotely, or an admin op "
+        "(ignored with --requests-file)",
+    )
+    p.add_argument(
+        "--requests-file", default=None, metavar="JSONL",
+        help="pipeline a JSONL file of request bodies (one "
+        "schema-tagged request dict per line) over one connection and "
+        "print a served-by summary",
     )
     p.add_argument(
         "workload", nargs="?", default=None,
@@ -1188,8 +1301,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--baseline",
-        default="benchmarks/baselines/service_latency.json",
-        help="baseline JSON path",
+        default=None,
+        help="baseline JSON path (default: the mode's committed "
+        "baseline under benchmarks/baselines/)",
+    )
+    p.add_argument(
+        "--distinct", action="store_true",
+        help="run the cross-request batching gate instead: an "
+        "all-distinct analytical trace, batched vs unbatched phases, "
+        "bit-identity asserted, batched p99 must beat unbatched by "
+        "--min-speedup",
+    )
+    p.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help="with --distinct, fail below this batched/unbatched p99 "
+        "latency ratio (default 2.0)",
     )
     p.add_argument(
         "--clients", type=int, default=16,
@@ -1198,7 +1324,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--dup", type=int, default=2,
         help="copies of every unique request; 2 makes half the trace "
-        "duplicates (default 2)",
+        "duplicates (default 2; ignored with --distinct)",
     )
     p.add_argument(
         "--workers", type=int, default=4,

@@ -47,7 +47,7 @@ from repro.core.analytical import (
 from repro.core.config import HardwareConfig, SyncStrategy
 from repro.core.dataflow import build_demand_lite
 from repro.core.server import ServerModel, build_server_cached
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.core.results import SimulationResult
 from repro.pcie.link import LinkDirection
 from repro.sync.model import DEFAULT_STEP_LATENCY
@@ -435,8 +435,80 @@ def evaluate_grid(
     invalid scenarios (``ConfigError``) or degenerate rates
     (``SimulationError``).
     """
+    results, reasons, _ = _evaluate(points, isolate=False)
+    return results, reasons
+
+
+def evaluate_points(
+    points: Sequence, isolate_errors: bool = True
+) -> Tuple[
+    List[Optional[SimulationResult]],
+    List[str],
+    List[Optional[Exception]],
+]:
+    """Evaluate a ragged point-list: dedup, batch, isolate errors.
+
+    The grid entry (:func:`evaluate_grid`) serves sweeps, where the
+    caller controls the point set; this entry serves the service's
+    cross-request batch scheduler (:mod:`repro.service.batch`), where
+    the set is stitched together from *whatever distinct tenants asked
+    for*.  Two differences follow:
+
+    * **canonicalization** — points are deduplicated on their result
+      cache key (:func:`repro.core.sweeps.cache_key`) before the SoA
+      passes, so requests that spell the same scenario twice cost one
+      evaluation; duplicates share the result object.
+    * **per-point error isolation** (``isolate_errors=True``) — a
+      poisoned point (invalid scenario, degenerate rates) must not fail
+      its batch-mates, so errors the grid entry would raise are instead
+      returned in the third, point-aligned list.  The captured
+      exceptions are the very objects the scalar engine would raise.
+
+    Returns ``(results, reasons, errors)``, all aligned with
+    ``points``.  A point has exactly one of ``results[i]`` (kernel
+    applied), ``errors[i]`` (its evaluation failed), or neither
+    (``reasons[i]`` says why the kernel declined it and the caller
+    should fall back to the scalar engine).
+    """
+    from repro.core.sweeps import cache_key
+
+    unique_of: Dict[str, int] = {}
+    unique_idx: List[int] = []
+    slot: List[int] = []
+    for idx, point in enumerate(points):
+        key = cache_key(point)
+        j = unique_of.get(key)
+        if j is None:
+            j = unique_of[key] = len(unique_idx)
+            unique_idx.append(idx)
+        slot.append(j)
+    u_results, u_reasons, u_errors = _evaluate(
+        [points[i] for i in unique_idx], isolate=isolate_errors
+    )
+    return (
+        [u_results[j] for j in slot],
+        [u_reasons[j] for j in slot],
+        [u_errors[j] for j in slot],
+    )
+
+
+def _evaluate(
+    points: Sequence, isolate: bool
+) -> Tuple[
+    List[Optional[SimulationResult]],
+    List[str],
+    List[Optional[Exception]],
+]:
+    """The shared kernel body behind both public entries.
+
+    ``isolate=False`` preserves the grid contract exactly: scenario
+    validation and degenerate-rate errors raise.  ``isolate=True``
+    converts both into per-point entries of the returned ``errors``
+    list instead, demoting only the offending rows.
+    """
     results: List[Optional[SimulationResult]] = [None] * len(points)
     reasons: List[str] = [""] * len(points)
+    errors: List[Optional[Exception]] = [None] * len(points)
 
     tracer_active = obs.current_tracer() is not None
     eligible: List[int] = []
@@ -451,8 +523,8 @@ def evaluate_grid(
             continue
         # Scenario construction runs the scalar engine's validation
         # (positive batch size, known accelerator) with identical errors.
-        scenarios.append(
-            TrainingScenario(
+        try:
+            scenario = TrainingScenario(
                 workload=point.workload,
                 arch=point.arch,
                 n_accelerators=point.scale,
@@ -462,11 +534,17 @@ def evaluate_grid(
                 fabric_bandwidth=point.fabric_bandwidth,
                 pool_size=point.pool_size,
             )
-        )
+        except (ConfigError, SimulationError) as exc:
+            if not isolate:
+                raise
+            errors[i] = exc
+            reasons[i] = f"error: {exc}"
+            continue
+        scenarios.append(scenario)
         eligible.append(i)
         reasons[i] = "batch"
     if not eligible:
-        return results, reasons
+        return results, reasons, errors
 
     n_points = len(eligible)
     n_resources = len(RESOURCE_ORDER)
@@ -497,6 +575,15 @@ def evaluate_grid(
                 reasons[i] = str(exc) or "batch prep pricing inapplicable"
                 demoted.append(j)
                 continue
+            except (ConfigError, SimulationError) as exc:
+                # The pair itself is unpriceable — the scalar engine
+                # would raise the same error for this point.
+                if not isolate:
+                    raise
+                errors[i] = exc
+                reasons[i] = f"error: {exc}"
+                demoted.append(j)
+                continue
             pairs_priced.add((server_key, point.workload.name))
             rates_dicts[j] = rates
             pcie_links[j] = link_name
@@ -516,16 +603,33 @@ def evaluate_grid(
             rate_matrix = rate_matrix[keep]
             n_points = len(eligible)
             if not n_points:
-                return results, reasons
+                return results, reasons, errors
 
     # min-reduce per row; first-minimal argmin matches the scalar
     # min(rates, key=rates.get) because columns follow RESOURCE_ORDER.
     prep_rate = rate_matrix.min(axis=1)
     bad = np.flatnonzero(prep_rate <= 0.0)
     if bad.size:
-        raise SimulationError(
-            f"non-positive prep rate: {rates_dicts[int(bad[0])]}"
-        )
+        if not isolate:
+            raise SimulationError(
+                f"non-positive prep rate: {rates_dicts[int(bad[0])]}"
+            )
+        bad_set = set(int(j) for j in bad)
+        for j in bad_set:
+            i = eligible[j]
+            exc = SimulationError(f"non-positive prep rate: {rates_dicts[j]}")
+            errors[i] = exc
+            reasons[i] = f"error: {exc}"
+        keep = [j for j in range(n_points) if j not in bad_set]
+        eligible = [eligible[j] for j in keep]
+        scenarios = [scenarios[j] for j in keep]
+        rates_dicts = [rates_dicts[j] for j in keep]
+        pcie_links = [pcie_links[j] for j in keep]
+        rate_matrix = rate_matrix[keep]
+        prep_rate = rate_matrix.min(axis=1)
+        n_points = len(eligible)
+        if not n_points:
+            return results, reasons, errors
     bottleneck_col = rate_matrix.argmin(axis=1)
 
     # ---- consume side: closed forms broadcast over the scale axis ----
@@ -599,4 +703,4 @@ def evaluate_grid(
         )
         obs.observe("engine.analytical.throughput", float(throughput[j]))
     obs.inc("engine.analytical.runs", n_points)
-    return results, reasons
+    return results, reasons, errors

@@ -82,6 +82,19 @@ class MetricsRegistry:
             hist = self.histograms[name] = Histogram()
         hist.observe(value)
 
+    def scoped(self, prefix: str) -> Dict[str, int]:
+        """The counters under a name prefix, in sorted order.
+
+        Lets callers surface one subsystem's counter family (e.g.
+        ``service.batch``) without copying the whole table — the
+        service's ``stats`` op uses this to group the batch-scheduler
+        counters."""
+        return {
+            name: self.counters[name]
+            for name in sorted(self.counters)
+            if name.startswith(prefix)
+        }
+
     def __bool__(self) -> bool:
         return bool(self.counters or self.histograms)
 

@@ -4,16 +4,26 @@ An asyncio TCP server (:mod:`~repro.service.server`) exposing the
 :mod:`repro.api` facade to concurrent multi-tenant clients over a
 newline-delimited JSON protocol (:mod:`~repro.service.protocol`), with
 single-flight request coalescing, admission control with backpressure,
-per-tenant token-bucket quotas and a tiered result lookup (in-process
-memo → private disk cache → shared locked cache).  A small synchronous
-client (:mod:`~repro.service.client`) and a load-test harness
-(:mod:`~repro.service.bench`) ride along; ``repro serve`` /
+per-tenant token-bucket quotas, a tiered result lookup (in-process
+memo → private disk cache → shared locked cache) and a cross-request
+batch scheduler (:mod:`~repro.service.batch`) that stitches *distinct*
+analytical requests into shared vectorized kernel dispatches.  A small
+synchronous client (:mod:`~repro.service.client`) and a load-test
+harness (:mod:`~repro.service.bench`) ride along; ``repro serve`` /
 ``repro client`` / ``repro bench-service`` are the CLI entries.
 
 See ``docs/service.md`` for the protocol and operational semantics.
 """
 
-from repro.service.bench import LoadReport, mixed_trace, run_load_test
+from repro.service.batch import BatchScheduler, batchable
+from repro.service.bench import (
+    BatchCompareReport,
+    LoadReport,
+    distinct_trace,
+    mixed_trace,
+    run_batch_comparison,
+    run_load_test,
+)
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.protocol import (
     MAX_FRAME_BYTES,
@@ -28,6 +38,7 @@ from repro.service.server import (
     SimulationServer,
     SimulationService,
     TokenBucket,
+    default_workers,
     execute_request,
     serve,
 )
@@ -35,6 +46,8 @@ from repro.service.server import (
 __all__ = [
     "MAX_FRAME_BYTES",
     "PROTOCOL",
+    "BatchCompareReport",
+    "BatchScheduler",
     "LoadReport",
     "ProtocolError",
     "ServerThread",
@@ -44,10 +57,14 @@ __all__ = [
     "SimulationServer",
     "SimulationService",
     "TokenBucket",
+    "batchable",
     "decode_frame",
+    "default_workers",
+    "distinct_trace",
     "encode_frame",
     "execute_request",
     "mixed_trace",
+    "run_batch_comparison",
     "run_load_test",
     "serve",
 ]

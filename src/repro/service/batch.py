@@ -1,0 +1,367 @@
+"""Cross-request batch scheduler: stitch distinct requests onto the
+vectorized kernel.
+
+The broker (:mod:`repro.service.server`) deduplicates *identical*
+requests; this module goes after the remaining cost — N tenants asking
+for N **different** analytical points still paid N engine runs.  The
+TrainBox thesis is that throughput comes from batching work until the
+hardware is saturated, and PR 7's structure-of-arrays kernel
+(:func:`repro.core.analytical_batch.evaluate_points`) prices hundreds of
+points per pass; what was missing is the stitching layer between them.
+
+The scheduler decomposes every batchable request into canonical
+evaluation points (:meth:`repro.api.SimulationRequest.points` /
+:meth:`~repro.api.SweepRequest.points`), accumulates them in a
+micro-batching queue, and flushes on whichever trigger fires first:
+
+* **size** — the queue reached ``max_batch_points``;
+* **window** — ``batch_window_ms`` elapsed since the first point was
+  queued (an ``asyncio`` timer, so an isolated request pays at most one
+  window of extra latency).
+
+One flush is one kernel dispatch on the service executor: a point-level
+cache-tier scan (``disk`` → ``shared``, the same ``sweep-point`` keys
+:func:`repro.core.sweeps.run_sweep` reads and writes, so sweeps and the
+service share warm entries), then a single ragged
+:func:`~repro.core.analytical_batch.evaluate_points` pass, scalar
+fallback for the points the kernel declines, and per-point write-back
+into both disk tiers.  Results scatter to per-point futures; requests
+assemble their payloads from those futures — bit-identical to a direct
+:func:`~repro.service.server.execute_request` evaluation, which the
+bench asserts before any timing.
+
+Points get the same single-flight treatment requests do: a point that is
+already queued or in flight (under any tenant's request) hands back the
+existing future instead of a second queue slot, and a small point-level
+LRU memo serves repeat points without touching the queue at all.  Per
+point **error isolation** is a hard requirement — one poisoned point
+(invalid scenario, degenerate rates) fails only the requests that
+contain it, never its batch-mates; the captured exception is the very
+object the scalar engine would have raised, so the error envelope is
+identical to the unbatched path's.
+
+Everything except the kernel dispatch runs on the event-loop thread, so
+the queue, the point table and the memo need no locks; counters accrue
+in the service registry (``service.batch_*``) and each dispatch's
+hermetic engine manifest is merged in exactly once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.core.sweeps import cache_key, evaluate_point
+from repro.errors import ConfigError, SimulationError
+
+__all__ = ["BatchScheduler", "batchable"]
+
+#: Request kinds the scheduler can decompose into evaluation points.
+BATCHABLE_KINDS = ("simulate", "sweep")
+
+
+def batchable(request, profile: bool = False) -> bool:
+    """Whether the cross-request batcher may serve this request.
+
+    Only analytical ``simulate``/``sweep`` requests decompose into
+    points the vectorized kernel understands; profiled requests want the
+    scalar engine's per-request trace spans, so they always take the
+    unbatched path.
+    """
+    if profile:
+        return False
+    kind = getattr(request, "kind", None)
+    if kind not in BATCHABLE_KINDS:
+        return False
+    return request.engine == "analytical"
+
+
+class _ShuttingDown(ConfigError):
+    """Queued points abandoned because the service is closing."""
+
+
+class BatchScheduler:
+    """The micro-batching queue between the broker and the kernel.
+
+    Owned by one :class:`~repro.service.server.SimulationService`; all
+    state is touched only on its event-loop thread.  ``run_request`` is
+    the sole entry: it enqueues the request's unresolved points, arms
+    the window timer, awaits the point futures and assembles the
+    response payload.
+    """
+
+    def __init__(self, service) -> None:
+        self.service = service
+        config = service.config
+        self.window = config.batch_window_ms / 1000.0
+        self.max_points = config.max_batch_points
+        self._memo: "collections.OrderedDict[str, Dict]" = (
+            collections.OrderedDict()
+        )
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._queue: List[Tuple[str, Any, asyncio.Future]] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._dispatches: set = set()
+        self._closed = False
+
+    # -- point memo (event-loop thread only) ---------------------------------
+
+    def _memo_get(self, key: str) -> Optional[Dict]:
+        payload = self._memo.get(key)
+        if payload is not None:
+            self._memo.move_to_end(key)
+        return payload
+
+    def _memo_put(self, key: str, payload: Dict) -> None:
+        limit = self.service.config.point_memo_entries
+        if limit <= 0:
+            return
+        self._memo[key] = payload
+        self._memo.move_to_end(key)
+        while len(self._memo) > limit:
+            self._memo.popitem(last=False)
+
+    def __len__(self) -> int:
+        """Points currently queued (not yet dispatched)."""
+        return len(self._queue)
+
+    # -- the request path (event-loop thread) --------------------------------
+
+    async def run_request(self, request) -> Dict:
+        """Serve one batchable request; raises what the scalar path
+        would raise for the first failing point (in point order)."""
+        if self._closed:
+            raise _ShuttingDown("service shutting down")
+        self._loop = asyncio.get_running_loop()
+        points = request.points()
+        inc = self.service._inc
+        slots: List[Tuple[Optional[asyncio.Future], Optional[Dict]]] = []
+        for point in points:
+            key = cache_key(point)
+            payload = self._memo_get(key)
+            if payload is not None:
+                inc("service.batch_point_hits")
+                slots.append((None, payload))
+                continue
+            future = self._inflight.get(key)
+            if future is not None:
+                # Point-level single-flight: some other request already
+                # queued or dispatched this point.
+                inc("service.batch_point_stitched")
+            else:
+                future = self._loop.create_future()
+                self._inflight[key] = future
+                self._queue.append((key, point, future))
+                inc("service.batch_point_queued")
+                # Arm per point so ``max_batch_points`` caps the size of
+                # every dispatch — an oversize request flushes in chunks.
+                self._arm()
+            slots.append((future, None))
+
+        # Shield every await: cancelling this request (its connection
+        # died) must not cancel a point future other requests share.
+        waits = [
+            asyncio.shield(future)
+            for future, _payload in slots
+            if future is not None
+        ]
+        outcomes = (
+            await asyncio.gather(*waits, return_exceptions=True)
+            if waits
+            else []
+        )
+        payloads: List[Optional[Dict]] = []
+        first_error: Optional[BaseException] = None
+        pos = 0
+        for future, payload in slots:
+            if future is None:
+                payloads.append(payload)
+                continue
+            outcome = outcomes[pos]
+            pos += 1
+            if isinstance(outcome, BaseException):
+                if first_error is None:
+                    first_error = outcome
+                payloads.append(None)
+            else:
+                payloads.append(outcome)
+        if first_error is not None:
+            # Every outcome was gathered (consumed), so raising the
+            # first cannot leave an un-retrieved exception behind.
+            raise first_error
+        return self._assemble(request, points, payloads)
+
+    @staticmethod
+    def _assemble(request, points, payloads: List[Dict]) -> Dict:
+        """The response payload, shaped exactly like ``execute_request``."""
+        if request.kind == "simulate":
+            return {
+                "kind": request.kind,
+                "engine": request.engine,
+                "result": payloads[0],
+            }
+        return {
+            "kind": request.kind,
+            "engine": request.engine,
+            "points": [
+                [p.workload.name, p.arch.name, p.scale] for p in points
+            ],
+            "results": payloads,
+        }
+
+    # -- flushing ------------------------------------------------------------
+
+    def _arm(self) -> None:
+        if not self._queue or self._loop is None:
+            return
+        if len(self._queue) >= self.max_points:
+            self._flush("size")
+        elif self._timer is None:
+            self._timer = self._loop.call_later(
+                self.window, self._flush, "window"
+            )
+
+    def _flush(self, trigger: str) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._queue or self._loop is None:
+            return
+        entries, self._queue = self._queue, []
+        self.service._inc(f"service.batch_flush_{trigger}")
+        task = self._loop.create_task(self._dispatch(entries))
+        self._dispatches.add(task)
+        task.add_done_callback(self._dispatches.discard)
+
+    async def _dispatch(
+        self, entries: List[Tuple[str, Any, asyncio.Future]]
+    ) -> None:
+        """One kernel dispatch: compute off-loop, scatter on-loop."""
+        svc = self.service
+        svc._inc("service.batch_dispatches")
+        svc._inc("service.batch_points", len(entries))
+        svc.registry.observe("service.batch_occupancy", float(len(entries)))
+        try:
+            out, manifest, tally = await self._loop.run_in_executor(
+                svc._executor, self._compute_batch, entries
+            )
+        except Exception as exc:  # defensive: fail the points, not the loop
+            failure = ConfigError(
+                f"internal error: {type(exc).__name__}: {exc}"
+            )
+            out = {key: failure for key, _point, _future in entries}
+            manifest, tally = None, {}
+        for name, value in tally.items():
+            svc._inc(name, value)
+        if manifest is not None:
+            # One hermetic engine manifest per dispatch, merged exactly
+            # once — same discipline as the unbatched compute path.
+            svc.registry.merge_manifest(manifest)
+        for key, _point, future in entries:
+            self._inflight.pop(key, None)
+            value = out.get(key)
+            if isinstance(value, BaseException):
+                if not future.done():
+                    future.set_exception(value)
+                    future.exception()  # consumed if every waiter left
+            else:
+                if value is not None:
+                    self._memo_put(key, value)
+                if not future.done():
+                    future.set_result(value)
+
+    def _compute_batch(
+        self, entries: List[Tuple[str, Any, asyncio.Future]]
+    ) -> Tuple[Dict[str, Any], Optional[Dict], Dict[str, int]]:
+        """Executor-thread body: tiers, kernel pass, scalar fallback.
+
+        Returns ``(per-key payload-or-exception, engine manifest,
+        counter tally)`` — pure data; all bookkeeping happens back on
+        the loop.
+        """
+        from repro.core.analytical_batch import evaluate_points
+
+        disk, shared = self.service._disk, self.service._shared
+        tally: Dict[str, int] = collections.defaultdict(int)
+        out: Dict[str, Any] = {}
+        registry = obs.MetricsRegistry()
+        with obs.session(metrics=registry):
+            with obs.span(
+                "service.batch_dispatch", cat="service", points=len(entries)
+            ):
+                remaining: List[Tuple[str, Any]] = []
+                disk_hits: Dict[str, Dict] = (
+                    disk.get_many(key for key, _p, _f in entries)
+                    if disk is not None
+                    else {}
+                )
+                for key, point, _future in entries:
+                    payload = disk_hits.get(key)
+                    if payload is None and shared is not None:
+                        payload = shared.get(key)
+                        if payload is not None and disk is not None:
+                            disk.put(key, payload)
+                    if payload is not None:
+                        out[key] = payload
+                        tally["service.batch_point_disk"] += 1
+                    else:
+                        remaining.append((key, point))
+                if remaining:
+                    results, _reasons, errors = evaluate_points(
+                        [point for _key, point in remaining]
+                    )
+                    for (key, point), result, error in zip(
+                        remaining, results, errors
+                    ):
+                        if error is not None:
+                            out[key] = error
+                            tally["service.batch_point_errors"] += 1
+                            continue
+                        if result is not None:
+                            payload = result.to_dict()
+                            tally["service.batch_point_kernel"] += 1
+                        else:
+                            # The kernel declined this point (other
+                            # sync strategy, unknown accelerator, ...):
+                            # price it scalar, isolating its errors too.
+                            try:
+                                payload = evaluate_point(point).to_dict()
+                            except (ConfigError, SimulationError) as exc:
+                                out[key] = exc
+                                tally["service.batch_point_errors"] += 1
+                                continue
+                            tally["service.batch_point_scalar"] += 1
+                        out[key] = payload
+                        if disk is not None:
+                            disk.put(key, payload)
+                        if shared is not None:
+                            shared.put(key, payload)
+        return out, registry.to_manifest(), dict(tally)
+
+    # -- shutdown ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the timer and fail every still-queued point fast."""
+        self._closed = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        entries, self._queue = self._queue, []
+        for key, _point, future in entries:
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_exception(
+                    _ShuttingDown("service shutting down")
+                )
+                future.exception()
+
+    async def aclose(self) -> None:
+        """Close, then let in-flight dispatches scatter their results."""
+        self.close()
+        if self._dispatches:
+            await asyncio.gather(
+                *list(self._dispatches), return_exceptions=True
+            )

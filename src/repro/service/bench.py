@@ -10,22 +10,32 @@ execute_request` evaluation of the same request object — the service
 may change *when* a result is computed, never *what*.
 
 Because the server starts cold, the accounting is deterministic whatever
-the interleaving: every unique request is computed exactly once
-(``computed == unique``) and every duplicate is served without engine
-work — ``coalesced`` when it overlapped the computation in flight,
-``memo`` when it arrived after — so ``coalesced + memo == duplicates``.
-Latency lands in the committed baseline as rates (1/p50, 1/p99) so the
-existing :mod:`repro.perf` regression machinery gates it unchanged.
+the interleaving: every unique request is served by exactly one engine
+pass (``computed + batched == unique``) and every duplicate is served
+without engine work — ``coalesced`` when it overlapped the computation
+in flight, ``memo`` when it arrived after — so ``coalesced + memo ==
+duplicates``.  Latency lands in the committed baseline as rates (1/p50,
+1/p99) so the existing :mod:`repro.perf` regression machinery gates it
+unchanged.
+
+A second harness, :func:`run_batch_comparison`, targets the
+cross-request batch scheduler specifically: an **all-distinct**
+analytical trace (0% duplicates, so coalescing and the memo can do
+nothing) is pipelined from N clients against the same server config
+with batching on and off, and the batched run must beat the unbatched
+one by a committed p99 floor while every response stays bit-identical
+to :func:`~repro.service.server.execute_request`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro import api
 from repro.errors import ConfigError
@@ -39,8 +49,12 @@ from repro.service.server import (
 
 __all__ = [
     "BASELINE_PATH",
+    "BATCH_BASELINE_PATH",
+    "BatchCompareReport",
     "LoadReport",
+    "distinct_trace",
     "mixed_trace",
+    "run_batch_comparison",
     "run_load_test",
 ]
 
@@ -51,6 +65,9 @@ BASELINE_PATH = (
     / "baselines"
     / "service_latency.json"
 )
+
+#: The committed cross-request batching baseline (distinct-point trace).
+BATCH_BASELINE_PATH = BASELINE_PATH.with_name("service_batch.json")
 
 
 def mixed_trace() -> List:
@@ -101,6 +118,23 @@ def mixed_trace() -> List:
     return requests
 
 
+def distinct_trace() -> List:
+    """An all-distinct analytical trace: every Table I workload crossed
+    with four architectures and the full scale ladder (252 requests, no
+    two sharing a fingerprint).  Coalescing and the request memo cannot
+    help here — only cross-request batching can collapse the work.
+    """
+    from repro.core.sweeps import SCALE_LADDER
+    from repro.workloads.registry import workload_names
+
+    return [
+        api.SimulationRequest(workload, arch, scale)
+        for workload in workload_names()
+        for arch in ("baseline", "acc", "trainbox", "gen4")
+        for scale in SCALE_LADDER
+    ]
+
+
 def _shuffled(items: List, seed: int) -> List:
     """Deterministic shuffle (LCG Fisher–Yates, independent of the
     global RNG state)."""
@@ -122,6 +156,7 @@ class LoadReport:
     unique: int
     duplicates: int
     computed: int
+    batched: int
     coalesced: int
     memo_hits: int
     disk_hits: int
@@ -184,7 +219,8 @@ class LoadReport:
             f"in {self.wall_seconds:.2f}s — "
             f"p50 {self.p50_seconds * 1e3:.1f} ms, "
             f"p99 {self.p99_seconds * 1e3:.1f} ms, "
-            f"computed {self.computed}, coalesced {self.coalesced}, "
+            f"computed {self.computed}, batched {self.batched}, "
+            f"coalesced {self.coalesced}, "
             f"memo {self.memo_hits}, "
             f"coalesce ratio {self.coalesce_ratio:.0%}, "
             f"cache-hit ratio {self.cache_hit_ratio:.0%}"
@@ -206,7 +242,8 @@ def run_load_test(
     response payload is compared — canonical JSON, hence bit-for-bit —
     against a direct in-process :func:`execute_request` evaluation, and
     the cold-start accounting invariants are asserted:
-    ``computed == unique`` and ``coalesced + memo == duplicates``.
+    ``computed + batched == unique`` and ``coalesced + memo ==
+    duplicates``.
     """
     if n_clients < 1:
         raise ConfigError("n_clients must be >= 1")
@@ -287,6 +324,7 @@ def run_load_test(
         unique=len(unique),
         duplicates=len(trace) - len(unique),
         computed=counters.get("service.computed", 0),
+        batched=counters.get("service.batched", 0),
         coalesced=counters.get("service.coalesced", 0),
         memo_hits=counters.get("service.memo_hits", 0),
         disk_hits=counters.get("service.disk_hits", 0)
@@ -299,11 +337,13 @@ def run_load_test(
     )
 
     if check_identity:
-        # Cold server: every unique request computes exactly once, every
+        # Cold server: every unique request is served by exactly one
+        # engine pass (direct or stitched into a batch dispatch), every
         # duplicate is served without engine work — whatever the timing.
-        if report.computed != report.unique:
+        if report.computed + report.batched != report.unique:
             raise ConfigError(
-                f"dedup broke: {report.computed} computations for "
+                f"dedup broke: {report.computed} computed + "
+                f"{report.batched} batched for "
                 f"{report.unique} unique requests"
             )
         if report.coalesced + report.memo_hits != report.duplicates:
@@ -311,4 +351,238 @@ def run_load_test(
                 f"dedup accounting broke: {report.coalesced} coalesced + "
                 f"{report.memo_hits} memo != {report.duplicates} duplicates"
             )
+    return report
+
+
+# -- cross-request batching comparison ---------------------------------------
+
+
+@dataclass
+class BatchCompareReport:
+    """Batched vs unbatched runs of the same distinct-point trace."""
+
+    batched: LoadReport
+    unbatched: LoadReport
+    batch_points: int
+    batch_dispatches: int
+    batch_kernel: int
+
+    @property
+    def points_per_dispatch(self) -> float:
+        """Mean stitched points per kernel dispatch — the batching
+        efficiency the acceptance gate reads off the counters."""
+        if self.batch_dispatches <= 0:
+            return 0.0
+        return self.batch_points / self.batch_dispatches
+
+    @property
+    def p99_speedup(self) -> float:
+        if self.batched.p99_seconds <= 0:
+            return float("inf")
+        return self.unbatched.p99_seconds / self.batched.p99_seconds
+
+    @property
+    def p50_speedup(self) -> float:
+        if self.batched.p50_seconds <= 0:
+            return float("inf")
+        return self.unbatched.p50_seconds / self.batched.p50_seconds
+
+    def measurements(self) -> List[Measurement]:
+        """Rate measurements for the committed batching baseline."""
+        return [
+            Measurement(
+                "service_batch_p50_rate", 1, self.batched.p50_seconds
+            ),
+            Measurement(
+                "service_batch_p99_rate", 1, self.batched.p99_seconds
+            ),
+            Measurement(
+                "service_batch_throughput",
+                self.batched.total,
+                self.batched.wall_seconds,
+            ),
+        ]
+
+    def summary(self) -> str:
+        b, u = self.batched, self.unbatched
+        return (
+            f"{b.total} distinct requests over {b.n_clients} clients — "
+            f"batched p99 {b.p99_seconds * 1e3:.1f} ms vs unbatched "
+            f"{u.p99_seconds * 1e3:.1f} ms ({self.p99_speedup:.1f}x), "
+            f"{self.batch_points} points in {self.batch_dispatches} "
+            f"dispatches ({self.points_per_dispatch:.1f} points/dispatch, "
+            f"{self.batch_kernel} kernel-priced)"
+        )
+
+
+def _pipelined_phase(
+    trace: List,
+    n_clients: int,
+    config: ServiceConfig,
+    expected: Dict[str, str],
+) -> Tuple[LoadReport, Dict[str, int]]:
+    """One cold-server phase: shard the trace, pipeline every shard.
+
+    Each client writes its whole shard before reading any response, so
+    the server sees the concurrent burst a batching window needs; the
+    identical harness times the unbatched config, which keeps the
+    comparison apples-to-apples.  Returns the phase's
+    :class:`LoadReport` and the server's raw counters.
+    """
+    shards = [trace[i::n_clients] for i in range(n_clients)]
+    shards = [s for s in shards if s]
+    n_live = len(shards)
+    latencies: List[List[float]] = [[] for _ in range(n_live)]
+    failures: List[str] = []
+    barrier = threading.Barrier(n_live + 1)
+
+    with ServerThread(config) as srv:
+        host, port = srv.address
+
+        def worker(idx: int) -> None:
+            try:
+                with ServiceClient(
+                    host, port, tenant=f"tenant-{idx % 4}"
+                ) as client:
+                    barrier.wait()
+                    responses = client.request_many(
+                        shards[idx], latencies=latencies[idx]
+                    )
+                    for request, response in zip(shards[idx], responses):
+                        if response.get("status") != "ok":
+                            failures.append(
+                                f"client {idx}: {response.get('error')}"
+                            )
+                            continue
+                        if expected:
+                            got = json.dumps(
+                                response["payload"], sort_keys=True
+                            )
+                            if got != expected[request.fingerprint()]:
+                                failures.append(
+                                    f"client {idx}: response for "
+                                    f"{request.kind} diverged from the "
+                                    f"direct api call"
+                                )
+            except Exception as exc:  # surfaced after join
+                failures.append(f"client {idx}: {type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(n_live)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        t0 = time.perf_counter()
+        for t in threads:
+            t.join(timeout=600)
+        wall = time.perf_counter() - t0
+        counters = srv.service.registry.to_manifest()["counters"]
+
+    if failures:
+        raise ConfigError(
+            f"service batch phase failed ({len(failures)} failures): "
+            + "; ".join(failures[:5])
+        )
+
+    report = LoadReport(
+        n_clients=n_clients,
+        total=len(trace),
+        unique=len(trace),
+        duplicates=0,
+        computed=counters.get("service.computed", 0),
+        batched=counters.get("service.batched", 0),
+        coalesced=counters.get("service.coalesced", 0),
+        memo_hits=counters.get("service.memo_hits", 0),
+        disk_hits=counters.get("service.disk_hits", 0)
+        + counters.get("service.shared_hits", 0),
+        errors=counters.get("service.errors", 0),
+        rejected=counters.get("service.rejected_backpressure", 0)
+        + counters.get("service.rejected_quota", 0),
+        wall_seconds=wall,
+        latencies=[lat for per_client in latencies for lat in per_client],
+    )
+    return report, counters
+
+
+def run_batch_comparison(
+    n_clients: int = 16,
+    config: Optional[ServiceConfig] = None,
+    seed: int = 23,
+    check_identity: bool = True,
+    speedup_floor: float = 0.0,
+    min_points_per_dispatch: float = 4.0,
+) -> BatchCompareReport:
+    """Pipeline the all-distinct trace with batching on, then off.
+
+    Both phases run the same cold server config (only ``batch_enabled``
+    differs), the same shards, the same pipelined clients.  With
+    ``check_identity`` every response from *both* phases is compared
+    bit-for-bit against a direct :func:`execute_request` evaluation
+    **before** any timing is read, and the cold-server accounting is
+    asserted: the batched phase serves every request from the batch path
+    (``batched == unique``), the unbatched phase computes each one
+    (``computed == unique``), and the stitch counters must show real
+    multi-point dispatches (``points/dispatch >
+    min_points_per_dispatch``).
+
+    ``speedup_floor`` > 0 turns the p99 comparison into a hard gate:
+    the batched phase must be at least that many times faster or the
+    run raises (the CI smoke passes 2.0).
+    """
+    if n_clients < 1:
+        raise ConfigError("n_clients must be >= 1")
+    trace = _shuffled(distinct_trace(), seed)
+    config = config or ServiceConfig(max_pending=max(64, len(trace)))
+    if config.max_pending < len(trace):
+        config = dataclasses.replace(config, max_pending=len(trace))
+
+    expected: Dict[str, str] = {}
+    if check_identity:
+        # Also warms the process-global model/demand memos, so neither
+        # phase pays first-touch compilation inside its timed window.
+        for request in trace:
+            expected[request.fingerprint()] = json.dumps(
+                execute_request(request), sort_keys=True
+            )
+
+    on = dataclasses.replace(config, batch_enabled=True)
+    off = dataclasses.replace(config, batch_enabled=False)
+    unbatched, _ = _pipelined_phase(trace, n_clients, off, expected)
+    batched, counters = _pipelined_phase(trace, n_clients, on, expected)
+
+    report = BatchCompareReport(
+        batched=batched,
+        unbatched=unbatched,
+        batch_points=counters.get("service.batch_points", 0),
+        batch_dispatches=counters.get("service.batch_dispatches", 0),
+        batch_kernel=counters.get("service.batch_point_kernel", 0),
+    )
+
+    if check_identity:
+        if batched.batched != batched.unique:
+            raise ConfigError(
+                f"batch routing broke: {batched.batched} batched of "
+                f"{batched.unique} distinct requests"
+            )
+        if unbatched.computed != unbatched.unique:
+            raise ConfigError(
+                f"unbatched phase broke: {unbatched.computed} computed of "
+                f"{unbatched.unique} distinct requests"
+            )
+        if report.points_per_dispatch <= min_points_per_dispatch:
+            raise ConfigError(
+                f"batching degenerated: {report.batch_points} points over "
+                f"{report.batch_dispatches} dispatches "
+                f"({report.points_per_dispatch:.1f} <= "
+                f"{min_points_per_dispatch} points/dispatch)"
+            )
+    if speedup_floor > 0 and report.p99_speedup < speedup_floor:
+        raise ConfigError(
+            f"batched p99 {batched.p99_seconds * 1e3:.1f} ms is only "
+            f"{report.p99_speedup:.2f}x faster than unbatched "
+            f"{unbatched.p99_seconds * 1e3:.1f} ms "
+            f"(floor {speedup_floor}x)"
+        )
     return report

@@ -22,6 +22,7 @@ Usage::
 from __future__ import annotations
 
 import socket
+import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigError
@@ -109,12 +110,22 @@ class ServiceClient:
             )
         return response["payload"]
 
-    def request_many(self, requests: Sequence) -> List[Dict]:
+    def request_many(
+        self,
+        requests: Sequence,
+        latencies: Optional[List[float]] = None,
+    ) -> List[Dict]:
         """Pipeline a batch: write every frame, then collect responses.
 
         Responses arrive in completion order; the returned list is
-        re-sorted into *request* order via the echoed ids."""
+        re-sorted into *request* order via the echoed ids.  Pass a list
+        as ``latencies`` to collect each response's arrival time in
+        seconds since the batch started sending (arrival order, one
+        entry per response) — the load harness times the batched path
+        this way, since pipelined requests have no per-call round
+        trip."""
         ids = []
+        t0 = time.perf_counter()
         for request in requests:
             rid = self._take_id()
             ids.append(rid)
@@ -124,6 +135,8 @@ class ServiceClient:
         by_id: Dict[int, Dict] = {}
         for _ in ids:
             response = self._recv()
+            if latencies is not None:
+                latencies.append(time.perf_counter() - t0)
             by_id[response.get("id")] = response
         missing = [rid for rid in ids if rid not in by_id]
         if missing:

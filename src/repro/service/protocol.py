@@ -22,9 +22,11 @@ Response envelope::
     {"id": 7, "status": "error",    "error": {"code": "bad-request", ...}}
 
 ``meta.served_by`` on ok responses names the tier that produced the
-payload: ``computed``, ``coalesced`` (attached to an identical in-flight
-computation), ``memo`` (in-process LRU), ``disk`` or ``shared`` (the
-on-disk tiers).  ``rejected`` means the request was turned away but may
+payload: ``computed``, ``batched`` (stitched into a shared vectorized
+kernel dispatch with other tenants' points — same bits, one engine
+pass), ``coalesced`` (attached to an identical in-flight computation),
+``memo`` (in-process LRU), ``disk`` or ``shared`` (the on-disk tiers).
+``rejected`` means the request was turned away but may
 succeed if resent — codes ``backpressure`` (admission control), ``quota``
 (tenant over budget), or ``retry`` (the in-flight computation this
 request coalesced onto was cancelled) — retry after ``meta.retry_after``

@@ -19,6 +19,12 @@ content-hash fingerprint of the versioned request objects
   cache directory where writes take the per-entry cross-process
   :class:`~repro.cache.CacheLock` (single writer; stale locks from
   killed servers are reclaimed).  Shared hits are backfilled down.
+* **cross-request batching** — *distinct* analytical requests are
+  decomposed into evaluation points, micro-batched for up to
+  ``batch_window_ms`` (or ``max_batch_points``), and priced in one
+  vectorized kernel dispatch (:mod:`repro.service.batch`); responses
+  carry ``served_by: "batched"`` and stay bit-identical to
+  :func:`execute_request`.
 
 Per-tenant token buckets bound each tenant's request rate; counters for
 every tier and outcome accrue in a :class:`~repro.obs.MetricsRegistry`
@@ -34,6 +40,7 @@ from __future__ import annotations
 import asyncio
 import collections
 import math
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -45,6 +52,7 @@ from repro import api, obs
 from repro.cache import ResultCache
 from repro.errors import ConfigError
 from repro.service import protocol
+from repro.service.batch import BatchScheduler, batchable
 
 __all__ = [
     "ServiceConfig",
@@ -52,6 +60,7 @@ __all__ = [
     "SimulationService",
     "ServerThread",
     "TokenBucket",
+    "default_workers",
     "execute_request",
     "serve",
 ]
@@ -138,11 +147,18 @@ class TokenBucket:
         return self.tokens + refill >= self.burst
 
 
+def default_workers() -> int:
+    """Engine threads sized from the host: one per core, floored at 2
+    (compute overlaps disk I/O even on tiny hosts), capped at 32 (the
+    engines are GIL-bound Python; more threads only add contention)."""
+    return min(32, max(2, os.cpu_count() or 2))
+
+
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Service policy: concurrency bounds, quotas, cache tiers."""
+    """Service policy: concurrency bounds, quotas, cache tiers, batching."""
 
-    max_workers: int = 4         # engine threads
+    max_workers: Optional[int] = None  # engine threads (None: per host cores)
     max_pending: int = 64        # unique computations queued + running
     memo_entries: int = 512      # in-process LRU payloads
     quota_rate: float = math.inf  # tokens/s granted per tenant
@@ -150,9 +166,13 @@ class ServiceConfig:
     max_tenants: int = 1024      # live token buckets (LRU-evicted beyond)
     cache_dir: Optional[Path] = None    # private on-disk tier
     shared_dir: Optional[Path] = None   # cross-process tier (locked writes)
+    batch_enabled: bool = True   # cross-request batch scheduler
+    batch_window_ms: float = 2.0  # micro-batch accumulation window
+    max_batch_points: int = 256  # size trigger: flush at this many points
+    point_memo_entries: int = 4096  # point-level LRU result payloads
 
     def __post_init__(self) -> None:
-        if self.max_workers < 1:
+        if self.max_workers is not None and self.max_workers < 1:
             raise ConfigError("max_workers must be >= 1")
         if self.max_pending < 1:
             raise ConfigError("max_pending must be >= 1")
@@ -164,6 +184,24 @@ class ServiceConfig:
             raise ConfigError("quota_burst must be >= 1")
         if self.max_tenants < 1:
             raise ConfigError("max_tenants must be >= 1")
+        if not (
+            isinstance(self.batch_window_ms, (int, float))
+            and not isinstance(self.batch_window_ms, bool)
+            and math.isfinite(self.batch_window_ms)
+            and self.batch_window_ms >= 0
+        ):
+            raise ConfigError("batch_window_ms must be >= 0 and finite")
+        if self.max_batch_points < 1:
+            raise ConfigError("max_batch_points must be >= 1")
+        if self.point_memo_entries < 0:
+            raise ConfigError("point_memo_entries must be >= 0")
+
+    @property
+    def workers(self) -> int:
+        """The resolved engine-thread count (override or host-sized)."""
+        if self.max_workers is not None:
+            return self.max_workers
+        return default_workers()
 
 
 class SimulationService:
@@ -187,7 +225,7 @@ class SimulationService:
             collections.OrderedDict()
         )
         self._executor = ThreadPoolExecutor(
-            max_workers=self.config.max_workers,
+            max_workers=self.config.workers,
             thread_name_prefix="repro-engine",
         )
         self._disk = (
@@ -199,6 +237,9 @@ class SimulationService:
             ResultCache(self.config.shared_dir, locked=True)
             if self.config.shared_dir is not None
             else None
+        )
+        self._batch = (
+            BatchScheduler(self) if self.config.batch_enabled else None
         )
 
     # -- bookkeeping (event-loop thread only) --------------------------------
@@ -257,15 +298,23 @@ class SimulationService:
             "kind": "stats",
             "protocol": protocol.PROTOCOL,
             "counters": manifest["counters"],
+            "batch": self.registry.scoped("service.batch"),
             "inflight": len(self._inflight),
             "pending": self._pending,
             "memo_entries": len(self._memo),
+            "batch_queued": (
+                len(self._batch) if self._batch is not None else 0
+            ),
             "tenants": len(self._buckets),
             "config": {
-                "max_workers": self.config.max_workers,
+                "max_workers": self.config.workers,
                 "max_pending": self.config.max_pending,
                 "memo_entries": self.config.memo_entries,
                 "max_tenants": self.config.max_tenants,
+                "batch_enabled": self.config.batch_enabled,
+                "batch_window_ms": self.config.batch_window_ms,
+                "max_batch_points": self.config.max_batch_points,
+                "point_memo_entries": self.config.point_memo_entries,
                 "quota_rate": (
                     None
                     if math.isinf(self.config.quota_rate)
@@ -404,9 +453,15 @@ class SimulationService:
         self._inflight[fp] = future
         self._pending += 1
         try:
-            payload, tier, manifest, spans = await loop.run_in_executor(
-                self._executor, self._compute, request, fp, profile
-            )
+            if self._batch is not None and batchable(request, profile):
+                # Cross-request batching: the request's points join the
+                # micro-batch queue and ride a shared kernel dispatch.
+                payload = await self._batch.run_request(request)
+                tier, manifest, spans = "batched", None, None
+            else:
+                payload, tier, manifest, spans = await loop.run_in_executor(
+                    self._executor, self._compute, request, fp, profile
+                )
             if not future.done():
                 future.set_result(payload)
         except ConfigError as exc:
@@ -442,6 +497,8 @@ class SimulationService:
         self._memo_put(fp, payload)
         if tier == "computed":
             self._inc("service.computed")
+        elif tier == "batched":
+            self._inc("service.batched")
         else:
             self._inc(f"service.{tier}_hits")
         if manifest is not None:
@@ -452,6 +509,15 @@ class SimulationService:
         return protocol.ok_response(rid, payload, meta)
 
     def close(self) -> None:
+        if self._batch is not None:
+            self._batch.close()
+        self._executor.shutdown(wait=False)
+
+    async def aclose(self) -> None:
+        """Async shutdown: lets in-flight batch dispatches scatter their
+        results before the executor goes away."""
+        if self._batch is not None:
+            await self._batch.aclose()
         self._executor.shutdown(wait=False)
 
 
@@ -559,10 +625,14 @@ class SimulationServer:
             for task in tasks:
                 task.cancel()
         finally:
+            # Swallowing CancelledError here ends the task *normally*
+            # when shutdown cancels it mid-close, so the streams
+            # machinery's done-callback (which calls task.exception())
+            # does not spray a traceback on the loop.
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
     async def close(self) -> None:
@@ -576,7 +646,7 @@ class SimulationServer:
             await asyncio.gather(
                 *self._conn_tasks, return_exceptions=True
             )
-        self.service.close()
+        await self.service.aclose()
 
 
 async def _run_server(

@@ -225,3 +225,79 @@ def test_workers_capped_by_chunk_count(monkeypatch):
     # 6 points in chunks of 3 → only 2 workers are worth spawning.
     run_sweep(spec, n_jobs=8, chunksize=3, batch=False)
     assert _RecordingPool.calls == [2]
+
+
+# -- evaluate_points: the ragged, deduplicating, error-isolating entry --------
+
+
+def test_evaluate_points_dedups_on_cache_key():
+    point = SweepPoint(RESNET, ArchitectureConfig.trainbox(), 64)
+    other = SweepPoint(RESNET, ArchitectureConfig.baseline(), 4)
+    # The same scenario spelled twice via distinct point objects.
+    twin = SweepPoint(RESNET, ArchitectureConfig.trainbox(), 64)
+    results, reasons, errors = ab.evaluate_points([point, other, twin])
+    assert errors == [None, None, None]
+    assert reasons == ["batch"] * 3
+    assert results[0] is results[2]  # duplicates share the result object
+    for p, r in zip((point, other), results):
+        scalar = evaluate_point(p)
+        assert r == scalar
+        assert fingerprint(r.to_dict()) == fingerprint(scalar.to_dict())
+
+
+def test_evaluate_points_isolates_invalid_scenarios():
+    good = SweepPoint(RESNET, ArchitectureConfig.trainbox(), 64)
+    bad = SweepPoint(RESNET, ArchitectureConfig.trainbox(), 4, batch_size=-1)
+    results, reasons, errors = ab.evaluate_points([good, bad])
+    assert errors[0] is None
+    assert results[0] == evaluate_point(good)
+    assert results[1] is None
+    assert isinstance(errors[1], ab.ConfigError)
+    # The captured exception is the one the scalar engine raises.
+    with pytest.raises(ab.ConfigError) as scalar_exc:
+        evaluate_point(bad)
+    assert str(errors[1]) == str(scalar_exc.value)
+    assert reasons[1].startswith("error:")
+
+
+def test_evaluate_points_isolates_degenerate_rates(monkeypatch):
+    real = ab.prep_rates_batch
+
+    def zeroed(server, workload):
+        rates, link = real(server, workload)
+        if workload is TF_AA:
+            rates = {name: 0.0 for name in rates}
+        return rates, link
+
+    monkeypatch.setattr(ab, "prep_rates_batch", zeroed)
+    good = SweepPoint(RESNET, ArchitectureConfig.trainbox(), 64)
+    bad = SweepPoint(TF_AA, ArchitectureConfig.trainbox(), 64)
+    results, reasons, errors = ab.evaluate_points([bad, good])
+    assert isinstance(errors[0], ab.SimulationError)
+    assert "non-positive prep rate" in str(errors[0])
+    assert results[0] is None
+    # The batch-mate still priced, bit-identical to the scalar engine.
+    assert errors[1] is None
+    assert results[1] == evaluate_point(good)
+
+    # The grid entry keeps its raising contract for the same input.
+    with pytest.raises(ab.SimulationError):
+        ab.evaluate_grid([bad, good])
+
+
+def test_evaluate_points_reports_fallback_reasons_without_errors():
+    des = SweepPoint(
+        RESNET, ArchitectureConfig.trainbox(), 4,
+        engine="des", des_iterations=10,
+    )
+    good = SweepPoint(RESNET, ArchitectureConfig.trainbox(), 4)
+    results, reasons, errors = ab.evaluate_points([des, good])
+    assert results[0] is None and errors[0] is None
+    assert reasons[0].startswith("engine 'des'")
+    assert results[1] == evaluate_point(good)
+
+
+def test_evaluate_grid_raises_on_invalid_scenarios():
+    bad = SweepPoint(RESNET, ArchitectureConfig.trainbox(), 4, batch_size=-1)
+    with pytest.raises(ab.ConfigError):
+        ab.evaluate_grid([bad])

@@ -1,0 +1,443 @@
+"""The cross-request batch scheduler: flush triggers, stitching,
+per-point error isolation, point-level cache tiers.
+
+Tests drive :meth:`SimulationService.handle` directly under
+``asyncio.run`` with tight batch windows; counter assertions read the
+``service.batch_*`` scope the scheduler threads through the registry.
+"""
+
+import asyncio
+import json
+
+from repro import api
+from repro.cache import ResultCache
+from repro.core import analytical_batch
+from repro.core.sweeps import cache_key, run_sweep
+from repro.errors import SimulationError
+from repro.service import (
+    ServiceConfig,
+    SimulationService,
+    batchable,
+    execute_request,
+)
+
+REQ = api.SimulationRequest("Resnet-50", "trainbox", 64)
+
+
+def _envelope(request, rid=1, tenant="t", **extra):
+    return {"id": rid, "tenant": tenant, "request": request.to_dict(), **extra}
+
+
+def _gather(service, envelopes):
+    async def main():
+        try:
+            return await asyncio.gather(
+                *(service.handle(e) for e in envelopes)
+            )
+        finally:
+            await service.aclose()
+
+    return asyncio.run(main())
+
+
+def _counters(service):
+    return service.registry.to_manifest()["counters"]
+
+
+# -- batchability -------------------------------------------------------------
+
+
+def test_batchable_gates_kind_engine_and_profile():
+    sweep = api.SweepRequest(
+        workloads=("Resnet-50",), archs=("trainbox",), scales=(4,)
+    )
+    fault = api.FaultScheduleRequest(
+        "Resnet-50", "trainbox", 16, events=(), horizon=60.0
+    )
+    assert batchable(REQ)
+    assert batchable(sweep)
+    assert not batchable(REQ, profile=True)
+    assert not batchable(fault)
+    assert not batchable(
+        api.SimulationRequest("Resnet-50", "trainbox", 64, engine="des")
+    )
+
+
+# -- flush triggers -----------------------------------------------------------
+
+
+def test_window_flush_serves_a_lone_request():
+    service = SimulationService(
+        ServiceConfig(max_workers=2, batch_window_ms=1.0)
+    )
+    [response] = _gather(service, [_envelope(REQ)])
+    assert response["status"] == "ok"
+    assert response["meta"]["served_by"] == "batched"
+    assert json.dumps(response["payload"], sort_keys=True) == json.dumps(
+        execute_request(REQ), sort_keys=True
+    )
+    counters = _counters(service)
+    assert counters["service.batch_flush_window"] == 1
+    assert counters["service.batch_dispatches"] == 1
+    assert counters["service.batch_points"] == 1
+    assert counters["service.batch_point_kernel"] == 1
+
+
+def test_size_flush_fires_before_the_window():
+    # A 60s window would hang the test if the size trigger were broken;
+    # max_batch_points=2 must flush the 2-point sweep immediately.
+    service = SimulationService(
+        ServiceConfig(
+            max_workers=2, batch_window_ms=60_000.0, max_batch_points=2
+        )
+    )
+    sweep = api.SweepRequest(
+        workloads=("Resnet-50",), archs=("trainbox",), scales=(4, 16)
+    )
+
+    async def main():
+        try:
+            return await asyncio.wait_for(
+                service.handle(_envelope(sweep)), timeout=30.0
+            )
+        finally:
+            await service.aclose()
+
+    response = asyncio.run(main())
+    assert response["status"] == "ok"
+    assert response["payload"] == execute_request(sweep)
+    counters = _counters(service)
+    assert counters["service.batch_flush_size"] == 1
+    assert counters.get("service.batch_flush_window", 0) == 0
+    assert counters["service.batch_points"] == 2
+
+
+def test_oversize_request_splits_into_size_flushes():
+    # 8 points through a 3-point queue: two size flushes + one window
+    # flush for the remainder, every point priced exactly once.
+    service = SimulationService(
+        ServiceConfig(
+            max_workers=2, batch_window_ms=5.0, max_batch_points=3
+        )
+    )
+    sweep = api.SweepRequest(
+        workloads=("Resnet-50", "VGG-19"),
+        archs=("trainbox", "baseline"),
+        scales=(4, 16),
+    )
+    [response] = _gather(service, [_envelope(sweep)])
+    assert response["status"] == "ok"
+    assert response["payload"] == execute_request(sweep)
+    counters = _counters(service)
+    assert counters["service.batch_flush_size"] == 2
+    assert counters["service.batch_flush_window"] == 1
+    assert counters["service.batch_points"] == 8
+    assert counters["service.batch_point_queued"] == 8
+
+
+# -- stitching and the point memo ---------------------------------------------
+
+
+def test_concurrent_requests_stitch_shared_points():
+    # A simulate and a sweep overlapping on one point: the shared point
+    # is queued once and stitched into the second request's wait set.
+    service = SimulationService(
+        ServiceConfig(max_workers=2, batch_window_ms=5.0)
+    )
+    sweep = api.SweepRequest(
+        workloads=("Resnet-50",), archs=("trainbox",), scales=(64, 16)
+    )
+    sim_response, sweep_response = _gather(
+        service, [_envelope(REQ, rid=1), _envelope(sweep, rid=2)]
+    )
+    assert sim_response["status"] == "ok"
+    assert sweep_response["status"] == "ok"
+    # The shared point's payload is literally the same result.
+    assert (
+        sweep_response["payload"]["results"][0]
+        == sim_response["payload"]["result"]
+    )
+    counters = _counters(service)
+    assert counters["service.batch_point_queued"] == 2  # 64 and 16
+    assert counters["service.batch_point_stitched"] == 1
+    assert counters["service.batch_dispatches"] == 1
+
+
+def test_point_memo_serves_repeat_points_across_requests():
+    service = SimulationService(
+        ServiceConfig(max_workers=2, batch_window_ms=1.0)
+    )
+    sweep = api.SweepRequest(
+        workloads=("Resnet-50",), archs=("trainbox",), scales=(64, 16)
+    )
+
+    async def main():
+        try:
+            first = await service.handle(_envelope(REQ, rid=1))
+            second = await service.handle(_envelope(sweep, rid=2))
+            return first, second
+        finally:
+            await service.aclose()
+
+    first, second = asyncio.run(main())
+    assert first["status"] == "ok" and second["status"] == "ok"
+    assert second["payload"]["results"][0] == first["payload"]["result"]
+    counters = _counters(service)
+    # Scale 64 came from the point memo; only scale 16 hit the queue
+    # in the second dispatch.
+    assert counters["service.batch_point_hits"] == 1
+    assert counters["service.batch_point_queued"] == 2
+    assert counters["service.batch_dispatches"] == 2
+
+
+def test_point_memo_can_be_disabled():
+    service = SimulationService(
+        ServiceConfig(
+            max_workers=2, batch_window_ms=1.0, point_memo_entries=0
+        )
+    )
+
+    async def main():
+        try:
+            first = await service.handle(_envelope(REQ, rid=1, tenant="a"))
+            second = await service.handle(_envelope(REQ, rid=2, tenant="b"))
+            return first, second
+        finally:
+            await service.aclose()
+
+    first, second = asyncio.run(main())
+    # The request-level memo still catches the identical request...
+    assert first["meta"]["served_by"] == "batched"
+    assert second["meta"]["served_by"] == "memo"
+    # ...but the point memo held nothing.
+    assert _counters(service).get("service.batch_point_hits", 0) == 0
+
+
+# -- mixed batchable / unbatchable traffic ------------------------------------
+
+
+def test_mixed_kinds_split_between_batched_and_compute_paths():
+    from repro.core.server import build_server
+
+    fpga = (
+        build_server(api.resolve_arch("trainbox"), 16).boxes[0].prep_ids[0]
+    )
+    fault = api.FaultScheduleRequest(
+        "Resnet-50", "trainbox", 16,
+        events=((fpga, 10.0, 40.0),), horizon=60.0,
+    )
+    des = api.SimulationRequest("Resnet-50", "trainbox", 16, engine="des")
+    service = SimulationService(
+        ServiceConfig(max_workers=2, batch_window_ms=5.0)
+    )
+    responses = _gather(
+        service,
+        [
+            _envelope(REQ, rid=1),
+            _envelope(fault, rid=2),
+            _envelope(des, rid=3),
+        ],
+    )
+    assert [r["status"] for r in responses] == ["ok", "ok", "ok"]
+    served = [r["meta"]["served_by"] for r in responses]
+    assert served == ["batched", "computed", "computed"]
+    for request, response in zip((REQ, fault, des), responses):
+        assert response["payload"] == execute_request(request)
+    counters = _counters(service)
+    assert counters["service.batched"] == 1
+    assert counters["service.computed"] == 2
+    assert counters["service.batch_points"] == 1
+
+
+# -- per-point error isolation ------------------------------------------------
+
+
+POISON_SCALE = 16
+
+
+def _poisoning(real):
+    def evaluate_points(points, isolate_errors=True):
+        results, reasons, errors = real(
+            points, isolate_errors=isolate_errors
+        )
+        results, errors = list(results), list(errors)
+        for i, point in enumerate(points):
+            if point.scale == POISON_SCALE:
+                results[i] = None
+                errors[i] = SimulationError("poisoned point")
+        return results, reasons, errors
+
+    return evaluate_points
+
+
+def test_poisoned_point_fails_only_its_requests(monkeypatch):
+    monkeypatch.setattr(
+        analytical_batch,
+        "evaluate_points",
+        _poisoning(analytical_batch.evaluate_points),
+    )
+    service = SimulationService(
+        ServiceConfig(max_workers=2, batch_window_ms=5.0)
+    )
+    poisoned = api.SimulationRequest("Resnet-50", "trainbox", POISON_SCALE)
+    sweep = api.SweepRequest(  # contains the poisoned point
+        workloads=("Resnet-50",), archs=("trainbox",), scales=(4, 16)
+    )
+    healthy = api.SimulationRequest("VGG-19", "baseline", 4)
+    bad1, bad2, good = _gather(
+        service,
+        [
+            _envelope(poisoned, rid=1),
+            _envelope(sweep, rid=2),
+            _envelope(healthy, rid=3),
+        ],
+    )
+    # SimulationError is not a ConfigError, so it surfaces through the
+    # engine-bug clause — exactly as the unbatched path maps it.
+    for bad in (bad1, bad2):
+        assert bad["status"] == "error"
+        assert bad["error"]["code"] == "internal"
+        assert "poisoned point" in bad["error"]["message"]
+    assert good["status"] == "ok"
+    assert good["payload"] == execute_request(healthy)
+    counters = _counters(service)
+    assert counters["service.batch_point_errors"] == 1  # one bad point
+    assert counters["service.errors"] == 2  # two requests contained it
+    assert counters["service.batch_dispatches"] == 1
+
+
+def test_error_envelope_matches_unbatched_path(monkeypatch):
+    # The same poisoned point through batch_enabled=False must produce
+    # the same error code and message.
+    def poisoned_scalar(point, metrics=None):
+        raise SimulationError("poisoned point")
+
+    monkeypatch.setattr(
+        analytical_batch,
+        "evaluate_points",
+        _poisoning(analytical_batch.evaluate_points),
+    )
+    batched = SimulationService(
+        ServiceConfig(max_workers=2, batch_window_ms=1.0)
+    )
+    poisoned = api.SimulationRequest("Resnet-50", "trainbox", POISON_SCALE)
+    [via_batch] = _gather(batched, [_envelope(poisoned)])
+
+    from repro.service import server as server_mod
+
+    def failing_execute(request):
+        raise SimulationError("poisoned point")
+
+    monkeypatch.setattr(server_mod, "execute_request", failing_execute)
+    plain = SimulationService(
+        ServiceConfig(max_workers=2, batch_enabled=False)
+    )
+    [direct] = _gather(plain, [_envelope(poisoned)])
+    assert via_batch["status"] == direct["status"] == "error"
+    assert via_batch["error"] == direct["error"]
+
+
+# -- point-level cache tiers --------------------------------------------------
+
+
+def test_points_served_from_disk_after_restart(tmp_path):
+    config = ServiceConfig(
+        max_workers=2, batch_window_ms=1.0, cache_dir=tmp_path / "cache"
+    )
+    first = SimulationService(config)
+    [r1] = _gather(first, [_envelope(REQ)])
+    assert r1["meta"]["served_by"] == "batched"
+    assert _counters(first)["service.batch_point_kernel"] == 1
+
+    # A restarted service (fresh memos) finds the *point* on disk:
+    # no kernel work at all.
+    second = SimulationService(config)
+    [r2] = _gather(second, [_envelope(REQ)])
+    assert r2["status"] == "ok"
+    assert r2["meta"]["served_by"] == "batched"
+    assert r2["payload"] == r1["payload"]
+    counters = _counters(second)
+    assert counters["service.batch_point_disk"] == 1
+    assert counters.get("service.batch_point_kernel", 0) == 0
+
+
+def test_shared_tier_backfills_private_disk(tmp_path):
+    shared = tmp_path / "shared"
+    seeder = SimulationService(
+        ServiceConfig(
+            max_workers=2,
+            batch_window_ms=1.0,
+            cache_dir=tmp_path / "a",
+            shared_dir=shared,
+        )
+    )
+    [r1] = _gather(seeder, [_envelope(REQ)])
+
+    other = SimulationService(
+        ServiceConfig(
+            max_workers=2,
+            batch_window_ms=1.0,
+            cache_dir=tmp_path / "b",
+            shared_dir=shared,
+        )
+    )
+    [r2] = _gather(other, [_envelope(REQ)])
+    assert r2["payload"] == r1["payload"]
+    assert _counters(other)["service.batch_point_disk"] == 1
+    # ...and the private tier was backfilled for next time.
+    backfilled = SimulationService(
+        ServiceConfig(
+            max_workers=2, batch_window_ms=1.0, cache_dir=tmp_path / "b"
+        )
+    )
+    [r3] = _gather(backfilled, [_envelope(REQ)])
+    assert r3["payload"] == r1["payload"]
+    assert _counters(backfilled)["service.batch_point_disk"] == 1
+
+
+def test_sweep_cache_interop(tmp_path):
+    # run_sweep and the batch scheduler share the sweep-point key
+    # domain: a sweep-warmed cache serves the service without any
+    # kernel work, and vice versa.
+    cache = ResultCache(tmp_path / "cache")
+    spec = api.SweepRequest(
+        workloads=("Resnet-50",), archs=("trainbox",), scales=(64,)
+    ).resolve()
+    outcome = run_sweep(spec, cache=cache)
+
+    service = SimulationService(
+        ServiceConfig(
+            max_workers=2, batch_window_ms=1.0, cache_dir=tmp_path / "cache"
+        )
+    )
+    [response] = _gather(service, [_envelope(REQ)])
+    assert response["status"] == "ok"
+    assert (
+        response["payload"]["result"] == outcome.results[0].to_dict()
+    )
+    counters = _counters(service)
+    assert counters["service.batch_point_disk"] == 1
+    assert counters.get("service.batch_point_kernel", 0) == 0
+    # The key the service used is literally the sweep's cache key.
+    assert cache.get(cache_key(spec.points()[0])) is not None
+
+
+# -- shutdown -----------------------------------------------------------------
+
+
+def test_close_fails_queued_points_fast():
+    service = SimulationService(
+        ServiceConfig(max_workers=2, batch_window_ms=60_000.0)
+    )
+
+    async def main():
+        task = asyncio.create_task(service.handle(_envelope(REQ)))
+        while len(service._batch) == 0:
+            await asyncio.sleep(0.001)
+        await service.aclose()
+        return await asyncio.wait_for(task, timeout=5.0)
+
+    response = asyncio.run(main())
+    assert response["status"] == "error"
+    assert response["error"]["code"] == "compute"
+    assert "shutting down" in response["error"]["message"]

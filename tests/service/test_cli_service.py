@@ -1,0 +1,90 @@
+"""CLI round-trips for the service: batch flags through ``serve``'s
+config plumbing, and the pipelined ``client --requests-file`` mode
+against a live server."""
+
+import json
+
+from repro import api, cli
+from repro.service import ServerThread, ServiceClient
+
+
+def _parse(argv):
+    return cli.build_parser().parse_args(argv)
+
+
+def test_serve_batch_flags_round_trip_into_the_live_config():
+    args = _parse(
+        [
+            "serve",
+            "--batch-window-ms", "7.5",
+            "--max-batch-points", "33",
+            "--workers", "3",
+        ]
+    )
+    config = cli._service_config(args)
+    assert config.batch_window_ms == 7.5
+    assert config.max_batch_points == 33
+    assert config.batch_enabled
+    with ServerThread(config) as srv:
+        with ServiceClient(*srv.address) as client:
+            stats = client.stats()
+    assert stats["config"]["batch_window_ms"] == 7.5
+    assert stats["config"]["max_batch_points"] == 33
+    assert stats["config"]["batch_enabled"] is True
+    assert stats["config"]["max_workers"] == 3
+
+
+def test_serve_no_batch_and_auto_workers():
+    from repro.service import default_workers
+
+    config = cli._service_config(_parse(["serve", "--no-batch"]))
+    assert not config.batch_enabled
+    assert config.max_workers is None
+    assert config.workers == default_workers()
+    with ServerThread(config) as srv:
+        with ServiceClient(*srv.address) as client:
+            stats = client.stats()
+    assert stats["config"]["batch_enabled"] is False
+    assert stats["config"]["max_workers"] == default_workers()
+
+
+def test_client_requests_file_pipelines_mixed_trace(tmp_path, capsys):
+    requests = [
+        api.SimulationRequest("Resnet-50", "trainbox", 64),
+        api.SweepRequest(
+            workloads=("VGG-19",), archs=("baseline",), scales=(4, 16)
+        ),
+        api.SimulationRequest("Resnet-50", "trainbox", 64),  # duplicate
+    ]
+    path = tmp_path / "trace.jsonl"
+    path.write_text(
+        "# comment lines and blanks are skipped\n\n"
+        + "\n".join(json.dumps(r.to_dict()) for r in requests)
+        + "\n"
+    )
+    with ServerThread() as srv:
+        host, port = srv.address
+        rc = cli.main(
+            [
+                "client",
+                "--requests-file", str(path),
+                "--host", host,
+                "--port", str(port),
+            ]
+        )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "3 requests" in out
+    assert "0 failed" in out
+    assert "batched: 2" in out  # the duplicate rode the memo/coalescer
+
+
+def test_client_requests_file_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json\n")
+    try:
+        cli._pipeline_requests(str(path))
+    except SystemExit as exc:
+        assert "not JSON" in str(exc)
+    else:
+        raise AssertionError("garbage JSONL must SystemExit")

@@ -64,13 +64,24 @@ def test_token_bucket_enforces_rate_and_burst():
 
 
 def test_ok_response_is_bit_identical_to_direct_call():
+    # Batching on (the default): an analytical request is served by the
+    # batch scheduler, still bit-identical to the direct evaluation.
     service = SimulationService(ServiceConfig(max_workers=2))
     [response] = _gather(service, [_envelope(REQ)])
     assert response["status"] == "ok"
-    assert response["meta"]["served_by"] == "computed"
+    assert response["meta"]["served_by"] == "batched"
     assert json.dumps(response["payload"], sort_keys=True) == json.dumps(
         execute_request(REQ), sort_keys=True
     )
+
+    # Batching off: the classic compute path, same bits.
+    plain = SimulationService(
+        ServiceConfig(max_workers=2, batch_enabled=False)
+    )
+    [unbatched] = _gather(plain, [_envelope(REQ)])
+    assert unbatched["status"] == "ok"
+    assert unbatched["meta"]["served_by"] == "computed"
+    assert unbatched["payload"] == response["payload"]
 
 
 def test_duplicate_in_flight_requests_coalesce(monkeypatch):
@@ -83,7 +94,11 @@ def test_duplicate_in_flight_requests_coalesce(monkeypatch):
         return real(request)
 
     monkeypatch.setattr(server_mod, "execute_request", slow)
-    service = SimulationService(ServiceConfig(max_workers=4))
+    # batch_enabled=False: the monkeypatched engine call IS the compute
+    # path here (the batch scheduler would bypass it).
+    service = SimulationService(
+        ServiceConfig(max_workers=4, batch_enabled=False)
+    )
     responses = _gather(
         service, [_envelope(REQ, rid=i) for i in range(5)]
     )
@@ -108,7 +123,7 @@ def test_sequential_duplicates_hit_the_memo():
             service.close()
 
     first, second = asyncio.run(main())
-    assert first["meta"]["served_by"] == "computed"
+    assert first["meta"]["served_by"] == "batched"
     assert second["meta"]["served_by"] == "memo"
     assert second["payload"] == first["payload"]
 
@@ -122,7 +137,7 @@ def test_backpressure_rejects_beyond_max_pending(monkeypatch):
 
     monkeypatch.setattr(server_mod, "execute_request", slow)
     service = SimulationService(
-        ServiceConfig(max_workers=1, max_pending=1)
+        ServiceConfig(max_workers=1, max_pending=1, batch_enabled=False)
     )
     distinct = [
         api.SimulationRequest("Resnet-50", "trainbox", scale)
@@ -172,12 +187,16 @@ def test_tenant_quota_rejects_over_budget():
 
 
 def test_disk_and_shared_tiers(tmp_path):
+    # Request-level disk/shared tiers are a property of the classic
+    # compute path; the batch scheduler caches per *point* instead
+    # (covered in tests/service/test_batch.py).
     shared = tmp_path / "shared"
     first = SimulationService(
         ServiceConfig(
             max_workers=1,
             cache_dir=tmp_path / "a",
             shared_dir=shared,
+            batch_enabled=False,
         )
     )
     [r1] = _gather(first, [_envelope(REQ)])
@@ -185,7 +204,9 @@ def test_disk_and_shared_tiers(tmp_path):
 
     # A restarted server with the same private dir serves from disk.
     again = SimulationService(
-        ServiceConfig(max_workers=1, cache_dir=tmp_path / "a")
+        ServiceConfig(
+            max_workers=1, cache_dir=tmp_path / "a", batch_enabled=False
+        )
     )
     [r2] = _gather(again, [_envelope(REQ)])
     assert r2["meta"]["served_by"] == "disk"
@@ -197,6 +218,7 @@ def test_disk_and_shared_tiers(tmp_path):
             max_workers=1,
             cache_dir=tmp_path / "b",
             shared_dir=shared,
+            batch_enabled=False,
         )
     )
     [r3] = _gather(other, [_envelope(REQ)])
@@ -204,7 +226,9 @@ def test_disk_and_shared_tiers(tmp_path):
     assert r3["payload"] == r1["payload"]
     # ...and backfilled its private tier for next time.
     backfilled = SimulationService(
-        ServiceConfig(max_workers=1, cache_dir=tmp_path / "b")
+        ServiceConfig(
+            max_workers=1, cache_dir=tmp_path / "b", batch_enabled=False
+        )
     )
     [r4] = _gather(backfilled, [_envelope(REQ)])
     assert r4["meta"]["served_by"] == "disk"
@@ -266,7 +290,9 @@ def test_owner_cancellation_fails_coalesced_waiters_fast(monkeypatch):
         return real(request)
 
     monkeypatch.setattr(server_mod, "execute_request", slow)
-    service = SimulationService(ServiceConfig(max_workers=2))
+    service = SimulationService(
+        ServiceConfig(max_workers=2, batch_enabled=False)
+    )
     fp = REQ.fingerprint()
 
     async def main():
@@ -369,10 +395,13 @@ def test_admin_ops_and_counters():
     assert pong["payload"]["kind"] == "pong"
     counters = stats["payload"]["counters"]
     assert counters["service.requests"] == 2
-    assert counters["service.computed"] == 1
+    assert counters["service.batched"] == 1  # batching is the default
     assert counters["service.memo_hits"] == 1
+    assert counters["service.batch_dispatches"] == 1
     # Engine-internal counters merged into the service manifest.
     assert counters.get("engine.analytical.runs", 0) >= 1
+    # The batch counter scope is surfaced directly in stats too.
+    assert stats["payload"]["batch"]["service.batch_points"] == 1
 
 
 # -- end-to-end over real sockets ---------------------------------------------
@@ -413,13 +442,13 @@ def test_tcp_pipelined_duplicates_dedup():
             responses = client.request_many(requests)
             assert all(r["status"] == "ok" for r in responses)
             served = [r["meta"]["served_by"] for r in responses]
-            assert served.count("computed") == 2  # one per unique request
+            assert served.count("batched") == 2  # one per unique request
             assert all(
-                s in ("computed", "coalesced", "memo") for s in served
+                s in ("batched", "coalesced", "memo") for s in served
             )
             stats = client.stats()
         counters = stats["counters"]
-        assert counters["service.computed"] == 2
+        assert counters["service.batched"] == 2
         assert (
             counters.get("service.coalesced", 0)
             + counters.get("service.memo_hits", 0)
