@@ -298,7 +298,7 @@ class SimulationService:
             "kind": "stats",
             "protocol": protocol.PROTOCOL,
             "counters": manifest["counters"],
-            "batch": self.registry.scoped("service.batch"),
+            "batch": self.registry.scoped("service.batch_"),
             "inflight": len(self._inflight),
             "pending": self._pending,
             "memo_entries": len(self._memo),
@@ -439,7 +439,7 @@ class SimulationService:
 
         if self._pending >= self.config.max_pending:
             self._inc("service.rejected_backpressure")
-            retry = 0.05 * (1 + self._pending / self.config.max_workers)
+            retry = 0.05 * (1 + self._pending / self.config.workers)
             return protocol.rejected_response(
                 rid,
                 "backpressure",

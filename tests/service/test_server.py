@@ -156,6 +156,36 @@ def test_backpressure_rejects_beyond_max_pending(monkeypatch):
         assert r["meta"]["retry_after"] > 0
 
 
+def test_backpressure_retry_hint_with_default_workers(monkeypatch):
+    """Regression: the retry hint divides by the *resolved* worker
+    count, so the default config (``max_workers=None``) must still
+    produce the retryable backpressure envelope, not an internal
+    TypeError."""
+    real = server_mod.execute_request
+
+    def slow(request):
+        time.sleep(0.2)
+        return real(request)
+
+    monkeypatch.setattr(server_mod, "execute_request", slow)
+    service = SimulationService(
+        ServiceConfig(max_pending=1, batch_enabled=False)
+    )
+    distinct = [
+        api.SimulationRequest("Resnet-50", "trainbox", scale)
+        for scale in (4, 8, 16)
+    ]
+    responses = _gather(
+        service,
+        [_envelope(r, rid=i) for i, r in enumerate(distinct)],
+    )
+    rejected = [r for r in responses if r["status"] == "rejected"]
+    assert rejected  # at least one request hit the pending limit
+    for r in rejected:
+        assert r["error"]["code"] == "backpressure"
+        assert r["meta"]["retry_after"] > 0
+
+
 def test_tenant_quota_rejects_over_budget():
     service = SimulationService(
         ServiceConfig(max_workers=2, quota_rate=0.001, quota_burst=2.0)
