@@ -259,9 +259,11 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     discards: int = 0
+    quarantined: int = 0
 
     def reset(self) -> None:
         self.hits = self.misses = self.stores = self.discards = 0
+        self.quarantined = 0
 
 
 class ResultCache:
@@ -269,9 +271,13 @@ class ResultCache:
 
     Entries are written atomically (temp file + rename) and validated on
     read: wrong schema version, unparseable JSON, or a payload that does
-    not echo its own key are *discarded* (the file is deleted and the
-    lookup reports a miss) rather than raised — a corrupted cache must
-    never poison or crash a sweep.
+    not echo its own key are *discarded* (the lookup reports a miss)
+    rather than raised — a corrupted cache must never poison or crash a
+    sweep.  The invalid file itself is **quarantined**, renamed to
+    ``<entry>.corrupt`` (counted as ``cache.quarantined``), so operators
+    can see and inspect disk-tier rot instead of it silently vanishing;
+    quarantined files are invisible to lookups and removed by
+    :meth:`clear`.
 
     Concurrency: reads are always safe (writes land via atomic rename,
     and a torn or half-written entry fails validation and reports a
@@ -333,10 +339,7 @@ class ResultCache:
                 self.stats.misses += 1
                 obs.inc("cache.discards")
                 obs.inc("cache.misses")
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+                self._quarantine(path)
                 return None
             self.stats.hits += 1
             obs.inc("cache.hits")
@@ -384,8 +387,26 @@ class ResultCache:
         self.stats.stores += 1
         obs.inc("cache.stores")
 
+    def _quarantine(self, path: Path) -> None:
+        """Move an invalid entry aside as ``<name>.corrupt`` instead of
+        deleting it — evidence for operators, invisible to lookups (the
+        original path is gone, so the key reads as a miss until
+        rewritten).  A rename race (another reader quarantining the same
+        file) is harmless; deletion is the fallback if rename fails."""
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+            self.stats.quarantined += 1
+            obs.inc("cache.quarantined")
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (quarantined ones too); returns the number
+        of live entries removed."""
         removed = 0
         if not self.directory.exists():
             return 0
@@ -393,6 +414,11 @@ class ResultCache:
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                pass
+        for path in self.directory.glob("*/*.json.corrupt"):
+            try:
+                path.unlink()
             except OSError:
                 pass
         return removed

@@ -710,6 +710,7 @@ def _service_config(args: argparse.Namespace):
         batch_enabled=not args.no_batch,
         batch_window_ms=args.batch_window_ms,
         max_batch_points=args.max_batch_points,
+        drain_timeout=args.drain_timeout,
     )
 
 
@@ -717,7 +718,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import serve
 
     try:
-        serve(_service_config(args), host=args.host, port=args.port)
+        serve(
+            _service_config(args),
+            host=args.host,
+            port=args.port,
+            drain_timeout=args.drain_timeout,
+        )
     except ConfigError as exc:
         raise SystemExit(str(exc)) from None
     return 0
@@ -844,6 +850,26 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
     from repro import perf
     from repro.service import ServiceConfig, run_load_test
     from repro.service.bench import BATCH_BASELINE_PATH, run_batch_comparison
+
+    if args.chaos:
+        # The chaos drill is a correctness gate, not a latency gate: no
+        # baseline machinery, just seeded fault injection with hard
+        # invariants (bit-identity, accounting balance, clean drain).
+        from repro.service.bench import run_chaos_drill
+
+        seeds = args.chaos_seed if args.chaos_seed else [5, 11]
+        try:
+            for seed in seeds:
+                report = run_chaos_drill(seed=seed)
+                print(report.summary())
+        except ConfigError as exc:
+            print(f"SERVICE GATE  {exc}", file=sys.stderr)
+            return 1
+        print(
+            "chaos drill passed: non-faulted responses bit-identical, "
+            "accounting balanced, server drained clean"
+        )
+        return 0
 
     config = ServiceConfig(
         max_workers=args.workers,
@@ -1255,6 +1281,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--shared-dir", default=None,
         help="shared cross-process result tier (single-writer locking)",
     )
+    p.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="graceful-drain budget on SIGTERM/close: seconds to wait "
+        "for in-flight requests before abandoning them (default 10)",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -1332,6 +1363,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--update", action="store_true", help="rewrite the baseline and exit"
+    )
+    p.add_argument(
+        "--chaos", action="store_true",
+        help="run the seeded service chaos drill instead: injected "
+        "executor faults, dispatch faults, disk-tier IO errors, and "
+        "connection drops; asserts non-faulted responses stay "
+        "bit-identical, outcome accounting balances, and the server "
+        "drains clean",
+    )
+    p.add_argument(
+        "--chaos-seed", type=int, action="append", default=None,
+        metavar="SEED",
+        help="with --chaos, drill seed (repeatable; default: seeds 5 "
+        "and 11)",
     )
     p.set_defaults(func=_cmd_bench_service)
 

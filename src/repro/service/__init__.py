@@ -7,27 +7,45 @@ single-flight request coalescing, admission control with backpressure,
 per-tenant token-bucket quotas, a tiered result lookup (in-process
 memo → private disk cache → shared locked cache) and a cross-request
 batch scheduler (:mod:`~repro.service.batch`) that stitches *distinct*
-analytical requests into shared vectorized kernel dispatches.  A small
-synchronous client (:mod:`~repro.service.client`) and a load-test
-harness (:mod:`~repro.service.bench`) ride along; ``repro serve`` /
+analytical requests into shared vectorized kernel dispatches.  The
+resilience layer adds per-request deadlines, cancellation propagation,
+graceful drain on SIGTERM, a kernel circuit breaker that degrades the
+batch path to scalar, and a deterministic chaos drill
+(:mod:`~repro.service.chaos`).  A small synchronous client with a
+retry policy (:mod:`~repro.service.client`) and a load-test harness
+(:mod:`~repro.service.bench`) ride along; ``repro serve`` /
 ``repro client`` / ``repro bench-service`` are the CLI entries.
 
 See ``docs/service.md`` for the protocol and operational semantics.
 """
 
-from repro.service.batch import BatchScheduler, batchable
+from repro.service.batch import BatchScheduler, KernelBreaker, batchable
 from repro.service.bench import (
     BatchCompareReport,
+    ChaosReport,
     LoadReport,
     distinct_trace,
     mixed_trace,
     run_batch_comparison,
+    run_chaos_drill,
     run_load_test,
 )
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.chaos import (
+    ChaosError,
+    ChaosInjector,
+    ChaosResultCache,
+    ServiceChaosSpec,
+)
+from repro.service.client import (
+    ConnectionLost,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+)
 from repro.service.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL,
+    DeadlineExceeded,
     ProtocolError,
     decode_frame,
     encode_frame,
@@ -48,9 +66,18 @@ __all__ = [
     "PROTOCOL",
     "BatchCompareReport",
     "BatchScheduler",
+    "ChaosError",
+    "ChaosInjector",
+    "ChaosReport",
+    "ChaosResultCache",
+    "ConnectionLost",
+    "DeadlineExceeded",
+    "KernelBreaker",
     "LoadReport",
     "ProtocolError",
+    "RetryPolicy",
     "ServerThread",
+    "ServiceChaosSpec",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
@@ -65,6 +92,7 @@ __all__ = [
     "execute_request",
     "mixed_trace",
     "run_batch_comparison",
+    "run_chaos_drill",
     "run_load_test",
     "serve",
 ]

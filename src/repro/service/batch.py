@@ -44,19 +44,42 @@ Everything except the kernel dispatch runs on the event-loop thread, so
 the queue, the point table and the memo need no locks; counters accrue
 in the service registry (``service.batch_*``) and each dispatch's
 hermetic engine manifest is merged in exactly once.
+
+Resilience (PR 10) adds three mechanisms on top:
+
+* **waiter accounting** — every request holds a reference on each point
+  future it awaits; a cancelled request (its connection died) or one
+  whose ``deadline_ms`` budget expires releases its references, and a
+  point still *queued* whose last waiter left is abandoned before it
+  ever reaches the kernel (``service.batch_point_abandoned``) — nobody
+  wants the answer, so nobody pays for it.  Points already dispatched
+  run to completion for the cache tiers.
+* **deadline enforcement at scatter time** — ``run_request`` waits for
+  its point futures at most until the request's deadline; past it the
+  request answers ``deadline_exceeded`` while the shared futures keep
+  serving other waiters.
+* **a kernel breaker** — repeated *dispatch-level* failures (the whole
+  kernel pass dying, as opposed to per-point isolated errors) trip a
+  counter-gated circuit breaker; while open, the broker routes batchable
+  requests down the scalar compute path (``served_by: computed``), so a
+  poisoned kernel degrades throughput instead of availability.  After a
+  configured number of bypassed requests one probe is let through; a
+  clean probe dispatch closes the breaker again.
 """
 
 from __future__ import annotations
 
 import asyncio
 import collections
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.core.sweeps import cache_key, evaluate_point
 from repro.errors import ConfigError, SimulationError
+from repro.service.protocol import DeadlineExceeded
 
-__all__ = ["BatchScheduler", "batchable"]
+__all__ = ["BatchScheduler", "KernelBreaker", "batchable"]
 
 #: Request kinds the scheduler can decompose into evaluation points.
 BATCHABLE_KINDS = ("simulate", "sweep")
@@ -82,6 +105,73 @@ class _ShuttingDown(ConfigError):
     """Queued points abandoned because the service is closing."""
 
 
+class KernelBreaker:
+    """A counter-gated circuit breaker over one batch kernel.
+
+    ``record_failure`` counts *consecutive* dispatch-level failures;
+    at ``threshold`` the breaker opens and :meth:`allow` starts
+    answering False, sending batchable requests down the scalar path.
+    Every ``probe_after``-th bypassed request is let through as a probe;
+    a successful dispatch (``record_success``) closes the breaker and
+    zeroes the failure count.  Purely counter-driven — no clocks — so
+    breaker behaviour is deterministic under test and chaos drills.
+    """
+
+    __slots__ = ("threshold", "probe_after", "failures", "open", "bypassed")
+
+    def __init__(self, threshold: int = 3, probe_after: int = 16) -> None:
+        if threshold < 1:
+            raise ConfigError("breaker threshold must be >= 1")
+        if probe_after < 1:
+            raise ConfigError("breaker probe_after must be >= 1")
+        self.threshold = threshold
+        self.probe_after = probe_after
+        self.failures = 0
+        self.open = False
+        self.bypassed = 0
+
+    def allow(self) -> bool:
+        """Whether the next batchable request may enter the batch path.
+
+        While open, counts bypassed requests and admits one probe per
+        ``probe_after`` bypasses (the probe's dispatch outcome decides
+        whether the breaker closes or stays open)."""
+        if not self.open:
+            return True
+        self.bypassed += 1
+        if self.bypassed >= self.probe_after:
+            self.bypassed = 0
+            return True
+        return False
+
+    def record_success(self) -> bool:
+        """A dispatch completed; returns True when this *reset* an open
+        breaker (the caller counts resets)."""
+        reset = self.open
+        self.failures = 0
+        self.open = False
+        self.bypassed = 0
+        return reset
+
+    def record_failure(self) -> bool:
+        """A dispatch died wholesale; returns True when this *tripped*
+        the breaker open."""
+        self.failures += 1
+        if self.failures >= self.threshold and not self.open:
+            self.open = True
+            self.bypassed = 0
+            return True
+        return False
+
+    def state(self) -> Dict:
+        return {
+            "open": self.open,
+            "consecutive_failures": self.failures,
+            "threshold": self.threshold,
+            "probe_after": self.probe_after,
+        }
+
+
 class BatchScheduler:
     """The micro-batching queue between the broker and the kernel.
 
@@ -97,10 +187,14 @@ class BatchScheduler:
         config = service.config
         self.window = config.batch_window_ms / 1000.0
         self.max_points = config.max_batch_points
+        self.breaker = KernelBreaker(
+            config.breaker_threshold, config.breaker_probe_after
+        )
         self._memo: "collections.OrderedDict[str, Dict]" = (
             collections.OrderedDict()
         )
         self._inflight: Dict[str, asyncio.Future] = {}
+        self._waiters: Dict[str, int] = {}
         self._queue: List[Tuple[str, Any, asyncio.Future]] = []
         self._timer: Optional[asyncio.TimerHandle] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -128,17 +222,59 @@ class BatchScheduler:
         """Points currently queued (not yet dispatched)."""
         return len(self._queue)
 
+    def busy(self) -> bool:
+        """Whether any points are queued or any dispatch is in flight."""
+        return bool(self._queue or self._dispatches)
+
+    def admit(self) -> bool:
+        """Breaker-gated admission into the batch path.
+
+        False sends the request down the scalar compute path; the
+        breaker's trip/probe/reset transitions accrue as counters."""
+        if not self.breaker.open:
+            return True
+        if self.breaker.allow():
+            self.service._inc("service.breaker_probes")
+            return True
+        self.service._inc("service.breaker_bypassed")
+        return False
+
+    # -- waiter accounting (event-loop thread only) ---------------------------
+
+    def _acquire(self, key: str) -> None:
+        self._waiters[key] = self._waiters.get(key, 0) + 1
+
+    def _release(self, key: str) -> None:
+        """Drop one waiter reference; abandon a still-queued point whose
+        last waiter left (cancelled connection, expired deadline) — it
+        would compute an answer nobody reads."""
+        count = self._waiters.get(key, 0) - 1
+        if count > 0:
+            self._waiters[key] = count
+            return
+        self._waiters.pop(key, None)
+        for i, (queued_key, _point, future) in enumerate(self._queue):
+            if queued_key == key:
+                del self._queue[i]
+                self._inflight.pop(key, None)
+                future.cancel()
+                self.service._inc("service.batch_point_abandoned")
+                break
+
     # -- the request path (event-loop thread) --------------------------------
 
-    async def run_request(self, request) -> Dict:
+    async def run_request(self, request, deadline: Optional[float] = None) -> Dict:
         """Serve one batchable request; raises what the scalar path
-        would raise for the first failing point (in point order)."""
+        would raise for the first failing point (in point order), or
+        :class:`~repro.service.protocol.DeadlineExceeded` when the
+        request's budget runs out before its points scatter."""
         if self._closed:
             raise _ShuttingDown("service shutting down")
         self._loop = asyncio.get_running_loop()
         points = request.points()
         inc = self.service._inc
         slots: List[Tuple[Optional[asyncio.Future], Optional[Dict]]] = []
+        acquired: List[str] = []
         for point in points:
             key = cache_key(point)
             payload = self._memo_get(key)
@@ -159,20 +295,40 @@ class BatchScheduler:
                 # Arm per point so ``max_batch_points`` caps the size of
                 # every dispatch — an oversize request flushes in chunks.
                 self._arm()
+            self._acquire(key)
+            acquired.append(key)
             slots.append((future, None))
 
-        # Shield every await: cancelling this request (its connection
-        # died) must not cancel a point future other requests share.
-        waits = [
-            asyncio.shield(future)
-            for future, _payload in slots
-            if future is not None
-        ]
-        outcomes = (
-            await asyncio.gather(*waits, return_exceptions=True)
-            if waits
-            else []
-        )
+        try:
+            # Shield every await: cancelling this request (its
+            # connection died) must not cancel a point future other
+            # requests share — the waiter refcount decides whether the
+            # point itself is abandoned.
+            waits = [
+                asyncio.shield(future)
+                for future, _payload in slots
+                if future is not None
+            ]
+            if waits:
+                gathered = asyncio.gather(*waits, return_exceptions=True)
+                if deadline is None:
+                    outcomes = await gathered
+                else:
+                    remaining = deadline - time.monotonic()
+                    try:
+                        outcomes = await asyncio.wait_for(
+                            gathered, max(0.0, remaining)
+                        )
+                    except asyncio.TimeoutError:
+                        raise DeadlineExceeded(
+                            "deadline_ms expired before the batched "
+                            "points scattered"
+                        ) from None
+            else:
+                outcomes = []
+        finally:
+            for key in acquired:
+                self._release(key)
         payloads: List[Optional[Dict]] = []
         first_error: Optional[BaseException] = None
         pos = 0
@@ -248,14 +404,20 @@ class BatchScheduler:
             out, manifest, tally = await self._loop.run_in_executor(
                 svc._executor, self._compute_batch, entries
             )
+            if self.breaker.record_success():
+                svc._inc("service.breaker_reset")
         except Exception as exc:  # defensive: fail the points, not the loop
             failure = ConfigError(
                 f"internal error: {type(exc).__name__}: {exc}"
             )
             out = {key: failure for key, _point, _future in entries}
             manifest, tally = None, {}
+            svc._inc("service.batch_dispatch_errors")
+            if self.breaker.record_failure():
+                svc._inc("service.breaker_tripped")
         for name, value in tally.items():
             svc._inc(name, value)
+        svc._kick_writeback()
         if manifest is not None:
             # One hermetic engine manifest per dispatch, merged exactly
             # once — same discipline as the unbatched compute path.
@@ -284,26 +446,42 @@ class BatchScheduler:
         """
         from repro.core.analytical_batch import evaluate_points
 
-        disk, shared = self.service._disk, self.service._shared
+        svc = self.service
+        disk, shared = svc._disk, svc._shared
+        chaos = svc._chaos
         tally: Dict[str, int] = collections.defaultdict(int)
         out: Dict[str, Any] = {}
+        if chaos is not None:
+            # A dispatch-level chaos fault poisons the whole kernel pass
+            # (the breaker's food); per-point faults are injected below.
+            chaos.before_dispatch()
         registry = obs.MetricsRegistry()
         with obs.session(metrics=registry):
             with obs.span(
                 "service.batch_dispatch", cat="service", points=len(entries)
             ):
                 remaining: List[Tuple[str, Any]] = []
-                disk_hits: Dict[str, Dict] = (
-                    disk.get_many(key for key, _p, _f in entries)
-                    if disk is not None
-                    else {}
-                )
+                disk_hits: Dict[str, Dict] = {}
+                if disk is not None:
+                    try:
+                        disk_hits = disk.get_many(
+                            key for key, _p, _f in entries
+                        )
+                    except OSError:
+                        tally["service.cache_errors"] += 1
                 for key, point, _future in entries:
                     payload = disk_hits.get(key)
                     if payload is None and shared is not None:
-                        payload = shared.get(key)
+                        try:
+                            payload = shared.get(key)
+                        except OSError:
+                            payload = None
+                            tally["service.cache_errors"] += 1
                         if payload is not None and disk is not None:
-                            disk.put(key, payload)
+                            try:
+                                disk.put(key, payload)
+                            except OSError:
+                                tally["service.cache_errors"] += 1
                     if payload is not None:
                         out[key] = payload
                         tally["service.batch_point_disk"] += 1
@@ -320,6 +498,12 @@ class BatchScheduler:
                             out[key] = error
                             tally["service.batch_point_errors"] += 1
                             continue
+                        if chaos is not None:
+                            injected = chaos.point_error(key)
+                            if injected is not None:
+                                out[key] = injected
+                                tally["service.batch_point_errors"] += 1
+                                continue
                         if result is not None:
                             payload = result.to_dict()
                             tally["service.batch_point_kernel"] += 1
@@ -336,12 +520,27 @@ class BatchScheduler:
                             tally["service.batch_point_scalar"] += 1
                         out[key] = payload
                         if disk is not None:
-                            disk.put(key, payload)
+                            try:
+                                disk.put(key, payload)
+                            except OSError:
+                                tally["service.cache_errors"] += 1
                         if shared is not None:
-                            shared.put(key, payload)
+                            # Shared-tier writes take a cross-process
+                            # lock; defer them off the request path (the
+                            # drain/flush machinery guarantees delivery).
+                            svc._defer_writeback(key, payload)
         return out, registry.to_manifest(), dict(tally)
 
     # -- shutdown ------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Graceful-drain entry: flush whatever is queued *now* instead
+        of waiting out the batching window.  The broker has already
+        stopped admitting requests, so no new points will arrive; the
+        in-flight dispatches finish on the executor and scatter
+        normally."""
+        if self._queue:
+            self._flush("drain")
 
     def close(self) -> None:
         """Stop the timer and fail every still-queued point fast."""
@@ -350,6 +549,7 @@ class BatchScheduler:
             self._timer.cancel()
             self._timer = None
         entries, self._queue = self._queue, []
+        self._waiters.clear()
         for key, _point, future in entries:
             self._inflight.pop(key, None)
             if not future.done():
@@ -358,10 +558,10 @@ class BatchScheduler:
                 )
                 future.exception()
 
-    async def aclose(self) -> None:
-        """Close, then let in-flight dispatches scatter their results."""
+    async def aclose(self, timeout: Optional[float] = None) -> None:
+        """Close, then let in-flight dispatches scatter their results
+        (bounded by ``timeout`` when the caller's drain already gave up
+        — a wedged kernel must not wedge shutdown too)."""
         self.close()
         if self._dispatches:
-            await asyncio.gather(
-                *list(self._dispatches), return_exceptions=True
-            )
+            await asyncio.wait(list(self._dispatches), timeout=timeout)

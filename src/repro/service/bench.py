@@ -31,6 +31,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import shutil
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
@@ -40,7 +42,8 @@ from typing import Dict, List, Optional, Tuple
 from repro import api
 from repro.errors import ConfigError
 from repro.perf import Measurement
-from repro.service.client import ServiceClient
+from repro.service.chaos import ChaosInjector, ServiceChaosSpec
+from repro.service.client import ConnectionLost, RetryPolicy, ServiceClient
 from repro.service.server import (
     ServerThread,
     ServiceConfig,
@@ -51,10 +54,12 @@ __all__ = [
     "BASELINE_PATH",
     "BATCH_BASELINE_PATH",
     "BatchCompareReport",
+    "ChaosReport",
     "LoadReport",
     "distinct_trace",
     "mixed_trace",
     "run_batch_comparison",
+    "run_chaos_drill",
     "run_load_test",
 ]
 
@@ -586,3 +591,297 @@ def run_batch_comparison(
             f"(floor {speedup_floor}x)"
         )
     return report
+
+
+# -- the service chaos drill --------------------------------------------------
+
+
+@dataclass
+class ChaosReport:
+    """What one chaos drill run observed and proved."""
+
+    seed: int
+    n_clients: int
+    total: int
+    ok: int
+    healed: int           # requests that needed >= 1 resend to get ok
+    drops: int            # connections slammed mid-request
+    deadline_probes: int  # tiny-budget requests sent
+    faults: Dict[str, int]       # injector tallies per fault kind
+    counters: Dict[str, int]     # final server counters
+    drain: Dict                  # the server's drain report
+
+    def summary(self) -> str:
+        injected = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(self.faults.items())
+            if count
+        )
+        return (
+            f"seed {self.seed}: {self.total} requests over "
+            f"{self.n_clients} clients — {self.ok} ok "
+            f"({self.healed} healed by resend), {self.drops} connections "
+            f"dropped, {self.deadline_probes} deadline probes; injected "
+            f"[{injected or 'nothing'}]; drained "
+            f"{'clean' if self.drain.get('drained') else 'DIRTY'} "
+            f"(stranded {self.drain.get('stranded')}, "
+            f"{self.drain.get('writebacks_flushed')} write-backs flushed)"
+        )
+
+
+#: Terminal outcome counters: every request the broker admits lands in
+#: exactly one of these, so their sum must equal ``service.requests``.
+_OUTCOME_COUNTERS = (
+    "service.memo_hits",
+    "service.coalesced",
+    "service.computed",
+    "service.batched",
+    "service.disk_hits",
+    "service.shared_hits",
+    "service.rejected_quota",
+    "service.rejected_backpressure",
+    "service.rejected_draining",
+    "service.coalesce_aborted",
+    "service.deadline_exceeded",
+    "service.errors",
+    "service.cancelled",
+)
+
+
+def run_chaos_drill(
+    n_clients: int = 3,
+    dup_factor: int = 2,
+    seed: int = 5,
+    config: Optional[ServiceConfig] = None,
+    max_attempts: int = 8,
+) -> ChaosReport:
+    """The service chaos drill: seeded faults, provable recovery.
+
+    A server is started with a :class:`~repro.service.chaos.
+    ChaosInjector` wired through every layer — executor-task exceptions
+    and added latency in the scalar path, point- and dispatch-level
+    faults in the batch path (the dispatch faults trip the kernel
+    breaker), OSErrors from both disk tiers, and client connections
+    slammed mid-request.  Every client resends failed requests (safe:
+    idempotent by fingerprint; injected faults heal on resend) until it
+    holds an ``ok`` answer for each, then the drill asserts:
+
+    * **bit-identity** — every ``ok`` payload equals a direct
+      :func:`execute_request` evaluation, canonical JSON, byte for byte;
+      faults may delay or reroute an answer, never change it;
+    * **accounting balance** — the terminal-outcome counters partition
+      ``service.requests`` exactly (nothing double-counted, nothing
+      lost), with cancellations and deadline rejections included;
+    * **clean drain** — stopping the server completes in-flight work,
+      reports zero stranded futures, and leaves the deferred shared-tier
+      write-back queue empty.
+
+    Deterministic per seed in every *decision* (which fingerprint
+    faults, which dispatch ordinals die, which connections drop);
+    assertions are invariants, so thread interleaving cannot flake them.
+    """
+    if n_clients < 1:
+        raise ConfigError("n_clients must be >= 1")
+    if dup_factor < 1:
+        raise ConfigError("dup_factor must be >= 1")
+    spec = ServiceChaosSpec(
+        seed=seed,
+        compute_error_rate=0.25,
+        compute_delay_rate=0.25,
+        compute_delay_ms=2.0,
+        point_error_rate=0.10,
+        dispatch_fault_ordinals=(0, 1, 2),
+        disk_error_rate=0.30,
+        drop_rate=0.25,
+    )
+    injector = ChaosInjector(spec)
+    unique = mixed_trace()
+    expected = {
+        request.fingerprint(): json.dumps(
+            execute_request(request), sort_keys=True
+        )
+        for request in unique
+    }
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    config = config or ServiceConfig(
+        max_workers=2,
+        max_pending=4 * len(unique) * dup_factor,
+        breaker_threshold=3,
+        breaker_probe_after=4,
+        batch_window_ms=1.0,
+    )
+    config = dataclasses.replace(
+        config, cache_dir=tmp / "disk", shared_dir=tmp / "shared"
+    )
+
+    failures: List[str] = []
+    ok = [0] * n_clients
+    healed = [0] * n_clients
+    drops = [0] * n_clients
+    deadline_probes = [0] * n_clients
+    barrier = threading.Barrier(n_clients + 1)
+
+    try:
+        with ServerThread(config, chaos=injector) as srv:
+            host, port = srv.address
+
+            def worker(idx: int) -> None:
+                policy = RetryPolicy(
+                    seed=seed * 1000 + idx,
+                    base_backoff=0.002,
+                    max_backoff=0.05,
+                )
+                trace = _shuffled(unique * dup_factor, seed * 101 + idx)
+                try:
+                    with ServiceClient(
+                        host, port, tenant=f"tenant-{idx}", retry=policy
+                    ) as client:
+                        barrier.wait()
+                        for n, request in enumerate(trace):
+                            token = f"client{idx}:req{n}"
+                            if injector.drop_connection(token):
+                                # Slam the connection mid-request: write
+                                # the frame, close without reading, and
+                                # redial.  The server must cancel the
+                                # orphaned work and keep every other
+                                # waiter healthy.
+                                drops[idx] += 1
+                                try:
+                                    client._send(
+                                        client._envelope(request, False, None)
+                                    )
+                                except ConnectionLost:
+                                    pass
+                                client._reconnect()
+                            for attempt in range(max_attempts):
+                                response = client.call(request)
+                                status = response.get("status")
+                                if status == "ok":
+                                    got = json.dumps(
+                                        response["payload"], sort_keys=True
+                                    )
+                                    want = expected[request.fingerprint()]
+                                    if got != want:
+                                        failures.append(
+                                            f"client {idx}: {request.kind} "
+                                            f"response diverged from "
+                                            f"execute_request"
+                                        )
+                                    else:
+                                        ok[idx] += 1
+                                        if attempt > 0:
+                                            healed[idx] += 1
+                                    break
+                                # Injected faults answer as error or
+                                # retryable rejection; resend — it must
+                                # heal (first_attempt_only) or be served
+                                # by a cache tier.
+                            else:
+                                failures.append(
+                                    f"client {idx}: {request.kind} never "
+                                    f"recovered after {max_attempts} "
+                                    f"attempts: {response.get('error')}"
+                                )
+                        # A couple of vanishingly small budgets: the
+                        # answer is either a fast ok or an honest
+                        # deadline_exceeded — never a hang, never a
+                        # broken invariant.
+                        for request in unique[:2]:
+                            deadline_probes[idx] += 1
+                            response = client.call(
+                                request, deadline_ms=0.01
+                            )
+                            status = response.get("status")
+                            code = (response.get("error") or {}).get("code")
+                            if status == "ok":
+                                continue
+                            if not (
+                                status == "rejected"
+                                and code == "deadline_exceeded"
+                            ):
+                                failures.append(
+                                    f"client {idx}: deadline probe got "
+                                    f"{status}/{code}"
+                                )
+                except Exception as exc:  # surfaced after join
+                    failures.append(
+                        f"client {idx}: {type(exc).__name__}: {exc}"
+                    )
+
+            threads = [
+                threading.Thread(target=worker, args=(i,), daemon=True)
+                for i in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            barrier.wait()
+            for t in threads:
+                t.join(timeout=600)
+            alive = [t for t in threads if t.is_alive()]
+            if alive:
+                failures.append(f"{len(alive)} client threads hung")
+
+        service = srv.service
+        drain = srv.drain_report or {}
+        counters = service.registry.to_manifest()["counters"]
+        faults = injector.snapshot()
+
+        if failures:
+            raise ConfigError(
+                f"chaos drill (seed {seed}) failed "
+                f"({len(failures)} failures): " + "; ".join(failures[:5])
+            )
+
+        # Accounting balance: outcomes partition the admitted requests.
+        outcomes = sum(
+            counters.get(name, 0) for name in _OUTCOME_COUNTERS
+        )
+        requests = counters.get("service.requests", 0)
+        if outcomes != requests:
+            raise ConfigError(
+                f"chaos drill (seed {seed}): accounting does not balance "
+                f"— {requests} requests vs {outcomes} summed outcomes"
+            )
+
+        # The listed dispatch ordinals each faulted exactly once, and
+        # the drill generated enough dispatches to consume them all.
+        n_dispatch_faults = len(spec.dispatch_fault_ordinals)
+        if counters.get("service.batch_dispatches", 0) < n_dispatch_faults:
+            raise ConfigError(
+                f"chaos drill (seed {seed}): too few batch dispatches to "
+                f"exercise the dispatch faults"
+            )
+        if counters.get("service.batch_dispatch_errors", 0) != n_dispatch_faults:
+            raise ConfigError(
+                f"chaos drill (seed {seed}): expected "
+                f"{n_dispatch_faults} dispatch errors, saw "
+                f"{counters.get('service.batch_dispatch_errors', 0)}"
+            )
+
+        # Clean drain: everything scattered, nothing stranded, the
+        # write-back queue flushed to the shared tier.
+        if not drain.get("drained") or drain.get("stranded", 1) != 0:
+            raise ConfigError(
+                f"chaos drill (seed {seed}): dirty drain: {drain}"
+            )
+        if len(service._writeback) != 0:
+            raise ConfigError(
+                f"chaos drill (seed {seed}): "
+                f"{len(service._writeback)} write-backs stranded"
+            )
+
+        return ChaosReport(
+            seed=seed,
+            n_clients=n_clients,
+            total=n_clients * len(unique) * dup_factor,
+            ok=sum(ok),
+            healed=sum(healed),
+            drops=sum(drops),
+            deadline_probes=sum(deadline_probes),
+            faults=faults,
+            counters=dict(counters),
+            drain=dict(drain),
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)

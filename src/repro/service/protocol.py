@@ -8,11 +8,17 @@ correlates them (the server echoes it verbatim).
 Request envelope::
 
     {"id": 7, "tenant": "team-a", "request": {<request.to_dict()>}}
+    {"id": 9, "tenant": "team-a", "deadline_ms": 250.0, "request": {...}}
     {"id": 8, "op": "stats"}          # admin ops: stats | ping
 
 ``request`` is a versioned :mod:`repro.api` request object
 (``repro-request/1``): ``simulate``, ``sweep`` or
-``price_fault_schedule``.
+``price_fault_schedule``.  ``deadline_ms`` is an optional per-request
+latency budget (a positive finite number of milliseconds, measured from
+the moment the server admits the frame): a request the server cannot
+answer within its budget is answered with a ``deadline_exceeded``
+rejection instead of a late result.  Requests without a deadline are
+never timed out by the server.
 
 Response envelope::
 
@@ -28,10 +34,13 @@ pass), ``coalesced`` (attached to an identical in-flight computation),
 ``memo`` (in-process LRU), ``disk`` or ``shared`` (the on-disk tiers).
 ``rejected`` means the request was turned away but may
 succeed if resent — codes ``backpressure`` (admission control), ``quota``
-(tenant over budget), or ``retry`` (the in-flight computation this
-request coalesced onto was cancelled) — retry after ``meta.retry_after``
-seconds; ``error`` means the request itself is unservable (malformed,
-unknown workload, engine failure) and retrying it unchanged cannot help.
+(tenant over budget), ``retry`` (the in-flight computation this
+request coalesced onto was cancelled), ``deadline_exceeded`` (the
+request's ``deadline_ms`` budget ran out first; resend with a larger
+budget), or ``draining`` (the server is shutting down gracefully and no
+longer admits new work) — retry after ``meta.retry_after`` seconds;
+``error`` means the request itself is unservable (malformed, unknown
+workload, engine failure) and retrying it unchanged cannot help.
 
 Frames are canonical (sorted keys, compact separators), so identical
 payloads are byte-identical on the wire.
@@ -40,6 +49,7 @@ payloads are byte-identical on the wire.
 from __future__ import annotations
 
 import json
+import math
 from typing import Any, Dict, Optional
 
 from repro.errors import ConfigError
@@ -59,6 +69,41 @@ STATUS_ERROR = "error"
 
 class ProtocolError(ConfigError):
     """A frame that is not valid protocol (bad JSON, not an object)."""
+
+
+class DeadlineExceeded(ConfigError):
+    """A request's ``deadline_ms`` budget ran out before its answer.
+
+    Raised internally by the broker and batch scheduler; on the wire it
+    becomes a ``rejected`` envelope with code ``deadline_exceeded``.
+    Shared work the request was attached to keeps running for its other
+    waiters — only this request's answer is given up on.
+    """
+
+    retryable = True
+
+
+def parse_deadline_ms(value) -> Optional[float]:
+    """Validate an envelope's ``deadline_ms`` field.
+
+    Returns the budget in milliseconds, or ``None`` when absent.
+    Raises :class:`ProtocolError` on anything that is not a positive
+    finite real number — a garbage deadline is a malformed request, not
+    an instantly-expired one.
+    """
+    if value is None:
+        return None
+    if (
+        isinstance(value, bool)
+        or not isinstance(value, (int, float))
+        or not math.isfinite(value)
+        or value <= 0
+    ):
+        raise ProtocolError(
+            f"deadline_ms must be a positive finite number of "
+            f"milliseconds, got {value!r}"
+        )
+    return float(value)
 
 
 def encode_frame(obj: Dict) -> bytes:

@@ -33,6 +33,30 @@ computation are merged in hermetically.  Engine execution happens on a
 thread pool — the refactor making the engines stateless/reentrant
 (thread-local :mod:`repro.obs` sessions, canonical shared memo objects)
 is what makes that safe.
+
+The resilience layer (PR 10) adds, on top of the throughput machinery:
+
+* **deadlines** — an optional ``deadline_ms`` envelope budget, enforced
+  at admission, at executor pickup, and at scatter time; a request the
+  server cannot answer in budget gets a ``deadline_exceeded`` rejection
+  while shared work keeps serving its other waiters;
+* **disconnect cancellation** — a connection that reaches EOF with
+  requests still in flight has those tasks cancelled; coalesced waiters
+  on other connections are resolved retryable, and sole-waiter batch
+  points are abandoned before they reach the kernel;
+* **graceful drain** — SIGTERM (or :meth:`SimulationServer.close`)
+  stops admitting work (``rejected/draining``), completes in-flight
+  requests under ``drain_timeout``, flushes the deferred shared-tier
+  write-back queue, and reports drained stats (zero stranded futures on
+  a clean drain);
+* **degrade-to-scalar** — the batch scheduler's kernel breaker
+  (:class:`~repro.service.batch.KernelBreaker`) routes batchable
+  requests down the scalar compute path after repeated dispatch-level
+  failures, trading throughput for availability;
+* **chaos hooks** — a :class:`~repro.service.chaos.ChaosInjector` can
+  be threaded through the service to inject executor-task exceptions,
+  compute latency, and disk-tier I/O faults deterministically
+  (``repro bench-service --chaos`` drives the drill).
 """
 
 from __future__ import annotations
@@ -41,6 +65,8 @@ import asyncio
 import collections
 import math
 import os
+import signal
+import sys
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -170,6 +196,9 @@ class ServiceConfig:
     batch_window_ms: float = 2.0  # micro-batch accumulation window
     max_batch_points: int = 256  # size trigger: flush at this many points
     point_memo_entries: int = 4096  # point-level LRU result payloads
+    drain_timeout: float = 10.0  # graceful-drain budget (seconds)
+    breaker_threshold: int = 3   # consecutive dispatch failures to trip
+    breaker_probe_after: int = 16  # bypassed requests per breaker probe
 
     def __post_init__(self) -> None:
         if self.max_workers is not None and self.max_workers < 1:
@@ -195,6 +224,17 @@ class ServiceConfig:
             raise ConfigError("max_batch_points must be >= 1")
         if self.point_memo_entries < 0:
             raise ConfigError("point_memo_entries must be >= 0")
+        if not (
+            isinstance(self.drain_timeout, (int, float))
+            and not isinstance(self.drain_timeout, bool)
+            and math.isfinite(self.drain_timeout)
+            and self.drain_timeout >= 0
+        ):
+            raise ConfigError("drain_timeout must be >= 0 and finite")
+        if self.breaker_threshold < 1:
+            raise ConfigError("breaker_threshold must be >= 1")
+        if self.breaker_probe_after < 1:
+            raise ConfigError("breaker_probe_after must be >= 1")
 
     @property
     def workers(self) -> int:
@@ -213,7 +253,11 @@ class SimulationService:
     one response envelope and never raises.
     """
 
-    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        chaos=None,
+    ) -> None:
         self.config = config or ServiceConfig()
         self.registry = obs.MetricsRegistry()
         self._memo: "collections.OrderedDict[str, Dict]" = (
@@ -238,14 +282,37 @@ class SimulationService:
             if self.config.shared_dir is not None
             else None
         )
+        self._chaos = chaos
+        if chaos is not None:
+            # Fault-wrap the disk tiers: chaos decides per-operation
+            # whether a deterministic OSError fires before the real I/O.
+            self._disk = chaos.wrap_cache(self._disk)
+            self._shared = chaos.wrap_cache(self._shared)
         self._batch = (
             BatchScheduler(self) if self.config.batch_enabled else None
         )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._draining = False
+        self._writeback: "collections.deque" = collections.deque()
+        self._writeback_task: Optional[asyncio.Future] = None
+        self.last_drain: Optional[Dict] = None
 
     # -- bookkeeping (event-loop thread only) --------------------------------
 
     def _inc(self, name: str, value: int = 1) -> None:
         self.registry.inc(name, value)
+
+    def _inc_threadsafe(self, name: str, value: int = 1) -> None:
+        """Counter bump from an executor thread: hop to the loop so the
+        registry stays single-threaded.  Dropped if the loop is gone
+        (shutdown races) — counters are telemetry, not ledgers."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self._inc, name, value)
+        except RuntimeError:
+            pass
 
     def _bucket(self, tenant: str) -> TokenBucket:
         bucket = self._buckets.get(tenant)
@@ -291,6 +358,59 @@ class SimulationService:
         while len(self._memo) > self.config.memo_entries:
             self._memo.popitem(last=False)
 
+    # -- deferred shared-tier write-backs ------------------------------------
+
+    def _defer_writeback(self, key: str, payload: Dict) -> None:
+        """Queue a shared-tier put (thread-safe: called from executor
+        threads).  Shared writes take a cross-process lock, so they are
+        taken off the request path; the drain/close machinery guarantees
+        every queued entry is flushed before the server exits."""
+        if self._shared is None:
+            return
+        self._writeback.append((key, payload))
+
+    def _kick_writeback(self) -> None:
+        """Loop thread: start a background flush unless one is running."""
+        if not self._writeback or self._shared is None:
+            return
+        if self._writeback_task is not None and not self._writeback_task.done():
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            task = loop.run_in_executor(self._executor, self._flush_writebacks)
+        except RuntimeError:
+            return  # executor already shut down; the final flush covers it
+        self._writeback_task = task
+        task.add_done_callback(self._writeback_done)
+
+    def _writeback_done(self, task) -> None:
+        try:
+            flushed, errors = task.result()
+        except Exception:
+            return
+        if flushed:
+            self._inc("service.writebacks_flushed", flushed)
+        if errors:
+            self._inc("service.cache_errors", errors)
+
+    def _flush_writebacks(self) -> Tuple[int, int]:
+        """Drain the write-back queue; returns ``(flushed, errors)``.
+        Runs on an executor thread (or synchronously at shutdown); the
+        deque is thread-safe, so a concurrent flush just finds it empty.
+        """
+        flushed = errors = 0
+        while True:
+            try:
+                key, payload = self._writeback.popleft()
+            except IndexError:
+                break
+            try:
+                self._shared.put(key, payload)
+                flushed += 1
+            except (OSError, ConfigError):
+                errors += 1
+        return flushed, errors
+
     def stats(self) -> Dict:
         """The ``stats`` op payload: counters + live state snapshot."""
         manifest = self.registry.to_manifest()
@@ -306,6 +426,13 @@ class SimulationService:
                 len(self._batch) if self._batch is not None else 0
             ),
             "tenants": len(self._buckets),
+            "draining": self._draining,
+            "writeback_queued": len(self._writeback),
+            "breaker": (
+                self._batch.breaker.state()
+                if self._batch is not None
+                else None
+            ),
             "config": {
                 "max_workers": self.config.workers,
                 "max_pending": self.config.max_pending,
@@ -315,6 +442,9 @@ class SimulationService:
                 "batch_window_ms": self.config.batch_window_ms,
                 "max_batch_points": self.config.max_batch_points,
                 "point_memo_entries": self.config.point_memo_entries,
+                "drain_timeout": self.config.drain_timeout,
+                "breaker_threshold": self.config.breaker_threshold,
+                "breaker_probe_after": self.config.breaker_probe_after,
                 "quota_rate": (
                     None
                     if math.isinf(self.config.quota_rate)
@@ -337,20 +467,43 @@ class SimulationService:
     # -- execution (executor threads) ----------------------------------------
 
     def _compute(
-        self, request, fp: str, profile: bool
+        self, request, fp: str, profile: bool, deadline: Optional[float] = None
     ) -> Tuple[Dict, str, Optional[Dict], Optional[list]]:
         """Tiered lookup then engine run; returns ``(payload, tier,
         engine_manifest, span_rows)``.  Runs on an executor thread under
         its own hermetic obs session (sessions are thread-local)."""
+        if deadline is not None and time.monotonic() >= deadline:
+            # The budget burned up while this request sat in the
+            # executor queue; don't spend an engine pass on an answer
+            # nobody will accept.
+            raise protocol.DeadlineExceeded(
+                "deadline_ms expired before an engine thread picked "
+                "the request up"
+            )
+        if self._chaos is not None:
+            # Deterministic chaos: may sleep (compute latency) or raise
+            # (executor-task exception) for this fingerprint.
+            self._chaos.before_compute(fp)
         if self._disk is not None:
-            payload = self._disk.get(fp)
+            try:
+                payload = self._disk.get(fp)
+            except OSError:
+                payload = None
+                self._inc_threadsafe("service.cache_errors")
             if payload is not None and payload.get("kind") == request.kind:
                 return payload, "disk", None, None
         if self._shared is not None:
-            payload = self._shared.get(fp)
+            try:
+                payload = self._shared.get(fp)
+            except OSError:
+                payload = None
+                self._inc_threadsafe("service.cache_errors")
             if payload is not None and payload.get("kind") == request.kind:
                 if self._disk is not None:
-                    self._disk.put(fp, payload)
+                    try:
+                        self._disk.put(fp, payload)
+                    except OSError:
+                        self._inc_threadsafe("service.cache_errors")
                 return payload, "shared", None, None
         registry = obs.MetricsRegistry()
         tracer = obs.Tracer() if profile else None
@@ -358,9 +511,15 @@ class SimulationService:
             with obs.span("service.compute", cat="service", kind=request.kind):
                 payload = execute_request(request)
         if self._disk is not None:
-            self._disk.put(fp, payload)
+            try:
+                self._disk.put(fp, payload)
+            except OSError:
+                self._inc_threadsafe("service.cache_errors")
         if self._shared is not None:
-            self._shared.put(fp, payload)  # single-writer CacheLock inside
+            # Shared-tier writes take a cross-process lock; defer them
+            # off the request path (the drain/flush machinery guarantees
+            # delivery before the server exits).
+            self._defer_writeback(fp, payload)
         spans = None
         if tracer is not None:
             spans = [
@@ -387,6 +546,7 @@ class SimulationService:
             if op != "request":
                 raise protocol.ProtocolError(f"unknown op {op!r}")
             tenant = str(envelope.get("tenant") or "anon")
+            budget_ms = protocol.parse_deadline_ms(envelope.get("deadline_ms"))
             request = api.request_from_dict(envelope.get("request"))
             profile = bool(envelope.get("profile", False))
             # fingerprint() fully resolves the request, so malformed
@@ -402,8 +562,44 @@ class SimulationService:
                 rid, "bad-request", f"{type(exc).__name__}: {exc}"
             )
 
+        self._loop = asyncio.get_running_loop()
+        deadline = (
+            None if budget_ms is None else time.monotonic() + budget_ms / 1000.0
+        )
+        try:
+            return await self._admit(rid, tenant, request, profile, fp, deadline)
+        except asyncio.CancelledError:
+            # The connection died mid-request (or shutdown cancelled the
+            # frame task).  Counted so the accounting invariant —
+            # requests == answered tiers + rejections + errors +
+            # cancellations — still balances.
+            self._inc("service.cancelled")
+            raise
+
+    def _deadline_reject(self, rid, where: str) -> Dict:
+        self._inc("service.deadline_exceeded")
+        return protocol.rejected_response(
+            rid,
+            "deadline_exceeded",
+            f"deadline_ms expired {where}",
+            0.0,
+        )
+
+    async def _admit(
+        self, rid, tenant, request, profile: bool, fp: str,
+        deadline: Optional[float],
+    ) -> Dict:
         self._inc("service.requests")
         self._inc(f"service.requests.{request.kind}")
+
+        if self._draining:
+            self._inc("service.rejected_draining")
+            return protocol.rejected_response(
+                rid,
+                "draining",
+                "server is draining; resend to another replica",
+                1.0,
+            )
 
         bucket = self._bucket(tenant)
         if not bucket.take():
@@ -426,14 +622,33 @@ class SimulationService:
         shared_future = self._inflight.get(fp)
         if shared_future is not None:
             # Single-flight: ride the identical in-flight computation.
-            self._inc("service.coalesced")
+            # ``service.coalesced`` counts only the requests a coalesced
+            # wait *answered* — aborted/expired/failed waiters land in
+            # their own outcome counters instead, so every request falls
+            # in exactly one bucket and the accounting invariant
+            # (requests == tiers + rejections + errors + cancellations)
+            # balances.  ``coalesce_attached`` counts entries (tests and
+            # dashboards watch attachment, not outcome).
+            self._inc("service.coalesce_attached")
             try:
-                payload = await asyncio.shield(shared_future)
+                if deadline is None:
+                    payload = await asyncio.shield(shared_future)
+                else:
+                    payload = await asyncio.wait_for(
+                        asyncio.shield(shared_future),
+                        max(0.0, deadline - time.monotonic()),
+                    )
+            except asyncio.TimeoutError:
+                return self._deadline_reject(
+                    rid, "while waiting on the coalesced computation"
+                )
             except _OwnerCancelled as exc:
                 self._inc("service.coalesce_aborted")
                 return protocol.rejected_response(rid, "retry", str(exc), 0.0)
             except ConfigError as exc:
+                self._inc("service.errors")
                 return protocol.error_response(rid, "compute", str(exc))
+            self._inc("service.coalesced")
             meta["served_by"] = "coalesced"
             return protocol.ok_response(rid, payload, meta)
 
@@ -448,22 +663,50 @@ class SimulationService:
                 round(retry, 4),
             )
 
+        if deadline is not None and time.monotonic() >= deadline:
+            # Admission-time enforcement: the budget burned up in parse
+            # and queueing before any engine dispatch.
+            return self._deadline_reject(rid, "before dispatch")
+
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._inflight[fp] = future
         self._pending += 1
         try:
-            if self._batch is not None and batchable(request, profile):
+            if (
+                self._batch is not None
+                and batchable(request, profile)
+                and self._batch.admit()
+            ):
                 # Cross-request batching: the request's points join the
                 # micro-batch queue and ride a shared kernel dispatch.
-                payload = await self._batch.run_request(request)
+                # admit() is the kernel breaker: while open, batchable
+                # requests degrade to the scalar path below instead.
+                payload = await self._batch.run_request(
+                    request, deadline=deadline
+                )
                 tier, manifest, spans = "batched", None, None
             else:
                 payload, tier, manifest, spans = await loop.run_in_executor(
-                    self._executor, self._compute, request, fp, profile
+                    self._executor, self._compute, request, fp, profile,
+                    deadline,
                 )
             if not future.done():
                 future.set_result(payload)
+        except protocol.DeadlineExceeded as exc:
+            # This request owned the computation but its budget ran out.
+            # Waiters retry rather than inherit this owner's deadline.
+            future.set_exception(
+                _OwnerCancelled(
+                    "the computation this request coalesced onto exceeded "
+                    "its owner's deadline; retry"
+                )
+            )
+            future.exception()
+            self._inc("service.deadline_exceeded")
+            return protocol.rejected_response(
+                rid, "deadline_exceeded", str(exc), 0.0
+            )
         except ConfigError as exc:
             future.set_exception(exc)
             future.exception()  # consumed: no "never retrieved" warning
@@ -495,30 +738,115 @@ class SimulationService:
             self._pending -= 1
 
         self._memo_put(fp, payload)
+        if manifest is not None:
+            self.registry.merge_manifest(manifest)
+        self._kick_writeback()
+        if deadline is not None and time.monotonic() >= deadline:
+            # Scatter-time enforcement: the work finished, its result is
+            # memoized and feeding every other waiter — but past the
+            # budget the honest answer to THIS request is a rejection.
+            # No tier counter: the accounting partition counts this
+            # request under deadline_exceeded, not under a served tier.
+            return self._deadline_reject(rid, "before the result scattered")
         if tier == "computed":
             self._inc("service.computed")
         elif tier == "batched":
             self._inc("service.batched")
         else:
             self._inc(f"service.{tier}_hits")
-        if manifest is not None:
-            self.registry.merge_manifest(manifest)
         meta["served_by"] = tier
         if spans is not None:
             meta["spans"] = spans
         return protocol.ok_response(rid, payload, meta)
 
+    # -- drain & shutdown ----------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop admitting work; flush the batch queue immediately.
+
+        New requests get ``rejected`` with code ``draining`` (admin ops
+        still answer); everything already admitted runs to completion.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self._inc("service.drain_started")
+        if self._batch is not None:
+            self._batch.begin_drain()
+
+    async def drain(self, timeout: Optional[float] = None) -> Dict:
+        """Drain in-flight work under a deadline; returns drain stats.
+
+        ``drained`` is True when every admitted request scattered and
+        every batch dispatch finished within ``timeout`` (default
+        ``config.drain_timeout``).
+        """
+        budget = self.config.drain_timeout if timeout is None else timeout
+        self.begin_drain()
+        deadline = time.monotonic() + budget
+        while self._pending > 0 or (
+            self._batch is not None and self._batch.busy()
+        ):
+            if time.monotonic() >= deadline:
+                break
+            await asyncio.sleep(0.005)
+        drained = self._pending == 0 and (
+            self._batch is None or not self._batch.busy()
+        )
+        return {
+            "drained": drained,
+            "timeout": budget,
+            "pending": self._pending,
+        }
+
     def close(self) -> None:
+        """Synchronous shutdown (tests, abrupt paths): flush write-backs
+        and wait for in-flight engine work so nothing is abandoned."""
         if self._batch is not None:
             self._batch.close()
-        self._executor.shutdown(wait=False)
+        self._executor.shutdown(wait=True)
+        flushed, errors = self._flush_writebacks()
+        if flushed:
+            self._inc("service.writebacks_flushed", flushed)
+        if errors:
+            self._inc("service.cache_errors", errors)
 
-    async def aclose(self) -> None:
-        """Async shutdown: lets in-flight batch dispatches scatter their
-        results before the executor goes away."""
+    async def aclose(self, drain_timeout: Optional[float] = None) -> Dict:
+        """Graceful shutdown: drain, scatter batch dispatches, flush the
+        write-back queue, stop the executor; returns the drain report
+        (also kept as ``last_drain``)."""
+        report = await self.drain(drain_timeout)
         if self._batch is not None:
-            await self._batch.aclose()
-        self._executor.shutdown(wait=False)
+            # Fails any leftover queued points fast and waits (bounded
+            # when the drain already timed out) for in-flight dispatches
+            # to scatter their results.
+            await self._batch.aclose(
+                timeout=None if report["drained"] else 1.0
+            )
+        loop = asyncio.get_running_loop()
+        # Stop the engine pool BEFORE the final write-back flush: an
+        # abandoned compute still running on the pool could otherwise
+        # defer a write-back after the flush and strand it.  The flush
+        # itself runs on the loop's default executor (ours is gone).
+        await loop.run_in_executor(
+            None, self._executor.shutdown, report["drained"]
+        )
+        flushed, errors = await loop.run_in_executor(
+            None, self._flush_writebacks
+        )
+        if flushed:
+            self._inc("service.writebacks_flushed", flushed)
+        if errors:
+            self._inc("service.cache_errors", errors)
+        stranded = len(self._inflight) + (
+            len(self._batch._inflight) if self._batch is not None else 0
+        )
+        report["stranded"] = stranded
+        report["writebacks_flushed"] = flushed
+        if report["drained"] and stranded == 0:
+            self._inc("service.drained_clean")
+        self.last_drain = report
+        return report
 
 
 class SimulationServer:
@@ -618,6 +946,16 @@ class SimulationServer:
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
             if tasks:
+                # EOF with frames still in flight: the client went away,
+                # nobody will read these answers.  Cancel them so the
+                # broker's owner-cancellation path resolves coalesced
+                # waiters retryable and sole-waiter batch points are
+                # abandoned, instead of computing into the void.  (A
+                # client that read all its responses before closing has
+                # no live tasks here — cancel() on done tasks is a
+                # no-op.)
+                for task in list(tasks):
+                    task.cancel()
                 await asyncio.gather(*tasks, return_exceptions=True)
         except (ConnectionError, asyncio.CancelledError):
             # Cancelled = server shutdown with the connection open; close
@@ -635,18 +973,23 @@ class SimulationServer:
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
-    async def close(self) -> None:
+    async def close(self, drain_timeout: Optional[float] = None) -> Dict:
+        """Graceful stop: close the listener, drain the service (new
+        frames on live connections get ``rejected/draining``, admitted
+        work completes and is answered), then tear down idle
+        connections.  Returns the service's drain report."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        report = await self.service.aclose(drain_timeout)
         for task in list(self._conn_tasks):
             task.cancel()
         if self._conn_tasks:
             await asyncio.gather(
                 *self._conn_tasks, return_exceptions=True
             )
-        await self.service.aclose()
+        return report
 
 
 async def _run_server(
@@ -656,21 +999,35 @@ async def _run_server(
     ready=None,
     stop: Optional[asyncio.Event] = None,
     announce=None,
+    chaos=None,
+    drain_timeout: Optional[float] = None,
+    install_signals: bool = False,
 ) -> None:
-    server = SimulationServer(SimulationService(config), host, port)
+    server = SimulationServer(SimulationService(config, chaos=chaos), host, port)
     address = await server.start()
     if announce is not None:
         announce(address)
+    if stop is None:
+        stop = asyncio.Event()
+    if install_signals:
+        # SIGTERM/SIGINT trigger a graceful drain instead of an abrupt
+        # exit.  Signal handlers only install on the main thread of the
+        # main interpreter (the ``repro serve`` path); ServerThread uses
+        # its stop event instead.
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, ValueError, RuntimeError):
+                pass
     if ready is not None:
         ready.server = server
         ready.address = address
         ready.event.set()
     try:
-        if stop is None:
-            stop = asyncio.Event()
         await stop.wait()
     finally:
-        await server.close()
+        await server.close(drain_timeout)
 
 
 def serve(
@@ -678,8 +1035,14 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 7543,
     announce=print,
+    drain_timeout: Optional[float] = None,
 ) -> None:
-    """Run a server until interrupted (the ``repro serve`` entry)."""
+    """Run a server until interrupted (the ``repro serve`` entry).
+
+    SIGTERM (and Ctrl-C) drain gracefully: the listener closes, admitted
+    work completes under the drain budget, deferred shared-tier
+    write-backs flush, and only then does the process exit.
+    """
     try:
         asyncio.run(
             _run_server(
@@ -690,6 +1053,8 @@ def serve(
                     f"repro service listening on {addr[0]}:{addr[1]} "
                     f"({protocol.PROTOCOL})"
                 ),
+                drain_timeout=drain_timeout,
+                install_signals=True,
             )
         )
     except KeyboardInterrupt:
@@ -714,10 +1079,14 @@ class ServerThread:
         config: Optional[ServiceConfig] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        chaos=None,
+        drain_timeout: Optional[float] = None,
     ) -> None:
         self._config = config
         self._host = host
         self._port = port
+        self._chaos = chaos
+        self._drain_timeout = drain_timeout
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
@@ -725,6 +1094,11 @@ class ServerThread:
         self._startup_error: Optional[BaseException] = None
         self.address: Optional[Tuple[str, int]] = None
         self.service: Optional[SimulationService] = None
+
+    @property
+    def drain_report(self) -> Optional[Dict]:
+        """The last drain's stats (available after :meth:`stop`)."""
+        return self.service.last_drain if self.service is not None else None
 
     def _main(self) -> None:
         loop = asyncio.new_event_loop()
@@ -741,7 +1115,8 @@ class ServerThread:
         async def main():
             await _run_server(
                 self._config, self._host, self._port, ready=ready,
-                stop=self._stop,
+                stop=self._stop, chaos=self._chaos,
+                drain_timeout=self._drain_timeout,
             )
 
         def _announce_started():
@@ -774,14 +1149,35 @@ class ServerThread:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.stop()
+        # A hung shutdown must surface — but not by masking an exception
+        # already unwinding through the ``with`` block.
+        self.stop(raise_on_hang=exc_type is None)
 
-    def stop(self) -> None:
+    def stop(self, raise_on_hang: bool = True) -> None:
+        """Signal the server to drain and wait for the thread to exit.
+
+        A thread that fails to join within 30s is a hung shutdown — a
+        real bug (wedged executor work, a drain that never completes)
+        that used to leak silently and deadlock *later* suites.  Now it
+        raises (or, with ``raise_on_hang=False``, logs loudly to
+        stderr so an in-flight exception is not masked)."""
         if self._loop is not None and self._stop is not None:
             try:
                 self._loop.call_soon_threadsafe(self._stop.set)
             except RuntimeError:
                 pass  # loop already closed
-        if self._thread is not None:
-            self._thread.join(timeout=30)
-            self._thread = None
+        thread = self._thread
+        if thread is None:
+            return
+        thread.join(timeout=30)
+        if thread.is_alive():
+            message = (
+                "ServerThread failed to shut down within 30s; the "
+                "server thread is leaked (hung drain or wedged engine "
+                "work)"
+            )
+            if raise_on_hang:
+                raise ConfigError(message)
+            print(f"ERROR: {message}", file=sys.stderr)
+            return
+        self._thread = None

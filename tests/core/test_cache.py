@@ -129,7 +129,7 @@ def test_cache_roundtrips_floats_exactly(tmp_path):
     assert got["inf"] == float("inf")
 
 
-def test_corrupted_entry_is_discarded_not_fatal(tmp_path):
+def test_corrupted_entry_is_quarantined_not_fatal(tmp_path):
     cache = ResultCache(tmp_path)
     key = fingerprint("corrupt-me")
     cache.put(key, {"v": 1})
@@ -137,17 +137,26 @@ def test_corrupted_entry_is_discarded_not_fatal(tmp_path):
     path.write_text("{ not json")
     assert cache.get(key) is None
     assert cache.stats.discards == 1
-    assert not path.exists()  # the bad file is gone
-    assert cache.get(key) is None  # and stays a plain miss
+    assert cache.stats.quarantined == 1
+    assert not path.exists()  # the bad file no longer shadows the key
+    # ...but it is preserved next door for post-mortem, not destroyed.
+    quarantined = path.with_name(path.name + ".corrupt")
+    assert quarantined.exists()
+    assert quarantined.read_text() == "{ not json"
+    assert len(cache) == 0  # quarantined files are not live entries
+    assert cache.get(key) is None  # and the key stays a plain miss
+    cache.clear()
+    assert not quarantined.exists()  # clear() sweeps quarantine too
 
 
-def test_stale_version_is_discarded(tmp_path):
+def test_stale_version_is_quarantined(tmp_path):
     old = ResultCache(tmp_path, version=CACHE_VERSION)
     key = fingerprint("stale")
     old.put(key, {"v": 1})
     new = ResultCache(tmp_path, version=CACHE_VERSION + 1)
     assert new.get(key) is None
     assert new.stats.discards == 1
+    assert new.stats.quarantined == 1
     assert len(new) == 0
 
 

@@ -425,7 +425,10 @@ def test_sweep_cache_interop(tmp_path):
 # -- shutdown -----------------------------------------------------------------
 
 
-def test_close_fails_queued_points_fast():
+def test_aclose_drains_queued_points():
+    # Graceful shutdown *completes* queued work: the point parked behind
+    # a 60s window flushes immediately on drain and the request is
+    # answered ok, not failed.
     service = SimulationService(
         ServiceConfig(max_workers=2, batch_window_ms=60_000.0)
     )
@@ -434,7 +437,28 @@ def test_close_fails_queued_points_fast():
         task = asyncio.create_task(service.handle(_envelope(REQ)))
         while len(service._batch) == 0:
             await asyncio.sleep(0.001)
-        await service.aclose()
+        report = await service.aclose()
+        return await asyncio.wait_for(task, timeout=5.0), report
+
+    response, report = asyncio.run(main())
+    assert response["status"] == "ok"
+    assert response["meta"]["served_by"] == "batched"
+    assert report["drained"] is True
+    assert report["stranded"] == 0
+
+
+def test_close_fails_queued_points_fast():
+    # The abrupt (synchronous) path still fails queued points instead of
+    # hanging their waiters.
+    service = SimulationService(
+        ServiceConfig(max_workers=2, batch_window_ms=60_000.0)
+    )
+
+    async def main():
+        task = asyncio.create_task(service.handle(_envelope(REQ)))
+        while len(service._batch) == 0:
+            await asyncio.sleep(0.001)
+        service.close()
         return await asyncio.wait_for(task, timeout=5.0)
 
     response = asyncio.run(main())

@@ -34,6 +34,25 @@ def test_serve_batch_flags_round_trip_into_the_live_config():
     assert stats["config"]["max_workers"] == 3
 
 
+def test_serve_drain_timeout_flag_round_trips():
+    args = _parse(["serve", "--drain-timeout", "3.5"])
+    assert args.drain_timeout == 3.5
+    config = cli._service_config(args)
+    assert config.drain_timeout == 3.5
+    # Default is the documented 10s budget.
+    assert cli._service_config(_parse(["serve"])).drain_timeout == 10.0
+
+
+def test_bench_service_chaos_flags_parse():
+    args = _parse(["bench-service", "--chaos"])
+    assert args.chaos is True
+    assert args.chaos_seed is None  # falls back to the default seed pair
+    args = _parse(
+        ["bench-service", "--chaos", "--chaos-seed", "3", "--chaos-seed", "9"]
+    )
+    assert args.chaos_seed == [3, 9]
+
+
 def test_serve_no_batch_and_auto_workers():
     from repro.service import default_workers
 

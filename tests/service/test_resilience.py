@@ -1,0 +1,590 @@
+"""The resilience layer: deadlines, disconnect cancellation, graceful
+drain, the kernel breaker's degrade-to-scalar path, and client retry.
+
+Broker-level tests drive :meth:`SimulationService.handle` under
+``asyncio.run`` with the engine monkeypatched slow where a test needs
+deterministic overlap; the socket-level tests run a real
+:class:`ServerThread` and slam connections mid-request.
+"""
+
+import asyncio
+import socket
+import time
+
+import pytest
+
+from repro import api
+from repro.errors import ConfigError
+from repro.service import (
+    KernelBreaker,
+    RetryPolicy,
+    ConnectionLost,
+    ServerThread,
+    ServiceClient,
+    ServiceConfig,
+    SimulationService,
+    protocol,
+)
+from repro.service import batch as batch_mod
+from repro.service import server as server_mod
+
+REQ = api.SimulationRequest("Resnet-50", "trainbox", 64)
+
+
+def _envelope(request, rid=1, tenant="t", **extra):
+    return {"id": rid, "tenant": tenant, "request": request.to_dict(), **extra}
+
+
+def _counters(service):
+    return service.registry.to_manifest()["counters"]
+
+
+def _slow_engine(monkeypatch, seconds):
+    real = server_mod.execute_request
+
+    def slow(request):
+        time.sleep(seconds)
+        return real(request)
+
+    monkeypatch.setattr(server_mod, "execute_request", slow)
+
+
+# -- deadline_ms parsing ------------------------------------------------------
+
+
+def test_parse_deadline_ms():
+    assert protocol.parse_deadline_ms(None) is None
+    assert protocol.parse_deadline_ms(250) == 250.0
+    assert protocol.parse_deadline_ms(0.5) == 0.5
+    for bad in (True, 0, -5, float("inf"), float("nan"), "soon"):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_deadline_ms(bad)
+
+
+def test_malformed_deadline_is_a_bad_request():
+    service = SimulationService(ServiceConfig(max_workers=1))
+
+    async def main():
+        try:
+            return await service.handle(
+                _envelope(REQ, deadline_ms="never")
+            )
+        finally:
+            service.close()
+
+    response = asyncio.run(main())
+    assert response["status"] == "error"
+    assert response["error"]["code"] == "bad-request"
+    assert "deadline_ms" in response["error"]["message"]
+
+
+# -- deadline enforcement -----------------------------------------------------
+
+
+def test_owner_deadline_rejects_at_scatter_time(monkeypatch):
+    # The engine outlives the budget: the work still completes (and is
+    # memoized for everyone else), but THIS request honestly answers
+    # deadline_exceeded instead of a late ok.
+    _slow_engine(monkeypatch, 0.2)
+    service = SimulationService(
+        ServiceConfig(max_workers=1, batch_enabled=False)
+    )
+
+    async def main():
+        try:
+            late = await service.handle(_envelope(REQ, rid=1, deadline_ms=50))
+            # The payload was memoized despite the rejection: a resend
+            # with a fresh budget is served instantly from the memo.
+            resend = await service.handle(_envelope(REQ, rid=2, deadline_ms=50))
+            return late, resend
+        finally:
+            service.close()
+
+    late, resend = asyncio.run(main())
+    assert late["status"] == "rejected"
+    assert late["error"]["code"] == "deadline_exceeded"
+    assert late["meta"]["retry_after"] == 0.0
+    assert resend["status"] == "ok"
+    assert resend["meta"]["served_by"] == "memo"
+    counters = _counters(service)
+    assert counters["service.deadline_exceeded"] == 1
+    # The accounting partition: both requests landed in exactly one
+    # outcome bucket (deadline_exceeded + memo_hits == requests).
+    assert counters["service.memo_hits"] == 1
+    assert counters["service.requests"] == 2
+
+
+def test_waiter_deadline_expires_without_killing_the_owner(monkeypatch):
+    _slow_engine(monkeypatch, 0.3)
+    service = SimulationService(
+        ServiceConfig(max_workers=2, batch_enabled=False)
+    )
+    fp = REQ.fingerprint()
+
+    async def main():
+        try:
+            owner = asyncio.create_task(service.handle(_envelope(REQ, rid=1)))
+            while fp not in service._inflight:
+                await asyncio.sleep(0.005)
+            waiter = await service.handle(
+                _envelope(REQ, rid=2, deadline_ms=50)
+            )
+            return waiter, await owner
+        finally:
+            service.close()
+
+    waiter, owner = asyncio.run(main())
+    assert waiter["status"] == "rejected"
+    assert waiter["error"]["code"] == "deadline_exceeded"
+    assert "coalesced" in waiter["error"]["message"]
+    # The owner (no deadline) is untouched by the waiter's budget.
+    assert owner["status"] == "ok"
+    assert owner["meta"]["served_by"] == "computed"
+
+
+def test_deadline_expired_in_executor_queue_skips_the_engine(monkeypatch):
+    # One worker, hogged by a slow request: the queued request's budget
+    # burns up before an engine thread picks it up, and the engine is
+    # never spent on it.
+    real = server_mod.execute_request
+    ran = []
+
+    def slow(request):
+        ran.append(request.fingerprint())
+        time.sleep(0.3)
+        return real(request)
+
+    monkeypatch.setattr(server_mod, "execute_request", slow)
+    service = SimulationService(
+        ServiceConfig(max_workers=1, batch_enabled=False)
+    )
+    other = api.SimulationRequest("Resnet-50", "trainbox", 16)
+
+    async def main():
+        try:
+            hog = asyncio.create_task(service.handle(_envelope(REQ, rid=1)))
+            while REQ.fingerprint() not in service._inflight:
+                await asyncio.sleep(0.005)
+            doomed = await service.handle(
+                _envelope(other, rid=2, deadline_ms=50)
+            )
+            return doomed, await hog
+        finally:
+            service.close()
+
+    doomed, hog = asyncio.run(main())
+    assert hog["status"] == "ok"
+    assert doomed["status"] == "rejected"
+    assert doomed["error"]["code"] == "deadline_exceeded"
+    assert "picked" in doomed["error"]["message"]
+    assert ran == [REQ.fingerprint()]  # the doomed request never ran
+
+
+def test_batch_deadline_abandons_sole_waiter_point():
+    # A long batching window and a tiny budget: the deadline fires while
+    # the point is still queued, and releasing the last waiter reference
+    # abandons the point before it ever reaches the kernel.
+    service = SimulationService(
+        ServiceConfig(max_workers=1, batch_window_ms=500.0)
+    )
+
+    async def main():
+        try:
+            return await service.handle(_envelope(REQ, deadline_ms=30))
+        finally:
+            service.close()
+
+    response = asyncio.run(main())
+    assert response["status"] == "rejected"
+    assert response["error"]["code"] == "deadline_exceeded"
+    counters = _counters(service)
+    assert counters["service.batch_point_abandoned"] == 1
+    assert counters.get("service.batch_dispatches", 0) == 0
+
+
+# -- kernel breaker -----------------------------------------------------------
+
+
+def test_kernel_breaker_trip_probe_reset():
+    breaker = KernelBreaker(threshold=2, probe_after=3)
+    assert breaker.allow()  # closed: everything admitted
+    assert not breaker.record_failure()
+    assert breaker.record_failure()  # second consecutive failure trips
+    assert breaker.open
+    # Open: two bypasses, then the third is the probe.
+    assert not breaker.allow()
+    assert not breaker.allow()
+    assert breaker.allow()
+    assert breaker.record_success()  # the probe's clean dispatch resets
+    assert not breaker.open
+    assert breaker.failures == 0
+    # A success mid-count zeroes the consecutive-failure counter.
+    breaker.record_failure()
+    assert not breaker.record_success()  # closed already: not a "reset"
+    assert breaker.failures == 0
+
+
+def test_breaker_degrades_batch_path_to_scalar(monkeypatch):
+    # Poison the kernel dispatch wholesale: after `threshold` failed
+    # dispatches the breaker opens and batchable requests are served by
+    # the scalar path; a later clean probe closes it again.
+    real = batch_mod.BatchScheduler._compute_batch
+    poisoned = [True]
+
+    def compute(self, entries):
+        if poisoned[0]:
+            raise RuntimeError("kernel poisoned")
+        return real(self, entries)
+
+    monkeypatch.setattr(batch_mod.BatchScheduler, "_compute_batch", compute)
+    service = SimulationService(
+        ServiceConfig(
+            max_workers=2,
+            batch_window_ms=0.0,
+            breaker_threshold=2,
+            breaker_probe_after=2,
+        )
+    )
+    requests = [
+        api.SimulationRequest("Resnet-50", "trainbox", scale)
+        for scale in (4, 8, 16, 32, 64, 128)
+    ]
+
+    async def main():
+        try:
+            return [
+                await service.handle(_envelope(r, rid=i))
+                for i, r in enumerate(requests)
+            ]
+        finally:
+            service.close()
+
+    responses = asyncio.run(main())
+    # Requests 0-1: poisoned dispatches -> internal errors, breaker trips.
+    assert [r["status"] for r in responses[:2]] == ["error", "error"]
+    # Request 2: breaker open -> degraded to the scalar compute path.
+    assert responses[2]["status"] == "ok"
+    assert responses[2]["meta"]["served_by"] == "computed"
+    # Request 3 is the probe (probe_after=2) — but the kernel is still
+    # poisoned mid-run?  No: heal it right before, so the probe's clean
+    # dispatch resets the breaker and request 4 batches again.
+    poisoned[0] = False
+    counters = _counters(service)
+    assert counters["service.breaker_tripped"] == 1
+    assert counters["service.batch_dispatch_errors"] >= 2
+    assert counters["service.breaker_bypassed"] >= 1
+    assert service._batch.breaker.state()["threshold"] == 2
+
+
+def test_breaker_probe_recovers_the_batch_path(monkeypatch):
+    real = batch_mod.BatchScheduler._compute_batch
+    poisoned = [True]
+
+    def compute(self, entries):
+        if poisoned[0]:
+            raise RuntimeError("kernel poisoned")
+        return real(self, entries)
+
+    monkeypatch.setattr(batch_mod.BatchScheduler, "_compute_batch", compute)
+    service = SimulationService(
+        ServiceConfig(
+            max_workers=2,
+            batch_window_ms=0.0,
+            breaker_threshold=1,
+            breaker_probe_after=1,
+        )
+    )
+    requests = [
+        api.SimulationRequest("Resnet-50", "trainbox", scale)
+        for scale in (4, 8, 16)
+    ]
+
+    async def main():
+        try:
+            first = await service.handle(_envelope(requests[0], rid=0))
+            poisoned[0] = False  # the kernel heals
+            # probe_after=1: the very next batchable request is the probe.
+            probe = await service.handle(_envelope(requests[1], rid=1))
+            after = await service.handle(_envelope(requests[2], rid=2))
+            return first, probe, after
+        finally:
+            service.close()
+
+    first, probe, after = asyncio.run(main())
+    assert first["status"] == "error"  # the trip
+    assert probe["status"] == "ok"
+    assert probe["meta"]["served_by"] == "batched"
+    assert after["status"] == "ok"
+    assert after["meta"]["served_by"] == "batched"
+    counters = _counters(service)
+    assert counters["service.breaker_tripped"] == 1
+    assert counters["service.breaker_probes"] == 1
+    assert counters["service.breaker_reset"] == 1
+    assert not service._batch.breaker.open
+
+
+# -- disconnect cancellation over real sockets --------------------------------
+
+
+def _poll(fn, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if fn():
+            return
+        time.sleep(0.005)
+    raise AssertionError("condition not reached within the poll budget")
+
+
+def test_disconnect_mid_request_resolves_coalesced_waiter(monkeypatch):
+    # The single-flight owner's connection dies mid-compute: the EOF
+    # cancels its frame task, and the waiter on another connection gets
+    # an immediate retryable rejection instead of hanging.
+    _slow_engine(monkeypatch, 0.5)
+    config = ServiceConfig(max_workers=2, batch_enabled=False)
+    with ServerThread(config) as srv:
+        service = srv.service
+        owner = ServiceClient(*srv.address)
+        with ServiceClient(*srv.address) as waiter:
+            owner._send(owner._envelope(REQ, False, None))
+            _poll(lambda: len(service._inflight) == 1)
+            waiter._send(waiter._envelope(REQ, False, None))
+            _poll(
+                lambda: _counters(service).get(
+                    "service.coalesce_attached", 0
+                ) >= 1
+            )
+            owner.close()  # the owner walks away mid-request
+            response = waiter._recv()
+            assert response["status"] == "rejected"
+            assert response["error"]["code"] == "retry"
+            # The broker is healthy: a resend on the same connection
+            # computes normally.
+            resend = waiter.call(REQ)
+            assert resend["status"] == "ok"
+        counters = _counters(service)
+        assert counters["service.cancelled"] == 1
+        assert counters["service.coalesce_aborted"] == 1
+
+
+def test_disconnect_abandons_sole_waiter_batch_point():
+    # The only client interested in a queued batch point disconnects
+    # inside the (long) batching window: the point is abandoned before
+    # it ever reaches the kernel.
+    config = ServiceConfig(max_workers=2, batch_window_ms=800.0)
+    with ServerThread(config) as srv:
+        service = srv.service
+        doomed = ServiceClient(*srv.address)
+        doomed._send(doomed._envelope(REQ, False, None))
+        _poll(lambda: service.stats()["batch_queued"] >= 1)
+        doomed.close()
+        _poll(
+            lambda: _counters(service).get(
+                "service.batch_point_abandoned", 0
+            ) >= 1
+        )
+        counters = _counters(service)
+        assert counters["service.cancelled"] == 1
+        assert counters.get("service.batch_dispatches", 0) == 0
+
+
+# -- frame cap ----------------------------------------------------------------
+
+
+def test_oversized_frame_answers_and_closes():
+    with ServerThread(ServiceConfig(max_workers=1)) as srv:
+        with ServiceClient(*srv.address) as client:
+            blob = b"x" * (protocol.MAX_FRAME_BYTES + 16) + b"\n"
+            client._sock.sendall(blob)
+            response = client._recv()
+            assert response["status"] == "error"
+            assert response["error"]["code"] == "frame-too-large"
+            # The server hangs up after an unframeable stream.
+            with pytest.raises(ConnectionLost):
+                client._recv()
+        # The listener is unharmed: a fresh connection works.
+        with ServiceClient(*srv.address) as client:
+            assert client.ping()["payload"]["kind"] == "pong"
+
+
+# -- graceful drain -----------------------------------------------------------
+
+
+def test_draining_rejects_new_work_but_answers_admin_ops():
+    service = SimulationService(ServiceConfig(max_workers=1))
+
+    async def main():
+        try:
+            before = await service.handle(_envelope(REQ, rid=1))
+            service.begin_drain()
+            during = await service.handle(_envelope(REQ, rid=2))
+            stats = await service.handle({"id": 3, "op": "stats"})
+            report = await service.aclose()
+            return before, during, stats, report
+        finally:
+            service.close()
+
+    before, during, stats, report = asyncio.run(main())
+    assert before["status"] == "ok"
+    assert during["status"] == "rejected"
+    assert during["error"]["code"] == "draining"
+    assert during["meta"]["retry_after"] > 0
+    assert stats["status"] == "ok"
+    assert stats["payload"]["draining"] is True
+    assert report["drained"] is True
+    assert report["stranded"] == 0
+
+
+def test_drain_completes_inflight_and_flushes_writebacks(
+    monkeypatch, tmp_path
+):
+    _slow_engine(monkeypatch, 0.2)
+    shared = tmp_path / "shared"
+    service = SimulationService(
+        ServiceConfig(
+            max_workers=1, batch_enabled=False, shared_dir=shared
+        )
+    )
+    fp = REQ.fingerprint()
+
+    async def main():
+        inflight = asyncio.create_task(service.handle(_envelope(REQ)))
+        while fp not in service._inflight:
+            await asyncio.sleep(0.005)
+        report = await service.aclose()
+        return await inflight, report
+
+    response, report = asyncio.run(main())
+    # The admitted request completed and was answered during the drain.
+    assert response["status"] == "ok"
+    assert report["drained"] is True
+    assert report["stranded"] == 0
+    # The deferred shared-tier write-back reached disk before exit.
+    assert len(service._writeback) == 0
+    from repro.cache import ResultCache
+
+    assert ResultCache(shared).get(fp) is not None
+    assert _counters(service)["service.drained_clean"] == 1
+
+
+def test_drain_timeout_reports_undrained(monkeypatch):
+    _slow_engine(monkeypatch, 0.5)
+    service = SimulationService(
+        ServiceConfig(max_workers=1, batch_enabled=False)
+    )
+    fp = REQ.fingerprint()
+
+    async def main():
+        task = asyncio.create_task(service.handle(_envelope(REQ)))
+        while fp not in service._inflight:
+            await asyncio.sleep(0.005)
+        report = await service.drain(timeout=0.05)
+        response = await task  # then let it finish for a clean teardown
+        await service.aclose()
+        return report, response
+
+    report, response = asyncio.run(main())
+    assert report["drained"] is False
+    assert report["pending"] == 1
+    assert response["status"] == "rejected" or response["status"] == "ok"
+
+
+def test_server_thread_drain_report_is_clean():
+    with ServerThread(ServiceConfig(max_workers=1)) as srv:
+        with ServiceClient(*srv.address) as client:
+            assert client.call(REQ)["status"] == "ok"
+    report = srv.drain_report
+    assert report is not None
+    assert report["drained"] is True
+    assert report["stranded"] == 0
+
+
+def test_server_thread_stop_is_idempotent():
+    srv = ServerThread(ServiceConfig(max_workers=1)).__enter__()
+    srv.stop()
+    srv.stop()  # a second stop on a joined thread is a no-op
+    assert srv.drain_report["drained"] is True
+
+
+# -- client retry policy ------------------------------------------------------
+
+
+def test_retry_policy_delay_honors_hint_jitter_and_cap():
+    import random
+
+    policy = RetryPolicy(
+        base_backoff=0.1, max_backoff=1.0, jitter=0.5, seed=7
+    )
+    rng = random.Random(7)
+    # The server hint dominates a small exponential term...
+    delay = policy.delay(0, retry_after=0.5, rng=rng)
+    assert 0.5 <= delay <= 0.75
+    # ...the exponential term dominates a zero hint...
+    delay = policy.delay(2, retry_after=0.0, rng=rng)
+    assert 0.4 <= delay <= 0.6
+    # ...and the cap bounds both (pre-jitter).
+    delay = policy.delay(10, retry_after=30.0, rng=rng)
+    assert delay <= 1.5
+    zero_jitter = RetryPolicy(base_backoff=0.1, max_backoff=1.0, jitter=0.0)
+    assert zero_jitter.delay(0, 0.0, rng) == 0.1
+    with pytest.raises(ConfigError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ConfigError):
+        RetryPolicy(jitter=2.0)
+
+
+def test_client_retries_backpressure_to_success(monkeypatch):
+    _slow_engine(monkeypatch, 0.3)
+    config = ServiceConfig(max_workers=1, max_pending=1, batch_enabled=False)
+    other = api.SimulationRequest("Resnet-50", "trainbox", 16)
+    with ServerThread(config) as srv:
+        service = srv.service
+        hog = ServiceClient(*srv.address)
+        try:
+            hog._send(hog._envelope(REQ, False, None))
+            _poll(lambda: service.stats()["pending"] >= 1)
+            retrying = ServiceClient(
+                *srv.address,
+                retry=RetryPolicy(
+                    max_attempts=6, base_backoff=0.05, jitter=0.2, seed=3
+                ),
+            )
+            with retrying:
+                response = retrying.call(other)
+            assert response["status"] == "ok"
+            assert hog._recv()["status"] == "ok"
+        finally:
+            hog.close()
+        assert _counters(service)["service.rejected_backpressure"] >= 1
+
+
+def test_client_reconnects_on_broken_pipe():
+    # shutdown(), not close(): close() defers the real FD teardown while
+    # the makefile reader holds a reference, so sends would still work.
+    with ServerThread(ServiceConfig(max_workers=1)) as srv:
+        with ServiceClient(
+            *srv.address, retry=RetryPolicy(max_attempts=3, seed=1)
+        ) as client:
+            client._sock.shutdown(socket.SHUT_RDWR)  # transport dies
+            response = client.call(REQ)
+            assert response["status"] == "ok"
+        # Without a policy the same breakage surfaces as ConnectionLost.
+        with ServiceClient(*srv.address) as bare:
+            bare._sock.shutdown(socket.SHUT_RDWR)
+            with pytest.raises(ConnectionLost):
+                bare.call(REQ)
+
+
+def test_request_many_redials_and_resends_unanswered():
+    requests = [
+        api.SimulationRequest("VGG-19", "baseline", s) for s in (4, 16, 64)
+    ]
+    with ServerThread(ServiceConfig(max_workers=2)) as srv:
+        with ServiceClient(*srv.address) as client:
+            client._sock.shutdown(socket.SHUT_RDWR)  # first dial fails
+            responses = client.request_many(requests)
+            assert [r["status"] for r in responses] == ["ok"] * 3
+            # Answers are in request order despite the redial's fresh ids.
+            for request, response in zip(requests, responses):
+                assert (
+                    response["meta"]["fingerprint"] == request.fingerprint()
+                )

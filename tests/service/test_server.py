@@ -336,7 +336,7 @@ def test_owner_cancellation_fails_coalesced_waiters_fast(monkeypatch):
             # Let the waiter attach to the in-flight future.
             while (
                 service.registry.to_manifest()["counters"].get(
-                    "service.coalesced", 0
+                    "service.coalesce_attached", 0
                 )
                 < 1
             ):
